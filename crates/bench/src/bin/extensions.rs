@@ -1,0 +1,83 @@
+//! Extension study: AdaServe vs the related-work speculation policies the
+//! paper discusses but does not evaluate (§7).
+//!
+//! * **SmartSpec** [30] — goodput-optimized adaptive *chain* length;
+//! * **Sequoia-style static trees** [9] — one fixed hardware-friendly tree
+//!   topology for every request;
+//! * **vLLM-Spec(6)** — the strongest fixed-chain baseline;
+//! * **AdaServe (throughput-only)** — tree speculation with adaptive (d, w)
+//!   but no SLO awareness, isolating the value of SLO-customized selection.
+//!
+//! Run on the paper's multi-SLO mix: the ordering shows that load-adaptivity
+//! helps, tree-shaped speculation helps more, and per-request SLO awareness
+//! is what closes the gap.
+
+use adaserve_bench::{parse_duration_ms, run_many, run_one, EngineKind, ModelSetup, SEED};
+use baselines::{SmartSpecEngine, StaticTreeEngine};
+use metrics::Table;
+use serving::{run, RunOptions};
+use workload::{Category, TraceKind, WorkloadBuilder};
+
+fn main() {
+    let duration = parse_duration_ms();
+    let setup = ModelSetup::Llama70b;
+    let config = setup.config(SEED);
+    let workload = WorkloadBuilder::new(SEED, config.baseline_ms)
+        .trace(TraceKind::RealWorld)
+        .target_rps(4.2)
+        .duration_ms(duration)
+        .build();
+    println!("Extension-study workload: {}\n", workload.description);
+
+    let mut rows: Vec<(String, serving::RunResult)> = Vec::new();
+    // Baseline engines via the harness.
+    for kind in [
+        EngineKind::AdaServe,
+        EngineKind::AdaServeAblated {
+            adaptive: true,
+            slo_selection: false,
+            n_max: 8,
+        },
+        EngineKind::VllmSpec(6),
+    ] {
+        rows.push((kind.name(), run_one(kind, setup, SEED, &workload)));
+    }
+    // Related-work engines.
+    let extra: Vec<(String, Box<dyn Fn() -> serving::RunResult + Sync>)> = Vec::new();
+    drop(extra);
+    let smart = {
+        let mut engine = SmartSpecEngine::new(setup.config(SEED));
+        run(&mut engine, &workload, RunOptions::default()).expect("smartspec run")
+    };
+    rows.push(("SmartSpec".into(), smart));
+    let results = run_many(vec![(4u32, 2u32), (6, 3)], |&(d, w)| {
+        let mut engine = StaticTreeEngine::new(setup.config(SEED), d, w);
+        run(&mut engine, &workload, RunOptions::default()).expect("static tree run")
+    });
+    for r in results {
+        rows.push((r.engine.clone(), r));
+    }
+
+    let mut table = Table::new(vec![
+        "Policy",
+        "Attainment (%)",
+        "Goodput (tok/s)",
+        "Accepted/verify",
+        "coding viol%",
+    ]);
+    for (name, result) in &rows {
+        let report = result.report();
+        table.row(vec![
+            name.clone(),
+            format!("{:.1}", report.attainment_pct),
+            format!("{:.0}", report.goodput_tps),
+            format!("{:.2}", result.mean_accepted_per_verify),
+            report
+                .category(Category::CodingCopilot)
+                .map(|c| format!("{:.1}", c.violation_pct))
+                .unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("CSV:\n{}", table.to_csv());
+}

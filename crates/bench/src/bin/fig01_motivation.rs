@@ -1,0 +1,69 @@
+//! Fig. 1 — motivation: existing systems cannot serve a two-SLO workload.
+//!
+//! A 50/50 mix of tight-SLO coding requests and 50 ms chatbot requests is
+//! served by five existing systems (vLLM, vLLM+chunked-prefill/Sarathi,
+//! vLLM+Priority, FastServe, VTC). The paper's figure shows per-token
+//! latency distributions with SLO lines and per-category violation rates;
+//! this binary prints mean/p99 TPOT and the violation percentage per
+//! category per system (AdaServe is appended as the punchline).
+
+use adaserve_bench::{parse_duration_ms, run_many, run_one, EngineKind, ModelSetup, SEED};
+use metrics::Table;
+use workload::{Category, CategoryMix, TraceKind, WorkloadBuilder};
+
+fn main() {
+    let duration = parse_duration_ms();
+    let setup = ModelSetup::Llama70b;
+    let config = setup.config(SEED);
+    let workload = WorkloadBuilder::new(SEED, config.baseline_ms)
+        .mix(CategoryMix::two_category())
+        .trace(TraceKind::RealWorld)
+        .target_rps(4.4)
+        .duration_ms(duration)
+        .build();
+    println!("Fig. 1 workload: {}\n", workload.description);
+
+    let mut systems = EngineKind::motivation_lineup();
+    systems.push(EngineKind::AdaServe);
+    let results = run_many(systems.clone(), |k| run_one(*k, setup, SEED, &workload));
+
+    let mut table = Table::new(vec![
+        "System",
+        "Cat1(coding) mean TPOT",
+        "Cat1 p99",
+        "Cat1 violations",
+        "Cat2(chat) mean TPOT",
+        "Cat2 p99",
+        "Cat2 violations",
+    ]);
+    for (kind, result) in systems.iter().zip(&results) {
+        let report = result.report();
+        let cell = |c: Category, f: &dyn Fn(&metrics::report::CategoryReport) -> String| {
+            report.category(c).map(f).unwrap_or_else(|| "-".into())
+        };
+        table.row(vec![
+            kind.name(),
+            cell(Category::CodingCopilot, &|r| {
+                format!("{:.1} ms", r.mean_tpot_ms)
+            }),
+            cell(Category::CodingCopilot, &|r| {
+                format!("{:.1} ms", r.p99_tpot_ms)
+            }),
+            cell(Category::CodingCopilot, &|r| {
+                format!("{:.1}%", r.violation_pct)
+            }),
+            cell(Category::Chatbot, &|r| format!("{:.1} ms", r.mean_tpot_ms)),
+            cell(Category::Chatbot, &|r| format!("{:.1} ms", r.p99_tpot_ms)),
+            cell(Category::Chatbot, &|r| format!("{:.1}%", r.violation_pct)),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("CSV:\n{}", table.to_csv());
+    let slo1 = workload
+        .requests
+        .iter()
+        .find(|r| r.category == Category::CodingCopilot)
+        .map(|r| r.tpot_slo_ms)
+        .unwrap_or(0.0);
+    println!("SLO lines: coding = {slo1:.1} ms (1.2 x baseline), chat = 50 ms");
+}

@@ -1,0 +1,38 @@
+//! Fig. 7 — request frequency of the real-world-shaped trace.
+//!
+//! Prints per-bucket arrival counts over the 20-minute trace (the series the
+//! paper plots), plus an ASCII sparkline for a quick visual check of the
+//! bursty envelope.
+
+use metrics::Table;
+use workload::{ArrivalTrace, TraceKind};
+
+fn main() {
+    let trace = ArrivalTrace::generate(TraceKind::RealWorld, adaserve_bench::SEED);
+    println!(
+        "Real-world-shaped trace: {} arrivals over {:.1} minutes, mean {:.2} rps\n",
+        trace.len(),
+        trace
+            .arrivals()
+            .last()
+            .map(|a| a.time_ms / 60_000.0)
+            .unwrap_or(0.0),
+        trace.mean_rps()
+    );
+    let rows = trace.bucket_counts(10_000.0);
+    let mut table = Table::new(vec!["t (min)", "requests / 10 s"]);
+    let max = rows.iter().map(|r| r.1).max().unwrap_or(1).max(1);
+    let mut spark = String::new();
+    for (start_ms, count, _) in &rows {
+        table.row(vec![
+            format!("{:.2}", start_ms / 60_000.0),
+            count.to_string(),
+        ]);
+        let levels = [' ', '.', ':', '-', '=', '+', '*', '#'];
+        let idx = (count * (levels.len() - 1)) / max;
+        spark.push(levels[idx]);
+    }
+    println!("{}", table.render());
+    println!("Envelope (10 s buckets): [{spark}]");
+    println!("\nCSV:\n{}", table.to_csv());
+}

@@ -1,0 +1,115 @@
+//! Figs. 8, 9 and 12 — the request-rate sweep.
+//!
+//! One set of runs produces all three paper figures (they share the same
+//! experiment): the 60/20/20 category mix served at increasing request
+//! rates on both Table 1 setups by AdaServe, Sarathi-Serve, vLLM and
+//! vLLM-Spec(4/6/8).
+//!
+//! * Fig. 8 — SLO attainment (%) vs RPS,
+//! * Fig. 9 — goodput (tokens/s) vs RPS,
+//! * Fig. 12 — mean accepted tokens per request per verification vs RPS
+//!   (speculative engines only).
+
+use adaserve_bench::{parse_duration_ms, run_many, run_one, EngineKind, ModelSetup, SEED};
+use metrics::Table;
+use workload::{TraceKind, WorkloadBuilder};
+
+fn main() {
+    let duration = parse_duration_ms();
+    let engines = EngineKind::main_lineup();
+
+    for setup in ModelSetup::ALL {
+        let config = setup.config(SEED);
+        let mut rps_points = setup.rps_sweep();
+        let paper_range_end = rps_points.len();
+        rps_points.extend(setup.rps_extended());
+        println!(
+            "==== {} ==== (points beyond index {} exceed the paper's plotted range)\n",
+            setup.name(),
+            paper_range_end
+        );
+
+        // Jobs: (engine, rps) pairs; workloads are built once per rps.
+        let workloads: Vec<_> = rps_points
+            .iter()
+            .map(|&rps| {
+                WorkloadBuilder::new(SEED, config.baseline_ms)
+                    .trace(TraceKind::RealWorld)
+                    .target_rps(rps)
+                    .duration_ms(duration)
+                    .build()
+            })
+            .collect();
+        let jobs: Vec<(EngineKind, usize)> = engines
+            .iter()
+            .flat_map(|&e| (0..rps_points.len()).map(move |i| (e, i)))
+            .collect();
+        let results = run_many(jobs.clone(), |&(e, i)| {
+            run_one(e, setup, SEED, &workloads[i])
+        });
+
+        let mut header: Vec<String> = vec!["RPS".into()];
+        header.extend(engines.iter().map(|e| e.name()));
+        let mut fig8 = Table::new(header.clone());
+        let mut fig9 = Table::new(header.clone());
+        let mut fig12 = Table::new(header);
+        for (ri, &rps) in rps_points.iter().enumerate() {
+            let mut row8 = vec![format!("{rps:.1}")];
+            let mut row9 = vec![format!("{rps:.1}")];
+            let mut row12 = vec![format!("{rps:.1}")];
+            for (ei, _) in engines.iter().enumerate() {
+                let idx = ei * rps_points.len() + ri;
+                let report = results[idx].report();
+                row8.push(format!("{:.1}", report.attainment_pct));
+                row9.push(format!("{:.0}", report.goodput_tps));
+                let acc = results[idx].mean_accepted_per_verify;
+                row12.push(if acc > 0.0 {
+                    format!("{acc:.2}")
+                } else {
+                    "-".into()
+                });
+            }
+            fig8.row(row8);
+            fig9.row(row9);
+            fig12.row(row12);
+        }
+        println!("-- Fig. 8: SLO attainment (%) vs RPS --\n{}", fig8.render());
+        println!("-- Fig. 9: goodput (tokens/s) vs RPS --\n{}", fig9.render());
+        println!(
+            "-- Fig. 12: mean accepted tokens / request / verification --\n{}",
+            fig12.render()
+        );
+        println!("CSV fig8:\n{}", fig8.to_csv());
+        println!("CSV fig9:\n{}", fig9.to_csv());
+        println!("CSV fig12:\n{}", fig12.to_csv());
+
+        // Paper-style headline ratios at the highest RPS.
+        let last = rps_points.len() - 1;
+        let ada = results[last].report(); // engines[0] == AdaServe
+        let best_baseline = engines
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(ei, e)| (e, results[ei * rps_points.len() + last].report()))
+            .max_by(|a, b| a.1.attainment_pct.total_cmp(&b.1.attainment_pct))
+            .expect("baselines exist");
+        let viol_ada = 100.0 - ada.attainment_pct;
+        let viol_base = 100.0 - best_baseline.1.attainment_pct;
+        println!(
+            "Headline at {:.1} rps: AdaServe attainment {:.1}% vs best baseline ({}) {:.1}% \
+             -> violation reduction {:.1}x; goodput {:.0} vs {:.0} tok/s -> {:.2}x\n",
+            rps_points[last],
+            ada.attainment_pct,
+            best_baseline.0.name(),
+            best_baseline.1.attainment_pct,
+            if viol_ada > 0.0 {
+                viol_base / viol_ada
+            } else {
+                f64::INFINITY
+            },
+            ada.goodput_tps,
+            best_baseline.1.goodput_tps,
+            ada.goodput_tps / best_baseline.1.goodput_tps.max(1e-9),
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Fig. 10 — SLO attainment and goodput vs urgent-request proportion.
+//!
+//! The request rate is fixed at 4.0 RPS while the fraction of tight-SLO
+//! coding requests sweeps {30, 50, 70, 90}% (the remainder split evenly
+//! between chat and summarization). Continuous-batching systems degrade as
+//! urgency rises; speculative systems hold or improve (paper §6.2).
+
+use adaserve_bench::{parse_duration_ms, run_many, run_one, EngineKind, ModelSetup, SEED};
+use metrics::Table;
+use workload::{CategoryMix, TraceKind, WorkloadBuilder};
+
+fn main() {
+    let duration = parse_duration_ms();
+    let fractions = [0.3, 0.5, 0.7, 0.9];
+    let engines = EngineKind::main_lineup();
+
+    for setup in ModelSetup::ALL {
+        let config = setup.config(SEED);
+        println!("==== {} (4.0 rps) ====\n", setup.name());
+        let workloads: Vec<_> = fractions
+            .iter()
+            .map(|&f| {
+                WorkloadBuilder::new(SEED, config.baseline_ms)
+                    .mix(CategoryMix::with_urgent_fraction(f))
+                    .trace(TraceKind::RealWorld)
+                    .target_rps(4.0)
+                    .duration_ms(duration)
+                    .build()
+            })
+            .collect();
+        let jobs: Vec<(EngineKind, usize)> = engines
+            .iter()
+            .flat_map(|&e| (0..fractions.len()).map(move |i| (e, i)))
+            .collect();
+        let results = run_many(jobs, |&(e, i)| run_one(e, setup, SEED, &workloads[i]));
+
+        let mut header: Vec<String> = vec!["Urgent %".into()];
+        header.extend(engines.iter().map(|e| e.name()));
+        let mut att = Table::new(header.clone());
+        let mut good = Table::new(header);
+        for (fi, &f) in fractions.iter().enumerate() {
+            let mut row_a = vec![format!("{:.0}", f * 100.0)];
+            let mut row_g = vec![format!("{:.0}", f * 100.0)];
+            for (ei, _) in engines.iter().enumerate() {
+                let report = results[ei * fractions.len() + fi].report();
+                row_a.push(format!("{:.1}", report.attainment_pct));
+                row_g.push(format!("{:.0}", report.goodput_tps));
+            }
+            att.row(row_a);
+            good.row(row_g);
+        }
+        println!("-- SLO attainment (%) --\n{}", att.render());
+        println!("-- Goodput (tokens/s) --\n{}", good.render());
+        println!("CSV attainment:\n{}", att.to_csv());
+        println!("CSV goodput:\n{}", good.to_csv());
+    }
+}

@@ -1,0 +1,59 @@
+//! Fig. 11 — SLO attainment and goodput vs the urgent category's SLO scale.
+//!
+//! Fixed 4.0 RPS, 60% urgent requests; the coding category's TPOT SLO
+//! sweeps from 1.6× down to 0.6× the baseline decode latency. Continuous
+//! batching cannot go below 1.0× (a plain decode step already busts the
+//! SLO); speculative decoding can — and AdaServe prioritizes the requests
+//! that need it (paper §6.2).
+
+use adaserve_bench::{parse_duration_ms, run_many, run_one, EngineKind, ModelSetup, SEED};
+use metrics::Table;
+use workload::{CategoryMix, TraceKind, WorkloadBuilder};
+
+fn main() {
+    let duration = parse_duration_ms();
+    let scales = [1.6, 1.4, 1.2, 1.0, 0.8, 0.6];
+    let engines = EngineKind::main_lineup();
+
+    for setup in ModelSetup::ALL {
+        let config = setup.config(SEED);
+        println!("==== {} (4.0 rps, 60% urgent) ====\n", setup.name());
+        let workloads: Vec<_> = scales
+            .iter()
+            .map(|&s| {
+                WorkloadBuilder::new(SEED, config.baseline_ms)
+                    .mix(CategoryMix::with_urgent_fraction(0.6))
+                    .trace(TraceKind::RealWorld)
+                    .cat1_slo_scale(s)
+                    .target_rps(4.0)
+                    .duration_ms(duration)
+                    .build()
+            })
+            .collect();
+        let jobs: Vec<(EngineKind, usize)> = engines
+            .iter()
+            .flat_map(|&e| (0..scales.len()).map(move |i| (e, i)))
+            .collect();
+        let results = run_many(jobs, |&(e, i)| run_one(e, setup, SEED, &workloads[i]));
+
+        let mut header: Vec<String> = vec!["SLO scale".into()];
+        header.extend(engines.iter().map(|e| e.name()));
+        let mut att = Table::new(header.clone());
+        let mut good = Table::new(header);
+        for (si, &s) in scales.iter().enumerate() {
+            let mut row_a = vec![format!("{s:.1}")];
+            let mut row_g = vec![format!("{s:.1}")];
+            for (ei, _) in engines.iter().enumerate() {
+                let report = results[ei * scales.len() + si].report();
+                row_a.push(format!("{:.1}", report.attainment_pct));
+                row_g.push(format!("{:.0}", report.goodput_tps));
+            }
+            att.row(row_a);
+            good.row(row_g);
+        }
+        println!("-- SLO attainment (%) --\n{}", att.render());
+        println!("-- Goodput (tokens/s) --\n{}", good.render());
+        println!("CSV attainment:\n{}", att.to_csv());
+        println!("CSV goodput:\n{}", good.to_csv());
+    }
+}

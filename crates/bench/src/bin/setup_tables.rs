@@ -1,0 +1,73 @@
+//! Regenerates the paper's setup tables: Table 1 (models/parallelism) and
+//! Table 2 (request categories and SLOs), plus the profiled token budgets
+//! AdaServe derives from the hardware (§3 footnote 1).
+
+use adaserve_bench::ModelSetup;
+use metrics::Table;
+use roofline::{BudgetPolicy, TokenBudgetProfile};
+use workload::Category;
+
+fn main() {
+    println!("== Table 1: evaluation setups ==\n");
+    let mut t1 = Table::new(vec!["Model", "Parallelism", "GPUs", "Baseline decode (ms)"]);
+    for setup in ModelSetup::ALL {
+        let config = setup.config(adaserve_bench::SEED);
+        let tb = &config.testbed;
+        t1.row(vec![
+            tb.target.model().name.to_string(),
+            format!("{}-way TP", tb.target.tensor_parallel()),
+            format!("{} x {}", tb.target.tensor_parallel(), tb.target.gpu().name),
+            format!("{:.1}", config.baseline_ms),
+        ]);
+    }
+    println!("{}", t1.render());
+
+    println!("== Table 2: request categories and SLOs ==\n");
+    let mut t2 = Table::new(vec!["Category", "App", "Dataset stats", "TPOT SLO"]);
+    let apps = ["Coding copilot", "Chatbot", "Summarization"];
+    let datasets = ["HumanEval-like", "Alpaca-like", "CNN/DailyMail-like"];
+    for (i, c) in Category::ALL.iter().enumerate() {
+        let slo = match c.slo() {
+            workload::SloSpec::AbsoluteMs(ms) => format!("{ms:.0} ms"),
+            workload::SloSpec::RelativeToBaseline(s) => format!("{s:.1} x baseline latency"),
+        };
+        let pd = workload::LengthSampler::prompt_dist(*c);
+        let od = workload::LengthSampler::output_dist(*c);
+        t2.row(vec![
+            format!("Cat. {}", i + 1),
+            apps[i].to_string(),
+            format!(
+                "{}: prompt ~{:.0} toks, output ~{:.0} toks",
+                datasets[i], pd.median, od.median
+            ),
+            slo,
+        ]);
+    }
+    println!("{}", t2.render());
+
+    println!("== Profiled token budgets (roofline, stretch 1.5x) ==\n");
+    let mut t3 = Table::new(vec![
+        "Setup",
+        "Verify budget B (tokens)",
+        "Spec budget B2 (tokens)",
+        "Verify pass (ms)",
+        "Draft step (ms)",
+    ]);
+    for setup in ModelSetup::ALL {
+        let config = setup.config(adaserve_bench::SEED);
+        let p = TokenBudgetProfile::profile(
+            &config.testbed.target,
+            &config.testbed.draft,
+            512,
+            BudgetPolicy::LatencyStretch(1.5),
+        );
+        t3.row(vec![
+            setup.name().to_string(),
+            p.verify_budget.to_string(),
+            p.spec_budget.to_string(),
+            format!("{:.1}", p.verify_latency_ms),
+            format!("{:.2}", p.draft_step_latency_ms),
+        ]);
+    }
+    println!("{}", t3.render());
+}

@@ -1,0 +1,295 @@
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (§6).
+//!
+//! Each `src/bin/figNN_*.rs` binary reproduces one figure/table: it builds
+//! the paper's workload, runs the relevant engines on the shared substrate,
+//! and prints the same rows/series the paper plots (plain text + CSV).
+//! This module holds the shared machinery: engine construction, model
+//! setups, sweep drivers and result formatting.
+//!
+//! Absolute numbers come from the roofline cost model rather than real
+//! A100s, so the *shapes* (who wins, by what factor, where crossovers fall)
+//! are the reproduction target — see `EXPERIMENTS.md` for paper-vs-measured
+//! notes.
+
+use adaserve_core::{AdaServeEngine, AdaServeOptions};
+use baselines::{
+    FastServeEngine, PriorityEngine, SarathiEngine, VllmEngine, VllmSpecEngine, VtcEngine,
+};
+use serving::{run, RunOptions, RunResult, ServingEngine, SystemConfig};
+use workload::Workload;
+
+/// The two model/hardware setups of the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelSetup {
+    /// Llama-3.1-70B-Instruct, 4-way TP on A100-80G.
+    Llama70b,
+    /// Qwen2.5-32B-Instruct, 2-way TP on A100-80G.
+    Qwen32b,
+}
+
+impl ModelSetup {
+    /// Both setups in Table 1 order.
+    pub const ALL: [ModelSetup; 2] = [ModelSetup::Llama70b, ModelSetup::Qwen32b];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelSetup::Llama70b => "Llama-3.1-70B-Instruct",
+            ModelSetup::Qwen32b => "Qwen2.5-32B-Instruct",
+        }
+    }
+
+    /// Builds the system configuration (deterministic per seed).
+    pub fn config(&self, seed: u64) -> SystemConfig {
+        match self {
+            ModelSetup::Llama70b => SystemConfig::llama70b(seed),
+            ModelSetup::Qwen32b => SystemConfig::qwen32b(seed),
+        }
+    }
+
+    /// The RPS sweep range the paper uses for this model (Figs. 8–9).
+    pub fn rps_sweep(&self) -> Vec<f64> {
+        let (lo, hi) = match self {
+            ModelSetup::Llama70b => (2.6, 4.8),
+            ModelSetup::Qwen32b => (2.4, 4.2),
+        };
+        let mut v = Vec::new();
+        let mut x: f64 = lo;
+        while x <= hi + 1e-9 {
+            v.push((x * 10.0).round() / 10.0);
+            x += 0.2;
+        }
+        v
+    }
+
+    /// Extra sweep points beyond the paper's plotted range.
+    ///
+    /// Our roofline testbed is slightly faster than the authors' measured
+    /// A100 node (22.6 ms vs ~30 ms baseline decode), so the load level at
+    /// which AdaServe itself starts missing SLOs falls past the paper's
+    /// axis; these points exhibit that crossover.
+    pub fn rps_extended(&self) -> Vec<f64> {
+        match self {
+            ModelSetup::Llama70b => vec![5.4, 6.0, 6.6],
+            ModelSetup::Qwen32b => vec![4.8, 5.4, 6.0],
+        }
+    }
+}
+
+/// Engines under evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// AdaServe with default options.
+    AdaServe,
+    /// AdaServe with explicit ablation switches.
+    AdaServeAblated {
+        /// Adaptive (d, w) control.
+        adaptive: bool,
+        /// SLO-customized selection phase enabled.
+        slo_selection: bool,
+        /// Per-request SLO-phase cap.
+        n_max: usize,
+    },
+    /// vLLM continuous batching.
+    Vllm,
+    /// Sarathi-Serve chunked prefill.
+    Sarathi,
+    /// vLLM + sequence speculation of the given length.
+    VllmSpec(u32),
+    /// vLLM + priority scheduling.
+    Priority,
+    /// FastServe MLFQ.
+    FastServe,
+    /// VTC fair scheduling.
+    Vtc,
+}
+
+impl EngineKind {
+    /// Engines in the paper's end-to-end comparison (Figs. 8–11).
+    pub fn main_lineup() -> Vec<EngineKind> {
+        vec![
+            EngineKind::AdaServe,
+            EngineKind::Sarathi,
+            EngineKind::Vllm,
+            EngineKind::VllmSpec(4),
+            EngineKind::VllmSpec(6),
+            EngineKind::VllmSpec(8),
+        ]
+    }
+
+    /// Systems in the Fig. 1 motivation study.
+    pub fn motivation_lineup() -> Vec<EngineKind> {
+        vec![
+            EngineKind::Vllm,
+            EngineKind::Sarathi,
+            EngineKind::Priority,
+            EngineKind::FastServe,
+            EngineKind::Vtc,
+        ]
+    }
+
+    /// Display name (matches the paper's legends).
+    pub fn name(&self) -> String {
+        match self {
+            EngineKind::AdaServe => "AdaServe".into(),
+            EngineKind::AdaServeAblated {
+                adaptive,
+                slo_selection,
+                n_max,
+            } => {
+                format!("AdaServe(adaptive={adaptive},slo_sel={slo_selection},n_max={n_max})")
+            }
+            EngineKind::Vllm => "vLLM".into(),
+            EngineKind::Sarathi => "Sarathi-Serve".into(),
+            EngineKind::VllmSpec(k) => format!("vLLM-Spec({k})"),
+            EngineKind::Priority => "vLLM+Priority".into(),
+            EngineKind::FastServe => "FastServe".into(),
+            EngineKind::Vtc => "VTC".into(),
+        }
+    }
+
+    /// Instantiates the engine on a configuration.
+    pub fn build(&self, config: SystemConfig) -> Box<dyn ServingEngine> {
+        match *self {
+            EngineKind::AdaServe => Box::new(AdaServeEngine::new(config)),
+            EngineKind::AdaServeAblated {
+                adaptive,
+                slo_selection,
+                n_max,
+            } => {
+                let options = AdaServeOptions {
+                    adaptive,
+                    slo_selection,
+                    n_max,
+                    ..Default::default()
+                };
+                Box::new(AdaServeEngine::with_options(config, options))
+            }
+            EngineKind::Vllm => Box::new(VllmEngine::new(config)),
+            EngineKind::Sarathi => Box::new(SarathiEngine::new(config)),
+            EngineKind::VllmSpec(k) => Box::new(VllmSpecEngine::new(config, k)),
+            EngineKind::Priority => Box::new(PriorityEngine::new(config)),
+            EngineKind::FastServe => Box::new(FastServeEngine::new(config)),
+            EngineKind::Vtc => Box::new(VtcEngine::new(config)),
+        }
+    }
+}
+
+/// Serves `workload` with `kind` on `setup` and returns the run result.
+pub fn run_one(kind: EngineKind, setup: ModelSetup, seed: u64, workload: &Workload) -> RunResult {
+    let config = setup.config(seed);
+    let mut engine = kind.build(config);
+    run(engine.as_mut(), workload, RunOptions::default())
+        .unwrap_or_else(|e| panic!("{} failed: {e}", kind.name()))
+}
+
+/// Runs `(kind, workload)` jobs across threads, preserving job order.
+///
+/// Each job is independent (own engine + workload), so this is a plain
+/// scoped fan-out sized to the host's parallelism.
+pub fn run_many<J, F>(jobs: Vec<J>, f: F) -> Vec<RunResult>
+where
+    J: Sync,
+    F: Fn(&J) -> RunResult + Sync,
+{
+    let n_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let results: Vec<std::sync::Mutex<Option<RunResult>>> =
+        jobs.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..n_threads.min(jobs.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let r = f(&jobs[i]);
+                *results[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("job completed"))
+        .collect()
+}
+
+/// Default experiment duration (simulated milliseconds).
+///
+/// The paper serves a rescaled 20-minute trace; 180 simulated seconds keeps
+/// every figure reproducible in minutes of wall-clock while preserving the
+/// bursty shape. `--quick` in each binary cuts this further.
+pub const DEFAULT_DURATION_MS: f64 = 180_000.0;
+
+/// Parses common CLI flags: `--quick` (shorter runs), `--duration-s N`.
+pub fn parse_duration_ms() -> f64 {
+    let args: Vec<String> = std::env::args().collect();
+    let mut duration = DEFAULT_DURATION_MS;
+    for (i, a) in args.iter().enumerate() {
+        if a == "--quick" {
+            duration = 45_000.0;
+        }
+        if a == "--duration-s" {
+            if let Some(v) = args.get(i + 1).and_then(|s| s.parse::<f64>().ok()) {
+                duration = v * 1e3;
+            }
+        }
+    }
+    duration
+}
+
+/// Standard experiment seed (all binaries share it for cross-figure
+/// consistency).
+pub const SEED: u64 = 20_250_117;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::WorkloadBuilder;
+
+    #[test]
+    fn rps_sweeps_match_paper_ranges() {
+        let llama = ModelSetup::Llama70b.rps_sweep();
+        assert_eq!(llama.first().copied(), Some(2.6));
+        assert_eq!(llama.last().copied(), Some(4.8));
+        let qwen = ModelSetup::Qwen32b.rps_sweep();
+        assert_eq!(qwen.first().copied(), Some(2.4));
+        assert_eq!(qwen.last().copied(), Some(4.2));
+    }
+
+    #[test]
+    fn every_engine_kind_builds_and_serves() {
+        let config = ModelSetup::Llama70b.config(1);
+        let wl = WorkloadBuilder::new(3, config.baseline_ms)
+            .target_rps(1.0)
+            .duration_ms(4_000.0)
+            .build();
+        let mut kinds = EngineKind::main_lineup();
+        kinds.extend(EngineKind::motivation_lineup());
+        kinds.push(EngineKind::AdaServeAblated {
+            adaptive: false,
+            slo_selection: false,
+            n_max: 4,
+        });
+        for kind in kinds {
+            let result = run_one(kind, ModelSetup::Llama70b, 1, &wl);
+            assert_eq!(result.records.len(), wl.requests.len(), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn run_many_preserves_order() {
+        let config = ModelSetup::Llama70b.config(1);
+        let wl = WorkloadBuilder::new(3, config.baseline_ms)
+            .target_rps(1.0)
+            .duration_ms(3_000.0)
+            .build();
+        let jobs = vec![EngineKind::Vllm, EngineKind::Sarathi];
+        let results = run_many(jobs, |k| run_one(*k, ModelSetup::Llama70b, 1, &wl));
+        assert_eq!(results[0].engine, "vLLM");
+        assert_eq!(results[1].engine, "Sarathi-Serve");
+    }
+}

@@ -1,0 +1,119 @@
+//! Adaptive control of speculation depth and width (paper §5.2).
+//!
+//! Fixed `(d, w)` wastes draft compute under load (most speculated tokens
+//! get discarded by selection) and under-speculates when the system is idle.
+//! AdaServe re-derives both each iteration from the active-request count:
+//!
+//! ```text
+//! d = clip(D_max, D_min, ⌊B₁ / (n + c₁)⌋ − 1)      (eq. 8)
+//! w = clip(W_max, 1,     ⌊B₂ / n⌋ + c₂)            (eq. 9)
+//! ```
+//!
+//! `B₁` is the verifier's per-iteration token budget, `B₂` the speculator's;
+//! `c₁, c₂` are small constants (grid-searched in the paper; defaults here
+//! chosen by the same criterion — keeping per-request speculative tokens
+//! within the average verification budget).
+
+use spectree::SpecParams;
+
+/// The depth/width controller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveController {
+    /// Verifier token budget per iteration (`B₁`).
+    pub b1: f64,
+    /// Speculator token budget per draft step (`B₂`).
+    pub b2: f64,
+    /// Depth-formula constant (`c₁`).
+    pub c1: f64,
+    /// Width-formula constant (`c₂`).
+    pub c2: f64,
+    /// Depth lower bound (`D_min`).
+    pub d_min: u32,
+    /// Depth upper bound (`D_max`).
+    pub d_max: u32,
+    /// Width upper bound (`W_max`).
+    pub w_max: u32,
+}
+
+impl AdaptiveController {
+    /// Creates a controller from profiled budgets with default constants.
+    pub fn new(verify_budget: u64, spec_budget: u64) -> Self {
+        Self {
+            b1: verify_budget as f64,
+            b2: spec_budget as f64,
+            c1: 1.0,
+            c2: 1.0,
+            d_min: 1,
+            d_max: 8,
+            w_max: 4,
+        }
+    }
+
+    /// Computes `(d, w)` for `n` active decoding requests.
+    ///
+    /// `n = 0` is treated as 1 (the formulas are only consulted when there
+    /// is work).
+    pub fn params(&self, n: usize) -> SpecParams {
+        let n = n.max(1) as f64;
+        let d_raw = (self.b1 / (n + self.c1)).floor() - 1.0;
+        let d = (d_raw.max(self.d_min as f64) as u32).min(self.d_max);
+        let w_raw = (self.b2 / n).floor() + self.c2;
+        let w = (w_raw.max(1.0) as u32).min(self.w_max);
+        SpecParams::new(d, w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller() -> AdaptiveController {
+        AdaptiveController::new(160, 256)
+    }
+
+    #[test]
+    fn light_load_speculates_aggressively() {
+        let p = controller().params(1);
+        assert_eq!(p.depth, 8, "depth clipped at D_max");
+        assert_eq!(p.width, 4, "width clipped at W_max");
+    }
+
+    #[test]
+    fn heavy_load_speculates_conservatively() {
+        let p = controller().params(150);
+        assert_eq!(p.depth, 1, "depth clipped at D_min");
+        assert_eq!(p.width, 2, "floor(256/150) + 1 = 2");
+    }
+
+    #[test]
+    fn depth_decreases_monotonically_with_load() {
+        let c = controller();
+        let mut prev = u32::MAX;
+        for n in 1..200 {
+            let d = c.params(n).depth;
+            assert!(d <= prev, "depth increased at n = {n}");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn speculative_tokens_stay_within_verify_budget_per_request() {
+        // The paper's design goal: d ≈ per-request verification budget.
+        let c = controller();
+        for n in [2usize, 5, 10, 20, 40, 80] {
+            let p = c.params(n);
+            let per_request_budget = c.b1 / n as f64;
+            assert!(
+                f64::from(p.depth) <= per_request_budget,
+                "n = {n}: depth {} exceeds per-request budget {per_request_budget}",
+                p.depth
+            );
+        }
+    }
+
+    #[test]
+    fn zero_active_requests_treated_as_one() {
+        let c = controller();
+        assert_eq!(c.params(0), c.params(1));
+    }
+}

@@ -1,0 +1,93 @@
+//! The multi-SLO serving formulation (paper §3).
+//!
+//! For each request `r_i` in the batch, the TPOT constraint
+//!
+//! ```text
+//! (l_i + t_spec) / (o_i + acc(T_i)) ≤ t_TPOT_i        (eq. 2)
+//! ```
+//!
+//! rearranges to `acc(T_i) ≥ A(r_i)` with
+//!
+//! ```text
+//! A(r_i) = (l_i + t_spec) / t_TPOT_i − o_i
+//! ```
+//!
+//! the *minimum number of tokens that must be accepted for request `i` in
+//! the current decoding iteration to stay on its SLO trajectory*. Since a
+//! request can accept at most `d + 1` tokens per iteration (the deepest
+//! candidate path plus the bonus token), the practical target is capped:
+//! `A_cap(r) = min(A(r), d + 1)` (§4.3 step 2).
+
+/// The per-iteration SLO requirement of one request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloRequirement {
+    /// Raw `A(r)`: tokens that must be accepted this iteration (may be ≤ 0
+    /// when the request is ahead of its SLO trajectory, or large when
+    /// behind).
+    pub required: f64,
+    /// `A_cap(r)`: requirement capped by what an iteration can deliver.
+    pub capped: f64,
+}
+
+/// Computes `A(r)` / `A_cap(r)` for one request.
+///
+/// * `decode_latency_ms` — `l_i`, time since the request's first decode step;
+/// * `iteration_latency_ms` — `t_spec`, the (predicted) latency of the
+///   current decoding iteration;
+/// * `generated` — `o_i`, output tokens already produced;
+/// * `tpot_slo_ms` — the request's TPOT SLO;
+/// * `max_depth` — the candidate-tree depth `d` bounding per-iteration
+///   progress to `d + 1` tokens.
+pub fn slo_requirement(
+    decode_latency_ms: f64,
+    iteration_latency_ms: f64,
+    generated: u32,
+    tpot_slo_ms: f64,
+    max_depth: u32,
+) -> SloRequirement {
+    assert!(tpot_slo_ms > 0.0, "TPOT SLO must be positive");
+    let required = (decode_latency_ms + iteration_latency_ms) / tpot_slo_ms - f64::from(generated);
+    let capped = required.min(f64::from(max_depth) + 1.0).max(0.0);
+    SloRequirement { required, capped }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_request_needs_fraction_of_iteration() {
+        // l=0, o=0: the requirement is t_spec / t_TPOT.
+        let r = slo_requirement(0.0, 30.0, 0, 50.0, 4);
+        assert!((r.required - 0.6).abs() < 1e-12);
+        assert!((r.capped - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lagging_request_needs_more() {
+        // 1000 ms elapsed, 15 tokens out, SLO 50 ms → needs 20.6 total, 5.6 now.
+        let r = slo_requirement(1000.0, 30.0, 15, 50.0, 4);
+        assert!((r.required - 5.6).abs() < 1e-9);
+        assert_eq!(r.capped, 5.0, "capped at d + 1");
+    }
+
+    #[test]
+    fn ahead_of_schedule_needs_nothing() {
+        let r = slo_requirement(100.0, 30.0, 50, 50.0, 4);
+        assert!(r.required < 0.0);
+        assert_eq!(r.capped, 0.0);
+    }
+
+    #[test]
+    fn tighter_slo_raises_requirement() {
+        let strict = slo_requirement(500.0, 30.0, 10, 25.0, 8);
+        let relaxed = slo_requirement(500.0, 30.0, 10, 150.0, 8);
+        assert!(strict.required > relaxed.required);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_slo_rejected() {
+        let _ = slo_requirement(0.0, 30.0, 0, 0.0, 4);
+    }
+}

@@ -1,0 +1,447 @@
+//! Algorithm 1: globally optimal token-tree construction (paper §4.1).
+//!
+//! Under the assumption that every node's path probability `f(v)` is known,
+//! a two-step greedy procedure is optimal (paper Appendix C):
+//!
+//! 1. **SLO step** — for each request, repeatedly insert the highest-`f`
+//!    available node until `Σ_{v∈T_i} f(v) ≥ A(r_i)` (the sum includes the
+//!    root with `f = 1`); if the budget runs out first, return INVALID —
+//!    no feasible solution exists (Lemma C.1).
+//! 2. **Throughput step** — spend any remaining budget on the globally
+//!    highest-`f` nodes across all requests (Lemma C.2).
+//!
+//! Because `f` strictly decreases along every path, greedily selected nodes
+//! always connect to their parents (Appendix B), so the output is a valid
+//! tree per request.
+//!
+//! This module is exercised for fidelity and testing; the *practical*
+//! variant the engine runs online is [`crate::scsd`].
+
+use simllm::TokenId;
+use spectree::{NodeId, TokenTree};
+use std::collections::BinaryHeap;
+
+/// Error returned when the SLO requirements cannot be met within budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptimalError {
+    /// No allocation of the budget satisfies every `A(r_i)` (the paper's
+    /// INVALID case, provably infeasible by Lemma C.1).
+    Invalid,
+}
+
+impl std::fmt::Display for OptimalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SLO requirements are infeasible within the token budget")
+    }
+}
+
+impl std::error::Error for OptimalError {}
+
+/// A finite, explicitly enumerated truncation of a request's infinite token
+/// tree `T_inf(r)` with known path probabilities.
+///
+/// Node 0 is the root (`f = 1`, the request's last generated token); every
+/// other node carries an absolute path probability `f(v) < f(parent)`.
+#[derive(Debug, Clone)]
+pub struct ExplicitProbTree {
+    parent: Vec<usize>,
+    children: Vec<Vec<usize>>,
+    token: Vec<TokenId>,
+    f: Vec<f64>,
+}
+
+impl ExplicitProbTree {
+    /// Creates a tree with only the root.
+    pub fn new(root_token: TokenId) -> Self {
+        Self {
+            parent: vec![usize::MAX],
+            children: vec![Vec::new()],
+            token: vec![root_token],
+            f: vec![1.0],
+        }
+    }
+
+    /// Adds a node under `parent` with conditional (edge) probability
+    /// `edge_prob`; its path probability becomes `f(parent) · edge_prob`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < edge_prob < 1` and `parent` exists.
+    pub fn add(&mut self, parent: usize, token: TokenId, edge_prob: f64) -> usize {
+        assert!(parent < self.f.len(), "parent must exist");
+        assert!(
+            edge_prob > 0.0 && edge_prob < 1.0,
+            "edge prob must be in (0, 1)"
+        );
+        let id = self.f.len();
+        self.parent.push(parent);
+        self.children.push(Vec::new());
+        self.token.push(token);
+        self.f.push(self.f[parent] * edge_prob);
+        self.children[parent].push(id);
+        id
+    }
+
+    /// Number of nodes (including the root).
+    pub fn len(&self) -> usize {
+        self.f.len()
+    }
+
+    /// Whether only the root exists.
+    pub fn is_empty(&self) -> bool {
+        self.f.len() == 1
+    }
+
+    /// Path probability of node `v`.
+    pub fn f(&self, v: usize) -> f64 {
+        self.f[v]
+    }
+
+    /// Children of node `v`.
+    pub fn children(&self, v: usize) -> &[usize] {
+        &self.children[v]
+    }
+
+    /// Token at node `v`.
+    pub fn token(&self, v: usize) -> TokenId {
+        self.token[v]
+    }
+
+    /// Parent of node `v` (root has none).
+    pub fn parent(&self, v: usize) -> Option<usize> {
+        if v == 0 {
+            None
+        } else {
+            Some(self.parent[v])
+        }
+    }
+}
+
+/// Heap entry ordered by descending `f`, with deterministic tie-breaking.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Entry {
+    f: f64,
+    req: usize,
+    node: usize,
+}
+
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap on f; ties prefer lower (req, node) for determinism.
+        self.f
+            .total_cmp(&other.f)
+            .then_with(|| other.req.cmp(&self.req))
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Runs Algorithm 1.
+///
+/// * `trees` — per-request truncations of `T_inf` with known `f(v)`;
+/// * `requirements` — per-request `A(r_i)` (the sum `Σ_{v∈T_i} f(v)`,
+///   including the root's 1.0, must reach this);
+/// * `budget` — the paper's `B`: total nodes across all trees *including*
+///   each tree's root.
+///
+/// Returns one [`TokenTree`] per request, or [`OptimalError::Invalid`].
+pub fn optimal_trees(
+    trees: &[&ExplicitProbTree],
+    requirements: &[f64],
+    budget: u64,
+) -> Result<Vec<TokenTree>, OptimalError> {
+    assert_eq!(trees.len(), requirements.len());
+    let n = trees.len();
+    if (budget as usize) < n {
+        // Not even the roots fit.
+        return Err(OptimalError::Invalid);
+    }
+    let mut remaining = budget - n as u64; // roots consume one slot each
+
+    // Per-request output trees and node-id remapping.
+    let mut out: Vec<TokenTree> = trees.iter().map(|t| TokenTree::new(t.token(0))).collect();
+    let mut remap: Vec<std::collections::HashMap<usize, NodeId>> = (0..n)
+        .map(|i| {
+            let mut m = std::collections::HashMap::new();
+            m.insert(0usize, out[i].root());
+            m
+        })
+        .collect();
+    // Per-request frontier heaps, seeded with the root's children.
+    let mut heaps: Vec<BinaryHeap<Entry>> = trees
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            t.children(0)
+                .iter()
+                .map(|&c| Entry {
+                    f: t.f(c),
+                    req: i,
+                    node: c,
+                })
+                .collect()
+        })
+        .collect();
+    let mut n_acc: Vec<f64> = vec![1.0; n];
+
+    let add_node = |i: usize,
+                    node: usize,
+                    out: &mut Vec<TokenTree>,
+                    remap: &mut Vec<std::collections::HashMap<usize, NodeId>>,
+                    heaps: &mut Vec<BinaryHeap<Entry>>| {
+        let t = trees[i];
+        let parent = t.parent(node).expect("non-root");
+        let new_parent = remap[i][&parent];
+        let new_id = out[i]
+            .add_child(new_parent, t.token(node), t.f(node))
+            .expect("greedy selection preserves invariants");
+        remap[i].insert(node, new_id);
+        for &c in t.children(node) {
+            heaps[i].push(Entry {
+                f: t.f(c),
+                req: i,
+                node: c,
+            });
+        }
+    };
+
+    // Step 1: satisfy SLO requirements.
+    for i in 0..n {
+        while n_acc[i] < requirements[i] {
+            if remaining == 0 {
+                return Err(OptimalError::Invalid);
+            }
+            let Some(top) = heaps[i].pop() else {
+                // The finite truncation ran out of nodes: the remaining mass
+                // cannot reach the requirement.
+                return Err(OptimalError::Invalid);
+            };
+            n_acc[i] += top.f;
+            remaining -= 1;
+            add_node(i, top.node, &mut out, &mut remap, &mut heaps);
+        }
+    }
+
+    // Step 2: spend the rest globally.
+    let mut global: BinaryHeap<Entry> = BinaryHeap::new();
+    for h in &mut heaps {
+        global.extend(h.drain());
+    }
+    while remaining > 0 {
+        let Some(top) = global.pop() else { break };
+        remaining -= 1;
+        let t = trees[top.req];
+        let parent = t.parent(top.node).expect("non-root");
+        let new_parent = remap[top.req][&parent];
+        let new_id = out[top.req]
+            .add_child(new_parent, t.token(top.node), top.f)
+            .expect("greedy selection preserves invariants");
+        remap[top.req].insert(top.node, new_id);
+        for &c in t.children(top.node) {
+            global.push(Entry {
+                f: t.f(c),
+                req: top.req,
+                node: c,
+            });
+        }
+    }
+
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(x: u32) -> TokenId {
+        TokenId(x)
+    }
+
+    /// A small tree: root → a (0.7) → c (0.42); root → b (0.2).
+    fn chain_tree() -> ExplicitProbTree {
+        let mut tr = ExplicitProbTree::new(t(0));
+        let a = tr.add(0, t(1), 0.7);
+        tr.add(0, t(2), 0.2);
+        tr.add(a, t(3), 0.6); // f = 0.42
+        tr
+    }
+
+    #[test]
+    fn roots_alone_satisfy_trivial_requirements() {
+        let tree = chain_tree();
+        let out = optimal_trees(&[&tree], &[1.0], 1).expect("feasible");
+        assert_eq!(out[0].num_speculated(), 0);
+    }
+
+    #[test]
+    fn budget_below_root_count_is_invalid() {
+        let tree = chain_tree();
+        assert!(matches!(
+            optimal_trees(&[&tree, &tree], &[0.0, 0.0], 1),
+            Err(OptimalError::Invalid)
+        ));
+    }
+
+    #[test]
+    fn greedy_picks_highest_f_first() {
+        let tree = chain_tree();
+        // Budget 3 = root + 2 nodes: expect a (0.7) then c (0.42), not b (0.2).
+        let out = optimal_trees(&[&tree], &[0.0], 3).expect("feasible");
+        let probs: Vec<f64> = out[0]
+            .node_ids()
+            .skip(1)
+            .map(|i| out[0].path_prob(i))
+            .collect();
+        assert_eq!(probs, vec![0.7, 0.42]);
+        out[0].validate().expect("valid tree");
+    }
+
+    #[test]
+    fn slo_step_prioritizes_requirements_over_global_f() {
+        // Request 0 has huge f values; request 1 has a strict requirement
+        // that must be satisfied even though its nodes have lower f.
+        let mut big = ExplicitProbTree::new(t(0));
+        big.add(0, t(1), 0.9);
+        big.add(0, t(2), 0.85);
+        let mut small = ExplicitProbTree::new(t(0));
+        small.add(0, t(1), 0.5);
+        small.add(0, t(2), 0.3);
+        // Budget: 2 roots + 2 extra. Request 1 needs 1.0 + 0.5 + 0.3 = 1.8.
+        let out = optimal_trees(&[&big, &small], &[0.0, 1.8], 4).expect("feasible");
+        assert_eq!(out[1].num_speculated(), 2, "requirement forces both nodes");
+        assert_eq!(out[0].num_speculated(), 0, "budget exhausted by SLO step");
+    }
+
+    #[test]
+    fn infeasible_requirement_returns_invalid() {
+        let tree = chain_tree();
+        // Max achievable within budget 2 (root + 1 node): 1.0 + 0.7 = 1.7.
+        assert!(matches!(
+            optimal_trees(&[&tree], &[1.8], 2),
+            Err(OptimalError::Invalid)
+        ));
+    }
+
+    #[test]
+    fn requirement_beyond_tree_mass_is_invalid() {
+        let tree = chain_tree();
+        // Total mass = 1 + 0.7 + 0.2 + 0.42 = 2.32 < 2.5 even with budget 99.
+        assert!(matches!(
+            optimal_trees(&[&tree], &[2.5], 99),
+            Err(OptimalError::Invalid)
+        ));
+    }
+
+    #[test]
+    fn step2_spends_leftover_budget_globally() {
+        let mut a = ExplicitProbTree::new(t(0));
+        a.add(0, t(1), 0.9);
+        let mut b = ExplicitProbTree::new(t(0));
+        b.add(0, t(1), 0.4);
+        // Budget 3 = 2 roots + 1: the leftover goes to the 0.9 node.
+        let out = optimal_trees(&[&a, &b], &[0.0, 0.0], 3).expect("feasible");
+        assert_eq!(out[0].num_speculated(), 1);
+        assert_eq!(out[1].num_speculated(), 0);
+    }
+
+    /// Brute force: enumerate all prefix-closed subsets of ≤ `budget` nodes
+    /// and return the best total Σf over selections meeting all requirements.
+    fn brute_force_best(
+        trees: &[&ExplicitProbTree],
+        requirements: &[f64],
+        budget: u64,
+    ) -> Option<f64> {
+        // Collect all non-root nodes as (req, node) pairs.
+        let mut all: Vec<(usize, usize)> = Vec::new();
+        for (i, t) in trees.iter().enumerate() {
+            for v in 1..t.len() {
+                all.push((i, v));
+            }
+        }
+        let n = all.len();
+        assert!(n <= 20, "brute force bound");
+        let roots = trees.len() as u64;
+        let mut best: Option<f64> = None;
+        'subset: for mask in 0u32..(1 << n) {
+            let count = mask.count_ones() as u64 + roots;
+            if count > budget {
+                continue;
+            }
+            let chosen: Vec<(usize, usize)> = (0..n)
+                .filter(|&k| mask & (1 << k) != 0)
+                .map(|k| all[k])
+                .collect();
+            // Prefix-closure: every chosen node's parent is chosen or root.
+            for &(i, v) in &chosen {
+                let p = trees[i].parent(v).unwrap();
+                if p != 0 && !chosen.contains(&(i, p)) {
+                    continue 'subset;
+                }
+            }
+            // Requirements.
+            let mut sums = vec![1.0f64; trees.len()];
+            for &(i, v) in &chosen {
+                sums[i] += trees[i].f(v);
+            }
+            if sums.iter().zip(requirements).any(|(s, r)| s < r) {
+                continue;
+            }
+            let total: f64 = sums.iter().sum();
+            best = Some(best.map_or(total, |b: f64| b.max(total)));
+        }
+        best
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_instances() {
+        // Deterministic family of small instances.
+        for seed in 0..30u64 {
+            let mut trees_owned = Vec::new();
+            let n_req = 1 + (seed % 3) as usize;
+            for i in 0..n_req {
+                let mut tr = ExplicitProbTree::new(t(0));
+                let h0 = simllm::hash::combine(seed, i as u64);
+                let n_nodes = 2 + (simllm::hash::seed_stream(h0, 0) % 4) as usize;
+                for k in 0..n_nodes {
+                    let parent =
+                        (simllm::hash::seed_stream(h0, 10 + k as u64) % tr.len() as u64) as usize;
+                    let edge = 0.2
+                        + 0.7
+                            * simllm::hash::unit_f64(simllm::hash::seed_stream(h0, 20 + k as u64));
+                    tr.add(parent, t(100 + k as u32), edge.min(0.95));
+                }
+                trees_owned.push(tr);
+            }
+            let tree_refs: Vec<&ExplicitProbTree> = trees_owned.iter().collect();
+            let requirements: Vec<f64> = (0..n_req)
+                .map(|i| {
+                    1.0 + 0.5
+                        * simllm::hash::unit_f64(simllm::hash::seed_stream(seed, 99 + i as u64))
+                })
+                .collect();
+            let budget = n_req as u64 + 2 + seed % 3;
+
+            let alg = optimal_trees(&tree_refs, &requirements, budget);
+            let brute = brute_force_best(&tree_refs, &requirements, budget);
+            match (alg, brute) {
+                (Ok(out), Some(best)) => {
+                    let total: f64 =
+                        n_req as f64 + out.iter().map(|t| t.expected_accepted()).sum::<f64>();
+                    assert!(
+                        (total - best).abs() < 1e-9,
+                        "seed {seed}: algorithm {total} != brute force {best}"
+                    );
+                }
+                (Err(OptimalError::Invalid), None) => {} // Both infeasible.
+                (a, b) => panic!("seed {seed}: feasibility mismatch: alg {a:?} vs brute {b:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! The SLO-customized scheduler (paper Fig. 6, §5).
+//!
+//! Holds the profiled token budgets, the adaptive `(d, w)` controller and
+//! the iteration-latency estimate (`t_spec` in eq. 2, tracked as an EMA of
+//! observed iteration latencies), and computes per-request requirements for
+//! each decoding iteration.
+
+use crate::adaptive::AdaptiveController;
+use crate::formulation::slo_requirement;
+use roofline::TokenBudgetProfile;
+use serving::LiveRequest;
+use spectree::SpecParams;
+
+/// Scheduler configuration and state.
+#[derive(Debug, Clone)]
+pub struct SloCustomizedScheduler {
+    /// Adaptive `(d, w)` controller (eq. 8–9).
+    pub controller: AdaptiveController,
+    /// Verification token budget per iteration (the paper's `B`).
+    pub verify_budget: u64,
+    /// Per-request token cap during SLO-customized selection.
+    pub n_max: usize,
+    /// Use the adaptive controller (true) or fixed parameters (ablations).
+    pub adaptive: bool,
+    /// Parameters used when `adaptive` is false.
+    pub static_params: SpecParams,
+    /// Disable the SLO-customized phase (ablation: throughput-only).
+    pub slo_selection: bool,
+    /// EMA of observed iteration latency (ms), the `t_spec` estimate.
+    ema_iter_ms: f64,
+    /// EMA smoothing factor for new observations.
+    alpha: f64,
+}
+
+impl SloCustomizedScheduler {
+    /// Builds a scheduler from a hardware profile.
+    ///
+    /// `initial_iter_ms` seeds the `t_spec` estimate (use the testbed's
+    /// baseline decode latency).
+    pub fn from_profile(profile: &TokenBudgetProfile, initial_iter_ms: f64) -> Self {
+        Self {
+            controller: AdaptiveController::new(profile.verify_budget, profile.spec_budget),
+            verify_budget: profile.verify_budget,
+            n_max: 8,
+            adaptive: true,
+            static_params: SpecParams::new(4, 2),
+            slo_selection: true,
+            ema_iter_ms: initial_iter_ms,
+            alpha: 0.3,
+        }
+    }
+
+    /// `(d, w)` for `n` active decoding requests.
+    pub fn spec_params(&self, n: usize) -> SpecParams {
+        if self.adaptive {
+            self.controller.params(n)
+        } else {
+            self.static_params
+        }
+    }
+
+    /// Current `t_spec` (predicted iteration latency, ms).
+    pub fn t_spec_estimate(&self) -> f64 {
+        self.ema_iter_ms
+    }
+
+    /// Folds an observed iteration latency into the estimate.
+    pub fn observe_iteration(&mut self, iter_ms: f64) {
+        if iter_ms > 0.0 {
+            self.ema_iter_ms = (1.0 - self.alpha) * self.ema_iter_ms + self.alpha * iter_ms;
+        }
+    }
+
+    /// Computes `A_cap(r)` for each decoding request.
+    ///
+    /// The returned requirement follows the paper's root-inclusive
+    /// convention (Algorithm 2 initializes the per-request acceptance
+    /// estimate at 1.0 for the guaranteed bonus token), so a requirement
+    /// below 1.0 needs no speculated tokens.
+    pub fn requirements(&self, requests: &[&LiveRequest], now_ms: f64, depth: u32) -> Vec<f64> {
+        if !self.slo_selection {
+            return vec![0.0; requests.len()];
+        }
+        requests
+            .iter()
+            .map(|r| {
+                slo_requirement(
+                    r.decode_latency_ms(now_ms),
+                    self.ema_iter_ms,
+                    r.generated(),
+                    r.spec.tpot_slo_ms,
+                    depth,
+                )
+                .capped
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::{Category, RequestSpec};
+
+    fn profile() -> TokenBudgetProfile {
+        TokenBudgetProfile {
+            verify_budget: 160,
+            spec_budget: 256,
+            verify_latency_ms: 33.0,
+            draft_step_latency_ms: 2.0,
+        }
+    }
+
+    fn live(slo: f64, generated: u32) -> LiveRequest {
+        let mut r = LiveRequest::new(RequestSpec {
+            id: 1,
+            category: Category::Chatbot,
+            arrival_ms: 0.0,
+            prompt_len: 4,
+            output_len: 100,
+            tpot_slo_ms: slo,
+            stream_seed: 5,
+        });
+        r.decode_start_ms = Some(0.0);
+        for i in 0..generated {
+            r.advance_prefill(if i == 0 { 4 } else { 0 });
+            r.push_token(simllm::TokenId(10 + i));
+        }
+        r
+    }
+
+    #[test]
+    fn ema_tracks_observations() {
+        let mut s = SloCustomizedScheduler::from_profile(&profile(), 30.0);
+        assert_eq!(s.t_spec_estimate(), 30.0);
+        s.observe_iteration(50.0);
+        assert!((s.t_spec_estimate() - 36.0).abs() < 1e-9);
+        s.observe_iteration(0.0); // ignored
+        assert!((s.t_spec_estimate() - 36.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn requirements_rank_tight_slos_higher() {
+        let s = SloCustomizedScheduler::from_profile(&profile(), 30.0);
+        let tight = live(25.0, 2);
+        let loose = live(150.0, 2);
+        // Both requests 100 ms into decoding.
+        let reqs = s.requirements(&[&tight, &loose], 100.0, 4);
+        assert!(reqs[0] > reqs[1], "tight {} !> loose {}", reqs[0], reqs[1]);
+    }
+
+    #[test]
+    fn ablation_disables_slo_phase() {
+        let mut s = SloCustomizedScheduler::from_profile(&profile(), 30.0);
+        s.slo_selection = false;
+        let r = live(25.0, 0);
+        assert_eq!(s.requirements(&[&r], 100.0, 4), vec![0.0]);
+    }
+
+    #[test]
+    fn static_mode_ignores_load() {
+        let mut s = SloCustomizedScheduler::from_profile(&profile(), 30.0);
+        s.adaptive = false;
+        assert_eq!(s.spec_params(1), s.spec_params(100));
+        assert_eq!(s.spec_params(1), SpecParams::new(4, 2));
+    }
+
+    #[test]
+    fn adaptive_mode_shrinks_under_load() {
+        let s = SloCustomizedScheduler::from_profile(&profile(), 30.0);
+        assert!(s.spec_params(100).depth < s.spec_params(1).depth);
+    }
+}

@@ -1,0 +1,332 @@
+//! Algorithm 2: SLO-customized + throughput-optimized token selection
+//! (paper §4.3, steps 2–3).
+//!
+//! Given each request's beam-search candidate tree (step 1) and its capped
+//! requirement `A_cap(r)`, selection proceeds in two phases:
+//!
+//! * **SLO-customized** — requests are processed in *descending* requirement
+//!   order (slower requests first); each greedily takes its highest-
+//!   probability candidate nodes until the cumulative approximated
+//!   acceptance (starting at 1.0 for the root/bonus token) reaches
+//!   `A_cap(r)`, a per-request cap `n_max` is hit, or the budget runs out.
+//! * **Throughput-optimized** — remaining budget goes to the globally
+//!   highest-probability unselected candidates across all requests.
+//!
+//! Selections are per-tree prefixes of the descending-probability order, so
+//! they are always connected (Appendix B) — enforced here by construction
+//! and checked in tests.
+
+use spectree::{NodeId, TokenTree};
+use std::collections::BinaryHeap;
+
+/// Input to one selection round.
+#[derive(Debug)]
+pub struct ScsdInput<'a> {
+    /// Per-request candidate trees (roots excluded from budget accounting).
+    pub candidates: &'a [&'a TokenTree],
+    /// Per-request capped requirements `A_cap(r_i)`.
+    pub requirements: &'a [f64],
+    /// Total speculated-token budget across requests (excluding roots).
+    pub budget: u64,
+    /// Per-request cap on tokens taken during the SLO-customized phase,
+    /// preventing low-probability nodes from monopolizing the budget.
+    pub n_max: usize,
+    /// Marginal-utility cutoff for the throughput-optimized phase: nodes
+    /// whose approximated path probability falls below this are not worth
+    /// their verification latency and are left unselected even when budget
+    /// remains. The SLO-customized phase ignores the cutoff (SLO pressure
+    /// justifies low-probability tokens). Set to 0.0 to fill the budget
+    /// unconditionally (the literal Algorithm 2).
+    pub min_phase2_prob: f64,
+}
+
+/// Output of one selection round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScsdOutput {
+    /// Selected candidate-tree node ids per request (connected by
+    /// construction; pass to [`TokenTree::induced_subtree`]).
+    pub selections: Vec<Vec<NodeId>>,
+    /// Per-request cumulative acceptance estimate (1.0 + Σ selected probs).
+    pub estimated_accept: Vec<f64>,
+    /// Whether each request's `A_cap` was reached during the SLO phase.
+    pub slo_satisfied: Vec<bool>,
+    /// Budget left after both phases.
+    pub budget_left: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct GlobalEntry {
+    prob: f64,
+    req: usize,
+    rank: usize,
+}
+
+impl Eq for GlobalEntry {}
+
+impl Ord for GlobalEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.prob
+            .total_cmp(&other.prob)
+            .then_with(|| other.req.cmp(&self.req))
+            .then_with(|| other.rank.cmp(&self.rank))
+    }
+}
+
+impl PartialOrd for GlobalEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Runs both selection phases.
+///
+/// # Panics
+///
+/// Panics if input slices disagree in length.
+pub fn select_tokens(input: &ScsdInput<'_>) -> ScsdOutput {
+    let n = input.candidates.len();
+    assert_eq!(n, input.requirements.len(), "one requirement per request");
+    let mut budget = input.budget;
+
+    // Per-request descending-probability candidate order (prefix = connected).
+    let ordered: Vec<Vec<NodeId>> = input
+        .candidates
+        .iter()
+        .map(|t| t.speculated_by_prob_desc())
+        .collect();
+    let mut taken: Vec<usize> = vec![0; n]; // prefix length taken per request
+    let mut estimated: Vec<f64> = vec![1.0; n]; // root/bonus counts 1.0
+    let mut slo_satisfied: Vec<bool> = vec![false; n];
+
+    // Phase 1: SLO-customized selection, slower requests first (larger A).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        input.requirements[b]
+            .total_cmp(&input.requirements[a])
+            .then_with(|| a.cmp(&b))
+    });
+    for &i in &order {
+        while estimated[i] < input.requirements[i]
+            && taken[i] < input.n_max
+            && taken[i] < ordered[i].len()
+            && budget > 0
+        {
+            let node = ordered[i][taken[i]];
+            estimated[i] += input.candidates[i].path_prob(node);
+            taken[i] += 1;
+            budget -= 1;
+        }
+        slo_satisfied[i] = estimated[i] >= input.requirements[i];
+    }
+
+    // Phase 2: throughput-optimized global selection.
+    let mut heap: BinaryHeap<GlobalEntry> = BinaryHeap::new();
+    for i in 0..n {
+        if taken[i] < ordered[i].len() {
+            heap.push(GlobalEntry {
+                prob: input.candidates[i].path_prob(ordered[i][taken[i]]),
+                req: i,
+                rank: taken[i],
+            });
+        }
+    }
+    while budget > 0 {
+        let Some(top) = heap.pop() else { break };
+        if top.prob < input.min_phase2_prob {
+            break; // All remaining candidates are below the utility cutoff.
+        }
+        let i = top.req;
+        estimated[i] += top.prob;
+        taken[i] += 1;
+        budget -= 1;
+        if taken[i] < ordered[i].len() {
+            heap.push(GlobalEntry {
+                prob: input.candidates[i].path_prob(ordered[i][taken[i]]),
+                req: i,
+                rank: taken[i],
+            });
+        }
+    }
+
+    let selections: Vec<Vec<NodeId>> = (0..n).map(|i| ordered[i][..taken[i]].to_vec()).collect();
+    ScsdOutput {
+        selections,
+        estimated_accept: estimated,
+        slo_satisfied,
+        budget_left: budget,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simllm::TokenId;
+
+    fn t(x: u32) -> TokenId {
+        TokenId(x)
+    }
+
+    /// Builds the paper's Fig. 5 running example for request r0:
+    /// root → t1 (0.7) → t3 (0.42) → t5 (0.294)
+    ///      → t2 (0.2) ; t3 → t6 (0.21 under t2? see figure) …
+    ///
+    /// We reproduce the probabilities used in the figure.
+    fn fig5_r0() -> TokenTree {
+        let mut tree = TokenTree::new(t(0));
+        let t1 = tree.add_child(tree.root(), t(1), 0.7).unwrap();
+        tree.add_child(tree.root(), t(2), 0.2).unwrap();
+        let t3 = tree.add_child(t1, t(3), 0.42).unwrap();
+        tree.add_child(t1, t(4), 0.21).unwrap();
+        tree.add_child(t3, t(5), 0.294).unwrap();
+        tree.add_child(t3, t(6), 0.126).unwrap();
+        tree
+    }
+
+    fn fig5_r1() -> TokenTree {
+        let mut tree = TokenTree::new(t(0));
+        let t1 = tree.add_child(tree.root(), t(1), 0.5).unwrap();
+        let t2 = tree.add_child(tree.root(), t(2), 0.4).unwrap();
+        tree.add_child(t1, t(3), 0.35).unwrap();
+        tree.add_child(t1, t(4), 0.24).unwrap();
+        tree.add_child(t2, t(5), 0.14).unwrap();
+        tree.add_child(t2, t(6), 0.139).unwrap();
+        tree
+    }
+
+    #[test]
+    fn reproduces_fig5_selection() {
+        // Fig. 5: budget 8 (2 roots + 6 speculated), A_cap(r0) = 0.6 → but
+        // the figure counts acceptance *without* the root's 1.0 (its A_cap
+        // values are fractions of a token). We therefore pass requirements
+        // as 1 + A_cap to account for our root-inclusive convention.
+        let r0 = fig5_r0();
+        let r1 = fig5_r1();
+        let input = ScsdInput {
+            candidates: &[&r0, &r1],
+            requirements: &[1.6, 1.8],
+            budget: 6,
+            n_max: 16,
+            min_phase2_prob: 0.0,
+        };
+        let out = select_tokens(&input);
+        // SLO phase: r1 (larger A) takes t1 (0.5) + t2 (0.4); r0 takes t1 (0.7).
+        // Throughput phase: remaining 3 go to 0.42 (r0), 0.35 (r1), 0.294 (r0).
+        assert_eq!(out.selections[0].len(), 3);
+        assert_eq!(out.selections[1].len(), 3);
+        assert!(out.slo_satisfied.iter().all(|&s| s));
+        assert_eq!(out.budget_left, 0);
+        let probs0: Vec<f64> = out.selections[0].iter().map(|&n| r0.path_prob(n)).collect();
+        assert_eq!(probs0, vec![0.7, 0.42, 0.294]);
+        let probs1: Vec<f64> = out.selections[1].iter().map(|&n| r1.path_prob(n)).collect();
+        assert_eq!(probs1, vec![0.5, 0.4, 0.35]);
+    }
+
+    #[test]
+    fn selections_are_connected() {
+        let r0 = fig5_r0();
+        let r1 = fig5_r1();
+        for budget in 0..=12u64 {
+            let input = ScsdInput {
+                candidates: &[&r0, &r1],
+                requirements: &[1.9, 1.7],
+                budget,
+                n_max: 4,
+                min_phase2_prob: 0.0,
+            };
+            let out = select_tokens(&input);
+            for (tree, sel) in [(&r0, &out.selections[0]), (&r1, &out.selections[1])] {
+                tree.induced_subtree(sel).expect("connected selection");
+            }
+        }
+    }
+
+    #[test]
+    fn n_max_caps_slo_phase_but_not_throughput_phase() {
+        let r0 = fig5_r0();
+        // Huge requirement, tiny n_max: the SLO phase stops at 1 token.
+        let input = ScsdInput {
+            candidates: &[&r0],
+            requirements: &[5.0],
+            budget: 2,
+            n_max: 1,
+            min_phase2_prob: 0.0,
+        };
+        let out = select_tokens(&input);
+        assert!(!out.slo_satisfied[0]);
+        // Throughput phase still spends the leftover token.
+        assert_eq!(out.selections[0].len(), 2);
+    }
+
+    #[test]
+    fn budget_is_never_exceeded() {
+        let r0 = fig5_r0();
+        let r1 = fig5_r1();
+        for budget in 0..=12u64 {
+            let input = ScsdInput {
+                candidates: &[&r0, &r1],
+                requirements: &[2.0, 2.0],
+                budget,
+                n_max: 16,
+                min_phase2_prob: 0.0,
+            };
+            let out = select_tokens(&input);
+            let total: usize = out.selections.iter().map(Vec::len).sum();
+            assert!(total as u64 <= budget);
+            assert_eq!(out.budget_left, budget - total as u64);
+        }
+    }
+
+    #[test]
+    fn slower_requests_are_served_first_under_scarcity() {
+        let r0 = fig5_r0(); // high-probability nodes
+        let r1 = fig5_r1(); // slower request (larger A)
+        let input = ScsdInput {
+            candidates: &[&r0, &r1],
+            requirements: &[1.3, 1.9],
+            budget: 2,
+            n_max: 16,
+            min_phase2_prob: 0.0,
+        };
+        let out = select_tokens(&input);
+        // r1's requirement (1.9) is processed first, consuming both tokens.
+        assert_eq!(out.selections[1].len(), 2);
+        assert_eq!(out.selections[0].len(), 0);
+        assert!(out.slo_satisfied[1]);
+        assert!(!out.slo_satisfied[0]);
+    }
+
+    #[test]
+    fn zero_requirements_fall_through_to_throughput_phase() {
+        let r0 = fig5_r0();
+        let input = ScsdInput {
+            candidates: &[&r0],
+            requirements: &[0.0],
+            budget: 3,
+            n_max: 16,
+            min_phase2_prob: 0.0,
+        };
+        let out = select_tokens(&input);
+        assert_eq!(out.selections[0].len(), 3);
+        let probs: Vec<f64> = out.selections[0].iter().map(|&n| r0.path_prob(n)).collect();
+        assert_eq!(probs, vec![0.7, 0.42, 0.294], "highest-prob first");
+    }
+
+    #[test]
+    fn estimated_accept_matches_selected_mass() {
+        let r0 = fig5_r0();
+        let input = ScsdInput {
+            candidates: &[&r0],
+            requirements: &[1.5],
+            budget: 4,
+            n_max: 16,
+            min_phase2_prob: 0.0,
+        };
+        let out = select_tokens(&input);
+        let expect: f64 = 1.0
+            + out.selections[0]
+                .iter()
+                .map(|&n| r0.path_prob(n))
+                .sum::<f64>();
+        assert!((out.estimated_accept[0] - expect).abs() < 1e-12);
+    }
+}

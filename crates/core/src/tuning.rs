@@ -1,0 +1,122 @@
+//! Grid search for the adaptive controller's constants (paper §5.2:
+//! "`c₁` and `c₂` are tunable constants, selected via grid search").
+//!
+//! The search serves a short calibration workload for each `(c₁, c₂)` cell
+//! and scores it by SLO attainment (goodput breaking ties), returning the
+//! best constants. Deterministic and CPU-only, it reproduces the paper's
+//! offline tuning step as a first-class library feature.
+
+use crate::engine::{AdaServeEngine, AdaServeOptions};
+use serving::{run, RunOptions, SystemConfig};
+use workload::Workload;
+
+/// One evaluated grid cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TuningCell {
+    /// Depth-formula constant (`c₁`).
+    pub c1: f64,
+    /// Width-formula constant (`c₂`).
+    pub c2: f64,
+    /// SLO attainment achieved on the calibration workload (%).
+    pub attainment_pct: f64,
+    /// Goodput achieved (tokens/s).
+    pub goodput_tps: f64,
+}
+
+/// Result of a grid search.
+#[derive(Debug, Clone)]
+pub struct TuningReport {
+    /// All evaluated cells, in grid order.
+    pub cells: Vec<TuningCell>,
+    /// Index of the winning cell.
+    pub best: usize,
+}
+
+impl TuningReport {
+    /// The winning cell.
+    pub fn best_cell(&self) -> TuningCell {
+        self.cells[self.best]
+    }
+}
+
+/// Grid-searches `(c₁, c₂)` on a calibration workload.
+///
+/// `make_config` builds a fresh deployment per cell (engines are stateful);
+/// the same workload is served for every cell, so scores are comparable.
+pub fn grid_search_constants(
+    make_config: impl Fn() -> SystemConfig,
+    workload: &Workload,
+    c1_grid: &[f64],
+    c2_grid: &[f64],
+) -> TuningReport {
+    assert!(
+        !c1_grid.is_empty() && !c2_grid.is_empty(),
+        "non-empty grids required"
+    );
+    let mut cells = Vec::with_capacity(c1_grid.len() * c2_grid.len());
+    for &c1 in c1_grid {
+        for &c2 in c2_grid {
+            let mut engine =
+                AdaServeEngine::with_options(make_config(), AdaServeOptions::default());
+            engine.scheduler_mut().controller.c1 = c1;
+            engine.scheduler_mut().controller.c2 = c2;
+            let result = run(&mut engine, workload, RunOptions::default())
+                .expect("calibration run completes");
+            let report = result.report();
+            cells.push(TuningCell {
+                c1,
+                c2,
+                attainment_pct: report.attainment_pct,
+                goodput_tps: report.goodput_tps,
+            });
+        }
+    }
+    let best = cells
+        .iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| {
+            a.attainment_pct
+                .total_cmp(&b.attainment_pct)
+                .then(a.goodput_tps.total_cmp(&b.goodput_tps))
+        })
+        .map(|(i, _)| i)
+        .expect("non-empty grid");
+    TuningReport { cells, best }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::WorkloadBuilder;
+
+    #[test]
+    fn grid_search_returns_best_cell() {
+        let config = SystemConfig::llama70b(3);
+        let wl = WorkloadBuilder::new(5, config.baseline_ms)
+            .target_rps(2.0)
+            .duration_ms(6_000.0)
+            .build();
+        let report =
+            grid_search_constants(|| SystemConfig::llama70b(3), &wl, &[0.0, 1.0], &[0.0, 1.0]);
+        assert_eq!(report.cells.len(), 4);
+        let best = report.best_cell();
+        for cell in &report.cells {
+            assert!(
+                best.attainment_pct >= cell.attainment_pct
+                    || (best.attainment_pct == cell.attainment_pct
+                        && best.goodput_tps >= cell.goodput_tps)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_grid_rejected() {
+        let config = SystemConfig::llama70b(3);
+        let wl = WorkloadBuilder::new(5, config.baseline_ms)
+            .target_rps(1.0)
+            .duration_ms(2_000.0)
+            .build();
+        let _ = grid_search_constants(|| SystemConfig::llama70b(3), &wl, &[], &[1.0]);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests for Algorithms 1 and 2.
+
+use adaserve_core::{optimal_trees, select_tokens, ExplicitProbTree, ScsdInput};
+use proptest::prelude::*;
+use simllm::TokenId;
+use spectree::TokenTree;
+
+/// Random candidate token tree with valid strictly-decreasing path probs.
+fn arb_candidate_tree() -> impl Strategy<Value = TokenTree> {
+    prop::collection::vec((0usize..12, 2u32..300, 0.05f64..0.95), 1..16).prop_map(|ops| {
+        let mut tree = TokenTree::new(TokenId(1));
+        for (pidx, token, frac) in ops {
+            let parent = spectree::NodeId((pidx % tree.len()) as u32);
+            let prob = tree.path_prob(parent) * frac;
+            let _ = tree.add_child(parent, TokenId(token), prob);
+        }
+        tree
+    })
+}
+
+/// Random explicit probability tree for Algorithm 1.
+fn arb_prob_tree() -> impl Strategy<Value = ExplicitProbTree> {
+    prop::collection::vec((0usize..10, 0.1f64..0.9), 0..10).prop_map(|ops| {
+        let mut tree = ExplicitProbTree::new(TokenId(0));
+        for (k, (pidx, edge)) in ops.into_iter().enumerate() {
+            let parent = pidx % tree.len();
+            tree.add(parent, TokenId(100 + k as u32), edge);
+        }
+        tree
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn scsd_respects_budget_and_connectivity(
+        trees in prop::collection::vec(arb_candidate_tree(), 1..6),
+        reqs in prop::collection::vec(0.0f64..4.0, 1..6),
+        budget in 0u64..40,
+        n_max in 1usize..12,
+        cutoff in 0.0f64..0.3,
+    ) {
+        let n = trees.len().min(reqs.len());
+        let trees = &trees[..n];
+        let reqs = &reqs[..n];
+        let refs: Vec<&TokenTree> = trees.iter().collect();
+        let out = select_tokens(&ScsdInput {
+            candidates: &refs,
+            requirements: reqs,
+            budget,
+            n_max,
+            min_phase2_prob: cutoff,
+        });
+        let total: usize = out.selections.iter().map(Vec::len).sum();
+        prop_assert!(total as u64 <= budget);
+        for (tree, sel) in refs.iter().zip(&out.selections) {
+            prop_assert!(tree.induced_subtree(sel).is_ok(), "disconnected selection");
+        }
+        // Estimated acceptance equals 1 + selected mass.
+        for (tree, (sel, est)) in
+            refs.iter().zip(out.selections.iter().zip(&out.estimated_accept))
+        {
+            let mass: f64 = sel.iter().map(|&id| tree.path_prob(id)).sum();
+            prop_assert!((est - (1.0 + mass)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn scsd_budget_monotonicity(
+        tree in arb_candidate_tree(),
+        req in 0.0f64..4.0,
+    ) {
+        // More budget never reduces the estimated acceptance.
+        let refs = [&tree];
+        let mut prev = 0.0f64;
+        for budget in 0..12u64 {
+            let out = select_tokens(&ScsdInput {
+                candidates: &refs,
+                requirements: &[req],
+                budget,
+                n_max: 64,
+                min_phase2_prob: 0.0,
+            });
+            prop_assert!(out.estimated_accept[0] >= prev - 1e-12);
+            prev = out.estimated_accept[0];
+        }
+    }
+
+    #[test]
+    fn algorithm1_output_is_valid_and_within_budget(
+        trees in prop::collection::vec(arb_prob_tree(), 1..4),
+        budget in 0u64..24,
+    ) {
+        let refs: Vec<&ExplicitProbTree> = trees.iter().collect();
+        let reqs = vec![1.0; refs.len()];
+        match optimal_trees(&refs, &reqs, budget) {
+            Ok(out) => {
+                let total: usize = out.iter().map(|t| t.len()).sum();
+                prop_assert!(total as u64 <= budget.max(refs.len() as u64));
+                for t in &out {
+                    prop_assert!(t.validate().is_ok());
+                }
+            }
+            Err(_) => {
+                // INVALID only when roots alone exceed the budget (req = 1.0
+                // is satisfied by the root).
+                prop_assert!((budget as usize) < refs.len());
+            }
+        }
+    }
+
+    #[test]
+    fn algorithm1_monotone_in_budget(
+        trees in prop::collection::vec(arb_prob_tree(), 1..3),
+        extra in 0u64..8,
+    ) {
+        // Objective value never decreases with more budget.
+        let refs: Vec<&ExplicitProbTree> = trees.iter().collect();
+        let reqs = vec![1.0; refs.len()];
+        let b0 = refs.len() as u64;
+        let total = |out: &[TokenTree]| -> f64 {
+            out.iter().map(|t| t.expected_accepted()).sum()
+        };
+        let small = optimal_trees(&refs, &reqs, b0).map(|o| total(&o)).unwrap_or(0.0);
+        let large =
+            optimal_trees(&refs, &reqs, b0 + extra).map(|o| total(&o)).unwrap_or(0.0);
+        prop_assert!(large >= small - 1e-12);
+    }
+}

@@ -1,0 +1,121 @@
+//! Per-request telemetry records.
+
+use workload::Category;
+
+/// Everything measured about one completed request.
+///
+/// Timestamps are simulation-clock milliseconds. A record is produced once,
+/// when the request emits its final token.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestRecord {
+    /// Workload request id.
+    pub id: u64,
+    /// Application category.
+    pub category: Category,
+    /// The TPOT SLO this request carried, in milliseconds.
+    pub tpot_slo_ms: f64,
+    /// Arrival time.
+    pub arrival_ms: f64,
+    /// Time the first decode iteration started (prefill complete).
+    pub decode_start_ms: f64,
+    /// Time the final output token was emitted.
+    pub completion_ms: f64,
+    /// Output tokens generated.
+    pub output_tokens: u32,
+    /// Speculated tokens accepted across all verifications (0 for
+    /// non-speculative engines).
+    pub accepted_tokens: u64,
+    /// Number of verification (or plain decode) iterations this request
+    /// participated in.
+    pub verify_steps: u64,
+    /// Times the request was preempted / evicted and later resumed.
+    pub preemptions: u32,
+}
+
+impl RequestRecord {
+    /// Average decode per-token latency (the paper's attainment criterion).
+    ///
+    /// The paper's formulation measures latency "starting from the first
+    /// decoding step" (§3), so TTFT/prefill is excluded here and reported
+    /// separately by [`RequestRecord::ttft_ms`].
+    pub fn avg_tpot_ms(&self) -> f64 {
+        if self.output_tokens == 0 {
+            return 0.0;
+        }
+        (self.completion_ms - self.decode_start_ms) / f64::from(self.output_tokens)
+    }
+
+    /// Time to first token (arrival → end of the first decode iteration is
+    /// approximated as arrival → decode start, i.e. queueing + prefill).
+    pub fn ttft_ms(&self) -> f64 {
+        self.decode_start_ms - self.arrival_ms
+    }
+
+    /// End-to-end latency.
+    pub fn e2e_ms(&self) -> f64 {
+        self.completion_ms - self.arrival_ms
+    }
+
+    /// Whether the request met its TPOT SLO.
+    pub fn attained(&self) -> bool {
+        self.avg_tpot_ms() <= self.tpot_slo_ms
+    }
+
+    /// Mean accepted tokens per verification step (Fig. 12's quantity).
+    pub fn mean_accepted_per_verify(&self) -> f64 {
+        if self.verify_steps == 0 {
+            return 0.0;
+        }
+        self.accepted_tokens as f64 / self.verify_steps as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(tpot: f64, slo: f64) -> RequestRecord {
+        RequestRecord {
+            id: 1,
+            category: Category::Chatbot,
+            tpot_slo_ms: slo,
+            arrival_ms: 0.0,
+            decode_start_ms: 100.0,
+            completion_ms: 100.0 + tpot * 10.0,
+            output_tokens: 10,
+            accepted_tokens: 15,
+            verify_steps: 5,
+            preemptions: 0,
+        }
+    }
+
+    #[test]
+    fn avg_tpot_divides_decode_span() {
+        let r = record(42.0, 50.0);
+        assert!((r.avg_tpot_ms() - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn attainment_compares_to_slo() {
+        assert!(record(42.0, 50.0).attained());
+        assert!(!record(51.0, 50.0).attained());
+        assert!(record(50.0, 50.0).attained(), "boundary is inclusive");
+    }
+
+    #[test]
+    fn ttft_is_queue_plus_prefill() {
+        assert!((record(42.0, 50.0).ttft_ms() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accepted_per_verify() {
+        assert!((record(42.0, 50.0).mean_accepted_per_verify() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_output_token_requests_do_not_divide_by_zero() {
+        let mut r = record(42.0, 50.0);
+        r.output_tokens = 0;
+        assert_eq!(r.avg_tpot_ms(), 0.0);
+    }
+}

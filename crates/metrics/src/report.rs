@@ -1,0 +1,200 @@
+//! Aggregated SLO reports (attainment, goodput, per-category detail).
+
+use crate::record::RequestRecord;
+use crate::stats::{mean, percentile};
+use workload::Category;
+
+/// Per-category aggregation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CategoryReport {
+    /// The category.
+    pub category: Category,
+    /// Completed requests.
+    pub requests: usize,
+    /// Requests that met their TPOT SLO.
+    pub attained: usize,
+    /// Mean of per-request average TPOT (ms).
+    pub mean_tpot_ms: f64,
+    /// p99 of per-request average TPOT (ms).
+    pub p99_tpot_ms: f64,
+    /// Violation rate in percent.
+    pub violation_pct: f64,
+}
+
+/// A full report over one serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloReport {
+    /// Completed requests.
+    pub requests: usize,
+    /// Requests that met their SLO.
+    pub attained: usize,
+    /// SLO attainment in percent (the paper's headline metric).
+    pub attainment_pct: f64,
+    /// Goodput: output tokens of attained requests / makespan (tokens/s).
+    pub goodput_tps: f64,
+    /// Throughput: all output tokens / makespan (tokens/s).
+    pub throughput_tps: f64,
+    /// Wall-clock span of the run in milliseconds.
+    pub makespan_ms: f64,
+    /// Mean accepted speculated tokens per verification step (Fig. 12).
+    pub mean_accepted_per_verify: f64,
+    /// Mean TTFT (ms).
+    pub mean_ttft_ms: f64,
+    /// Per-category breakdown, in Table 2 order (empty categories omitted).
+    pub per_category: Vec<CategoryReport>,
+}
+
+impl SloReport {
+    /// Builds a report from completed-request records.
+    pub fn from_records(records: &[RequestRecord]) -> Self {
+        if records.is_empty() {
+            return Self {
+                requests: 0,
+                attained: 0,
+                attainment_pct: 0.0,
+                goodput_tps: 0.0,
+                throughput_tps: 0.0,
+                makespan_ms: 0.0,
+                mean_accepted_per_verify: 0.0,
+                mean_ttft_ms: 0.0,
+                per_category: Vec::new(),
+            };
+        }
+        let start = records
+            .iter()
+            .map(|r| r.arrival_ms)
+            .fold(f64::INFINITY, f64::min);
+        let end = records
+            .iter()
+            .map(|r| r.completion_ms)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let makespan_ms = (end - start).max(1e-9);
+        let attained_records: Vec<&RequestRecord> =
+            records.iter().filter(|r| r.attained()).collect();
+        let good_tokens: u64 = attained_records
+            .iter()
+            .map(|r| u64::from(r.output_tokens))
+            .sum();
+        let all_tokens: u64 = records.iter().map(|r| u64::from(r.output_tokens)).sum();
+        let total_accepted: u64 = records.iter().map(|r| r.accepted_tokens).sum();
+        let total_verifies: u64 = records.iter().map(|r| r.verify_steps).sum();
+
+        let mut per_category = Vec::new();
+        for category in Category::ALL {
+            let rs: Vec<&RequestRecord> =
+                records.iter().filter(|r| r.category == category).collect();
+            if rs.is_empty() {
+                continue;
+            }
+            let tpots: Vec<f64> = rs.iter().map(|r| r.avg_tpot_ms()).collect();
+            let attained = rs.iter().filter(|r| r.attained()).count();
+            per_category.push(CategoryReport {
+                category,
+                requests: rs.len(),
+                attained,
+                mean_tpot_ms: mean(&tpots),
+                p99_tpot_ms: percentile(&tpots, 99.0),
+                violation_pct: 100.0 * (rs.len() - attained) as f64 / rs.len() as f64,
+            });
+        }
+
+        Self {
+            requests: records.len(),
+            attained: attained_records.len(),
+            attainment_pct: 100.0 * attained_records.len() as f64 / records.len() as f64,
+            goodput_tps: good_tokens as f64 / (makespan_ms / 1e3),
+            throughput_tps: all_tokens as f64 / (makespan_ms / 1e3),
+            makespan_ms,
+            mean_accepted_per_verify: if total_verifies == 0 {
+                0.0
+            } else {
+                total_accepted as f64 / total_verifies as f64
+            },
+            mean_ttft_ms: mean(&records.iter().map(|r| r.ttft_ms()).collect::<Vec<_>>()),
+            per_category,
+        }
+    }
+
+    /// Violation rate in percent (complement of attainment).
+    pub fn violation_pct(&self) -> f64 {
+        100.0 - self.attainment_pct
+    }
+
+    /// Report for one category, if present.
+    pub fn category(&self, category: Category) -> Option<&CategoryReport> {
+        self.per_category.iter().find(|c| c.category == category)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, category: Category, tpot: f64, slo: f64, tokens: u32) -> RequestRecord {
+        RequestRecord {
+            id,
+            category,
+            tpot_slo_ms: slo,
+            arrival_ms: 0.0,
+            decode_start_ms: 10.0,
+            completion_ms: 10.0 + tpot * f64::from(tokens),
+            output_tokens: tokens,
+            accepted_tokens: 2 * u64::from(tokens) / 3,
+            verify_steps: u64::from(tokens) / 3,
+            preemptions: 0,
+        }
+    }
+
+    #[test]
+    fn empty_report_is_zeroed() {
+        let r = SloReport::from_records(&[]);
+        assert_eq!(r.requests, 0);
+        assert_eq!(r.goodput_tps, 0.0);
+    }
+
+    #[test]
+    fn attainment_counts_meeting_requests() {
+        let records = vec![
+            rec(1, Category::Chatbot, 40.0, 50.0, 10),
+            rec(2, Category::Chatbot, 60.0, 50.0, 10),
+        ];
+        let r = SloReport::from_records(&records);
+        assert_eq!(r.attained, 1);
+        assert!((r.attainment_pct - 50.0).abs() < 1e-9);
+        assert!((r.violation_pct() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn goodput_counts_only_attained_tokens() {
+        let records = vec![
+            rec(1, Category::Chatbot, 40.0, 50.0, 10),
+            rec(2, Category::Chatbot, 60.0, 50.0, 20),
+        ];
+        let r = SloReport::from_records(&records);
+        // Makespan = max completion (10 + 60*20 = 1210 ms).
+        assert!((r.makespan_ms - 1210.0).abs() < 1e-9);
+        assert!((r.goodput_tps - 10.0 / 1.21).abs() < 1e-6);
+        assert!((r.throughput_tps - 30.0 / 1.21).abs() < 1e-6);
+        assert!(r.goodput_tps <= r.throughput_tps);
+    }
+
+    #[test]
+    fn per_category_splits() {
+        let records = vec![
+            rec(1, Category::CodingCopilot, 20.0, 30.0, 10),
+            rec(2, Category::Chatbot, 60.0, 50.0, 10),
+        ];
+        let r = SloReport::from_records(&records);
+        assert_eq!(r.per_category.len(), 2);
+        assert_eq!(r.category(Category::CodingCopilot).unwrap().attained, 1);
+        assert!((r.category(Category::Chatbot).unwrap().violation_pct - 100.0).abs() < 1e-9);
+        assert!(r.category(Category::Summarization).is_none());
+    }
+
+    #[test]
+    fn accepted_tokens_aggregate() {
+        let records = vec![rec(1, Category::Chatbot, 40.0, 50.0, 12)];
+        let r = SloReport::from_records(&records);
+        assert!((r.mean_accepted_per_verify - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,198 @@
+//! Time-series views of a serving run.
+//!
+//! The headline metrics (attainment, goodput) are scalars over a whole run,
+//! but diagnosing *why* a system misses SLOs needs the time dimension: when
+//! did violations cluster, how did load evolve, did a burst overwhelm the
+//! batch? [`Timeline`] buckets completed requests by completion time and
+//! reports per-bucket attainment/throughput — the view used to analyse the
+//! Fig. 13/14 staggered-burst experiment.
+
+use crate::record::RequestRecord;
+
+/// One bucket of a serving timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimelineBucket {
+    /// Bucket start, in run milliseconds.
+    pub start_ms: f64,
+    /// Requests completed in this bucket.
+    pub completed: usize,
+    /// Of those, requests that met their SLO.
+    pub attained: usize,
+    /// Output tokens produced by requests completing in this bucket.
+    pub tokens: u64,
+    /// Mean of per-request average TPOT for this bucket's completions (ms).
+    pub mean_tpot_ms: f64,
+}
+
+impl TimelineBucket {
+    /// Bucket-local SLO attainment in percent (100 if empty).
+    pub fn attainment_pct(&self) -> f64 {
+        if self.completed == 0 {
+            100.0
+        } else {
+            100.0 * self.attained as f64 / self.completed as f64
+        }
+    }
+}
+
+/// A bucketed timeline over one run's completion records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Timeline {
+    buckets: Vec<TimelineBucket>,
+    bucket_ms: f64,
+}
+
+impl Timeline {
+    /// Buckets `records` by completion time into `bucket_ms` windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_ms` is not positive.
+    pub fn new(records: &[RequestRecord], bucket_ms: f64) -> Self {
+        assert!(bucket_ms > 0.0, "bucket width must be positive");
+        let Some(end) = records
+            .iter()
+            .map(|r| r.completion_ms)
+            .fold(None::<f64>, |acc, x| Some(acc.map_or(x, |a| a.max(x))))
+        else {
+            return Self {
+                buckets: Vec::new(),
+                bucket_ms,
+            };
+        };
+        let n = (end / bucket_ms).floor() as usize + 1;
+        let mut buckets: Vec<TimelineBucket> = (0..n)
+            .map(|i| TimelineBucket {
+                start_ms: i as f64 * bucket_ms,
+                completed: 0,
+                attained: 0,
+                tokens: 0,
+                mean_tpot_ms: 0.0,
+            })
+            .collect();
+        for r in records {
+            let b = &mut buckets[(r.completion_ms / bucket_ms).floor() as usize];
+            b.completed += 1;
+            if r.attained() {
+                b.attained += 1;
+            }
+            b.tokens += u64::from(r.output_tokens);
+            // Online mean of per-request TPOT.
+            b.mean_tpot_ms += (r.avg_tpot_ms() - b.mean_tpot_ms) / b.completed as f64;
+        }
+        Self { buckets, bucket_ms }
+    }
+
+    /// The buckets, in time order.
+    pub fn buckets(&self) -> &[TimelineBucket] {
+        &self.buckets
+    }
+
+    /// Bucket width in milliseconds.
+    pub fn bucket_ms(&self) -> f64 {
+        self.bucket_ms
+    }
+
+    /// The bucket with the lowest attainment (ties: earliest), if any
+    /// non-empty bucket exists.
+    pub fn worst_bucket(&self) -> Option<&TimelineBucket> {
+        self.buckets
+            .iter()
+            .filter(|b| b.completed > 0)
+            .min_by(|a, b| a.attainment_pct().total_cmp(&b.attainment_pct()))
+    }
+
+    /// Renders a compact ASCII strip of per-bucket attainment
+    /// (`#` = 100%, `.` = 0%).
+    pub fn sparkline(&self) -> String {
+        let levels = [' ', '.', ':', '-', '=', '+', '*', '#'];
+        self.buckets
+            .iter()
+            .map(|b| {
+                if b.completed == 0 {
+                    ' '
+                } else {
+                    let idx =
+                        (b.attainment_pct() / 100.0 * (levels.len() - 1) as f64).round() as usize;
+                    levels[idx.min(levels.len() - 1)]
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::Category;
+
+    fn rec(completion_ms: f64, tpot: f64, slo: f64) -> RequestRecord {
+        RequestRecord {
+            id: 0,
+            category: Category::Chatbot,
+            tpot_slo_ms: slo,
+            arrival_ms: 0.0,
+            decode_start_ms: 0.0,
+            completion_ms,
+            output_tokens: (completion_ms / tpot).max(1.0) as u32,
+            accepted_tokens: 0,
+            verify_steps: 1,
+            preemptions: 0,
+        }
+    }
+
+    #[test]
+    fn empty_timeline_has_no_buckets() {
+        let t = Timeline::new(&[], 1000.0);
+        assert!(t.buckets().is_empty());
+        assert!(t.worst_bucket().is_none());
+    }
+
+    #[test]
+    fn buckets_partition_completions() {
+        let records = vec![
+            rec(500.0, 10.0, 50.0),
+            rec(1500.0, 10.0, 50.0),
+            rec(1600.0, 100.0, 50.0),
+        ];
+        let t = Timeline::new(&records, 1000.0);
+        assert_eq!(t.buckets().len(), 2);
+        assert_eq!(t.buckets()[0].completed, 1);
+        assert_eq!(t.buckets()[1].completed, 2);
+        assert_eq!(t.buckets()[1].attained, 1);
+        assert!((t.buckets()[1].attainment_pct() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn worst_bucket_finds_the_violation_cluster() {
+        let records = vec![
+            rec(500.0, 10.0, 50.0),
+            rec(1500.0, 100.0, 50.0), // violation in bucket 1
+            rec(2500.0, 10.0, 50.0),
+        ];
+        let t = Timeline::new(&records, 1000.0);
+        let worst = t.worst_bucket().expect("has buckets");
+        assert_eq!(worst.start_ms, 1000.0);
+        assert_eq!(worst.attainment_pct(), 0.0);
+    }
+
+    #[test]
+    fn sparkline_length_matches_buckets() {
+        let records = vec![rec(500.0, 10.0, 50.0), rec(2500.0, 10.0, 50.0)];
+        let t = Timeline::new(&records, 1000.0);
+        assert_eq!(t.sparkline().chars().count(), t.buckets().len());
+    }
+
+    #[test]
+    fn mean_tpot_is_bucket_local() {
+        let records = vec![rec(900.0, 20.0, 50.0), rec(950.0, 40.0, 50.0)];
+        let t = Timeline::new(&records, 1000.0);
+        assert!((t.buckets()[0].mean_tpot_ms - 30.0).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bucket_width_panics() {
+        let _ = Timeline::new(&[], 0.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! GPU device specifications.
+
+/// Specification of a single GPU device.
+///
+/// Peak numbers are the published dense (non-sparsity) figures; the latency
+/// model applies achievable-efficiency factors on top (real kernels reach
+/// 40–70% of peak compute and 70–90% of peak bandwidth).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Peak dense BF16/FP16 tensor throughput, in TFLOP/s.
+    pub peak_tflops: f64,
+    /// Peak HBM bandwidth, in GB/s.
+    pub hbm_gbps: f64,
+    /// HBM capacity, in GiB.
+    pub hbm_gib: f64,
+    /// Per-direction NVLink bandwidth to peers, in GB/s.
+    pub nvlink_gbps: f64,
+    /// CPU-side cost of launching one kernel, in microseconds.
+    pub kernel_launch_us: f64,
+}
+
+impl GpuSpec {
+    /// NVIDIA A100-SXM4-80GB (the paper's evaluation platform).
+    pub fn a100_80g() -> Self {
+        Self {
+            name: "A100-SXM4-80GB",
+            peak_tflops: 312.0,
+            hbm_gbps: 2039.0,
+            hbm_gib: 80.0,
+            nvlink_gbps: 300.0,
+            kernel_launch_us: 4.5,
+        }
+    }
+
+    /// NVIDIA H100-SXM5-80GB (for what-if ablations).
+    pub fn h100_80g() -> Self {
+        Self {
+            name: "H100-SXM5-80GB",
+            peak_tflops: 989.0,
+            hbm_gbps: 3350.0,
+            hbm_gib: 80.0,
+            nvlink_gbps: 450.0,
+            kernel_launch_us: 4.5,
+        }
+    }
+
+    /// NVIDIA L40S (PCIe inference card, for what-if ablations).
+    pub fn l40s() -> Self {
+        Self {
+            name: "L40S",
+            peak_tflops: 362.0,
+            hbm_gbps: 864.0,
+            hbm_gib: 48.0,
+            nvlink_gbps: 32.0, // PCIe Gen4 x16 effective.
+            kernel_launch_us: 4.5,
+        }
+    }
+
+    /// HBM capacity in bytes.
+    pub fn hbm_bytes(&self) -> u64 {
+        (self.hbm_gib * 1024.0 * 1024.0 * 1024.0) as u64
+    }
+
+    /// Peak compute in FLOP/s.
+    pub fn peak_flops(&self) -> f64 {
+        self.peak_tflops * 1e12
+    }
+
+    /// Peak HBM bandwidth in bytes/s.
+    pub fn hbm_bytes_per_sec(&self) -> f64 {
+        self.hbm_gbps * 1e9
+    }
+
+    /// Peak NVLink bandwidth in bytes/s (per direction).
+    pub fn nvlink_bytes_per_sec(&self) -> f64 {
+        self.nvlink_gbps * 1e9
+    }
+
+    /// Machine balance: FLOPs per HBM byte at peak.
+    ///
+    /// A forward pass with arithmetic intensity below this is memory-bound.
+    pub fn balance_flops_per_byte(&self) -> f64 {
+        self.peak_flops() / self.hbm_bytes_per_sec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_balance_is_about_150() {
+        let b = GpuSpec::a100_80g().balance_flops_per_byte();
+        assert!(b > 120.0 && b < 180.0, "balance = {b}");
+    }
+
+    #[test]
+    fn hbm_bytes_consistent() {
+        assert_eq!(GpuSpec::a100_80g().hbm_bytes(), 80 * 1024 * 1024 * 1024);
+    }
+
+    #[test]
+    fn h100_dominates_a100() {
+        let a = GpuSpec::a100_80g();
+        let h = GpuSpec::h100_80g();
+        assert!(h.peak_tflops > a.peak_tflops);
+        assert!(h.hbm_gbps > a.hbm_gbps);
+    }
+}

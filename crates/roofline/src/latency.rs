@@ -1,0 +1,374 @@
+//! The forward-pass latency model.
+//!
+//! One [`ForwardPass`] describes everything a serving engine submits to the
+//! device in one iteration: for each sequence, how many *new* tokens are
+//! processed (1 for plain decode, `|T_i|` for tree verification, a chunk for
+//! prefill, `w` for a beam-search speculation step) and over what context
+//! length. The latency is the roofline maximum of compute and memory time,
+//! plus tensor-parallel all-reduce and kernel-launch overheads:
+//!
+//! ```text
+//! t = max(flops / (peak·η_c·TP), bytes / (bw·η_m)) + t_allreduce + t_launch
+//! ```
+//!
+//! with weights read once per pass (the defining property of batching:
+//! amortized weight traffic) and KV read per sequence.
+
+use crate::gpu::GpuSpec;
+use crate::model::ModelSpec;
+
+/// Work contributed by one sequence to a forward pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeqWork {
+    /// Number of new tokens processed for this sequence.
+    pub new_tokens: u32,
+    /// Context length the new tokens attend over (tokens already in KV).
+    pub ctx_len: u32,
+}
+
+impl SeqWork {
+    /// Work of a single-token decode step at context `ctx_len`.
+    pub fn decode(ctx_len: u32) -> Self {
+        Self {
+            new_tokens: 1,
+            ctx_len,
+        }
+    }
+
+    /// Work of verifying a token tree of `tree_size` tokens.
+    pub fn verify(tree_size: u32, ctx_len: u32) -> Self {
+        Self {
+            new_tokens: tree_size,
+            ctx_len,
+        }
+    }
+
+    /// Work of prefilling a prompt chunk of `chunk` tokens starting at
+    /// position `already_prefilled`.
+    pub fn prefill(chunk: u32, already_prefilled: u32) -> Self {
+        Self {
+            new_tokens: chunk,
+            ctx_len: already_prefilled,
+        }
+    }
+}
+
+/// A batched forward pass over any mix of sequences.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ForwardPass {
+    seqs: Vec<SeqWork>,
+}
+
+impl ForwardPass {
+    /// Creates a pass over the given per-sequence work items.
+    pub fn new(seqs: Vec<SeqWork>) -> Self {
+        Self { seqs }
+    }
+
+    /// Adds one sequence's work.
+    pub fn push(&mut self, work: SeqWork) {
+        self.seqs.push(work);
+    }
+
+    /// The per-sequence work items.
+    pub fn seqs(&self) -> &[SeqWork] {
+        &self.seqs
+    }
+
+    /// Total new tokens across all sequences.
+    pub fn total_tokens(&self) -> u64 {
+        self.seqs.iter().map(|s| u64::from(s.new_tokens)).sum()
+    }
+
+    /// Whether the pass does no work.
+    pub fn is_empty(&self) -> bool {
+        self.total_tokens() == 0
+    }
+}
+
+/// Query-tile size of the attention kernels (FlashAttention-style).
+///
+/// Causal attention reads each KV block once per *tile* of queries, not once
+/// per query token; without this, long prefill/verification passes would be
+/// charged quadratic KV traffic that real fused kernels do not incur.
+const QUERY_TILE: f64 = 64.0;
+
+/// Roofline latency model for one model on one tensor-parallel GPU group.
+#[derive(Debug, Clone)]
+pub struct LatencyModel {
+    model: ModelSpec,
+    gpu: GpuSpec,
+    tp: u32,
+    /// Fraction of peak compute achievable by fused transformer kernels.
+    compute_efficiency: f64,
+    /// Fraction of peak HBM bandwidth achievable by streaming reads.
+    memory_efficiency: f64,
+    /// Kernel launches per transformer layer in eager mode.
+    kernels_per_layer: f64,
+    /// All-reduce base latency per layer (us), covering ring setup.
+    allreduce_base_us: f64,
+}
+
+impl LatencyModel {
+    /// Creates a latency model with calibrated default efficiencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tp` is zero or the weights do not fit the group's HBM.
+    pub fn new(model: ModelSpec, gpu: GpuSpec, tp: u32) -> Self {
+        assert!(tp >= 1, "tensor parallelism must be >= 1");
+        let group_hbm = gpu.hbm_bytes() * u64::from(tp);
+        assert!(
+            model.weight_bytes() < group_hbm,
+            "{} does not fit on {}x{}",
+            model.name,
+            tp,
+            gpu.name
+        );
+        Self {
+            model,
+            gpu,
+            tp,
+            compute_efficiency: 0.52,
+            memory_efficiency: 0.82,
+            kernels_per_layer: 9.0,
+            allreduce_base_us: 9.0,
+        }
+    }
+
+    /// The paper's Llama setup: 70B with 4-way TP on A100s.
+    pub fn llama70b_4xa100() -> Self {
+        Self::new(ModelSpec::llama_70b(), GpuSpec::a100_80g(), 4)
+    }
+
+    /// The paper's Qwen setup: 32B with 2-way TP on A100s.
+    pub fn qwen32b_2xa100() -> Self {
+        Self::new(ModelSpec::qwen_32b(), GpuSpec::a100_80g(), 2)
+    }
+
+    /// The modelled transformer.
+    pub fn model(&self) -> &ModelSpec {
+        &self.model
+    }
+
+    /// The modelled device.
+    pub fn gpu(&self) -> &GpuSpec {
+        &self.gpu
+    }
+
+    /// Tensor-parallel degree.
+    pub fn tensor_parallel(&self) -> u32 {
+        self.tp
+    }
+
+    /// Overrides efficiency factors (for sensitivity ablations).
+    pub fn with_efficiencies(mut self, compute: f64, memory: f64) -> Self {
+        assert!(compute > 0.0 && compute <= 1.0);
+        assert!(memory > 0.0 && memory <= 1.0);
+        self.compute_efficiency = compute;
+        self.memory_efficiency = memory;
+        self
+    }
+
+    /// Latency of `pass` in milliseconds.
+    ///
+    /// `cuda_graph` selects launch-overhead accounting: captured graphs replay
+    /// with a single launch, eager mode pays per-kernel launches (paper §5.2).
+    pub fn forward_latency_ms(&self, pass: &ForwardPass, cuda_graph: bool) -> f64 {
+        if pass.is_empty() {
+            return 0.0;
+        }
+        let total_tokens = pass.total_tokens() as f64;
+
+        // Compute: dense matmuls scale with tokens; attention with ctx.
+        let mut flops = self.model.linear_flops_per_token() * total_tokens;
+        for s in pass.seqs() {
+            // Each new token attends over ctx plus previously batched new
+            // tokens; approximate with the midpoint.
+            let avg_ctx = f64::from(s.ctx_len) + f64::from(s.new_tokens) / 2.0;
+            flops += self.model.attention_flops_per_token(avg_ctx as u64) * f64::from(s.new_tokens);
+        }
+        let compute_s =
+            flops / (self.gpu.peak_flops() * self.compute_efficiency * f64::from(self.tp));
+
+        // Memory: weights once per pass (sharded across TP, read in
+        // parallel), KV per sequence (also sharded), activations negligible.
+        let weight_bytes = self.model.weight_bytes() as f64 / f64::from(self.tp);
+        let mut kv_bytes = 0.0;
+        for s in pass.seqs() {
+            let avg_ctx = f64::from(s.ctx_len) + f64::from(s.new_tokens) / 2.0;
+            let tiles = (f64::from(s.new_tokens) / QUERY_TILE).ceil();
+            kv_bytes += self.model.kv_read_bytes(avg_ctx as u64) * tiles;
+        }
+        kv_bytes /= f64::from(self.tp);
+        let memory_s =
+            (weight_bytes + kv_bytes) / (self.gpu.hbm_bytes_per_sec() * self.memory_efficiency);
+
+        // Tensor-parallel all-reduce: two per layer (attention + MLP), each
+        // moving the activations of all new tokens.
+        let allreduce_s = if self.tp > 1 {
+            let bytes_per_reduce = total_tokens * f64::from(self.model.hidden) * 2.0;
+            let per_layer = 2.0
+                * (self.allreduce_base_us * 1e-6
+                    + bytes_per_reduce * 2.0 * (f64::from(self.tp - 1) / f64::from(self.tp))
+                        / self.gpu.nvlink_bytes_per_sec());
+            per_layer * f64::from(self.model.layers)
+        } else {
+            0.0
+        };
+
+        // Launch overhead: captured graphs replay with ~one launch.
+        let launch_s = if cuda_graph {
+            3.0 * self.gpu.kernel_launch_us * 1e-6
+        } else {
+            self.kernels_per_layer * f64::from(self.model.layers) * self.gpu.kernel_launch_us * 1e-6
+        };
+
+        (compute_s.max(memory_s) + allreduce_s + launch_s) * 1e3
+    }
+
+    /// Token count at which the pass transitions from memory- to compute-bound.
+    ///
+    /// Below this batch size extra verification tokens are *nearly free* —
+    /// the roofline insight speculative decoding exploits.
+    pub fn roofline_knee_tokens(&self, ctx_len: u32) -> u64 {
+        // Find smallest token count whose compute time exceeds memory time.
+        let mut lo = 1u64;
+        let mut hi = 16_384u64;
+        let crossed = |tokens: u64| -> bool {
+            let pass = ForwardPass::new(vec![SeqWork {
+                new_tokens: tokens as u32,
+                ctx_len,
+            }]);
+            self.compute_time_s(&pass) > self.memory_time_s(&pass)
+        };
+        if !crossed(hi) {
+            return hi;
+        }
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if crossed(mid) {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        lo
+    }
+
+    fn compute_time_s(&self, pass: &ForwardPass) -> f64 {
+        let total_tokens = pass.total_tokens() as f64;
+        let mut flops = self.model.linear_flops_per_token() * total_tokens;
+        for s in pass.seqs() {
+            let avg_ctx = f64::from(s.ctx_len) + f64::from(s.new_tokens) / 2.0;
+            flops += self.model.attention_flops_per_token(avg_ctx as u64) * f64::from(s.new_tokens);
+        }
+        flops / (self.gpu.peak_flops() * self.compute_efficiency * f64::from(self.tp))
+    }
+
+    fn memory_time_s(&self, pass: &ForwardPass) -> f64 {
+        let weight_bytes = self.model.weight_bytes() as f64 / f64::from(self.tp);
+        let mut kv_bytes = 0.0;
+        for s in pass.seqs() {
+            let avg_ctx = f64::from(s.ctx_len) + f64::from(s.new_tokens) / 2.0;
+            let tiles = (f64::from(s.new_tokens) / QUERY_TILE).ceil();
+            kv_bytes += self.model.kv_read_bytes(avg_ctx as u64) * tiles;
+        }
+        kv_bytes /= f64::from(self.tp);
+        (weight_bytes + kv_bytes) / (self.gpu.hbm_bytes_per_sec() * self.memory_efficiency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn llama() -> LatencyModel {
+        LatencyModel::llama70b_4xa100()
+    }
+
+    #[test]
+    fn empty_pass_is_free() {
+        assert_eq!(
+            llama().forward_latency_ms(&ForwardPass::default(), true),
+            0.0
+        );
+    }
+
+    #[test]
+    fn decode_latency_is_flat_then_grows() {
+        // Small batches are memory-bound: latency ≈ constant. Large batches
+        // are compute-bound: latency grows with batch size.
+        let lm = llama();
+        let t1 = lm.forward_latency_ms(&ForwardPass::new(vec![SeqWork::decode(512); 1]), true);
+        let t32 = lm.forward_latency_ms(&ForwardPass::new(vec![SeqWork::decode(512); 32]), true);
+        let t1024 =
+            lm.forward_latency_ms(&ForwardPass::new(vec![SeqWork::decode(512); 1024]), true);
+        assert!(t32 < t1 * 1.5, "t1={t1} t32={t32}");
+        assert!(t1024 > t32 * 2.0, "t32={t32} t1024={t1024}");
+    }
+
+    #[test]
+    fn latency_monotone_in_tokens() {
+        let lm = llama();
+        let mut prev = 0.0;
+        for n in [1u32, 8, 64, 256, 1024, 4096] {
+            let t = lm.forward_latency_ms(
+                &ForwardPass::new(vec![SeqWork {
+                    new_tokens: n,
+                    ctx_len: 512,
+                }]),
+                true,
+            );
+            assert!(t > prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn longer_context_costs_more() {
+        let lm = llama();
+        let short = lm.forward_latency_ms(&ForwardPass::new(vec![SeqWork::decode(128)]), true);
+        let long = lm.forward_latency_ms(&ForwardPass::new(vec![SeqWork::decode(8192)]), true);
+        assert!(long > short);
+    }
+
+    #[test]
+    fn tensor_parallelism_reduces_decode_latency() {
+        let tp1 = LatencyModel::new(ModelSpec::qwen_32b(), GpuSpec::a100_80g(), 1);
+        let tp2 = LatencyModel::new(ModelSpec::qwen_32b(), GpuSpec::a100_80g(), 2);
+        let pass = ForwardPass::new(vec![SeqWork::decode(512)]);
+        assert!(tp2.forward_latency_ms(&pass, true) < tp1.forward_latency_ms(&pass, true));
+    }
+
+    #[test]
+    fn eager_mode_is_slower_than_graphs() {
+        let lm = llama();
+        let pass = ForwardPass::new(vec![SeqWork::decode(512)]);
+        assert!(lm.forward_latency_ms(&pass, false) > lm.forward_latency_ms(&pass, true));
+    }
+
+    #[test]
+    fn knee_is_in_plausible_range() {
+        // A100 balance ≈ 150 flops/byte; with 2-byte weights the knee sits at
+        // a few hundred tokens for the 70B model.
+        let knee = llama().roofline_knee_tokens(512);
+        assert!(knee > 32 && knee < 2048, "knee = {knee}");
+    }
+
+    #[test]
+    fn prefill_chunk_is_compute_heavy() {
+        let lm = llama();
+        let chunk = ForwardPass::new(vec![SeqWork::prefill(2048, 0)]);
+        let decode = ForwardPass::new(vec![SeqWork::decode(512)]);
+        let tc = lm.forward_latency_ms(&chunk, false);
+        let td = lm.forward_latency_ms(&decode, true);
+        assert!(tc > 2.0 * td, "prefill chunk {tc} ms vs decode {td} ms");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_model_rejected() {
+        let _ = LatencyModel::new(ModelSpec::llama_70b(), GpuSpec::a100_80g(), 1);
+    }
+}

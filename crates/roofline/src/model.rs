@@ -1,0 +1,158 @@
+//! Transformer model specifications and FLOP/byte accounting.
+
+/// Architecture of a decoder-only transformer.
+///
+/// Presets mirror the exact models in the paper's Table 1 (targets) and §6.1
+/// (draft selection: smallest same-family model).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelSpec {
+    /// Model name.
+    pub name: &'static str,
+    /// Total parameter count.
+    pub params: u64,
+    /// Number of transformer layers.
+    pub layers: u32,
+    /// Hidden (embedding) dimension.
+    pub hidden: u32,
+    /// Number of attention heads.
+    pub n_heads: u32,
+    /// Number of key/value heads (GQA).
+    pub n_kv_heads: u32,
+    /// Vocabulary size.
+    pub vocab: u32,
+    /// Bytes per parameter (2 for BF16 weights).
+    pub bytes_per_param: u32,
+}
+
+impl ModelSpec {
+    /// Llama-3.1-70B-Instruct.
+    pub fn llama_70b() -> Self {
+        Self {
+            name: "Llama-3.1-70B-Instruct",
+            params: 70_600_000_000,
+            layers: 80,
+            hidden: 8192,
+            n_heads: 64,
+            n_kv_heads: 8,
+            vocab: 128_256,
+            bytes_per_param: 2,
+        }
+    }
+
+    /// Qwen2.5-32B-Instruct.
+    pub fn qwen_32b() -> Self {
+        Self {
+            name: "Qwen2.5-32B-Instruct",
+            params: 32_760_000_000,
+            layers: 64,
+            hidden: 5120,
+            n_heads: 40,
+            n_kv_heads: 8,
+            vocab: 152_064,
+            bytes_per_param: 2,
+        }
+    }
+
+    /// Llama-3.2-1B-Instruct (draft for Llama-3.1-70B).
+    pub fn llama_1b() -> Self {
+        Self {
+            name: "Llama-3.2-1B-Instruct",
+            params: 1_240_000_000,
+            layers: 16,
+            hidden: 2048,
+            n_heads: 32,
+            n_kv_heads: 8,
+            vocab: 128_256,
+            bytes_per_param: 2,
+        }
+    }
+
+    /// Qwen2.5-0.5B-Instruct (draft for Qwen2.5-32B).
+    pub fn qwen_05b() -> Self {
+        Self {
+            name: "Qwen2.5-0.5B-Instruct",
+            params: 494_000_000,
+            layers: 24,
+            hidden: 896,
+            n_heads: 14,
+            n_kv_heads: 2,
+            vocab: 151_936,
+            bytes_per_param: 2,
+        }
+    }
+
+    /// Per-head dimension.
+    pub fn head_dim(&self) -> u32 {
+        self.hidden / self.n_heads
+    }
+
+    /// Total weight bytes.
+    pub fn weight_bytes(&self) -> u64 {
+        self.params * u64::from(self.bytes_per_param)
+    }
+
+    /// KV-cache bytes stored per token (both K and V, all layers, FP16).
+    pub fn kv_bytes_per_token(&self) -> u64 {
+        // 2 (K and V) × layers × kv_heads × head_dim × 2 bytes.
+        2 * u64::from(self.layers) * u64::from(self.n_kv_heads) * u64::from(self.head_dim()) * 2
+    }
+
+    /// Dense (weight-matmul) FLOPs to process one token.
+    ///
+    /// The standard 2·params estimate covers all linear layers including the
+    /// LM head.
+    pub fn linear_flops_per_token(&self) -> f64 {
+        2.0 * self.params as f64
+    }
+
+    /// Attention FLOPs for one token attending over a context of `ctx_len`.
+    ///
+    /// Two matmuls (QKᵀ and attn·V) of size `heads × head_dim × ctx`, i.e.
+    /// `4 · hidden · ctx` multiply-accumulates per layer.
+    pub fn attention_flops_per_token(&self, ctx_len: u64) -> f64 {
+        4.0 * f64::from(self.hidden) * ctx_len as f64 * f64::from(self.layers)
+    }
+
+    /// Bytes of KV cache read to decode one token over a context of `ctx_len`.
+    pub fn kv_read_bytes(&self, ctx_len: u64) -> f64 {
+        self.kv_bytes_per_token() as f64 * ctx_len as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn llama70b_weights_are_141_gb() {
+        let gb = ModelSpec::llama_70b().weight_bytes() as f64 / 1e9;
+        assert!(gb > 135.0 && gb < 150.0, "weights = {gb} GB");
+    }
+
+    #[test]
+    fn llama70b_kv_is_320kb_per_token() {
+        // 2 (K+V) × 80 layers × 8 kv-heads × 128 head-dim × 2 bytes.
+        let b = ModelSpec::llama_70b().kv_bytes_per_token();
+        assert_eq!(b, 2 * 80 * 8 * 128 * 2);
+        assert_eq!(b, 327_680);
+    }
+
+    #[test]
+    fn head_dim_is_consistent() {
+        assert_eq!(ModelSpec::llama_70b().head_dim(), 128);
+        assert_eq!(ModelSpec::qwen_32b().head_dim(), 128);
+        assert_eq!(ModelSpec::llama_1b().head_dim(), 64);
+    }
+
+    #[test]
+    fn drafts_are_much_smaller_than_targets() {
+        assert!(ModelSpec::llama_1b().params * 20 < ModelSpec::llama_70b().params);
+        assert!(ModelSpec::qwen_05b().params * 20 < ModelSpec::qwen_32b().params);
+    }
+
+    #[test]
+    fn attention_flops_scale_with_context() {
+        let m = ModelSpec::llama_70b();
+        assert!(m.attention_flops_per_token(2048) > 3.9 * m.attention_flops_per_token(512));
+    }
+}

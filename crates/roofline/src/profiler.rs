@@ -1,0 +1,254 @@
+//! Profiling: latency curves and the verification token budget.
+//!
+//! The paper sizes each iteration's total verification budget `B` from
+//! hardware profiling: "AdaServe chooses an optimal budget that balances
+//! decoding throughput and latency" (§3, footnote 1). This module reproduces
+//! that step against the analytical latency model: it sweeps the
+//! verification-batch token count, builds the latency curve, and picks the
+//! budget at the throughput/latency balance point.
+
+use crate::latency::{ForwardPass, LatencyModel, SeqWork};
+
+/// One sampled point of a latency curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurvePoint {
+    /// Total new tokens in the pass.
+    pub tokens: u64,
+    /// Modelled latency in milliseconds.
+    pub latency_ms: f64,
+    /// Throughput in tokens per second.
+    pub tokens_per_sec: f64,
+}
+
+/// A swept latency/throughput curve for verification-style passes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyCurve {
+    points: Vec<CurvePoint>,
+    ctx_len: u32,
+}
+
+impl LatencyCurve {
+    /// Sweeps `model` over token counts `1..=max_tokens` at context `ctx_len`.
+    ///
+    /// Tokens are spread over `batch_seqs` sequences to mimic a verification
+    /// batch rather than one giant sequence.
+    pub fn sweep(model: &LatencyModel, ctx_len: u32, max_tokens: u64, batch_seqs: u32) -> Self {
+        assert!(batch_seqs >= 1);
+        let mut points = Vec::new();
+        let mut tokens = 1u64;
+        while tokens <= max_tokens {
+            // Spread tokens as evenly as possible over the batch, so the
+            // sequence count (and thus KV traffic) grows monotonically.
+            let base = tokens / u64::from(batch_seqs);
+            let rem = tokens % u64::from(batch_seqs);
+            let mut seqs = Vec::new();
+            for i in 0..u64::from(batch_seqs) {
+                let n = base + u64::from(i < rem);
+                if n > 0 {
+                    seqs.push(SeqWork {
+                        new_tokens: n as u32,
+                        ctx_len,
+                    });
+                }
+            }
+            let latency_ms = model.forward_latency_ms(&ForwardPass::new(seqs), true);
+            points.push(CurvePoint {
+                tokens,
+                latency_ms,
+                tokens_per_sec: tokens as f64 / (latency_ms / 1e3),
+            });
+            // Geometric-ish sweep keeps the curve small but dense at the knee.
+            tokens = (tokens + (tokens / 4).max(1)).min(max_tokens + 1);
+        }
+        Self { points, ctx_len }
+    }
+
+    /// The sampled points, in increasing token order.
+    pub fn points(&self) -> &[CurvePoint] {
+        &self.points
+    }
+
+    /// Context length the curve was swept at.
+    pub fn ctx_len(&self) -> u32 {
+        self.ctx_len
+    }
+
+    /// Interpolated latency at an arbitrary token count.
+    pub fn latency_at(&self, tokens: u64) -> f64 {
+        match self.points.binary_search_by_key(&tokens, |p| p.tokens) {
+            Ok(i) => self.points[i].latency_ms,
+            Err(0) => self.points[0].latency_ms,
+            Err(i) if i >= self.points.len() => self.points.last().expect("non-empty").latency_ms,
+            Err(i) => {
+                let a = self.points[i - 1];
+                let b = self.points[i];
+                let f = (tokens - a.tokens) as f64 / (b.tokens - a.tokens) as f64;
+                a.latency_ms + f * (b.latency_ms - a.latency_ms)
+            }
+        }
+    }
+}
+
+/// Policy for translating a latency curve into a token budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BudgetPolicy {
+    /// Largest budget whose latency stays within `stretch ×` the single-token
+    /// latency — the "balance throughput and latency" rule.
+    LatencyStretch(f64),
+    /// Budget at the roofline knee (memory→compute crossover).
+    Knee,
+    /// Fixed budget (for ablations).
+    Fixed(u64),
+}
+
+/// The hardware profile AdaServe's scheduler consumes.
+#[derive(Debug, Clone)]
+pub struct TokenBudgetProfile {
+    /// Verification token budget per decoding iteration (the paper's `B`).
+    pub verify_budget: u64,
+    /// Speculation token budget per draft step (the paper's `B₂`).
+    pub spec_budget: u64,
+    /// Latency (ms) of a verification pass at the chosen budget.
+    pub verify_latency_ms: f64,
+    /// Latency (ms) of one draft decode step at the speculation budget.
+    pub draft_step_latency_ms: f64,
+}
+
+impl TokenBudgetProfile {
+    /// Profiles a (target, draft) deployment and derives budgets.
+    ///
+    /// `ctx_len` is the representative context length; `policy` picks the
+    /// budget rule. The speculation budget is sized so a full draft step
+    /// costs no more than ~15% of a verification pass, keeping speculation
+    /// overhead secondary (the paper's draft models are 50–70× smaller).
+    pub fn profile(
+        target: &LatencyModel,
+        draft: &LatencyModel,
+        ctx_len: u32,
+        policy: BudgetPolicy,
+    ) -> Self {
+        let curve = LatencyCurve::sweep(target, ctx_len, 8192, 8);
+        let base = curve.points()[0].latency_ms;
+        let verify_budget = match policy {
+            BudgetPolicy::Fixed(b) => b,
+            BudgetPolicy::Knee => target.roofline_knee_tokens(ctx_len),
+            BudgetPolicy::LatencyStretch(stretch) => {
+                assert!(stretch >= 1.0, "stretch must not shrink latency");
+                let mut best = 1;
+                for p in curve.points() {
+                    if p.latency_ms <= base * stretch {
+                        best = p.tokens;
+                    }
+                }
+                best
+            }
+        };
+
+        // Draft budget: largest per-step token count keeping the draft step
+        // under 15% of the verification-pass latency.
+        let verify_latency_ms = curve.latency_at(verify_budget);
+        let mut spec_budget = 1u64;
+        let mut tokens = 1u64;
+        while tokens <= 4096 {
+            let pass = ForwardPass::new(vec![SeqWork {
+                new_tokens: tokens as u32,
+                ctx_len,
+            }]);
+            if draft.forward_latency_ms(&pass, true) <= 0.15 * verify_latency_ms {
+                spec_budget = tokens;
+            }
+            tokens *= 2;
+        }
+        let draft_pass = ForwardPass::new(vec![SeqWork {
+            new_tokens: spec_budget as u32,
+            ctx_len,
+        }]);
+        Self {
+            verify_budget,
+            spec_budget,
+            verify_latency_ms,
+            draft_step_latency_ms: draft.forward_latency_ms(&draft_pass, true),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Testbed;
+
+    #[test]
+    fn curve_latency_is_monotone() {
+        let tb = Testbed::llama70b();
+        let curve = LatencyCurve::sweep(&tb.target, 512, 4096, 8);
+        let pts = curve.points();
+        assert!(pts.len() > 10);
+        for w in pts.windows(2) {
+            assert!(w[1].latency_ms >= w[0].latency_ms);
+            assert!(w[1].tokens > w[0].tokens);
+        }
+    }
+
+    #[test]
+    fn interpolation_brackets_neighbours() {
+        let tb = Testbed::llama70b();
+        let curve = LatencyCurve::sweep(&tb.target, 512, 1024, 4);
+        let lo = curve.latency_at(100);
+        let hi = curve.latency_at(900);
+        assert!(lo < hi);
+        // Past the end clamps.
+        assert_eq!(
+            curve.latency_at(10_000),
+            curve.points().last().unwrap().latency_ms
+        );
+    }
+
+    #[test]
+    fn stretch_budget_is_substantial_on_a100() {
+        // The flat memory-bound region means hundreds of verification tokens
+        // fit within a 1.5x latency stretch — the headroom AdaServe uses.
+        let tb = Testbed::llama70b();
+        let prof = TokenBudgetProfile::profile(
+            &tb.target,
+            &tb.draft,
+            512,
+            BudgetPolicy::LatencyStretch(1.5),
+        );
+        assert!(prof.verify_budget >= 100, "budget = {}", prof.verify_budget);
+        assert!(prof.spec_budget >= 32, "spec budget = {}", prof.spec_budget);
+        assert!(prof.draft_step_latency_ms < prof.verify_latency_ms);
+    }
+
+    #[test]
+    fn tighter_stretch_gives_smaller_budget() {
+        let tb = Testbed::llama70b();
+        let tight = TokenBudgetProfile::profile(
+            &tb.target,
+            &tb.draft,
+            512,
+            BudgetPolicy::LatencyStretch(1.1),
+        );
+        let loose = TokenBudgetProfile::profile(
+            &tb.target,
+            &tb.draft,
+            512,
+            BudgetPolicy::LatencyStretch(2.0),
+        );
+        assert!(tight.verify_budget <= loose.verify_budget);
+    }
+
+    #[test]
+    fn fixed_policy_is_identity() {
+        let tb = Testbed::qwen32b();
+        let prof =
+            TokenBudgetProfile::profile(&tb.target, &tb.draft, 512, BudgetPolicy::Fixed(777));
+        assert_eq!(prof.verify_budget, 777);
+    }
+
+    #[test]
+    fn knee_policy_matches_latency_model() {
+        let tb = Testbed::llama70b();
+        let prof = TokenBudgetProfile::profile(&tb.target, &tb.draft, 512, BudgetPolicy::Knee);
+        assert_eq!(prof.verify_budget, tb.target.roofline_knee_tokens(512));
+    }
+}

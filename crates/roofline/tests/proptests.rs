@@ -1,0 +1,84 @@
+//! Property tests for the roofline latency model.
+
+use proptest::prelude::*;
+use roofline::{ForwardPass, LatencyModel, SeqWork};
+
+fn models() -> Vec<LatencyModel> {
+    vec![
+        LatencyModel::llama70b_4xa100(),
+        LatencyModel::qwen32b_2xa100(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn latency_is_positive_and_finite(
+        tokens in 1u32..4096,
+        ctx in 0u32..8192,
+        graph in any::<bool>(),
+    ) {
+        for m in models() {
+            let t = m.forward_latency_ms(
+                &ForwardPass::new(vec![SeqWork { new_tokens: tokens, ctx_len: ctx }]),
+                graph,
+            );
+            prop_assert!(t.is_finite() && t > 0.0);
+        }
+    }
+
+    #[test]
+    fn latency_monotone_in_new_tokens(tokens in 1u32..2048, ctx in 0u32..4096) {
+        for m in models() {
+            let a = m.forward_latency_ms(
+                &ForwardPass::new(vec![SeqWork { new_tokens: tokens, ctx_len: ctx }]),
+                true,
+            );
+            let b = m.forward_latency_ms(
+                &ForwardPass::new(vec![SeqWork { new_tokens: tokens + 64, ctx_len: ctx }]),
+                true,
+            );
+            prop_assert!(b >= a, "tokens {} -> {}: {a} !<= {b}", tokens, tokens + 64);
+        }
+    }
+
+    #[test]
+    fn latency_monotone_in_context(tokens in 1u32..256, ctx in 0u32..4096) {
+        for m in models() {
+            let a = m.forward_latency_ms(
+                &ForwardPass::new(vec![SeqWork { new_tokens: tokens, ctx_len: ctx }]),
+                true,
+            );
+            let b = m.forward_latency_ms(
+                &ForwardPass::new(vec![SeqWork { new_tokens: tokens, ctx_len: ctx + 512 }]),
+                true,
+            );
+            prop_assert!(b >= a);
+        }
+    }
+
+    #[test]
+    fn batching_is_subadditive(n in 2u32..32, ctx in 0u32..2048) {
+        // Serving n sequences in one pass is never slower than n passes.
+        for m in models() {
+            let together = m.forward_latency_ms(
+                &ForwardPass::new(vec![SeqWork::decode(ctx); n as usize]),
+                true,
+            );
+            let alone = m.forward_latency_ms(
+                &ForwardPass::new(vec![SeqWork::decode(ctx)]),
+                true,
+            );
+            prop_assert!(together <= alone * f64::from(n) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn graph_mode_never_slower(tokens in 1u32..512, ctx in 0u32..2048) {
+        for m in models() {
+            let pass = ForwardPass::new(vec![SeqWork { new_tokens: tokens, ctx_len: ctx }]);
+            prop_assert!(m.forward_latency_ms(&pass, true) <= m.forward_latency_ms(&pass, false));
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Deployed-system configuration: hardware testbed + model pair.
+
+use roofline::Testbed;
+use simllm::ModelPair;
+use spectree::VerifyMode;
+
+/// Everything an engine needs to know about the deployment it runs on.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Hardware + latency models (target and draft).
+    pub testbed: Testbed,
+    /// Synthetic target/draft model pair.
+    pub pair: ModelPair,
+    /// Scheduler-level cap on concurrently running requests.
+    pub max_batch: usize,
+    /// Tokens per KV block (vLLM's default block size).
+    pub kv_block_tokens: u32,
+    /// Target-token selection during verification.
+    pub verify_mode: VerifyMode,
+    /// Near-zero-load decode latency (ms), the SLO reference point.
+    pub baseline_ms: f64,
+}
+
+impl SystemConfig {
+    /// Builds a config for a testbed with the default calibrated model pair.
+    pub fn new(testbed: Testbed, seed: u64) -> Self {
+        let baseline_ms = testbed.baseline_decode_ms();
+        Self {
+            testbed,
+            pair: ModelPair::calibrated(seed),
+            max_batch: 256,
+            kv_block_tokens: 16,
+            verify_mode: VerifyMode::Stochastic,
+            baseline_ms,
+        }
+    }
+
+    /// The paper's Llama-3.1-70B / 4×A100 deployment.
+    pub fn llama70b(seed: u64) -> Self {
+        Self::new(Testbed::llama70b(), seed)
+    }
+
+    /// The paper's Qwen2.5-32B / 2×A100 deployment.
+    pub fn qwen32b(seed: u64) -> Self {
+        Self::new(Testbed::qwen32b(), seed)
+    }
+
+    /// Combined KV bytes per token (target + colocated draft).
+    pub fn kv_bytes_per_token(&self) -> u64 {
+        self.testbed.target.model().kv_bytes_per_token()
+            + self.testbed.draft.model().kv_bytes_per_token()
+    }
+
+    /// Builds the block manager for this deployment's free HBM.
+    pub fn block_manager(&self) -> crate::kv::BlockManager {
+        crate::kv::BlockManager::from_capacity(
+            self.testbed.kv_capacity_bytes(),
+            self.kv_bytes_per_token(),
+            self.kv_block_tokens,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn llama_config_has_sane_baseline() {
+        let c = SystemConfig::llama70b(1);
+        assert!(c.baseline_ms > 15.0 && c.baseline_ms < 45.0);
+    }
+
+    #[test]
+    fn block_pool_holds_hundreds_of_thousands_of_tokens() {
+        // 4×80 GiB minus 140 GB weights leaves >100 GB for KV; at ~0.36 MB
+        // per token that is several hundred thousand tokens.
+        let c = SystemConfig::llama70b(1);
+        let m = c.block_manager();
+        let tokens = m.total_blocks() * u64::from(m.block_tokens());
+        assert!(tokens > 200_000, "pool = {tokens} tokens");
+        assert!(tokens < 5_000_000);
+    }
+
+    #[test]
+    fn qwen_pool_differs_from_llama() {
+        let l = SystemConfig::llama70b(1).block_manager().total_blocks();
+        let q = SystemConfig::qwen32b(1).block_manager().total_blocks();
+        assert_ne!(l, q);
+    }
+}

@@ -1,0 +1,347 @@
+//! [`EngineCore`]: the queueing/admission/bookkeeping machinery every
+//! serving engine composes.
+//!
+//! The core owns the waiting queue, the running batch, the KV block manager
+//! and the completion records. Engines differ in how they *plan* iterations
+//! (what to prefill, decode, speculate, verify) but share this state and its
+//! invariants, keeping baselines and AdaServe comparable.
+
+use crate::config::SystemConfig;
+use crate::kv::BlockManager;
+use crate::request::{LiveRequest, Phase};
+use metrics::{LatencyBreakdown, RequestRecord};
+use simllm::{sample_seeded, Lm, TokenId};
+use std::collections::VecDeque;
+use workload::RequestSpec;
+
+/// Shared engine state: queues, memory, records, accounting.
+#[derive(Debug, Clone)]
+pub struct EngineCore {
+    /// Deployment configuration.
+    pub config: SystemConfig,
+    /// Paged KV allocator.
+    pub blocks: BlockManager,
+    /// Requests waiting for admission (FIFO unless the engine reorders).
+    pub waiting: VecDeque<LiveRequest>,
+    /// Admitted requests (prefilling or decoding).
+    pub running: Vec<LiveRequest>,
+    /// Completed-request records.
+    finished: Vec<RequestRecord>,
+    /// Accumulated latency breakdown.
+    pub breakdown: LatencyBreakdown,
+    /// Iterations executed.
+    pub iterations: u64,
+    /// Total speculated tokens submitted for verification (all requests).
+    pub speculated_total: u64,
+    /// Total speculated tokens accepted.
+    pub accepted_total: u64,
+}
+
+impl EngineCore {
+    /// Creates a core for `config` with a full KV pool.
+    pub fn new(config: SystemConfig) -> Self {
+        let blocks = config.block_manager();
+        Self {
+            config,
+            blocks,
+            waiting: VecDeque::new(),
+            running: Vec::new(),
+            finished: Vec::new(),
+            breakdown: LatencyBreakdown::new(),
+            iterations: 0,
+            speculated_total: 0,
+            accepted_total: 0,
+        }
+    }
+
+    /// Enqueues a new arrival.
+    pub fn on_arrival(&mut self, spec: RequestSpec) {
+        self.waiting.push_back(LiveRequest::new(spec));
+    }
+
+    /// Whether any request is waiting or running.
+    pub fn has_work(&self) -> bool {
+        !self.waiting.is_empty() || !self.running.is_empty()
+    }
+
+    /// Admits waiting requests FIFO while the batch cap and KV pool allow.
+    ///
+    /// A request is admitted when its full current context (prompt plus any
+    /// previously generated tokens) fits in free blocks. Returns the number
+    /// admitted.
+    pub fn admit_fifo(&mut self) -> usize {
+        let mut admitted = 0;
+        while self.running.len() < self.config.max_batch {
+            let Some(front) = self.waiting.front() else {
+                break;
+            };
+            let need = u64::from(front.context_len()) + 1;
+            if !self.blocks.can_hold(front.spec.id, need) {
+                break;
+            }
+            let mut req = self.waiting.pop_front().expect("front exists");
+            let ok = self.blocks.reserve(req.spec.id, need);
+            debug_assert!(ok, "can_hold implies reserve succeeds");
+            req.phase = Phase::Prefilling;
+            self.running.push(req);
+            admitted += 1;
+        }
+        admitted
+    }
+
+    /// Plans prefill chunks across running requests, up to `budget` tokens.
+    ///
+    /// Returns `(running_index, chunk_tokens)` pairs in batch order. Pass
+    /// `u32::MAX` to prefill whole remaining prompts (vLLM-style full
+    /// prefill).
+    pub fn plan_prefill(&self, budget: u32) -> Vec<(usize, u32)> {
+        let mut remaining = budget;
+        let mut plan = Vec::new();
+        for (i, r) in self.running.iter().enumerate() {
+            if remaining == 0 {
+                break;
+            }
+            if r.phase == Phase::Prefilling {
+                let chunk = r.prefill_remaining().min(remaining);
+                if chunk > 0 {
+                    plan.push((i, chunk));
+                    remaining = remaining.saturating_sub(chunk);
+                }
+            }
+        }
+        plan
+    }
+
+    /// Applies a prefill plan, advancing per-request progress.
+    pub fn apply_prefill(&mut self, plan: &[(usize, u32)]) {
+        for &(i, chunk) in plan {
+            self.running[i].advance_prefill(chunk);
+        }
+    }
+
+    /// Indices of running requests currently in the decode phase.
+    pub fn decoding_indices(&self) -> Vec<usize> {
+        self.running
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.phase == Phase::Decoding)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Samples the next output token for request `i` auto-regressively.
+    ///
+    /// The token at output position `k` is a pure function of the request
+    /// stream, so speculative and non-speculative engines produce identical
+    /// outputs for the same request.
+    pub fn next_token(&self, i: usize) -> TokenId {
+        let r = &self.running[i];
+        let dist = self.config.pair.target().next_dist(&r.lm_context());
+        match self.config.verify_mode {
+            spectree::VerifyMode::Greedy => dist.top1(),
+            spectree::VerifyMode::Stochastic => {
+                sample_seeded(&dist, r.spec.stream_seed, u64::from(r.generated()))
+            }
+        }
+    }
+
+    /// Grows request `i`'s KV reservation to its context plus `extra`
+    /// tokens, preempting other requests (latest-admitted first, vLLM's
+    /// recompute policy) if the pool is exhausted.
+    ///
+    /// Returns `false` if even preempting everything else cannot satisfy the
+    /// growth (the request itself is then preempted by the caller's policy).
+    pub fn grow_with_preemption(&mut self, i: usize, extra: u64) -> bool {
+        let id = self.running[i].spec.id;
+        let need = u64::from(self.running[i].context_len()) + extra;
+        loop {
+            if self.blocks.reserve(id, need) {
+                return true;
+            }
+            // Preempt the most recently admitted other request.
+            let victim = (0..self.running.len()).rev().find(|&j| j != i);
+            let Some(j) = victim else { return false };
+            self.preempt(j);
+        }
+    }
+
+    /// Preempts running request `j`: drops its KV and requeues it (front).
+    pub fn preempt(&mut self, j: usize) {
+        let mut req = self.running.remove(j);
+        self.blocks.release(req.spec.id);
+        req.drop_kv_for_preemption();
+        self.waiting.push_front(req);
+    }
+
+    /// Marks request `i` finished at `now_ms`; its record is collected and
+    /// its blocks are released. Call only when `is_done()`.
+    fn finish(&mut self, i: usize, now_ms: f64) {
+        let mut req = self.running.remove(i);
+        req.phase = Phase::Finished;
+        req.completion_ms = Some(now_ms);
+        self.blocks.release(req.spec.id);
+        self.finished.push(req.into_record());
+    }
+
+    /// Sweeps the running batch, finishing every request that has emitted
+    /// all of its output tokens. Returns the number finished.
+    pub fn collect_finished(&mut self, now_ms: f64) -> usize {
+        let mut n = 0;
+        let mut i = 0;
+        while i < self.running.len() {
+            if self.running[i].is_done() {
+                self.finish(i, now_ms);
+                n += 1;
+            } else {
+                i += 1;
+            }
+        }
+        n
+    }
+
+    /// Takes all completion records accumulated so far.
+    pub fn take_finished(&mut self) -> Vec<RequestRecord> {
+        std::mem::take(&mut self.finished)
+    }
+
+    /// Completed-request count (without draining).
+    pub fn finished_count(&self) -> usize {
+        self.finished.len()
+    }
+
+    /// Marks the start of decoding for any request that just finished
+    /// prefill and has no decode timestamp yet.
+    pub fn stamp_decode_starts(&mut self, now_ms: f64) {
+        for r in &mut self.running {
+            if r.phase == Phase::Decoding && r.decode_start_ms.is_none() {
+                r.decode_start_ms = Some(now_ms);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::Category;
+
+    fn spec(id: u64, prompt: u32, output: u32) -> RequestSpec {
+        RequestSpec {
+            id,
+            category: Category::Chatbot,
+            arrival_ms: 0.0,
+            prompt_len: prompt,
+            output_len: output,
+            tpot_slo_ms: 50.0,
+            stream_seed: id ^ 0xABC,
+        }
+    }
+
+    fn small_core() -> EngineCore {
+        let mut config = SystemConfig::llama70b(1);
+        config.max_batch = 4;
+        let mut core = EngineCore::new(config);
+        // Shrink the pool to make memory pressure testable: 8 blocks of 16.
+        core.blocks = BlockManager::new(8, 16);
+        core
+    }
+
+    #[test]
+    fn admit_fifo_respects_batch_cap() {
+        let mut core = small_core();
+        for id in 0..6 {
+            core.on_arrival(spec(id, 8, 4));
+        }
+        let n = core.admit_fifo();
+        assert_eq!(n, 4, "batch cap");
+        assert_eq!(core.waiting.len(), 2);
+    }
+
+    #[test]
+    fn admit_fifo_respects_memory() {
+        let mut core = small_core();
+        core.on_arrival(spec(0, 100, 4)); // 7 blocks
+        core.on_arrival(spec(1, 100, 4)); // would need 7 more
+        assert_eq!(core.admit_fifo(), 1);
+        assert_eq!(core.waiting.len(), 1);
+        assert!(core.blocks.validate().is_ok());
+    }
+
+    #[test]
+    fn prefill_plan_chunks_across_requests() {
+        let mut core = small_core();
+        core.on_arrival(spec(0, 20, 4));
+        core.on_arrival(spec(1, 20, 4));
+        core.admit_fifo();
+        let plan = core.plan_prefill(30);
+        assert_eq!(plan, vec![(0, 20), (1, 10)]);
+        core.apply_prefill(&plan);
+        assert_eq!(core.running[0].phase, Phase::Decoding);
+        assert_eq!(core.running[1].prefill_remaining(), 10);
+    }
+
+    #[test]
+    fn preemption_frees_blocks_and_requeues() {
+        let mut core = small_core();
+        core.on_arrival(spec(0, 30, 4));
+        core.on_arrival(spec(1, 30, 4));
+        core.admit_fifo();
+        assert_eq!(core.running.len(), 2);
+        core.preempt(1);
+        assert_eq!(core.running.len(), 1);
+        assert_eq!(core.waiting.len(), 1);
+        assert_eq!(core.waiting[0].preemptions, 1);
+        assert!(core.blocks.validate().is_ok());
+    }
+
+    #[test]
+    fn grow_with_preemption_evicts_latest() {
+        let mut core = small_core();
+        core.on_arrival(spec(0, 60, 40)); // 4 blocks now
+        core.on_arrival(spec(1, 60, 4)); // 4 blocks now
+        core.admit_fifo();
+        assert_eq!(core.running.len(), 2);
+        // Growing request 0 by 64 tokens needs 4 more blocks → evict req 1.
+        assert!(core.grow_with_preemption(0, 64));
+        assert_eq!(core.running.len(), 1);
+        assert_eq!(core.waiting.len(), 1);
+        assert_eq!(core.waiting[0].spec.id, 1);
+    }
+
+    #[test]
+    fn grow_fails_when_alone_and_oversized() {
+        let mut core = small_core();
+        core.on_arrival(spec(0, 30, 4));
+        core.admit_fifo();
+        assert!(!core.grow_with_preemption(0, 10_000));
+    }
+
+    #[test]
+    fn finish_and_collect_records() {
+        let mut core = small_core();
+        core.on_arrival(spec(0, 8, 2));
+        core.admit_fifo();
+        core.apply_prefill(&core.plan_prefill(u32::MAX));
+        core.stamp_decode_starts(5.0);
+        let t1 = core.next_token(0);
+        core.running[0].push_token(t1);
+        let t2 = core.next_token(0);
+        core.running[0].push_token(t2);
+        assert_eq!(core.collect_finished(42.0), 1);
+        let records = core.take_finished();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].output_tokens, 2);
+        assert_eq!(core.blocks.free_blocks(), core.blocks.total_blocks());
+    }
+
+    #[test]
+    fn next_token_is_deterministic_per_position() {
+        let mut core = small_core();
+        core.on_arrival(spec(0, 8, 4));
+        core.admit_fifo();
+        core.apply_prefill(&core.plan_prefill(u32::MAX));
+        let a = core.next_token(0);
+        let b = core.next_token(0);
+        assert_eq!(a, b, "same position, same token");
+    }
+}

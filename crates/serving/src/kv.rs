@@ -1,0 +1,187 @@
+//! Paged KV-cache block manager (PagedAttention-style).
+//!
+//! vLLM's key idea — and the memory model every engine here runs on — is to
+//! allocate KV cache in fixed-size token blocks, eliminating reservation
+//! fragmentation and enabling preemption. The manager tracks per-request
+//! block counts; when the pool is exhausted, engines preempt requests
+//! (recompute-style: KV is dropped and the context re-prefilled later).
+
+use std::collections::HashMap;
+
+/// A paged KV allocator over a fixed pool of token blocks.
+#[derive(Debug, Clone)]
+pub struct BlockManager {
+    block_tokens: u32,
+    total_blocks: u64,
+    free_blocks: u64,
+    allocated: HashMap<u64, u64>,
+}
+
+impl BlockManager {
+    /// Creates a manager for a pool of `total_blocks` blocks of
+    /// `block_tokens` tokens each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    pub fn new(total_blocks: u64, block_tokens: u32) -> Self {
+        assert!(total_blocks > 0 && block_tokens > 0);
+        Self {
+            block_tokens,
+            total_blocks,
+            free_blocks: total_blocks,
+            allocated: HashMap::new(),
+        }
+    }
+
+    /// Sizes a pool from byte capacity and per-token KV bytes.
+    pub fn from_capacity(capacity_bytes: u64, kv_bytes_per_token: u64, block_tokens: u32) -> Self {
+        let tokens = capacity_bytes / kv_bytes_per_token.max(1);
+        let blocks = (tokens / u64::from(block_tokens)).max(1);
+        Self::new(blocks, block_tokens)
+    }
+
+    /// Tokens per block.
+    pub fn block_tokens(&self) -> u32 {
+        self.block_tokens
+    }
+
+    /// Total pool size in blocks.
+    pub fn total_blocks(&self) -> u64 {
+        self.total_blocks
+    }
+
+    /// Currently free blocks.
+    pub fn free_blocks(&self) -> u64 {
+        self.free_blocks
+    }
+
+    /// Pool utilization in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        1.0 - self.free_blocks as f64 / self.total_blocks as f64
+    }
+
+    /// Blocks needed to hold `tokens` tokens.
+    pub fn blocks_for(&self, tokens: u64) -> u64 {
+        tokens.div_ceil(u64::from(self.block_tokens))
+    }
+
+    /// Whether `request` could grow to `tokens` total tokens right now.
+    pub fn can_hold(&self, request: u64, tokens: u64) -> bool {
+        let need = self.blocks_for(tokens);
+        let have = self.allocated.get(&request).copied().unwrap_or(0);
+        need.saturating_sub(have) <= self.free_blocks
+    }
+
+    /// Grows (or creates) `request`'s allocation to hold `tokens` tokens.
+    ///
+    /// Returns `false` (and changes nothing) if the pool cannot satisfy the
+    /// growth. Shrinking is not performed here; use [`BlockManager::release`].
+    pub fn reserve(&mut self, request: u64, tokens: u64) -> bool {
+        let need = self.blocks_for(tokens);
+        let have = self.allocated.get(&request).copied().unwrap_or(0);
+        if need <= have {
+            return true;
+        }
+        let extra = need - have;
+        if extra > self.free_blocks {
+            return false;
+        }
+        self.free_blocks -= extra;
+        self.allocated.insert(request, need);
+        true
+    }
+
+    /// Releases all of `request`'s blocks (no-op if absent).
+    pub fn release(&mut self, request: u64) {
+        if let Some(blocks) = self.allocated.remove(&request) {
+            self.free_blocks += blocks;
+            debug_assert!(self.free_blocks <= self.total_blocks);
+        }
+    }
+
+    /// Blocks currently held by `request`.
+    pub fn held_by(&self, request: u64) -> u64 {
+        self.allocated.get(&request).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct requests holding blocks.
+    pub fn active_requests(&self) -> usize {
+        self.allocated.len()
+    }
+
+    /// Checks pool accounting invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        let used: u64 = self.allocated.values().sum();
+        if used + self.free_blocks != self.total_blocks {
+            return Err(format!(
+                "accounting mismatch: used {used} + free {} != total {}",
+                self.free_blocks, self.total_blocks
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_and_release_roundtrip() {
+        let mut m = BlockManager::new(10, 16);
+        assert!(m.reserve(1, 40)); // 3 blocks
+        assert_eq!(m.held_by(1), 3);
+        assert_eq!(m.free_blocks(), 7);
+        m.release(1);
+        assert_eq!(m.free_blocks(), 10);
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn growth_only_charges_delta() {
+        let mut m = BlockManager::new(10, 16);
+        assert!(m.reserve(1, 16)); // 1 block
+        assert!(m.reserve(1, 17)); // grow to 2
+        assert_eq!(m.held_by(1), 2);
+        assert_eq!(m.free_blocks(), 8);
+        // Shrink requests are no-ops.
+        assert!(m.reserve(1, 1));
+        assert_eq!(m.held_by(1), 2);
+    }
+
+    #[test]
+    fn exhaustion_fails_without_state_change() {
+        let mut m = BlockManager::new(2, 16);
+        assert!(m.reserve(1, 32));
+        assert!(!m.reserve(2, 16));
+        assert_eq!(m.free_blocks(), 0);
+        assert_eq!(m.held_by(2), 0);
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn can_hold_predicts_reserve() {
+        let mut m = BlockManager::new(3, 16);
+        assert!(m.can_hold(1, 48));
+        assert!(!m.can_hold(1, 49));
+        assert!(m.reserve(1, 48));
+        assert!(m.can_hold(1, 48));
+        assert!(!m.can_hold(2, 1));
+    }
+
+    #[test]
+    fn from_capacity_sizes_pool() {
+        // 1 MiB capacity, 1 KiB per token → 1024 tokens → 64 blocks of 16.
+        let m = BlockManager::from_capacity(1 << 20, 1 << 10, 16);
+        assert_eq!(m.total_blocks(), 64);
+    }
+
+    #[test]
+    fn utilization_tracks_usage() {
+        let mut m = BlockManager::new(4, 16);
+        assert_eq!(m.utilization(), 0.0);
+        m.reserve(1, 32);
+        assert!((m.utilization() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,35 @@
+//! The serving substrate shared by AdaServe and every baseline engine.
+//!
+//! This crate is the "execution engine + request manager" half of the
+//! paper's Fig. 6, factored so all serving systems run on identical
+//! infrastructure:
+//!
+//! * [`request`] — runtime request state (prompt, generated tokens, phase,
+//!   per-phase timestamps);
+//! * [`kv`] — a PagedAttention-style block manager with preemption support
+//!   (vLLM [22]'s memory model, which the paper's baselines rely on);
+//! * [`config`] — a deployed system: latency testbed + synthetic model pair;
+//! * [`engine`] — the [`engine::ServingEngine`] trait and the discrete-event
+//!   [`engine::run`] driver that advances simulated GPU time;
+//! * [`core`] — [`core::EngineCore`], the queueing/admission/prefill and
+//!   bookkeeping machinery engines compose (waiting queue, running batch,
+//!   completion records, latency breakdown).
+//!
+//! GPU passes are *timed* by the roofline model but their *results* (which
+//! tokens get generated/accepted) come from real computation against the
+//! synthetic language models — the scheduling logic under study runs for
+//! real.
+
+pub mod config;
+pub mod core;
+pub mod engine;
+pub mod kv;
+pub mod request;
+pub mod swap;
+
+pub use config::SystemConfig;
+pub use core::EngineCore;
+pub use engine::{run, RunOptions, RunResult, ServingEngine, StepResult};
+pub use kv::BlockManager;
+pub use request::{LiveRequest, Phase};
+pub use swap::SwapLink;

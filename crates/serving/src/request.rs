@@ -1,0 +1,274 @@
+//! Runtime request state.
+
+use simllm::{ContentClass, LmContext, TokenId};
+use workload::RequestSpec;
+
+/// Lifecycle phase of a live request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// In the waiting queue; no KV allocated.
+    Waiting,
+    /// Admitted; prompt (or recomputation) partially prefilled.
+    Prefilling,
+    /// Actively decoding.
+    Decoding,
+    /// All output tokens emitted.
+    Finished,
+}
+
+/// A request being served: static spec plus mutable progress.
+#[derive(Debug, Clone)]
+pub struct LiveRequest {
+    /// The immutable workload spec.
+    pub spec: RequestSpec,
+    /// Prompt + generated tokens.
+    tokens: Vec<TokenId>,
+    /// Number of generated (output) tokens so far.
+    generated: u32,
+    /// Tokens prefilled into KV so far (≤ context length).
+    prefilled: u32,
+    /// Current phase.
+    pub phase: Phase,
+    /// When the first decode iteration started (set once).
+    pub decode_start_ms: Option<f64>,
+    /// When the final token was emitted.
+    pub completion_ms: Option<f64>,
+    /// Accepted speculated tokens, cumulative.
+    pub accepted_tokens: u64,
+    /// Verification / decode iterations participated in.
+    pub verify_steps: u64,
+    /// Preemption count.
+    pub preemptions: u32,
+}
+
+impl LiveRequest {
+    /// Materializes a live request from its spec.
+    pub fn new(spec: RequestSpec) -> Self {
+        let tokens = spec.prompt_tokens();
+        Self {
+            spec,
+            tokens,
+            generated: 0,
+            prefilled: 0,
+            phase: Phase::Waiting,
+            decode_start_ms: None,
+            completion_ms: None,
+            accepted_tokens: 0,
+            verify_steps: 0,
+            preemptions: 0,
+        }
+    }
+
+    /// The request's content class (drives LM statistics).
+    pub fn content_class(&self) -> ContentClass {
+        self.spec.category.content_class()
+    }
+
+    /// Full token sequence (prompt + generated).
+    pub fn tokens(&self) -> &[TokenId] {
+        &self.tokens
+    }
+
+    /// Current context length (tokens in the logical KV cache when fully
+    /// prefilled): prompt + generated.
+    pub fn context_len(&self) -> u32 {
+        self.tokens.len() as u32
+    }
+
+    /// Output tokens generated so far (the paper's `o_i`).
+    pub fn generated(&self) -> u32 {
+        self.generated
+    }
+
+    /// Output tokens still to generate.
+    pub fn remaining(&self) -> u32 {
+        self.spec.output_len.saturating_sub(self.generated)
+    }
+
+    /// Tokens prefilled so far.
+    pub fn prefilled(&self) -> u32 {
+        self.prefilled
+    }
+
+    /// Tokens of context still needing prefill before decode can proceed.
+    pub fn prefill_remaining(&self) -> u32 {
+        self.context_len().saturating_sub(self.prefilled)
+    }
+
+    /// Advances prefill progress by `n` tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if advancing beyond the context length.
+    pub fn advance_prefill(&mut self, n: u32) {
+        assert!(self.prefilled + n <= self.context_len(), "prefill overrun");
+        self.prefilled += n;
+        self.phase = Phase::Prefilling;
+        if self.prefill_remaining() == 0 {
+            self.phase = Phase::Decoding;
+        }
+    }
+
+    /// Appends one generated token (also counts as prefilled: verification /
+    /// decode writes its KV entry in the same pass).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request is already finished.
+    pub fn push_token(&mut self, token: TokenId) {
+        assert!(
+            self.generated < self.spec.output_len,
+            "pushing past output length"
+        );
+        self.tokens.push(token);
+        self.generated += 1;
+        self.prefilled += 1;
+    }
+
+    /// Whether all output tokens have been emitted.
+    pub fn is_done(&self) -> bool {
+        self.generated >= self.spec.output_len
+    }
+
+    /// Drops KV state for preemption-by-recomputation (vLLM style): the
+    /// request keeps its generated tokens but must re-prefill its whole
+    /// context when re-admitted.
+    pub fn drop_kv_for_preemption(&mut self) {
+        self.prefilled = 0;
+        self.phase = Phase::Waiting;
+        self.preemptions += 1;
+    }
+
+    /// Decode-time latency so far (the paper's `l_i`): time since the first
+    /// decode step.
+    pub fn decode_latency_ms(&self, now_ms: f64) -> f64 {
+        self.decode_start_ms.map_or(0.0, |s| (now_ms - s).max(0.0))
+    }
+
+    /// Current average TPOT if the request finished at `now_ms`.
+    pub fn current_avg_tpot_ms(&self, now_ms: f64) -> f64 {
+        if self.generated == 0 {
+            return 0.0;
+        }
+        self.decode_latency_ms(now_ms) / f64::from(self.generated)
+    }
+
+    /// LM context for the current sequence tail.
+    pub fn lm_context(&self) -> LmContext<'_> {
+        LmContext::new(self.spec.stream_seed, self.content_class(), &self.tokens)
+    }
+
+    /// Converts a finished request into its telemetry record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request has not finished (missing timestamps).
+    pub fn into_record(self) -> metrics::RequestRecord {
+        assert!(self.is_done(), "request not finished");
+        metrics::RequestRecord {
+            id: self.spec.id,
+            category: self.spec.category,
+            tpot_slo_ms: self.spec.tpot_slo_ms,
+            arrival_ms: self.spec.arrival_ms,
+            decode_start_ms: self.decode_start_ms.expect("decode started"),
+            completion_ms: self.completion_ms.expect("completion recorded"),
+            output_tokens: self.generated,
+            accepted_tokens: self.accepted_tokens,
+            verify_steps: self.verify_steps,
+            preemptions: self.preemptions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::Category;
+
+    fn spec() -> RequestSpec {
+        RequestSpec {
+            id: 1,
+            category: Category::Chatbot,
+            arrival_ms: 0.0,
+            prompt_len: 8,
+            output_len: 4,
+            tpot_slo_ms: 50.0,
+            stream_seed: 7,
+        }
+    }
+
+    #[test]
+    fn new_request_needs_full_prefill() {
+        let r = LiveRequest::new(spec());
+        assert_eq!(r.phase, Phase::Waiting);
+        assert_eq!(r.context_len(), 8);
+        assert_eq!(r.prefill_remaining(), 8);
+        assert_eq!(r.remaining(), 4);
+    }
+
+    #[test]
+    fn prefill_transitions_to_decoding() {
+        let mut r = LiveRequest::new(spec());
+        r.advance_prefill(5);
+        assert_eq!(r.phase, Phase::Prefilling);
+        r.advance_prefill(3);
+        assert_eq!(r.phase, Phase::Decoding);
+        assert_eq!(r.prefill_remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "prefill overrun")]
+    fn prefill_overrun_panics() {
+        let mut r = LiveRequest::new(spec());
+        r.advance_prefill(9);
+    }
+
+    #[test]
+    fn push_token_tracks_progress() {
+        let mut r = LiveRequest::new(spec());
+        r.advance_prefill(8);
+        r.push_token(TokenId(42));
+        assert_eq!(r.generated(), 1);
+        assert_eq!(r.context_len(), 9);
+        assert_eq!(r.prefill_remaining(), 0, "decode writes its own KV");
+        assert!(!r.is_done());
+        for t in [1u32, 2, 3] {
+            r.push_token(TokenId(t));
+        }
+        assert!(r.is_done());
+    }
+
+    #[test]
+    fn preemption_resets_prefill_but_keeps_tokens() {
+        let mut r = LiveRequest::new(spec());
+        r.advance_prefill(8);
+        r.push_token(TokenId(42));
+        r.drop_kv_for_preemption();
+        assert_eq!(r.generated(), 1);
+        assert_eq!(r.prefill_remaining(), 9, "whole context recomputed");
+        assert_eq!(r.preemptions, 1);
+        assert_eq!(r.phase, Phase::Waiting);
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let mut r = LiveRequest::new(spec());
+        r.advance_prefill(8);
+        r.decode_start_ms = Some(10.0);
+        for t in 0..4u32 {
+            r.push_token(TokenId(t + 10));
+        }
+        r.completion_ms = Some(110.0);
+        let rec = r.into_record();
+        assert_eq!(rec.output_tokens, 4);
+        assert!((rec.avg_tpot_ms() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decode_latency_starts_at_decode() {
+        let mut r = LiveRequest::new(spec());
+        assert_eq!(r.decode_latency_ms(50.0), 0.0);
+        r.decode_start_ms = Some(30.0);
+        assert!((r.decode_latency_ms(50.0) - 20.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,105 @@
+//! Swap-based preemption cost model.
+//!
+//! vLLM offers two preemption strategies: *recompute* (drop KV, re-prefill
+//! later — the default modelled by [`crate::request::LiveRequest::drop_kv_for_preemption`])
+//! and *swap* (copy the victim's KV blocks to host memory over PCIe and
+//! copy them back on resume). Recompute trades GPU compute for memory
+//! traffic; swap is cheaper for long contexts but serializes on the PCIe
+//! link. This module models the swap path so engines (and ablations) can
+//! compare both policies on equal footing.
+
+/// PCIe link model for KV swapping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwapLink {
+    /// Sustained host↔device bandwidth in GB/s (PCIe 4.0 x16 ≈ 24 GB/s
+    /// effective).
+    pub bandwidth_gbps: f64,
+    /// Per-transfer setup latency in microseconds.
+    pub setup_us: f64,
+}
+
+impl Default for SwapLink {
+    fn default() -> Self {
+        Self {
+            bandwidth_gbps: 24.0,
+            setup_us: 20.0,
+        }
+    }
+}
+
+impl SwapLink {
+    /// Time (ms) to move `bytes` across the link in one direction.
+    pub fn transfer_ms(&self, bytes: u64) -> f64 {
+        self.setup_us * 1e-3 + bytes as f64 / (self.bandwidth_gbps * 1e9) * 1e3
+    }
+
+    /// Time (ms) to swap out a context of `tokens` tokens at
+    /// `kv_bytes_per_token`.
+    pub fn swap_out_ms(&self, tokens: u64, kv_bytes_per_token: u64) -> f64 {
+        self.transfer_ms(tokens * kv_bytes_per_token)
+    }
+
+    /// Time (ms) to swap the same context back in.
+    pub fn swap_in_ms(&self, tokens: u64, kv_bytes_per_token: u64) -> f64 {
+        self.transfer_ms(tokens * kv_bytes_per_token)
+    }
+
+    /// Whether swapping a context beats recomputing it.
+    ///
+    /// `recompute_ms` is the prefill cost of regenerating the KV; the swap
+    /// round trip (out + in) must be cheaper to be worthwhile.
+    pub fn swap_beats_recompute(
+        &self,
+        tokens: u64,
+        kv_bytes_per_token: u64,
+        recompute_ms: f64,
+    ) -> bool {
+        self.swap_out_ms(tokens, kv_bytes_per_token) + self.swap_in_ms(tokens, kv_bytes_per_token)
+            < recompute_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roofline::{ForwardPass, LatencyModel, SeqWork};
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let link = SwapLink::default();
+        let small = link.transfer_ms(1 << 20);
+        let big = link.transfer_ms(1 << 30);
+        assert!(big > 100.0 * small);
+    }
+
+    #[test]
+    fn kv_swap_of_long_context_is_tens_of_ms() {
+        // 2048 tokens × ~328 KB/token ≈ 0.67 GB → ~28 ms at 24 GB/s.
+        let link = SwapLink::default();
+        let kv = roofline::ModelSpec::llama_70b().kv_bytes_per_token();
+        let ms = link.swap_out_ms(2048, kv);
+        assert!(ms > 10.0 && ms < 60.0, "swap = {ms} ms");
+    }
+
+    #[test]
+    fn swap_beats_recompute_for_long_contexts_on_70b() {
+        let link = SwapLink::default();
+        let target = LatencyModel::llama70b_4xa100();
+        let kv = target.model().kv_bytes_per_token();
+        for tokens in [256u64, 1024, 4096] {
+            let recompute_ms = target.forward_latency_ms(
+                &ForwardPass::new(vec![SeqWork::prefill(tokens as u32, 0)]),
+                false,
+            );
+            let swap_roundtrip = link.swap_out_ms(tokens, kv) + link.swap_in_ms(tokens, kv);
+            // On the 70B model recompute costs ~0.22 ms/token while the swap
+            // round trip costs ~0.027 ms/token: swap should win at scale.
+            if tokens >= 1024 {
+                assert!(
+                    link.swap_beats_recompute(tokens, kv, recompute_ms),
+                    "tokens={tokens}: swap {swap_roundtrip:.1} !< recompute {recompute_ms:.1}"
+                );
+            }
+        }
+    }
+}

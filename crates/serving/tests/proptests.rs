@@ -1,0 +1,78 @@
+//! Property tests for the paged KV block manager.
+
+use proptest::prelude::*;
+use serving::BlockManager;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Reserve { request: u64, tokens: u64 },
+    Release { request: u64 },
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..12, 1u64..600).prop_map(|(request, tokens)| Op::Reserve { request, tokens }),
+            (0u64..12).prop_map(|request| Op::Release { request }),
+        ],
+        0..80,
+    )
+}
+
+proptest! {
+    #[test]
+    fn accounting_never_breaks(ops in arb_ops(), total in 1u64..64, block in 1u32..64) {
+        let mut m = BlockManager::new(total, block);
+        // Shadow model: per-request token high-water marks.
+        let mut shadow: std::collections::HashMap<u64, u64> = Default::default();
+        for op in ops {
+            match op {
+                Op::Reserve { request, tokens } => {
+                    let ok = m.reserve(request, tokens);
+                    let predicted = m.can_hold(request, tokens);
+                    if ok {
+                        let blocks = tokens.div_ceil(u64::from(block));
+                        let prev = shadow.entry(request).or_insert(0);
+                        *prev = (*prev).max(blocks);
+                        prop_assert!(predicted, "reserve succeeded but can_hold said no");
+                    }
+                }
+                Op::Release { request } => {
+                    m.release(request);
+                    shadow.remove(&request);
+                }
+            }
+            prop_assert!(m.validate().is_ok());
+            let used: u64 = shadow.values().sum();
+            prop_assert_eq!(m.free_blocks(), total - used);
+            prop_assert!(m.utilization() >= 0.0 && m.utilization() <= 1.0);
+        }
+        // Release everything: the pool must be whole again.
+        for request in 0..12u64 {
+            m.release(request);
+        }
+        prop_assert_eq!(m.free_blocks(), total);
+    }
+
+    #[test]
+    fn failed_reserve_changes_nothing(total in 1u64..8, block in 1u32..32) {
+        let mut m = BlockManager::new(total, block);
+        // Fill the pool with request 0.
+        prop_assert!(m.reserve(0, total * u64::from(block)));
+        let free_before = m.free_blocks();
+        let held_before = m.held_by(1);
+        prop_assert!(!m.reserve(1, 1));
+        prop_assert_eq!(m.free_blocks(), free_before);
+        prop_assert_eq!(m.held_by(1), held_before);
+    }
+
+    #[test]
+    fn blocks_for_is_exact_ceiling(tokens in 0u64..10_000, block in 1u32..128) {
+        let m = BlockManager::new(1, block);
+        let blocks = m.blocks_for(tokens);
+        prop_assert!(blocks * u64::from(block) >= tokens);
+        if blocks > 0 {
+            prop_assert!((blocks - 1) * u64::from(block) < tokens);
+        }
+    }
+}

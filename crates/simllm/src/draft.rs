@@ -1,0 +1,155 @@
+//! The divergence-controlled draft (speculating) language model.
+
+use crate::dist::SparseDist;
+use crate::lm::{Lm, LmContext};
+use crate::target::{TargetLm, TargetLmConfig};
+
+/// The draft model: a perturbed view of the target model.
+///
+/// Real draft models are smaller members of the same family, distilled or
+/// co-trained so their logits track the target's (paper §4.2: "the logits of
+/// the draft model are accurate surrogates for estimating f(v)"). We model
+/// this as a pointwise mixture
+///
+/// ```text
+/// q(· | ctx) = (1 - δ_c) · p(· | ctx) + δ_c · noise(· | ctx)
+/// ```
+///
+/// where `p` is the target distribution, `noise` is an independent hash model
+/// over the same vocabulary, and the effective divergence `δ_c` scales with
+/// the content class `c` (code drafts align best, long-form prose worst).
+/// δ directly controls the expected acceptance rate, making calibration to
+/// published speculative-decoding numbers a one-parameter fit.
+#[derive(Debug, Clone)]
+pub struct DraftLm {
+    target: TargetLm,
+    noise: TargetLm,
+    /// Base divergence δ before per-class scaling.
+    divergence: f64,
+}
+
+impl DraftLm {
+    /// Derives a draft model from a target model with base divergence `δ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ δ ≤ 1`.
+    pub fn from_target(target: &TargetLm, divergence: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&divergence),
+            "divergence must be in [0, 1]"
+        );
+        let mut noise_config: TargetLmConfig = *target.config();
+        // The noise model is an independent process: different seed, flatter head.
+        noise_config.seed = crate::hash::mix64(target.config().seed ^ 0xD12A_F7ED);
+        noise_config.weight_jitter = 0.8;
+        Self {
+            target: target.clone(),
+            noise: TargetLm::new(noise_config),
+            divergence,
+        }
+    }
+
+    /// Base (class-unscaled) divergence δ.
+    pub fn divergence(&self) -> f64 {
+        self.divergence
+    }
+
+    /// Effective divergence for a content class, clamped to [0, 1].
+    pub fn effective_divergence(&self, class: crate::ContentClass) -> f64 {
+        (self.divergence * class.divergence_scale()).clamp(0.0, 1.0)
+    }
+}
+
+impl Lm for DraftLm {
+    fn vocab_size(&self) -> u32 {
+        self.target.vocab_size()
+    }
+
+    fn next_dist(&self, ctx: &LmContext<'_>) -> SparseDist {
+        let p = self.target.next_dist(ctx);
+        let delta = self.effective_divergence(ctx.class);
+        if delta == 0.0 {
+            return p;
+        }
+        let noise = self.noise.next_dist(ctx);
+        p.blend(&noise, delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lm::ContentClass;
+    use crate::TokenId;
+
+    fn make_pair(delta: f64) -> (TargetLm, DraftLm) {
+        let t = TargetLm::new(TargetLmConfig::default_with_seed(77));
+        let d = DraftLm::from_target(&t, delta);
+        (t, d)
+    }
+
+    fn total_variation(p: &SparseDist, q: &SparseDist) -> f64 {
+        let mut tokens: Vec<TokenId> = p.entries().iter().map(|&(t, _)| t).collect();
+        tokens.extend(q.entries().iter().map(|&(t, _)| t));
+        tokens.sort();
+        tokens.dedup();
+        0.5 * tokens
+            .iter()
+            .map(|&t| (p.prob(t) - q.prob(t)).abs())
+            .sum::<f64>()
+    }
+
+    #[test]
+    fn zero_divergence_matches_target() {
+        let (t, d) = make_pair(0.0);
+        let tokens = vec![TokenId(4), TokenId(5)];
+        let ctx = LmContext::new(3, ContentClass::Chat, &tokens);
+        assert_eq!(t.next_dist(&ctx), d.next_dist(&ctx));
+    }
+
+    #[test]
+    fn divergence_increases_distance() {
+        let tokens = vec![TokenId(4), TokenId(5)];
+        let ctx = LmContext::new(3, ContentClass::Chat, &tokens);
+        let (t, d_small) = make_pair(0.05);
+        let (_, d_large) = make_pair(0.5);
+        let p = t.next_dist(&ctx);
+        let tv_small = total_variation(&p, &d_small.next_dist(&ctx));
+        let tv_large = total_variation(&p, &d_large.next_dist(&ctx));
+        assert!(tv_small < tv_large, "{tv_small} !< {tv_large}");
+        assert!(tv_small > 0.0);
+    }
+
+    #[test]
+    fn code_drafts_align_better_than_news() {
+        let (t, d) = make_pair(0.25);
+        let tokens = vec![TokenId(4), TokenId(5)];
+        let mut tv = std::collections::HashMap::new();
+        for s in 0..40u64 {
+            for class in [ContentClass::Code, ContentClass::News] {
+                let ctx = LmContext::new(s, class, &tokens);
+                *tv.entry(class).or_insert(0.0) +=
+                    total_variation(&t.next_dist(&ctx), &d.next_dist(&ctx)) / 40.0;
+            }
+        }
+        assert!(tv[&ContentClass::Code] < tv[&ContentClass::News]);
+    }
+
+    #[test]
+    fn draft_dists_are_valid() {
+        let (_, d) = make_pair(0.3);
+        let tokens = vec![TokenId(9)];
+        for class in ContentClass::ALL {
+            let ctx = LmContext::new(11, class, &tokens);
+            d.next_dist(&ctx).validate().expect("valid draft dist");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divergence")]
+    fn divergence_out_of_range_rejected() {
+        let t = TargetLm::new(TargetLmConfig::default_with_seed(1));
+        let _ = DraftLm::from_target(&t, 1.5);
+    }
+}

@@ -1,0 +1,173 @@
+//! The language-model interface: contexts, content classes and the [`Lm`] trait.
+
+use crate::dist::SparseDist;
+use crate::vocab::TokenId;
+
+/// Content class of a request's text stream.
+///
+/// The paper's three request categories carry different *content*: code
+/// completions (HumanEval), instruction-following chat (Alpaca) and news
+/// summarization (CNN/DailyMail). Content affects two statistics that matter
+/// for speculative decoding:
+///
+/// * **target predictability** — code is low-entropy (high top-1 mass), prose
+///   is flatter;
+/// * **draft alignment** — published acceptance rates are highest on code and
+///   lowest on long-form summarization.
+///
+/// Each class therefore selects a (peakedness, divergence-multiplier) pair in
+/// the synthetic models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ContentClass {
+    /// Code completion (HumanEval-like): highly predictable continuations.
+    Code,
+    /// Conversational/instruction content (Alpaca-like).
+    Chat,
+    /// Long-document summarization content (CNN/DailyMail-like).
+    News,
+}
+
+impl ContentClass {
+    /// All classes, in a stable order.
+    pub const ALL: [ContentClass; 3] = [ContentClass::Code, ContentClass::Chat, ContentClass::News];
+
+    /// Geometric decay ratio of the head probabilities: larger = flatter.
+    ///
+    /// The head of the next-token distribution follows `p_i ∝ r^i`; code uses
+    /// a small ratio (top-1 dominant), summaries a larger one. Values are
+    /// calibrated so that per-token acceptance under SpecInfer-style match
+    /// verification (≈ target top-1 mass for an aligned draft) lands at
+    /// ~0.85 / ~0.75 / ~0.68 for code / chat / news, which reproduces the
+    /// published 2–3 accepted tokens per length-4 sequence speculation.
+    pub fn head_decay(self) -> f64 {
+        match self {
+            ContentClass::Code => 0.10,
+            ContentClass::Chat => 0.20,
+            ContentClass::News => 0.30,
+        }
+    }
+
+    /// Multiplier on the model pair's base draft divergence.
+    pub fn divergence_scale(self) -> f64 {
+        match self {
+            ContentClass::Code => 0.6,
+            ContentClass::Chat => 1.0,
+            ContentClass::News => 1.4,
+        }
+    }
+
+    /// Stable small integer id (used in hashing).
+    pub fn id(self) -> u64 {
+        match self {
+            ContentClass::Code => 0,
+            ContentClass::Chat => 1,
+            ContentClass::News => 2,
+        }
+    }
+}
+
+/// A decoding context: everything the next-token distribution conditions on.
+///
+/// `stream_seed` identifies the request's content stream (two requests with
+/// different seeds are independent processes); `tokens` is the generated
+/// sequence so far. Only the last [`LmContext::MARKOV_ORDER`] tokens influence
+/// the distribution, mirroring the locality of n-gram statistics while keeping
+/// hashing O(1).
+#[derive(Debug, Clone, Copy)]
+pub struct LmContext<'a> {
+    /// Seed identifying this request's content stream.
+    pub stream_seed: u64,
+    /// Content class of the stream.
+    pub class: ContentClass,
+    /// The token sequence decoded so far (prompt + generated).
+    pub tokens: &'a [TokenId],
+}
+
+impl<'a> LmContext<'a> {
+    /// Number of trailing tokens the distribution conditions on.
+    pub const MARKOV_ORDER: usize = 6;
+
+    /// Creates a context.
+    pub fn new(stream_seed: u64, class: ContentClass, tokens: &'a [TokenId]) -> Self {
+        Self {
+            stream_seed,
+            class,
+            tokens,
+        }
+    }
+
+    /// The trailing window of tokens the models condition on.
+    pub fn window(&self) -> &'a [TokenId] {
+        let n = self.tokens.len();
+        &self.tokens[n.saturating_sub(Self::MARKOV_ORDER)..]
+    }
+
+    /// A context identical to this one but extended with `suffix` tokens.
+    ///
+    /// Used by beam search to evaluate hypothetical continuations without
+    /// copying the full prefix: `suffix` is appended to `tokens` logically by
+    /// the caller providing a scratch buffer.
+    pub fn hash(&self) -> u64 {
+        let window: Vec<u32> = self.window().iter().map(|t| t.0).collect();
+        crate::hash::hash_tokens(
+            crate::hash::combine(self.stream_seed, self.class.id() ^ 0xC0DE_0001_5A17),
+            &window,
+        )
+    }
+}
+
+/// A language model: maps contexts to next-token distributions.
+///
+/// Implementations must be pure: the same context always yields the same
+/// distribution. This is what makes the whole reproduction deterministic.
+pub trait Lm {
+    /// Vocabulary size the model emits over.
+    fn vocab_size(&self) -> u32;
+
+    /// Next-token distribution for `ctx`.
+    fn next_dist(&self, ctx: &LmContext<'_>) -> SparseDist;
+
+    /// Convenience: distribution for a context extended by `extra` tokens.
+    ///
+    /// Beam search needs `p(· | prefix ++ hypothesis)` for many hypotheses;
+    /// this default assembles the extended token slice in a scratch buffer.
+    fn next_dist_extended(
+        &self,
+        ctx: &LmContext<'_>,
+        extra: &[TokenId],
+        scratch: &mut Vec<TokenId>,
+    ) -> SparseDist {
+        scratch.clear();
+        scratch.extend_from_slice(ctx.window());
+        scratch.extend_from_slice(extra);
+        let ext = LmContext::new(ctx.stream_seed, ctx.class, scratch);
+        self.next_dist(&ext)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_takes_trailing_tokens() {
+        let tokens: Vec<TokenId> = (0..10).map(TokenId).collect();
+        let ctx = LmContext::new(1, ContentClass::Chat, &tokens);
+        assert_eq!(ctx.window().len(), LmContext::MARKOV_ORDER);
+        assert_eq!(ctx.window()[0], TokenId(4));
+    }
+
+    #[test]
+    fn short_context_window_is_whole_sequence() {
+        let tokens = vec![TokenId(3)];
+        let ctx = LmContext::new(1, ContentClass::Chat, &tokens);
+        assert_eq!(ctx.window(), &tokens[..]);
+    }
+
+    #[test]
+    fn class_parameters_are_ordered_by_predictability() {
+        assert!(ContentClass::Code.head_decay() < ContentClass::Chat.head_decay());
+        assert!(ContentClass::Chat.head_decay() < ContentClass::News.head_decay());
+        assert!(ContentClass::Code.divergence_scale() < ContentClass::News.divergence_scale());
+    }
+}

@@ -1,0 +1,126 @@
+//! Token identifiers and vocabulary metadata.
+
+use std::fmt;
+
+/// A token identifier in the shared vocabulary.
+///
+/// Token ids are opaque; the substrate never materializes token *text* except
+/// for demo rendering (see [`Vocab::render`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TokenId(pub u32);
+
+impl fmt::Display for TokenId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Beginning-of-sequence token, used as the root of prompt-less trees.
+pub const BOS_TOKEN: TokenId = TokenId(0);
+
+/// End-of-sequence token. The serving layer forces it once a request reaches
+/// its sampled output length.
+pub const EOS_TOKEN: TokenId = TokenId(1);
+
+/// Number of reserved special tokens at the bottom of the id space.
+pub const NUM_SPECIAL_TOKENS: u32 = 2;
+
+/// Vocabulary metadata.
+///
+/// The default size mirrors the Llama-3 tokenizer (128,256 entries); the
+/// distributions in [`crate::dist`] are sparse so the size only affects tail
+/// sampling and never costs O(|V|) work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Vocab {
+    size: u32,
+}
+
+impl Vocab {
+    /// Creates a vocabulary of `size` tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` does not leave room for the reserved special tokens.
+    pub fn new(size: u32) -> Self {
+        assert!(size > NUM_SPECIAL_TOKENS, "vocab must hold special tokens");
+        Self { size }
+    }
+
+    /// The Llama-3 style default (128,256 tokens).
+    pub fn llama3() -> Self {
+        Self::new(128_256)
+    }
+
+    /// Total number of tokens.
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// Whether `token` is a valid id in this vocabulary.
+    pub fn contains(&self, token: TokenId) -> bool {
+        token.0 < self.size
+    }
+
+    /// Renders a token as pseudo-text for demos and examples.
+    ///
+    /// Produces a deterministic lowercase pseudo-word so example binaries can
+    /// print readable output streams without a real tokenizer.
+    pub fn render(&self, token: TokenId) -> String {
+        match token {
+            BOS_TOKEN => "<bos>".to_string(),
+            EOS_TOKEN => "<eos>".to_string(),
+            TokenId(id) => {
+                let mut h = crate::hash::mix64(u64::from(id) ^ 0x5EED);
+                let len = 3 + (h % 5) as usize;
+                let mut s = String::with_capacity(len);
+                for _ in 0..len {
+                    h = crate::hash::mix64(h);
+                    let c = b'a' + (h % 26) as u8;
+                    s.push(c as char);
+                }
+                s
+            }
+        }
+    }
+}
+
+impl Default for Vocab {
+    fn default() -> Self {
+        Self::llama3()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_vocab_is_llama3_sized() {
+        assert_eq!(Vocab::default().size(), 128_256);
+    }
+
+    #[test]
+    fn contains_checks_bounds() {
+        let v = Vocab::new(100);
+        assert!(v.contains(TokenId(0)));
+        assert!(v.contains(TokenId(99)));
+        assert!(!v.contains(TokenId(100)));
+    }
+
+    #[test]
+    fn render_is_deterministic_and_readable() {
+        let v = Vocab::default();
+        assert_eq!(v.render(TokenId(42)), v.render(TokenId(42)));
+        assert_eq!(v.render(BOS_TOKEN), "<bos>");
+        assert_eq!(v.render(EOS_TOKEN), "<eos>");
+        let w = v.render(TokenId(1234));
+        assert!(w.chars().all(|c| c.is_ascii_lowercase()));
+        assert!((3..=8).contains(&w.len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "special tokens")]
+    fn tiny_vocab_rejected() {
+        let _ = Vocab::new(1);
+    }
+}

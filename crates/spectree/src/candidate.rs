@@ -1,0 +1,208 @@
+//! Beam-search construction of candidate token trees (paper §4.3, step 1).
+//!
+//! The speculation phase runs the draft model for `d` parallel decoding steps
+//! with beam width `w`, producing a candidate tree per request. Theorem 4.1
+//! guarantees that a beam of width `B` (the token budget) and depth `D_opt`
+//! covers the optimal draft tree; in practice AdaServe tunes `(d, w)` to much
+//! smaller values via adaptive control, trading coverage for speculation
+//! cost.
+//!
+//! Candidate-tree layout mirrors the paper: the first layer holds the top-`w`
+//! children of the root, and every subsequent layer holds the global top-`w`
+//! among all expansions of the previous layer's beam (classic beam search on
+//! approximated path probabilities).
+
+use crate::tree::{NodeId, TokenTree};
+use simllm::{Lm, LmContext, TokenId};
+
+/// Speculation parameters: tree depth and beam width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpecParams {
+    /// Number of draft decoding steps (candidate-tree depth).
+    pub depth: u32,
+    /// Beam width per step.
+    pub width: u32,
+}
+
+impl SpecParams {
+    /// Creates parameters, validating both are at least 1.
+    pub fn new(depth: u32, width: u32) -> Self {
+        assert!(depth >= 1 && width >= 1, "depth and width must be >= 1");
+        Self { depth, width }
+    }
+
+    /// Upper bound on candidate-tree size (excluding the root).
+    pub fn max_nodes(&self) -> u32 {
+        self.depth * self.width
+    }
+}
+
+/// A candidate token tree produced by the speculation phase.
+#[derive(Debug, Clone)]
+pub struct CandidateTree {
+    tree: TokenTree,
+    /// Beam (node ids) per layer, layer 0 = children of root.
+    layers: Vec<Vec<NodeId>>,
+    /// Draft-model tokens decoded while building this tree (cost accounting).
+    draft_tokens_processed: u32,
+}
+
+impl CandidateTree {
+    /// Runs `params.depth` beam-search steps of the draft model `lm`.
+    ///
+    /// `ctx` must end at the request's last generated token, which becomes
+    /// the candidate tree's root.
+    pub fn speculate(lm: &dyn Lm, ctx: &LmContext<'_>, params: SpecParams) -> Self {
+        let root_token = *ctx.tokens.last().expect("context must not be empty");
+        let mut tree = TokenTree::new(root_token);
+        let mut layers: Vec<Vec<NodeId>> = Vec::with_capacity(params.depth as usize);
+        let mut draft_tokens_processed = 0u32;
+        let mut scratch = Vec::new();
+
+        // Beam of nodes expanded at the current step (starts at the root).
+        let mut beam = vec![tree.root()];
+        for _step in 0..params.depth {
+            // Expand every beam node; gather (parent, token, path_prob).
+            let mut expansions: Vec<(NodeId, TokenId, f64)> = Vec::new();
+            for &node in &beam {
+                let path = tree.path_tokens(node);
+                let dist = lm.next_dist_extended(ctx, &path, &mut scratch);
+                draft_tokens_processed += 1;
+                let parent_prob = tree.path_prob(node);
+                for &(token, p) in dist.top_k(params.width as usize) {
+                    expansions.push((node, token, parent_prob * p));
+                }
+            }
+            // Keep the global top-w expansions (stable on ties).
+            expansions.sort_by(|a, b| {
+                b.2.partial_cmp(&a.2)
+                    .expect("finite probs")
+                    .then_with(|| (a.0, a.1).cmp(&(b.0, b.1)))
+            });
+            expansions.truncate(params.width as usize);
+            if expansions.is_empty() {
+                break;
+            }
+            let mut layer = Vec::with_capacity(expansions.len());
+            for (parent, token, prob) in expansions {
+                // Path probs strictly decrease because edge probs are < 1;
+                // guard against degenerate prob-1 edges with a tiny epsilon.
+                let prob = prob.min(tree.path_prob(parent) * (1.0 - 1e-12));
+                let id = tree
+                    .add_child(parent, token, prob)
+                    .expect("beam expansion preserves tree invariants");
+                layer.push(id);
+            }
+            beam = layer.clone();
+            layers.push(layer);
+        }
+
+        Self {
+            tree,
+            layers,
+            draft_tokens_processed,
+        }
+    }
+
+    /// The underlying token tree (root + all candidate nodes).
+    pub fn tree(&self) -> &TokenTree {
+        &self.tree
+    }
+
+    /// Consumes self, returning the token tree.
+    pub fn into_tree(self) -> TokenTree {
+        self.tree
+    }
+
+    /// Beam node ids per layer.
+    pub fn layers(&self) -> &[Vec<NodeId>] {
+        &self.layers
+    }
+
+    /// Achieved depth (may be below the requested depth if beams emptied).
+    pub fn depth(&self) -> u32 {
+        self.layers.len() as u32
+    }
+
+    /// Draft-model tokens decoded during construction (for cost accounting:
+    /// each beam node expansion is one draft-decoded token).
+    pub fn draft_tokens_processed(&self) -> u32 {
+        self.draft_tokens_processed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simllm::{ContentClass, ModelPair};
+
+    fn ctx_tokens() -> Vec<TokenId> {
+        vec![TokenId(11), TokenId(22), TokenId(33)]
+    }
+
+    fn speculate(depth: u32, width: u32) -> CandidateTree {
+        let pair = ModelPair::calibrated(5);
+        let tokens = ctx_tokens();
+        let ctx = LmContext::new(9, ContentClass::Chat, &tokens);
+        CandidateTree::speculate(pair.draft(), &ctx, SpecParams::new(depth, width))
+    }
+
+    #[test]
+    fn tree_shape_matches_beam_parameters() {
+        let cand = speculate(3, 2);
+        assert_eq!(cand.depth(), 3);
+        assert_eq!(cand.tree().num_speculated(), 6);
+        for layer in cand.layers() {
+            assert_eq!(layer.len(), 2);
+        }
+        cand.tree().validate().expect("valid candidate tree");
+    }
+
+    #[test]
+    fn first_layer_children_of_root() {
+        let cand = speculate(2, 3);
+        for &id in &cand.layers()[0] {
+            assert_eq!(cand.tree().parent(id), Some(cand.tree().root()));
+        }
+    }
+
+    #[test]
+    fn layer_probs_are_monotone_decreasing_across_depth() {
+        let cand = speculate(4, 2);
+        let best_per_layer: Vec<f64> = cand
+            .layers()
+            .iter()
+            .map(|l| {
+                l.iter()
+                    .map(|&id| cand.tree().path_prob(id))
+                    .fold(f64::MIN, f64::max)
+            })
+            .collect();
+        for w in best_per_layer.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12, "layer probs increased: {w:?}");
+        }
+    }
+
+    #[test]
+    fn draft_cost_is_one_token_per_beam_node() {
+        let cand = speculate(3, 2);
+        // Step 1 expands the root (1 token); steps 2..3 expand 2 nodes each.
+        assert_eq!(cand.draft_tokens_processed(), 1 + 2 + 2);
+    }
+
+    #[test]
+    fn wider_beams_cover_no_less_probability_mass() {
+        let narrow = speculate(3, 1);
+        let wide = speculate(3, 4);
+        assert!(wide.tree().expected_accepted() >= narrow.tree().expected_accepted());
+    }
+
+    #[test]
+    fn determinism() {
+        let a = speculate(3, 2);
+        let b = speculate(3, 2);
+        let ids_a: Vec<_> = a.tree().node_ids().map(|i| a.tree().token(i)).collect();
+        let ids_b: Vec<_> = b.tree().node_ids().map(|i| b.tree().token(i)).collect();
+        assert_eq!(ids_a, ids_b);
+    }
+}

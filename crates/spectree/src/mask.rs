@@ -1,0 +1,137 @@
+//! Tree-attention topology masks.
+//!
+//! Tree verification feeds all speculated tokens to the target model in one
+//! forward pass; the attention kernel must restrict each token to attend only
+//! to its *ancestors* within the tree (plus the committed prefix). Real
+//! systems (SpecInfer, Medusa, FlashInfer's tree kernels) encode this as a
+//! per-token ancestor bitmask. This module reproduces that layout — it is the
+//! contract between the scheduler and the (here: simulated) kernel, and its
+//! size accounting feeds the latency model.
+
+use crate::tree::{NodeId, TokenTree};
+
+/// Ancestor bitmask layout for a token tree.
+///
+/// Nodes are laid out in insertion order (the order the scheduler submits
+/// them to the kernel). `mask[i]` has bit `j` set iff node `j` is an ancestor
+/// of node `i` or `i == j`; every token also implicitly attends to the whole
+/// committed prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeMask {
+    masks: Vec<u128>,
+    len: usize,
+}
+
+/// Maximum tree size representable by the packed mask.
+pub const MAX_MASK_NODES: usize = 128;
+
+impl TreeMask {
+    /// Builds the ancestor mask for `tree`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree exceeds [`MAX_MASK_NODES`] nodes — larger trees
+    /// would use a segmented mask in a real kernel, but no AdaServe
+    /// configuration produces per-request trees anywhere near this bound
+    /// (budgets are tens of tokens per request).
+    pub fn build(tree: &TokenTree) -> Self {
+        let n = tree.len();
+        assert!(
+            n <= MAX_MASK_NODES,
+            "tree too large for packed mask ({n} nodes)"
+        );
+        let mut masks = vec![0u128; n];
+        for id in tree.node_ids() {
+            let i = id.0 as usize;
+            let mut m = 1u128 << i;
+            if let Some(p) = tree.parent(id) {
+                m |= masks[p.0 as usize];
+            }
+            masks[i] = m;
+        }
+        Self { masks, len: n }
+    }
+
+    /// Number of tokens (rows) in the mask.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mask is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether token `i` may attend to token `j`.
+    pub fn attends(&self, i: NodeId, j: NodeId) -> bool {
+        self.masks[i.0 as usize] & (1u128 << j.0) != 0
+    }
+
+    /// The raw bitmask row for token `i`.
+    pub fn row(&self, i: NodeId) -> u128 {
+        self.masks[i.0 as usize]
+    }
+
+    /// Total attention pairs allowed (Σ popcount) — the kernel's work size.
+    pub fn attention_pairs(&self) -> u64 {
+        self.masks.iter().map(|m| u64::from(m.count_ones())).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::ROOT;
+    use simllm::TokenId;
+
+    fn t(id: u32) -> TokenId {
+        TokenId(id)
+    }
+
+    #[test]
+    fn chain_mask_is_lower_triangular() {
+        let mut tree = TokenTree::new(t(0));
+        let a = tree.add_child(ROOT, t(1), 0.5).unwrap();
+        let b = tree.add_child(a, t(2), 0.25).unwrap();
+        let mask = TreeMask::build(&tree);
+        assert!(mask.attends(b, a));
+        assert!(mask.attends(b, ROOT));
+        assert!(mask.attends(a, ROOT));
+        assert!(!mask.attends(a, b));
+        assert!(!mask.attends(ROOT, a));
+    }
+
+    #[test]
+    fn siblings_do_not_attend_to_each_other() {
+        let mut tree = TokenTree::new(t(0));
+        let a = tree.add_child(ROOT, t(1), 0.5).unwrap();
+        let b = tree.add_child(ROOT, t(2), 0.3).unwrap();
+        let mask = TreeMask::build(&tree);
+        assert!(!mask.attends(a, b));
+        assert!(!mask.attends(b, a));
+        assert!(mask.attends(a, a));
+    }
+
+    #[test]
+    fn attention_pairs_count_path_lengths() {
+        // Root (1) + child (2) + grandchild (3) = 6 pairs.
+        let mut tree = TokenTree::new(t(0));
+        let a = tree.add_child(ROOT, t(1), 0.5).unwrap();
+        tree.add_child(a, t(2), 0.25).unwrap();
+        let mask = TreeMask::build(&tree);
+        assert_eq!(mask.attention_pairs(), 6);
+    }
+
+    #[test]
+    fn every_node_attends_to_itself_and_root() {
+        let mut tree = TokenTree::new(t(0));
+        let a = tree.add_child(ROOT, t(1), 0.5).unwrap();
+        let b = tree.add_child(ROOT, t(2), 0.4).unwrap();
+        let c = tree.add_child(b, t(3), 0.2).unwrap();
+        let mask = TreeMask::build(&tree);
+        for id in [a, b, c] {
+            assert!(mask.attends(id, id));
+            assert!(mask.attends(id, ROOT));
+        }
+    }
+}

@@ -1,0 +1,406 @@
+//! The arena-based token tree.
+
+use simllm::TokenId;
+use std::fmt;
+
+/// Index of a node within one [`TokenTree`]'s arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// The root node's id (always 0).
+pub const ROOT: NodeId = NodeId(0);
+
+/// Errors raised by tree mutations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// Referenced parent does not exist.
+    MissingParent(NodeId),
+    /// Child path probability must be strictly below the parent's.
+    ProbNotDecreasing,
+    /// The same token already labels an edge from this parent.
+    DuplicateEdge(TokenId),
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::MissingParent(id) => write!(f, "parent node {id:?} does not exist"),
+            TreeError::ProbNotDecreasing => {
+                write!(
+                    f,
+                    "child path probability must be strictly below its parent's"
+                )
+            }
+            TreeError::DuplicateEdge(t) => {
+                write!(f, "token {t} already labels an edge from this parent")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+#[derive(Debug, Clone)]
+struct Node {
+    token: TokenId,
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    path_prob: f64,
+    depth: u32,
+}
+
+/// A rooted token tree with per-node path probabilities.
+///
+/// The root holds the request's last generated token and path probability 1.
+/// Each non-root node represents one speculated token; its `path_prob` is the
+/// (approximated) probability that the target model accepts the entire
+/// root-to-node token sequence (paper Theorem 3.1 / eq. 7).
+///
+/// # Invariants
+///
+/// * node 0 is the root, with `path_prob == 1.0` and no parent;
+/// * every other node has a parent that was inserted before it;
+/// * `path_prob(child) < path_prob(parent)` strictly;
+/// * sibling edges carry distinct tokens.
+#[derive(Debug, Clone)]
+pub struct TokenTree {
+    nodes: Vec<Node>,
+}
+
+impl TokenTree {
+    /// Creates a tree holding only the root token.
+    pub fn new(root_token: TokenId) -> Self {
+        Self {
+            nodes: vec![Node {
+                token: root_token,
+                parent: None,
+                children: Vec::new(),
+                path_prob: 1.0,
+                depth: 0,
+            }],
+        }
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> NodeId {
+        ROOT
+    }
+
+    /// Number of nodes including the root.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree holds only the root.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Number of *speculated* tokens (excludes the root, which is already
+    /// decoded). This is the `|T_i|` the paper's budget constraint counts.
+    pub fn num_speculated(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Adds a speculated token under `parent`.
+    ///
+    /// `path_prob` is the approximated probability of the full root-to-node
+    /// path; it must be strictly below the parent's.
+    pub fn add_child(
+        &mut self,
+        parent: NodeId,
+        token: TokenId,
+        path_prob: f64,
+    ) -> Result<NodeId, TreeError> {
+        let pidx = parent.0 as usize;
+        if pidx >= self.nodes.len() {
+            return Err(TreeError::MissingParent(parent));
+        }
+        if path_prob >= self.nodes[pidx].path_prob || path_prob < 0.0 || !path_prob.is_finite() {
+            return Err(TreeError::ProbNotDecreasing);
+        }
+        for &c in &self.nodes[pidx].children {
+            if self.nodes[c.0 as usize].token == token {
+                return Err(TreeError::DuplicateEdge(token));
+            }
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        let depth = self.nodes[pidx].depth + 1;
+        self.nodes.push(Node {
+            token,
+            parent: Some(parent),
+            children: Vec::new(),
+            path_prob,
+            depth,
+        });
+        self.nodes[pidx].children.push(id);
+        Ok(id)
+    }
+
+    /// Token at `node`.
+    pub fn token(&self, node: NodeId) -> TokenId {
+        self.nodes[node.0 as usize].token
+    }
+
+    /// Parent of `node` (`None` for the root).
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        self.nodes[node.0 as usize].parent
+    }
+
+    /// Children of `node`.
+    pub fn children(&self, node: NodeId) -> &[NodeId] {
+        &self.nodes[node.0 as usize].children
+    }
+
+    /// Approximated path probability of `node`.
+    pub fn path_prob(&self, node: NodeId) -> f64 {
+        self.nodes[node.0 as usize].path_prob
+    }
+
+    /// Depth of `node` (root = 0).
+    pub fn depth(&self, node: NodeId) -> u32 {
+        self.nodes[node.0 as usize].depth
+    }
+
+    /// Maximum node depth (0 for a root-only tree).
+    pub fn max_depth(&self) -> u32 {
+        self.nodes.iter().map(|n| n.depth).max().unwrap_or(0)
+    }
+
+    /// All node ids in insertion order (root first).
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Non-root node ids sorted by descending path probability.
+    ///
+    /// Ties break by insertion order, keeping selection deterministic.
+    pub fn speculated_by_prob_desc(&self) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = (1..self.nodes.len() as u32).map(NodeId).collect();
+        ids.sort_by(|a, b| {
+            let pa = self.nodes[a.0 as usize].path_prob;
+            let pb = self.nodes[b.0 as usize].path_prob;
+            pb.partial_cmp(&pa)
+                .expect("finite probs")
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        ids
+    }
+
+    /// The token sequence along the path from (excluding) the root to `node`.
+    pub fn path_tokens(&self, node: NodeId) -> Vec<TokenId> {
+        let mut rev = Vec::new();
+        let mut cur = node;
+        while let Some(p) = self.nodes[cur.0 as usize].parent {
+            rev.push(self.nodes[cur.0 as usize].token);
+            cur = p;
+        }
+        rev.reverse();
+        rev
+    }
+
+    /// Expected number of accepted tokens if this tree were verified:
+    /// `Σ_{v ∈ T, v ≠ root} f(v)` (paper Theorem 3.1).
+    pub fn expected_accepted(&self) -> f64 {
+        self.nodes.iter().skip(1).map(|n| n.path_prob).sum()
+    }
+
+    /// Builds the subtree induced by `keep` (which must include connected
+    /// nodes only; the root is always added).
+    ///
+    /// Node ids are remapped; the relative order of kept nodes is preserved.
+    /// Returns an error if `keep` references a node whose parent is neither
+    /// the root nor also kept.
+    pub fn induced_subtree(&self, keep: &[NodeId]) -> Result<TokenTree, TreeError> {
+        let mut sorted: Vec<NodeId> = keep.to_vec();
+        sorted.sort();
+        sorted.dedup();
+        let mut out = TokenTree::new(self.nodes[0].token);
+        let mut remap = std::collections::HashMap::new();
+        remap.insert(ROOT, ROOT);
+        for id in sorted {
+            if id == ROOT {
+                continue;
+            }
+            let node = &self.nodes[id.0 as usize];
+            let parent = node.parent.expect("non-root has parent");
+            let new_parent = *remap.get(&parent).ok_or(TreeError::MissingParent(parent))?;
+            let new_id = out.add_child(new_parent, node.token, node.path_prob)?;
+            remap.insert(id, new_id);
+        }
+        Ok(out)
+    }
+
+    /// Checks every structural invariant; returns a description on failure.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes.is_empty() {
+            return Err("tree has no root".into());
+        }
+        if self.nodes[0].parent.is_some() || self.nodes[0].path_prob != 1.0 {
+            return Err("malformed root".into());
+        }
+        for (i, n) in self.nodes.iter().enumerate().skip(1) {
+            let p = match n.parent {
+                Some(p) if (p.0 as usize) < i => p,
+                Some(_) => return Err(format!("node {i} references a later parent")),
+                None => return Err(format!("non-root node {i} has no parent")),
+            };
+            let pn = &self.nodes[p.0 as usize];
+            if n.path_prob >= pn.path_prob {
+                return Err(format!(
+                    "node {i} prob {} !< parent {}",
+                    n.path_prob, pn.path_prob
+                ));
+            }
+            if n.depth != pn.depth + 1 {
+                return Err(format!("node {i} depth mismatch"));
+            }
+            if !pn.children.contains(&NodeId(i as u32)) {
+                return Err(format!("node {i} missing from parent's child list"));
+            }
+        }
+        // Sibling tokens distinct.
+        for (i, n) in self.nodes.iter().enumerate() {
+            let mut seen = std::collections::HashSet::new();
+            for &c in &n.children {
+                if !seen.insert(self.nodes[c.0 as usize].token) {
+                    return Err(format!("node {i} has duplicate child tokens"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(id: u32) -> TokenId {
+        TokenId(id)
+    }
+
+    #[test]
+    fn new_tree_is_root_only() {
+        let tree = TokenTree::new(t(5));
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.num_speculated(), 0);
+        assert_eq!(tree.token(ROOT), t(5));
+        assert_eq!(tree.path_prob(ROOT), 1.0);
+        assert!(tree.validate().is_ok());
+    }
+
+    #[test]
+    fn add_child_links_and_orders() {
+        let mut tree = TokenTree::new(t(0));
+        let a = tree.add_child(ROOT, t(1), 0.7).unwrap();
+        let b = tree.add_child(ROOT, t(2), 0.2).unwrap();
+        let c = tree.add_child(a, t(3), 0.42).unwrap();
+        assert_eq!(tree.children(ROOT), &[a, b]);
+        assert_eq!(tree.parent(c), Some(a));
+        assert_eq!(tree.depth(c), 2);
+        assert_eq!(tree.max_depth(), 2);
+        assert!(tree.validate().is_ok());
+    }
+
+    #[test]
+    fn prob_must_strictly_decrease() {
+        let mut tree = TokenTree::new(t(0));
+        let a = tree.add_child(ROOT, t(1), 0.7).unwrap();
+        assert_eq!(
+            tree.add_child(a, t(2), 0.7),
+            Err(TreeError::ProbNotDecreasing)
+        );
+        assert_eq!(
+            tree.add_child(a, t(2), 0.9),
+            Err(TreeError::ProbNotDecreasing)
+        );
+        assert!(tree.add_child(a, t(2), 0.69).is_ok());
+    }
+
+    #[test]
+    fn duplicate_sibling_tokens_rejected() {
+        let mut tree = TokenTree::new(t(0));
+        tree.add_child(ROOT, t(1), 0.7).unwrap();
+        assert_eq!(
+            tree.add_child(ROOT, t(1), 0.2),
+            Err(TreeError::DuplicateEdge(t(1)))
+        );
+    }
+
+    #[test]
+    fn missing_parent_rejected() {
+        let mut tree = TokenTree::new(t(0));
+        assert_eq!(
+            tree.add_child(NodeId(9), t(1), 0.5),
+            Err(TreeError::MissingParent(NodeId(9)))
+        );
+    }
+
+    #[test]
+    fn path_tokens_walk_from_root() {
+        let mut tree = TokenTree::new(t(0));
+        let a = tree.add_child(ROOT, t(1), 0.7).unwrap();
+        let c = tree.add_child(a, t(3), 0.42).unwrap();
+        assert_eq!(tree.path_tokens(c), vec![t(1), t(3)]);
+        assert_eq!(tree.path_tokens(ROOT), Vec::<TokenId>::new());
+    }
+
+    #[test]
+    fn expected_accepted_sums_speculated_probs() {
+        let mut tree = TokenTree::new(t(0));
+        let a = tree.add_child(ROOT, t(1), 0.7).unwrap();
+        tree.add_child(ROOT, t(2), 0.2).unwrap();
+        tree.add_child(a, t(3), 0.42).unwrap();
+        assert!((tree.expected_accepted() - 1.32).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sorted_order_is_descending_with_stable_ties() {
+        let mut tree = TokenTree::new(t(0));
+        let a = tree.add_child(ROOT, t(1), 0.5).unwrap();
+        let b = tree.add_child(ROOT, t(2), 0.5).unwrap();
+        let c = tree.add_child(a, t(3), 0.4).unwrap();
+        assert_eq!(tree.speculated_by_prob_desc(), vec![a, b, c]);
+    }
+
+    #[test]
+    fn induced_subtree_remaps_and_validates() {
+        let mut tree = TokenTree::new(t(0));
+        let a = tree.add_child(ROOT, t(1), 0.7).unwrap();
+        let b = tree.add_child(ROOT, t(2), 0.2).unwrap();
+        let c = tree.add_child(a, t(3), 0.42).unwrap();
+        let sub = tree.induced_subtree(&[a, c]).unwrap();
+        assert_eq!(sub.len(), 3);
+        assert!(sub.validate().is_ok());
+        assert_eq!(sub.max_depth(), 2);
+        let _ = b;
+    }
+
+    #[test]
+    fn induced_subtree_rejects_disconnected_selection() {
+        let mut tree = TokenTree::new(t(0));
+        let a = tree.add_child(ROOT, t(1), 0.7).unwrap();
+        let c = tree.add_child(a, t(3), 0.42).unwrap();
+        assert!(tree.induced_subtree(&[c]).is_err());
+    }
+
+    #[test]
+    fn descending_prob_selection_is_always_connected() {
+        // The Appendix B property: any prefix of the descending-prob order
+        // induces a valid subtree.
+        let mut tree = TokenTree::new(t(0));
+        let a = tree.add_child(ROOT, t(1), 0.7).unwrap();
+        let b = tree.add_child(ROOT, t(2), 0.25).unwrap();
+        let c = tree.add_child(a, t(3), 0.4).unwrap();
+        tree.add_child(b, t(4), 0.1).unwrap();
+        tree.add_child(c, t(5), 0.3).unwrap();
+        let order = tree.speculated_by_prob_desc();
+        for k in 0..=order.len() {
+            assert!(
+                tree.induced_subtree(&order[..k]).is_ok(),
+                "prefix {k} disconnected"
+            );
+        }
+    }
+}

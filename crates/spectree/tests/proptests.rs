@@ -1,0 +1,78 @@
+//! Property-based tests for the token-tree invariants.
+
+use proptest::prelude::*;
+use simllm::TokenId;
+use spectree::tree::{NodeId, TokenTree};
+use spectree::TreeMask;
+
+/// Strategy: a random valid tree built from (parent_choice, token, prob_frac)
+/// triples. parent_choice indexes into already-created nodes; prob_frac
+/// scales the parent's probability to keep the strict-decrease invariant.
+fn arb_tree() -> impl Strategy<Value = TokenTree> {
+    prop::collection::vec((0usize..16, 2u32..500, 0.05f64..0.95), 0..24).prop_map(|ops| {
+        let mut tree = TokenTree::new(TokenId(1000));
+        for (pidx, token, frac) in ops {
+            let parent = NodeId((pidx % tree.len()) as u32);
+            let prob = tree.path_prob(parent) * frac;
+            // Duplicate sibling tokens are rejected; skip those ops.
+            let _ = tree.add_child(parent, TokenId(token), prob);
+        }
+        tree
+    })
+}
+
+proptest! {
+    #[test]
+    fn random_trees_validate(tree in arb_tree()) {
+        prop_assert!(tree.validate().is_ok());
+    }
+
+    #[test]
+    fn descending_prefixes_are_connected(tree in arb_tree()) {
+        let order = tree.speculated_by_prob_desc();
+        for k in 0..=order.len() {
+            prop_assert!(tree.induced_subtree(&order[..k]).is_ok());
+        }
+    }
+
+    #[test]
+    fn expected_accepted_bounded_by_depth_sum(tree in arb_tree()) {
+        // E[acc] = sum of path probs <= number of speculated nodes, and each
+        // node's prob <= 1.
+        let e = tree.expected_accepted();
+        prop_assert!(e >= 0.0);
+        prop_assert!(e <= tree.num_speculated() as f64 + 1e-9);
+    }
+
+    #[test]
+    fn path_tokens_length_equals_depth(tree in arb_tree()) {
+        for id in tree.node_ids() {
+            prop_assert_eq!(tree.path_tokens(id).len() as u32, tree.depth(id));
+        }
+    }
+
+    #[test]
+    fn mask_rows_follow_ancestry(tree in arb_tree()) {
+        let mask = TreeMask::build(&tree);
+        for id in tree.node_ids() {
+            // Popcount of a row = depth + 1 (ancestors + self).
+            prop_assert_eq!(mask.row(id).count_ones(), tree.depth(id) + 1);
+            if let Some(p) = tree.parent(id) {
+                prop_assert!(mask.attends(id, p));
+                prop_assert!(!mask.attends(p, id));
+            }
+        }
+    }
+
+    #[test]
+    fn induced_subtree_preserves_probs(tree in arb_tree()) {
+        let order = tree.speculated_by_prob_desc();
+        let k = order.len() / 2;
+        let sub = tree.induced_subtree(&order[..k]).unwrap();
+        let mut orig: Vec<f64> = order[..k].iter().map(|&i| tree.path_prob(i)).collect();
+        let mut kept: Vec<f64> = sub.node_ids().skip(1).map(|i| sub.path_prob(i)).collect();
+        orig.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        kept.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(orig, kept);
+    }
+}

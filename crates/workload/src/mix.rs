@@ -1,0 +1,120 @@
+//! Category mixing: sampling a request category per arrival.
+
+use crate::category::Category;
+use simllm::hash::unit_f64;
+use std::fmt;
+
+/// A probability distribution over the three request categories.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CategoryMix {
+    /// Probabilities in [`Category::ALL`] order; sums to 1.
+    probs: [f64; 3],
+}
+
+impl CategoryMix {
+    /// Creates a mix from per-category probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if probabilities are negative or do not sum to 1 (±1e-9).
+    pub fn new(coding: f64, chat: f64, summarization: f64) -> Self {
+        let probs = [coding, chat, summarization];
+        assert!(probs.iter().all(|&p| p >= 0.0), "negative probability");
+        let sum: f64 = probs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "mix must sum to 1, got {sum}");
+        Self { probs }
+    }
+
+    /// The paper's end-to-end mix: 60% coding, 20% chat, 20% summarization
+    /// ("a peak load scenario for latency-critical tasks", §6.2).
+    pub fn paper_default() -> Self {
+        Self::new(0.6, 0.2, 0.2)
+    }
+
+    /// Fig. 10's sweep: `urgent` fraction of coding requests, remainder split
+    /// evenly between chat and summarization.
+    pub fn with_urgent_fraction(urgent: f64) -> Self {
+        assert!((0.0..=1.0).contains(&urgent));
+        let rest = (1.0 - urgent) / 2.0;
+        Self::new(urgent, rest, rest)
+    }
+
+    /// Fig. 1's motivation workload: two categories only (coding + chat).
+    pub fn two_category() -> Self {
+        Self::new(0.5, 0.5, 0.0)
+    }
+
+    /// Probability of `category`.
+    pub fn prob(&self, category: Category) -> f64 {
+        self.probs[category.index()]
+    }
+
+    /// Samples a category from a 64-bit hash.
+    pub fn sample(&self, h: u64) -> Category {
+        let u = unit_f64(h);
+        let mut acc = 0.0;
+        for c in Category::ALL {
+            acc += self.probs[c.index()];
+            if u < acc {
+                return c;
+            }
+        }
+        Category::Summarization
+    }
+}
+
+impl fmt::Display for CategoryMix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.0}/{:.0}/{:.0}",
+            self.probs[0] * 100.0,
+            self.probs[1] * 100.0,
+            self.probs[2] * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simllm::hash::seed_stream;
+
+    #[test]
+    fn paper_default_is_60_20_20() {
+        let m = CategoryMix::paper_default();
+        assert_eq!(m.prob(Category::CodingCopilot), 0.6);
+        assert_eq!(m.prob(Category::Chatbot), 0.2);
+        assert_eq!(m.prob(Category::Summarization), 0.2);
+    }
+
+    #[test]
+    fn urgent_fraction_splits_remainder() {
+        let m = CategoryMix::with_urgent_fraction(0.9);
+        assert!((m.prob(Category::Chatbot) - 0.05).abs() < 1e-12);
+        assert!((m.prob(Category::Summarization) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_converges_to_mix() {
+        let m = CategoryMix::with_urgent_fraction(0.3);
+        let n = 50_000u64;
+        let mut counts = [0usize; 3];
+        for i in 0..n {
+            counts[m.sample(seed_stream(42, i)).index()] += 1;
+        }
+        let frac0 = counts[0] as f64 / n as f64;
+        assert!((frac0 - 0.3).abs() < 0.01, "urgent fraction = {frac0}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_mix_rejected() {
+        let _ = CategoryMix::new(0.5, 0.2, 0.2);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(CategoryMix::paper_default().to_string(), "60/20/20");
+    }
+}

@@ -1,0 +1,76 @@
+//! Static request specifications.
+
+use crate::category::Category;
+
+/// Everything known about a request before it is served.
+///
+/// All fields are fixed at workload-generation time, so every engine serves
+/// byte-identical request streams. The *content* of prompt and output tokens
+/// is derived on demand from `stream_seed` by the synthetic LM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestSpec {
+    /// Workload-unique id (also the arrival order).
+    pub id: u64,
+    /// Application category (determines SLO and content class).
+    pub category: Category,
+    /// Arrival time in milliseconds from workload start.
+    pub arrival_ms: f64,
+    /// Prompt length in tokens.
+    pub prompt_len: u32,
+    /// Number of output tokens the request generates before EOS.
+    pub output_len: u32,
+    /// Resolved TPOT SLO in milliseconds.
+    pub tpot_slo_ms: f64,
+    /// Seed of the request's content stream (drives the synthetic LM).
+    pub stream_seed: u64,
+}
+
+impl RequestSpec {
+    /// The prompt token sequence (derived deterministically from the seed).
+    pub fn prompt_tokens(&self) -> Vec<simllm::TokenId> {
+        let mut tokens = Vec::with_capacity(self.prompt_len as usize);
+        for i in 0..u64::from(self.prompt_len) {
+            let h = simllm::hash::seed_stream(self.stream_seed ^ 0x9907_7F00, i);
+            // Skip the reserved special ids.
+            tokens.push(simllm::TokenId((h % 120_000) as u32 + 2));
+        }
+        tokens
+    }
+
+    /// Total tokens (prompt + output) this request will occupy in KV cache.
+    pub fn total_tokens(&self) -> u64 {
+        u64::from(self.prompt_len) + u64::from(self.output_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> RequestSpec {
+        RequestSpec {
+            id: 3,
+            category: Category::Chatbot,
+            arrival_ms: 100.0,
+            prompt_len: 16,
+            output_len: 8,
+            tpot_slo_ms: 50.0,
+            stream_seed: 99,
+        }
+    }
+
+    #[test]
+    fn prompt_tokens_are_deterministic_and_sized() {
+        let s = spec();
+        let a = s.prompt_tokens();
+        let b = s.prompt_tokens();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 16);
+        assert!(a.iter().all(|t| t.0 >= 2));
+    }
+
+    #[test]
+    fn total_tokens_adds_both_phases() {
+        assert_eq!(spec().total_tokens(), 24);
+    }
+}

@@ -1,0 +1,337 @@
+//! Arrival traces: real-world-shaped, synthetic staggered-peak, and Poisson.
+//!
+//! The paper generates arrival timestamps from a production trace ("we use
+//! the timestamps from a real-world trace from previous work", §6.1, Fig. 7 —
+//! the Splitwise trace), truncated and rescaled to each experiment's target
+//! request rate, plus a synthetic trace where the three application
+//! categories peak at different times (Fig. 13). Both are reproduced here as
+//! seeded generators with the same qualitative shapes.
+
+use crate::category::Category;
+use simllm::hash::{combine, seed_stream, unit_f64};
+
+/// Which arrival process to generate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceKind {
+    /// Bursty 20-minute production-shaped trace (paper Fig. 7).
+    RealWorld,
+    /// 6-minute staggered-peak trace; each category bursts at a different
+    /// time (paper Fig. 13). Arrivals carry their category.
+    Synthetic,
+    /// Homogeneous Poisson arrivals at `rps` for `duration_ms`.
+    Poisson {
+        /// Average request rate.
+        rps: f64,
+        /// Trace span in milliseconds.
+        duration_ms: f64,
+    },
+}
+
+/// One arrival: a timestamp, optionally pinned to a category.
+///
+/// Real-world and Poisson arrivals leave the category to the workload mix;
+/// synthetic-trace arrivals pin it (that is the point of Fig. 13).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arrival {
+    /// Arrival time in milliseconds from trace start.
+    pub time_ms: f64,
+    /// Category pinned by the trace, if any.
+    pub category: Option<Category>,
+}
+
+/// A time-ordered list of arrivals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalTrace {
+    arrivals: Vec<Arrival>,
+}
+
+impl ArrivalTrace {
+    /// Generates a trace of the given kind.
+    pub fn generate(kind: TraceKind, seed: u64) -> Self {
+        match kind {
+            TraceKind::RealWorld => Self::real_world(seed),
+            TraceKind::Synthetic => Self::synthetic(seed),
+            TraceKind::Poisson { rps, duration_ms } => Self::poisson(seed, rps, duration_ms),
+        }
+    }
+
+    /// Creates a trace from explicit arrivals (sorted by time).
+    pub fn from_arrivals(mut arrivals: Vec<Arrival>) -> Self {
+        arrivals.sort_by(|a, b| a.time_ms.partial_cmp(&b.time_ms).expect("finite times"));
+        Self { arrivals }
+    }
+
+    /// Homogeneous Poisson arrivals.
+    pub fn poisson(seed: u64, rps: f64, duration_ms: f64) -> Self {
+        assert!(rps > 0.0 && duration_ms > 0.0);
+        let mut arrivals = Vec::new();
+        let mut t = 0.0f64;
+        let mut i = 0u64;
+        loop {
+            let u = unit_f64(seed_stream(seed, i)).max(1e-12);
+            t += -u.ln() / rps * 1e3;
+            if t > duration_ms {
+                break;
+            }
+            arrivals.push(Arrival {
+                time_ms: t,
+                category: None,
+            });
+            i += 1;
+        }
+        Self { arrivals }
+    }
+
+    /// The Fig. 7-shaped trace: 20 minutes, smooth AR(1) load with bursts.
+    fn real_world(seed: u64) -> Self {
+        const DURATION_MS: f64 = 20.0 * 60.0 * 1e3;
+        const BUCKET_MS: f64 = 10_000.0;
+        let buckets = (DURATION_MS / BUCKET_MS) as usize;
+        // Per-bucket rate (requests/s): smooth base + occasional bursts,
+        // mirroring the production trace's 20–100 req/min envelope.
+        let mut rate = 0.8f64;
+        let mut arrivals = Vec::new();
+        for b in 0..buckets {
+            let h = seed_stream(combine(seed, 0xB0C4E7), b as u64);
+            let noise = unit_f64(h) - 0.5;
+            rate = (0.7 * rate + 0.3 * 0.8 + 0.45 * noise).clamp(0.15, 1.6);
+            let burst = if unit_f64(seed_stream(h, 1)) < 0.07 {
+                1.0 + 1.5 * unit_f64(seed_stream(h, 2))
+            } else {
+                1.0
+            };
+            let bucket_rate = rate * burst;
+            // Poisson arrivals within the bucket via exponential gaps.
+            let mut t = b as f64 * BUCKET_MS;
+            let mut i = 0u64;
+            loop {
+                let u = unit_f64(seed_stream(combine(h, 3), i)).max(1e-12);
+                t += -u.ln() / bucket_rate * 1e3;
+                if t >= (b as f64 + 1.0) * BUCKET_MS {
+                    break;
+                }
+                arrivals.push(Arrival {
+                    time_ms: t,
+                    category: None,
+                });
+                i += 1;
+            }
+        }
+        Self::from_arrivals(arrivals)
+    }
+
+    /// The Fig. 13-shaped trace: 6 minutes, per-category staggered peaks.
+    ///
+    /// Chat peaks first (~1 min), coding in the middle (~3 min) and
+    /// summarization last (~5 min); every category keeps a small base rate.
+    fn synthetic(seed: u64) -> Self {
+        const DURATION_MS: f64 = 6.0 * 60.0 * 1e3;
+        let peaks_s = [
+            (Category::Chatbot, 60.0, 3.2),
+            (Category::CodingCopilot, 180.0, 3.6),
+            (Category::Summarization, 300.0, 2.8),
+        ];
+        const BASE_RPS: f64 = 0.25;
+        const PEAK_WIDTH_S: f64 = 38.0;
+        let mut arrivals = Vec::new();
+        for (ci, (category, center_s, amp)) in peaks_s.into_iter().enumerate() {
+            let max_rate = BASE_RPS + amp;
+            // Thinning: homogeneous at max_rate, accept with rate(t)/max.
+            let mut t = 0.0f64;
+            let mut i = 0u64;
+            let cseed = combine(seed, 0x517E + ci as u64);
+            loop {
+                let u = unit_f64(seed_stream(cseed, 2 * i)).max(1e-12);
+                t += -u.ln() / max_rate * 1e3;
+                if t > DURATION_MS {
+                    break;
+                }
+                let dt = (t / 1e3 - center_s) / PEAK_WIDTH_S;
+                let rate = BASE_RPS + amp * (-0.5 * dt * dt).exp();
+                if unit_f64(seed_stream(cseed, 2 * i + 1)) < rate / max_rate {
+                    arrivals.push(Arrival {
+                        time_ms: t,
+                        category: Some(category),
+                    });
+                }
+                i += 1;
+            }
+        }
+        Self::from_arrivals(arrivals)
+    }
+
+    /// Arrival timestamps in milliseconds.
+    pub fn times_ms(&self) -> Vec<f64> {
+        self.arrivals.iter().map(|a| a.time_ms).collect()
+    }
+
+    /// The arrivals (sorted by time).
+    pub fn arrivals(&self) -> &[Arrival] {
+        &self.arrivals
+    }
+
+    /// Number of arrivals.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// Mean request rate over the trace span.
+    pub fn mean_rps(&self) -> f64 {
+        if self.arrivals.len() < 2 {
+            return 0.0;
+        }
+        let span = self.arrivals.last().expect("non-empty").time_ms
+            - self.arrivals.first().expect("non-empty").time_ms;
+        if span <= 0.0 {
+            return 0.0;
+        }
+        (self.arrivals.len() - 1) as f64 / (span / 1e3)
+    }
+
+    /// Keeps only arrivals within the first `duration_ms`.
+    pub fn truncate(mut self, duration_ms: f64) -> Self {
+        self.arrivals.retain(|a| a.time_ms <= duration_ms);
+        self
+    }
+
+    /// Uniformly dilates time so the mean rate becomes `target_rps`.
+    ///
+    /// This is the paper's rescaling: the *shape* (relative burstiness) is
+    /// preserved, only the absolute rate changes.
+    pub fn rescale_to_rps(mut self, target_rps: f64) -> Self {
+        assert!(target_rps > 0.0);
+        let current = self.mean_rps();
+        if current <= 0.0 {
+            return self;
+        }
+        let factor = current / target_rps;
+        for a in &mut self.arrivals {
+            a.time_ms *= factor;
+        }
+        self
+    }
+
+    /// Per-bucket arrival counts (for regenerating Figs. 7 and 13).
+    ///
+    /// Returns `(bucket_start_ms, total, per_category)` rows, where
+    /// unpinned arrivals count only toward the total.
+    pub fn bucket_counts(&self, bucket_ms: f64) -> Vec<(f64, usize, [usize; 3])> {
+        assert!(bucket_ms > 0.0);
+        let Some(last) = self.arrivals.last() else {
+            return Vec::new();
+        };
+        let buckets = (last.time_ms / bucket_ms).floor() as usize + 1;
+        let mut rows = vec![(0.0, 0usize, [0usize; 3]); buckets];
+        for (i, row) in rows.iter_mut().enumerate() {
+            row.0 = i as f64 * bucket_ms;
+        }
+        for a in &self.arrivals {
+            let b = (a.time_ms / bucket_ms).floor() as usize;
+            rows[b].1 += 1;
+            if let Some(c) = a.category {
+                rows[b].2[c.index()] += 1;
+            }
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_hits_target_rate() {
+        let t = ArrivalTrace::poisson(1, 5.0, 300_000.0);
+        assert!((t.mean_rps() - 5.0).abs() < 0.5, "rps = {}", t.mean_rps());
+    }
+
+    #[test]
+    fn real_world_spans_twenty_minutes() {
+        let t = ArrivalTrace::generate(TraceKind::RealWorld, 2);
+        let last = t.arrivals().last().unwrap().time_ms;
+        assert!(last > 18.0 * 60.0 * 1e3, "last arrival at {last} ms");
+        assert!(last <= 20.0 * 60.0 * 1e3);
+        // Bursty: the busiest bucket is much busier than the median one.
+        let counts: Vec<usize> = t.bucket_counts(10_000.0).iter().map(|r| r.1).collect();
+        let max = *counts.iter().max().unwrap();
+        let mut sorted = counts.clone();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        assert!(
+            max as f64 > 1.8 * median as f64,
+            "max {max} vs median {median}"
+        );
+    }
+
+    #[test]
+    fn synthetic_categories_peak_in_order() {
+        let t = ArrivalTrace::generate(TraceKind::Synthetic, 3);
+        let rows = t.bucket_counts(20_000.0);
+        let peak_bucket = |c: Category| {
+            rows.iter()
+                .enumerate()
+                .max_by_key(|(_, r)| r.2[c.index()])
+                .map(|(i, _)| i)
+                .unwrap()
+        };
+        let chat = peak_bucket(Category::Chatbot);
+        let code = peak_bucket(Category::CodingCopilot);
+        let summ = peak_bucket(Category::Summarization);
+        assert!(
+            chat < code && code < summ,
+            "peaks at {chat}, {code}, {summ}"
+        );
+    }
+
+    #[test]
+    fn synthetic_arrivals_are_pinned() {
+        let t = ArrivalTrace::generate(TraceKind::Synthetic, 3);
+        assert!(t.arrivals().iter().all(|a| a.category.is_some()));
+    }
+
+    #[test]
+    fn rescale_changes_rate_not_count() {
+        let t = ArrivalTrace::generate(TraceKind::RealWorld, 4);
+        let n = t.len();
+        let t4 = t.rescale_to_rps(4.0);
+        assert_eq!(t4.len(), n);
+        assert!((t4.mean_rps() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn truncate_drops_late_arrivals() {
+        let t = ArrivalTrace::generate(TraceKind::RealWorld, 4).truncate(60_000.0);
+        assert!(t.arrivals().iter().all(|a| a.time_ms <= 60_000.0));
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = ArrivalTrace::generate(TraceKind::Synthetic, 5);
+        let b = ArrivalTrace::generate(TraceKind::Synthetic, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn arrivals_are_sorted() {
+        for kind in [
+            TraceKind::RealWorld,
+            TraceKind::Synthetic,
+            TraceKind::Poisson {
+                rps: 2.0,
+                duration_ms: 30_000.0,
+            },
+        ] {
+            let t = ArrivalTrace::generate(kind, 6);
+            for w in t.arrivals().windows(2) {
+                assert!(w[0].time_ms <= w[1].time_ms);
+            }
+        }
+    }
+}

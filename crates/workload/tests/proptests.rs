@@ -1,0 +1,73 @@
+//! Property tests for traces, mixes and datasets.
+
+use proptest::prelude::*;
+use workload::{ArrivalTrace, Category, CategoryMix, LengthSampler, TraceKind, WorkloadBuilder};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn rescaled_traces_hit_target_rate(seed in 0u64..500, target in 0.5f64..12.0) {
+        let t = ArrivalTrace::generate(TraceKind::RealWorld, seed).rescale_to_rps(target);
+        if t.len() >= 2 {
+            prop_assert!((t.mean_rps() - target).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn truncation_never_reorders_or_leaks(seed in 0u64..500, cut_ms in 1_000.0f64..600_000.0) {
+        let t = ArrivalTrace::generate(TraceKind::RealWorld, seed).truncate(cut_ms);
+        let times = t.times_ms();
+        for w in times.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        prop_assert!(times.iter().all(|&x| x <= cut_ms));
+    }
+
+    #[test]
+    fn mix_sampling_stays_in_support(urgent in 0.0f64..1.0, h in any::<u64>()) {
+        let mix = CategoryMix::with_urgent_fraction(urgent);
+        let c = mix.sample(h);
+        prop_assert!(mix.prob(c) > 0.0 || urgent == 0.0 || urgent == 1.0);
+    }
+
+    #[test]
+    fn lengths_always_within_clips(seed in any::<u64>(), rid in 0u64..100_000) {
+        let s = LengthSampler::new(seed);
+        for c in Category::ALL {
+            let (p, o) = s.sample(c, rid);
+            let pd = LengthSampler::prompt_dist(c);
+            let od = LengthSampler::output_dist(c);
+            prop_assert!(p >= pd.min && p <= pd.max);
+            prop_assert!(o >= od.min && o <= od.max);
+        }
+    }
+
+    #[test]
+    fn workloads_are_sorted_and_slo_consistent(
+        seed in 0u64..200,
+        baseline in 10.0f64..60.0,
+        scale in 0.5f64..2.0,
+    ) {
+        let wl = WorkloadBuilder::new(seed, baseline)
+            .cat1_slo_scale(scale)
+            .target_rps(3.0)
+            .duration_ms(30_000.0)
+            .build();
+        for pair in wl.requests.windows(2) {
+            prop_assert!(pair[0].arrival_ms <= pair[1].arrival_ms);
+        }
+        for r in &wl.requests {
+            match r.category {
+                Category::CodingCopilot => {
+                    prop_assert!((r.tpot_slo_ms - baseline * scale).abs() < 1e-9)
+                }
+                Category::Chatbot => prop_assert!((r.tpot_slo_ms - 50.0).abs() < 1e-9),
+                Category::Summarization => {
+                    prop_assert!((r.tpot_slo_ms - 150.0).abs() < 1e-9)
+                }
+            }
+            prop_assert!(r.prompt_len > 0 && r.output_len > 0);
+        }
+    }
+}

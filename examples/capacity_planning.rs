@@ -1,0 +1,81 @@
+//! Capacity planning with the roofline model.
+//!
+//! Uses the hardware profiler to answer deployment questions without GPUs:
+//! how does verification latency scale with the token budget, where is the
+//! memory→compute knee, and how do budgets differ across GPU generations?
+//!
+//! ```sh
+//! cargo run --release --example capacity_planning
+//! ```
+
+use adaserve::metrics::Table;
+use adaserve::roofline::{
+    BudgetPolicy, GpuSpec, LatencyCurve, LatencyModel, ModelSpec, TokenBudgetProfile,
+};
+
+fn main() {
+    // ---- Latency curve for the paper's Llama testbed. ----
+    let target = LatencyModel::llama70b_4xa100();
+    let draft = LatencyModel::new(ModelSpec::llama_1b(), GpuSpec::a100_80g(), 1);
+    let curve = LatencyCurve::sweep(&target, 512, 2048, 16);
+    println!("== Verification latency vs batched tokens (70B, 4xA100, ctx 512) ==\n");
+    let mut t = Table::new(vec!["tokens", "latency (ms)", "throughput (tok/s)"]);
+    for p in curve.points().iter().step_by(4) {
+        t.row(vec![
+            p.tokens.to_string(),
+            format!("{:.1}", p.latency_ms),
+            format!("{:.0}", p.tokens_per_sec),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Roofline knee (memory→compute crossover): {} tokens\n",
+        target.roofline_knee_tokens(512)
+    );
+
+    // ---- Budget policies on one GPU. ----
+    println!("== Token budgets by policy (70B / 4xA100) ==\n");
+    let mut t = Table::new(vec!["policy", "verify budget B", "verify latency (ms)"]);
+    for (name, policy) in [
+        ("stretch 1.2x", BudgetPolicy::LatencyStretch(1.2)),
+        ("stretch 1.5x", BudgetPolicy::LatencyStretch(1.5)),
+        ("stretch 2.5x", BudgetPolicy::LatencyStretch(2.5)),
+        ("knee", BudgetPolicy::Knee),
+    ] {
+        let p = TokenBudgetProfile::profile(&target, &draft, 512, policy);
+        t.row(vec![
+            name.to_string(),
+            p.verify_budget.to_string(),
+            format!("{:.1}", p.verify_latency_ms),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // ---- Cross-GPU what-if: same model on different devices. ----
+    println!("== What-if: Qwen2.5-32B on different devices (TP=2) ==\n");
+    let mut t = Table::new(vec![
+        "GPU",
+        "decode (ms)",
+        "knee (tokens)",
+        "budget @1.5x (tokens)",
+    ]);
+    for gpu in [GpuSpec::a100_80g(), GpuSpec::h100_80g(), GpuSpec::l40s()] {
+        let lm = LatencyModel::new(ModelSpec::qwen_32b(), gpu, 2);
+        let dr = LatencyModel::new(ModelSpec::qwen_05b(), gpu, 1);
+        let pass =
+            adaserve::roofline::ForwardPass::new(vec![adaserve::roofline::SeqWork::decode(512)]);
+        let p = TokenBudgetProfile::profile(&lm, &dr, 512, BudgetPolicy::LatencyStretch(1.5));
+        t.row(vec![
+            gpu.name.to_string(),
+            format!("{:.1}", lm.forward_latency_ms(&pass, true)),
+            lm.roofline_knee_tokens(512).to_string(),
+            p.verify_budget.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Faster memory (H100) shrinks decode latency; weaker bandwidth (L40S)\n\
+         inflates it — while the knee tracks each device's compute/bandwidth balance,\n\
+         which is exactly what AdaServe's hardware-aware budget adapts to."
+    );
+}

@@ -1,0 +1,28 @@
+//! AdaServe: SLO-customized LLM serving with fine-grained speculative
+//! decoding — a full reproduction of the EuroSys 2026 paper in Rust.
+//!
+//! This meta-crate re-exports the workspace's public API:
+//!
+//! * [`core`] (`adaserve-core`) — the paper's contribution: optimal token
+//!   tree construction (Algorithm 1), SLO-customized speculative decoding
+//!   (Algorithm 2), adaptive control and the [`core::AdaServeEngine`];
+//! * [`baselines`] — vLLM, Sarathi-Serve, vLLM-Spec(k), vLLM+Priority,
+//!   FastServe and VTC reimplemented on the same substrate;
+//! * [`serving`] — request lifecycle, paged KV cache, discrete-event driver;
+//! * [`spectree`] — token trees, beam-search speculation, tree verification;
+//! * [`simllm`] — the synthetic target/draft model pair;
+//! * [`roofline`] — the hardware cost model and profiler;
+//! * [`workload`] — multi-SLO request categories, datasets and traces;
+//! * [`metrics`] — SLO attainment, goodput and latency reporting.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` for
+//! the paper-to-module map.
+
+pub use adaserve_core as core;
+pub use baselines;
+pub use metrics;
+pub use roofline;
+pub use serving;
+pub use simllm;
+pub use spectree;
+pub use workload;

@@ -1,0 +1,155 @@
+//! Integration: the paper's headline behaviours hold end-to-end.
+
+use adaserve::baselines::{VllmEngine, VllmSpecEngine};
+use adaserve::core::{AdaServeEngine, AdaServeOptions};
+use adaserve::serving::{run, RunOptions, SystemConfig};
+use adaserve::workload::{CategoryMix, WorkloadBuilder};
+
+const DURATION_MS: f64 = 45_000.0;
+
+#[test]
+fn adaserve_beats_vllm_on_stringent_mixes() {
+    let config = SystemConfig::llama70b(9);
+    let wl = WorkloadBuilder::new(21, config.baseline_ms)
+        .mix(CategoryMix::with_urgent_fraction(0.7))
+        .target_rps(4.0)
+        .duration_ms(DURATION_MS)
+        .build();
+    let ada = run(
+        &mut AdaServeEngine::new(SystemConfig::llama70b(9)),
+        &wl,
+        RunOptions::default(),
+    )
+    .unwrap()
+    .report();
+    let vllm = run(
+        &mut VllmEngine::new(SystemConfig::llama70b(9)),
+        &wl,
+        RunOptions::default(),
+    )
+    .unwrap()
+    .report();
+    assert!(
+        ada.attainment_pct > vllm.attainment_pct + 10.0,
+        "AdaServe {:.1}% vs vLLM {:.1}%",
+        ada.attainment_pct,
+        vllm.attainment_pct
+    );
+    assert!(
+        ada.goodput_tps > vllm.goodput_tps,
+        "AdaServe goodput {:.0} vs vLLM {:.0}",
+        ada.goodput_tps,
+        vllm.goodput_tps
+    );
+}
+
+#[test]
+fn adaserve_survives_sub_baseline_slos() {
+    // With the urgent SLO at 0.8× the baseline decode latency, plain
+    // decoding cannot meet it even with a batch of one; speculation can.
+    let config = SystemConfig::llama70b(9);
+    let wl = WorkloadBuilder::new(22, config.baseline_ms)
+        .mix(CategoryMix::with_urgent_fraction(0.6))
+        .cat1_slo_scale(0.8)
+        .target_rps(3.0)
+        .duration_ms(DURATION_MS)
+        .build();
+    let ada = run(
+        &mut AdaServeEngine::new(SystemConfig::llama70b(9)),
+        &wl,
+        RunOptions::default(),
+    )
+    .unwrap()
+    .report();
+    let vllm = run(
+        &mut VllmEngine::new(SystemConfig::llama70b(9)),
+        &wl,
+        RunOptions::default(),
+    )
+    .unwrap()
+    .report();
+    // vLLM must violate essentially every urgent request (its TPOT floor is
+    // the baseline); AdaServe keeps most of them.
+    let urgent = workload::Category::CodingCopilot;
+    let ada_urgent = ada.category(urgent).expect("urgent present");
+    let vllm_urgent = vllm.category(urgent).expect("urgent present");
+    assert!(
+        vllm_urgent.violation_pct > 95.0,
+        "vLLM should fail sub-baseline SLOs, got {:.1}%",
+        vllm_urgent.violation_pct
+    );
+    assert!(
+        ada_urgent.violation_pct < 50.0,
+        "AdaServe should hold most sub-baseline SLOs, violated {:.1}%",
+        ada_urgent.violation_pct
+    );
+}
+
+#[test]
+fn slo_selection_phase_pays_off_for_urgent_requests() {
+    // Ablation: disabling the SLO-customized phase must not *help* the
+    // urgent category.
+    let config = SystemConfig::llama70b(9);
+    let wl = WorkloadBuilder::new(23, config.baseline_ms)
+        .mix(CategoryMix::with_urgent_fraction(0.8))
+        .cat1_slo_scale(0.9)
+        .target_rps(4.0)
+        .duration_ms(DURATION_MS)
+        .build();
+    let full = run(
+        &mut AdaServeEngine::new(SystemConfig::llama70b(9)),
+        &wl,
+        RunOptions::default(),
+    )
+    .unwrap()
+    .report();
+    let ablated = run(
+        &mut AdaServeEngine::with_options(
+            SystemConfig::llama70b(9),
+            AdaServeOptions {
+                slo_selection: false,
+                ..Default::default()
+            },
+        ),
+        &wl,
+        RunOptions::default(),
+    )
+    .unwrap()
+    .report();
+    let urgent = workload::Category::CodingCopilot;
+    let full_v = full.category(urgent).unwrap().violation_pct;
+    let ablated_v = ablated.category(urgent).unwrap().violation_pct;
+    assert!(
+        full_v <= ablated_v + 1.0,
+        "SLO phase hurt urgent requests: {full_v:.1}% vs {ablated_v:.1}%"
+    );
+}
+
+#[test]
+fn adaserve_tracks_spec_baseline_acceptance() {
+    // AdaServe's tree acceptance should be at least comparable to chain
+    // speculation of similar depth at light load.
+    let config = SystemConfig::llama70b(9);
+    let wl = WorkloadBuilder::new(24, config.baseline_ms)
+        .target_rps(2.0)
+        .duration_ms(DURATION_MS)
+        .build();
+    let ada = run(
+        &mut AdaServeEngine::new(SystemConfig::llama70b(9)),
+        &wl,
+        RunOptions::default(),
+    )
+    .unwrap();
+    let spec4 = run(
+        &mut VllmSpecEngine::new(SystemConfig::llama70b(9), 4),
+        &wl,
+        RunOptions::default(),
+    )
+    .unwrap();
+    assert!(
+        ada.mean_accepted_per_verify >= spec4.mean_accepted_per_verify * 0.9,
+        "AdaServe accepted {:.2} vs spec(4) {:.2}",
+        ada.mean_accepted_per_verify,
+        spec4.mean_accepted_per_verify
+    );
+}
