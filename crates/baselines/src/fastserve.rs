@@ -12,6 +12,7 @@ use serving::{EngineCore, Phase, ServingEngine, StepResult, SystemConfig};
 const LEVEL_THRESHOLDS: [u32; 3] = [16, 64, 192];
 
 /// The FastServe baseline engine.
+#[derive(Debug)]
 pub struct FastServeEngine {
     core: EngineCore,
 }

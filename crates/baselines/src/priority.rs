@@ -11,6 +11,7 @@ use roofline::{ForwardPass, SeqWork};
 use serving::{EngineCore, Phase, ServingEngine, StepResult, SystemConfig};
 
 /// The vLLM + Priority baseline engine.
+#[derive(Debug)]
 pub struct PriorityEngine {
     core: EngineCore,
 }

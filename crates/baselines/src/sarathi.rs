@@ -10,6 +10,7 @@ use roofline::{ForwardPass, SeqWork};
 use serving::{EngineCore, Phase, ServingEngine, StepResult, SystemConfig};
 
 /// The Sarathi-Serve baseline engine.
+#[derive(Debug)]
 pub struct SarathiEngine {
     core: EngineCore,
     /// Per-iteration token budget shared by decode tokens and prefill chunks.

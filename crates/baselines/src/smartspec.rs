@@ -15,6 +15,7 @@ use serving::{EngineCore, Phase, ServingEngine, StepResult, SystemConfig};
 use spectree::{verify_tree, CandidateTree, SpecParams};
 
 /// The SmartSpec-style baseline engine.
+#[derive(Debug)]
 pub struct SmartSpecEngine {
     core: EngineCore,
     /// Longest chain considered.

@@ -14,6 +14,7 @@ use serving::{EngineCore, Phase, ServingEngine, StepResult, SystemConfig};
 use spectree::{verify_tree, CandidateTree, SpecParams};
 
 /// The static-tree speculation baseline engine.
+#[derive(Debug)]
 pub struct StaticTreeEngine {
     core: EngineCore,
     params: SpecParams,

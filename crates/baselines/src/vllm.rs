@@ -11,6 +11,7 @@ use crate::common;
 use serving::{EngineCore, ServingEngine, StepResult, SystemConfig};
 
 /// The vLLM baseline engine.
+#[derive(Debug)]
 pub struct VllmEngine {
     core: EngineCore,
 }

@@ -14,6 +14,7 @@ use serving::{EngineCore, Phase, ServingEngine, StepResult, SystemConfig};
 use spectree::{verify_tree, CandidateTree, SpecParams};
 
 /// The vLLM-Spec(k) baseline engine.
+#[derive(Debug)]
 pub struct VllmSpecEngine {
     core: EngineCore,
     /// Fixed speculation length (the paper evaluates k ∈ {4, 6, 8}).

@@ -11,6 +11,7 @@ use serving::{EngineCore, ServingEngine, StepResult, SystemConfig};
 use workload::Category;
 
 /// The VTC baseline engine.
+#[derive(Debug)]
 pub struct VtcEngine {
     core: EngineCore,
     /// Per-category virtual token counters (prefill + decode tokens served).

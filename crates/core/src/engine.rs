@@ -59,6 +59,7 @@ impl Default for AdaServeOptions {
 }
 
 /// The AdaServe serving engine.
+#[derive(Debug)]
 pub struct AdaServeEngine {
     core: EngineCore,
     scheduler: SloCustomizedScheduler,

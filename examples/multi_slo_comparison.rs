@@ -18,9 +18,16 @@ fn main() {
     let seed = 11;
     let make_config = || SystemConfig::llama70b(seed);
     let config = make_config();
+    // ADASERVE_SMOKE=1 (set by the CI smoke tests) shrinks the trace to a
+    // few seconds so every engine still runs end to end, just briefly.
+    let (rps, duration_ms) = if std::env::var_os("ADASERVE_SMOKE").is_some() {
+        (2.0, 3_000.0)
+    } else {
+        (4.0, 90_000.0)
+    };
     let workload = WorkloadBuilder::new(3, config.baseline_ms)
-        .target_rps(4.0)
-        .duration_ms(90_000.0)
+        .target_rps(rps)
+        .duration_ms(duration_ms)
         .build();
     println!("Workload: {}\n", workload.description);
 

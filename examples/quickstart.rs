@@ -19,10 +19,16 @@ fn main() {
     );
 
     // 2. Build a 60-second multi-SLO workload at 3.5 requests/second with the
-    //    paper's 60/20/20 coding/chat/summarization mix.
+    //    paper's 60/20/20 coding/chat/summarization mix. ADASERVE_SMOKE=1
+    //    (set by the CI smoke tests) shrinks it to a few seconds.
+    let (rps, duration_ms) = if std::env::var_os("ADASERVE_SMOKE").is_some() {
+        (2.0, 3_000.0)
+    } else {
+        (3.5, 60_000.0)
+    };
     let workload = WorkloadBuilder::new(7, config.baseline_ms)
-        .target_rps(3.5)
-        .duration_ms(60_000.0)
+        .target_rps(rps)
+        .duration_ms(duration_ms)
         .build();
     println!("Workload:   {}\n", workload.description);
 

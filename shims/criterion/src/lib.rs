@@ -1,0 +1,191 @@
+//! Minimal, API-compatible stand-in for the [`criterion`] benchmark crate.
+//!
+//! The CI container has no crates.io access, so this workspace vendors the
+//! subset of criterion's surface `benches/microbench.rs` uses: `Criterion`
+//! with `sample_size`/`measurement_time`, `bench_function`,
+//! `benchmark_group`, `Bencher::iter`/`iter_batched`, `BatchSize` and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! It reports the mean wall-clock time per iteration — no warm-up phases,
+//! outlier analysis or HTML reports. Two fast paths for CI:
+//!
+//! * `cargo bench --no-run` compiles everything without executing;
+//! * passing `--test` (what `cargo bench -- --test` forwards) or setting
+//!   `CRITERION_SMOKE=1` runs each benchmark exactly once, as a smoke test.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost. The shim times the routine only,
+/// so the variants are behaviorally identical; they exist for API parity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Benchmark driver handed to each target function.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let smoke =
+            std::env::var_os("CRITERION_SMOKE").is_some() || args.iter().any(|a| a == "--test");
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            smoke,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Upper bound on wall-clock time spent measuring one benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark under `id`.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: if self.smoke { 1 } else { self.sample_size },
+            deadline: Instant::now() + self.measurement_time,
+            smoke: self.smoke,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        let mean_ns = if b.iters == 0 {
+            0.0
+        } else {
+            b.total.as_nanos() as f64 / b.iters as f64
+        };
+        println!(
+            "bench: {id:<40} {:>12.1} ns/iter ({} iters)",
+            mean_ns, b.iters
+        );
+        self
+    }
+
+    /// Open a named group; the shim just prefixes benchmark ids.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// Group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{id}", self.name);
+        self.criterion.bench_function(full, f);
+        self
+    }
+
+    /// No-op; reports are printed eagerly.
+    pub fn finish(self) {}
+}
+
+/// Timing loop driver passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    deadline: Instant,
+    smoke: bool,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        for i in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.total += start.elapsed();
+            self.iters += 1;
+            if !self.smoke && i >= 1 && Instant::now() >= self.deadline {
+                break;
+            }
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for i in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.total += start.elapsed();
+            self.iters += 1;
+            if !self.smoke && i >= 1 && Instant::now() >= self.deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// Mirror of criterion's `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Mirror of criterion's `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

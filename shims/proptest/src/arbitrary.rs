@@ -1,0 +1,84 @@
+//! `any::<T>()` for the primitive types the workspace's tests draw on.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    fn generate(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn generate(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u8 {
+    fn generate(rng: &mut TestRng) -> Self {
+        rng.next_u64() as u8
+    }
+}
+
+impl Arbitrary for u16 {
+    fn generate(rng: &mut TestRng) -> Self {
+        rng.next_u64() as u16
+    }
+}
+
+impl Arbitrary for u32 {
+    fn generate(rng: &mut TestRng) -> Self {
+        rng.next_u64() as u32
+    }
+}
+
+impl Arbitrary for u64 {
+    fn generate(rng: &mut TestRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for usize {
+    fn generate(rng: &mut TestRng) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Arbitrary for i32 {
+    fn generate(rng: &mut TestRng) -> Self {
+        rng.next_u64() as i32
+    }
+}
+
+impl Arbitrary for i64 {
+    fn generate(rng: &mut TestRng) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Uniform in `[0, 1)` — enough for the workspace's uses, and avoids
+    /// NaN/infinity surprises the real crate guards against differently.
+    fn generate(rng: &mut TestRng) -> Self {
+        rng.next_f64()
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::generate(rng)
+    }
+}
+
+/// Full-domain strategy for `T`, mirroring `proptest::arbitrary::any`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}

@@ -1,0 +1,104 @@
+//! Minimal, API-compatible stand-in for the [`proptest`] crate.
+//!
+//! The CI container has no crates.io access, so this workspace vendors the
+//! subset of proptest's surface its tests actually use: `Strategy` with
+//! `prop_map`, range and tuple strategies, `prop::collection::vec`,
+//! `prop_oneof!`, `any::<T>()`, `ProptestConfig` and the `proptest!` /
+//! `prop_assert!` macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **no shrinking** — a failing case reports its inputs via the normal
+//!   panic message (every strategy value is `Debug`-printable by the caller),
+//!   but is not minimized;
+//! * **deterministic RNG** — each test case is seeded from a hash of the
+//!   test's module path, name and case index, so runs are reproducible
+//!   across machines and reruns (the real crate defaults to an OS seed);
+//! * `prop_assert!`/`prop_assert_eq!` are plain `assert!`/`assert_eq!`
+//!   (the real versions return `Err` to drive shrinking, which we don't do).
+//!
+//! [`proptest`]: https://docs.rs/proptest
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Namespace alias matching `proptest::prelude::prop`.
+pub mod prop {
+    pub use crate::collection;
+}
+
+pub mod arbitrary;
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// The `proptest!` macro: runs each enclosed `#[test] fn` body for
+/// `config.cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let seed = $crate::test_runner::str_seed(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for case in 0..config.cases {
+                    let mut rng =
+                        $crate::test_runner::TestRng::deterministic(seed, u64::from(case));
+                    $(let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Choice between strategies producing the same value type; arms may carry
+/// `weight => strategy` to bias the pick, as in real proptest.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight, $crate::strategy::Strategy::boxed($arm))),+
+        ])
+    };
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}

@@ -1,0 +1,216 @@
+//! The `Strategy` trait and its combinators: ranges, tuples, map, union.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating random values of one type.
+///
+/// Unlike the real crate there is no intermediate `ValueTree` (no
+/// shrinking): a strategy simply produces a value from an RNG.
+pub trait Strategy {
+    type Value;
+
+    /// Generate one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase this strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(move |rng| self.new_value(rng)))
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Output of [`Strategy::boxed`].
+pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy(..)")
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Weighted choice among boxed strategies — what `prop_oneof!` builds.
+#[derive(Debug)]
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T> Union<T> {
+    /// Uniform choice (every arm weight 1).
+    #[must_use]
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        Self::new_weighted(arms.into_iter().map(|a| (1, a)).collect())
+    }
+
+    /// Arms picked proportionally to their weights, as in real proptest.
+    #[must_use]
+    pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        assert!(
+            arms.iter().all(|(w, _)| *w > 0),
+            "prop_oneof! weights must be positive"
+        );
+        let total_weight = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        Self { arms, total_weight }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.gen_range_u64(0, self.total_weight);
+        for (weight, arm) in &self.arms {
+            if pick < u64::from(*weight) {
+                return arm.new_value(rng);
+            }
+            pick -= u64::from(*weight);
+        }
+        unreachable!("pick is bounded by the weight sum")
+    }
+}
+
+/// Always produces a clone of the same value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),+) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn new_value(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty integer range strategy");
+                let span = u64::try_from(self.end - self.start).expect("range span fits in u64");
+                let offset = rng.gen_range_u64(0, span);
+                self.start + offset as $ty
+            }
+        }
+
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn new_value(&self, rng: &mut TestRng) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty integer range strategy");
+                let span = u64::try_from(hi - lo).expect("range span fits in u64");
+                if span == u64::MAX {
+                    return lo + rng.next_u64() as $ty;
+                }
+                lo + rng.gen_range_u64(0, span + 1) as $ty
+            }
+        }
+    )+};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategy {
+    ($($ty:ty => $uty:ty),+) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn new_value(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty integer range strategy");
+                let span = self.end.wrapping_sub(self.start) as $uty;
+                let offset = rng.gen_range_u64(0, u64::from(span));
+                self.start.wrapping_add(offset as $ty)
+            }
+        }
+    )+};
+}
+
+signed_range_strategy!(i32 => u32, i64 => u64);
+
+macro_rules! float_range_strategy {
+    ($($ty:ty),+) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn new_value(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty float range strategy");
+                let f = rng.next_f64() as $ty;
+                let v = self.start + f * (self.end - self.start);
+                // Rounding (and, for f32, the f64→f32 cast) can land exactly
+                // on the exclusive upper bound; keep the range half-open.
+                if v >= self.end {
+                    self.end.next_down()
+                } else {
+                    v
+                }
+            }
+        }
+    )+};
+}
+
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy!(
+    (A),
+    (A, B),
+    (A, B, C),
+    (A, B, C, D),
+    (A, B, C, D, E),
+    (A, B, C, D, E, F)
+);

@@ -1,0 +1,70 @@
+//! Smoke tests: every example must run to completion on a tiny workload.
+//!
+//! `cargo test` compiles the package's examples before running tests, so the
+//! binaries are guaranteed to exist next to this test's own executable
+//! (`target/<profile>/examples/`). `ADASERVE_SMOKE=1` makes the two
+//! workload-driven examples shrink their traces to a few simulated seconds.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Locate `target/<profile>/examples/<name>` relative to the test binary.
+fn example_bin(name: &str) -> PathBuf {
+    let mut p = std::env::current_exe().expect("test binary path");
+    p.pop(); // strip the executable name
+    if p.ends_with("deps") {
+        p.pop();
+    }
+    p.push("examples");
+    p.push(format!("{name}{}", std::env::consts::EXE_SUFFIX));
+    p
+}
+
+fn run_example(name: &str) {
+    let bin = example_bin(name);
+    assert!(
+        bin.is_file(),
+        "example binary missing at {} — was `cargo test` run without building examples?",
+        bin.display()
+    );
+    let output = Command::new(&bin)
+        .env("ADASERVE_SMOKE", "1")
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {}: {e}", bin.display()));
+    assert!(
+        output.status.success(),
+        "example `{name}` exited with {}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    assert!(
+        !output.stdout.is_empty(),
+        "example `{name}` produced no output"
+    );
+}
+
+#[test]
+fn quickstart_runs() {
+    run_example("quickstart");
+}
+
+#[test]
+fn speculative_decoding_runs() {
+    run_example("speculative_decoding");
+}
+
+#[test]
+fn adaptive_control_runs() {
+    run_example("adaptive_control");
+}
+
+#[test]
+fn multi_slo_comparison_runs() {
+    run_example("multi_slo_comparison");
+}
+
+#[test]
+fn capacity_planning_runs() {
+    run_example("capacity_planning");
+}
