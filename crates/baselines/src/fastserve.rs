@@ -1,6 +1,6 @@
 //! FastServe: preemptive MLFQ scheduling (skip-join multi-level feedback).
 //!
-//! FastServe [51] schedules at iteration granularity with a multi-level
+//! FastServe \[51\] schedules at iteration granularity with a multi-level
 //! feedback queue: requests start in a high-priority level and are demoted
 //! as they consume service (generated tokens), so short outputs finish fast
 //! and long ones yield. It has no notion of per-request SLOs — the paper's

@@ -6,14 +6,14 @@
 //!
 //! | engine | system | policy |
 //! |---|---|---|
-//! | [`VllmEngine`] | vLLM [22] | continuous batching, prefill-prioritized, paged KV with recompute preemption |
-//! | [`SarathiEngine`] | Sarathi-Serve [1] | chunked prefill co-batched with decode under a per-iteration token budget |
+//! | [`VllmEngine`] | vLLM \[22\] | continuous batching, prefill-prioritized, paged KV with recompute preemption |
+//! | [`SarathiEngine`] | Sarathi-Serve \[1\] | chunked prefill co-batched with decode under a per-iteration token budget |
 //! | [`VllmSpecEngine`] | vLLM-Spec(k) | vLLM + sequence speculative decoding with fixed draft length `k` |
 //! | [`PriorityEngine`] | vLLM + Priority | urgent requests first; decode batch capped so its modelled latency fits the strictest admitted SLO |
-//! | [`FastServeEngine`] | FastServe [51] | preemptive MLFQ (skip-join) at iteration granularity |
-//! | [`VtcEngine`] | VTC [44] | fair queuing by per-service virtual token counters |
-//! | [`SmartSpecEngine`] | SmartSpec [30] | goodput-optimized adaptive draft-chain length (related-work extension) |
-//! | [`StaticTreeEngine`] | Sequoia-style [9] | fixed (depth, width) speculation trees (related-work extension) |
+//! | [`FastServeEngine`] | FastServe \[51\] | preemptive MLFQ (skip-join) at iteration granularity |
+//! | [`VtcEngine`] | VTC \[44\] | fair queuing by per-service virtual token counters |
+//! | [`SmartSpecEngine`] | SmartSpec \[30\] | goodput-optimized adaptive draft-chain length (related-work extension) |
+//! | [`StaticTreeEngine`] | Sequoia-style \[9\] | fixed (depth, width) speculation trees (related-work extension) |
 //!
 //! All six appear in the paper's Fig. 1 motivation study and/or the §6
 //! end-to-end comparison.

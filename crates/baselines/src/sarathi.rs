@@ -1,6 +1,6 @@
 //! Sarathi-Serve: chunked prefill co-batched with decode.
 //!
-//! Sarathi-Serve [1] observes that prefill is compute-bound while decode
+//! Sarathi-Serve \[1\] observes that prefill is compute-bound while decode
 //! underutilizes compute, and fills each iteration with decode tokens plus
 //! prompt *chunks* up to a fixed per-iteration token budget. This bounds the
 //! latency impact of long prompts on running decodes (improving TTFT

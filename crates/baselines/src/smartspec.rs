@@ -1,5 +1,5 @@
 //! SmartSpec-style goodput-optimized sequence speculation (related work
-//! [30]; "adaptively tunes draft sequence lengths based on workload and
+//! \[30\]; "adaptively tunes draft sequence lengths based on workload and
 //! acceptance rates").
 //!
 //! Unlike vLLM-Spec's fixed chain length, this engine re-picks the length

@@ -1,4 +1,4 @@
-//! Sequoia-style static *tree* speculation (related work [9]).
+//! Sequoia-style static *tree* speculation (related work \[9\]).
 //!
 //! Sequoia picks one hardware-aware tree topology offline and uses it for
 //! every request and every iteration. This engine reproduces that policy on

@@ -1,6 +1,6 @@
 //! VTC: fair scheduling via virtual token counters.
 //!
-//! VTC [44] provides *fairness* across services: each service (here, each
+//! VTC \[44\] provides *fairness* across services: each service (here, each
 //! request category) accumulates a counter of tokens served, and the
 //! scheduler prioritizes the service with the smallest counter. Fairness is
 //! orthogonal to SLO-awareness — an urgent category with heavy traffic gets

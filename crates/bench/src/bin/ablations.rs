@@ -6,7 +6,7 @@
 //! * `n_max` sweep — the guard against low-probability monopolization;
 //! * verification-budget policy sweep — latency-stretch vs roofline-knee.
 
-use adaserve_bench::{parse_duration_ms, run_many, run_one, EngineKind, ModelSetup, SEED};
+use adaserve_bench::{parse_duration_ms, run_many, run_one, seed, EngineKind, ModelSetup};
 use adaserve_core::{AdaServeEngine, AdaServeOptions};
 use metrics::Table;
 use roofline::BudgetPolicy;
@@ -16,11 +16,11 @@ use workload::{TraceKind, WorkloadBuilder};
 fn main() {
     let duration = parse_duration_ms();
     let setup = ModelSetup::Llama70b;
-    let config = setup.config(SEED);
+    let config = setup.config(seed());
     // A deliberately hard operating point — sub-baseline urgent SLO at high
     // load — so design choices actually discriminate (at the default scale
     // every AdaServe variant attains ~100%).
-    let workload = WorkloadBuilder::new(SEED, config.baseline_ms)
+    let workload = WorkloadBuilder::new(seed(), config.baseline_ms)
         .trace(TraceKind::RealWorld)
         .cat1_slo_scale(0.6)
         .target_rps(5.2)
@@ -60,7 +60,7 @@ fn main() {
         ),
     ];
     let results = run_many(variants.clone(), |(_, kind)| {
-        run_one(*kind, setup, SEED, &workload)
+        run_one(*kind, setup, seed(), &workload)
     });
     let mut t = Table::new(vec![
         "Variant",
@@ -92,7 +92,7 @@ fn main() {
                 n_max,
             },
             setup,
-            SEED,
+            seed(),
             &workload,
         )
     });
@@ -136,7 +136,7 @@ fn main() {
         ),
     ];
     let results = run_many(variants.clone(), |(_, kind)| {
-        run_one(*kind, setup, SEED, &adversarial)
+        run_one(*kind, setup, seed(), &adversarial)
     });
     let mut t = Table::new(vec![
         "Variant (tight summarization SLO)",
@@ -175,7 +175,7 @@ fn main() {
             budget_policy: policy,
             ..Default::default()
         };
-        let mut engine = AdaServeEngine::with_options(setup.config(SEED), options);
+        let mut engine = AdaServeEngine::with_options(setup.config(seed()), options);
         run(&mut engine, &workload, RunOptions::default()).expect("run")
     });
     let mut t = Table::new(vec![
@@ -187,7 +187,7 @@ fn main() {
     for ((label, policy), result) in policies.iter().zip(&results) {
         let report = result.report();
         let b = {
-            let cfg = setup.config(SEED);
+            let cfg = setup.config(seed());
             roofline::TokenBudgetProfile::profile(
                 &cfg.testbed.target,
                 &cfg.testbed.draft,

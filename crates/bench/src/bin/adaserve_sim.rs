@@ -11,7 +11,7 @@
 //! adaserve_sim --list-engines
 //! ```
 
-use adaserve_bench::{run_one, EngineKind, ModelSetup, SEED};
+use adaserve_bench::{is_smoke, run_one, seed, BenchSummary, EngineKind, ModelSetup};
 use metrics::Table;
 use workload::{CategoryMix, TraceKind, WorkloadBuilder};
 
@@ -26,13 +26,15 @@ struct Args {
     trace: TraceKind,
     seed: u64,
     csv: bool,
+    json_out: Option<std::path::PathBuf>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: adaserve_sim [--engine NAME] [--model llama70b|qwen32b] [--rps F]\n\
          \t[--urgent F] [--slo-scale F] [--duration-s F] [--trace real|synthetic|poisson]\n\
-         \t[--seed N] [--csv] [--list-engines]\n\
+         \t[--seed N] [--csv] [--json-out PATH] [--list-engines]\n\
+         seed defaults to ADASERVE_SEED when set;\n\
          engines: adaserve, vllm, sarathi, vllm-spec:<k>, priority, fastserve, vtc,\n\
          \tadaserve-static, adaserve-noslo"
     );
@@ -48,8 +50,9 @@ fn parse_args() -> Args {
         slo_scale: workload::category::CAT1_BASELINE_SCALE,
         duration_s: 120.0,
         trace: TraceKind::RealWorld,
-        seed: SEED,
+        seed: seed(),
         csv: false,
+        json_out: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -90,6 +93,7 @@ fn parse_args() -> Args {
             }
             "--seed" => args.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--csv" => args.csv = true,
+            "--json-out" => args.json_out = Some(std::path::PathBuf::from(value(&mut i))),
             "--list-engines" => {
                 println!(
                     "adaserve vllm sarathi vllm-spec:<k> priority fastserve vtc \
@@ -203,5 +207,19 @@ fn main() {
         print!("{}", table.to_csv());
     } else {
         println!("{}", table.render());
+    }
+
+    if let Some(path) = args.json_out {
+        let mut summary = BenchSummary::new(
+            "adaserve_sim",
+            if is_smoke() { "smoke" } else { "full" },
+            args.seed,
+            args.duration_s * 1e3,
+        );
+        summary.push_report(
+            format!("engine={} model={}", kind.name(), args.model.name()),
+            &report,
+        );
+        summary.write(&path).expect("write BENCH json");
     }
 }

@@ -1,0 +1,63 @@
+//! `check_bench_json` — schema validator for `BENCH_*.json` artifacts.
+//!
+//! CI's `bench-json` step pipes every emitted artifact through this binary
+//! before uploading; a missing required key fails the job with every
+//! violation listed.
+//!
+//! ```sh
+//! cargo run -p adaserve-bench --bin check_bench_json -- BENCH_smoke.json [...]
+//! ```
+//!
+//! Exit status: 0 if every file is schema-valid, 1 otherwise, 2 on usage
+//! errors.
+
+use adaserve_bench::json;
+use adaserve_bench::summary::validate;
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: check_bench_json BENCH_foo.json [BENCH_bar.json ...]");
+        std::process::exit(2);
+    }
+
+    let mut failed = false;
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("{path}: unreadable: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let doc = match json::parse(&text) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("{path}: invalid JSON: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match validate(&doc) {
+            Ok(()) => {
+                let rows = doc
+                    .get("rows")
+                    .and_then(json::Json::as_arr)
+                    .map_or(0, <[json::Json]>::len);
+                let name = doc.get("name").and_then(json::Json::as_str).unwrap_or("?");
+                let mode = doc.get("mode").and_then(json::Json::as_str).unwrap_or("?");
+                println!("{path}: OK ({name}, mode={mode}, {rows} rows)");
+            }
+            Err(errors) => {
+                for e in &errors {
+                    eprintln!("{path}: {e}");
+                }
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,8 +1,8 @@
 //! Extension study: AdaServe vs the related-work speculation policies the
 //! paper discusses but does not evaluate (§7).
 //!
-//! * **SmartSpec** [30] — goodput-optimized adaptive *chain* length;
-//! * **Sequoia-style static trees** [9] — one fixed hardware-friendly tree
+//! * **SmartSpec** \[30\] — goodput-optimized adaptive *chain* length;
+//! * **Sequoia-style static trees** \[9\] — one fixed hardware-friendly tree
 //!   topology for every request;
 //! * **vLLM-Spec(6)** — the strongest fixed-chain baseline;
 //! * **AdaServe (throughput-only)** — tree speculation with adaptive (d, w)
@@ -12,7 +12,7 @@
 //! helps, tree-shaped speculation helps more, and per-request SLO awareness
 //! is what closes the gap.
 
-use adaserve_bench::{parse_duration_ms, run_many, run_one, EngineKind, ModelSetup, SEED};
+use adaserve_bench::{parse_duration_ms, run_many, run_one, seed, EngineKind, ModelSetup};
 use baselines::{SmartSpecEngine, StaticTreeEngine};
 use metrics::Table;
 use serving::{run, RunOptions};
@@ -21,8 +21,8 @@ use workload::{Category, TraceKind, WorkloadBuilder};
 fn main() {
     let duration = parse_duration_ms();
     let setup = ModelSetup::Llama70b;
-    let config = setup.config(SEED);
-    let workload = WorkloadBuilder::new(SEED, config.baseline_ms)
+    let config = setup.config(seed());
+    let workload = WorkloadBuilder::new(seed(), config.baseline_ms)
         .trace(TraceKind::RealWorld)
         .target_rps(4.2)
         .duration_ms(duration)
@@ -40,18 +40,18 @@ fn main() {
         },
         EngineKind::VllmSpec(6),
     ] {
-        rows.push((kind.name(), run_one(kind, setup, SEED, &workload)));
+        rows.push((kind.name(), run_one(kind, setup, seed(), &workload)));
     }
     // Related-work engines.
     let extra: Vec<(String, Box<dyn Fn() -> serving::RunResult + Sync>)> = Vec::new();
     drop(extra);
     let smart = {
-        let mut engine = SmartSpecEngine::new(setup.config(SEED));
+        let mut engine = SmartSpecEngine::new(setup.config(seed()));
         run(&mut engine, &workload, RunOptions::default()).expect("smartspec run")
     };
     rows.push(("SmartSpec".into(), smart));
     let results = run_many(vec![(4u32, 2u32), (6, 3)], |&(d, w)| {
-        let mut engine = StaticTreeEngine::new(setup.config(SEED), d, w);
+        let mut engine = StaticTreeEngine::new(setup.config(seed()), d, w);
         run(&mut engine, &workload, RunOptions::default()).expect("static tree run")
     });
     for r in results {

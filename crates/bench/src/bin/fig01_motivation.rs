@@ -7,15 +7,15 @@
 //! this binary prints mean/p99 TPOT and the violation percentage per
 //! category per system (AdaServe is appended as the punchline).
 
-use adaserve_bench::{parse_duration_ms, run_many, run_one, EngineKind, ModelSetup, SEED};
+use adaserve_bench::{parse_duration_ms, run_many, run_one, seed, EngineKind, ModelSetup};
 use metrics::Table;
 use workload::{Category, CategoryMix, TraceKind, WorkloadBuilder};
 
 fn main() {
     let duration = parse_duration_ms();
     let setup = ModelSetup::Llama70b;
-    let config = setup.config(SEED);
-    let workload = WorkloadBuilder::new(SEED, config.baseline_ms)
+    let config = setup.config(seed());
+    let workload = WorkloadBuilder::new(seed(), config.baseline_ms)
         .mix(CategoryMix::two_category())
         .trace(TraceKind::RealWorld)
         .target_rps(4.4)
@@ -25,7 +25,7 @@ fn main() {
 
     let mut systems = EngineKind::motivation_lineup();
     systems.push(EngineKind::AdaServe);
-    let results = run_many(systems.clone(), |k| run_one(*k, setup, SEED, &workload));
+    let results = run_many(systems.clone(), |k| run_one(*k, setup, seed(), &workload));
 
     let mut table = Table::new(vec![
         "System",

@@ -8,7 +8,7 @@ use metrics::Table;
 use workload::{ArrivalTrace, TraceKind};
 
 fn main() {
-    let trace = ArrivalTrace::generate(TraceKind::RealWorld, adaserve_bench::SEED);
+    let trace = ArrivalTrace::generate(TraceKind::RealWorld, adaserve_bench::seed());
     println!(
         "Real-world-shaped trace: {} arrivals over {:.1} minutes, mean {:.2} rps\n",
         trace.len(),

@@ -10,7 +10,7 @@
 //! * Fig. 12 — mean accepted tokens per request per verification vs RPS
 //!   (speculative engines only).
 
-use adaserve_bench::{parse_duration_ms, run_many, run_one, EngineKind, ModelSetup, SEED};
+use adaserve_bench::{parse_duration_ms, run_many, run_one, seed, EngineKind, ModelSetup};
 use metrics::Table;
 use workload::{TraceKind, WorkloadBuilder};
 
@@ -19,7 +19,7 @@ fn main() {
     let engines = EngineKind::main_lineup();
 
     for setup in ModelSetup::ALL {
-        let config = setup.config(SEED);
+        let config = setup.config(seed());
         let mut rps_points = setup.rps_sweep();
         let paper_range_end = rps_points.len();
         rps_points.extend(setup.rps_extended());
@@ -33,7 +33,7 @@ fn main() {
         let workloads: Vec<_> = rps_points
             .iter()
             .map(|&rps| {
-                WorkloadBuilder::new(SEED, config.baseline_ms)
+                WorkloadBuilder::new(seed(), config.baseline_ms)
                     .trace(TraceKind::RealWorld)
                     .target_rps(rps)
                     .duration_ms(duration)
@@ -45,7 +45,7 @@ fn main() {
             .flat_map(|&e| (0..rps_points.len()).map(move |i| (e, i)))
             .collect();
         let results = run_many(jobs.clone(), |&(e, i)| {
-            run_one(e, setup, SEED, &workloads[i])
+            run_one(e, setup, seed(), &workloads[i])
         });
 
         let mut header: Vec<String> = vec!["RPS".into()];

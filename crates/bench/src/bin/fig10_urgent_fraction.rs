@@ -5,7 +5,7 @@
 //! between chat and summarization). Continuous-batching systems degrade as
 //! urgency rises; speculative systems hold or improve (paper §6.2).
 
-use adaserve_bench::{parse_duration_ms, run_many, run_one, EngineKind, ModelSetup, SEED};
+use adaserve_bench::{parse_duration_ms, run_many, run_one, seed, EngineKind, ModelSetup};
 use metrics::Table;
 use workload::{CategoryMix, TraceKind, WorkloadBuilder};
 
@@ -15,12 +15,12 @@ fn main() {
     let engines = EngineKind::main_lineup();
 
     for setup in ModelSetup::ALL {
-        let config = setup.config(SEED);
+        let config = setup.config(seed());
         println!("==== {} (4.0 rps) ====\n", setup.name());
         let workloads: Vec<_> = fractions
             .iter()
             .map(|&f| {
-                WorkloadBuilder::new(SEED, config.baseline_ms)
+                WorkloadBuilder::new(seed(), config.baseline_ms)
                     .mix(CategoryMix::with_urgent_fraction(f))
                     .trace(TraceKind::RealWorld)
                     .target_rps(4.0)
@@ -32,7 +32,7 @@ fn main() {
             .iter()
             .flat_map(|&e| (0..fractions.len()).map(move |i| (e, i)))
             .collect();
-        let results = run_many(jobs, |&(e, i)| run_one(e, setup, SEED, &workloads[i]));
+        let results = run_many(jobs, |&(e, i)| run_one(e, setup, seed(), &workloads[i]));
 
         let mut header: Vec<String> = vec!["Urgent %".into()];
         header.extend(engines.iter().map(|e| e.name()));

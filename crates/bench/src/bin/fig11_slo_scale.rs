@@ -6,7 +6,7 @@
 //! SLO); speculative decoding can — and AdaServe prioritizes the requests
 //! that need it (paper §6.2).
 
-use adaserve_bench::{parse_duration_ms, run_many, run_one, EngineKind, ModelSetup, SEED};
+use adaserve_bench::{parse_duration_ms, run_many, run_one, seed, EngineKind, ModelSetup};
 use metrics::Table;
 use workload::{CategoryMix, TraceKind, WorkloadBuilder};
 
@@ -16,12 +16,12 @@ fn main() {
     let engines = EngineKind::main_lineup();
 
     for setup in ModelSetup::ALL {
-        let config = setup.config(SEED);
+        let config = setup.config(seed());
         println!("==== {} (4.0 rps, 60% urgent) ====\n", setup.name());
         let workloads: Vec<_> = scales
             .iter()
             .map(|&s| {
-                WorkloadBuilder::new(SEED, config.baseline_ms)
+                WorkloadBuilder::new(seed(), config.baseline_ms)
                     .mix(CategoryMix::with_urgent_fraction(0.6))
                     .trace(TraceKind::RealWorld)
                     .cat1_slo_scale(s)
@@ -34,7 +34,7 @@ fn main() {
             .iter()
             .flat_map(|&e| (0..scales.len()).map(move |i| (e, i)))
             .collect();
-        let results = run_many(jobs, |&(e, i)| run_one(e, setup, SEED, &workloads[i]));
+        let results = run_many(jobs, |&(e, i)| run_one(e, setup, seed(), &workloads[i]));
 
         let mut header: Vec<String> = vec!["SLO scale".into()];
         header.extend(engines.iter().map(|e| e.name()));

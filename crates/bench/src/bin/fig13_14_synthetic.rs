@@ -4,13 +4,13 @@
 //! at a different time; Fig. 14 shows per-system SLO attainment when
 //! serving it. AdaServe's adaptive control absorbs the category bursts.
 
-use adaserve_bench::{run_many, run_one, EngineKind, ModelSetup, SEED};
+use adaserve_bench::{run_many, run_one, seed, EngineKind, ModelSetup};
 use metrics::Table;
 use workload::{ArrivalTrace, TraceKind, WorkloadBuilder};
 
 fn main() {
     // ---- Fig. 13: the arrival pattern. ----
-    let trace = ArrivalTrace::generate(TraceKind::Synthetic, simllm::seed_stream(SEED, 1));
+    let trace = ArrivalTrace::generate(TraceKind::Synthetic, simllm::seed_stream(seed(), 1));
     println!(
         "Synthetic trace: {} arrivals over 6 minutes, staggered category peaks\n",
         trace.len()
@@ -35,8 +35,8 @@ fn main() {
     // ---- Fig. 14: attainment bars under the synthetic trace. ----
     let engines = EngineKind::main_lineup();
     for setup in ModelSetup::ALL {
-        let config = setup.config(SEED);
-        let workload = WorkloadBuilder::new(SEED, config.baseline_ms)
+        let config = setup.config(seed());
+        let workload = WorkloadBuilder::new(seed(), config.baseline_ms)
             .trace(TraceKind::Synthetic)
             .build();
         println!(
@@ -44,7 +44,7 @@ fn main() {
             setup.name(),
             workload.requests.len()
         );
-        let results = run_many(engines.clone(), |&e| run_one(e, setup, SEED, &workload));
+        let results = run_many(engines.clone(), |&e| run_one(e, setup, seed(), &workload));
         let mut fig14 = Table::new(vec!["System", "SLO attainment (%)", "Goodput (tok/s)"]);
         for (kind, result) in engines.iter().zip(&results) {
             let report = result.report();

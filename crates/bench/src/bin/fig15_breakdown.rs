@@ -6,7 +6,7 @@
 //! 0.31–0.41% CPU share; this binary measures the share of this Rust
 //! reimplementation.
 
-use adaserve_bench::{parse_duration_ms, run_one, EngineKind, ModelSetup, SEED};
+use adaserve_bench::{parse_duration_ms, run_one, seed, EngineKind, ModelSetup};
 use metrics::Table;
 use workload::{TraceKind, WorkloadBuilder};
 
@@ -21,13 +21,13 @@ fn main() {
         "Scheduling total (ms)",
     ]);
     for setup in ModelSetup::ALL {
-        let config = setup.config(SEED);
-        let workload = WorkloadBuilder::new(SEED, config.baseline_ms)
+        let config = setup.config(seed());
+        let workload = WorkloadBuilder::new(seed(), config.baseline_ms)
             .trace(TraceKind::RealWorld)
             .target_rps(4.0)
             .duration_ms(duration)
             .build();
-        let result = run_one(EngineKind::AdaServe, setup, SEED, &workload);
+        let result = run_one(EngineKind::AdaServe, setup, seed(), &workload);
         let b = result.breakdown;
         let (sched, spec, verify, prefill) = b.shares_pct();
         table.row(vec![

@@ -11,7 +11,7 @@ fn main() {
     println!("== Table 1: evaluation setups ==\n");
     let mut t1 = Table::new(vec!["Model", "Parallelism", "GPUs", "Baseline decode (ms)"]);
     for setup in ModelSetup::ALL {
-        let config = setup.config(adaserve_bench::SEED);
+        let config = setup.config(adaserve_bench::seed());
         let tb = &config.testbed;
         t1.row(vec![
             tb.target.model().name.to_string(),
@@ -54,7 +54,7 @@ fn main() {
         "Draft step (ms)",
     ]);
     for setup in ModelSetup::ALL {
-        let config = setup.config(adaserve_bench::SEED);
+        let config = setup.config(adaserve_bench::seed());
         let p = TokenBudgetProfile::profile(
             &config.testbed.target,
             &config.testbed.draft,

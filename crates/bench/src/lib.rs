@@ -12,6 +12,11 @@
 //! are the reproduction target — see `EXPERIMENTS.md` for paper-vs-measured
 //! notes.
 
+pub mod json;
+pub mod summary;
+
+pub use summary::{BenchRow, BenchSummary, TierSummary};
+
 use adaserve_core::{AdaServeEngine, AdaServeOptions};
 use baselines::{
     FastServeEngine, PriorityEngine, SarathiEngine, VllmEngine, VllmSpecEngine, VtcEngine,
@@ -184,19 +189,22 @@ pub fn run_one(kind: EngineKind, setup: ModelSetup, seed: u64, workload: &Worklo
         .unwrap_or_else(|e| panic!("{} failed: {e}", kind.name()))
 }
 
-/// Runs `(kind, workload)` jobs across threads, preserving job order.
+/// Maps `f` over `jobs` across threads, preserving job order.
 ///
-/// Each job is independent (own engine + workload), so this is a plain
-/// scoped fan-out sized to the host's parallelism.
-pub fn run_many<J, F>(jobs: Vec<J>, f: F) -> Vec<RunResult>
+/// Each job is independent (own engine/cluster + workload), so this is a
+/// plain scoped fan-out sized to the host's parallelism. Used by the
+/// figure binaries for both single-engine ([`RunResult`]) and cluster
+/// sweeps.
+pub fn par_map<J, R, F>(jobs: Vec<J>, f: F) -> Vec<R>
 where
     J: Sync,
-    F: Fn(&J) -> RunResult + Sync,
+    R: Send,
+    F: Fn(&J) -> R + Sync,
 {
     let n_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4);
-    let results: Vec<std::sync::Mutex<Option<RunResult>>> =
+    let results: Vec<std::sync::Mutex<Option<R>>> =
         jobs.iter().map(|_| std::sync::Mutex::new(None)).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
     std::thread::scope(|scope| {
@@ -215,6 +223,15 @@ where
         .into_iter()
         .map(|m| m.into_inner().unwrap().expect("job completed"))
         .collect()
+}
+
+/// Runs `(kind, workload)` jobs across threads, preserving job order.
+pub fn run_many<J, F>(jobs: Vec<J>, f: F) -> Vec<RunResult>
+where
+    J: Sync,
+    F: Fn(&J) -> RunResult + Sync,
+{
+    par_map(jobs, f)
 }
 
 /// Default experiment duration (simulated milliseconds).
@@ -242,8 +259,37 @@ pub fn parse_duration_ms() -> f64 {
 }
 
 /// Standard experiment seed (all binaries share it for cross-figure
-/// consistency).
+/// consistency). Override with `ADASERVE_SEED` via [`seed`].
 pub const SEED: u64 = 20_250_117;
+
+/// The run's experiment seed: `ADASERVE_SEED` if set, else [`SEED`].
+///
+/// Every figure binary resolves its seed through this one call so a CI
+/// smoke run (or a bisecting developer) can pin/vary the whole pipeline
+/// with a single environment variable.
+pub fn seed() -> u64 {
+    workload::env_seed(SEED)
+}
+
+/// Whether `ADASERVE_SMOKE` is set (CI-sized runs).
+pub fn is_smoke() -> bool {
+    std::env::var_os("ADASERVE_SMOKE").is_some()
+}
+
+/// Parses the shared `--json-out PATH` flag: where to write the run's
+/// machine-readable [`BenchSummary`] artifact, if anywhere.
+pub fn parse_json_out() -> Option<std::path::PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--json-out")
+        .map(|i| match args.get(i + 1) {
+            Some(path) => std::path::PathBuf::from(path),
+            None => {
+                eprintln!("--json-out requires a path");
+                std::process::exit(2);
+            }
+        })
+}
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,397 @@
+//! Machine-readable benchmark summaries (`BENCH_*.json`).
+//!
+//! Every figure binary can drop a [`BenchSummary`] next to its textual
+//! output, giving the repo a perf trajectory CI can gate on: the
+//! `bench-json` CI step runs the smoke sweeps, validates the emitted JSON
+//! against [`validate`] (via the `check_bench_json` binary) and uploads
+//! the artifact, so a PR that silently breaks the hot loop or the emitter
+//! fails loudly.
+//!
+//! Schema (version 1):
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "name": "fig_cluster_scaling",
+//!   "mode": "smoke",
+//!   "seed": 20250117,
+//!   "duration_ms": 30000,
+//!   "rows": [
+//!     {
+//!       "label": "replicas=4 rps=8.0 router=slo-aware",
+//!       "requests": 240,
+//!       "slo_attainment_pct": 97.5,
+//!       "goodput_tps": 1423.1,
+//!       "throughput_tps": 1461.0,
+//!       "p50_tpot_ms": 24.8,
+//!       "p99_tpot_ms": 49.2,
+//!       "tiers": [
+//!         {
+//!           "tier": "coding",
+//!           "requests": 144,
+//!           "attainment_pct": 96.5,
+//!           "mean_tpot_ms": 23.1,
+//!           "p99_tpot_ms": 27.9
+//!         }
+//!       ]
+//!     }
+//!   ]
+//! }
+//! ```
+
+use crate::json::Json;
+use metrics::SloReport;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// The schema version this module emits and validates.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Per-SLO-tier (request category) aggregate within one row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TierSummary {
+    /// Tier label (`coding`, `chat`, `summarize`).
+    pub tier: String,
+    /// Completed requests in the tier.
+    pub requests: usize,
+    /// SLO attainment within the tier, percent.
+    pub attainment_pct: f64,
+    /// Mean per-request average TPOT, ms.
+    pub mean_tpot_ms: f64,
+    /// p99 per-request average TPOT, ms.
+    pub p99_tpot_ms: f64,
+}
+
+/// One benchmark configuration's results (one sweep point).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRow {
+    /// Human-readable configuration label.
+    pub label: String,
+    /// Completed requests.
+    pub requests: usize,
+    /// Overall SLO attainment, percent.
+    pub slo_attainment_pct: f64,
+    /// Goodput (tokens/s of SLO-attaining requests).
+    pub goodput_tps: f64,
+    /// Throughput (all output tokens/s).
+    pub throughput_tps: f64,
+    /// Median per-request average TPOT, ms.
+    pub p50_tpot_ms: f64,
+    /// p99 per-request average TPOT, ms.
+    pub p99_tpot_ms: f64,
+    /// Per-tier breakdown (present tiers only).
+    pub tiers: Vec<TierSummary>,
+}
+
+impl BenchRow {
+    /// Builds a row from a run's [`SloReport`].
+    pub fn from_report(label: impl Into<String>, report: &SloReport) -> Self {
+        Self {
+            label: label.into(),
+            requests: report.requests,
+            slo_attainment_pct: report.attainment_pct,
+            goodput_tps: report.goodput_tps,
+            throughput_tps: report.throughput_tps,
+            p50_tpot_ms: report.p50_tpot_ms,
+            p99_tpot_ms: report.p99_tpot_ms,
+            tiers: report
+                .per_category
+                .iter()
+                .map(|c| TierSummary {
+                    tier: c.category.label().to_string(),
+                    requests: c.requests,
+                    attainment_pct: 100.0 - c.violation_pct,
+                    mean_tpot_ms: c.mean_tpot_ms,
+                    p99_tpot_ms: c.p99_tpot_ms,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A complete benchmark artifact: run metadata plus one row per sweep
+/// point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchSummary {
+    /// Emitting binary, e.g. `"fig_cluster_scaling"`.
+    pub name: String,
+    /// `"smoke"` (CI-sized) or `"full"`.
+    pub mode: String,
+    /// The experiment seed the run used (`ADASERVE_SEED`-overridable).
+    pub seed: u64,
+    /// Simulated duration per sweep point, ms.
+    pub duration_ms: f64,
+    /// Sweep results.
+    pub rows: Vec<BenchRow>,
+}
+
+impl BenchSummary {
+    /// Creates an empty summary; `mode` must be `"smoke"` or `"full"`.
+    pub fn new(
+        name: impl Into<String>,
+        mode: impl Into<String>,
+        seed: u64,
+        duration_ms: f64,
+    ) -> Self {
+        let mode = mode.into();
+        assert!(
+            mode == "smoke" || mode == "full",
+            "mode must be smoke|full, got {mode:?}"
+        );
+        Self {
+            name: name.into(),
+            mode,
+            seed,
+            duration_ms,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one sweep point from its report.
+    pub fn push_report(&mut self, label: impl Into<String>, report: &SloReport) {
+        self.rows.push(BenchRow::from_report(label, report));
+    }
+
+    /// Lowers the summary to a JSON value.
+    pub fn to_json(&self) -> Json {
+        let mut top = BTreeMap::new();
+        top.insert(
+            "schema_version".into(),
+            Json::Num(f64::from(SCHEMA_VERSION)),
+        );
+        top.insert("name".into(), Json::Str(self.name.clone()));
+        top.insert("mode".into(), Json::Str(self.mode.clone()));
+        top.insert("seed".into(), Json::Int(self.seed));
+        top.insert("duration_ms".into(), Json::Num(self.duration_ms));
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| {
+                let mut m = BTreeMap::new();
+                m.insert("label".into(), Json::Str(row.label.clone()));
+                m.insert("requests".into(), Json::Num(row.requests as f64));
+                m.insert(
+                    "slo_attainment_pct".into(),
+                    Json::Num(row.slo_attainment_pct),
+                );
+                m.insert("goodput_tps".into(), Json::Num(row.goodput_tps));
+                m.insert("throughput_tps".into(), Json::Num(row.throughput_tps));
+                m.insert("p50_tpot_ms".into(), Json::Num(row.p50_tpot_ms));
+                m.insert("p99_tpot_ms".into(), Json::Num(row.p99_tpot_ms));
+                let tiers = row
+                    .tiers
+                    .iter()
+                    .map(|t| {
+                        let mut tm = BTreeMap::new();
+                        tm.insert("tier".into(), Json::Str(t.tier.clone()));
+                        tm.insert("requests".into(), Json::Num(t.requests as f64));
+                        tm.insert("attainment_pct".into(), Json::Num(t.attainment_pct));
+                        tm.insert("mean_tpot_ms".into(), Json::Num(t.mean_tpot_ms));
+                        tm.insert("p99_tpot_ms".into(), Json::Num(t.p99_tpot_ms));
+                        Json::Obj(tm)
+                    })
+                    .collect();
+                m.insert("tiers".into(), Json::Arr(tiers));
+                Json::Obj(m)
+            })
+            .collect();
+        top.insert("rows".into(), Json::Arr(rows));
+        Json::Obj(top)
+    }
+
+    /// Serializes to a compact JSON string (newline-terminated).
+    pub fn to_json_string(&self) -> String {
+        let mut s = self.to_json().to_string_compact();
+        s.push('\n');
+        s
+    }
+
+    /// Writes the artifact to `path` and logs the destination to stderr.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json_string())?;
+        eprintln!(
+            "wrote {} ({} rows, mode={}, seed={})",
+            path.display(),
+            self.rows.len(),
+            self.mode,
+            self.seed
+        );
+        Ok(())
+    }
+}
+
+/// Validates a parsed document against schema version 1.
+///
+/// Returns every violation found (not just the first), so a CI failure
+/// message names all missing keys at once.
+pub fn validate(doc: &Json) -> Result<(), Vec<String>> {
+    fn need_num(errors: &mut Vec<String>, value: Option<&Json>, what: &str) -> Option<f64> {
+        match value.and_then(Json::as_num) {
+            Some(n) if n.is_finite() => Some(n),
+            _ => {
+                errors.push(format!("missing or non-numeric {what}"));
+                None
+            }
+        }
+    }
+    let mut errors = Vec::new();
+
+    match need_num(&mut errors, doc.get("schema_version"), "schema_version") {
+        Some(v) if v == f64::from(SCHEMA_VERSION) => {}
+        Some(v) => errors.push(format!("unsupported schema_version {v}")),
+        None => {}
+    }
+    if doc
+        .get("name")
+        .and_then(Json::as_str)
+        .is_none_or(str::is_empty)
+    {
+        errors.push("missing or empty name".into());
+    }
+    match doc.get("mode").and_then(Json::as_str) {
+        Some("smoke") | Some("full") => {}
+        other => errors.push(format!("mode must be \"smoke\" or \"full\", got {other:?}")),
+    }
+    need_num(&mut errors, doc.get("seed"), "seed");
+    need_num(&mut errors, doc.get("duration_ms"), "duration_ms");
+
+    match doc.get("rows").and_then(Json::as_arr) {
+        None => errors.push("missing rows array".into()),
+        Some([]) => errors.push("rows is empty".into()),
+        Some(rows) => {
+            for (i, row) in rows.iter().enumerate() {
+                if row
+                    .get("label")
+                    .and_then(Json::as_str)
+                    .is_none_or(str::is_empty)
+                {
+                    errors.push(format!("rows[{i}]: missing or empty label"));
+                }
+                for key in [
+                    "requests",
+                    "slo_attainment_pct",
+                    "goodput_tps",
+                    "throughput_tps",
+                    "p50_tpot_ms",
+                    "p99_tpot_ms",
+                ] {
+                    need_num(&mut errors, row.get(key), &format!("rows[{i}].{key}"));
+                }
+                match row.get("tiers").and_then(Json::as_arr) {
+                    None => errors.push(format!("rows[{i}]: missing tiers array")),
+                    Some(tiers) => {
+                        for (j, tier) in tiers.iter().enumerate() {
+                            if tier
+                                .get("tier")
+                                .and_then(Json::as_str)
+                                .is_none_or(str::is_empty)
+                            {
+                                errors.push(format!("rows[{i}].tiers[{j}]: missing tier label"));
+                            }
+                            for key in ["requests", "attainment_pct", "mean_tpot_ms", "p99_tpot_ms"]
+                            {
+                                need_num(
+                                    &mut errors,
+                                    tier.get(key),
+                                    &format!("rows[{i}].tiers[{j}].{key}"),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use metrics::RequestRecord;
+    use workload::Category;
+
+    fn report() -> SloReport {
+        let records: Vec<RequestRecord> = (0..6)
+            .map(|id| RequestRecord {
+                id,
+                category: if id % 2 == 0 {
+                    Category::Chatbot
+                } else {
+                    Category::Summarization
+                },
+                tpot_slo_ms: 50.0,
+                arrival_ms: 0.0,
+                decode_start_ms: 5.0,
+                completion_ms: 5.0 + 40.0 * 10.0,
+                output_tokens: 10,
+                accepted_tokens: 6,
+                verify_steps: 3,
+                preemptions: 0,
+            })
+            .collect();
+        SloReport::from_records(&records)
+    }
+
+    #[test]
+    fn summary_round_trips_and_validates() {
+        let mut summary = BenchSummary::new("unit_test", "smoke", 7, 1234.5);
+        summary.push_report("point-a", &report());
+        summary.push_report("point-b", &report());
+        let text = summary.to_json_string();
+        let doc = json::parse(&text).expect("emitted JSON parses");
+        validate(&doc).expect("emitted JSON is schema-valid");
+        assert_eq!(doc.get("rows").unwrap().as_arr().unwrap().len(), 2);
+        assert_eq!(doc.get("mode").unwrap().as_str(), Some("smoke"));
+        let row = &doc.get("rows").unwrap().as_arr().unwrap()[0];
+        assert_eq!(row.get("requests").unwrap().as_num(), Some(6.0));
+        assert_eq!(
+            row.get("tiers").unwrap().as_arr().unwrap().len(),
+            2,
+            "both present categories become tiers"
+        );
+    }
+
+    #[test]
+    fn validation_rejects_missing_keys() {
+        let mut summary = BenchSummary::new("unit_test", "full", 7, 1.0);
+        summary.push_report("point", &report());
+        let doc = json::parse(&summary.to_json_string()).unwrap();
+        // Knock out a required member and re-validate.
+        let Json::Obj(mut top) = doc else { panic!() };
+        top.remove("seed");
+        let Some(Json::Arr(rows)) = top.get_mut("rows") else {
+            panic!()
+        };
+        let Json::Obj(row) = &mut rows[0] else {
+            panic!()
+        };
+        row.remove("goodput_tps");
+        let errors = validate(&Json::Obj(top)).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("seed")), "{errors:?}");
+        assert!(
+            errors.iter().any(|e| e.contains("rows[0].goodput_tps")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn validation_rejects_empty_rows() {
+        let summary = BenchSummary::new("unit_test", "smoke", 7, 1.0);
+        let doc = json::parse(&summary.to_json_string()).unwrap();
+        let errors = validate(&doc).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("rows is empty")));
+    }
+
+    #[test]
+    #[should_panic(expected = "mode must be smoke|full")]
+    fn bad_mode_panics_at_construction() {
+        let _ = BenchSummary::new("x", "warp", 1, 1.0);
+    }
+}

@@ -1,0 +1,551 @@
+//! The multi-replica discrete-event driver.
+//!
+//! One global clock orders three event kinds — request arrivals (routed on
+//! the spot), elastic-scaling events (replica drain/join) and engine
+//! iterations (each replica advances on its own local clock, interleaved
+//! in global time order). Completion records from all replicas merge into
+//! a single fleet-wide stream for metrics.
+
+use crate::replica::Replica;
+use crate::router::Router;
+use metrics::{merge_by_completion, ClusterReport, RequestRecord, SloReport};
+use serving::{finalize_run, RunError, RunOptions, RunResult, ServingEngine};
+use workload::Workload;
+
+/// What an elastic-scaling event does to its replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalingAction {
+    /// Stop routing new requests to the replica; it finishes queued work.
+    Drain,
+    /// Make the replica eligible for new requests again.
+    Join,
+}
+
+/// A scheduled drain/join of one replica.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalingEvent {
+    /// Simulation time at which the event applies.
+    pub at_ms: f64,
+    /// Target replica index.
+    pub replica: usize,
+    /// Drain or join.
+    pub action: ScalingAction,
+}
+
+/// Outcome of one replica's share of a cluster run.
+#[derive(Debug, Clone)]
+pub struct ReplicaResult {
+    /// Replica index.
+    pub replica: usize,
+    /// Requests the router placed on this replica.
+    pub routed: u64,
+    /// The replica's own run result (records, breakdown, iterations).
+    pub result: RunResult,
+}
+
+impl ReplicaResult {
+    /// Display label, e.g. `"replica-0 (AdaServe)"`.
+    pub fn label(&self) -> String {
+        format!("replica-{} ({})", self.replica, self.result.engine)
+    }
+}
+
+/// Outcome of serving one workload on a cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterRunResult {
+    /// Routing policy name.
+    pub router: String,
+    /// All completion records, merged across replicas by completion time.
+    pub records: Vec<RequestRecord>,
+    /// Per-replica results, in replica order.
+    pub per_replica: Vec<ReplicaResult>,
+    /// Global simulation end time (latest replica clock).
+    pub end_ms: f64,
+    /// Iterations executed across the fleet.
+    pub iterations: u64,
+}
+
+impl ClusterRunResult {
+    /// Fleet-wide SLO report over the merged records.
+    pub fn report(&self) -> SloReport {
+        SloReport::from_records(&self.records)
+    }
+
+    /// Per-replica + merged reports.
+    pub fn cluster_report(&self) -> ClusterReport {
+        ClusterReport::from_streams(
+            self.per_replica
+                .iter()
+                .map(|r| (r.label(), r.result.records.clone()))
+                .collect(),
+        )
+    }
+}
+
+/// The slowest near-zero-load decode latency across a prospective fleet.
+///
+/// Heterogeneous fleets should build their workload against this value so
+/// baseline-relative SLOs stay attainable on every replica; callable on
+/// the engine list before the [`Cluster`] is assembled.
+pub fn max_baseline_ms(engines: &[Box<dyn ServingEngine>]) -> f64 {
+    engines
+        .iter()
+        .map(|e| e.core().config.baseline_ms)
+        .fold(0.0, f64::max)
+}
+
+/// N serving engines behind a routing policy, driven under one clock.
+#[derive(Debug)]
+pub struct Cluster {
+    replicas: Vec<Replica>,
+    router: Box<dyn Router>,
+    events: Vec<ScalingEvent>,
+}
+
+impl Cluster {
+    /// Builds a cluster over `engines` (any mix of engine types and GPU
+    /// profiles) with the given routing policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `engines` is empty.
+    pub fn new(engines: Vec<Box<dyn ServingEngine>>, router: Box<dyn Router>) -> Self {
+        assert!(!engines.is_empty(), "a cluster needs at least one replica");
+        let replicas = engines
+            .into_iter()
+            .enumerate()
+            .map(|(id, engine)| Replica::new(id, engine))
+            .collect();
+        Self {
+            replicas,
+            router,
+            events: Vec::new(),
+        }
+    }
+
+    /// Schedules elastic-scaling (drain/join) events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event names a replica outside the cluster.
+    pub fn with_events(mut self, mut events: Vec<ScalingEvent>) -> Self {
+        for e in &events {
+            assert!(e.replica < self.replicas.len(), "event names no replica");
+        }
+        events.sort_by(|a, b| a.at_ms.total_cmp(&b.at_ms));
+        self.events = events;
+        self
+    }
+
+    /// Read-only view of the replicas (for tests and inspection).
+    pub fn replicas(&self) -> &[Replica] {
+        &self.replicas
+    }
+
+    /// The slowest replica's baseline decode latency.
+    ///
+    /// Heterogeneous fleets should build their workload against this value
+    /// so baseline-relative SLOs stay attainable on every replica.
+    pub fn max_baseline_ms(&self) -> f64 {
+        self.replicas
+            .iter()
+            .map(Replica::baseline_ms)
+            .fold(0.0, f64::max)
+    }
+
+    /// Serves `workload` to completion across the fleet.
+    ///
+    /// Event ordering at equal timestamps: scaling events apply first (so
+    /// an arrival at the same instant sees the new topology), then
+    /// arrivals are routed, then the due replica steps. Arrivals are
+    /// routed at their arrival instant against each replica's current
+    /// queue state; a replica mid-iteration past that instant reflects at
+    /// most one extra iteration of skew — the same information a real
+    /// router has when an engine's batch is already on the GPU.
+    pub fn run(
+        mut self,
+        workload: &Workload,
+        options: RunOptions,
+    ) -> Result<ClusterRunResult, RunError> {
+        let requests = &workload.requests;
+        let mut next_arrival = 0usize;
+        let mut next_event = 0usize;
+        let mut iterations = 0u64;
+
+        loop {
+            let t_arr = requests
+                .get(next_arrival)
+                .map_or(f64::INFINITY, |r| r.arrival_ms);
+            let t_evt = self
+                .events
+                .get(next_event)
+                .map_or(f64::INFINITY, |e| e.at_ms);
+            // Earliest replica ready to iterate (lowest clock, then id).
+            let stepper = self
+                .replicas
+                .iter()
+                .filter(|r| r.has_work())
+                .min_by(|a, b| a.clock_ms.total_cmp(&b.clock_ms).then(a.id.cmp(&b.id)))
+                .map(|r| (r.clock_ms, r.id));
+            let t_step = stepper.map_or(f64::INFINITY, |(t, _)| t);
+
+            let t = t_arr.min(t_evt).min(t_step);
+            if t.is_infinite() {
+                break; // No arrivals, no events, no work anywhere.
+            }
+
+            if t_evt <= t {
+                let e = self.events[next_event];
+                let r = &mut self.replicas[e.replica];
+                r.accepting = matches!(e.action, ScalingAction::Join);
+                r.clock_ms = r.clock_ms.max(e.at_ms);
+                next_event += 1;
+                continue;
+            }
+
+            if t_arr <= t {
+                let spec = requests[next_arrival].clone();
+                let eligible: Vec<usize> = {
+                    let accepting: Vec<usize> = self
+                        .replicas
+                        .iter()
+                        .filter(|r| r.accepting)
+                        .map(|r| r.id)
+                        .collect();
+                    if accepting.is_empty() {
+                        // Whole fleet draining: degrade gracefully rather
+                        // than dropping the request.
+                        (0..self.replicas.len()).collect()
+                    } else {
+                        accepting
+                    }
+                };
+                let mut choice = self.router.route(&spec, t_arr, &self.replicas, &eligible);
+                if !eligible.contains(&choice) {
+                    debug_assert!(false, "router returned ineligible replica {choice}");
+                    choice = eligible[0];
+                }
+                let r = &mut self.replicas[choice];
+                r.engine.core_mut().on_arrival(spec);
+                r.clock_ms = r.clock_ms.max(t_arr);
+                r.routed += 1;
+                next_arrival += 1;
+                continue;
+            }
+
+            let (_, id) = stepper.expect("t_step was finite");
+            let r = &mut self.replicas[id];
+            let step = r.engine.step(r.clock_ms);
+            r.engine.core_mut().iterations += 1;
+            r.guard.observe(step.latency_ms)?;
+            r.clock_ms += step.latency_ms.max(1e-6);
+            iterations += 1;
+            if r.engine.core().iterations > options.max_iterations {
+                return Err(RunError::IterationCap);
+            }
+            if r.clock_ms > options.max_sim_ms {
+                return Err(RunError::TimeCap);
+            }
+        }
+
+        let end_ms = self.replicas.iter().map(|r| r.clock_ms).fold(0.0, f64::max);
+        let router = self.router.name();
+        let per_replica: Vec<ReplicaResult> = self
+            .replicas
+            .iter_mut()
+            .map(|r| ReplicaResult {
+                replica: r.id,
+                routed: r.routed,
+                result: finalize_run(r.engine.as_mut(), r.clock_ms),
+            })
+            .collect();
+        let records = merge_by_completion(
+            per_replica
+                .iter()
+                .map(|r| r.result.records.clone())
+                .collect(),
+        );
+        Ok(ClusterRunResult {
+            router,
+            records,
+            per_replica,
+            end_ms,
+            iterations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::{LeastOutstanding, RoundRobin, RouterKind};
+    use serving::{EngineCore, StepResult, SystemConfig};
+    use workload::{Category, RequestSpec};
+
+    /// Minimal engine: admits FIFO, prefills whole prompts, decodes one
+    /// token per running request per iteration (same as serving's own
+    /// driver test engine).
+    struct NaiveEngine {
+        core: EngineCore,
+    }
+
+    impl NaiveEngine {
+        fn boxed(seed: u64) -> Box<dyn ServingEngine> {
+            Box::new(Self {
+                core: EngineCore::new(SystemConfig::llama70b(seed)),
+            })
+        }
+    }
+
+    impl ServingEngine for NaiveEngine {
+        fn name(&self) -> String {
+            "naive".into()
+        }
+
+        fn core(&self) -> &EngineCore {
+            &self.core
+        }
+
+        fn core_mut(&mut self) -> &mut EngineCore {
+            &mut self.core
+        }
+
+        fn step(&mut self, now_ms: f64) -> StepResult {
+            self.core.admit_fifo();
+            let plan = self.core.plan_prefill(u32::MAX);
+            if !plan.is_empty() {
+                let mut pass = roofline::ForwardPass::default();
+                for &(i, chunk) in &plan {
+                    pass.push(roofline::SeqWork::prefill(
+                        chunk,
+                        self.core.running[i].prefilled(),
+                    ));
+                }
+                self.core.apply_prefill(&plan);
+                let ms = self
+                    .core
+                    .config
+                    .testbed
+                    .target
+                    .forward_latency_ms(&pass, false);
+                self.core.stamp_decode_starts(now_ms + ms);
+                return StepResult { latency_ms: ms };
+            }
+            let decoding = self.core.decoding_indices();
+            if decoding.is_empty() {
+                return StepResult { latency_ms: 1.0 };
+            }
+            let mut pass = roofline::ForwardPass::default();
+            for &i in &decoding {
+                pass.push(roofline::SeqWork::decode(
+                    self.core.running[i].context_len(),
+                ));
+            }
+            let ms = self
+                .core
+                .config
+                .testbed
+                .target
+                .forward_latency_ms(&pass, true);
+            for &i in &decoding {
+                if self.core.grow_with_preemption(i, 1) {
+                    let t = self.core.next_token(i);
+                    self.core.running[i].push_token(t);
+                    self.core.running[i].verify_steps += 1;
+                }
+            }
+            self.core.collect_finished(now_ms + ms);
+            StepResult { latency_ms: ms }
+        }
+    }
+
+    fn tiny_workload(n: u64, gap_ms: f64) -> Workload {
+        let requests = (0..n)
+            .map(|id| RequestSpec {
+                id,
+                category: Category::Chatbot,
+                arrival_ms: id as f64 * gap_ms,
+                prompt_len: 12,
+                output_len: 6,
+                tpot_slo_ms: 50.0,
+                stream_seed: id ^ 0x5151,
+            })
+            .collect();
+        Workload {
+            requests,
+            description: "tiny".into(),
+        }
+    }
+
+    fn naive_cluster(n: usize, router: Box<dyn Router>) -> Cluster {
+        Cluster::new((0..n).map(|_| NaiveEngine::boxed(3)).collect(), router)
+    }
+
+    #[test]
+    fn cluster_serves_every_request_exactly_once() {
+        let wl = tiny_workload(12, 5.0);
+        let result = naive_cluster(3, Box::new(RoundRobin::default()))
+            .run(&wl, RunOptions::default())
+            .expect("run succeeds");
+        assert_eq!(result.records.len(), 12, "conservation across replicas");
+        let mut ids: Vec<u64> = result.records.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 12, "no record duplicated in the merge");
+        let routed: u64 = result.per_replica.iter().map(|r| r.routed).sum();
+        assert_eq!(routed, 12);
+    }
+
+    #[test]
+    fn round_robin_spreads_requests_evenly() {
+        let wl = tiny_workload(9, 100.0);
+        let result = naive_cluster(3, Box::new(RoundRobin::default()))
+            .run(&wl, RunOptions::default())
+            .unwrap();
+        for r in &result.per_replica {
+            assert_eq!(r.routed, 3, "replica {} share", r.replica);
+        }
+    }
+
+    #[test]
+    fn merged_records_are_sorted_by_completion() {
+        let wl = tiny_workload(10, 7.0);
+        let result = naive_cluster(2, Box::new(LeastOutstanding))
+            .run(&wl, RunOptions::default())
+            .unwrap();
+        for pair in result.records.windows(2) {
+            assert!(pair[0].completion_ms <= pair[1].completion_ms);
+        }
+        assert!(result.end_ms >= result.records.last().unwrap().completion_ms);
+    }
+
+    #[test]
+    fn every_router_kind_drives_a_cluster() {
+        let wl = tiny_workload(8, 10.0);
+        for kind in RouterKind::ALL {
+            let result = naive_cluster(2, kind.build())
+                .run(&wl, RunOptions::default())
+                .unwrap_or_else(|e| panic!("{} failed: {e}", kind.name()));
+            assert_eq!(result.records.len(), 8, "{}", kind.name());
+            assert_eq!(result.router, kind.name());
+        }
+    }
+
+    #[test]
+    fn drained_replica_receives_no_new_requests() {
+        let wl = tiny_workload(8, 50.0);
+        let result = naive_cluster(2, Box::new(RoundRobin::default()))
+            .with_events(vec![ScalingEvent {
+                at_ms: -1.0,
+                replica: 1,
+                action: ScalingAction::Drain,
+            }])
+            .run(&wl, RunOptions::default())
+            .unwrap();
+        assert_eq!(result.per_replica[0].routed, 8);
+        assert_eq!(result.per_replica[1].routed, 0);
+        assert_eq!(result.records.len(), 8, "drain loses nothing");
+    }
+
+    #[test]
+    fn joined_replica_starts_taking_traffic() {
+        let wl = tiny_workload(10, 50.0);
+        let result = naive_cluster(2, Box::new(RoundRobin::default()))
+            .with_events(vec![
+                ScalingEvent {
+                    at_ms: -1.0,
+                    replica: 1,
+                    action: ScalingAction::Drain,
+                },
+                ScalingEvent {
+                    at_ms: 240.0, // before the 6th arrival at 250 ms
+                    replica: 1,
+                    action: ScalingAction::Join,
+                },
+            ])
+            .run(&wl, RunOptions::default())
+            .unwrap();
+        assert_eq!(result.records.len(), 10);
+        assert!(
+            result.per_replica[1].routed > 0,
+            "replica 1 serves traffic after joining"
+        );
+        assert!(result.per_replica[0].routed > result.per_replica[1].routed);
+    }
+
+    #[test]
+    fn fully_draining_fleet_still_serves() {
+        let wl = tiny_workload(4, 20.0);
+        let result = naive_cluster(2, Box::new(RoundRobin::default()))
+            .with_events(vec![
+                ScalingEvent {
+                    at_ms: -1.0,
+                    replica: 0,
+                    action: ScalingAction::Drain,
+                },
+                ScalingEvent {
+                    at_ms: -1.0,
+                    replica: 1,
+                    action: ScalingAction::Drain,
+                },
+            ])
+            .run(&wl, RunOptions::default())
+            .unwrap();
+        assert_eq!(result.records.len(), 4, "degrades to routing anywhere");
+    }
+
+    #[test]
+    fn cluster_runs_are_deterministic() {
+        let wl = tiny_workload(10, 8.0);
+        let a = naive_cluster(3, RouterKind::SloAware.build())
+            .run(&wl, RunOptions::default())
+            .unwrap();
+        let b = naive_cluster(3, RouterKind::SloAware.build())
+            .run(&wl, RunOptions::default())
+            .unwrap();
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.end_ms, b.end_ms);
+        assert_eq!(a.iterations, b.iterations);
+    }
+
+    #[test]
+    fn single_replica_cluster_matches_plain_driver() {
+        let wl = tiny_workload(6, 10.0);
+        let cluster = naive_cluster(1, Box::new(RoundRobin::default()))
+            .run(&wl, RunOptions::default())
+            .unwrap();
+        let mut solo = NaiveEngine {
+            core: EngineCore::new(SystemConfig::llama70b(3)),
+        };
+        let plain = serving::run(&mut solo, &wl, RunOptions::default()).unwrap();
+        assert_eq!(cluster.records, plain.records);
+    }
+
+    #[test]
+    fn iteration_cap_is_enforced() {
+        let wl = tiny_workload(6, 1.0);
+        let err = naive_cluster(2, Box::new(RoundRobin::default()))
+            .run(
+                &wl,
+                RunOptions {
+                    max_sim_ms: f64::MAX,
+                    max_iterations: 1,
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err, RunError::IterationCap);
+    }
+
+    #[test]
+    fn empty_workload_is_a_no_op() {
+        let wl = Workload {
+            requests: Vec::new(),
+            description: "empty".into(),
+        };
+        let result = naive_cluster(2, Box::new(RoundRobin::default()))
+            .run(&wl, RunOptions::default())
+            .unwrap();
+        assert!(result.records.is_empty());
+        assert_eq!(result.end_ms, 0.0);
+    }
+}

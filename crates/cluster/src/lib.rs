@@ -1,0 +1,35 @@
+//! Multi-replica cluster serving: fleets of engines behind a router.
+//!
+//! The paper's evaluation drives a single engine; production multi-SLO
+//! serving (and the follow-on systems AdaServe is compared against) runs
+//! *fleets* of engines behind a request router. This crate simulates that
+//! setting on the same deterministic substrate:
+//!
+//! * [`replica`] — a [`Replica`] wraps any [`serving::ServingEngine`]
+//!   (AdaServe, any baseline, any GPU profile) with a local clock and the
+//!   load views routers consume;
+//! * [`router`] — the [`Router`] trait and four policies: [`RoundRobin`],
+//!   [`LeastOutstanding`], [`JoinShortestQueue`] (by hardware-normalized
+//!   modelled load) and [`SloAware`], the cluster analogue of the paper's
+//!   §4.3 two-phase budget split (tight-TPOT requests to the least-loaded
+//!   replica, throughput-tier requests packed);
+//! * [`driver`] — the [`Cluster`] discrete-event driver: one global clock
+//!   interleaving per-replica iterations, arrival routing and elastic
+//!   drain/join [`ScalingEvent`]s, merging all completion records into one
+//!   fleet-wide stream for [`metrics`].
+//!
+//! Replicas may be heterogeneous: each engine carries its own
+//! [`serving::SystemConfig`], so one fleet can mix A100 and H100 profiles
+//! (`roofline::Testbed::llama70b_h100`). Build workloads against
+//! [`Cluster::max_baseline_ms`] so baseline-relative SLOs stay attainable
+//! on the slowest replica.
+
+pub mod driver;
+pub mod replica;
+pub mod router;
+
+pub use driver::{
+    max_baseline_ms, Cluster, ClusterRunResult, ReplicaResult, ScalingAction, ScalingEvent,
+};
+pub use replica::Replica;
+pub use router::{JoinShortestQueue, LeastOutstanding, RoundRobin, Router, RouterKind, SloAware};

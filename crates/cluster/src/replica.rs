@@ -1,0 +1,132 @@
+//! One cluster member: a serving engine plus its routing-visible state.
+
+use serving::{ServingEngine, StallGuard};
+
+/// Fraction of a baseline decode step attributed to one *prefill* token in
+/// the load model (prefill processes hundreds of tokens per forward pass,
+/// so a queued prompt token is far cheaper than a queued output token).
+const PREFILL_TOKEN_COST: f64 = 1.0 / 256.0;
+
+/// Effective decode batch width used to amortize queued output tokens in
+/// the drain-time estimate: a replica emits one token per running request
+/// per iteration, up to roughly this much useful parallelism.
+const EFFECTIVE_DECODE_WIDTH: f64 = 8.0;
+
+/// A replica of the cluster: one serving engine advancing on its own local
+/// clock under the cluster driver's global ordering.
+///
+/// Routers observe replicas read-only through the load/queue accessors
+/// here; only the driver mutates them.
+pub struct Replica {
+    /// Stable replica index within the cluster.
+    pub id: usize,
+    /// The engine this replica runs (any [`ServingEngine`] — AdaServe or a
+    /// baseline — possibly on a different GPU profile than its peers).
+    pub engine: Box<dyn ServingEngine>,
+    /// Local clock: the simulation time at which the replica's last
+    /// iteration ended (equivalently, when its next iteration may start).
+    pub clock_ms: f64,
+    /// Whether the router may place new requests here. Toggled by
+    /// drain/join scaling events; a draining replica still serves its
+    /// queued work to completion.
+    pub accepting: bool,
+    /// Requests routed to this replica so far.
+    pub routed: u64,
+    pub(crate) guard: StallGuard,
+}
+
+impl std::fmt::Debug for Replica {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Replica")
+            .field("id", &self.id)
+            .field("engine", &self.engine.name())
+            .field("clock_ms", &self.clock_ms)
+            .field("accepting", &self.accepting)
+            .field("routed", &self.routed)
+            .finish()
+    }
+}
+
+impl Replica {
+    /// Wraps `engine` as replica `id`, accepting traffic from time zero.
+    pub fn new(id: usize, engine: Box<dyn ServingEngine>) -> Self {
+        Self {
+            id,
+            engine,
+            clock_ms: 0.0,
+            accepting: true,
+            routed: 0,
+            guard: StallGuard::default(),
+        }
+    }
+
+    /// Requests waiting for admission on this replica.
+    pub fn waiting_len(&self) -> usize {
+        self.engine.core().waiting.len()
+    }
+
+    /// Requests admitted and in flight on this replica.
+    pub fn running_len(&self) -> usize {
+        self.engine.core().running.len()
+    }
+
+    /// Outstanding requests (waiting + running).
+    pub fn outstanding(&self) -> usize {
+        self.waiting_len() + self.running_len()
+    }
+
+    /// Whether the replica has queued or in-flight work.
+    pub fn has_work(&self) -> bool {
+        self.engine.core().has_work()
+    }
+
+    /// This replica's near-zero-load decode latency (its speed class).
+    pub fn baseline_ms(&self) -> f64 {
+        self.engine.core().config.baseline_ms
+    }
+
+    /// Queued work in tokens: `(prefill_tokens, decode_tokens)` summed over
+    /// waiting and running requests.
+    pub fn queued_tokens(&self) -> (u64, u64) {
+        let core = self.engine.core();
+        let mut prefill = 0u64;
+        let mut decode = 0u64;
+        for r in core.waiting.iter().chain(core.running.iter()) {
+            prefill += u64::from(r.prefill_remaining());
+            decode += u64::from(r.remaining());
+        }
+        (prefill, decode)
+    }
+
+    /// Modelled time to drain the current queue, in milliseconds.
+    ///
+    /// A hardware-normalized load heuristic, not a simulation: queued
+    /// output tokens cost one baseline decode step amortized over an
+    /// effective batch width, queued prompt tokens a small fraction of
+    /// one. Because it scales with the replica's own `baseline_ms`, a
+    /// faster GPU profile correctly reports less load for the same queue —
+    /// the quantity join-shortest-queue routing compares.
+    pub fn modelled_load_ms(&self) -> f64 {
+        let (prefill, decode) = self.queued_tokens();
+        let width = (self.running_len().max(1) as f64).min(EFFECTIVE_DECODE_WIDTH);
+        self.baseline_ms() * (prefill as f64 * PREFILL_TOKEN_COST + decode as f64 / width)
+    }
+
+    /// Drain estimate as seen from global time `now_ms`: the modelled queue
+    /// drain plus any head start the replica's local clock already has on
+    /// the global frontier (a busy replica cannot start new work before its
+    /// current iteration ends).
+    pub fn drain_estimate_ms(&self, now_ms: f64) -> f64 {
+        (self.clock_ms - now_ms).max(0.0) + self.modelled_load_ms()
+    }
+
+    /// Outstanding requests whose TPOT SLO is at most `tight_ms`.
+    pub fn tight_outstanding(&self, tight_ms: f64) -> usize {
+        let core = self.engine.core();
+        core.waiting
+            .iter()
+            .chain(core.running.iter())
+            .filter(|r| r.spec.tpot_slo_ms <= tight_ms)
+            .count()
+    }
+}

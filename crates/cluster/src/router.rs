@@ -1,0 +1,394 @@
+//! Request routing policies for the cluster driver.
+//!
+//! The driver consults the [`Router`] once per arrival, passing the full
+//! replica slice plus the indices currently eligible (accepting) — the
+//! router must return one of the eligible indices. Policies range from the
+//! oblivious (round-robin) to the SLO-aware two-phase split that mirrors,
+//! at cluster granularity, the paper's §4.3 budget split between
+//! SLO-constrained and throughput-tier requests.
+
+use crate::replica::Replica;
+use workload::RequestSpec;
+
+/// A request-routing policy.
+///
+/// `route` may keep internal state (round-robin's cursor); it must be a
+/// deterministic function of that state and its arguments so cluster runs
+/// reproduce bit-identically under a fixed seed.
+pub trait Router {
+    /// Policy name for reports.
+    fn name(&self) -> String;
+
+    /// Chooses the replica for `spec`, as an index into `replicas`.
+    ///
+    /// `eligible` is the non-empty, ascending list of replica indices the
+    /// driver will accept; returning anything else is a policy bug (the
+    /// driver falls back to the first eligible replica and debug-asserts).
+    fn route(
+        &mut self,
+        spec: &RequestSpec,
+        now_ms: f64,
+        replicas: &[Replica],
+        eligible: &[usize],
+    ) -> usize;
+}
+
+impl std::fmt::Debug for dyn Router + '_ {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Router({})", self.name())
+    }
+}
+
+/// Cycles through eligible replicas in order, ignoring load entirely.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobin {
+    cursor: u64,
+}
+
+impl Router for RoundRobin {
+    fn name(&self) -> String {
+        "round-robin".into()
+    }
+
+    fn route(
+        &mut self,
+        _spec: &RequestSpec,
+        _now_ms: f64,
+        _replicas: &[Replica],
+        eligible: &[usize],
+    ) -> usize {
+        let pick = eligible[(self.cursor % eligible.len() as u64) as usize];
+        self.cursor += 1;
+        pick
+    }
+}
+
+/// Sends each request to the eligible replica with the fewest outstanding
+/// (waiting + running) requests; ties break on the lowest replica id.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeastOutstanding;
+
+impl Router for LeastOutstanding {
+    fn name(&self) -> String {
+        "least-outstanding".into()
+    }
+
+    fn route(
+        &mut self,
+        _spec: &RequestSpec,
+        _now_ms: f64,
+        replicas: &[Replica],
+        eligible: &[usize],
+    ) -> usize {
+        *eligible
+            .iter()
+            .min_by_key(|&&i| (replicas[i].outstanding(), i))
+            .expect("eligible is non-empty")
+    }
+}
+
+/// Join-shortest-queue by *modelled load*: minimizes the hardware-normalized
+/// drain-time estimate ([`Replica::drain_estimate_ms`]), so a fast replica
+/// with a longer queue can still win over a slow one with a shorter queue.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JoinShortestQueue;
+
+impl Router for JoinShortestQueue {
+    fn name(&self) -> String {
+        "jsq-load".into()
+    }
+
+    fn route(
+        &mut self,
+        _spec: &RequestSpec,
+        now_ms: f64,
+        replicas: &[Replica],
+        eligible: &[usize],
+    ) -> usize {
+        *eligible
+            .iter()
+            .min_by(|&&a, &&b| {
+                replicas[a]
+                    .drain_estimate_ms(now_ms)
+                    .total_cmp(&replicas[b].drain_estimate_ms(now_ms))
+                    .then(a.cmp(&b))
+            })
+            .expect("eligible is non-empty")
+    }
+}
+
+/// The cluster analogue of the paper's §4.3 two-phase budget split.
+///
+/// Requests whose TPOT SLO is at most `tight_ms` are *SLO-constrained*:
+/// they go to the least-loaded eligible replica (by drain estimate, then
+/// fewest tight requests) so their decode iterations stay fast.
+/// Throughput-tier requests are *packed*: among replicas carrying the
+/// fewest tight requests, the most-loaded one still under
+/// `pack_ceiling_ms` takes them, concentrating relaxed traffic on few
+/// replicas and keeping the rest of the fleet drained for tight arrivals.
+#[derive(Debug, Clone, Copy)]
+pub struct SloAware {
+    /// TPOT SLO (ms) at or below which a request is treated as tight.
+    pub tight_ms: f64,
+    /// Load ceiling (ms of modelled drain) above which a replica stops
+    /// being a packing target for throughput-tier requests.
+    pub pack_ceiling_ms: f64,
+}
+
+impl SloAware {
+    /// Policy with explicit thresholds.
+    pub fn new(tight_ms: f64, pack_ceiling_ms: f64) -> Self {
+        assert!(tight_ms > 0.0 && pack_ceiling_ms > 0.0);
+        Self {
+            tight_ms,
+            pack_ceiling_ms,
+        }
+    }
+}
+
+impl Default for SloAware {
+    /// Defaults sized for the paper's Table 2 mix: 60 ms classifies the
+    /// coding-copilot (≈1.2× baseline) and chatbot (50 ms) categories as
+    /// tight and summarization (150 ms) as throughput-tier; the 2 s pack
+    /// ceiling is roughly the modelled drain of a deeply backlogged
+    /// replica.
+    fn default() -> Self {
+        Self {
+            tight_ms: 60.0,
+            pack_ceiling_ms: 2_000.0,
+        }
+    }
+}
+
+impl Router for SloAware {
+    fn name(&self) -> String {
+        "slo-aware".into()
+    }
+
+    fn route(
+        &mut self,
+        spec: &RequestSpec,
+        now_ms: f64,
+        replicas: &[Replica],
+        eligible: &[usize],
+    ) -> usize {
+        if spec.tpot_slo_ms <= self.tight_ms {
+            // Tight tier: least loaded, preferring replicas with the least
+            // competing tight work.
+            return *eligible
+                .iter()
+                .min_by(|&&a, &&b| {
+                    replicas[a]
+                        .drain_estimate_ms(now_ms)
+                        .total_cmp(&replicas[b].drain_estimate_ms(now_ms))
+                        .then_with(|| {
+                            replicas[a]
+                                .tight_outstanding(self.tight_ms)
+                                .cmp(&replicas[b].tight_outstanding(self.tight_ms))
+                        })
+                        .then(a.cmp(&b))
+                })
+                .expect("eligible is non-empty");
+        }
+        // Throughput tier: pack onto the busiest replica that (a) carries
+        // the fewest tight requests and (b) is still under the ceiling.
+        let fewest_tight = eligible
+            .iter()
+            .map(|&i| replicas[i].tight_outstanding(self.tight_ms))
+            .min()
+            .expect("eligible is non-empty");
+        let packable = eligible
+            .iter()
+            .copied()
+            .filter(|&i| {
+                replicas[i].tight_outstanding(self.tight_ms) == fewest_tight
+                    && replicas[i].drain_estimate_ms(now_ms) <= self.pack_ceiling_ms
+            })
+            .max_by(|&a, &b| {
+                replicas[a]
+                    .drain_estimate_ms(now_ms)
+                    .total_cmp(&replicas[b].drain_estimate_ms(now_ms))
+                    .then(b.cmp(&a)) // prefer the lower id on ties
+            });
+        packable.unwrap_or_else(|| {
+            // Everything is saturated: fall back to least loaded.
+            *eligible
+                .iter()
+                .min_by(|&&a, &&b| {
+                    replicas[a]
+                        .drain_estimate_ms(now_ms)
+                        .total_cmp(&replicas[b].drain_estimate_ms(now_ms))
+                        .then(a.cmp(&b))
+                })
+                .expect("eligible is non-empty")
+        })
+    }
+}
+
+/// The built-in routing policies, as a parse/build-friendly enum for CLIs
+/// and sweep harnesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouterKind {
+    /// [`RoundRobin`].
+    RoundRobin,
+    /// [`LeastOutstanding`].
+    LeastOutstanding,
+    /// [`JoinShortestQueue`].
+    JoinShortestQueue,
+    /// [`SloAware`] with default thresholds.
+    SloAware,
+}
+
+impl RouterKind {
+    /// Every built-in policy, in sweep order.
+    pub const ALL: [RouterKind; 4] = [
+        RouterKind::RoundRobin,
+        RouterKind::LeastOutstanding,
+        RouterKind::JoinShortestQueue,
+        RouterKind::SloAware,
+    ];
+
+    /// Stable CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RouterKind::RoundRobin => "round-robin",
+            RouterKind::LeastOutstanding => "least-outstanding",
+            RouterKind::JoinShortestQueue => "jsq-load",
+            RouterKind::SloAware => "slo-aware",
+        }
+    }
+
+    /// Parses a CLI name (the inverse of [`RouterKind::name`]).
+    pub fn parse(name: &str) -> Option<RouterKind> {
+        RouterKind::ALL.iter().copied().find(|k| k.name() == name)
+    }
+
+    /// Instantiates the policy.
+    pub fn build(&self) -> Box<dyn Router> {
+        match self {
+            RouterKind::RoundRobin => Box::new(RoundRobin::default()),
+            RouterKind::LeastOutstanding => Box::new(LeastOutstanding),
+            RouterKind::JoinShortestQueue => Box::new(JoinShortestQueue),
+            RouterKind::SloAware => Box::new(SloAware::default()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serving::{EngineCore, ServingEngine, StepResult, SystemConfig};
+    use workload::Category;
+
+    /// Engine stub: routing only reads core queue state.
+    struct Stub {
+        core: EngineCore,
+    }
+
+    impl ServingEngine for Stub {
+        fn name(&self) -> String {
+            "stub".into()
+        }
+
+        fn core(&self) -> &EngineCore {
+            &self.core
+        }
+
+        fn core_mut(&mut self) -> &mut EngineCore {
+            &mut self.core
+        }
+
+        fn step(&mut self, _now_ms: f64) -> StepResult {
+            StepResult { latency_ms: 1.0 }
+        }
+    }
+
+    fn spec(id: u64, slo: f64) -> RequestSpec {
+        RequestSpec {
+            id,
+            category: Category::Chatbot,
+            arrival_ms: 0.0,
+            prompt_len: 16,
+            output_len: 32,
+            tpot_slo_ms: slo,
+            stream_seed: id,
+        }
+    }
+
+    fn replica(id: usize, queued: usize) -> Replica {
+        let mut r = Replica::new(
+            id,
+            Box::new(Stub {
+                core: EngineCore::new(SystemConfig::llama70b(1)),
+            }),
+        );
+        for q in 0..queued {
+            r.engine.core_mut().on_arrival(spec(q as u64, 150.0));
+        }
+        r
+    }
+
+    #[test]
+    fn round_robin_cycles_eligible() {
+        let replicas = vec![replica(0, 0), replica(1, 0), replica(2, 0)];
+        let mut rr = RoundRobin::default();
+        let picks: Vec<usize> = (0..4)
+            .map(|i| rr.route(&spec(i, 50.0), 0.0, &replicas, &[0, 2]))
+            .collect();
+        assert_eq!(picks, vec![0, 2, 0, 2]);
+    }
+
+    #[test]
+    fn least_outstanding_picks_emptiest() {
+        let replicas = vec![replica(0, 3), replica(1, 1), replica(2, 2)];
+        let mut lo = LeastOutstanding;
+        assert_eq!(lo.route(&spec(0, 50.0), 0.0, &replicas, &[0, 1, 2]), 1);
+        // Restricted eligibility is honoured.
+        assert_eq!(lo.route(&spec(0, 50.0), 0.0, &replicas, &[0, 2]), 2);
+    }
+
+    #[test]
+    fn jsq_accounts_for_clock_head_start() {
+        let mut replicas = vec![replica(0, 1), replica(1, 1)];
+        // Same queue, but replica 0 is mid-iteration far in the future.
+        replicas[0].clock_ms = 10_000.0;
+        let mut jsq = JoinShortestQueue;
+        assert_eq!(jsq.route(&spec(0, 50.0), 0.0, &replicas, &[0, 1]), 1);
+    }
+
+    #[test]
+    fn slo_aware_splits_tiers() {
+        // Replica 0 idle, replica 1 lightly loaded with loose work.
+        let replicas = vec![replica(0, 0), replica(1, 2)];
+        let mut sa = SloAware::default();
+        // Tight request → least loaded (0).
+        assert_eq!(sa.route(&spec(0, 30.0), 0.0, &replicas, &[0, 1]), 0);
+        // Loose request → packed onto the busier replica (1), since both
+        // carry zero tight requests and 1 is under the ceiling.
+        assert_eq!(sa.route(&spec(1, 150.0), 0.0, &replicas, &[0, 1]), 1);
+    }
+
+    #[test]
+    fn slo_aware_avoids_tight_replicas_when_packing() {
+        let mut replicas = vec![replica(0, 0), replica(1, 0)];
+        // Replica 1 is busier but serves a tight request.
+        replicas[1].engine.core_mut().on_arrival(spec(7, 30.0));
+        replicas[1].engine.core_mut().on_arrival(spec(8, 150.0));
+        replicas[0].engine.core_mut().on_arrival(spec(9, 150.0));
+        let mut sa = SloAware::default();
+        assert_eq!(
+            sa.route(&spec(1, 150.0), 0.0, &replicas, &[0, 1]),
+            0,
+            "loose work packs away from the replica holding tight work"
+        );
+    }
+
+    #[test]
+    fn router_kind_round_trips_names() {
+        for kind in RouterKind::ALL {
+            assert_eq!(RouterKind::parse(kind.name()), Some(kind));
+            assert_eq!(kind.build().name(), kind.name());
+        }
+        assert_eq!(RouterKind::parse("nope"), None);
+    }
+}

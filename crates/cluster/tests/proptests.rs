@@ -1,0 +1,147 @@
+//! Property tests for the cluster driver's core invariants.
+//!
+//! * **Request conservation** — every request in the workload finishes
+//!   exactly once, on exactly one replica, regardless of router policy,
+//!   replica count, engine mix or drain/join events; the merge loses and
+//!   duplicates nothing.
+//! * **Determinism** — a cluster run is a pure function of (workload,
+//!   fleet, router, events): repeating it reproduces identical merged
+//!   records.
+
+use adaserve_core::AdaServeEngine;
+use baselines::{SarathiEngine, VllmEngine};
+use cluster::{Cluster, ClusterRunResult, RouterKind, ScalingAction, ScalingEvent};
+use proptest::prelude::*;
+use serving::{RunOptions, ServingEngine, SystemConfig};
+use workload::{Category, RequestSpec, Workload};
+
+/// A deterministic mixed fleet: engine type and GPU profile vary by index.
+fn fleet(n: usize, seed: u64) -> Vec<Box<dyn ServingEngine>> {
+    (0..n)
+        .map(|i| {
+            let config = if i % 3 == 2 {
+                SystemConfig::new(roofline::Testbed::llama70b_h100(), seed)
+            } else {
+                SystemConfig::llama70b(seed)
+            };
+            match i % 3 {
+                0 => Box::new(AdaServeEngine::new(config)) as Box<dyn ServingEngine>,
+                1 => Box::new(VllmEngine::new(config)),
+                _ => Box::new(SarathiEngine::new(config)),
+            }
+        })
+        .collect()
+}
+
+/// Small synthetic workload derived from a seed (kept tiny: each proptest
+/// case is a full multi-engine simulation).
+fn workload(seed: u64, n_requests: u64) -> Workload {
+    let requests = (0..n_requests)
+        .map(|id| {
+            let h = simllm::hash::seed_stream(seed, id);
+            let category = Category::ALL[(h % 3) as usize];
+            RequestSpec {
+                id,
+                category,
+                arrival_ms: id as f64 * (5.0 + (h % 40) as f64),
+                prompt_len: 8 + (h % 48) as u32,
+                output_len: 4 + (h % 12) as u32,
+                tpot_slo_ms: match category {
+                    Category::CodingCopilot => 28.0,
+                    Category::Chatbot => 50.0,
+                    Category::Summarization => 150.0,
+                },
+                stream_seed: h,
+            }
+        })
+        .collect();
+    Workload {
+        requests,
+        description: format!("proptest seed {seed}"),
+    }
+}
+
+fn run_cluster(
+    seed: u64,
+    n_requests: u64,
+    n_replicas: usize,
+    router: RouterKind,
+    events: Vec<ScalingEvent>,
+) -> ClusterRunResult {
+    Cluster::new(fleet(n_replicas, seed), router.build())
+        .with_events(events)
+        .run(&workload(seed, n_requests), RunOptions::default())
+        .expect("cluster run completes")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn every_request_finishes_exactly_once(
+        seed in 0u64..1_000,
+        n_requests in 1u64..24,
+        n_replicas in 1usize..5,
+        router_index in 0usize..4,
+    ) {
+        let router = RouterKind::ALL[router_index];
+        let result = run_cluster(seed, n_requests, n_replicas, router, Vec::new());
+
+        // Conservation: merged records cover the workload exactly.
+        prop_assert_eq!(result.records.len() as u64, n_requests);
+        let mut ids: Vec<u64> = result.records.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        let expected: Vec<u64> = (0..n_requests).collect();
+        prop_assert_eq!(ids, expected, "each id exactly once");
+
+        // Per-replica streams partition the merged stream.
+        let routed: u64 = result.per_replica.iter().map(|r| r.routed).sum();
+        prop_assert_eq!(routed, n_requests);
+        let per_replica_total: usize = result
+            .per_replica
+            .iter()
+            .map(|r| r.result.records.len())
+            .sum();
+        prop_assert_eq!(per_replica_total, result.records.len());
+        for r in &result.per_replica {
+            prop_assert_eq!(r.result.records.len() as u64, r.routed,
+                "a replica finishes exactly what was routed to it");
+        }
+    }
+
+    #[test]
+    fn drain_join_events_lose_no_requests(
+        seed in 0u64..1_000,
+        n_requests in 2u64..20,
+        drain_at in 1.0f64..400.0,
+    ) {
+        let events = vec![
+            ScalingEvent { at_ms: drain_at, replica: 0, action: ScalingAction::Drain },
+            ScalingEvent { at_ms: drain_at * 2.0, replica: 0, action: ScalingAction::Join },
+        ];
+        let result = run_cluster(seed, n_requests, 3, RouterKind::SloAware, events);
+        prop_assert_eq!(result.records.len() as u64, n_requests);
+        let mut ids: Vec<u64> = result.records.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len() as u64, n_requests);
+    }
+
+    #[test]
+    fn runs_are_deterministic_under_fixed_seed(
+        seed in 0u64..1_000,
+        n_requests in 1u64..16,
+        n_replicas in 1usize..4,
+        router_index in 0usize..4,
+    ) {
+        let router = RouterKind::ALL[router_index];
+        let a = run_cluster(seed, n_requests, n_replicas, router, Vec::new());
+        let b = run_cluster(seed, n_requests, n_replicas, router, Vec::new());
+        prop_assert_eq!(a.records, b.records, "merged records reproduce");
+        prop_assert_eq!(a.end_ms, b.end_ms);
+        prop_assert_eq!(a.iterations, b.iterations);
+        let shares_a: Vec<u64> = a.per_replica.iter().map(|r| r.routed).collect();
+        let shares_b: Vec<u64> = b.per_replica.iter().map(|r| r.routed).collect();
+        prop_assert_eq!(shares_a, shares_b, "routing decisions reproduce");
+    }
+}

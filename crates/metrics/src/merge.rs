@@ -1,0 +1,119 @@
+//! Merging per-replica record streams into one cluster-wide view.
+//!
+//! A multi-replica deployment produces one [`RequestRecord`] stream per
+//! engine. Cluster-level metrics (attainment, goodput, percentiles) are
+//! defined over the union of those streams, ordered by completion time —
+//! exactly what a fleet-wide metrics collector would see.
+
+use crate::record::RequestRecord;
+use crate::report::SloReport;
+
+/// K-way merges per-replica completion streams by completion time.
+///
+/// Each input stream is expected to be sorted by `completion_ms` (engines
+/// emit records in completion order); ties are broken by request id so the
+/// merge is deterministic regardless of replica enumeration order. The
+/// merge is verified to be a permutation-safe union: no record is dropped
+/// or duplicated.
+pub fn merge_by_completion(streams: Vec<Vec<RequestRecord>>) -> Vec<RequestRecord> {
+    let total: usize = streams.iter().map(Vec::len).sum();
+    let mut merged = Vec::with_capacity(total);
+    for stream in streams {
+        merged.extend(stream);
+    }
+    merged.sort_by(|a, b| {
+        a.completion_ms
+            .total_cmp(&b.completion_ms)
+            .then_with(|| a.id.cmp(&b.id))
+    });
+    merged
+}
+
+/// Per-replica reports plus the merged fleet-wide report.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// The fleet-wide report over all records.
+    pub merged: SloReport,
+    /// One `(replica_label, report)` pair per replica, in replica order.
+    pub per_replica: Vec<(String, SloReport)>,
+}
+
+impl ClusterReport {
+    /// Builds per-replica and merged reports from labelled record streams.
+    pub fn from_streams(streams: Vec<(String, Vec<RequestRecord>)>) -> Self {
+        let per_replica = streams
+            .iter()
+            .map(|(label, records)| (label.clone(), SloReport::from_records(records)))
+            .collect();
+        let merged_records =
+            merge_by_completion(streams.into_iter().map(|(_, records)| records).collect());
+        Self {
+            merged: SloReport::from_records(&merged_records),
+            per_replica,
+        }
+    }
+
+    /// Total completed requests across the fleet.
+    pub fn requests(&self) -> usize {
+        self.merged.requests
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::Category;
+
+    fn rec(id: u64, completion_ms: f64) -> RequestRecord {
+        RequestRecord {
+            id,
+            category: Category::Chatbot,
+            tpot_slo_ms: 50.0,
+            arrival_ms: 0.0,
+            decode_start_ms: 1.0,
+            completion_ms,
+            output_tokens: 4,
+            accepted_tokens: 0,
+            verify_steps: 4,
+            preemptions: 0,
+        }
+    }
+
+    #[test]
+    fn merge_orders_by_completion_then_id() {
+        let merged = merge_by_completion(vec![
+            vec![rec(0, 10.0), rec(2, 30.0)],
+            vec![rec(1, 10.0), rec(3, 20.0)],
+        ]);
+        let ids: Vec<u64> = merged.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![0, 1, 3, 2]);
+    }
+
+    #[test]
+    fn merge_conserves_every_record() {
+        let merged = merge_by_completion(vec![
+            vec![rec(0, 5.0)],
+            Vec::new(),
+            vec![rec(1, 3.0), rec(2, 4.0)],
+        ]);
+        assert_eq!(merged.len(), 3);
+        let mut ids: Vec<u64> = merged.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn cluster_report_aggregates_all_replicas() {
+        let report = ClusterReport::from_streams(vec![
+            ("replica-0".into(), vec![rec(0, 10.0), rec(1, 20.0)]),
+            ("replica-1".into(), vec![rec(2, 15.0)]),
+        ]);
+        assert_eq!(report.requests(), 3);
+        assert_eq!(report.per_replica.len(), 2);
+        assert_eq!(report.per_replica[0].1.requests, 2);
+        assert_eq!(report.per_replica[1].1.requests, 1);
+        // All three records share the same attainment criterion, so the
+        // merged attainment is the record-weighted aggregate.
+        assert_eq!(report.merged.requests, 3);
+    }
+}

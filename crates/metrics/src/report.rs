@@ -40,6 +40,10 @@ pub struct SloReport {
     pub mean_accepted_per_verify: f64,
     /// Mean TTFT (ms).
     pub mean_ttft_ms: f64,
+    /// Median of per-request average TPOT (ms).
+    pub p50_tpot_ms: f64,
+    /// p99 of per-request average TPOT (ms).
+    pub p99_tpot_ms: f64,
     /// Per-category breakdown, in Table 2 order (empty categories omitted).
     pub per_category: Vec<CategoryReport>,
 }
@@ -57,6 +61,8 @@ impl SloReport {
                 makespan_ms: 0.0,
                 mean_accepted_per_verify: 0.0,
                 mean_ttft_ms: 0.0,
+                p50_tpot_ms: 0.0,
+                p99_tpot_ms: 0.0,
                 per_category: Vec::new(),
             };
         }
@@ -78,6 +84,7 @@ impl SloReport {
         let all_tokens: u64 = records.iter().map(|r| u64::from(r.output_tokens)).sum();
         let total_accepted: u64 = records.iter().map(|r| r.accepted_tokens).sum();
         let total_verifies: u64 = records.iter().map(|r| r.verify_steps).sum();
+        let all_tpots: Vec<f64> = records.iter().map(|r| r.avg_tpot_ms()).collect();
 
         let mut per_category = Vec::new();
         for category in Category::ALL {
@@ -111,6 +118,8 @@ impl SloReport {
                 total_accepted as f64 / total_verifies as f64
             },
             mean_ttft_ms: mean(&records.iter().map(|r| r.ttft_ms()).collect::<Vec<_>>()),
+            p50_tpot_ms: percentile(&all_tpots, 50.0),
+            p99_tpot_ms: percentile(&all_tpots, 99.0),
             per_category,
         }
     }
@@ -189,6 +198,19 @@ mod tests {
         assert_eq!(r.category(Category::CodingCopilot).unwrap().attained, 1);
         assert!((r.category(Category::Chatbot).unwrap().violation_pct - 100.0).abs() < 1e-9);
         assert!(r.category(Category::Summarization).is_none());
+    }
+
+    #[test]
+    fn tpot_percentiles_cover_the_spread() {
+        let records = vec![
+            rec(1, Category::Chatbot, 20.0, 50.0, 10),
+            rec(2, Category::Chatbot, 40.0, 50.0, 10),
+            rec(3, Category::Chatbot, 60.0, 50.0, 10),
+        ];
+        let r = SloReport::from_records(&records);
+        assert!((r.p50_tpot_ms - 40.0).abs() < 1e-9);
+        assert!(r.p99_tpot_ms >= r.p50_tpot_ms);
+        assert!(r.p99_tpot_ms <= 60.0 + 1e-9);
     }
 
     #[test]

@@ -78,6 +78,19 @@ impl Testbed {
         }
     }
 
+    /// A what-if setup for heterogeneous-fleet studies: the paper's
+    /// Llama-3.1-70B deployment moved onto 4×H100.
+    ///
+    /// Not part of Table 1; used by the `cluster` crate to model mixed
+    /// fleets where some replicas run on newer, faster hardware.
+    pub fn llama70b_h100() -> Self {
+        Self {
+            name: "Llama-3.1-70B-Instruct / 4xH100-80G (TP=4)",
+            target: LatencyModel::new(ModelSpec::llama_70b(), GpuSpec::h100_80g(), 4),
+            draft: LatencyModel::new(ModelSpec::llama_1b(), GpuSpec::h100_80g(), 1),
+        }
+    }
+
     /// Both paper testbeds, in Table 1 order.
     pub fn paper_testbeds() -> Vec<Testbed> {
         vec![Self::llama70b(), Self::qwen32b()]
@@ -112,6 +125,13 @@ mod tests {
         let tb = Testbed::llama70b();
         let ms = tb.baseline_decode_ms();
         assert!(ms > 15.0 && ms < 45.0, "llama70b decode = {ms} ms");
+    }
+
+    #[test]
+    fn h100_testbed_is_faster_than_a100() {
+        let a100 = Testbed::llama70b().baseline_decode_ms();
+        let h100 = Testbed::llama70b_h100().baseline_decode_ms();
+        assert!(h100 < a100, "h100 = {h100} ms, a100 = {a100} ms");
     }
 
     #[test]

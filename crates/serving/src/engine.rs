@@ -79,6 +79,67 @@ impl std::fmt::Display for RunError {
 
 impl std::error::Error for RunError {}
 
+/// Detects engines that stop making progress.
+///
+/// Both the single-engine [`run`] driver and external drivers that
+/// interleave several engines under one clock (the `cluster` crate) feed
+/// every step latency through a guard; a long run of zero-latency steps
+/// while work remains means the engine's policy is stuck.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StallGuard {
+    zero_steps: u32,
+}
+
+impl StallGuard {
+    /// Consecutive zero-latency steps tolerated before declaring a stall.
+    pub const MAX_ZERO_STEPS: u32 = 1000;
+
+    /// Records one step's latency; errors once the zero-step run exceeds
+    /// [`StallGuard::MAX_ZERO_STEPS`].
+    pub fn observe(&mut self, latency_ms: f64) -> Result<(), RunError> {
+        if latency_ms <= 0.0 {
+            self.zero_steps += 1;
+            if self.zero_steps > Self::MAX_ZERO_STEPS {
+                return Err(RunError::Stalled);
+            }
+        } else {
+            self.zero_steps = 0;
+        }
+        Ok(())
+    }
+}
+
+/// Packages a served-out engine's state into a [`RunResult`].
+///
+/// Drains the completion records, snapshots the breakdown and iteration
+/// count, and computes the run-wide mean accepted-per-verify. Called by
+/// [`run`] at the end of a single-engine run and by multi-engine drivers
+/// for each replica once the cluster-wide clock stops.
+pub fn finalize_run(engine: &mut dyn ServingEngine, end_ms: f64) -> RunResult {
+    let name = engine.name();
+    let core = engine.core_mut();
+    let records = core.take_finished();
+    let breakdown = core.breakdown;
+    let iterations = core.iterations;
+    let mean_accepted = {
+        let verifies: u64 = records.iter().map(|r| r.verify_steps).sum();
+        let accepted: u64 = records.iter().map(|r| r.accepted_tokens).sum();
+        if verifies == 0 {
+            0.0
+        } else {
+            accepted as f64 / verifies as f64
+        }
+    };
+    RunResult {
+        engine: name,
+        records,
+        breakdown,
+        end_ms,
+        iterations,
+        mean_accepted_per_verify: mean_accepted,
+    }
+}
+
 /// Outcome of serving one workload.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -116,7 +177,7 @@ pub fn run(
 ) -> Result<RunResult, RunError> {
     let mut now_ms = 0.0f64;
     let mut next_arrival = 0usize;
-    let mut zero_steps = 0u32;
+    let mut guard = StallGuard::default();
     let requests = &workload.requests;
 
     loop {
@@ -134,14 +195,7 @@ pub fn run(
         }
         let step = engine.step(now_ms);
         engine.core_mut().iterations += 1;
-        if step.latency_ms <= 0.0 {
-            zero_steps += 1;
-            if zero_steps > 1000 {
-                return Err(RunError::Stalled);
-            }
-        } else {
-            zero_steps = 0;
-        }
+        guard.observe(step.latency_ms)?;
         now_ms += step.latency_ms.max(1e-6);
         if engine.core().iterations > options.max_iterations {
             return Err(RunError::IterationCap);
@@ -151,28 +205,7 @@ pub fn run(
         }
     }
 
-    let name = engine.name();
-    let core = engine.core_mut();
-    let records = core.take_finished();
-    let breakdown = core.breakdown;
-    let iterations = core.iterations;
-    let mean_accepted = {
-        let verifies: u64 = records.iter().map(|r| r.verify_steps).sum();
-        let accepted: u64 = records.iter().map(|r| r.accepted_tokens).sum();
-        if verifies == 0 {
-            0.0
-        } else {
-            accepted as f64 / verifies as f64
-        }
-    };
-    Ok(RunResult {
-        engine: name,
-        records,
-        breakdown,
-        end_ms: now_ms,
-        iterations,
-        mean_accepted_per_verify: mean_accepted,
-    })
+    Ok(finalize_run(engine, now_ms))
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@
 //! * [`request`] — runtime request state (prompt, generated tokens, phase,
 //!   per-phase timestamps);
 //! * [`kv`] — a PagedAttention-style block manager with preemption support
-//!   (vLLM [22]'s memory model, which the paper's baselines rely on);
+//!   (vLLM \[22\]'s memory model, which the paper's baselines rely on);
 //! * [`config`] — a deployed system: latency testbed + synthetic model pair;
 //! * [`engine`] — the [`engine::ServingEngine`] trait and the discrete-event
 //!   [`engine::run`] driver that advances simulated GPU time;
@@ -29,7 +29,9 @@ pub mod swap;
 
 pub use config::SystemConfig;
 pub use core::EngineCore;
-pub use engine::{run, RunOptions, RunResult, ServingEngine, StepResult};
+pub use engine::{
+    finalize_run, run, RunError, RunOptions, RunResult, ServingEngine, StallGuard, StepResult,
+};
 pub use kv::BlockManager;
 pub use request::{LiveRequest, Phase};
 pub use swap::SwapLink;

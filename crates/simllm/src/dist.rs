@@ -227,7 +227,7 @@ impl SparseDist {
     /// rejection-sampling speculative decoding.
     ///
     /// After a draft proposal from `other` is rejected, the target resamples
-    /// from this residual (Leviathan et al. [23]; SpecInfer's multi-branch
+    /// from this residual (Leviathan et al. \[23\]; SpecInfer's multi-branch
     /// variant applies it per sibling). Head entries subtract pointwise; the
     /// tails subtract as uniform blocks (exact when both tails spread over
     /// nearly the same complement set, which holds here since heads are

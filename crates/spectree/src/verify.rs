@@ -9,7 +9,7 @@
 //! yields at least one new token — exactly the lossless-generation guarantee
 //! of speculative decoding (§2).
 //!
-//! This is the multi-branch verification of SpecInfer [32]: with the target
+//! This is the multi-branch verification of SpecInfer \[32\]: with the target
 //! token sampled from `p(·|path)`, the probability of descending into child
 //! `c` is `p(c)`, which makes the expected number of accepted tokens equal to
 //! `Σ_{v∈T} f(v)` with `f` the true path probability — the identity the
@@ -60,8 +60,8 @@ impl RejectionOutcome {
 /// `norm(max(p − q, 0))` replaces `p` and the next sibling is tried. If all
 /// siblings are rejected, the correction token is drawn from the final
 /// residual — the construction that makes the emitted distribution exactly
-/// the target's (lossless speculative *sampling*, Leviathan et al. [23],
-/// multi-branch per SpecInfer [32]).
+/// the target's (lossless speculative *sampling*, Leviathan et al. \[23\],
+/// multi-branch per SpecInfer \[32\]).
 ///
 /// Unlike [`verify_tree`], the emitted stream depends on the draft model, so
 /// engines using different speculation strategies emit different (but

@@ -30,6 +30,23 @@ pub use trace::{ArrivalTrace, TraceKind};
 
 use simllm::hash::{combine, seed_stream};
 
+/// Resolves the experiment seed: `ADASERVE_SEED` if set, else `default`.
+///
+/// Every example and bench binary threads its seed through this helper so
+/// one environment variable reproduces (or perturbs) an entire run — CI
+/// smoke runs export it explicitly and log it. A malformed value aborts
+/// rather than silently falling back, so a typo cannot masquerade as a
+/// reproducible run.
+pub fn env_seed(default: u64) -> u64 {
+    match std::env::var("ADASERVE_SEED") {
+        Ok(v) => v
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("ADASERVE_SEED must be a u64, got {v:?}")),
+        Err(_) => default,
+    }
+}
+
 /// A complete, reproducible multi-SLO workload.
 #[derive(Debug, Clone)]
 pub struct Workload {

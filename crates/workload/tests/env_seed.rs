@@ -1,0 +1,17 @@
+//! The `ADASERVE_SEED` override, probed in a dedicated test binary.
+//!
+//! Mutating the process environment races concurrent `getenv` calls from
+//! other threads (the reason `set_var` is unsafe in edition 2024), so this
+//! binary holds exactly one test and nothing else runs alongside it.
+
+use workload::env_seed;
+
+#[test]
+fn env_seed_prefers_the_environment() {
+    assert_eq!(env_seed(42), 42, "default without ADASERVE_SEED");
+    std::env::set_var("ADASERVE_SEED", "1234");
+    assert_eq!(env_seed(42), 1234, "environment wins");
+    assert_eq!(env_seed(7), 1234, "default is ignored once set");
+    std::env::remove_var("ADASERVE_SEED");
+    assert_eq!(env_seed(7), 7);
+}

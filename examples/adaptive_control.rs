@@ -13,9 +13,10 @@ use adaserve::core::AdaptiveController;
 use adaserve::metrics::Table;
 use adaserve::roofline::{BudgetPolicy, TokenBudgetProfile};
 use adaserve::serving::SystemConfig;
+use adaserve::workload::env_seed;
 
 fn main() {
-    let config = SystemConfig::llama70b(1);
+    let config = SystemConfig::llama70b(env_seed(1));
     let profile = TokenBudgetProfile::profile(
         &config.testbed.target,
         &config.testbed.draft,

@@ -12,10 +12,11 @@ use adaserve::baselines::{SarathiEngine, VllmEngine, VllmSpecEngine};
 use adaserve::core::AdaServeEngine;
 use adaserve::metrics::Table;
 use adaserve::serving::{run, RunOptions, ServingEngine, SystemConfig};
-use adaserve::workload::{Category, WorkloadBuilder};
+use adaserve::workload::{env_seed, Category, WorkloadBuilder};
 
 fn main() {
-    let seed = 11;
+    // ADASERVE_SEED overrides both the deployment and workload seeds.
+    let seed = env_seed(11);
     let make_config = || SystemConfig::llama70b(seed);
     let config = make_config();
     // ADASERVE_SMOKE=1 (set by the CI smoke tests) shrinks the trace to a
@@ -25,7 +26,7 @@ fn main() {
     } else {
         (4.0, 90_000.0)
     };
-    let workload = WorkloadBuilder::new(3, config.baseline_ms)
+    let workload = WorkloadBuilder::new(env_seed(3), config.baseline_ms)
         .target_rps(rps)
         .duration_ms(duration_ms)
         .build();

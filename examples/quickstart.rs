@@ -7,12 +7,13 @@
 
 use adaserve::core::AdaServeEngine;
 use adaserve::serving::{run, RunOptions, SystemConfig};
-use adaserve::workload::WorkloadBuilder;
+use adaserve::workload::{env_seed, WorkloadBuilder};
 
 fn main() {
     // 1. Pick a deployment: Llama-3.1-70B on 4×A100 with its 1B draft
     //    (the paper's Table 1 setup), with the calibrated synthetic models.
-    let config = SystemConfig::llama70b(42);
+    // ADASERVE_SEED overrides every seed in this example at once.
+    let config = SystemConfig::llama70b(env_seed(42));
     println!(
         "Deployment: {} (baseline decode {:.1} ms)",
         config.testbed.name, config.baseline_ms
@@ -26,7 +27,7 @@ fn main() {
     } else {
         (3.5, 60_000.0)
     };
-    let workload = WorkloadBuilder::new(7, config.baseline_ms)
+    let workload = WorkloadBuilder::new(env_seed(7), config.baseline_ms)
         .target_rps(rps)
         .duration_ms(duration_ms)
         .build();

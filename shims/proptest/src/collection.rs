@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 use std::ops::Range;
 
-/// Length specification accepted by [`vec`]: a fixed size or a range.
+/// Length specification accepted by [`vec()`]: a fixed size or a range.
 #[derive(Debug, Clone)]
 pub struct SizeRange {
     min: usize,
@@ -36,7 +36,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// Output of [`vec`].
+/// Output of [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,

@@ -9,6 +9,9 @@
 //! * [`baselines`] — vLLM, Sarathi-Serve, vLLM-Spec(k), vLLM+Priority,
 //!   FastServe and VTC reimplemented on the same substrate;
 //! * [`serving`] — request lifecycle, paged KV cache, discrete-event driver;
+//! * [`cluster`] — multi-replica fleets: pluggable request routers
+//!   (round-robin, least-outstanding, JSQ-by-load, SLO-aware) and a
+//!   cluster driver with elastic drain/join scaling;
 //! * [`spectree`] — token trees, beam-search speculation, tree verification;
 //! * [`simllm`] — the synthetic target/draft model pair;
 //! * [`roofline`] — the hardware cost model and profiler;
@@ -20,6 +23,7 @@
 
 pub use adaserve_core as core;
 pub use baselines;
+pub use cluster;
 pub use metrics;
 pub use roofline;
 pub use serving;

@@ -68,3 +68,8 @@ fn multi_slo_comparison_runs() {
 fn capacity_planning_runs() {
     run_example("capacity_planning");
 }
+
+#[test]
+fn cluster_serving_runs() {
+    run_example("cluster_serving");
+}
