@@ -97,6 +97,7 @@ mod tests {
                 prompt_len: 16,
                 output_len: 4,
                 tpot_slo_ms: 50.0,
+                ttft_slo_ms: 1_000.0,
                 stream_seed: id,
             });
         }

@@ -96,6 +96,7 @@ mod tests {
             prompt_len: 32,
             output_len: 120,
             tpot_slo_ms: 150.0,
+            ttft_slo_ms: 1_000.0,
             stream_seed: 0,
         });
         for id in 1..5u64 {
@@ -106,6 +107,7 @@ mod tests {
                 prompt_len: 16,
                 output_len: 10,
                 tpot_slo_ms: 50.0,
+                ttft_slo_ms: 1_000.0,
                 stream_seed: id,
             });
         }

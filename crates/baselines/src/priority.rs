@@ -132,6 +132,7 @@ mod tests {
                 prompt_len: 24,
                 output_len: 10,
                 tpot_slo_ms: tight_slo,
+                ttft_slo_ms: 1_000.0,
                 stream_seed: id,
             });
             requests.push(RequestSpec {
@@ -141,6 +142,7 @@ mod tests {
                 prompt_len: 64,
                 output_len: 10,
                 tpot_slo_ms: 150.0,
+                ttft_slo_ms: 1_000.0,
                 stream_seed: 1000 + id,
             });
         }

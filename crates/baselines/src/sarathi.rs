@@ -153,6 +153,7 @@ mod tests {
                 prompt_len: 24,
                 output_len: 12,
                 tpot_slo_ms: 50.0,
+                ttft_slo_ms: 1_000.0,
                 stream_seed: id,
             })
             .collect();
@@ -163,6 +164,7 @@ mod tests {
             prompt_len: 3000,
             output_len: 12,
             tpot_slo_ms: 150.0,
+            ttft_slo_ms: 1_000.0,
             stream_seed: 99,
         });
         requests.sort_by(|a, b| a.arrival_ms.partial_cmp(&b.arrival_ms).unwrap());

@@ -253,6 +253,7 @@ mod tests {
                 prompt_len: 24,
                 output_len: 16,
                 tpot_slo_ms: 50.0,
+                ttft_slo_ms: 1_000.0,
                 stream_seed: id ^ 0x5A,
             })
             .collect();

@@ -127,6 +127,7 @@ mod tests {
                 prompt_len: 24,
                 output_len: 10,
                 tpot_slo_ms: if id % 2 == 0 { 30.0 } else { 50.0 },
+                ttft_slo_ms: 1_000.0,
                 stream_seed: id,
             });
         }

@@ -18,7 +18,9 @@
 //! ADASERVE_SMOKE=1 fig_cluster_scaling --json-out BENCH_smoke.json
 //! ```
 
-use adaserve_bench::{is_smoke, par_map, parse_duration_ms, parse_json_out, seed, BenchSummary};
+use adaserve_bench::{
+    check_sweep_args, is_smoke, par_map, parse_json_out, seed, sweep_duration_ms, BenchSummary,
+};
 use adaserve_core::AdaServeEngine;
 use cluster::{Cluster, ClusterRunResult, RouterKind};
 use metrics::Table;
@@ -41,28 +43,8 @@ fn fleet(n: usize, seed: u64) -> Vec<Box<dyn ServingEngine>> {
         .collect()
 }
 
-/// Rejects anything but the supported flags, before any simulation runs.
-fn check_args() {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    let mut i = 0;
-    while i < argv.len() {
-        match argv[i].as_str() {
-            "--quick" => {}
-            "--duration-s" | "--json-out" => i += 1, // value consumed below
-            other => {
-                eprintln!("unknown flag {other}");
-                eprintln!(
-                    "usage: fig_cluster_scaling [--quick] [--duration-s F] [--json-out PATH]"
-                );
-                std::process::exit(2);
-            }
-        }
-        i += 1;
-    }
-}
-
 fn main() {
-    check_args();
+    check_sweep_args("fig_cluster_scaling");
     let seed = seed();
     let smoke = is_smoke();
     // --json-out is validated up front so a malformed flag fails before
@@ -71,16 +53,8 @@ fn main() {
     // Full-mode per-replica rates straddle the single-engine saturation
     // point (the fig08 extended sweep shows AdaServe itself starts missing
     // SLOs past ~5.4 rps), so the sweep exercises both the comfortable and
-    // the overloaded regime where router quality separates. The default
-    // durations are shorter than the shared 180 s (the sweep multiplies
-    // runs by replica count), but an explicit --duration-s always wins.
-    let explicit_duration = std::env::args().any(|a| a == "--duration-s" || a == "--quick");
-    let default_ms = if smoke { 6_000.0 } else { 90_000.0 };
-    let duration_ms = if explicit_duration {
-        parse_duration_ms()
-    } else {
-        default_ms
-    };
+    // the overloaded regime where router quality separates.
+    let duration_ms = sweep_duration_ms(6_000.0, 90_000.0);
     let (replica_counts, rps_points) = if smoke {
         (vec![2usize, 4], vec![2.0])
     } else {

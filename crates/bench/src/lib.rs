@@ -276,6 +276,43 @@ pub fn is_smoke() -> bool {
     std::env::var_os("ADASERVE_SMOKE").is_some()
 }
 
+/// Rejects anything but the shared sweep flags (`--quick`,
+/// `--duration-s F`, `--json-out PATH`), before any simulation runs.
+///
+/// `binary` names the caller in the usage line. Exits with status 2 on an
+/// unknown flag.
+pub fn check_sweep_args(binary: &str) {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--quick" => {}
+            "--duration-s" | "--json-out" => i += 1, // value consumed by its parser
+            other => {
+                eprintln!("unknown flag {other}");
+                eprintln!("usage: {binary} [--quick] [--duration-s F] [--json-out PATH]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+}
+
+/// The sweep's simulated duration: an explicit `--duration-s`/`--quick`
+/// always wins; otherwise `smoke_default_ms` under `ADASERVE_SMOKE`, else
+/// `full_default_ms` (sweep binaries default shorter than the shared
+/// [`DEFAULT_DURATION_MS`] because they multiply runs by sweep points).
+pub fn sweep_duration_ms(smoke_default_ms: f64, full_default_ms: f64) -> f64 {
+    let explicit = std::env::args().any(|a| a == "--duration-s" || a == "--quick");
+    if explicit {
+        parse_duration_ms()
+    } else if is_smoke() {
+        smoke_default_ms
+    } else {
+        full_default_ms
+    }
+}
+
 /// Parses the shared `--json-out PATH` flag: where to write the run's
 /// machine-readable [`BenchSummary`] artifact, if anywhere.
 pub fn parse_json_out() -> Option<std::path::PathBuf> {

@@ -7,11 +7,12 @@
 //! the artifact, so a PR that silently breaks the hot loop or the emitter
 //! fails loudly.
 //!
-//! Schema (version 1):
+//! Schema (version 2; version 1 lacked the three TTFT keys the
+//! disaggregation sweeps gate on):
 //!
 //! ```json
 //! {
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "name": "fig_cluster_scaling",
 //!   "mode": "smoke",
 //!   "seed": 20250117,
@@ -21,10 +22,13 @@
 //!       "label": "replicas=4 rps=8.0 router=slo-aware",
 //!       "requests": 240,
 //!       "slo_attainment_pct": 97.5,
+//!       "ttft_attainment_pct": 99.2,
 //!       "goodput_tps": 1423.1,
 //!       "throughput_tps": 1461.0,
 //!       "p50_tpot_ms": 24.8,
 //!       "p99_tpot_ms": 49.2,
+//!       "p50_ttft_ms": 38.0,
+//!       "p99_ttft_ms": 412.7,
 //!       "tiers": [
 //!         {
 //!           "tier": "coding",
@@ -45,7 +49,7 @@ use std::collections::BTreeMap;
 use std::path::Path;
 
 /// The schema version this module emits and validates.
-pub const SCHEMA_VERSION: u32 = 1;
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Per-SLO-tier (request category) aggregate within one row.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,6 +75,8 @@ pub struct BenchRow {
     pub requests: usize,
     /// Overall SLO attainment, percent.
     pub slo_attainment_pct: f64,
+    /// TTFT SLO attainment, percent.
+    pub ttft_attainment_pct: f64,
     /// Goodput (tokens/s of SLO-attaining requests).
     pub goodput_tps: f64,
     /// Throughput (all output tokens/s).
@@ -79,6 +85,10 @@ pub struct BenchRow {
     pub p50_tpot_ms: f64,
     /// p99 per-request average TPOT, ms.
     pub p99_tpot_ms: f64,
+    /// Median TTFT, ms.
+    pub p50_ttft_ms: f64,
+    /// p99 TTFT, ms.
+    pub p99_ttft_ms: f64,
     /// Per-tier breakdown (present tiers only).
     pub tiers: Vec<TierSummary>,
 }
@@ -90,10 +100,13 @@ impl BenchRow {
             label: label.into(),
             requests: report.requests,
             slo_attainment_pct: report.attainment_pct,
+            ttft_attainment_pct: report.ttft_attainment_pct,
             goodput_tps: report.goodput_tps,
             throughput_tps: report.throughput_tps,
             p50_tpot_ms: report.p50_tpot_ms,
             p99_tpot_ms: report.p99_tpot_ms,
+            p50_ttft_ms: report.p50_ttft_ms,
+            p99_ttft_ms: report.p99_ttft_ms,
             tiers: report
                 .per_category
                 .iter()
@@ -176,8 +189,14 @@ impl BenchSummary {
                 );
                 m.insert("goodput_tps".into(), Json::Num(row.goodput_tps));
                 m.insert("throughput_tps".into(), Json::Num(row.throughput_tps));
+                m.insert(
+                    "ttft_attainment_pct".into(),
+                    Json::Num(row.ttft_attainment_pct),
+                );
                 m.insert("p50_tpot_ms".into(), Json::Num(row.p50_tpot_ms));
                 m.insert("p99_tpot_ms".into(), Json::Num(row.p99_tpot_ms));
+                m.insert("p50_ttft_ms".into(), Json::Num(row.p50_ttft_ms));
+                m.insert("p99_ttft_ms".into(), Json::Num(row.p99_ttft_ms));
                 let tiers = row
                     .tiers
                     .iter()
@@ -220,7 +239,8 @@ impl BenchSummary {
     }
 }
 
-/// Validates a parsed document against schema version 1.
+/// Validates a parsed document against the current [`SCHEMA_VERSION`]
+/// (older versions are rejected — version 1 lacked the TTFT keys).
 ///
 /// Returns every violation found (not just the first), so a CI failure
 /// message names all missing keys at once.
@@ -270,10 +290,13 @@ pub fn validate(doc: &Json) -> Result<(), Vec<String>> {
                 for key in [
                     "requests",
                     "slo_attainment_pct",
+                    "ttft_attainment_pct",
                     "goodput_tps",
                     "throughput_tps",
                     "p50_tpot_ms",
                     "p99_tpot_ms",
+                    "p50_ttft_ms",
+                    "p99_ttft_ms",
                 ] {
                     need_num(&mut errors, row.get(key), &format!("rows[{i}].{key}"));
                 }
@@ -327,6 +350,7 @@ mod tests {
                     Category::Summarization
                 },
                 tpot_slo_ms: 50.0,
+                ttft_slo_ms: 1_000.0,
                 arrival_ms: 0.0,
                 decode_start_ms: 5.0,
                 completion_ms: 5.0 + 40.0 * 10.0,
@@ -377,6 +401,54 @@ mod tests {
         assert!(errors.iter().any(|e| e.contains("seed")), "{errors:?}");
         assert!(
             errors.iter().any(|e| e.contains("rows[0].goodput_tps")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn validation_rejects_missing_ttft_keys() {
+        // A schema-1-era summary: right version number, no TTFT keys.
+        let mut summary = BenchSummary::new("disagg_unit", "smoke", 7, 1.0);
+        summary.push_report("split=1p3d rps=8 bw=300", &report());
+        let doc = json::parse(&summary.to_json_string()).unwrap();
+        let Json::Obj(mut top) = doc else { panic!() };
+        let Some(Json::Arr(rows)) = top.get_mut("rows") else {
+            panic!()
+        };
+        let Json::Obj(row) = &mut rows[0] else {
+            panic!()
+        };
+        row.remove("ttft_attainment_pct");
+        row.remove("p99_ttft_ms");
+        let errors = validate(&Json::Obj(top)).unwrap_err();
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("rows[0].ttft_attainment_pct")),
+            "{errors:?}"
+        );
+        assert!(
+            errors.iter().any(|e| e.contains("rows[0].p99_ttft_ms")),
+            "{errors:?}"
+        );
+        assert!(
+            !errors.iter().any(|e| e.contains("p50_ttft_ms")),
+            "present keys do not error: {errors:?}"
+        );
+    }
+
+    #[test]
+    fn validation_rejects_stale_schema_version() {
+        let mut summary = BenchSummary::new("disagg_unit", "smoke", 7, 1.0);
+        summary.push_report("point", &report());
+        let doc = json::parse(&summary.to_json_string()).unwrap();
+        let Json::Obj(mut top) = doc else { panic!() };
+        top.insert("schema_version".into(), Json::Num(1.0));
+        let errors = validate(&Json::Obj(top)).unwrap_err();
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("unsupported schema_version")),
             "{errors:?}"
         );
     }

@@ -82,6 +82,25 @@ impl ClusterRunResult {
     }
 }
 
+/// Routing eligibility from per-replica accepting flags: the indices whose
+/// flag is set, or every index when none are — a fully draining pool
+/// degrades to routing anywhere rather than dropping requests. Shared by
+/// the colocated driver and the disaggregated pools.
+pub fn accepting_or_all(flags: impl Iterator<Item = bool>) -> Vec<usize> {
+    let flags: Vec<bool> = flags.collect();
+    let accepting: Vec<usize> = flags
+        .iter()
+        .enumerate()
+        .filter(|(_, &a)| a)
+        .map(|(i, _)| i)
+        .collect();
+    if accepting.is_empty() {
+        (0..flags.len()).collect()
+    } else {
+        accepting
+    }
+}
+
 /// The slowest near-zero-load decode latency across a prospective fleet.
 ///
 /// Heterogeneous fleets should build their workload against this value so
@@ -205,21 +224,7 @@ impl Cluster {
 
             if t_arr <= t {
                 let spec = requests[next_arrival].clone();
-                let eligible: Vec<usize> = {
-                    let accepting: Vec<usize> = self
-                        .replicas
-                        .iter()
-                        .filter(|r| r.accepting)
-                        .map(|r| r.id)
-                        .collect();
-                    if accepting.is_empty() {
-                        // Whole fleet draining: degrade gracefully rather
-                        // than dropping the request.
-                        (0..self.replicas.len()).collect()
-                    } else {
-                        accepting
-                    }
-                };
+                let eligible = accepting_or_all(self.replicas.iter().map(|r| r.accepting));
                 let mut choice = self.router.route(&spec, t_arr, &self.replicas, &eligible);
                 if !eligible.contains(&choice) {
                     debug_assert!(false, "router returned ineligible replica {choice}");
@@ -235,10 +240,7 @@ impl Cluster {
 
             let (_, id) = stepper.expect("t_step was finite");
             let r = &mut self.replicas[id];
-            let step = r.engine.step(r.clock_ms);
-            r.engine.core_mut().iterations += 1;
-            r.guard.observe(step.latency_ms)?;
-            r.clock_ms += step.latency_ms.max(1e-6);
+            r.step_once()?;
             iterations += 1;
             if r.engine.core().iterations > options.max_iterations {
                 return Err(RunError::IterationCap);
@@ -368,6 +370,7 @@ mod tests {
                 prompt_len: 12,
                 output_len: 6,
                 tpot_slo_ms: 50.0,
+                ttft_slo_ms: 1_000.0,
                 stream_seed: id ^ 0x5151,
             })
             .collect();

@@ -29,7 +29,10 @@ pub mod replica;
 pub mod router;
 
 pub use driver::{
-    max_baseline_ms, Cluster, ClusterRunResult, ReplicaResult, ScalingAction, ScalingEvent,
+    accepting_or_all, max_baseline_ms, Cluster, ClusterRunResult, ReplicaResult, ScalingAction,
+    ScalingEvent,
 };
-pub use replica::Replica;
-pub use router::{JoinShortestQueue, LeastOutstanding, RoundRobin, Router, RouterKind, SloAware};
+pub use replica::{InboundWork, Replica};
+pub use router::{
+    two_phase_pick, JoinShortestQueue, LeastOutstanding, RoundRobin, Router, RouterKind, SloAware,
+};

@@ -1,6 +1,6 @@
 //! One cluster member: a serving engine plus its routing-visible state.
 
-use serving::{ServingEngine, StallGuard};
+use serving::{RunError, ServingEngine, StallGuard};
 
 /// Fraction of a baseline decode step attributed to one *prefill* token in
 /// the load model (prefill processes hundreds of tokens per forward pass,
@@ -11,6 +11,22 @@ const PREFILL_TOKEN_COST: f64 = 1.0 / 256.0;
 /// the drain-time estimate: a replica emits one token per running request
 /// per iteration, up to roughly this much useful parallelism.
 const EFFECTIVE_DECODE_WIDTH: f64 = 8.0;
+
+/// Work committed to a replica but not yet in its engine's queues — KV
+/// migrations in flight (or parked on a full pool) in a disaggregated
+/// deployment. Folded into the load views routers consume so consecutive
+/// routing decisions see each other; colocated drivers leave it zeroed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct InboundWork {
+    /// Requests bound here that the engine cannot see yet.
+    pub requests: usize,
+    /// Output tokens those requests will decode on arrival.
+    pub decode_tokens: u64,
+    /// The TPOT SLOs those requests carry, so
+    /// [`Replica::tight_outstanding`] — and through it the SLO-aware
+    /// packing policy — sees a tight burst before it lands.
+    pub tpot_slos: Vec<f64>,
+}
 
 /// A replica of the cluster: one serving engine advancing on its own local
 /// clock under the cluster driver's global ordering.
@@ -32,6 +48,8 @@ pub struct Replica {
     pub accepting: bool,
     /// Requests routed to this replica so far.
     pub routed: u64,
+    /// Routed-but-not-yet-queued work (in-flight KV migrations).
+    pub inbound: InboundWork,
     pub(crate) guard: StallGuard,
 }
 
@@ -56,8 +74,24 @@ impl Replica {
             clock_ms: 0.0,
             accepting: true,
             routed: 0,
+            inbound: InboundWork::default(),
             guard: StallGuard::default(),
         }
+    }
+
+    /// Executes one engine iteration at the replica's local clock, feeding
+    /// the stall guard and advancing the clock by the iteration's latency.
+    ///
+    /// Returns the iteration latency. Both the [`crate::Cluster`] driver
+    /// and external drivers that interleave replicas under their own global
+    /// clock (the disaggregated decode pool) step replicas through this one
+    /// method so stall detection and clock bookkeeping cannot diverge.
+    pub fn step_once(&mut self) -> Result<f64, RunError> {
+        let step = self.engine.step(self.clock_ms);
+        self.engine.core_mut().iterations += 1;
+        self.guard.observe(step.latency_ms)?;
+        self.clock_ms += step.latency_ms.max(1e-6);
+        Ok(step.latency_ms)
     }
 
     /// Requests waiting for admission on this replica.
@@ -70,9 +104,9 @@ impl Replica {
         self.engine.core().running.len()
     }
 
-    /// Outstanding requests (waiting + running).
+    /// Outstanding requests (waiting + running + inbound).
     pub fn outstanding(&self) -> usize {
-        self.waiting_len() + self.running_len()
+        self.waiting_len() + self.running_len() + self.inbound.requests
     }
 
     /// Whether the replica has queued or in-flight work.
@@ -86,11 +120,11 @@ impl Replica {
     }
 
     /// Queued work in tokens: `(prefill_tokens, decode_tokens)` summed over
-    /// waiting and running requests.
+    /// waiting, running and inbound requests.
     pub fn queued_tokens(&self) -> (u64, u64) {
         let core = self.engine.core();
         let mut prefill = 0u64;
-        let mut decode = 0u64;
+        let mut decode = self.inbound.decode_tokens;
         for r in core.waiting.iter().chain(core.running.iter()) {
             prefill += u64::from(r.prefill_remaining());
             decode += u64::from(r.remaining());
@@ -120,7 +154,8 @@ impl Replica {
         (self.clock_ms - now_ms).max(0.0) + self.modelled_load_ms()
     }
 
-    /// Outstanding requests whose TPOT SLO is at most `tight_ms`.
+    /// Outstanding requests whose TPOT SLO is at most `tight_ms`
+    /// (queued, running and inbound).
     pub fn tight_outstanding(&self, tight_ms: f64) -> usize {
         let core = self.engine.core();
         core.waiting
@@ -128,5 +163,11 @@ impl Replica {
             .chain(core.running.iter())
             .filter(|r| r.spec.tpot_slo_ms <= tight_ms)
             .count()
+            + self
+                .inbound
+                .tpot_slos
+                .iter()
+                .filter(|&&slo| slo <= tight_ms)
+                .count()
     }
 }

@@ -117,14 +117,64 @@ impl Router for JoinShortestQueue {
     }
 }
 
+/// The tight/pack placement shared by [`SloAware`] routing and the
+/// disaggregated dispatcher's prefill-side TTFT routing.
+///
+/// `load` and `tight` give a candidate's modelled backlog and its count
+/// of outstanding tight-SLO requests by replica index; both are evaluated
+/// exactly once per eligible candidate. A tight request goes to the
+/// least-loaded candidate (ties: fewest tight, lowest index). A loose
+/// request *packs*: among candidates still under `pack_ceiling` the ones
+/// carrying the fewest tight requests are considered and the most-loaded
+/// of them wins (ties: lowest index), concentrating relaxed traffic on
+/// few replicas while steering it away from tight work; when every
+/// candidate is over the ceiling, it falls back to the least-loaded.
+///
+/// # Panics
+///
+/// Panics if `eligible` is empty.
+pub fn two_phase_pick(
+    eligible: &[usize],
+    is_tight: bool,
+    pack_ceiling: f64,
+    load: impl Fn(usize) -> f64,
+    tight: impl Fn(usize) -> usize,
+) -> usize {
+    assert!(!eligible.is_empty(), "eligible is non-empty");
+    let metrics: Vec<(usize, f64, usize)> =
+        eligible.iter().map(|&i| (i, load(i), tight(i))).collect();
+    if is_tight {
+        return metrics
+            .iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1).then(a.2.cmp(&b.2)).then(a.0.cmp(&b.0)))
+            .expect("eligible is non-empty")
+            .0;
+    }
+    let under: Vec<&(usize, f64, usize)> = metrics.iter().filter(|m| m.1 <= pack_ceiling).collect();
+    if let Some(min_tight) = under.iter().map(|m| m.2).min() {
+        return under
+            .iter()
+            .filter(|m| m.2 == min_tight)
+            .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)))
+            .expect("under is non-empty")
+            .0;
+    }
+    // Everything is saturated: fall back to least loaded.
+    metrics
+        .iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+        .expect("eligible is non-empty")
+        .0
+}
+
 /// The cluster analogue of the paper's §4.3 two-phase budget split.
 ///
 /// Requests whose TPOT SLO is at most `tight_ms` are *SLO-constrained*:
 /// they go to the least-loaded eligible replica (by drain estimate, then
 /// fewest tight requests) so their decode iterations stay fast.
-/// Throughput-tier requests are *packed*: among replicas carrying the
-/// fewest tight requests, the most-loaded one still under
-/// `pack_ceiling_ms` takes them, concentrating relaxed traffic on few
+/// Throughput-tier requests are *packed* via [`two_phase_pick`]: among
+/// replicas under `pack_ceiling_ms`, the most-loaded one carrying the
+/// fewest tight requests takes them, concentrating relaxed traffic on few
 /// replicas and keeping the rest of the fleet drained for tight arrivals.
 #[derive(Debug, Clone, Copy)]
 pub struct SloAware {
@@ -172,56 +222,13 @@ impl Router for SloAware {
         replicas: &[Replica],
         eligible: &[usize],
     ) -> usize {
-        if spec.tpot_slo_ms <= self.tight_ms {
-            // Tight tier: least loaded, preferring replicas with the least
-            // competing tight work.
-            return *eligible
-                .iter()
-                .min_by(|&&a, &&b| {
-                    replicas[a]
-                        .drain_estimate_ms(now_ms)
-                        .total_cmp(&replicas[b].drain_estimate_ms(now_ms))
-                        .then_with(|| {
-                            replicas[a]
-                                .tight_outstanding(self.tight_ms)
-                                .cmp(&replicas[b].tight_outstanding(self.tight_ms))
-                        })
-                        .then(a.cmp(&b))
-                })
-                .expect("eligible is non-empty");
-        }
-        // Throughput tier: pack onto the busiest replica that (a) carries
-        // the fewest tight requests and (b) is still under the ceiling.
-        let fewest_tight = eligible
-            .iter()
-            .map(|&i| replicas[i].tight_outstanding(self.tight_ms))
-            .min()
-            .expect("eligible is non-empty");
-        let packable = eligible
-            .iter()
-            .copied()
-            .filter(|&i| {
-                replicas[i].tight_outstanding(self.tight_ms) == fewest_tight
-                    && replicas[i].drain_estimate_ms(now_ms) <= self.pack_ceiling_ms
-            })
-            .max_by(|&a, &b| {
-                replicas[a]
-                    .drain_estimate_ms(now_ms)
-                    .total_cmp(&replicas[b].drain_estimate_ms(now_ms))
-                    .then(b.cmp(&a)) // prefer the lower id on ties
-            });
-        packable.unwrap_or_else(|| {
-            // Everything is saturated: fall back to least loaded.
-            *eligible
-                .iter()
-                .min_by(|&&a, &&b| {
-                    replicas[a]
-                        .drain_estimate_ms(now_ms)
-                        .total_cmp(&replicas[b].drain_estimate_ms(now_ms))
-                        .then(a.cmp(&b))
-                })
-                .expect("eligible is non-empty")
-        })
+        two_phase_pick(
+            eligible,
+            spec.tpot_slo_ms <= self.tight_ms,
+            self.pack_ceiling_ms,
+            |i| replicas[i].drain_estimate_ms(now_ms),
+            |i| replicas[i].tight_outstanding(self.tight_ms),
+        )
     }
 }
 
@@ -311,6 +318,7 @@ mod tests {
             prompt_len: 16,
             output_len: 32,
             tpot_slo_ms: slo,
+            ttft_slo_ms: 1_000.0,
             stream_seed: id,
         }
     }
@@ -381,6 +389,33 @@ mod tests {
             0,
             "loose work packs away from the replica holding tight work"
         );
+    }
+
+    #[test]
+    fn tight_outstanding_sees_inbound_migrations() {
+        let mut r = replica(0, 0);
+        assert_eq!(r.tight_outstanding(60.0), 0);
+        r.inbound.requests = 2;
+        r.inbound.decode_tokens = 16;
+        r.inbound.tpot_slos = vec![30.0, 150.0];
+        assert_eq!(r.tight_outstanding(60.0), 1, "one inbound SLO is tight");
+        assert_eq!(r.outstanding(), 2, "inbound requests count as load");
+    }
+
+    #[test]
+    fn two_phase_pick_respects_ceiling_before_tight_count() {
+        // A: 0 tight but over the ceiling; B: 1 tight, lightly loaded;
+        // C: 2 tight, nearly idle. A loose request must pack onto B —
+        // under-ceiling replicas are considered first, so the fewest-tight
+        //-but-saturated A neither wins nor forces the fallback onto C
+        // (the replica carrying the most competing tight work).
+        let load = |i: usize| [1_500.0, 200.0, 50.0][i];
+        let tight = |i: usize| [0usize, 1, 2][i];
+        assert_eq!(two_phase_pick(&[0, 1, 2], false, 1_000.0, load, tight), 1);
+        // A tight request still goes to the least-loaded replica.
+        assert_eq!(two_phase_pick(&[0, 1, 2], true, 1_000.0, load, tight), 2);
+        // Everything over the ceiling: fall back to least loaded.
+        assert_eq!(two_phase_pick(&[0, 1, 2], false, 10.0, load, tight), 2);
     }
 
     #[test]

@@ -51,6 +51,7 @@ fn workload(seed: u64, n_requests: u64) -> Workload {
                     Category::Chatbot => 50.0,
                     Category::Summarization => 150.0,
                 },
+                ttft_slo_ms: category.ttft_slo().resolve(25.0),
                 stream_seed: h,
             }
         })

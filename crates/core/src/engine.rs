@@ -343,6 +343,7 @@ mod tests {
                 prompt_len: 32,
                 output_len: 12,
                 tpot_slo_ms: slo,
+                ttft_slo_ms: 1_000.0,
                 stream_seed: id ^ 0xF00D,
             })
             .collect();

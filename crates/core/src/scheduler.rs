@@ -119,6 +119,7 @@ mod tests {
             prompt_len: 4,
             output_len: 100,
             tpot_slo_ms: slo,
+            ttft_slo_ms: 1_000.0,
             stream_seed: 5,
         });
         r.decode_start_ms = Some(0.0);

@@ -1,0 +1,663 @@
+//! The disaggregated discrete-event driver.
+//!
+//! One global clock orders five event kinds: request arrivals (dispatched
+//! to the prefill pool), elastic-scaling events (drain/join on either
+//! pool), prefill iterations, KV-transfer arrivals (migrated requests
+//! admitted into decode replicas) and decode iterations. Decode replicas
+//! are ordinary [`cluster::Replica`]s, so the decode pool runs the same
+//! engines — and the same stall/clock bookkeeping — as a colocated
+//! [`cluster::Cluster`]. Completion records from every decode replica
+//! merge into one fleet-wide stream via [`metrics::merge_by_completion`].
+
+use crate::dispatch::Dispatcher;
+use crate::migrate::{KvLink, TransferQueue, TransferStats};
+use crate::prefill::{PrefillPool, PrefillReplica};
+pub use cluster::ScalingAction;
+use cluster::{Replica, ReplicaResult};
+use metrics::{merge_by_completion, ClusterReport, RequestRecord, SloReport};
+use serving::{finalize_run, LiveRequest, RunError, RunOptions, ServingEngine};
+use std::collections::VecDeque;
+use workload::Workload;
+
+/// Which pool a scaling event targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pool {
+    /// The prefill-only pool.
+    Prefill,
+    /// The decode pool.
+    Decode,
+}
+
+/// A scheduled drain/join of one replica in one pool.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DisaggScalingEvent {
+    /// Simulation time at which the event applies.
+    pub at_ms: f64,
+    /// Target pool.
+    pub pool: Pool,
+    /// Target replica index within the pool.
+    pub replica: usize,
+    /// Drain or join.
+    pub action: ScalingAction,
+}
+
+/// One prefill replica's share of a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrefillStats {
+    /// Replica index within the prefill pool.
+    pub replica: usize,
+    /// Arrivals the dispatcher placed here.
+    pub routed: u64,
+    /// Requests whose prefill completed here.
+    pub prefilled_requests: u64,
+    /// Prompt tokens prefilled here.
+    pub prefill_tokens: u64,
+    /// Iterations executed.
+    pub iterations: u64,
+    /// Local clock at the end of the run.
+    pub end_ms: f64,
+}
+
+/// Outcome of serving one workload on a disaggregated cluster.
+#[derive(Debug, Clone)]
+pub struct DisaggRunResult {
+    /// Decode-side routing policy name.
+    pub decode_router: String,
+    /// All completion records, merged across decode replicas.
+    pub records: Vec<RequestRecord>,
+    /// Per-prefill-replica accounting.
+    pub per_prefill: Vec<PrefillStats>,
+    /// Per-decode-replica results, in replica order.
+    pub per_decode: Vec<ReplicaResult>,
+    /// KV-migration telemetry.
+    pub transfers: TransferStats,
+    /// Global simulation end time (latest clock in either pool).
+    pub end_ms: f64,
+    /// Iterations executed across both pools.
+    pub iterations: u64,
+}
+
+impl DisaggRunResult {
+    /// Fleet-wide SLO report over the merged records.
+    pub fn report(&self) -> SloReport {
+        SloReport::from_records(&self.records)
+    }
+
+    /// Per-decode-replica + merged reports.
+    pub fn cluster_report(&self) -> ClusterReport {
+        ClusterReport::from_streams(
+            self.per_decode
+                .iter()
+                .map(|r| (r.label(), r.result.records.clone()))
+                .collect(),
+        )
+    }
+}
+
+/// A disaggregated cluster: a prefill pool and a decode pool under one
+/// dispatcher and one KV-migration fabric.
+#[derive(Debug)]
+pub struct DisaggCluster {
+    prefill: PrefillPool,
+    decode: Vec<Replica>,
+    dispatcher: Dispatcher,
+    transfers: TransferQueue,
+    /// Migrated requests whose decode-side KV reservation failed, parked
+    /// per decode replica until blocks free up.
+    landing: Vec<VecDeque<LiveRequest>>,
+    events: Vec<DisaggScalingEvent>,
+}
+
+impl DisaggCluster {
+    /// Assembles a cluster from a prefill pool, decode engines, a
+    /// dispatcher and a migration link.
+    ///
+    /// KV bytes per migrated token are taken from the first prefill
+    /// replica's target model (the pools serve one model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `decode_engines` is empty.
+    pub fn new(
+        prefill: PrefillPool,
+        decode_engines: Vec<Box<dyn ServingEngine>>,
+        dispatcher: Dispatcher,
+        link: KvLink,
+    ) -> Self {
+        assert!(!decode_engines.is_empty(), "decode pool needs a replica");
+        let kv_bytes = prefill.replicas[0]
+            .core
+            .config
+            .testbed
+            .target
+            .model()
+            .kv_bytes_per_token();
+        let n_decode = decode_engines.len();
+        let decode: Vec<Replica> = decode_engines
+            .into_iter()
+            .enumerate()
+            .map(|(id, engine)| Replica::new(id, engine))
+            .collect();
+        Self {
+            prefill,
+            decode,
+            dispatcher,
+            transfers: TransferQueue::new(link, kv_bytes, n_decode),
+            landing: (0..n_decode).map(|_| VecDeque::new()).collect(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Schedules elastic-scaling (drain/join) events on either pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event names a replica outside its pool.
+    pub fn with_events(mut self, mut events: Vec<DisaggScalingEvent>) -> Self {
+        for e in &events {
+            let len = match e.pool {
+                Pool::Prefill => self.prefill.replicas.len(),
+                Pool::Decode => self.decode.len(),
+            };
+            assert!(e.replica < len, "event names no replica in its pool");
+        }
+        events.sort_by(|a, b| a.at_ms.total_cmp(&b.at_ms));
+        self.events = events;
+        self
+    }
+
+    /// The slowest decode replica's baseline decode latency (workloads
+    /// should resolve baseline-relative SLOs against this).
+    pub fn decode_max_baseline_ms(&self) -> f64 {
+        self.decode
+            .iter()
+            .map(Replica::baseline_ms)
+            .fold(0.0, f64::max)
+    }
+
+    /// Read-only view of the prefill pool.
+    pub fn prefill_replicas(&self) -> &[PrefillReplica] {
+        &self.prefill.replicas
+    }
+
+    /// Read-only view of the decode pool.
+    pub fn decode_replicas(&self) -> &[Replica] {
+        &self.decode
+    }
+
+    /// Indices of decode replicas accepting migrations; the whole pool
+    /// when everything is draining (degrade, don't drop).
+    fn decode_eligible(&self) -> Vec<usize> {
+        cluster::accepting_or_all(self.decode.iter().map(|r| r.accepting))
+    }
+
+    /// Tries to land every parked migration on decode replica `id`. An
+    /// admitted request leaves the replica's inbound view — the engine's
+    /// own queues carry it from here.
+    fn drain_landing(&mut self, id: usize) {
+        while let Some(req) = self.landing[id].pop_front() {
+            let tokens = u64::from(req.remaining());
+            let slo = req.spec.tpot_slo_ms;
+            match self.decode[id].engine.core_mut().admit_migrated(req) {
+                Ok(()) => {
+                    let inbound = &mut self.decode[id].inbound;
+                    inbound.requests -= 1;
+                    inbound.decode_tokens = inbound.decode_tokens.saturating_sub(tokens);
+                    if let Some(k) = inbound.tpot_slos.iter().position(|&s| s == slo) {
+                        inbound.tpot_slos.swap_remove(k);
+                    }
+                }
+                Err(req) => {
+                    self.landing[id].push_front(req);
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Serves `workload` to completion across both pools.
+    ///
+    /// Event ordering at equal timestamps: scaling events first (arrivals
+    /// at the same instant see the new topology), then KV-transfer
+    /// arrivals (migrated requests join decode batches before the batch
+    /// steps), then request arrivals, then the earliest-clock replica
+    /// iterates (prefill before decode on exact clock ties).
+    pub fn run(
+        mut self,
+        workload: &Workload,
+        options: RunOptions,
+    ) -> Result<DisaggRunResult, RunError> {
+        let requests = &workload.requests;
+        let mut next_arrival = 0usize;
+        let mut next_event = 0usize;
+        let mut iterations = 0u64;
+
+        loop {
+            let t_arr = requests
+                .get(next_arrival)
+                .map_or(f64::INFINITY, |r| r.arrival_ms);
+            let t_evt = self
+                .events
+                .get(next_event)
+                .map_or(f64::INFINITY, |e| e.at_ms);
+            let t_xfer = self.transfers.next_arrival_ms().unwrap_or(f64::INFINITY);
+            let pre_stepper = self
+                .prefill
+                .replicas
+                .iter()
+                .filter(|r| r.has_work())
+                .min_by(|a, b| a.clock_ms.total_cmp(&b.clock_ms).then(a.id.cmp(&b.id)))
+                .map(|r| (r.clock_ms, r.id));
+            let t_pre = pre_stepper.map_or(f64::INFINITY, |(t, _)| t);
+            let dec_stepper = self
+                .decode
+                .iter()
+                .filter(|r| r.has_work())
+                .min_by(|a, b| a.clock_ms.total_cmp(&b.clock_ms).then(a.id.cmp(&b.id)))
+                .map(|r| (r.clock_ms, r.id));
+            let t_dec = dec_stepper.map_or(f64::INFINITY, |(t, _)| t);
+
+            let t = t_arr.min(t_evt).min(t_xfer).min(t_pre).min(t_dec);
+            if t.is_infinite() {
+                break; // Nothing due anywhere.
+            }
+
+            if t_evt <= t {
+                let e = self.events[next_event];
+                let accepting = matches!(e.action, ScalingAction::Join);
+                match e.pool {
+                    Pool::Prefill => {
+                        let r = &mut self.prefill.replicas[e.replica];
+                        r.accepting = accepting;
+                        r.clock_ms = r.clock_ms.max(e.at_ms);
+                    }
+                    Pool::Decode => {
+                        let r = &mut self.decode[e.replica];
+                        r.accepting = accepting;
+                        r.clock_ms = r.clock_ms.max(e.at_ms);
+                    }
+                }
+                next_event += 1;
+                continue;
+            }
+
+            if t_xfer <= t {
+                for transfer in self.transfers.pop_arrivals(t_xfer) {
+                    let id = transfer.to_decode;
+                    let r = &mut self.decode[id];
+                    r.clock_ms = r.clock_ms.max(transfer.arrive_ms);
+                    r.routed += 1;
+                    self.landing[id].push_back(transfer.request);
+                    self.drain_landing(id);
+                }
+                continue;
+            }
+
+            if t_arr <= t {
+                let spec = requests[next_arrival].clone();
+                let eligible = self.prefill.eligible();
+                let choice =
+                    self.dispatcher
+                        .route_prefill(&spec, t_arr, &self.prefill.replicas, &eligible);
+                let choice = if eligible.contains(&choice) {
+                    choice
+                } else {
+                    debug_assert!(false, "dispatcher returned ineligible prefill {choice}");
+                    eligible[0]
+                };
+                let r = &mut self.prefill.replicas[choice];
+                r.core.on_arrival(spec);
+                r.clock_ms = r.clock_ms.max(t_arr);
+                r.routed += 1;
+                next_arrival += 1;
+                continue;
+            }
+
+            if t_pre <= t_dec {
+                // Prefill iteration; completed prompts start migrating.
+                let (_, id) = pre_stepper.expect("t_pre was finite");
+                let done = self.prefill.replicas[id].step()?;
+                let now = self.prefill.replicas[id].clock_ms;
+                iterations += 1;
+                if self.prefill.replicas[id].iterations > options.max_iterations {
+                    return Err(RunError::IterationCap);
+                }
+                if now > options.max_sim_ms {
+                    return Err(RunError::TimeCap);
+                }
+                let eligible = self.decode_eligible();
+                for req in done {
+                    // Route at the transfer's estimated arrival (wire time
+                    // is destination-independent; ingress queueing is not
+                    // foreseeable before a destination is chosen), so the
+                    // remaining-TPOT shading charges the migration delay.
+                    let est_arrival = now + self.transfers.wire_ms(req.context_len());
+                    let to =
+                        self.dispatcher
+                            .route_decode(&req, est_arrival, &self.decode, &eligible);
+                    // Count the migration against the destination's load
+                    // view immediately, so the next handoff in this burst
+                    // (and any until the transfer lands) sees it instead
+                    // of dogpiling one replica's ingress link.
+                    let inbound = &mut self.decode[to].inbound;
+                    inbound.requests += 1;
+                    inbound.decode_tokens += u64::from(req.remaining());
+                    inbound.tpot_slos.push(req.spec.tpot_slo_ms);
+                    self.transfers.enqueue(req, id, to, now);
+                }
+                continue;
+            }
+
+            // Decode iteration. Migrated requests sitting in the batch are
+            // stamped *before* the step, at the iteration's start clock —
+            // the colocated semantics of `decode_start_ms` ("time the first
+            // decode iteration started"), which engines whose own stamping
+            // assumes a local prefill pass cannot provide for them.
+            let (_, id) = dec_stepper.expect("t_dec was finite");
+            let r = &mut self.decode[id];
+            r.engine.core_mut().stamp_decode_starts(r.clock_ms);
+            r.step_once()?;
+            iterations += 1;
+            if r.engine.core().iterations > options.max_iterations {
+                return Err(RunError::IterationCap);
+            }
+            if r.clock_ms > options.max_sim_ms {
+                return Err(RunError::TimeCap);
+            }
+            // Finished requests freed KV: land any parked migrations.
+            self.drain_landing(id);
+        }
+
+        // A migration still parked once everything else drained can never
+        // be admitted (its context exceeds the replica's whole pool):
+        // error out cleanly, as the colocated driver does for oversized
+        // requests.
+        if self.landing.iter().any(|parked| !parked.is_empty()) {
+            return Err(RunError::KvCapacity);
+        }
+
+        let end_ms = self
+            .prefill
+            .replicas
+            .iter()
+            .map(|r| r.clock_ms)
+            .chain(self.decode.iter().map(|r| r.clock_ms))
+            .fold(0.0, f64::max);
+        let per_prefill: Vec<PrefillStats> = self
+            .prefill
+            .replicas
+            .iter()
+            .map(|r| PrefillStats {
+                replica: r.id,
+                routed: r.routed,
+                prefilled_requests: r.prefilled_requests,
+                prefill_tokens: r.prefill_tokens,
+                iterations: r.iterations,
+                end_ms: r.clock_ms,
+            })
+            .collect();
+        let per_decode: Vec<ReplicaResult> = self
+            .decode
+            .iter_mut()
+            .map(|r| ReplicaResult {
+                replica: r.id,
+                routed: r.routed,
+                result: finalize_run(r.engine.as_mut(), r.clock_ms),
+            })
+            .collect();
+        let records = merge_by_completion(
+            per_decode
+                .iter()
+                .map(|r| r.result.records.clone())
+                .collect(),
+        );
+        Ok(DisaggRunResult {
+            decode_router: self.dispatcher.decode_router_name(),
+            records,
+            per_prefill,
+            per_decode,
+            transfers: self.transfers.stats,
+            end_ms,
+            iterations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch::Dispatcher;
+    use cluster::RouterKind;
+    use serving::SystemConfig;
+    use workload::{Category, RequestSpec};
+
+    fn tiny_workload(n: u64, gap_ms: f64) -> Workload {
+        let requests = (0..n)
+            .map(|id| {
+                let category = Category::ALL[(id % 3) as usize];
+                RequestSpec {
+                    id,
+                    category,
+                    arrival_ms: id as f64 * gap_ms,
+                    prompt_len: 16 + (id as u32 % 5) * 40,
+                    output_len: 6,
+                    tpot_slo_ms: 50.0,
+                    ttft_slo_ms: category.ttft_slo().resolve(25.0),
+                    stream_seed: id ^ 0xD15A,
+                }
+            })
+            .collect();
+        Workload {
+            requests,
+            description: "tiny disagg".into(),
+        }
+    }
+
+    fn cluster(n_prefill: usize, n_decode: usize) -> DisaggCluster {
+        let prefill = PrefillPool::new(vec![SystemConfig::llama70b(3); n_prefill]);
+        let decode: Vec<Box<dyn ServingEngine>> = (0..n_decode)
+            .map(|_| {
+                Box::new(adaserve_core::AdaServeEngine::new(SystemConfig::llama70b(
+                    3,
+                ))) as Box<dyn ServingEngine>
+            })
+            .collect();
+        DisaggCluster::new(
+            prefill,
+            decode,
+            Dispatcher::new(RouterKind::SloAware.build()),
+            KvLink::new(300.0, 0.05),
+        )
+    }
+
+    #[test]
+    fn serves_every_request_exactly_once() {
+        let wl = tiny_workload(12, 8.0);
+        let result = cluster(1, 2).run(&wl, RunOptions::default()).expect("run");
+        assert_eq!(result.records.len(), 12);
+        let mut ids: Vec<u64> = result.records.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 12, "no duplicates across migration");
+        assert_eq!(result.transfers.transfers, 12, "every request migrated");
+        for r in &result.records {
+            assert_eq!(r.output_tokens, 6, "no tokens lost in migration");
+        }
+    }
+
+    #[test]
+    fn ttft_includes_prefill_and_transfer() {
+        let wl = tiny_workload(4, 50.0);
+        let result = cluster(1, 1).run(&wl, RunOptions::default()).unwrap();
+        for r in &result.records {
+            assert!(
+                r.decode_start_ms > r.arrival_ms,
+                "decode starts after arrival"
+            );
+            assert!(r.ttft_ms() > 0.0);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let wl = tiny_workload(10, 6.0);
+        let a = cluster(2, 2).run(&wl, RunOptions::default()).unwrap();
+        let b = cluster(2, 2).run(&wl, RunOptions::default()).unwrap();
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.end_ms, b.end_ms);
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.transfers, b.transfers);
+    }
+
+    #[test]
+    fn drained_prefill_replica_takes_no_arrivals() {
+        let wl = tiny_workload(6, 30.0);
+        let result = cluster(2, 1)
+            .with_events(vec![DisaggScalingEvent {
+                at_ms: -1.0,
+                pool: Pool::Prefill,
+                replica: 1,
+                action: ScalingAction::Drain,
+            }])
+            .run(&wl, RunOptions::default())
+            .unwrap();
+        assert_eq!(result.per_prefill[0].routed, 6);
+        assert_eq!(result.per_prefill[1].routed, 0);
+        assert_eq!(result.records.len(), 6, "drain loses nothing");
+    }
+
+    #[test]
+    fn drained_decode_replica_receives_no_migrations() {
+        let wl = tiny_workload(6, 30.0);
+        let result = cluster(1, 2)
+            .with_events(vec![DisaggScalingEvent {
+                at_ms: -1.0,
+                pool: Pool::Decode,
+                replica: 0,
+                action: ScalingAction::Drain,
+            }])
+            .run(&wl, RunOptions::default())
+            .unwrap();
+        assert_eq!(result.per_decode[0].result.records.len(), 0);
+        assert_eq!(result.per_decode[1].result.records.len(), 6);
+    }
+
+    #[test]
+    fn empty_workload_is_a_no_op() {
+        let wl = Workload {
+            requests: Vec::new(),
+            description: "empty".into(),
+        };
+        let result = cluster(1, 1).run(&wl, RunOptions::default()).unwrap();
+        assert!(result.records.is_empty());
+        assert_eq!(result.end_ms, 0.0);
+        assert_eq!(result.transfers.transfers, 0);
+    }
+
+    #[test]
+    fn burst_handoffs_spread_across_decode_replicas() {
+        // Six same-instant short prompts finish in one prefill iteration,
+        // so the dispatcher routes six migrations back to back with no
+        // intervening decode progress. The inbound-work accounting must
+        // make each handoff visible to the next: a load-aware router then
+        // spreads the burst instead of dogpiling one ingress link.
+        let requests = (0..6)
+            .map(|id| RequestSpec {
+                id,
+                category: Category::Chatbot,
+                arrival_ms: 0.0,
+                prompt_len: 24,
+                output_len: 8,
+                tpot_slo_ms: 50.0,
+                ttft_slo_ms: 1_200.0,
+                stream_seed: id,
+            })
+            .collect();
+        let wl = Workload {
+            requests,
+            description: "burst".into(),
+        };
+        let result = cluster(1, 2).run(&wl, RunOptions::default()).unwrap();
+        assert_eq!(result.records.len(), 6);
+        for d in &result.per_decode {
+            assert!(
+                d.routed > 0,
+                "decode-{} received no share of the burst: {:?}",
+                d.replica,
+                result
+                    .per_decode
+                    .iter()
+                    .map(|r| r.routed)
+                    .collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_migration_errors_cleanly() {
+        // A prompt that fits the prefill pool but exceeds a decode
+        // replica's entire KV pool can never land: the run must return an
+        // error, not hang or panic (mirrors the colocated driver's
+        // oversized-request behavior).
+        let wl = Workload {
+            requests: vec![RequestSpec {
+                id: 0,
+                category: Category::Summarization,
+                arrival_ms: 0.0,
+                prompt_len: 500,
+                output_len: 4,
+                tpot_slo_ms: 150.0,
+                ttft_slo_ms: 8_000.0,
+                stream_seed: 1,
+            }],
+            description: "oversized".into(),
+        };
+        let prefill = PrefillPool::new(vec![SystemConfig::llama70b(3)]);
+        let mut engine = adaserve_core::AdaServeEngine::new(SystemConfig::llama70b(3));
+        // 4 blocks × 16 tokens = 64-token decode pool vs a 500-token context.
+        engine.core_mut().blocks = serving::BlockManager::new(4, 16);
+        let err = DisaggCluster::new(
+            prefill,
+            vec![Box::new(engine)],
+            Dispatcher::new(RouterKind::SloAware.build()),
+            KvLink::new(300.0, 0.05),
+        )
+        .run(&wl, RunOptions::default())
+        .unwrap_err();
+        assert_eq!(err, RunError::KvCapacity);
+    }
+
+    #[test]
+    fn migrated_requests_are_stamped_at_decode_iteration_start() {
+        // decode_start_ms must be the *start* of the first decode
+        // iteration (colocated semantics), so completion never coincides
+        // with it and single-iteration requests cannot report zero TPOT.
+        let wl = tiny_workload(5, 20.0);
+        let result = cluster(1, 1).run(&wl, RunOptions::default()).unwrap();
+        for r in &result.records {
+            assert!(
+                r.completion_ms > r.decode_start_ms,
+                "request {}: completion {} <= decode start {}",
+                r.id,
+                r.completion_ms,
+                r.decode_start_ms
+            );
+            assert!(r.avg_tpot_ms() > 0.0, "request {} reports zero TPOT", r.id);
+        }
+    }
+
+    #[test]
+    fn iteration_cap_is_enforced() {
+        let wl = tiny_workload(6, 1.0);
+        let err = cluster(1, 1)
+            .run(
+                &wl,
+                RunOptions {
+                    max_sim_ms: f64::MAX,
+                    max_iterations: 1,
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err, RunError::IterationCap);
+    }
+}

@@ -69,6 +69,7 @@ mod tests {
             id,
             category: Category::Chatbot,
             tpot_slo_ms: 50.0,
+            ttft_slo_ms: 1_000.0,
             arrival_ms: 0.0,
             decode_start_ms: 1.0,
             completion_ms,
@@ -115,5 +116,18 @@ mod tests {
         // All three records share the same attainment criterion, so the
         // merged attainment is the record-weighted aggregate.
         assert_eq!(report.merged.requests, 3);
+    }
+
+    #[test]
+    fn merged_report_surfaces_ttft_percentiles() {
+        let report = ClusterReport::from_streams(vec![
+            ("replica-0".into(), vec![rec(0, 10.0), rec(1, 20.0)]),
+            ("replica-1".into(), vec![rec(2, 15.0)]),
+        ]);
+        // Every record has decode_start 1.0 and arrival 0.0 → TTFT 1 ms,
+        // within the 1000 ms SLO the fixture carries.
+        assert!((report.merged.p50_ttft_ms - 1.0).abs() < 1e-9);
+        assert!((report.merged.p99_ttft_ms - 1.0).abs() < 1e-9);
+        assert!((report.merged.ttft_attainment_pct - 100.0).abs() < 1e-9);
     }
 }

@@ -14,6 +14,9 @@ pub struct RequestRecord {
     pub category: Category,
     /// The TPOT SLO this request carried, in milliseconds.
     pub tpot_slo_ms: f64,
+    /// The TTFT SLO this request carried (arrival → first decode step), in
+    /// milliseconds.
+    pub ttft_slo_ms: f64,
     /// Arrival time.
     pub arrival_ms: f64,
     /// Time the first decode iteration started (prefill complete).
@@ -61,6 +64,15 @@ impl RequestRecord {
         self.avg_tpot_ms() <= self.tpot_slo_ms
     }
 
+    /// Whether the request met its TTFT SLO.
+    ///
+    /// Queueing, prefill and (in disaggregated deployments) KV migration
+    /// all land in front of the first decode step, so this is the metric
+    /// prefill/decode interference moves.
+    pub fn ttft_attained(&self) -> bool {
+        self.ttft_ms() <= self.ttft_slo_ms
+    }
+
     /// Mean accepted tokens per verification step (Fig. 12's quantity).
     pub fn mean_accepted_per_verify(&self) -> f64 {
         if self.verify_steps == 0 {
@@ -79,6 +91,7 @@ mod tests {
             id: 1,
             category: Category::Chatbot,
             tpot_slo_ms: slo,
+            ttft_slo_ms: 1_000.0,
             arrival_ms: 0.0,
             decode_start_ms: 100.0,
             completion_ms: 100.0 + tpot * 10.0,
@@ -105,6 +118,16 @@ mod tests {
     #[test]
     fn ttft_is_queue_plus_prefill() {
         assert!((record(42.0, 50.0).ttft_ms() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ttft_attainment_compares_to_ttft_slo() {
+        let mut r = record(42.0, 50.0); // TTFT 100 ms vs SLO 1000 ms.
+        assert!(r.ttft_attained());
+        r.ttft_slo_ms = 99.0;
+        assert!(!r.ttft_attained());
+        r.ttft_slo_ms = 100.0;
+        assert!(r.ttft_attained(), "boundary is inclusive");
     }
 
     #[test]

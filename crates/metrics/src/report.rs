@@ -40,6 +40,13 @@ pub struct SloReport {
     pub mean_accepted_per_verify: f64,
     /// Mean TTFT (ms).
     pub mean_ttft_ms: f64,
+    /// Median TTFT (ms).
+    pub p50_ttft_ms: f64,
+    /// p99 TTFT (ms).
+    pub p99_ttft_ms: f64,
+    /// TTFT SLO attainment in percent (the disaggregation study's headline
+    /// metric; the TPOT criterion above is the paper's).
+    pub ttft_attainment_pct: f64,
     /// Median of per-request average TPOT (ms).
     pub p50_tpot_ms: f64,
     /// p99 of per-request average TPOT (ms).
@@ -61,6 +68,9 @@ impl SloReport {
                 makespan_ms: 0.0,
                 mean_accepted_per_verify: 0.0,
                 mean_ttft_ms: 0.0,
+                p50_ttft_ms: 0.0,
+                p99_ttft_ms: 0.0,
+                ttft_attainment_pct: 0.0,
                 p50_tpot_ms: 0.0,
                 p99_tpot_ms: 0.0,
                 per_category: Vec::new(),
@@ -85,6 +95,8 @@ impl SloReport {
         let total_accepted: u64 = records.iter().map(|r| r.accepted_tokens).sum();
         let total_verifies: u64 = records.iter().map(|r| r.verify_steps).sum();
         let all_tpots: Vec<f64> = records.iter().map(|r| r.avg_tpot_ms()).collect();
+        let all_ttfts: Vec<f64> = records.iter().map(|r| r.ttft_ms()).collect();
+        let ttft_attained = records.iter().filter(|r| r.ttft_attained()).count();
 
         let mut per_category = Vec::new();
         for category in Category::ALL {
@@ -117,7 +129,10 @@ impl SloReport {
             } else {
                 total_accepted as f64 / total_verifies as f64
             },
-            mean_ttft_ms: mean(&records.iter().map(|r| r.ttft_ms()).collect::<Vec<_>>()),
+            mean_ttft_ms: mean(&all_ttfts),
+            p50_ttft_ms: percentile(&all_ttfts, 50.0),
+            p99_ttft_ms: percentile(&all_ttfts, 99.0),
+            ttft_attainment_pct: 100.0 * ttft_attained as f64 / records.len() as f64,
             p50_tpot_ms: percentile(&all_tpots, 50.0),
             p99_tpot_ms: percentile(&all_tpots, 99.0),
             per_category,
@@ -144,6 +159,7 @@ mod tests {
             id,
             category,
             tpot_slo_ms: slo,
+            ttft_slo_ms: 1_000.0,
             arrival_ms: 0.0,
             decode_start_ms: 10.0,
             completion_ms: 10.0 + tpot * f64::from(tokens),
@@ -211,6 +227,22 @@ mod tests {
         assert!((r.p50_tpot_ms - 40.0).abs() < 1e-9);
         assert!(r.p99_tpot_ms >= r.p50_tpot_ms);
         assert!(r.p99_tpot_ms <= 60.0 + 1e-9);
+    }
+
+    #[test]
+    fn ttft_percentiles_and_attainment_cover_the_spread() {
+        let mut records = vec![
+            rec(1, Category::Chatbot, 20.0, 50.0, 10),
+            rec(2, Category::Chatbot, 40.0, 50.0, 10),
+            rec(3, Category::Chatbot, 60.0, 50.0, 10),
+        ];
+        // TTFTs of 10 ms each; tighten one record's TTFT SLO below that.
+        records[2].ttft_slo_ms = 5.0;
+        let r = SloReport::from_records(&records);
+        assert!((r.p50_ttft_ms - 10.0).abs() < 1e-9);
+        assert!(r.p99_ttft_ms >= r.p50_ttft_ms);
+        assert!((r.mean_ttft_ms - 10.0).abs() < 1e-9);
+        assert!((r.ttft_attainment_pct - 200.0 / 3.0).abs() < 1e-9);
     }
 
     #[test]

@@ -131,6 +131,7 @@ mod tests {
             id: 0,
             category: Category::Chatbot,
             tpot_slo_ms: slo,
+            ttft_slo_ms: 1_000.0,
             arrival_ms: 0.0,
             decode_start_ms: 0.0,
             completion_ms,

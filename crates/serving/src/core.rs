@@ -209,6 +209,62 @@ impl EngineCore {
         self.finished.len()
     }
 
+    /// Removes and returns every running request that has completed prefill
+    /// but not yet generated a token, releasing its KV reservation.
+    ///
+    /// This is the prefill side of disaggregated serving: a prefill-only
+    /// replica calls it after each iteration to hand freshly prefilled
+    /// requests to KV migration. Requests keep their prefill progress
+    /// (`prefill_remaining() == 0`) so the decode side admits them straight
+    /// into the decode phase.
+    pub fn take_prefilled(&mut self) -> Vec<LiveRequest> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.running.len() {
+            if self.running[i].phase == Phase::Decoding && self.running[i].generated() == 0 {
+                let req = self.running.remove(i);
+                self.blocks.release(req.spec.id);
+                out.push(req);
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// Admits a request whose KV cache was migrated in from a prefill
+    /// replica (prefill complete, nothing generated yet).
+    ///
+    /// Reserves blocks for the full context plus one token and places the
+    /// request directly in the running batch in the decode phase —
+    /// bypassing the waiting queue, exactly as a disaggregated decode
+    /// instance receives work. Returns the request back if the KV pool
+    /// cannot hold it right now (the caller retries once memory frees up).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request still has prefill remaining — migrating a
+    /// half-prefilled request would lose KV state.
+    // The Err payload *is* the API: a rejected request goes back to the
+    // caller's landing queue by value, not by allocation.
+    #[allow(clippy::result_large_err)]
+    pub fn admit_migrated(&mut self, mut req: LiveRequest) -> Result<(), LiveRequest> {
+        assert_eq!(
+            req.prefill_remaining(),
+            0,
+            "only fully prefilled requests migrate"
+        );
+        let need = u64::from(req.context_len()) + 1;
+        if !self.blocks.can_hold(req.spec.id, need) {
+            return Err(req);
+        }
+        let ok = self.blocks.reserve(req.spec.id, need);
+        debug_assert!(ok, "can_hold implies reserve succeeds");
+        req.phase = Phase::Decoding;
+        self.running.push(req);
+        Ok(())
+    }
+
     /// Marks the start of decoding for any request that just finished
     /// prefill and has no decode timestamp yet.
     pub fn stamp_decode_starts(&mut self, now_ms: f64) {
@@ -233,6 +289,7 @@ mod tests {
             prompt_len: prompt,
             output_len: output,
             tpot_slo_ms: 50.0,
+            ttft_slo_ms: 1_000.0,
             stream_seed: id ^ 0xABC,
         }
     }
@@ -332,6 +389,56 @@ mod tests {
         assert_eq!(records.len(), 1);
         assert_eq!(records[0].output_tokens, 2);
         assert_eq!(core.blocks.free_blocks(), core.blocks.total_blocks());
+    }
+
+    #[test]
+    fn take_prefilled_extracts_fresh_decode_ready_requests() {
+        let mut core = small_core();
+        core.on_arrival(spec(0, 20, 4));
+        core.on_arrival(spec(1, 40, 4));
+        core.admit_fifo();
+        // Finish request 0's prefill only.
+        core.apply_prefill(&[(0, 20), (1, 10)]);
+        let taken = core.take_prefilled();
+        assert_eq!(taken.len(), 1);
+        assert_eq!(taken[0].spec.id, 0);
+        assert_eq!(taken[0].prefill_remaining(), 0);
+        assert_eq!(core.running.len(), 1, "half-prefilled request stays");
+        // Request 0's blocks were released along with the extraction.
+        assert!(core.blocks.validate().is_ok());
+    }
+
+    #[test]
+    fn admit_migrated_lands_in_decode_phase() {
+        let mut source = small_core();
+        source.on_arrival(spec(7, 24, 4));
+        source.admit_fifo();
+        source.apply_prefill(&source.plan_prefill(u32::MAX));
+        let req = source.take_prefilled().pop().expect("prefilled");
+
+        let mut sink = small_core();
+        sink.admit_migrated(req).expect("fits in an empty pool");
+        assert_eq!(sink.running.len(), 1);
+        assert_eq!(sink.running[0].phase, Phase::Decoding);
+        assert_eq!(sink.running[0].prefill_remaining(), 0);
+        assert!(sink.blocks.validate().is_ok());
+    }
+
+    #[test]
+    fn admit_migrated_backpressures_when_full() {
+        let mut source = small_core();
+        source.on_arrival(spec(7, 100, 4)); // 7 of 8 blocks
+        source.admit_fifo();
+        source.apply_prefill(&source.plan_prefill(u32::MAX));
+        let req = source.take_prefilled().pop().expect("prefilled");
+
+        let mut sink = small_core();
+        sink.on_arrival(spec(9, 100, 4)); // occupy the sink's pool
+        sink.admit_fifo();
+        let rejected = sink.admit_migrated(req).expect_err("pool is full");
+        assert_eq!(rejected.spec.id, 7);
+        assert_eq!(rejected.prefill_remaining(), 0, "progress survives");
+        assert_eq!(sink.running.len(), 1);
     }
 
     #[test]

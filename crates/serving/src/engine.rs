@@ -65,6 +65,9 @@ pub enum RunError {
     IterationCap,
     /// The simulated-time cap was hit.
     TimeCap,
+    /// A request can never fit its target's KV pool (e.g. a migrated
+    /// context larger than the whole decode-side allocator).
+    KvCapacity,
 }
 
 impl std::fmt::Display for RunError {
@@ -73,6 +76,7 @@ impl std::fmt::Display for RunError {
             RunError::Stalled => write!(f, "engine stalled (zero-latency steps with work)"),
             RunError::IterationCap => write!(f, "iteration cap exceeded"),
             RunError::TimeCap => write!(f, "simulated-time cap exceeded"),
+            RunError::KvCapacity => write!(f, "request exceeds a replica's KV capacity"),
         }
     }
 }
@@ -302,6 +306,7 @@ mod tests {
                 prompt_len: 12,
                 output_len: 6,
                 tpot_slo_ms: 50.0,
+                ttft_slo_ms: 1_000.0,
                 stream_seed: id ^ 0x1234,
             })
             .collect();

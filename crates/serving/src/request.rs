@@ -169,6 +169,7 @@ impl LiveRequest {
             id: self.spec.id,
             category: self.spec.category,
             tpot_slo_ms: self.spec.tpot_slo_ms,
+            ttft_slo_ms: self.spec.ttft_slo_ms,
             arrival_ms: self.spec.arrival_ms,
             decode_start_ms: self.decode_start_ms.expect("decode started"),
             completion_ms: self.completion_ms.expect("completion recorded"),
@@ -193,6 +194,7 @@ mod tests {
             prompt_len: 8,
             output_len: 4,
             tpot_slo_ms: 50.0,
+            ttft_slo_ms: 1_000.0,
             stream_seed: 7,
         }
     }

@@ -12,6 +12,18 @@ pub const CHATBOT_SLO_MS: f64 = 50.0;
 /// Summarization TPOT SLO in milliseconds (relaxed, per MLPerf/DistServe).
 pub const SUMMARIZATION_SLO_MS: f64 = 150.0;
 
+/// Coding-copilot TTFT SLO in milliseconds: a completion popping up inside
+/// an editor must feel instant (DistServe-style interactive tier).
+pub const CODING_TTFT_SLO_MS: f64 = 400.0;
+
+/// Chatbot TTFT SLO in milliseconds (a chat turn tolerates ~1 s to first
+/// token before it feels stalled).
+pub const CHATBOT_TTFT_SLO_MS: f64 = 1_200.0;
+
+/// Summarization TTFT SLO in milliseconds: long articles queue behind
+/// interactive traffic, so the batch tier gets a multi-second budget.
+pub const SUMMARIZATION_TTFT_SLO_MS: f64 = 8_000.0;
+
 /// The three application categories of the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Category {
@@ -72,6 +84,21 @@ impl Category {
         }
     }
 
+    /// The category's TTFT SLO (time to first token, arrival → first
+    /// decode step).
+    ///
+    /// The paper's attainment criterion is TPOT-only (§3); TTFT targets
+    /// enter with the disaggregated deployment mode, where prefill/decode
+    /// interference is the quantity under study. Values follow the
+    /// DistServe/SLOs-Serve convention of fixed per-application targets.
+    pub fn ttft_slo(self) -> SloSpec {
+        match self {
+            Category::CodingCopilot => SloSpec::AbsoluteMs(CODING_TTFT_SLO_MS),
+            Category::Chatbot => SloSpec::AbsoluteMs(CHATBOT_TTFT_SLO_MS),
+            Category::Summarization => SloSpec::AbsoluteMs(SUMMARIZATION_TTFT_SLO_MS),
+        }
+    }
+
     /// Whether this is the latency-stringent ("urgent") category.
     pub fn is_urgent(self) -> bool {
         matches!(self, Category::CodingCopilot)
@@ -112,6 +139,15 @@ mod tests {
         assert!((Category::CodingCopilot.slo().resolve(baseline) - 36.0).abs() < 1e-12);
         assert_eq!(Category::Chatbot.slo().resolve(baseline), 50.0);
         assert_eq!(Category::Summarization.slo().resolve(baseline), 150.0);
+    }
+
+    #[test]
+    fn ttft_slos_tighten_with_interactivity() {
+        let coding = Category::CodingCopilot.ttft_slo().resolve(30.0);
+        let chat = Category::Chatbot.ttft_slo().resolve(30.0);
+        let sum = Category::Summarization.ttft_slo().resolve(30.0);
+        assert!(coding < chat && chat < sum);
+        assert_eq!(coding, CODING_TTFT_SLO_MS);
     }
 
     #[test]

@@ -93,6 +93,7 @@ pub struct WorkloadBuilder {
     target_rps: Option<f64>,
     duration_ms: Option<f64>,
     cat1_slo_scale: f64,
+    ttft_slo_scale: f64,
 }
 
 impl WorkloadBuilder {
@@ -106,6 +107,7 @@ impl WorkloadBuilder {
             target_rps: None,
             duration_ms: None,
             cat1_slo_scale: category::CAT1_BASELINE_SCALE,
+            ttft_slo_scale: 1.0,
         }
     }
 
@@ -144,6 +146,17 @@ impl WorkloadBuilder {
         self
     }
 
+    /// Scales every category's TTFT SLO (disaggregation sweeps' knob).
+    ///
+    /// The default is 1.0 (the per-category targets of
+    /// [`Category::ttft_slo`]); values below 1 tighten the first-token
+    /// deadline uniformly.
+    pub fn ttft_slo_scale(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0);
+        self.ttft_slo_scale = scale;
+        self
+    }
+
     /// Materializes the workload.
     pub fn build(&self) -> Workload {
         // Rescale first, then truncate: the duration then selects how much
@@ -172,6 +185,7 @@ impl WorkloadBuilder {
                 Category::CodingCopilot => self.baseline_ms * self.cat1_slo_scale,
                 _ => slo.resolve(self.baseline_ms),
             };
+            let ttft_slo_ms = category.ttft_slo().resolve(self.baseline_ms) * self.ttft_slo_scale;
             requests.push(RequestSpec {
                 id: rid,
                 category,
@@ -179,6 +193,7 @@ impl WorkloadBuilder {
                 prompt_len,
                 output_len,
                 tpot_slo_ms,
+                ttft_slo_ms,
                 stream_seed: combine(seed_stream(self.seed, 4), rid),
             });
         }
@@ -246,6 +261,19 @@ mod tests {
                 Category::Chatbot => assert!((r.tpot_slo_ms - 50.0).abs() < 1e-9),
                 Category::Summarization => assert!((r.tpot_slo_ms - 150.0).abs() < 1e-9),
             }
+        }
+    }
+
+    #[test]
+    fn ttft_slos_resolve_per_category_and_scale() {
+        let w = WorkloadBuilder::new(7, 30.0)
+            .ttft_slo_scale(0.5)
+            .target_rps(5.0)
+            .duration_ms(120_000.0)
+            .build();
+        for r in &w.requests {
+            let expect = r.category.ttft_slo().resolve(30.0) * 0.5;
+            assert!((r.ttft_slo_ms - expect).abs() < 1e-9);
         }
     }
 

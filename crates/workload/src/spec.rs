@@ -21,6 +21,8 @@ pub struct RequestSpec {
     pub output_len: u32,
     /// Resolved TPOT SLO in milliseconds.
     pub tpot_slo_ms: f64,
+    /// Resolved TTFT SLO in milliseconds (arrival → first decode step).
+    pub ttft_slo_ms: f64,
     /// Seed of the request's content stream (drives the synthetic LM).
     pub stream_seed: u64,
 }
@@ -55,6 +57,7 @@ mod tests {
             prompt_len: 16,
             output_len: 8,
             tpot_slo_ms: 50.0,
+            ttft_slo_ms: 1_200.0,
             stream_seed: 99,
         }
     }

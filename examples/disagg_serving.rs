@@ -1,0 +1,140 @@
+//! Disaggregated prefill/decode serving: split pools, KV migration and
+//! SLO-aware dispatch.
+//!
+//! Four Llama-70B engine groups serve one bursty multi-SLO trace twice at
+//! equal aggregate hardware: colocated (a 4-replica cluster behind the
+//! SLO-aware router) and disaggregated (one prefill-only replica feeding
+//! three SCSD decode replicas over an NVLink-priced KV-migration link).
+//! Mid-run, one decode replica drains and later rejoins, exercising
+//! elastic scaling across the migration boundary.
+//!
+//! ```sh
+//! cargo run --release --example disagg_serving
+//! ```
+
+use adaserve::cluster::{Cluster, RouterKind};
+use adaserve::core::AdaServeEngine;
+use adaserve::disagg::{
+    DisaggCluster, DisaggScalingEvent, Dispatcher, KvLink, Pool, PrefillPool, ScalingAction,
+};
+use adaserve::metrics::Table;
+use adaserve::serving::{RunOptions, ServingEngine, SystemConfig};
+use adaserve::workload::{env_seed, WorkloadBuilder};
+
+fn engines(n: usize, seed: u64) -> Vec<Box<dyn ServingEngine>> {
+    (0..n)
+        .map(|_| {
+            Box::new(AdaServeEngine::new(SystemConfig::llama70b(seed))) as Box<dyn ServingEngine>
+        })
+        .collect()
+}
+
+fn main() {
+    let seed = env_seed(17);
+    // ADASERVE_SMOKE=1 (set by the CI smoke tests) shrinks the trace.
+    let (rps, duration_ms) = if std::env::var_os("ADASERVE_SMOKE").is_some() {
+        (6.0, 3_000.0)
+    } else {
+        (12.0, 45_000.0)
+    };
+    let baseline_ms = SystemConfig::llama70b(seed).baseline_ms;
+    let workload = WorkloadBuilder::new(seed, baseline_ms)
+        .target_rps(rps)
+        .duration_ms(duration_ms)
+        .build();
+    println!(
+        "Workload: {} — equal hardware: 4 engine groups per deployment\n",
+        workload.description
+    );
+
+    // Colocated baseline: every group prefills and decodes.
+    let colocated = Cluster::new(engines(4, seed), RouterKind::SloAware.build())
+        .run(&workload, RunOptions::default())
+        .expect("colocated run");
+
+    // Disaggregated: 1 prefill group + 3 decode groups, NVLink-class KV
+    // migration; decode replica 2 drains for the middle third of the run.
+    let link = KvLink::nvlink(&adaserve::roofline::GpuSpec::a100_80g());
+    let disagg = DisaggCluster::new(
+        PrefillPool::new(vec![SystemConfig::llama70b(seed)]),
+        engines(3, seed),
+        Dispatcher::new(RouterKind::SloAware.build()),
+        link,
+    )
+    .with_events(vec![
+        DisaggScalingEvent {
+            at_ms: duration_ms / 3.0,
+            pool: Pool::Decode,
+            replica: 2,
+            action: ScalingAction::Drain,
+        },
+        DisaggScalingEvent {
+            at_ms: 2.0 * duration_ms / 3.0,
+            pool: Pool::Decode,
+            replica: 2,
+            action: ScalingAction::Join,
+        },
+    ])
+    .run(&workload, RunOptions::default())
+    .expect("disagg run");
+
+    let mut table = Table::new(vec![
+        "Deployment",
+        "TTFT att %",
+        "p99 TTFT ms",
+        "TPOT att %",
+        "Goodput tok/s",
+    ]);
+    for (name, report) in [
+        ("colocated 4x", colocated.report()),
+        ("disagg 1p+3d", disagg.report()),
+    ] {
+        table.row(vec![
+            name.to_string(),
+            format!("{:.1}", report.ttft_attainment_pct),
+            format!("{:.0}", report.p99_ttft_ms),
+            format!("{:.1}", report.attainment_pct),
+            format!("{:.0}", report.goodput_tps),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let mut pools = Table::new(vec!["Replica", "Requests", "Detail"]);
+    for p in &disagg.per_prefill {
+        pools.row(vec![
+            format!("prefill-{}", p.replica),
+            p.routed.to_string(),
+            format!(
+                "{} prompts prefilled, {} tokens",
+                p.prefilled_requests, p.prefill_tokens
+            ),
+        ]);
+    }
+    for d in &disagg.per_decode {
+        let report = d.result.report();
+        pools.row(vec![
+            format!("decode-{}", d.replica),
+            d.routed.to_string(),
+            format!(
+                "TTFT att {:.1}%, p99 TPOT {:.1} ms",
+                report.ttft_attainment_pct, report.p99_tpot_ms
+            ),
+        ]);
+    }
+    println!(
+        "Disaggregated pools (decode-2 drained for the middle third):\n{}",
+        pools.render()
+    );
+    println!(
+        "KV migration: {} transfers, {:.1} MB total, {:.2} ms mean link time\n\
+         — transfers overlap decode; only the migrating request waits.",
+        disagg.transfers.transfers,
+        disagg.transfers.bytes as f64 / 1e6,
+        disagg.transfers.mean_transfer_ms(),
+    );
+    println!(
+        "Dedicated prefill replicas remove prefill/decode interference:\n\
+         interactive prompts stop queueing behind verification batches,\n\
+         at the price of a KV transfer the NVLink fabric absorbs."
+    );
+}

@@ -12,6 +12,9 @@
 //! * [`cluster`] — multi-replica fleets: pluggable request routers
 //!   (round-robin, least-outstanding, JSQ-by-load, SLO-aware) and a
 //!   cluster driver with elastic drain/join scaling;
+//! * [`disagg`] — disaggregated prefill/decode serving: split replica
+//!   pools, modeled KV migration over the interconnect, and TTFT-tier
+//!   SLO-aware dispatch;
 //! * [`spectree`] — token trees, beam-search speculation, tree verification;
 //! * [`simllm`] — the synthetic target/draft model pair;
 //! * [`roofline`] — the hardware cost model and profiler;
@@ -24,6 +27,7 @@
 pub use adaserve_core as core;
 pub use baselines;
 pub use cluster;
+pub use disagg;
 pub use metrics;
 pub use roofline;
 pub use serving;

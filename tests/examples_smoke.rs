@@ -73,3 +73,8 @@ fn capacity_planning_runs() {
 fn cluster_serving_runs() {
     run_example("cluster_serving");
 }
+
+#[test]
+fn disagg_serving_runs() {
+    run_example("disagg_serving");
+}

@@ -15,6 +15,7 @@ fn pressure_workload(n: u64) -> Workload {
             prompt_len: 40,
             output_len: 30,
             tpot_slo_ms: 50.0,
+            ttft_slo_ms: 1_000.0,
             stream_seed: id ^ 0x77,
         })
         .collect();
@@ -81,6 +82,7 @@ fn single_oversized_request_fits_or_errors_cleanly() {
             prompt_len: 4000,
             output_len: 4,
             tpot_slo_ms: 150.0,
+            ttft_slo_ms: 1_000.0,
             stream_seed: 1,
         }],
         description: "oversized".into(),

@@ -42,6 +42,7 @@ fn adaserve_output_equals_autoregressive_reference() {
             prompt_len: 20,
             output_len: 24,
             tpot_slo_ms: 50.0,
+            ttft_slo_ms: 1_000.0,
             stream_seed: 0xBEEF ^ id,
         })
         .collect();
