@@ -81,6 +81,20 @@ pub fn decoding_ids(core: &EngineCore) -> Vec<u64> {
         .collect()
 }
 
+/// Test-only front-door drive of one engine, shared by every baseline's
+/// unit tests (replaces the deprecated `serving::run` with the same
+/// signature, so tests read unchanged).
+#[cfg(test)]
+pub(crate) fn test_run(
+    engine: &mut dyn serving::ServingEngine,
+    workload: &workload::Workload,
+    options: serving::RunOptions,
+) -> Result<serving::RunResult, serving::RunError> {
+    serving::ServeSession::with_options(serving::Colocated::borrowed(engine), options)
+        .serve(workload)
+        .map(serving::RunReport::into_colocated_result)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -83,7 +83,8 @@ impl ServingEngine for FastServeEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use serving::{run, RunOptions};
+    use crate::common::test_run as run;
+    use serving::RunOptions;
     use workload::{Category, RequestSpec, Workload};
 
     fn mixed_lengths() -> Workload {

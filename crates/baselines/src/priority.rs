@@ -119,7 +119,8 @@ impl ServingEngine for PriorityEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use serving::{run, RunOptions};
+    use crate::common::test_run as run;
+    use serving::RunOptions;
     use workload::{Category, RequestSpec, Workload};
 
     fn two_tier_workload(n_each: u64, tight_slo: f64) -> Workload {

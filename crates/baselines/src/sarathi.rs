@@ -140,7 +140,8 @@ impl ServingEngine for SarathiEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use serving::{run, RunOptions};
+    use crate::common::test_run as run;
+    use serving::RunOptions;
     use workload::{Category, RequestSpec, Workload};
 
     fn mixed_workload() -> Workload {

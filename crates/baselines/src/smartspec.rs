@@ -241,7 +241,8 @@ impl ServingEngine for SmartSpecEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use serving::{run, RunOptions};
+    use crate::common::test_run as run;
+    use serving::RunOptions;
     use workload::{Category, RequestSpec, Workload};
 
     fn workload(n: u64) -> Workload {

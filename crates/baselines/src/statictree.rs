@@ -178,7 +178,8 @@ impl ServingEngine for StaticTreeEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use serving::{run, RunOptions};
+    use crate::common::test_run as run;
+    use serving::RunOptions;
     use workload::{Category, RequestSpec, Workload};
 
     fn workload(n: u64) -> Workload {

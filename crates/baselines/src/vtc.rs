@@ -109,7 +109,8 @@ impl ServingEngine for VtcEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use serving::{run, RunOptions};
+    use crate::common::test_run as run;
+    use serving::RunOptions;
     use workload::RequestSpec;
     use workload::Workload;
 

@@ -8,7 +8,7 @@
 
 use adaserve_core::{optimal_trees, select_tokens, AdaServeEngine, ExplicitProbTree, ScsdInput};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use serving::{run, RunOptions, SystemConfig};
+use serving::{Colocated, ServeSession, SystemConfig};
 use simllm::{ContentClass, LmContext, ModelPair, TokenId};
 use spectree::{verify_tree, CandidateTree, SpecParams, TokenTree, VerifyMode};
 use std::hint::black_box;
@@ -141,8 +141,10 @@ fn bench_engine_iteration(c: &mut Criterion) {
                     .build();
                 (AdaServeEngine::new(config), wl)
             },
-            |(mut engine, wl)| {
-                let result = run(&mut engine, &wl, RunOptions::default()).unwrap();
+            |(engine, wl)| {
+                let result = ServeSession::new(Colocated::new(Box::new(engine)))
+                    .serve(&wl)
+                    .unwrap();
                 black_box(result.records.len())
             },
             BatchSize::SmallInput,

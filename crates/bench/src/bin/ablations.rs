@@ -6,11 +6,12 @@
 //! * `n_max` sweep — the guard against low-probability monopolization;
 //! * verification-budget policy sweep — latency-stretch vs roofline-knee.
 
-use adaserve_bench::{parse_duration_ms, run_many, run_one, seed, EngineKind, ModelSetup};
+use adaserve_bench::{
+    parse_duration_ms, run_many, run_one, seed, serve_one, EngineKind, ModelSetup,
+};
 use adaserve_core::{AdaServeEngine, AdaServeOptions};
 use metrics::Table;
 use roofline::BudgetPolicy;
-use serving::{run, RunOptions};
 use workload::{TraceKind, WorkloadBuilder};
 
 fn main() {
@@ -175,8 +176,8 @@ fn main() {
             budget_policy: policy,
             ..Default::default()
         };
-        let mut engine = AdaServeEngine::with_options(setup.config(seed()), options);
-        run(&mut engine, &workload, RunOptions::default()).expect("run")
+        let engine = AdaServeEngine::with_options(setup.config(seed()), options);
+        serve_one(Box::new(engine), &workload)
     });
     let mut t = Table::new(vec![
         "Budget policy",

@@ -12,10 +12,11 @@
 //! helps, tree-shaped speculation helps more, and per-request SLO awareness
 //! is what closes the gap.
 
-use adaserve_bench::{parse_duration_ms, run_many, run_one, seed, EngineKind, ModelSetup};
+use adaserve_bench::{
+    parse_duration_ms, run_many, run_one, seed, serve_one, EngineKind, ModelSetup,
+};
 use baselines::{SmartSpecEngine, StaticTreeEngine};
 use metrics::Table;
-use serving::{run, RunOptions};
 use workload::{Category, TraceKind, WorkloadBuilder};
 
 fn main() {
@@ -45,14 +46,14 @@ fn main() {
     // Related-work engines.
     let extra: Vec<(String, Box<dyn Fn() -> serving::RunResult + Sync>)> = Vec::new();
     drop(extra);
-    let smart = {
-        let mut engine = SmartSpecEngine::new(setup.config(seed()));
-        run(&mut engine, &workload, RunOptions::default()).expect("smartspec run")
-    };
+    let smart = serve_one(
+        Box::new(SmartSpecEngine::new(setup.config(seed()))),
+        &workload,
+    );
     rows.push(("SmartSpec".into(), smart));
     let results = run_many(vec![(4u32, 2u32), (6, 3)], |&(d, w)| {
-        let mut engine = StaticTreeEngine::new(setup.config(seed()), d, w);
-        run(&mut engine, &workload, RunOptions::default()).expect("static tree run")
+        let engine = StaticTreeEngine::new(setup.config(seed()), d, w);
+        serve_one(Box::new(engine), &workload)
     });
     for r in results {
         rows.push((r.engine.clone(), r));

@@ -19,12 +19,13 @@
 //! ```
 
 use adaserve_bench::{
-    check_sweep_args, is_smoke, par_map, parse_json_out, seed, sweep_duration_ms, BenchSummary,
+    check_sweep_args, expect_no_rejections, is_smoke, par_map, parse_json_out, seed,
+    sweep_duration_ms, BenchSummary,
 };
 use adaserve_core::AdaServeEngine;
-use cluster::{Cluster, ClusterRunResult, RouterKind};
+use cluster::{Cluster, RouterKind};
 use metrics::Table;
-use serving::{RunOptions, ServingEngine, SystemConfig};
+use serving::{RunReport, ServeSession, ServingEngine, SystemConfig};
 use workload::{TraceKind, WorkloadBuilder};
 
 /// Builds the N-replica fleet: every fourth replica runs the H100 what-if
@@ -82,15 +83,17 @@ fn main() {
                 .flat_map(move |&rps| RouterKind::ALL.iter().map(move |&router| (n, rps, router)))
         })
         .collect();
-    let results: Vec<ClusterRunResult> = par_map(jobs.clone(), |&(n, rps, router)| {
+    let results: Vec<RunReport> = par_map(jobs.clone(), |&(n, rps, router)| {
         let workload = WorkloadBuilder::new(seed, baseline_ms)
             .trace(TraceKind::RealWorld)
             .target_rps(rps * n as f64)
             .duration_ms(duration_ms)
             .build();
-        Cluster::new(fleet(n, seed), router.build())
-            .run(&workload, RunOptions::default())
-            .unwrap_or_else(|e| panic!("{} on {n} replicas failed: {e}", router.name()))
+        let report = ServeSession::new(Cluster::new(fleet(n, seed), router.build()))
+            .serve(&workload)
+            .unwrap_or_else(|e| panic!("{} on {n} replicas failed: {e}", router.name()));
+        expect_no_rejections(router.name(), &report);
+        report
     });
 
     let mut summary = BenchSummary::new(
@@ -105,7 +108,7 @@ fn main() {
     let mut goodput = Table::new(header.clone());
     let mut p99 = Table::new(header);
 
-    let reports: Vec<metrics::SloReport> = results.iter().map(ClusterRunResult::report).collect();
+    let reports: Vec<metrics::SloReport> = results.iter().map(RunReport::report).collect();
     for (ji, &(n, rps, router)) in jobs.iter().enumerate() {
         summary.push_report(
             format!("replicas={n} rps={rps:.1} router={}", router.name()),

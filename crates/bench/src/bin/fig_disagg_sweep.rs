@@ -24,13 +24,14 @@
 //! ```
 
 use adaserve_bench::{
-    check_sweep_args, is_smoke, par_map, parse_json_out, seed, sweep_duration_ms, BenchSummary,
+    check_sweep_args, expect_no_rejections, is_smoke, par_map, parse_json_out, seed,
+    sweep_duration_ms, BenchSummary,
 };
 use adaserve_core::AdaServeEngine;
 use cluster::{Cluster, RouterKind};
 use disagg::{DisaggCluster, Dispatcher, KvLink, PrefillPool};
 use metrics::{SloReport, Table};
-use serving::{RunOptions, ServingEngine, SystemConfig};
+use serving::{ServeSession, ServingEngine, SystemConfig};
 use workload::{TraceKind, Workload, WorkloadBuilder};
 
 /// Total engine groups deployed in every configuration.
@@ -74,10 +75,12 @@ fn engines(n: usize, seed: u64) -> Vec<Box<dyn ServingEngine>> {
 fn run_one(deployment: Deployment, workload: &Workload, seed: u64) -> SloReport {
     match deployment {
         Deployment::Colocated => {
-            let result = Cluster::new(engines(TOTAL_REPLICAS, seed), RouterKind::SloAware.build())
-                .run(workload, RunOptions::default())
+            let cluster = Cluster::new(engines(TOTAL_REPLICAS, seed), RouterKind::SloAware.build());
+            let report = ServeSession::new(cluster)
+                .serve(workload)
                 .unwrap_or_else(|e| panic!("colocated run failed: {e}"));
-            result.report()
+            expect_no_rejections("colocated", &report);
+            report.report()
         }
         Deployment::Disagg {
             n_prefill,
@@ -85,15 +88,17 @@ fn run_one(deployment: Deployment, workload: &Workload, seed: u64) -> SloReport 
         } => {
             let prefill = PrefillPool::new(vec![SystemConfig::llama70b(seed); n_prefill]);
             let decode = engines(TOTAL_REPLICAS - n_prefill, seed);
-            let result = DisaggCluster::new(
+            let disagg = DisaggCluster::new(
                 prefill,
                 decode,
                 Dispatcher::new(RouterKind::SloAware.build()),
                 KvLink::new(link_gbps, 0.05),
-            )
-            .run(workload, RunOptions::default())
-            .unwrap_or_else(|e| panic!("disagg {deployment:?} failed: {e}"));
-            result.report()
+            );
+            let report = ServeSession::new(disagg)
+                .serve(workload)
+                .unwrap_or_else(|e| panic!("disagg {deployment:?} failed: {e}"));
+            expect_no_rejections(&deployment.label(), &report);
+            report.report()
         }
     }
 }

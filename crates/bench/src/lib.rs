@@ -21,7 +21,7 @@ use adaserve_core::{AdaServeEngine, AdaServeOptions};
 use baselines::{
     FastServeEngine, PriorityEngine, SarathiEngine, VllmEngine, VllmSpecEngine, VtcEngine,
 };
-use serving::{run, RunOptions, RunResult, ServingEngine, SystemConfig};
+use serving::{Colocated, RunOptions, RunResult, ServeSession, ServingEngine, SystemConfig};
 use workload::Workload;
 
 /// The two model/hardware setups of the paper's Table 1.
@@ -184,9 +184,35 @@ impl EngineKind {
 /// Serves `workload` with `kind` on `setup` and returns the run result.
 pub fn run_one(kind: EngineKind, setup: ModelSetup, seed: u64, workload: &Workload) -> RunResult {
     let config = setup.config(seed);
-    let mut engine = kind.build(config);
-    run(engine.as_mut(), workload, RunOptions::default())
-        .unwrap_or_else(|e| panic!("{} failed: {e}", kind.name()))
+    let engine = kind.build(config);
+    serve_one(engine, workload)
+}
+
+/// Serves `workload` on a single boxed engine through the unified front
+/// door ([`ServeSession`] over a [`Colocated`] deployment), unwrapping the
+/// report back into the single-engine [`RunResult`] the figure binaries
+/// tabulate.
+pub fn serve_one(engine: Box<dyn ServingEngine>, workload: &Workload) -> RunResult {
+    let name = engine.name();
+    let report = ServeSession::with_options(Colocated::new(engine), RunOptions::default())
+        .serve(workload)
+        .unwrap_or_else(|e| panic!("{name} failed: {e}"));
+    expect_no_rejections(&name, &report);
+    report.into_colocated_result()
+}
+
+/// Panics if the front door rejected any request: a benchmark whose
+/// workload does not fully fit the deployment must fail loudly, not emit
+/// an attainment figure computed over the surviving requests.
+pub fn expect_no_rejections(label: &str, report: &serving::RunReport) {
+    assert!(
+        report.rejected.is_empty(),
+        "{label}: front door rejected {} request(s) (first: id {} — {}); \
+         a bench workload must fit its deployment",
+        report.rejected.len(),
+        report.rejected[0].0,
+        report.rejected[0].1,
+    );
 }
 
 /// Maps `f` over `jobs` across threads, preserving job order.

@@ -8,18 +8,14 @@
 
 use crate::replica::Replica;
 use crate::router::Router;
-use metrics::{merge_by_completion, ClusterReport, RequestRecord, SloReport};
-use serving::{finalize_run, RunError, RunOptions, RunResult, ServingEngine};
-use workload::Workload;
+use metrics::{ClusterReport, RequestRecord, SloReport};
+use serving::{
+    finalize_run, Deployment, DeploymentStep, LifecycleTracker, Pool, ReplicaAddr, RunError,
+    RunOptions, RunResult, ServeSession, ServingEngine, UnitStats,
+};
+use workload::{RequestSpec, Workload};
 
-/// What an elastic-scaling event does to its replica.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ScalingAction {
-    /// Stop routing new requests to the replica; it finishes queued work.
-    Drain,
-    /// Make the replica eligible for new requests again.
-    Join,
-}
+pub use serving::ScalingAction;
 
 /// A scheduled drain/join of one replica.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -114,11 +110,17 @@ pub fn max_baseline_ms(engines: &[Box<dyn ServingEngine>]) -> f64 {
 }
 
 /// N serving engines behind a routing policy, driven under one clock.
+///
+/// A `Cluster` implements [`Deployment`], so the standard way to run it
+/// is through a [`ServeSession`] (open-loop or online); the legacy
+/// [`Cluster::run`] remains as a deprecated, output-equivalent shim.
 #[derive(Debug)]
 pub struct Cluster {
     replicas: Vec<Replica>,
     router: Box<dyn Router>,
     events: Vec<ScalingEvent>,
+    tracker: LifecycleTracker,
+    finished_seen: Vec<usize>,
 }
 
 impl Cluster {
@@ -130,6 +132,7 @@ impl Cluster {
     /// Panics if `engines` is empty.
     pub fn new(engines: Vec<Box<dyn ServingEngine>>, router: Box<dyn Router>) -> Self {
         assert!(!engines.is_empty(), "a cluster needs at least one replica");
+        let n = engines.len();
         let replicas = engines
             .into_iter()
             .enumerate()
@@ -139,6 +142,8 @@ impl Cluster {
             replicas,
             router,
             events: Vec::new(),
+            tracker: LifecycleTracker::default(),
+            finished_seen: vec![0; n],
         }
     }
 
@@ -174,106 +179,154 @@ impl Cluster {
 
     /// Serves `workload` to completion across the fleet.
     ///
-    /// Event ordering at equal timestamps: scaling events apply first (so
-    /// an arrival at the same instant sees the new topology), then
-    /// arrivals are routed, then the due replica steps. Arrivals are
-    /// routed at their arrival instant against each replica's current
-    /// queue state; a replica mid-iteration past that instant reflects at
-    /// most one extra iteration of skew — the same information a real
-    /// router has when an engine's batch is already on the GPU.
+    /// Deprecated: this is now a thin shim over the unified front door —
+    /// a [`ServeSession`] driving this cluster as a [`Deployment`] —
+    /// which additionally supports mid-run submission and scaling. Output
+    /// is equivalent (see `tests/output_equivalence.rs`). Scheduled
+    /// [`Cluster::with_events`] scaling is forwarded to the session's
+    /// scaling timeline.
+    #[deprecated(note = "drive a `serving::ServeSession` over this `Cluster` instead")]
     pub fn run(
         mut self,
         workload: &Workload,
         options: RunOptions,
     ) -> Result<ClusterRunResult, RunError> {
-        let requests = &workload.requests;
-        let mut next_arrival = 0usize;
-        let mut next_event = 0usize;
-        let mut iterations = 0u64;
-
-        loop {
-            let t_arr = requests
-                .get(next_arrival)
-                .map_or(f64::INFINITY, |r| r.arrival_ms);
-            let t_evt = self
-                .events
-                .get(next_event)
-                .map_or(f64::INFINITY, |e| e.at_ms);
-            // Earliest replica ready to iterate (lowest clock, then id).
-            let stepper = self
-                .replicas
-                .iter()
-                .filter(|r| r.has_work())
-                .min_by(|a, b| a.clock_ms.total_cmp(&b.clock_ms).then(a.id.cmp(&b.id)))
-                .map(|r| (r.clock_ms, r.id));
-            let t_step = stepper.map_or(f64::INFINITY, |(t, _)| t);
-
-            let t = t_arr.min(t_evt).min(t_step);
-            if t.is_infinite() {
-                break; // No arrivals, no events, no work anywhere.
-            }
-
-            if t_evt <= t {
-                let e = self.events[next_event];
-                let r = &mut self.replicas[e.replica];
-                r.accepting = matches!(e.action, ScalingAction::Join);
-                r.clock_ms = r.clock_ms.max(e.at_ms);
-                next_event += 1;
-                continue;
-            }
-
-            if t_arr <= t {
-                let spec = requests[next_arrival].clone();
-                let eligible = accepting_or_all(self.replicas.iter().map(|r| r.accepting));
-                let mut choice = self.router.route(&spec, t_arr, &self.replicas, &eligible);
-                if !eligible.contains(&choice) {
-                    debug_assert!(false, "router returned ineligible replica {choice}");
-                    choice = eligible[0];
-                }
-                let r = &mut self.replicas[choice];
-                r.engine.core_mut().on_arrival(spec);
-                r.clock_ms = r.clock_ms.max(t_arr);
-                r.routed += 1;
-                next_arrival += 1;
-                continue;
-            }
-
-            let (_, id) = stepper.expect("t_step was finite");
-            let r = &mut self.replicas[id];
-            r.step_once()?;
-            iterations += 1;
-            if r.engine.core().iterations > options.max_iterations {
-                return Err(RunError::IterationCap);
-            }
-            if r.clock_ms > options.max_sim_ms {
-                return Err(RunError::TimeCap);
-            }
-        }
-
-        let end_ms = self.replicas.iter().map(|r| r.clock_ms).fold(0.0, f64::max);
+        let events = std::mem::take(&mut self.events);
         let router = self.router.name();
-        let per_replica: Vec<ReplicaResult> = self
-            .replicas
-            .iter_mut()
-            .map(|r| ReplicaResult {
-                replica: r.id,
-                routed: r.routed,
-                result: finalize_run(r.engine.as_mut(), r.clock_ms),
-            })
-            .collect();
-        let records = merge_by_completion(
-            per_replica
-                .iter()
-                .map(|r| r.result.records.clone())
-                .collect(),
-        );
+        let mut session = ServeSession::with_options(self, options).admission_control(false);
+        for e in events {
+            session.scale_at(e.at_ms, ReplicaAddr::serving(e.replica), e.action);
+        }
+        let report = session.serve(workload)?;
         Ok(ClusterRunResult {
             router,
-            records,
-            per_replica,
-            end_ms,
-            iterations,
+            records: report.records,
+            per_replica: report
+                .units
+                .into_iter()
+                .map(|u| ReplicaResult {
+                    replica: u.replica.index,
+                    routed: u.routed,
+                    result: u.result,
+                })
+                .collect(),
+            end_ms: report.end_ms,
+            iterations: report.iterations,
         })
+    }
+
+    /// The earliest replica ready to iterate (lowest clock, then id).
+    fn next_stepper(&self) -> Option<(f64, usize)> {
+        self.replicas
+            .iter()
+            .filter(|r| r.has_work())
+            .min_by(|a, b| a.clock_ms.total_cmp(&b.clock_ms).then(a.id.cmp(&b.id)))
+            .map(|r| (r.clock_ms, r.id))
+    }
+}
+
+impl Deployment for Cluster {
+    /// The routing policy's name (the label legacy cluster results carried).
+    fn name(&self) -> String {
+        self.router.name()
+    }
+
+    fn max_baseline_ms(&self) -> f64 {
+        Cluster::max_baseline_ms(self)
+    }
+
+    fn kv_capacity_tokens(&self) -> u64 {
+        self.replicas
+            .iter()
+            .map(|r| r.engine.core().kv_capacity_tokens())
+            .min()
+            .expect("a cluster has at least one replica")
+    }
+
+    /// Routes the arrival at its arrival instant against each replica's
+    /// current queue state; a replica mid-iteration past that instant
+    /// reflects at most one extra iteration of skew — the same
+    /// information a real router has when an engine's batch is already on
+    /// the GPU.
+    fn submit(&mut self, spec: RequestSpec, now_ms: f64) {
+        let eligible = accepting_or_all(self.replicas.iter().map(|r| r.accepting));
+        let mut choice = self.router.route(&spec, now_ms, &self.replicas, &eligible);
+        if !eligible.contains(&choice) {
+            debug_assert!(false, "router returned ineligible replica {choice}");
+            choice = eligible[0];
+        }
+        let r = &mut self.replicas[choice];
+        r.engine.core_mut().on_arrival(spec);
+        r.clock_ms = r.clock_ms.max(now_ms);
+        r.routed += 1;
+    }
+
+    fn next_event_ms(&self) -> Option<f64> {
+        self.next_stepper().map(|(t, _)| t)
+    }
+
+    fn step(&mut self, options: &RunOptions) -> Result<DeploymentStep, RunError> {
+        let Some((_, id)) = self.next_stepper() else {
+            return Ok(DeploymentStep::default());
+        };
+        let latency_ms = self.replicas[id].step_once()?;
+        let r = &self.replicas[id];
+        if r.engine.core().iterations > options.max_iterations {
+            return Err(RunError::iteration_cap().at(Pool::Decode, id));
+        }
+        if r.clock_ms > options.max_sim_ms {
+            return Err(RunError::time_cap().at(Pool::Decode, id));
+        }
+        let mut events = Vec::new();
+        let at_ms = self.replicas[id].clock_ms;
+        self.tracker.scan_core(
+            self.replicas[id].engine.core(),
+            ReplicaAddr::serving(id),
+            at_ms,
+            &mut self.finished_seen[id],
+            &mut events,
+        );
+        Ok(DeploymentStep {
+            events,
+            latency_ms: Some(latency_ms),
+            replica: Some(ReplicaAddr::serving(id)),
+        })
+    }
+
+    fn set_accepting(&mut self, replica: ReplicaAddr, accepting: bool, now_ms: f64) {
+        assert_eq!(
+            replica.pool,
+            Pool::Decode,
+            "clusters have one (decode) pool"
+        );
+        let r = &mut self.replicas[replica.index];
+        r.accepting = accepting;
+        r.clock_ms = r.clock_ms.max(now_ms);
+    }
+
+    fn iterations(&self) -> u64 {
+        self.replicas
+            .iter()
+            .map(|r| r.engine.core().iterations)
+            .sum()
+    }
+
+    fn clock_ms(&self) -> f64 {
+        self.replicas.iter().map(|r| r.clock_ms).fold(0.0, f64::max)
+    }
+
+    fn drain(&mut self) -> Result<Vec<UnitStats>, RunError> {
+        Ok(self
+            .replicas
+            .iter_mut()
+            .map(|r| UnitStats {
+                replica: ReplicaAddr::serving(r.id),
+                routed: r.routed,
+                result: finalize_run(r.engine.as_mut(), r.clock_ms),
+                prefilled_requests: 0,
+                prefill_tokens: 0,
+            })
+            .collect())
     }
 }
 
@@ -281,7 +334,7 @@ impl Cluster {
 mod tests {
     use super::*;
     use crate::router::{LeastOutstanding, RoundRobin, RouterKind};
-    use serving::{EngineCore, StepResult, SystemConfig};
+    use serving::{Colocated, EngineCore, RunErrorKind, RunReport, StepResult, SystemConfig};
     use workload::{Category, RequestSpec};
 
     /// Minimal engine: admits FIFO, prefills whole prompts, decodes one
@@ -384,38 +437,64 @@ mod tests {
         Cluster::new((0..n).map(|_| NaiveEngine::boxed(3)).collect(), router)
     }
 
+    /// Front-door drive of a cluster with a scaling timeline.
+    fn serve_cluster(
+        cluster: Cluster,
+        events: Vec<ScalingEvent>,
+        workload: &Workload,
+        options: RunOptions,
+    ) -> Result<RunReport, RunError> {
+        let mut session = ServeSession::with_options(cluster, options);
+        for e in events {
+            session.scale_at(e.at_ms, ReplicaAddr::serving(e.replica), e.action);
+        }
+        session.serve(workload)
+    }
+
     #[test]
     fn cluster_serves_every_request_exactly_once() {
         let wl = tiny_workload(12, 5.0);
-        let result = naive_cluster(3, Box::new(RoundRobin::default()))
-            .run(&wl, RunOptions::default())
-            .expect("run succeeds");
+        let result = serve_cluster(
+            naive_cluster(3, Box::new(RoundRobin::default())),
+            Vec::new(),
+            &wl,
+            RunOptions::default(),
+        )
+        .expect("run succeeds");
         assert_eq!(result.records.len(), 12, "conservation across replicas");
         let mut ids: Vec<u64> = result.records.iter().map(|r| r.id).collect();
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), 12, "no record duplicated in the merge");
-        let routed: u64 = result.per_replica.iter().map(|r| r.routed).sum();
+        let routed: u64 = result.units.iter().map(|u| u.routed).sum();
         assert_eq!(routed, 12);
     }
 
     #[test]
     fn round_robin_spreads_requests_evenly() {
         let wl = tiny_workload(9, 100.0);
-        let result = naive_cluster(3, Box::new(RoundRobin::default()))
-            .run(&wl, RunOptions::default())
-            .unwrap();
-        for r in &result.per_replica {
-            assert_eq!(r.routed, 3, "replica {} share", r.replica);
+        let result = serve_cluster(
+            naive_cluster(3, Box::new(RoundRobin::default())),
+            Vec::new(),
+            &wl,
+            RunOptions::default(),
+        )
+        .unwrap();
+        for u in &result.units {
+            assert_eq!(u.routed, 3, "replica {} share", u.replica.index);
         }
     }
 
     #[test]
     fn merged_records_are_sorted_by_completion() {
         let wl = tiny_workload(10, 7.0);
-        let result = naive_cluster(2, Box::new(LeastOutstanding))
-            .run(&wl, RunOptions::default())
-            .unwrap();
+        let result = serve_cluster(
+            naive_cluster(2, Box::new(LeastOutstanding)),
+            Vec::new(),
+            &wl,
+            RunOptions::default(),
+        )
+        .unwrap();
         for pair in result.records.windows(2) {
             assert!(pair[0].completion_ms <= pair[1].completion_ms);
         }
@@ -426,35 +505,43 @@ mod tests {
     fn every_router_kind_drives_a_cluster() {
         let wl = tiny_workload(8, 10.0);
         for kind in RouterKind::ALL {
-            let result = naive_cluster(2, kind.build())
-                .run(&wl, RunOptions::default())
-                .unwrap_or_else(|e| panic!("{} failed: {e}", kind.name()));
+            let result = serve_cluster(
+                naive_cluster(2, kind.build()),
+                Vec::new(),
+                &wl,
+                RunOptions::default(),
+            )
+            .unwrap_or_else(|e| panic!("{} failed: {e}", kind.name()));
             assert_eq!(result.records.len(), 8, "{}", kind.name());
-            assert_eq!(result.router, kind.name());
+            assert_eq!(result.deployment, kind.name());
         }
     }
 
     #[test]
     fn drained_replica_receives_no_new_requests() {
         let wl = tiny_workload(8, 50.0);
-        let result = naive_cluster(2, Box::new(RoundRobin::default()))
-            .with_events(vec![ScalingEvent {
+        let result = serve_cluster(
+            naive_cluster(2, Box::new(RoundRobin::default())),
+            vec![ScalingEvent {
                 at_ms: -1.0,
                 replica: 1,
                 action: ScalingAction::Drain,
-            }])
-            .run(&wl, RunOptions::default())
-            .unwrap();
-        assert_eq!(result.per_replica[0].routed, 8);
-        assert_eq!(result.per_replica[1].routed, 0);
+            }],
+            &wl,
+            RunOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(result.units[0].routed, 8);
+        assert_eq!(result.units[1].routed, 0);
         assert_eq!(result.records.len(), 8, "drain loses nothing");
     }
 
     #[test]
     fn joined_replica_starts_taking_traffic() {
         let wl = tiny_workload(10, 50.0);
-        let result = naive_cluster(2, Box::new(RoundRobin::default()))
-            .with_events(vec![
+        let result = serve_cluster(
+            naive_cluster(2, Box::new(RoundRobin::default())),
+            vec![
                 ScalingEvent {
                     at_ms: -1.0,
                     replica: 1,
@@ -465,22 +552,25 @@ mod tests {
                     replica: 1,
                     action: ScalingAction::Join,
                 },
-            ])
-            .run(&wl, RunOptions::default())
-            .unwrap();
+            ],
+            &wl,
+            RunOptions::default(),
+        )
+        .unwrap();
         assert_eq!(result.records.len(), 10);
         assert!(
-            result.per_replica[1].routed > 0,
+            result.units[1].routed > 0,
             "replica 1 serves traffic after joining"
         );
-        assert!(result.per_replica[0].routed > result.per_replica[1].routed);
+        assert!(result.units[0].routed > result.units[1].routed);
     }
 
     #[test]
     fn fully_draining_fleet_still_serves() {
         let wl = tiny_workload(4, 20.0);
-        let result = naive_cluster(2, Box::new(RoundRobin::default()))
-            .with_events(vec![
+        let result = serve_cluster(
+            naive_cluster(2, Box::new(RoundRobin::default())),
+            vec![
                 ScalingEvent {
                     at_ms: -1.0,
                     replica: 0,
@@ -491,21 +581,31 @@ mod tests {
                     replica: 1,
                     action: ScalingAction::Drain,
                 },
-            ])
-            .run(&wl, RunOptions::default())
-            .unwrap();
+            ],
+            &wl,
+            RunOptions::default(),
+        )
+        .unwrap();
         assert_eq!(result.records.len(), 4, "degrades to routing anywhere");
     }
 
     #[test]
     fn cluster_runs_are_deterministic() {
         let wl = tiny_workload(10, 8.0);
-        let a = naive_cluster(3, RouterKind::SloAware.build())
-            .run(&wl, RunOptions::default())
-            .unwrap();
-        let b = naive_cluster(3, RouterKind::SloAware.build())
-            .run(&wl, RunOptions::default())
-            .unwrap();
+        let a = serve_cluster(
+            naive_cluster(3, RouterKind::SloAware.build()),
+            Vec::new(),
+            &wl,
+            RunOptions::default(),
+        )
+        .unwrap();
+        let b = serve_cluster(
+            naive_cluster(3, RouterKind::SloAware.build()),
+            Vec::new(),
+            &wl,
+            RunOptions::default(),
+        )
+        .unwrap();
         assert_eq!(a.records, b.records);
         assert_eq!(a.end_ms, b.end_ms);
         assert_eq!(a.iterations, b.iterations);
@@ -514,29 +614,68 @@ mod tests {
     #[test]
     fn single_replica_cluster_matches_plain_driver() {
         let wl = tiny_workload(6, 10.0);
-        let cluster = naive_cluster(1, Box::new(RoundRobin::default()))
-            .run(&wl, RunOptions::default())
+        let cluster = serve_cluster(
+            naive_cluster(1, Box::new(RoundRobin::default())),
+            Vec::new(),
+            &wl,
+            RunOptions::default(),
+        )
+        .unwrap();
+        let plain = ServeSession::new(Colocated::new(NaiveEngine::boxed(3)))
+            .serve(&wl)
             .unwrap();
-        let mut solo = NaiveEngine {
-            core: EngineCore::new(SystemConfig::llama70b(3)),
-        };
-        let plain = serving::run(&mut solo, &wl, RunOptions::default()).unwrap();
         assert_eq!(cluster.records, plain.records);
+    }
+
+    #[test]
+    fn mid_run_submission_is_served() {
+        // The online capability the batch `run(&workload)` signature could
+        // not express: a request submitted from the client hook while the
+        // run is in flight.
+        let wl = tiny_workload(4, 30.0);
+        let mut session = ServeSession::new(naive_cluster(2, Box::new(RoundRobin::default())));
+        let mut injected = false;
+        session.enqueue(&wl);
+        let report = session
+            .serve_online(|event, handle| {
+                if !injected {
+                    if let serving::DeploymentEvent::Finished { record } = event {
+                        injected = true;
+                        handle.submit(RequestSpec {
+                            id: 1000 + record.id,
+                            category: Category::Chatbot,
+                            arrival_ms: handle.now_ms() + 5.0,
+                            prompt_len: 12,
+                            output_len: 6,
+                            tpot_slo_ms: 50.0,
+                            ttft_slo_ms: 1_000.0,
+                            stream_seed: 0xAB,
+                        });
+                    }
+                }
+            })
+            .unwrap();
+        assert!(injected, "a request finished mid-run");
+        assert_eq!(report.records.len(), 5, "follow-up served too");
+        assert!(report.records.iter().any(|r| r.id >= 1000));
     }
 
     #[test]
     fn iteration_cap_is_enforced() {
         let wl = tiny_workload(6, 1.0);
-        let err = naive_cluster(2, Box::new(RoundRobin::default()))
-            .run(
-                &wl,
-                RunOptions {
-                    max_sim_ms: f64::MAX,
-                    max_iterations: 1,
-                },
-            )
-            .unwrap_err();
-        assert_eq!(err, RunError::IterationCap);
+        let err = serve_cluster(
+            naive_cluster(2, Box::new(RoundRobin::default())),
+            Vec::new(),
+            &wl,
+            RunOptions {
+                max_sim_ms: f64::MAX,
+                max_iterations: 1,
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), RunErrorKind::IterationCap);
+        assert_eq!(err.site().pool, Some(Pool::Decode));
+        assert!(err.site().replica.is_some(), "cap names the replica");
     }
 
     #[test]
@@ -545,9 +684,13 @@ mod tests {
             requests: Vec::new(),
             description: "empty".into(),
         };
-        let result = naive_cluster(2, Box::new(RoundRobin::default()))
-            .run(&wl, RunOptions::default())
-            .unwrap();
+        let result = serve_cluster(
+            naive_cluster(2, Box::new(RoundRobin::default())),
+            Vec::new(),
+            &wl,
+            RunOptions::default(),
+        )
+        .unwrap();
         assert!(result.records.is_empty());
         assert_eq!(result.end_ms, 0.0);
     }

@@ -13,10 +13,17 @@
 //!   modelled load) and [`SloAware`], the cluster analogue of the paper's
 //!   §4.3 two-phase budget split (tight-TPOT requests to the least-loaded
 //!   replica, throughput-tier requests packed);
-//! * [`driver`] — the [`Cluster`] discrete-event driver: one global clock
-//!   interleaving per-replica iterations, arrival routing and elastic
-//!   drain/join [`ScalingEvent`]s, merging all completion records into one
-//!   fleet-wide stream for [`metrics`].
+//! * [`driver`] — the [`Cluster`]: a fleet of replicas behind one router,
+//!   implementing [`serving::Deployment`] so a [`serving::ServeSession`]
+//!   drives it (arrival routing, per-replica iterations interleaved under
+//!   the session's global clock, drain/join scaling via the session's
+//!   timeline or legacy [`ScalingEvent`]s), merging all completion
+//!   records into one fleet-wide stream for [`metrics`].
+//!
+//! Run a cluster through the front door:
+//! `ServeSession::new(cluster).serve(&workload)` — or
+//! `serve_online(...)` for mid-run submission/scaling. The legacy batch
+//! `Cluster::run` remains as a deprecated, output-equivalent shim.
 //!
 //! Replicas may be heterogeneous: each engine carries its own
 //! [`serving::SystemConfig`], so one fleet can mix A100 and H100 profiles

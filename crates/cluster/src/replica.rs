@@ -1,6 +1,6 @@
 //! One cluster member: a serving engine plus its routing-visible state.
 
-use serving::{RunError, ServingEngine, StallGuard};
+use serving::{Pool, RunError, ServingEngine, StallGuard};
 
 /// Fraction of a baseline decode step attributed to one *prefill* token in
 /// the load model (prefill processes hundreds of tokens per forward pass,
@@ -89,7 +89,9 @@ impl Replica {
     pub fn step_once(&mut self) -> Result<f64, RunError> {
         let step = self.engine.step(self.clock_ms);
         self.engine.core_mut().iterations += 1;
-        self.guard.observe(step.latency_ms)?;
+        self.guard
+            .observe(step.latency_ms)
+            .map_err(|e| e.at(Pool::Decode, self.id))?;
         self.clock_ms += step.latency_ms.max(1e-6);
         Ok(step.latency_ms)
     }

@@ -10,9 +10,9 @@
 
 use adaserve_core::AdaServeEngine;
 use baselines::{SarathiEngine, VllmEngine};
-use cluster::{Cluster, ClusterRunResult, RouterKind, ScalingAction, ScalingEvent};
+use cluster::{Cluster, RouterKind, ScalingAction, ScalingEvent};
 use proptest::prelude::*;
-use serving::{RunOptions, ServingEngine, SystemConfig};
+use serving::{ReplicaAddr, RunOptions, RunReport, ServeSession, ServingEngine, SystemConfig};
 use workload::{Category, RequestSpec, Workload};
 
 /// A deterministic mixed fleet: engine type and GPU profile vary by index.
@@ -68,10 +68,16 @@ fn run_cluster(
     n_replicas: usize,
     router: RouterKind,
     events: Vec<ScalingEvent>,
-) -> ClusterRunResult {
-    Cluster::new(fleet(n_replicas, seed), router.build())
-        .with_events(events)
-        .run(&workload(seed, n_requests), RunOptions::default())
+) -> RunReport {
+    let mut session = ServeSession::with_options(
+        Cluster::new(fleet(n_replicas, seed), router.build()),
+        RunOptions::default(),
+    );
+    for e in events {
+        session.scale_at(e.at_ms, ReplicaAddr::serving(e.replica), e.action);
+    }
+    session
+        .serve(&workload(seed, n_requests))
         .expect("cluster run completes")
 }
 
@@ -96,16 +102,16 @@ proptest! {
         prop_assert_eq!(ids, expected, "each id exactly once");
 
         // Per-replica streams partition the merged stream.
-        let routed: u64 = result.per_replica.iter().map(|r| r.routed).sum();
+        let routed: u64 = result.units.iter().map(|u| u.routed).sum();
         prop_assert_eq!(routed, n_requests);
         let per_replica_total: usize = result
-            .per_replica
+            .units
             .iter()
-            .map(|r| r.result.records.len())
+            .map(|u| u.result.records.len())
             .sum();
         prop_assert_eq!(per_replica_total, result.records.len());
-        for r in &result.per_replica {
-            prop_assert_eq!(r.result.records.len() as u64, r.routed,
+        for u in &result.units {
+            prop_assert_eq!(u.result.records.len() as u64, u.routed,
                 "a replica finishes exactly what was routed to it");
         }
     }
@@ -141,8 +147,8 @@ proptest! {
         prop_assert_eq!(a.records, b.records, "merged records reproduce");
         prop_assert_eq!(a.end_ms, b.end_ms);
         prop_assert_eq!(a.iterations, b.iterations);
-        let shares_a: Vec<u64> = a.per_replica.iter().map(|r| r.routed).collect();
-        let shares_b: Vec<u64> = b.per_replica.iter().map(|r| r.routed).collect();
+        let shares_a: Vec<u64> = a.units.iter().map(|u| u.routed).collect();
+        let shares_b: Vec<u64> = b.units.iter().map(|u| u.routed).collect();
         prop_assert_eq!(shares_a, shares_b, "routing decisions reproduce");
     }
 }

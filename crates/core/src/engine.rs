@@ -331,8 +331,16 @@ impl ServingEngine for AdaServeEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use serving::{run, RunOptions};
+    use serving::{Colocated, RunOptions, RunReport, ServeSession, ServingEngine};
     use workload::{Category, RequestSpec, Workload, WorkloadBuilder};
+
+    /// Front-door drive of one engine (replaces the deprecated
+    /// `serving::run`).
+    fn run(engine: &mut dyn ServingEngine, wl: &Workload, options: RunOptions) -> RunReport {
+        ServeSession::with_options(Colocated::borrowed(engine), options)
+            .serve(wl)
+            .expect("run completes")
+    }
 
     fn tiny_workload(n: u64, category: Category, slo: f64) -> Workload {
         let requests = (0..n)
@@ -357,7 +365,7 @@ mod tests {
     fn serves_all_requests() {
         let mut engine = AdaServeEngine::new(SystemConfig::llama70b(1));
         let wl = tiny_workload(6, Category::Chatbot, 50.0);
-        let result = run(&mut engine, &wl, RunOptions::default()).unwrap();
+        let result = run(&mut engine, &wl, RunOptions::default());
         assert_eq!(result.records.len(), 6);
         for r in &result.records {
             assert_eq!(r.output_tokens, 12);
@@ -368,11 +376,11 @@ mod tests {
     fn speculation_advances_multiple_tokens_per_iteration() {
         let mut engine = AdaServeEngine::new(SystemConfig::llama70b(1));
         let wl = tiny_workload(4, Category::CodingCopilot, 30.0);
-        let result = run(&mut engine, &wl, RunOptions::default()).unwrap();
+        let result = run(&mut engine, &wl, RunOptions::default());
         assert!(
-            result.mean_accepted_per_verify > 0.8,
+            result.mean_accepted_per_verify() > 0.8,
             "mean accepted = {}",
-            result.mean_accepted_per_verify
+            result.mean_accepted_per_verify()
         );
     }
 
@@ -386,14 +394,12 @@ mod tests {
             &mut AdaServeEngine::new(SystemConfig::llama70b(1)),
             &wl,
             RunOptions::default(),
-        )
-        .unwrap();
+        );
         let b = run(
             &mut AdaServeEngine::new(SystemConfig::llama70b(1)),
             &wl,
             RunOptions::default(),
-        )
-        .unwrap();
+        );
         assert_eq!(a.records, b.records);
     }
 
@@ -406,7 +412,7 @@ mod tests {
             .duration_ms(20_000.0)
             .build();
         let mut engine = AdaServeEngine::new(config);
-        let result = run(&mut engine, &wl, RunOptions::default()).unwrap();
+        let result = run(&mut engine, &wl, RunOptions::default());
         let report = result.report();
         assert_eq!(report.requests, wl.requests.len());
         assert!(
@@ -420,8 +426,8 @@ mod tests {
     fn scheduling_overhead_is_small() {
         let mut engine = AdaServeEngine::new(SystemConfig::llama70b(1));
         let wl = tiny_workload(8, Category::Chatbot, 50.0);
-        let result = run(&mut engine, &wl, RunOptions::default()).unwrap();
-        let b = result.breakdown;
+        let result = run(&mut engine, &wl, RunOptions::default());
+        let b = result.units[0].result.breakdown;
         let (sched_pct, _, _, _) = b.shares_pct();
         assert!(sched_pct < 5.0, "scheduling share = {sched_pct}%");
     }
@@ -434,7 +440,7 @@ mod tests {
         };
         let mut engine = AdaServeEngine::with_options(SystemConfig::llama70b(1), options);
         let wl = tiny_workload(4, Category::Chatbot, 50.0);
-        let result = run(&mut engine, &wl, RunOptions::default()).unwrap();
+        let result = run(&mut engine, &wl, RunOptions::default());
         assert_eq!(result.records.len(), 4);
     }
 
@@ -447,7 +453,7 @@ mod tests {
         };
         let mut engine = AdaServeEngine::with_options(SystemConfig::llama70b(1), options);
         let wl = tiny_workload(4, Category::Chatbot, 50.0);
-        let result = run(&mut engine, &wl, RunOptions::default()).unwrap();
+        let result = run(&mut engine, &wl, RunOptions::default());
         assert_eq!(result.records.len(), 4);
     }
 }

@@ -24,7 +24,7 @@
 //!
 //! ```
 //! use adaserve_core::AdaServeEngine;
-//! use serving::{run, RunOptions, SystemConfig};
+//! use serving::{Colocated, ServeSession, SystemConfig};
 //! use workload::WorkloadBuilder;
 //!
 //! let config = SystemConfig::llama70b(42);
@@ -32,8 +32,10 @@
 //!     .target_rps(2.0)
 //!     .duration_ms(5_000.0)
 //!     .build();
-//! let mut engine = AdaServeEngine::new(config);
-//! let result = run(&mut engine, &workload, RunOptions::default()).unwrap();
+//! let engine = Box::new(AdaServeEngine::new(config));
+//! let result = ServeSession::new(Colocated::new(engine))
+//!     .serve(&workload)
+//!     .unwrap();
 //! let report = result.report();
 //! assert_eq!(report.requests, workload.requests.len());
 //! ```

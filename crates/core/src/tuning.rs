@@ -7,7 +7,7 @@
 //! offline tuning step as a first-class library feature.
 
 use crate::engine::{AdaServeEngine, AdaServeOptions};
-use serving::{run, RunOptions, SystemConfig};
+use serving::{Colocated, ServeSession, SystemConfig};
 use workload::Workload;
 
 /// One evaluated grid cell.
@@ -60,7 +60,8 @@ pub fn grid_search_constants(
                 AdaServeEngine::with_options(make_config(), AdaServeOptions::default());
             engine.scheduler_mut().controller.c1 = c1;
             engine.scheduler_mut().controller.c2 = c2;
-            let result = run(&mut engine, workload, RunOptions::default())
+            let result = ServeSession::new(Colocated::new(Box::new(engine)))
+                .serve(workload)
                 .expect("calibration run completes");
             let report = result.report();
             cells.push(TuningCell {

@@ -14,19 +14,15 @@ use crate::migrate::{KvLink, TransferQueue, TransferStats};
 use crate::prefill::{PrefillPool, PrefillReplica};
 pub use cluster::ScalingAction;
 use cluster::{Replica, ReplicaResult};
-use metrics::{merge_by_completion, ClusterReport, RequestRecord, SloReport};
-use serving::{finalize_run, LiveRequest, RunError, RunOptions, ServingEngine};
+use metrics::{ClusterReport, RequestRecord, SloReport};
+use serving::{
+    finalize_run, Deployment, DeploymentStep, LifecycleTracker, LiveRequest, ReplicaAddr, RunError,
+    RunOptions, RunResult, ServeSession, ServingEngine, UnitStats,
+};
 use std::collections::VecDeque;
-use workload::Workload;
+use workload::{RequestSpec, Workload};
 
-/// Which pool a scaling event targets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Pool {
-    /// The prefill-only pool.
-    Prefill,
-    /// The decode pool.
-    Decode,
-}
+pub use serving::Pool;
 
 /// A scheduled drain/join of one replica in one pool.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -96,6 +92,11 @@ impl DisaggRunResult {
 
 /// A disaggregated cluster: a prefill pool and a decode pool under one
 /// dispatcher and one KV-migration fabric.
+///
+/// A `DisaggCluster` implements [`Deployment`], so the standard way to
+/// run it is through a [`ServeSession`] (open-loop or online); the legacy
+/// [`DisaggCluster::run`] remains as a deprecated, output-equivalent
+/// shim.
 #[derive(Debug)]
 pub struct DisaggCluster {
     prefill: PrefillPool,
@@ -106,6 +107,12 @@ pub struct DisaggCluster {
     /// per decode replica until blocks free up.
     landing: Vec<VecDeque<LiveRequest>>,
     events: Vec<DisaggScalingEvent>,
+    tracker: LifecycleTracker,
+    /// Per-decode-core high-water marks of announced finished records.
+    finished_seen: Vec<usize>,
+    /// Per-prefill-core high-water marks (always 0: prefill replicas
+    /// produce no completion records; kept so lifecycle scans are uniform).
+    prefill_finished_seen: Vec<usize>,
 }
 
 impl DisaggCluster {
@@ -133,6 +140,7 @@ impl DisaggCluster {
             .model()
             .kv_bytes_per_token();
         let n_decode = decode_engines.len();
+        let n_prefill = prefill.replicas.len();
         let decode: Vec<Replica> = decode_engines
             .into_iter()
             .enumerate()
@@ -145,6 +153,9 @@ impl DisaggCluster {
             transfers: TransferQueue::new(link, kv_bytes, n_decode),
             landing: (0..n_decode).map(|_| VecDeque::new()).collect(),
             events: Vec::new(),
+            tracker: LifecycleTracker::default(),
+            finished_seen: vec![0; n_decode],
+            prefill_finished_seen: vec![0; n_prefill],
         }
     }
 
@@ -215,211 +226,332 @@ impl DisaggCluster {
         }
     }
 
+    /// KV-migration telemetry accumulated so far (for inspection after a
+    /// session run recovers the cluster via `ServeSession::into_inner`).
+    pub fn transfer_stats(&self) -> TransferStats {
+        self.transfers.stats
+    }
+
     /// Serves `workload` to completion across both pools.
     ///
-    /// Event ordering at equal timestamps: scaling events first (arrivals
-    /// at the same instant see the new topology), then KV-transfer
-    /// arrivals (migrated requests join decode batches before the batch
-    /// steps), then request arrivals, then the earliest-clock replica
-    /// iterates (prefill before decode on exact clock ties).
+    /// Deprecated: this is now a thin shim over the unified front door —
+    /// a [`ServeSession`] driving this cluster as a [`Deployment`] —
+    /// which additionally supports mid-run submission and scaling. Output
+    /// is equivalent (see `tests/output_equivalence.rs`). Scheduled
+    /// [`DisaggCluster::with_events`] scaling is forwarded to the
+    /// session's scaling timeline.
+    #[deprecated(note = "drive a `serving::ServeSession` over this `DisaggCluster` instead")]
     pub fn run(
         mut self,
         workload: &Workload,
         options: RunOptions,
     ) -> Result<DisaggRunResult, RunError> {
-        let requests = &workload.requests;
-        let mut next_arrival = 0usize;
-        let mut next_event = 0usize;
-        let mut iterations = 0u64;
+        let events = std::mem::take(&mut self.events);
+        let mut session = ServeSession::with_options(self, options).admission_control(false);
+        for e in events {
+            session.scale_at(
+                e.at_ms,
+                ReplicaAddr {
+                    pool: e.pool,
+                    index: e.replica,
+                },
+                e.action,
+            );
+        }
+        let report = session.serve(workload)?;
+        let cluster = session.into_inner();
+        let per_prefill: Vec<PrefillStats> = report
+            .prefill_units()
+            .map(|u| PrefillStats {
+                replica: u.replica.index,
+                routed: u.routed,
+                prefilled_requests: u.prefilled_requests,
+                prefill_tokens: u.prefill_tokens,
+                iterations: u.result.iterations,
+                end_ms: u.result.end_ms,
+            })
+            .collect();
+        let per_decode: Vec<ReplicaResult> = report
+            .units
+            .into_iter()
+            .filter(|u| u.replica.pool == Pool::Decode)
+            .map(|u| ReplicaResult {
+                replica: u.replica.index,
+                routed: u.routed,
+                result: u.result,
+            })
+            .collect();
+        Ok(DisaggRunResult {
+            decode_router: report.deployment,
+            records: report.records,
+            per_prefill,
+            per_decode,
+            transfers: cluster.transfers.stats,
+            end_ms: report.end_ms,
+            iterations: report.iterations,
+        })
+    }
 
-        loop {
-            let t_arr = requests
-                .get(next_arrival)
-                .map_or(f64::INFINITY, |r| r.arrival_ms);
-            let t_evt = self
-                .events
-                .get(next_event)
-                .map_or(f64::INFINITY, |e| e.at_ms);
-            let t_xfer = self.transfers.next_arrival_ms().unwrap_or(f64::INFINITY);
-            let pre_stepper = self
-                .prefill
-                .replicas
-                .iter()
-                .filter(|r| r.has_work())
-                .min_by(|a, b| a.clock_ms.total_cmp(&b.clock_ms).then(a.id.cmp(&b.id)))
-                .map(|r| (r.clock_ms, r.id));
-            let t_pre = pre_stepper.map_or(f64::INFINITY, |(t, _)| t);
-            let dec_stepper = self
-                .decode
-                .iter()
-                .filter(|r| r.has_work())
-                .min_by(|a, b| a.clock_ms.total_cmp(&b.clock_ms).then(a.id.cmp(&b.id)))
-                .map(|r| (r.clock_ms, r.id));
-            let t_dec = dec_stepper.map_or(f64::INFINITY, |(t, _)| t);
+    /// The earliest prefill replica ready to iterate.
+    fn prefill_stepper(&self) -> Option<(f64, usize)> {
+        self.prefill
+            .replicas
+            .iter()
+            .filter(|r| r.has_work())
+            .min_by(|a, b| a.clock_ms.total_cmp(&b.clock_ms).then(a.id.cmp(&b.id)))
+            .map(|r| (r.clock_ms, r.id))
+    }
 
-            let t = t_arr.min(t_evt).min(t_xfer).min(t_pre).min(t_dec);
-            if t.is_infinite() {
-                break; // Nothing due anywhere.
-            }
+    /// The earliest decode replica ready to iterate.
+    fn decode_stepper(&self) -> Option<(f64, usize)> {
+        self.decode
+            .iter()
+            .filter(|r| r.has_work())
+            .min_by(|a, b| a.clock_ms.total_cmp(&b.clock_ms).then(a.id.cmp(&b.id)))
+            .map(|r| (r.clock_ms, r.id))
+    }
+}
 
-            if t_evt <= t {
-                let e = self.events[next_event];
-                let accepting = matches!(e.action, ScalingAction::Join);
-                match e.pool {
-                    Pool::Prefill => {
-                        let r = &mut self.prefill.replicas[e.replica];
-                        r.accepting = accepting;
-                        r.clock_ms = r.clock_ms.max(e.at_ms);
-                    }
-                    Pool::Decode => {
-                        let r = &mut self.decode[e.replica];
-                        r.accepting = accepting;
-                        r.clock_ms = r.clock_ms.max(e.at_ms);
-                    }
-                }
-                next_event += 1;
-                continue;
-            }
+impl Deployment for DisaggCluster {
+    /// The decode-side routing policy's name (the label legacy disagg
+    /// results carried).
+    fn name(&self) -> String {
+        self.dispatcher.decode_router_name()
+    }
 
-            if t_xfer <= t {
-                for transfer in self.transfers.pop_arrivals(t_xfer) {
-                    let id = transfer.to_decode;
-                    let r = &mut self.decode[id];
-                    r.clock_ms = r.clock_ms.max(transfer.arrive_ms);
-                    r.routed += 1;
-                    self.landing[id].push_back(transfer.request);
-                    self.drain_landing(id);
-                }
-                continue;
-            }
+    fn max_baseline_ms(&self) -> f64 {
+        self.decode_max_baseline_ms()
+    }
 
-            if t_arr <= t {
-                let spec = requests[next_arrival].clone();
-                let eligible = self.prefill.eligible();
-                let choice =
-                    self.dispatcher
-                        .route_prefill(&spec, t_arr, &self.prefill.replicas, &eligible);
-                let choice = if eligible.contains(&choice) {
-                    choice
-                } else {
-                    debug_assert!(false, "dispatcher returned ineligible prefill {choice}");
-                    eligible[0]
-                };
-                let r = &mut self.prefill.replicas[choice];
-                r.core.on_arrival(spec);
-                r.clock_ms = r.clock_ms.max(t_arr);
+    fn kv_capacity_tokens(&self) -> u64 {
+        self.prefill
+            .replicas
+            .iter()
+            .map(|r| r.core.kv_capacity_tokens())
+            .chain(
+                self.decode
+                    .iter()
+                    .map(|r| r.engine.core().kv_capacity_tokens()),
+            )
+            .min()
+            .expect("both pools are non-empty")
+    }
+
+    fn submit(&mut self, spec: RequestSpec, now_ms: f64) {
+        let eligible = self.prefill.eligible();
+        let choice =
+            self.dispatcher
+                .route_prefill(&spec, now_ms, &self.prefill.replicas, &eligible);
+        let choice = if eligible.contains(&choice) {
+            choice
+        } else {
+            debug_assert!(false, "dispatcher returned ineligible prefill {choice}");
+            eligible[0]
+        };
+        let r = &mut self.prefill.replicas[choice];
+        r.core.on_arrival(spec);
+        r.clock_ms = r.clock_ms.max(now_ms);
+        r.routed += 1;
+    }
+
+    fn next_event_ms(&self) -> Option<f64> {
+        let t_xfer = self.transfers.next_arrival_ms().unwrap_or(f64::INFINITY);
+        let t_pre = self.prefill_stepper().map_or(f64::INFINITY, |(t, _)| t);
+        let t_dec = self.decode_stepper().map_or(f64::INFINITY, |(t, _)| t);
+        let t = t_xfer.min(t_pre).min(t_dec);
+        (!t.is_infinite()).then_some(t)
+    }
+
+    /// Internal event ordering at equal timestamps: KV-transfer arrivals
+    /// first (migrated requests join decode batches before the batch
+    /// steps), then the earliest-clock replica iterates (prefill before
+    /// decode on exact clock ties) — the same order the legacy driver
+    /// used.
+    fn step(&mut self, options: &RunOptions) -> Result<DeploymentStep, RunError> {
+        let t_xfer = self.transfers.next_arrival_ms().unwrap_or(f64::INFINITY);
+        let pre_stepper = self.prefill_stepper();
+        let t_pre = pre_stepper.map_or(f64::INFINITY, |(t, _)| t);
+        let dec_stepper = self.decode_stepper();
+        let t_dec = dec_stepper.map_or(f64::INFINITY, |(t, _)| t);
+        let mut events = Vec::new();
+
+        if t_xfer <= t_pre.min(t_dec) {
+            // Landed transfers are bookkeeping, not an engine iteration:
+            // no latency for the progress guard.
+            for transfer in self.transfers.pop_arrivals(t_xfer) {
+                let id = transfer.to_decode;
+                let r = &mut self.decode[id];
+                r.clock_ms = r.clock_ms.max(transfer.arrive_ms);
                 r.routed += 1;
-                next_arrival += 1;
-                continue;
+                self.landing[id].push_back(transfer.request);
+                self.drain_landing(id);
             }
-
-            if t_pre <= t_dec {
-                // Prefill iteration; completed prompts start migrating.
-                let (_, id) = pre_stepper.expect("t_pre was finite");
-                let done = self.prefill.replicas[id].step()?;
-                let now = self.prefill.replicas[id].clock_ms;
-                iterations += 1;
-                if self.prefill.replicas[id].iterations > options.max_iterations {
-                    return Err(RunError::IterationCap);
-                }
-                if now > options.max_sim_ms {
-                    return Err(RunError::TimeCap);
-                }
-                let eligible = self.decode_eligible();
-                for req in done {
-                    // Route at the transfer's estimated arrival (wire time
-                    // is destination-independent; ingress queueing is not
-                    // foreseeable before a destination is chosen), so the
-                    // remaining-TPOT shading charges the migration delay.
-                    let est_arrival = now + self.transfers.wire_ms(req.context_len());
-                    let to =
-                        self.dispatcher
-                            .route_decode(&req, est_arrival, &self.decode, &eligible);
-                    // Count the migration against the destination's load
-                    // view immediately, so the next handoff in this burst
-                    // (and any until the transfer lands) sees it instead
-                    // of dogpiling one replica's ingress link.
-                    let inbound = &mut self.decode[to].inbound;
-                    inbound.requests += 1;
-                    inbound.decode_tokens += u64::from(req.remaining());
-                    inbound.tpot_slos.push(req.spec.tpot_slo_ms);
-                    self.transfers.enqueue(req, id, to, now);
-                }
-                continue;
-            }
-
-            // Decode iteration. Migrated requests sitting in the batch are
-            // stamped *before* the step, at the iteration's start clock —
-            // the colocated semantics of `decode_start_ms` ("time the first
-            // decode iteration started"), which engines whose own stamping
-            // assumes a local prefill pass cannot provide for them.
-            let (_, id) = dec_stepper.expect("t_dec was finite");
-            let r = &mut self.decode[id];
-            r.engine.core_mut().stamp_decode_starts(r.clock_ms);
-            r.step_once()?;
-            iterations += 1;
-            if r.engine.core().iterations > options.max_iterations {
-                return Err(RunError::IterationCap);
-            }
-            if r.clock_ms > options.max_sim_ms {
-                return Err(RunError::TimeCap);
-            }
-            // Finished requests freed KV: land any parked migrations.
-            self.drain_landing(id);
+            return Ok(DeploymentStep {
+                events,
+                latency_ms: None,
+                replica: None,
+            });
         }
 
-        // A migration still parked once everything else drained can never
-        // be admitted (its context exceeds the replica's whole pool):
-        // error out cleanly, as the colocated driver does for oversized
-        // requests.
-        if self.landing.iter().any(|parked| !parked.is_empty()) {
-            return Err(RunError::KvCapacity);
+        if t_pre <= t_dec {
+            // Prefill iteration; completed prompts start migrating.
+            let (_, id) = pre_stepper.expect("t_pre was finite");
+            let before = self.prefill.replicas[id].clock_ms;
+            let done = self.prefill.replicas[id].step()?;
+            let now = self.prefill.replicas[id].clock_ms;
+            if self.prefill.replicas[id].iterations > options.max_iterations {
+                return Err(RunError::iteration_cap().at(Pool::Prefill, id));
+            }
+            if now > options.max_sim_ms {
+                return Err(RunError::time_cap().at(Pool::Prefill, id));
+            }
+            let eligible = self.decode_eligible();
+            for req in done {
+                // A prompt admitted and fully prefilled within one
+                // iteration never appeared in a running-batch scan:
+                // announce its admission at handoff.
+                self.tracker
+                    .admit(req.spec.id, ReplicaAddr::prefill(id), now, &mut events);
+                // Route at the transfer's estimated arrival (wire time
+                // is destination-independent; ingress queueing is not
+                // foreseeable before a destination is chosen), so the
+                // remaining-TPOT shading charges the migration delay.
+                let est_arrival = now + self.transfers.wire_ms(req.context_len());
+                let to = self
+                    .dispatcher
+                    .route_decode(&req, est_arrival, &self.decode, &eligible);
+                // Count the migration against the destination's load
+                // view immediately, so the next handoff in this burst
+                // (and any until the transfer lands) sees it instead
+                // of dogpiling one replica's ingress link.
+                let inbound = &mut self.decode[to].inbound;
+                inbound.requests += 1;
+                inbound.decode_tokens += u64::from(req.remaining());
+                inbound.tpot_slos.push(req.spec.tpot_slo_ms);
+                self.transfers.enqueue(req, id, to, now);
+            }
+            self.tracker.scan_core(
+                &self.prefill.replicas[id].core,
+                ReplicaAddr::prefill(id),
+                now,
+                &mut self.prefill_finished_seen[id],
+                &mut events,
+            );
+            return Ok(DeploymentStep {
+                events,
+                latency_ms: Some(now - before),
+                replica: Some(ReplicaAddr::prefill(id)),
+            });
         }
 
-        let end_ms = self
-            .prefill
+        // Decode iteration. Migrated requests sitting in the batch are
+        // stamped *before* the step, at the iteration's start clock —
+        // the colocated semantics of `decode_start_ms` ("time the first
+        // decode iteration started"), which engines whose own stamping
+        // assumes a local prefill pass cannot provide for them.
+        let (_, id) = dec_stepper.expect("t_dec was finite");
+        let r = &mut self.decode[id];
+        r.engine.core_mut().stamp_decode_starts(r.clock_ms);
+        let latency_ms = r.step_once()?;
+        if r.engine.core().iterations > options.max_iterations {
+            return Err(RunError::iteration_cap().at(Pool::Decode, id));
+        }
+        if r.clock_ms > options.max_sim_ms {
+            return Err(RunError::time_cap().at(Pool::Decode, id));
+        }
+        // Finished requests freed KV: land any parked migrations.
+        self.drain_landing(id);
+        let at_ms = self.decode[id].clock_ms;
+        self.tracker.scan_core(
+            self.decode[id].engine.core(),
+            ReplicaAddr::serving(id),
+            at_ms,
+            &mut self.finished_seen[id],
+            &mut events,
+        );
+        Ok(DeploymentStep {
+            events,
+            latency_ms: Some(latency_ms),
+            replica: Some(ReplicaAddr::serving(id)),
+        })
+    }
+
+    fn set_accepting(&mut self, replica: ReplicaAddr, accepting: bool, now_ms: f64) {
+        match replica.pool {
+            Pool::Prefill => {
+                let r = &mut self.prefill.replicas[replica.index];
+                r.accepting = accepting;
+                r.clock_ms = r.clock_ms.max(now_ms);
+            }
+            Pool::Decode => {
+                let r = &mut self.decode[replica.index];
+                r.accepting = accepting;
+                r.clock_ms = r.clock_ms.max(now_ms);
+            }
+        }
+    }
+
+    fn iterations(&self) -> u64 {
+        self.prefill
+            .replicas
+            .iter()
+            .map(|r| r.iterations)
+            .chain(self.decode.iter().map(|r| r.engine.core().iterations))
+            .sum()
+    }
+
+    fn clock_ms(&self) -> f64 {
+        self.prefill
             .replicas
             .iter()
             .map(|r| r.clock_ms)
             .chain(self.decode.iter().map(|r| r.clock_ms))
-            .fold(0.0, f64::max);
-        let per_prefill: Vec<PrefillStats> = self
+            .fold(0.0, f64::max)
+    }
+
+    fn drain(&mut self) -> Result<Vec<UnitStats>, RunError> {
+        // A migration still parked once everything else drained can never
+        // be admitted (its context exceeds the replica's whole pool):
+        // error out cleanly, as the colocated driver does for oversized
+        // requests.
+        if let Some((id, parked)) = self
+            .landing
+            .iter()
+            .enumerate()
+            .find(|(_, parked)| !parked.is_empty())
+        {
+            let request = parked.front().expect("non-empty").spec.id;
+            return Err(RunError::kv_capacity()
+                .at(Pool::Decode, id)
+                .for_request(request));
+        }
+        let mut units: Vec<UnitStats> = self
             .prefill
             .replicas
             .iter()
-            .map(|r| PrefillStats {
-                replica: r.id,
+            .map(|r| UnitStats {
+                replica: ReplicaAddr::prefill(r.id),
                 routed: r.routed,
+                result: RunResult {
+                    engine: "prefill".into(),
+                    records: Vec::new(),
+                    breakdown: r.core.breakdown,
+                    end_ms: r.clock_ms,
+                    iterations: r.iterations,
+                    mean_accepted_per_verify: 0.0,
+                },
                 prefilled_requests: r.prefilled_requests,
                 prefill_tokens: r.prefill_tokens,
-                iterations: r.iterations,
-                end_ms: r.clock_ms,
             })
             .collect();
-        let per_decode: Vec<ReplicaResult> = self
-            .decode
-            .iter_mut()
-            .map(|r| ReplicaResult {
-                replica: r.id,
-                routed: r.routed,
-                result: finalize_run(r.engine.as_mut(), r.clock_ms),
-            })
-            .collect();
-        let records = merge_by_completion(
-            per_decode
-                .iter()
-                .map(|r| r.result.records.clone())
-                .collect(),
-        );
-        Ok(DisaggRunResult {
-            decode_router: self.dispatcher.decode_router_name(),
-            records,
-            per_prefill,
-            per_decode,
-            transfers: self.transfers.stats,
-            end_ms,
-            iterations,
-        })
+        units.extend(self.decode.iter_mut().map(|r| UnitStats {
+            replica: ReplicaAddr::serving(r.id),
+            routed: r.routed,
+            result: finalize_run(r.engine.as_mut(), r.clock_ms),
+            prefilled_requests: 0,
+            prefill_tokens: 0,
+        }));
+        Ok(units)
     }
 }
 
@@ -428,7 +560,7 @@ mod tests {
     use super::*;
     use crate::dispatch::Dispatcher;
     use cluster::RouterKind;
-    use serving::SystemConfig;
+    use serving::{RunErrorKind, RunReport, SystemConfig};
     use workload::{Category, RequestSpec};
 
     fn tiny_workload(n: u64, gap_ms: f64) -> Workload {
@@ -470,16 +602,54 @@ mod tests {
         )
     }
 
+    /// Front-door drive with a scaling timeline; returns the report and
+    /// the recovered cluster (for transfer telemetry).
+    fn serve_disagg(
+        cluster: DisaggCluster,
+        events: Vec<DisaggScalingEvent>,
+        workload: &Workload,
+        options: RunOptions,
+    ) -> Result<(RunReport, DisaggCluster), RunError> {
+        let mut session = ServeSession::with_options(cluster, options);
+        for e in events {
+            session.scale_at(
+                e.at_ms,
+                ReplicaAddr {
+                    pool: e.pool,
+                    index: e.replica,
+                },
+                e.action,
+            );
+        }
+        let report = session.serve(workload)?;
+        Ok((report, session.into_inner()))
+    }
+
+    fn decode_records(report: &RunReport, index: usize) -> usize {
+        report
+            .serving_units()
+            .nth(index)
+            .expect("decode unit exists")
+            .result
+            .records
+            .len()
+    }
+
     #[test]
     fn serves_every_request_exactly_once() {
         let wl = tiny_workload(12, 8.0);
-        let result = cluster(1, 2).run(&wl, RunOptions::default()).expect("run");
+        let (result, recovered) =
+            serve_disagg(cluster(1, 2), Vec::new(), &wl, RunOptions::default()).expect("run");
         assert_eq!(result.records.len(), 12);
         let mut ids: Vec<u64> = result.records.iter().map(|r| r.id).collect();
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), 12, "no duplicates across migration");
-        assert_eq!(result.transfers.transfers, 12, "every request migrated");
+        assert_eq!(
+            recovered.transfer_stats().transfers,
+            12,
+            "every request migrated"
+        );
         for r in &result.records {
             assert_eq!(r.output_tokens, 6, "no tokens lost in migration");
         }
@@ -488,7 +658,8 @@ mod tests {
     #[test]
     fn ttft_includes_prefill_and_transfer() {
         let wl = tiny_workload(4, 50.0);
-        let result = cluster(1, 1).run(&wl, RunOptions::default()).unwrap();
+        let (result, _) =
+            serve_disagg(cluster(1, 1), Vec::new(), &wl, RunOptions::default()).unwrap();
         for r in &result.records {
             assert!(
                 r.decode_start_ms > r.arrival_ms,
@@ -501,45 +672,52 @@ mod tests {
     #[test]
     fn runs_are_deterministic() {
         let wl = tiny_workload(10, 6.0);
-        let a = cluster(2, 2).run(&wl, RunOptions::default()).unwrap();
-        let b = cluster(2, 2).run(&wl, RunOptions::default()).unwrap();
+        let (a, ca) = serve_disagg(cluster(2, 2), Vec::new(), &wl, RunOptions::default()).unwrap();
+        let (b, cb) = serve_disagg(cluster(2, 2), Vec::new(), &wl, RunOptions::default()).unwrap();
         assert_eq!(a.records, b.records);
         assert_eq!(a.end_ms, b.end_ms);
         assert_eq!(a.iterations, b.iterations);
-        assert_eq!(a.transfers, b.transfers);
+        assert_eq!(ca.transfer_stats(), cb.transfer_stats());
     }
 
     #[test]
     fn drained_prefill_replica_takes_no_arrivals() {
         let wl = tiny_workload(6, 30.0);
-        let result = cluster(2, 1)
-            .with_events(vec![DisaggScalingEvent {
+        let (result, _) = serve_disagg(
+            cluster(2, 1),
+            vec![DisaggScalingEvent {
                 at_ms: -1.0,
                 pool: Pool::Prefill,
                 replica: 1,
                 action: ScalingAction::Drain,
-            }])
-            .run(&wl, RunOptions::default())
-            .unwrap();
-        assert_eq!(result.per_prefill[0].routed, 6);
-        assert_eq!(result.per_prefill[1].routed, 0);
+            }],
+            &wl,
+            RunOptions::default(),
+        )
+        .unwrap();
+        let prefill: Vec<&UnitStats> = result.prefill_units().collect();
+        assert_eq!(prefill[0].routed, 6);
+        assert_eq!(prefill[1].routed, 0);
         assert_eq!(result.records.len(), 6, "drain loses nothing");
     }
 
     #[test]
     fn drained_decode_replica_receives_no_migrations() {
         let wl = tiny_workload(6, 30.0);
-        let result = cluster(1, 2)
-            .with_events(vec![DisaggScalingEvent {
+        let (result, _) = serve_disagg(
+            cluster(1, 2),
+            vec![DisaggScalingEvent {
                 at_ms: -1.0,
                 pool: Pool::Decode,
                 replica: 0,
                 action: ScalingAction::Drain,
-            }])
-            .run(&wl, RunOptions::default())
-            .unwrap();
-        assert_eq!(result.per_decode[0].result.records.len(), 0);
-        assert_eq!(result.per_decode[1].result.records.len(), 6);
+            }],
+            &wl,
+            RunOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(decode_records(&result, 0), 0);
+        assert_eq!(decode_records(&result, 1), 6);
     }
 
     #[test]
@@ -548,10 +726,11 @@ mod tests {
             requests: Vec::new(),
             description: "empty".into(),
         };
-        let result = cluster(1, 1).run(&wl, RunOptions::default()).unwrap();
+        let (result, recovered) =
+            serve_disagg(cluster(1, 1), Vec::new(), &wl, RunOptions::default()).unwrap();
         assert!(result.records.is_empty());
         assert_eq!(result.end_ms, 0.0);
-        assert_eq!(result.transfers.transfers, 0);
+        assert_eq!(recovered.transfer_stats().transfers, 0);
     }
 
     #[test]
@@ -577,18 +756,14 @@ mod tests {
             requests,
             description: "burst".into(),
         };
-        let result = cluster(1, 2).run(&wl, RunOptions::default()).unwrap();
+        let (result, _) =
+            serve_disagg(cluster(1, 2), Vec::new(), &wl, RunOptions::default()).unwrap();
         assert_eq!(result.records.len(), 6);
-        for d in &result.per_decode {
+        let shares: Vec<u64> = result.serving_units().map(|u| u.routed).collect();
+        for (i, &share) in shares.iter().enumerate() {
             assert!(
-                d.routed > 0,
-                "decode-{} received no share of the burst: {:?}",
-                d.replica,
-                result
-                    .per_decode
-                    .iter()
-                    .map(|r| r.routed)
-                    .collect::<Vec<_>>()
+                share > 0,
+                "decode-{i} received no share of the burst: {shares:?}"
             );
         }
     }
@@ -598,7 +773,8 @@ mod tests {
         // A prompt that fits the prefill pool but exceeds a decode
         // replica's entire KV pool can never land: the run must return an
         // error, not hang or panic (mirrors the colocated driver's
-        // oversized-request behavior).
+        // oversized-request behavior). The error names the decode replica
+        // and the parked request.
         let wl = Workload {
             requests: vec![RequestSpec {
                 id: 0,
@@ -614,17 +790,55 @@ mod tests {
         };
         let prefill = PrefillPool::new(vec![SystemConfig::llama70b(3)]);
         let mut engine = adaserve_core::AdaServeEngine::new(SystemConfig::llama70b(3));
-        // 4 blocks × 16 tokens = 64-token decode pool vs a 500-token context.
+        // 4 blocks x 16 tokens = 64-token decode pool vs a 500-token context.
         engine.core_mut().blocks = serving::BlockManager::new(4, 16);
-        let err = DisaggCluster::new(
+        let disagg = DisaggCluster::new(
             prefill,
             vec![Box::new(engine)],
             Dispatcher::new(RouterKind::SloAware.build()),
             KvLink::new(300.0, 0.05),
-        )
-        .run(&wl, RunOptions::default())
-        .unwrap_err();
-        assert_eq!(err, RunError::KvCapacity);
+        );
+        let err = ServeSession::with_options(disagg, RunOptions::default())
+            .admission_control(false)
+            .serve(&wl)
+            .unwrap_err();
+        assert_eq!(err.kind(), RunErrorKind::KvCapacity);
+        assert_eq!(err.site().pool, Some(Pool::Decode));
+        assert_eq!(err.site().replica, Some(0));
+        assert_eq!(err.site().request, Some(0));
+    }
+
+    #[test]
+    fn oversized_prompt_is_rejected_by_admission_control() {
+        // Same setup, but with the session's front-door admission control
+        // on (the default): the request is rejected up front instead of
+        // erroring out the whole run.
+        let wl = Workload {
+            requests: vec![RequestSpec {
+                id: 7,
+                category: Category::Summarization,
+                arrival_ms: 0.0,
+                prompt_len: 500,
+                output_len: 4,
+                tpot_slo_ms: 150.0,
+                ttft_slo_ms: 8_000.0,
+                stream_seed: 1,
+            }],
+            description: "oversized".into(),
+        };
+        let prefill = PrefillPool::new(vec![SystemConfig::llama70b(3)]);
+        let mut engine = adaserve_core::AdaServeEngine::new(SystemConfig::llama70b(3));
+        engine.core_mut().blocks = serving::BlockManager::new(4, 16);
+        let disagg = DisaggCluster::new(
+            prefill,
+            vec![Box::new(engine)],
+            Dispatcher::new(RouterKind::SloAware.build()),
+            KvLink::new(300.0, 0.05),
+        );
+        let report = ServeSession::new(disagg).serve(&wl).expect("run completes");
+        assert!(report.records.is_empty());
+        assert_eq!(report.rejected.len(), 1);
+        assert_eq!(report.rejected[0].0, 7);
     }
 
     #[test]
@@ -633,7 +847,8 @@ mod tests {
         // iteration (colocated semantics), so completion never coincides
         // with it and single-iteration requests cannot report zero TPOT.
         let wl = tiny_workload(5, 20.0);
-        let result = cluster(1, 1).run(&wl, RunOptions::default()).unwrap();
+        let (result, _) =
+            serve_disagg(cluster(1, 1), Vec::new(), &wl, RunOptions::default()).unwrap();
         for r in &result.records {
             assert!(
                 r.completion_ms > r.decode_start_ms,
@@ -649,15 +864,17 @@ mod tests {
     #[test]
     fn iteration_cap_is_enforced() {
         let wl = tiny_workload(6, 1.0);
-        let err = cluster(1, 1)
-            .run(
-                &wl,
-                RunOptions {
-                    max_sim_ms: f64::MAX,
-                    max_iterations: 1,
-                },
-            )
-            .unwrap_err();
-        assert_eq!(err, RunError::IterationCap);
+        let err = serve_disagg(
+            cluster(1, 1),
+            Vec::new(),
+            &wl,
+            RunOptions {
+                max_sim_ms: f64::MAX,
+                max_iterations: 1,
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), RunErrorKind::IterationCap);
+        assert!(err.site().pool.is_some(), "cap names its pool");
     }
 }

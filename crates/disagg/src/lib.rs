@@ -19,9 +19,13 @@
 //!   admission on the prefill side, then handoff to the decode-side
 //!   router (any [`cluster::Router`]) carrying the request's *remaining*
 //!   TPOT budget;
-//! * [`driver`] — the [`DisaggCluster`] discrete-event driver: both pools
-//!   under one global clock, drain/join scaling events on either pool,
-//!   completion records merged into one stream via [`metrics`].
+//! * [`driver`] — the [`DisaggCluster`]: both pools under one global
+//!   clock, implementing [`serving::Deployment`] so the same
+//!   [`serving::ServeSession`] front door that drives colocated and
+//!   cluster deployments drives this one (drain/join scaling on either
+//!   pool via the session's timeline, completion records merged into one
+//!   stream via [`metrics`]). The legacy batch `DisaggCluster::run`
+//!   remains as a deprecated, output-equivalent shim.
 //!
 //! Decode replicas are ordinary [`cluster::Replica`]s wrapping any
 //! [`serving::ServingEngine`] (AdaServe's SCSD decode, or a baseline), so

@@ -9,7 +9,7 @@
 //! KV transfer lands.
 
 use roofline::{ForwardPass, SeqWork};
-use serving::{EngineCore, LiveRequest, Phase, RunError, StallGuard, SystemConfig};
+use serving::{EngineCore, LiveRequest, Phase, Pool, RunError, StallGuard, SystemConfig};
 
 /// Default per-iteration prefill token budget (matches the full-prompt
 /// chunk the colocated AdaServe engine uses for prefill-only passes).
@@ -145,7 +145,10 @@ impl PrefillReplica {
             if self.core.waiting.is_empty() {
                 1.0 // Called without work: harmless idle tick.
             } else {
-                return Err(RunError::KvCapacity);
+                let front = self.core.waiting.front().expect("non-empty").spec.id;
+                return Err(RunError::kv_capacity()
+                    .at(Pool::Prefill, self.id)
+                    .for_request(front));
             }
         } else {
             let mut pass = ForwardPass::default();
@@ -164,7 +167,9 @@ impl PrefillReplica {
             ms
         };
 
-        self.guard.observe(latency_ms)?;
+        self.guard
+            .observe(latency_ms)
+            .map_err(|e| e.at(Pool::Prefill, self.id))?;
         self.clock_ms += latency_ms.max(1e-6);
         self.iterations += 1;
 
@@ -274,7 +279,10 @@ mod tests {
         // 4 blocks × 16 tokens = 64-token pool vs a 500-token prompt.
         r.core.blocks = serving::BlockManager::new(4, 16);
         r.core.on_arrival(spec(0, 500, 8_000.0));
-        assert_eq!(r.step().unwrap_err(), RunError::KvCapacity);
+        let err = r.step().unwrap_err();
+        assert_eq!(err.kind(), serving::RunErrorKind::KvCapacity);
+        assert_eq!(err.site().pool, Some(Pool::Prefill));
+        assert_eq!(err.site().request, Some(0), "error names the request");
     }
 
     #[test]

@@ -12,11 +12,10 @@
 
 use cluster::RouterKind;
 use disagg::{
-    DisaggCluster, DisaggRunResult, DisaggScalingEvent, Dispatcher, KvLink, Pool, PrefillPool,
-    ScalingAction,
+    DisaggCluster, DisaggScalingEvent, Dispatcher, KvLink, Pool, PrefillPool, ScalingAction,
 };
 use proptest::prelude::*;
-use serving::{RunOptions, ServingEngine, SystemConfig};
+use serving::{ReplicaAddr, ServeSession, ServingEngine, SystemConfig, UnitStats};
 use workload::{Category, RequestSpec, Workload};
 
 /// Small synthetic workload derived from a seed (each case is a full
@@ -48,6 +47,17 @@ fn workload(seed: u64, n_requests: u64) -> Workload {
     }
 }
 
+/// The front-door run outcome plus the migration telemetry the legacy
+/// `DisaggRunResult` carried inline.
+struct DisaggOutcome {
+    records: Vec<metrics::RequestRecord>,
+    per_prefill: Vec<UnitStats>,
+    per_decode: Vec<UnitStats>,
+    transfers: disagg::TransferStats,
+    end_ms: f64,
+    iterations: u64,
+}
+
 fn run_disagg(
     seed: u64,
     n_requests: u64,
@@ -55,7 +65,7 @@ fn run_disagg(
     n_decode: usize,
     bandwidth_gbps: f64,
     events: Vec<DisaggScalingEvent>,
-) -> DisaggRunResult {
+) -> DisaggOutcome {
     let prefill = PrefillPool::new(vec![SystemConfig::llama70b(seed); n_prefill]);
     let decode: Vec<Box<dyn ServingEngine>> = (0..n_decode)
         .map(|_| {
@@ -64,15 +74,40 @@ fn run_disagg(
             ))) as Box<dyn ServingEngine>
         })
         .collect();
-    DisaggCluster::new(
+    let cluster = DisaggCluster::new(
         prefill,
         decode,
         Dispatcher::new(RouterKind::SloAware.build()),
         KvLink::new(bandwidth_gbps, 0.05),
-    )
-    .with_events(events)
-    .run(&workload(seed, n_requests), RunOptions::default())
-    .expect("disagg run completes")
+    );
+    let mut session = ServeSession::new(cluster);
+    for e in events {
+        session.scale_at(
+            e.at_ms,
+            ReplicaAddr {
+                pool: e.pool,
+                index: e.replica,
+            },
+            e.action,
+        );
+    }
+    let report = session
+        .serve(&workload(seed, n_requests))
+        .expect("disagg run completes");
+    let transfers = session.into_inner().transfer_stats();
+    let (per_prefill, per_decode) = report
+        .units
+        .iter()
+        .cloned()
+        .partition(|u| u.replica.pool == Pool::Prefill);
+    DisaggOutcome {
+        records: report.records,
+        per_prefill,
+        per_decode,
+        transfers,
+        end_ms: report.end_ms,
+        iterations: report.iterations,
+    }
 }
 
 proptest! {
@@ -162,8 +197,8 @@ proptest! {
         let pre_a: Vec<u64> = a.per_prefill.iter().map(|p| p.routed).collect();
         let pre_b: Vec<u64> = b.per_prefill.iter().map(|p| p.routed).collect();
         prop_assert_eq!(pre_a, pre_b, "prefill dispatch reproduces");
-        let dec_a: Vec<u64> = a.per_decode.iter().map(|r| r.routed).collect();
-        let dec_b: Vec<u64> = b.per_decode.iter().map(|r| r.routed).collect();
+        let dec_a: Vec<u64> = a.per_decode.iter().map(|u| u.routed).collect();
+        let dec_b: Vec<u64> = b.per_decode.iter().map(|u| u.routed).collect();
         prop_assert_eq!(dec_a, dec_b, "decode handoff reproduces");
     }
 }

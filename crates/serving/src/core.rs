@@ -64,6 +64,22 @@ impl EngineCore {
         !self.waiting.is_empty() || !self.running.is_empty()
     }
 
+    /// Read-only view of the completion records accumulated so far.
+    ///
+    /// Drivers that surface per-request lifecycle events peek at this
+    /// between iterations; [`EngineCore::take_finished`] still drains the
+    /// records at finalization.
+    pub fn finished_records(&self) -> &[RequestRecord] {
+        &self.finished
+    }
+
+    /// Total tokens the KV pool can hold — the largest context a single
+    /// request could ever occupy on this core (capacity introspection for
+    /// admission control).
+    pub fn kv_capacity_tokens(&self) -> u64 {
+        self.blocks.total_blocks() * u64::from(self.blocks.block_tokens())
+    }
+
     /// Admits waiting requests FIFO while the batch cap and KV pool allow.
     ///
     /// A request is admitted when its full current context (prompt plus any

@@ -56,27 +56,187 @@ impl Default for RunOptions {
     }
 }
 
-/// Errors from a driver run.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum RunError {
-    /// The engine stopped making progress (zero-latency steps with work).
+/// The pool a replica belongs to within a deployment.
+///
+/// Colocated and cluster deployments run a single pool of full-lifecycle
+/// replicas, addressed as [`Pool::Decode`]; disaggregated deployments add
+/// a [`Pool::Prefill`] tier whose replicas never decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pool {
+    /// The prefill-only pool of a disaggregated deployment.
+    Prefill,
+    /// The decode (serving) pool — in colocated deployments, every replica.
+    Decode,
+}
+
+impl Pool {
+    /// Lowercase display label (`"prefill"` / `"decode"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Pool::Prefill => "prefill",
+            Pool::Decode => "decode",
+        }
+    }
+}
+
+/// Where — and for which request — a run failed.
+///
+/// Every [`RunError`] carries one of these so a failure in a multi-replica
+/// sweep is attributable without rerunning: drivers annotate errors with
+/// the pool/replica that raised them (and the request id where one is
+/// known) as they bubble up. Fields are `None` when the corresponding
+/// dimension does not apply (e.g. a single-engine run has no pool).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ErrorSite {
+    /// Pool the failing replica belongs to.
+    pub pool: Option<Pool>,
+    /// Index of the failing replica within its pool.
+    pub replica: Option<usize>,
+    /// Request being served or placed when the failure surfaced.
+    pub request: Option<u64>,
+}
+
+impl ErrorSite {
+    /// Whether no context has been attached.
+    pub fn is_empty(&self) -> bool {
+        self.pool.is_none() && self.replica.is_none() && self.request.is_none()
+    }
+
+    fn describe(&self) -> String {
+        let mut parts = Vec::new();
+        match (self.pool, self.replica) {
+            (Some(pool), Some(replica)) => {
+                parts.push(format!("{} replica {replica}", pool.label()))
+            }
+            (Some(pool), None) => parts.push(format!("{} pool", pool.label())),
+            (None, Some(replica)) => parts.push(format!("replica {replica}")),
+            (None, None) => {}
+        }
+        if let Some(id) = self.request {
+            parts.push(format!("request {id}"));
+        }
+        parts.join(", ")
+    }
+}
+
+/// The failure class of a [`RunError`], independent of where it happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunErrorKind {
+    /// The engine stopped making progress.
     Stalled,
     /// The iteration cap was hit.
     IterationCap,
     /// The simulated-time cap was hit.
     TimeCap,
+    /// A request can never fit a KV pool.
+    KvCapacity,
+}
+
+/// Errors from a driver run, each carrying an [`ErrorSite`].
+///
+/// Construct with the kind constructors ([`RunError::stalled`],
+/// [`RunError::iteration_cap`], …) and attach context with
+/// [`RunError::at`] / [`RunError::for_request`]; compare in tests with
+/// [`RunError::kind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunError {
+    /// The engine stopped making progress (zero-latency steps with work).
+    Stalled(ErrorSite),
+    /// The iteration cap was hit.
+    IterationCap(ErrorSite),
+    /// The simulated-time cap was hit.
+    TimeCap(ErrorSite),
     /// A request can never fit its target's KV pool (e.g. a migrated
     /// context larger than the whole decode-side allocator).
-    KvCapacity,
+    KvCapacity(ErrorSite),
+}
+
+impl RunError {
+    /// A context-free stall error.
+    pub fn stalled() -> Self {
+        RunError::Stalled(ErrorSite::default())
+    }
+
+    /// A context-free iteration-cap error.
+    pub fn iteration_cap() -> Self {
+        RunError::IterationCap(ErrorSite::default())
+    }
+
+    /// A context-free time-cap error.
+    pub fn time_cap() -> Self {
+        RunError::TimeCap(ErrorSite::default())
+    }
+
+    /// A context-free KV-capacity error.
+    pub fn kv_capacity() -> Self {
+        RunError::KvCapacity(ErrorSite::default())
+    }
+
+    /// The failure class, ignoring the site.
+    pub fn kind(&self) -> RunErrorKind {
+        match self {
+            RunError::Stalled(_) => RunErrorKind::Stalled,
+            RunError::IterationCap(_) => RunErrorKind::IterationCap,
+            RunError::TimeCap(_) => RunErrorKind::TimeCap,
+            RunError::KvCapacity(_) => RunErrorKind::KvCapacity,
+        }
+    }
+
+    /// The attached failure site.
+    pub fn site(&self) -> ErrorSite {
+        match self {
+            RunError::Stalled(s)
+            | RunError::IterationCap(s)
+            | RunError::TimeCap(s)
+            | RunError::KvCapacity(s) => *s,
+        }
+    }
+
+    fn site_mut(&mut self) -> &mut ErrorSite {
+        match self {
+            RunError::Stalled(s)
+            | RunError::IterationCap(s)
+            | RunError::TimeCap(s)
+            | RunError::KvCapacity(s) => s,
+        }
+    }
+
+    /// Attaches the pool/replica that raised the error, keeping any
+    /// already-attached (innermost, most precise) location.
+    #[must_use]
+    pub fn at(mut self, pool: Pool, replica: usize) -> Self {
+        let site = self.site_mut();
+        if site.pool.is_none() && site.replica.is_none() {
+            site.pool = Some(pool);
+            site.replica = Some(replica);
+        }
+        self
+    }
+
+    /// Attaches the request involved, keeping any already-attached id.
+    #[must_use]
+    pub fn for_request(mut self, id: u64) -> Self {
+        let site = self.site_mut();
+        if site.request.is_none() {
+            site.request = Some(id);
+        }
+        self
+    }
 }
 
 impl std::fmt::Display for RunError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            RunError::Stalled => write!(f, "engine stalled (zero-latency steps with work)"),
-            RunError::IterationCap => write!(f, "iteration cap exceeded"),
-            RunError::TimeCap => write!(f, "simulated-time cap exceeded"),
-            RunError::KvCapacity => write!(f, "request exceeds a replica's KV capacity"),
+        let base = match self.kind() {
+            RunErrorKind::Stalled => "engine stalled (zero-latency steps with work)",
+            RunErrorKind::IterationCap => "iteration cap exceeded",
+            RunErrorKind::TimeCap => "simulated-time cap exceeded",
+            RunErrorKind::KvCapacity => "request exceeds a replica's KV capacity",
+        };
+        let site = self.site();
+        if site.is_empty() {
+            write!(f, "{base}")
+        } else {
+            write!(f, "{base} ({})", site.describe())
         }
     }
 }
@@ -104,7 +264,7 @@ impl StallGuard {
         if latency_ms <= 0.0 {
             self.zero_steps += 1;
             if self.zero_steps > Self::MAX_ZERO_STEPS {
-                return Err(RunError::Stalled);
+                return Err(RunError::stalled());
             }
         } else {
             self.zero_steps = 0;
@@ -174,49 +334,44 @@ impl RunResult {
 /// Arrivals are injected when the clock passes their timestamps; when the
 /// engine is idle the clock jumps to the next arrival. Returns an error only
 /// if a hard cap is hit (misbehaving engine).
+///
+/// Deprecated: this is now a thin shim over the unified front door — a
+/// [`crate::ServeSession`] driving a [`crate::Colocated`] deployment —
+/// which additionally supports mid-run submission, scaling and per-request
+/// lifecycle events. Output is byte-identical to the pre-shim driver (see
+/// `tests/output_equivalence.rs`).
+#[deprecated(note = "drive a `ServeSession` over a `Colocated` deployment instead")]
 pub fn run(
     engine: &mut dyn ServingEngine,
     workload: &Workload,
     options: RunOptions,
 ) -> Result<RunResult, RunError> {
-    let mut now_ms = 0.0f64;
-    let mut next_arrival = 0usize;
-    let mut guard = StallGuard::default();
-    let requests = &workload.requests;
-
-    loop {
-        // Inject all arrivals that have happened by `now_ms`.
-        while next_arrival < requests.len() && requests[next_arrival].arrival_ms <= now_ms {
-            engine.core_mut().on_arrival(requests[next_arrival].clone());
-            next_arrival += 1;
-        }
-        if !engine.core().has_work() {
-            if next_arrival >= requests.len() {
-                break; // All served.
-            }
-            now_ms = requests[next_arrival].arrival_ms;
-            continue;
-        }
-        let step = engine.step(now_ms);
-        engine.core_mut().iterations += 1;
-        guard.observe(step.latency_ms)?;
-        now_ms += step.latency_ms.max(1e-6);
-        if engine.core().iterations > options.max_iterations {
-            return Err(RunError::IterationCap);
-        }
-        if now_ms > options.max_sim_ms {
-            return Err(RunError::TimeCap);
-        }
-    }
-
-    Ok(finalize_run(engine, now_ms))
+    let mut session = crate::session::ServeSession::with_options(
+        crate::colocated::Colocated::borrowed(engine),
+        options,
+    )
+    .admission_control(false);
+    Ok(session.serve(workload)?.into_colocated_result())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::colocated::Colocated;
     use crate::config::SystemConfig;
+    use crate::session::{RunReport, ServeSession};
     use workload::{Category, RequestSpec};
+
+    /// Front-door drive of a single engine (what the deprecated [`run`]
+    /// shims over; the shim itself is pinned in the workspace's
+    /// `tests/output_equivalence.rs`).
+    fn serve(
+        engine: &mut dyn ServingEngine,
+        workload: &Workload,
+        options: RunOptions,
+    ) -> Result<RunReport, RunError> {
+        ServeSession::with_options(Colocated::borrowed(engine), options).serve(workload)
+    }
 
     /// Minimal engine: admits FIFO, prefills whole prompts, decodes one
     /// token per running request per iteration.
@@ -320,7 +475,7 @@ mod tests {
     fn driver_serves_every_request() {
         let mut engine = NaiveEngine::new();
         let wl = tiny_workload(5);
-        let result = run(&mut engine, &wl, RunOptions::default()).expect("run succeeds");
+        let result = serve(&mut engine, &wl, RunOptions::default()).expect("run succeeds");
         assert_eq!(result.records.len(), 5, "conservation");
         for r in &result.records {
             assert_eq!(r.output_tokens, 6);
@@ -331,8 +486,8 @@ mod tests {
     #[test]
     fn driver_is_deterministic() {
         let wl = tiny_workload(4);
-        let a = run(&mut NaiveEngine::new(), &wl, RunOptions::default()).unwrap();
-        let b = run(&mut NaiveEngine::new(), &wl, RunOptions::default()).unwrap();
+        let a = serve(&mut NaiveEngine::new(), &wl, RunOptions::default()).unwrap();
+        let b = serve(&mut NaiveEngine::new(), &wl, RunOptions::default()).unwrap();
         assert_eq!(a.records, b.records);
         assert_eq!(a.end_ms, b.end_ms);
     }
@@ -341,7 +496,7 @@ mod tests {
     fn clock_jumps_over_idle_gaps() {
         let mut wl = tiny_workload(2);
         wl.requests[1].arrival_ms = 60_000.0;
-        let result = run(&mut NaiveEngine::new(), &wl, RunOptions::default()).unwrap();
+        let result = serve(&mut NaiveEngine::new(), &wl, RunOptions::default()).unwrap();
         assert!(result.end_ms >= 60_000.0);
         assert_eq!(result.records.len(), 2);
         // Iterations stay small: no busy-waiting through the gap.
@@ -356,7 +511,7 @@ mod tests {
     fn iteration_cap_is_enforced() {
         let mut engine = NaiveEngine::new();
         let wl = tiny_workload(3);
-        let err = run(
+        let err = serve(
             &mut engine,
             &wl,
             RunOptions {
@@ -365,14 +520,14 @@ mod tests {
             },
         )
         .unwrap_err();
-        assert_eq!(err, RunError::IterationCap);
+        assert_eq!(err.kind(), RunErrorKind::IterationCap);
     }
 
     #[test]
     fn report_integrates_with_metrics() {
         let mut engine = NaiveEngine::new();
         let wl = tiny_workload(5);
-        let result = run(&mut engine, &wl, RunOptions::default()).unwrap();
+        let result = serve(&mut engine, &wl, RunOptions::default()).unwrap();
         let report = result.report();
         assert_eq!(report.requests, 5);
         assert!(report.makespan_ms > 0.0);

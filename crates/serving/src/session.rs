@@ -1,0 +1,678 @@
+//! The unified serving front door: the [`Deployment`] trait and the
+//! online [`ServeSession`] driver.
+//!
+//! Before this module, every deployment shape had its own entry point —
+//! `serving::run`, `cluster::Cluster::run`, `disagg::DisaggCluster::run` —
+//! each re-wiring the same event loop (global clock, stall guard, run
+//! caps, scaling events, report plumbing) with its own result type. The
+//! front door collapses them:
+//!
+//! * a [`Deployment`] is anything that can accept requests and advance
+//!   its own machinery event by event — a single colocated engine
+//!   ([`crate::Colocated`]), a multi-replica `cluster::Cluster`, or a
+//!   disaggregated `disagg::DisaggCluster`;
+//! * a [`ServeSession`] owns the global clock, the run caps
+//!   ([`RunOptions`]), a progress [`StallGuard`] and the scaling
+//!   timeline, and drives any deployment **online**: requests are
+//!   submitted at their arrival times (open-loop from a
+//!   [`workload::Workload`], or mid-run from a client hook reacting to
+//!   events), not handed over as a whole workload up front;
+//! * per-request lifecycle is surfaced as [`DeploymentEvent`]s
+//!   (`Admitted`, `FirstToken`, `Finished`, `Rejected`) and the run
+//!   finalizes into one [`RunReport`] with per-replica/pool
+//!   [`UnitStats`], regardless of topology.
+//!
+//! The legacy entry points remain as deprecated shims over this module
+//! and are verified output-equivalent by `tests/output_equivalence.rs`.
+
+use crate::core::EngineCore;
+use crate::engine::{Pool, RunError, RunOptions, RunResult, StallGuard};
+use metrics::{merge_by_completion, ClusterReport, RequestRecord, SloReport};
+use std::collections::{HashMap, HashSet, VecDeque};
+use workload::{RequestSpec, Workload};
+
+/// What an elastic-scaling action does to its replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalingAction {
+    /// Stop routing new requests to the replica; it finishes queued work.
+    Drain,
+    /// Make the replica eligible for new requests again.
+    Join,
+}
+
+/// Addresses one replica of a deployment: its pool and index within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReplicaAddr {
+    /// The pool the replica belongs to.
+    pub pool: Pool,
+    /// The replica's index within its pool.
+    pub index: usize,
+}
+
+impl ReplicaAddr {
+    /// A serving (decode-pool) replica — in colocated and cluster
+    /// deployments, every replica.
+    pub fn serving(index: usize) -> Self {
+        Self {
+            pool: Pool::Decode,
+            index,
+        }
+    }
+
+    /// A prefill-pool replica of a disaggregated deployment.
+    pub fn prefill(index: usize) -> Self {
+        Self {
+            pool: Pool::Prefill,
+            index,
+        }
+    }
+}
+
+impl std::fmt::Display for ReplicaAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}-{}", self.pool.label(), self.index)
+    }
+}
+
+/// A scheduled drain/join of one replica.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalePlan {
+    /// Simulation time at which the change applies.
+    pub at_ms: f64,
+    /// Target replica.
+    pub replica: ReplicaAddr,
+    /// Drain or join.
+    pub action: ScalingAction,
+}
+
+/// Why a submission was refused at the front door.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RejectReason {
+    /// The prompt alone can never fit the deployment's smallest KV pool,
+    /// so no replica could ever admit it.
+    PromptExceedsKv {
+        /// Prompt length of the refused request, in tokens.
+        prompt_tokens: u32,
+        /// The deployment's smallest per-replica KV capacity, in tokens.
+        capacity_tokens: u64,
+    },
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::PromptExceedsKv {
+                prompt_tokens,
+                capacity_tokens,
+            } => write!(
+                f,
+                "prompt of {prompt_tokens} tokens exceeds the deployment's \
+                 {capacity_tokens}-token KV capacity"
+            ),
+        }
+    }
+}
+
+/// A per-request lifecycle event surfaced by a deployment.
+///
+/// Events are reported at the end of the internal step that produced
+/// them (`at_ms` is the step's completion clock, an upper bound on when
+/// the milestone occurred within the iteration).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeploymentEvent {
+    /// The request left a waiting queue and entered a serving batch.
+    Admitted {
+        /// Request id.
+        id: u64,
+        /// Replica that admitted it (the prefill replica, when
+        /// disaggregated).
+        replica: ReplicaAddr,
+        /// Clock at which the admission was observed.
+        at_ms: f64,
+    },
+    /// The request produced its first output token.
+    FirstToken {
+        /// Request id.
+        id: u64,
+        /// Clock at which the first token was observed.
+        at_ms: f64,
+    },
+    /// The request completed; the record is final.
+    Finished {
+        /// The completion record (identical to what the run report
+        /// aggregates).
+        record: RequestRecord,
+    },
+    /// The request was refused at submission and will never be served.
+    Rejected {
+        /// Request id.
+        id: u64,
+        /// Why it was refused.
+        reason: RejectReason,
+        /// Session clock at refusal.
+        at_ms: f64,
+    },
+}
+
+/// Outcome of one [`Deployment::step`].
+#[derive(Debug, Clone, Default)]
+pub struct DeploymentStep {
+    /// Lifecycle events the step produced.
+    pub events: Vec<DeploymentEvent>,
+    /// Modelled latency of the engine iteration this step executed, if
+    /// one ran. Bookkeeping-only steps (e.g. landing a KV transfer) are
+    /// `None` and bypass the session's progress guard.
+    pub latency_ms: Option<f64>,
+    /// The replica that iterated, when one did. The session keys its
+    /// progress guards on this so a zero-latency run on one replica is
+    /// never conflated with (or reset by) its peers' steps — the same
+    /// per-replica stall semantics the legacy drivers had.
+    pub replica: Option<ReplicaAddr>,
+}
+
+/// A deployment shape that a [`ServeSession`] can drive.
+///
+/// Implementors own their replicas and internal machinery (routing,
+/// per-replica clocks, KV migration, …); the session owns the global
+/// event loop — arrival injection, the scaling timeline, run caps and a
+/// progress guard. Event ordering at equal timestamps is: scaling, then
+/// arrivals, then internal steps — the contract the legacy per-topology
+/// drivers shared.
+pub trait Deployment {
+    /// Display label for reports (engine name, router name, …).
+    fn name(&self) -> String;
+
+    /// The slowest serving replica's near-zero-load decode latency.
+    /// Workloads should resolve baseline-relative SLOs against this.
+    fn max_baseline_ms(&self) -> f64;
+
+    /// The smallest per-replica KV capacity in tokens — the largest
+    /// context that is guaranteed placeable on every replica. The session
+    /// uses it for admission control ([`DeploymentEvent::Rejected`]).
+    fn kv_capacity_tokens(&self) -> u64;
+
+    /// Accepts a request at `now_ms` (routing it to a replica's waiting
+    /// queue). The session has already applied admission control.
+    fn submit(&mut self, spec: RequestSpec, now_ms: f64);
+
+    /// The earliest time any internal machinery is due, or `None` when
+    /// the deployment is idle.
+    fn next_event_ms(&self) -> Option<f64>;
+
+    /// Advances the earliest due internal event (one engine iteration,
+    /// KV-transfer landing, …), enforcing the caps in `options` with the
+    /// deployment's native granularity (per-replica, as the legacy
+    /// drivers did).
+    fn step(&mut self, options: &RunOptions) -> Result<DeploymentStep, RunError>;
+
+    /// Toggles whether `replica` accepts new work (drain/join).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replica` does not exist in this deployment.
+    fn set_accepting(&mut self, replica: ReplicaAddr, accepting: bool, now_ms: f64);
+
+    /// Iterations executed across all replicas so far.
+    fn iterations(&self) -> u64;
+
+    /// The latest local clock across all replicas.
+    fn clock_ms(&self) -> f64;
+
+    /// Finalizes the run into per-replica stats, erroring if
+    /// undeliverable work remains (e.g. a KV migration that can never
+    /// land).
+    fn drain(&mut self) -> Result<Vec<UnitStats>, RunError>;
+}
+
+/// Tracks which lifecycle milestones have been announced per request, so
+/// deployments emit each [`DeploymentEvent`] exactly once.
+///
+/// One tracker serves a whole deployment (request ids are unique across
+/// replicas); the per-core `finished_seen` high-water marks live with the
+/// caller because a deployment scans many cores.
+#[derive(Debug, Default)]
+pub struct LifecycleTracker {
+    admitted: HashSet<u64>,
+    first_token: HashSet<u64>,
+}
+
+impl LifecycleTracker {
+    /// Announces `id` as admitted on `replica` if it has not been yet.
+    pub fn admit(
+        &mut self,
+        id: u64,
+        replica: ReplicaAddr,
+        at_ms: f64,
+        out: &mut Vec<DeploymentEvent>,
+    ) {
+        if self.admitted.insert(id) {
+            out.push(DeploymentEvent::Admitted { id, replica, at_ms });
+        }
+    }
+
+    /// Scans one core after an iteration, emitting newly due events:
+    /// admissions and first tokens from the running batch, and
+    /// finished-record triplets past the `finished_seen` high-water mark
+    /// (which this call advances).
+    pub fn scan_core(
+        &mut self,
+        core: &EngineCore,
+        replica: ReplicaAddr,
+        at_ms: f64,
+        finished_seen: &mut usize,
+        out: &mut Vec<DeploymentEvent>,
+    ) {
+        for r in &core.running {
+            let id = r.spec.id;
+            if self.admitted.insert(id) {
+                out.push(DeploymentEvent::Admitted { id, replica, at_ms });
+            }
+            if r.generated() > 0 && self.first_token.insert(id) {
+                out.push(DeploymentEvent::FirstToken { id, at_ms });
+            }
+        }
+        let finished = core.finished_records();
+        for record in &finished[*finished_seen..] {
+            let id = record.id;
+            if self.admitted.insert(id) {
+                out.push(DeploymentEvent::Admitted { id, replica, at_ms });
+            }
+            if self.first_token.insert(id) {
+                out.push(DeploymentEvent::FirstToken { id, at_ms });
+            }
+            // Completed: forget the id so the sets stay bounded.
+            self.admitted.remove(&id);
+            self.first_token.remove(&id);
+            out.push(DeploymentEvent::Finished {
+                record: record.clone(),
+            });
+        }
+        *finished_seen = finished.len();
+    }
+}
+
+/// One replica's share of a run — the per-unit slice of a [`RunReport`].
+#[derive(Debug, Clone)]
+pub struct UnitStats {
+    /// Which replica this is.
+    pub replica: ReplicaAddr,
+    /// Requests routed (or migrations landed) here.
+    pub routed: u64,
+    /// The replica's own run result. Prefill-pool units carry no records
+    /// (their requests complete on the decode pool).
+    pub result: RunResult,
+    /// Requests whose prefill completed here (prefill-pool units).
+    pub prefilled_requests: u64,
+    /// Prompt tokens prefilled here (prefill-pool units).
+    pub prefill_tokens: u64,
+}
+
+impl UnitStats {
+    /// Display label, e.g. `"replica-0 (AdaServe)"` or `"prefill-1"`.
+    pub fn label(&self) -> String {
+        match self.replica.pool {
+            Pool::Decode => format!("replica-{} ({})", self.replica.index, self.result.engine),
+            Pool::Prefill => format!("prefill-{}", self.replica.index),
+        }
+    }
+}
+
+/// Outcome of one [`ServeSession`] run, regardless of deployment shape.
+///
+/// Collapses the legacy `RunResult` / `ClusterRunResult` /
+/// `DisaggRunResult` trio: the merged record stream, per-replica/pool
+/// [`UnitStats`], any front-door rejections, and accessors for the
+/// standard reports.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Deployment label ([`Deployment::name`]).
+    pub deployment: String,
+    /// All completion records — a single engine's stream, or the
+    /// completion-time merge across serving replicas.
+    pub records: Vec<RequestRecord>,
+    /// Per-replica stats, prefill units first, then serving units, each
+    /// in replica order.
+    pub units: Vec<UnitStats>,
+    /// Requests refused at the front door, in refusal order.
+    pub rejected: Vec<(u64, RejectReason)>,
+    /// Global simulation end time (latest replica clock).
+    pub end_ms: f64,
+    /// Iterations executed across the deployment.
+    pub iterations: u64,
+}
+
+impl RunReport {
+    /// The paper-style SLO report over the merged records.
+    pub fn report(&self) -> SloReport {
+        SloReport::from_records(&self.records)
+    }
+
+    /// Per-serving-replica + merged reports.
+    pub fn cluster_report(&self) -> ClusterReport {
+        ClusterReport::from_streams(
+            self.serving_units()
+                .map(|u| (u.label(), u.result.records.clone()))
+                .collect(),
+        )
+    }
+
+    /// The serving (decode-pool) units, in replica order.
+    pub fn serving_units(&self) -> impl Iterator<Item = &UnitStats> {
+        self.units.iter().filter(|u| u.replica.pool == Pool::Decode)
+    }
+
+    /// The prefill-pool units, in replica order (empty unless
+    /// disaggregated).
+    pub fn prefill_units(&self) -> impl Iterator<Item = &UnitStats> {
+        self.units
+            .iter()
+            .filter(|u| u.replica.pool == Pool::Prefill)
+    }
+
+    /// Mean accepted speculated tokens per verification across the run.
+    pub fn mean_accepted_per_verify(&self) -> f64 {
+        let verifies: u64 = self.records.iter().map(|r| r.verify_steps).sum();
+        let accepted: u64 = self.records.iter().map(|r| r.accepted_tokens).sum();
+        if verifies == 0 {
+            0.0
+        } else {
+            accepted as f64 / verifies as f64
+        }
+    }
+
+    /// Unwraps a single-engine run back into the legacy [`RunResult`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the report has exactly one serving unit (a colocated
+    /// deployment).
+    pub fn into_colocated_result(mut self) -> RunResult {
+        let serving: Vec<usize> = self
+            .units
+            .iter()
+            .enumerate()
+            .filter(|(_, u)| u.replica.pool == Pool::Decode)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(
+            serving.len(),
+            1,
+            "into_colocated_result needs exactly one serving unit, got {}",
+            serving.len()
+        );
+        self.units.swap_remove(serving[0]).result
+    }
+}
+
+/// Follow-up actions a client hook may take while a session runs: submit
+/// more requests (closed-loop traffic) or scale the topology.
+#[derive(Debug)]
+pub struct SessionHandle {
+    now_ms: f64,
+    submissions: Vec<RequestSpec>,
+    scales: Vec<ScalePlan>,
+}
+
+impl SessionHandle {
+    /// The session's current simulation time.
+    pub fn now_ms(&self) -> f64 {
+        self.now_ms
+    }
+
+    /// Queues a request; arrivals in the past are clamped to now.
+    pub fn submit(&mut self, spec: RequestSpec) {
+        self.submissions.push(spec);
+    }
+
+    /// Schedules a drain/join (applied immediately when `at_ms` is not in
+    /// the future).
+    pub fn scale_at(&mut self, at_ms: f64, replica: ReplicaAddr, action: ScalingAction) {
+        self.scales.push(ScalePlan {
+            at_ms,
+            replica,
+            action,
+        });
+    }
+}
+
+/// The one event loop every deployment shape runs under.
+///
+/// Owns the global clock, the run caps, a progress [`StallGuard`], the
+/// pending-arrival queue and the scaling timeline. Drive it open-loop
+/// with [`ServeSession::serve`] (a [`Workload`]'s arrivals at their
+/// timestamps) or online with [`ServeSession::serve_online`] (a client
+/// hook that observes [`DeploymentEvent`]s and may submit follow-up
+/// requests or scaling mid-run — traffic the batch-oriented legacy
+/// `run(&workload)` contract could not express).
+#[derive(Debug)]
+pub struct ServeSession<D: Deployment> {
+    deployment: D,
+    options: RunOptions,
+    admission_control: bool,
+    now_ms: f64,
+    pending: VecDeque<RequestSpec>,
+    scaling: VecDeque<ScalePlan>,
+    rejected: Vec<(u64, RejectReason)>,
+    /// Per-replica progress guards, keyed by [`DeploymentStep::replica`];
+    /// the keyless guard backs up steps that report no replica. These are
+    /// a backstop for [`Deployment`] implementations without their own
+    /// guards — the built-in deployments feed identical per-replica
+    /// guards internally and error first, with the same thresholds.
+    guards: HashMap<ReplicaAddr, StallGuard>,
+    guard: StallGuard,
+}
+
+impl<D: Deployment> ServeSession<D> {
+    /// A session over `deployment` with default run caps.
+    pub fn new(deployment: D) -> Self {
+        Self::with_options(deployment, RunOptions::default())
+    }
+
+    /// A session over `deployment` with explicit run caps.
+    pub fn with_options(deployment: D, options: RunOptions) -> Self {
+        Self {
+            deployment,
+            options,
+            admission_control: true,
+            now_ms: 0.0,
+            pending: VecDeque::new(),
+            scaling: VecDeque::new(),
+            rejected: Vec::new(),
+            guards: HashMap::new(),
+            guard: StallGuard::default(),
+        }
+    }
+
+    /// Enables/disables front-door admission control (rejecting prompts
+    /// that can never fit any replica's KV pool). On by default; the
+    /// legacy shims disable it to preserve their original error-path
+    /// behavior.
+    #[must_use]
+    pub fn admission_control(mut self, enabled: bool) -> Self {
+        self.admission_control = enabled;
+        self
+    }
+
+    /// Read-only access to the deployment.
+    pub fn deployment(&self) -> &D {
+        &self.deployment
+    }
+
+    /// Recovers the deployment (e.g. for topology-specific telemetry
+    /// after the run).
+    pub fn into_inner(self) -> D {
+        self.deployment
+    }
+
+    /// The session's current simulation time.
+    pub fn now_ms(&self) -> f64 {
+        self.now_ms
+    }
+
+    /// Queues a request for submission at its arrival time. Arrivals in
+    /// the session's past are clamped to now.
+    pub fn submit(&mut self, mut spec: RequestSpec) {
+        if spec.arrival_ms < self.now_ms {
+            spec.arrival_ms = self.now_ms;
+        }
+        let at = spec.arrival_ms;
+        let idx = self.pending.partition_point(|s| s.arrival_ms <= at);
+        self.pending.insert(idx, spec);
+    }
+
+    /// Queues every request of `workload` at its arrival time.
+    pub fn enqueue(&mut self, workload: &Workload) {
+        for spec in &workload.requests {
+            self.submit(spec.clone());
+        }
+    }
+
+    /// Schedules a drain/join of one replica at `at_ms`.
+    pub fn scale_at(&mut self, at_ms: f64, replica: ReplicaAddr, action: ScalingAction) {
+        let idx = self.scaling.partition_point(|p| p.at_ms <= at_ms);
+        self.scaling.insert(
+            idx,
+            ScalePlan {
+                at_ms,
+                replica,
+                action,
+            },
+        );
+    }
+
+    /// Serves `workload` to completion (open loop): every arrival is
+    /// queued at its timestamp, then the event loop runs dry.
+    pub fn serve(&mut self, workload: &Workload) -> Result<RunReport, RunError> {
+        self.enqueue(workload);
+        self.serve_online(|_, _| {})
+    }
+
+    /// Runs the event loop to completion, surfacing every
+    /// [`DeploymentEvent`] to `client`, which may submit follow-up
+    /// requests or scaling through the [`SessionHandle`] — closed-loop
+    /// and interactive traffic the batch `run(&workload)` signature
+    /// cannot express. Returns once no arrivals, scaling or work remain.
+    pub fn serve_online<F>(&mut self, mut client: F) -> Result<RunReport, RunError>
+    where
+        F: FnMut(&DeploymentEvent, &mut SessionHandle),
+    {
+        loop {
+            let t_arr = self.pending.front().map_or(f64::INFINITY, |s| s.arrival_ms);
+            let t_scale = self.scaling.front().map_or(f64::INFINITY, |p| p.at_ms);
+            let t_dep = self.deployment.next_event_ms().unwrap_or(f64::INFINITY);
+            let t = t_scale.min(t_arr).min(t_dep);
+            if t.is_infinite() {
+                break; // No arrivals, no scaling, no work anywhere.
+            }
+            self.now_ms = self.now_ms.max(t);
+
+            // Equal-timestamp order: scaling first (arrivals at the same
+            // instant see the new topology), then arrivals, then the
+            // deployment's internal machinery.
+            if t_scale <= t {
+                let plan = self.scaling.pop_front().expect("t_scale was finite");
+                self.deployment.set_accepting(
+                    plan.replica,
+                    matches!(plan.action, ScalingAction::Join),
+                    plan.at_ms,
+                );
+                continue;
+            }
+
+            if t_arr <= t {
+                let spec = self.pending.pop_front().expect("t_arr was finite");
+                if self.admission_control {
+                    let capacity = self.deployment.kv_capacity_tokens();
+                    if u64::from(spec.prompt_len) + 1 > capacity {
+                        let reason = RejectReason::PromptExceedsKv {
+                            prompt_tokens: spec.prompt_len,
+                            capacity_tokens: capacity,
+                        };
+                        self.rejected.push((spec.id, reason));
+                        let event = DeploymentEvent::Rejected {
+                            id: spec.id,
+                            reason,
+                            at_ms: self.now_ms,
+                        };
+                        self.dispatch(&event, &mut client);
+                        continue;
+                    }
+                }
+                let arrival_ms = spec.arrival_ms;
+                self.deployment.submit(spec, arrival_ms);
+                continue;
+            }
+
+            let step = self.deployment.step(&self.options)?;
+            if let Some(latency_ms) = step.latency_ms {
+                let guard = match step.replica {
+                    Some(addr) => self.guards.entry(addr).or_default(),
+                    None => &mut self.guard,
+                };
+                guard.observe(latency_ms).map_err(|e| match step.replica {
+                    Some(addr) => e.at(addr.pool, addr.index),
+                    None => e,
+                })?;
+            }
+            for event in &step.events {
+                self.dispatch(event, &mut client);
+            }
+        }
+        self.finish()
+    }
+
+    /// Surfaces one event to the client and absorbs its follow-ups.
+    fn dispatch<F>(&mut self, event: &DeploymentEvent, client: &mut F)
+    where
+        F: FnMut(&DeploymentEvent, &mut SessionHandle),
+    {
+        let mut handle = SessionHandle {
+            now_ms: self.now_ms,
+            submissions: Vec::new(),
+            scales: Vec::new(),
+        };
+        client(event, &mut handle);
+        for spec in handle.submissions {
+            self.submit(spec);
+        }
+        for plan in handle.scales {
+            if plan.at_ms <= self.now_ms {
+                self.deployment.set_accepting(
+                    plan.replica,
+                    matches!(plan.action, ScalingAction::Join),
+                    self.now_ms,
+                );
+            } else {
+                self.scale_at(plan.at_ms, plan.replica, plan.action);
+            }
+        }
+    }
+
+    /// Finalizes the deployment into a [`RunReport`].
+    fn finish(&mut self) -> Result<RunReport, RunError> {
+        let end_ms = self.deployment.clock_ms();
+        let iterations = self.deployment.iterations();
+        let deployment = self.deployment.name();
+        let units = self.deployment.drain()?;
+        let mut streams: Vec<Vec<RequestRecord>> = units
+            .iter()
+            .filter(|u| u.replica.pool == Pool::Decode)
+            .map(|u| u.result.records.clone())
+            .collect();
+        // A single engine's stream is already in its native completion
+        // order; only multi-replica runs need the k-way merge.
+        let records = if streams.len() == 1 {
+            streams.pop().expect("one stream")
+        } else {
+            merge_by_completion(streams)
+        };
+        Ok(RunReport {
+            deployment,
+            records,
+            units,
+            rejected: std::mem::take(&mut self.rejected),
+            end_ms,
+            iterations,
+        })
+    }
+}

@@ -47,6 +47,28 @@ pub fn env_seed(default: u64) -> u64 {
     }
 }
 
+/// Duration every `ADASERVE_SMOKE` run is clamped to, in milliseconds.
+pub const SMOKE_DURATION_MS: f64 = 3_000.0;
+
+/// Scales an experiment's `(rps, duration_ms)` shape down to CI smoke
+/// size when `ADASERVE_SMOKE` is set; returns the inputs unchanged
+/// otherwise.
+///
+/// Under smoke, the request rate is halved (floored at 2 rps so every
+/// engine still batches) and the duration clamps to
+/// [`SMOKE_DURATION_MS`] — a few simulated seconds, enough for the CI
+/// smoke tests to exercise an example end to end. Every workload-driven
+/// example resolves its scale through this one helper so smoke sizing
+/// cannot drift between them.
+pub fn smoke_scale(rps: f64, duration_ms: f64) -> (f64, f64) {
+    assert!(rps > 0.0 && duration_ms > 0.0);
+    if std::env::var_os("ADASERVE_SMOKE").is_some() {
+        ((rps * 0.5).max(2.0), duration_ms.min(SMOKE_DURATION_MS))
+    } else {
+        (rps, duration_ms)
+    }
+}
+
 /// A complete, reproducible multi-SLO workload.
 #[derive(Debug, Clone)]
 pub struct Workload {

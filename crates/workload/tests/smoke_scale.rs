@@ -1,0 +1,36 @@
+//! The `ADASERVE_SMOKE` experiment-scale override, probed in a dedicated
+//! test binary.
+//!
+//! Mutating the process environment races concurrent `getenv` calls from
+//! other threads (the reason `set_var` is unsafe in edition 2024), so this
+//! binary holds exactly one test and nothing else runs alongside it.
+
+use workload::{smoke_scale, SMOKE_DURATION_MS};
+
+#[test]
+fn smoke_scale_clamps_only_under_the_env_var() {
+    std::env::remove_var("ADASERVE_SMOKE");
+    assert_eq!(
+        smoke_scale(10.0, 60_000.0),
+        (10.0, 60_000.0),
+        "full scale without ADASERVE_SMOKE"
+    );
+
+    std::env::set_var("ADASERVE_SMOKE", "1");
+    assert_eq!(
+        smoke_scale(10.0, 60_000.0),
+        (5.0, SMOKE_DURATION_MS),
+        "rate halves, duration clamps"
+    );
+    assert_eq!(
+        smoke_scale(3.5, 60_000.0),
+        (2.0, SMOKE_DURATION_MS),
+        "halved rate floors at 2 rps"
+    );
+    assert_eq!(
+        smoke_scale(12.0, 2_000.0),
+        (6.0, 2_000.0),
+        "already-short durations stay"
+    );
+    std::env::remove_var("ADASERVE_SMOKE");
+}

@@ -11,12 +11,12 @@
 //! ```
 
 use adaserve::baselines::{SarathiEngine, VllmSpecEngine};
-use adaserve::cluster::{Cluster, RouterKind, ScalingAction, ScalingEvent};
+use adaserve::cluster::{Cluster, RouterKind};
 use adaserve::core::AdaServeEngine;
 use adaserve::metrics::Table;
 use adaserve::roofline::Testbed;
-use adaserve::serving::{RunOptions, ServingEngine, SystemConfig};
-use adaserve::workload::{env_seed, WorkloadBuilder};
+use adaserve::serving::{ReplicaAddr, ScalingAction, ServeSession, ServingEngine, SystemConfig};
+use adaserve::workload::{env_seed, smoke_scale, WorkloadBuilder};
 
 /// Two AdaServe replicas (A100 + H100 profiles) and two baseline replicas.
 fn fleet(seed: u64) -> Vec<Box<dyn ServingEngine>> {
@@ -34,11 +34,7 @@ fn fleet(seed: u64) -> Vec<Box<dyn ServingEngine>> {
 fn main() {
     let seed = env_seed(17);
     // ADASERVE_SMOKE=1 (set by the CI smoke tests) shrinks the trace.
-    let (rps, duration_ms) = if std::env::var_os("ADASERVE_SMOKE").is_some() {
-        (4.0, 3_000.0)
-    } else {
-        (10.0, 60_000.0)
-    };
+    let (rps, duration_ms) = smoke_scale(10.0, 60_000.0);
     // Baseline-relative SLOs resolve against the fleet's slowest profile.
     let baseline_ms = adaserve::cluster::max_baseline_ms(&fleet(seed));
     let workload = WorkloadBuilder::new(seed, baseline_ms)
@@ -46,20 +42,6 @@ fn main() {
         .duration_ms(duration_ms)
         .build();
     println!("Workload: {} across 4 replicas\n", workload.description);
-
-    // Replica 3 scales down for the middle third of the run.
-    let events = vec![
-        ScalingEvent {
-            at_ms: duration_ms / 3.0,
-            replica: 3,
-            action: ScalingAction::Drain,
-        },
-        ScalingEvent {
-            at_ms: 2.0 * duration_ms / 3.0,
-            replica: 3,
-            action: ScalingAction::Join,
-        },
-    ];
 
     let mut policy_table = Table::new(vec![
         "Router",
@@ -70,18 +52,24 @@ fn main() {
     ]);
     let mut last_cluster_report = None;
     for kind in RouterKind::ALL {
-        let result = Cluster::new(fleet(seed), kind.build())
-            .with_events(events.clone())
-            .run(&workload, RunOptions::default())
-            .expect("cluster run");
+        // Replica 3 scales down for the middle third of the run: the
+        // drain/join timeline lives on the session, not the cluster.
+        let mut session = ServeSession::new(Cluster::new(fleet(seed), kind.build()));
+        session.scale_at(
+            duration_ms / 3.0,
+            ReplicaAddr::serving(3),
+            ScalingAction::Drain,
+        );
+        session.scale_at(
+            2.0 * duration_ms / 3.0,
+            ReplicaAddr::serving(3),
+            ScalingAction::Join,
+        );
+        let result = session.serve(&workload).expect("cluster run");
         let report = result.report();
-        let shares: Vec<String> = result
-            .per_replica
-            .iter()
-            .map(|r| r.routed.to_string())
-            .collect();
+        let shares: Vec<String> = result.units.iter().map(|u| u.routed.to_string()).collect();
         policy_table.row(vec![
-            result.router.clone(),
+            result.deployment.clone(),
             format!("{:.1}", report.attainment_pct),
             format!("{:.0}", report.goodput_tps),
             format!("{:.1}", report.p99_tpot_ms),

@@ -14,12 +14,10 @@
 
 use adaserve::cluster::{Cluster, RouterKind};
 use adaserve::core::AdaServeEngine;
-use adaserve::disagg::{
-    DisaggCluster, DisaggScalingEvent, Dispatcher, KvLink, Pool, PrefillPool, ScalingAction,
-};
+use adaserve::disagg::{DisaggCluster, Dispatcher, KvLink, PrefillPool, ScalingAction};
 use adaserve::metrics::Table;
-use adaserve::serving::{RunOptions, ServingEngine, SystemConfig};
-use adaserve::workload::{env_seed, WorkloadBuilder};
+use adaserve::serving::{ReplicaAddr, ServeSession, ServingEngine, SystemConfig};
+use adaserve::workload::{env_seed, smoke_scale, WorkloadBuilder};
 
 fn engines(n: usize, seed: u64) -> Vec<Box<dyn ServingEngine>> {
     (0..n)
@@ -32,11 +30,7 @@ fn engines(n: usize, seed: u64) -> Vec<Box<dyn ServingEngine>> {
 fn main() {
     let seed = env_seed(17);
     // ADASERVE_SMOKE=1 (set by the CI smoke tests) shrinks the trace.
-    let (rps, duration_ms) = if std::env::var_os("ADASERVE_SMOKE").is_some() {
-        (6.0, 3_000.0)
-    } else {
-        (12.0, 45_000.0)
-    };
+    let (rps, duration_ms) = smoke_scale(12.0, 45_000.0);
     let baseline_ms = SystemConfig::llama70b(seed).baseline_ms;
     let workload = WorkloadBuilder::new(seed, baseline_ms)
         .target_rps(rps)
@@ -47,36 +41,33 @@ fn main() {
         workload.description
     );
 
-    // Colocated baseline: every group prefills and decodes.
-    let colocated = Cluster::new(engines(4, seed), RouterKind::SloAware.build())
-        .run(&workload, RunOptions::default())
+    // Colocated baseline: every group prefills and decodes. Both
+    // deployment shapes run through the same ServeSession front door.
+    let colocated = ServeSession::new(Cluster::new(engines(4, seed), RouterKind::SloAware.build()))
+        .serve(&workload)
         .expect("colocated run");
 
     // Disaggregated: 1 prefill group + 3 decode groups, NVLink-class KV
     // migration; decode replica 2 drains for the middle third of the run.
     let link = KvLink::nvlink(&adaserve::roofline::GpuSpec::a100_80g());
-    let disagg = DisaggCluster::new(
+    let mut session = ServeSession::new(DisaggCluster::new(
         PrefillPool::new(vec![SystemConfig::llama70b(seed)]),
         engines(3, seed),
         Dispatcher::new(RouterKind::SloAware.build()),
         link,
-    )
-    .with_events(vec![
-        DisaggScalingEvent {
-            at_ms: duration_ms / 3.0,
-            pool: Pool::Decode,
-            replica: 2,
-            action: ScalingAction::Drain,
-        },
-        DisaggScalingEvent {
-            at_ms: 2.0 * duration_ms / 3.0,
-            pool: Pool::Decode,
-            replica: 2,
-            action: ScalingAction::Join,
-        },
-    ])
-    .run(&workload, RunOptions::default())
-    .expect("disagg run");
+    ));
+    session.scale_at(
+        duration_ms / 3.0,
+        ReplicaAddr::serving(2),
+        ScalingAction::Drain,
+    );
+    session.scale_at(
+        2.0 * duration_ms / 3.0,
+        ReplicaAddr::serving(2),
+        ScalingAction::Join,
+    );
+    let disagg = session.serve(&workload).expect("disagg run");
+    let transfers = session.into_inner().transfer_stats();
 
     let mut table = Table::new(vec![
         "Deployment",
@@ -100,9 +91,9 @@ fn main() {
     println!("{}", table.render());
 
     let mut pools = Table::new(vec!["Replica", "Requests", "Detail"]);
-    for p in &disagg.per_prefill {
+    for p in disagg.prefill_units() {
         pools.row(vec![
-            format!("prefill-{}", p.replica),
+            p.label(),
             p.routed.to_string(),
             format!(
                 "{} prompts prefilled, {} tokens",
@@ -110,10 +101,10 @@ fn main() {
             ),
         ]);
     }
-    for d in &disagg.per_decode {
+    for d in disagg.serving_units() {
         let report = d.result.report();
         pools.row(vec![
-            format!("decode-{}", d.replica),
+            format!("decode-{}", d.replica.index),
             d.routed.to_string(),
             format!(
                 "TTFT att {:.1}%, p99 TPOT {:.1} ms",
@@ -128,9 +119,9 @@ fn main() {
     println!(
         "KV migration: {} transfers, {:.1} MB total, {:.2} ms mean link time\n\
          — transfers overlap decode; only the migrating request waits.",
-        disagg.transfers.transfers,
-        disagg.transfers.bytes as f64 / 1e6,
-        disagg.transfers.mean_transfer_ms(),
+        transfers.transfers,
+        transfers.bytes as f64 / 1e6,
+        transfers.mean_transfer_ms(),
     );
     println!(
         "Dedicated prefill replicas remove prefill/decode interference:\n\

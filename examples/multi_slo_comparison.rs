@@ -11,8 +11,8 @@
 use adaserve::baselines::{SarathiEngine, VllmEngine, VllmSpecEngine};
 use adaserve::core::AdaServeEngine;
 use adaserve::metrics::Table;
-use adaserve::serving::{run, RunOptions, ServingEngine, SystemConfig};
-use adaserve::workload::{env_seed, Category, WorkloadBuilder};
+use adaserve::serving::{Colocated, ServeSession, ServingEngine, SystemConfig};
+use adaserve::workload::{env_seed, smoke_scale, Category, WorkloadBuilder};
 
 fn main() {
     // ADASERVE_SEED overrides both the deployment and workload seeds.
@@ -21,11 +21,7 @@ fn main() {
     let config = make_config();
     // ADASERVE_SMOKE=1 (set by the CI smoke tests) shrinks the trace to a
     // few seconds so every engine still runs end to end, just briefly.
-    let (rps, duration_ms) = if std::env::var_os("ADASERVE_SMOKE").is_some() {
-        (2.0, 3_000.0)
-    } else {
-        (4.0, 90_000.0)
-    };
+    let (rps, duration_ms) = smoke_scale(4.0, 90_000.0);
     let workload = WorkloadBuilder::new(env_seed(3), config.baseline_ms)
         .target_rps(rps)
         .duration_ms(duration_ms)
@@ -48,8 +44,10 @@ fn main() {
         "chat viol%",
         "summ viol%",
     ]);
-    for mut engine in engines {
-        let result = run(engine.as_mut(), &workload, RunOptions::default()).expect("run");
+    for engine in engines {
+        let result = ServeSession::new(Colocated::new(engine))
+            .serve(&workload)
+            .expect("run");
         let report = result.report();
         let viol = |c: Category| {
             report
@@ -58,7 +56,7 @@ fn main() {
                 .unwrap_or_else(|| "-".into())
         };
         table.row(vec![
-            result.engine.clone(),
+            result.deployment.clone(),
             format!("{:.1}", report.attainment_pct),
             format!("{:.0}", report.goodput_tps),
             viol(Category::CodingCopilot),

@@ -1,13 +1,13 @@
-//! Quickstart: serve a multi-SLO workload with AdaServe and print the
-//! paper-style report.
+//! Quickstart: serve a multi-SLO workload with AdaServe through the
+//! unified front door and print the paper-style report.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
 use adaserve::core::AdaServeEngine;
-use adaserve::serving::{run, RunOptions, SystemConfig};
-use adaserve::workload::{env_seed, WorkloadBuilder};
+use adaserve::serving::{Colocated, ServeSession, SystemConfig};
+use adaserve::workload::{env_seed, smoke_scale, WorkloadBuilder};
 
 fn main() {
     // 1. Pick a deployment: Llama-3.1-70B on 4×A100 with its 1B draft
@@ -22,20 +22,21 @@ fn main() {
     // 2. Build a 60-second multi-SLO workload at 3.5 requests/second with the
     //    paper's 60/20/20 coding/chat/summarization mix. ADASERVE_SMOKE=1
     //    (set by the CI smoke tests) shrinks it to a few seconds.
-    let (rps, duration_ms) = if std::env::var_os("ADASERVE_SMOKE").is_some() {
-        (2.0, 3_000.0)
-    } else {
-        (3.5, 60_000.0)
-    };
+    let (rps, duration_ms) = smoke_scale(3.5, 60_000.0);
     let workload = WorkloadBuilder::new(env_seed(7), config.baseline_ms)
         .target_rps(rps)
         .duration_ms(duration_ms)
         .build();
     println!("Workload:   {}\n", workload.description);
 
-    // 3. Serve it with AdaServe (SLO-customized speculative decoding).
-    let mut engine = AdaServeEngine::new(config);
-    let result = run(&mut engine, &workload, RunOptions::default()).expect("run completes");
+    // 3. Serve it with AdaServe (SLO-customized speculative decoding): wrap
+    //    the engine as a `Colocated` deployment and drive it with a
+    //    `ServeSession` — the same front door cluster and disaggregated
+    //    deployments use.
+    let engine = Box::new(AdaServeEngine::new(config));
+    let result = ServeSession::new(Colocated::new(engine))
+        .serve(&workload)
+        .expect("run completes");
 
     // 4. Report.
     let report = result.report();
@@ -49,7 +50,7 @@ fn main() {
     println!("Throughput:     {:.0} tokens/s", report.throughput_tps);
     println!(
         "Mean accepted tokens per verification: {:.2}",
-        result.mean_accepted_per_verify
+        result.mean_accepted_per_verify()
     );
     println!("\nPer-category:");
     for c in &report.per_category {

@@ -1,17 +1,58 @@
 //! AdaServe: SLO-customized LLM serving with fine-grained speculative
 //! decoding — a full reproduction of the EuroSys 2026 paper in Rust.
 //!
-//! This meta-crate re-exports the workspace's public API:
+//! # One front door
+//!
+//! Every deployment shape — one engine, a routed multi-replica cluster, a
+//! disaggregated prefill/decode fleet — runs through the same two
+//! abstractions, re-exported here at the crate root:
+//!
+//! * [`Deployment`] — anything that accepts requests and advances its own
+//!   machinery event by event: [`Colocated`] (a single
+//!   [`serving::ServingEngine`]), [`cluster::Cluster`], or
+//!   [`disagg::DisaggCluster`];
+//! * [`ServeSession`] — the one event loop: it owns the clock, the run
+//!   caps, the stall guard and the scaling timeline, drives any
+//!   deployment **online** (arrivals at their timestamps, or submitted
+//!   mid-run by a client hook reacting to [`DeploymentEvent`]s), and
+//!   finalizes every run into one [`RunReport`].
+//!
+//! ```
+//! use adaserve::core::AdaServeEngine;
+//! use adaserve::{Colocated, ServeSession};
+//! use adaserve::serving::SystemConfig;
+//! use adaserve::workload::WorkloadBuilder;
+//!
+//! let config = SystemConfig::llama70b(42);
+//! let workload = WorkloadBuilder::new(7, config.baseline_ms)
+//!     .target_rps(2.0)
+//!     .duration_ms(5_000.0)
+//!     .build();
+//! let report = ServeSession::new(Colocated::new(Box::new(AdaServeEngine::new(config))))
+//!     .serve(&workload)
+//!     .unwrap();
+//! assert_eq!(report.report().requests, workload.requests.len());
+//! ```
+//!
+//! The legacy batch entry points (`serving::run`, `Cluster::run`,
+//! `DisaggCluster::run`) remain as deprecated shims over the session and
+//! are verified output-equivalent in `tests/output_equivalence.rs`;
+//! migrate by wrapping the same object in a [`ServeSession`] and calling
+//! [`ServeSession::serve`] (or [`ServeSession::serve_online`] for
+//! closed-loop traffic the batch API could not express).
+//!
+//! # Workspace map
 //!
 //! * [`core`] (`adaserve-core`) — the paper's contribution: optimal token
 //!   tree construction (Algorithm 1), SLO-customized speculative decoding
 //!   (Algorithm 2), adaptive control and the [`core::AdaServeEngine`];
 //! * [`baselines`] — vLLM, Sarathi-Serve, vLLM-Spec(k), vLLM+Priority,
 //!   FastServe and VTC reimplemented on the same substrate;
-//! * [`serving`] — request lifecycle, paged KV cache, discrete-event driver;
+//! * [`serving`] — request lifecycle, paged KV cache, and the
+//!   [`Deployment`]/[`ServeSession`] front door;
 //! * [`cluster`] — multi-replica fleets: pluggable request routers
-//!   (round-robin, least-outstanding, JSQ-by-load, SLO-aware) and a
-//!   cluster driver with elastic drain/join scaling;
+//!   (round-robin, least-outstanding, JSQ-by-load, SLO-aware) behind the
+//!   same front door, with elastic drain/join scaling;
 //! * [`disagg`] — disaggregated prefill/decode serving: split replica
 //!   pools, modeled KV migration over the interconnect, and TTFT-tier
 //!   SLO-aware dispatch;
@@ -21,8 +62,9 @@
 //! * [`workload`] — multi-SLO request categories, datasets and traces;
 //! * [`metrics`] — SLO attainment, goodput and latency reporting.
 //!
-//! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` for
-//! the paper-to-module map.
+//! See `examples/quickstart.rs` for a five-minute tour,
+//! `examples/online_serving.rs` for the online/closed-loop API, and
+//! `DESIGN.md` for the paper-to-module map.
 
 pub use adaserve_core as core;
 pub use baselines;
@@ -34,3 +76,8 @@ pub use serving;
 pub use simllm;
 pub use spectree;
 pub use workload;
+
+pub use serving::{
+    Colocated, Deployment, DeploymentEvent, Pool, RejectReason, ReplicaAddr, RunReport,
+    ScalingAction, ServeSession, SessionHandle, UnitStats,
+};

@@ -5,7 +5,7 @@ use adaserve::baselines::{
     FastServeEngine, PriorityEngine, SarathiEngine, VllmEngine, VllmSpecEngine, VtcEngine,
 };
 use adaserve::core::AdaServeEngine;
-use adaserve::serving::{run, RunOptions, ServingEngine, SystemConfig};
+use adaserve::serving::{Colocated, RunReport, ServeSession, ServingEngine, SystemConfig};
 use adaserve::workload::{Workload, WorkloadBuilder};
 
 fn workload(config: &SystemConfig) -> Workload {
@@ -13,6 +13,12 @@ fn workload(config: &SystemConfig) -> Workload {
         .target_rps(3.0)
         .duration_ms(20_000.0)
         .build()
+}
+
+fn serve(engine: &mut dyn ServingEngine, wl: &Workload) -> RunReport {
+    ServeSession::new(Colocated::borrowed(engine))
+        .serve(wl)
+        .unwrap_or_else(|e| panic!("{}: {e}", engine.name()))
 }
 
 fn engines(seed: u64) -> Vec<Box<dyn ServingEngine>> {
@@ -36,8 +42,7 @@ fn every_engine_conserves_requests() {
         "workload too small to be meaningful"
     );
     for mut engine in engines(5) {
-        let result = run(engine.as_mut(), &wl, RunOptions::default())
-            .unwrap_or_else(|e| panic!("{}: {e}", engine.name()));
+        let result = serve(engine.as_mut(), &wl);
         assert_eq!(result.records.len(), wl.requests.len(), "{}", engine.name());
         // Every record corresponds to a unique workload request with the
         // full output generated.
@@ -70,9 +75,13 @@ fn runs_are_deterministic() {
     for (a, b) in engines(5).into_iter().zip(engines(5)) {
         let mut a = a;
         let mut b = b;
-        let ra = run(a.as_mut(), &wl, RunOptions::default()).unwrap();
-        let rb = run(b.as_mut(), &wl, RunOptions::default()).unwrap();
-        assert_eq!(ra.records, rb.records, "{} not deterministic", ra.engine);
+        let ra = serve(a.as_mut(), &wl);
+        let rb = serve(b.as_mut(), &wl);
+        assert_eq!(
+            ra.records, rb.records,
+            "{} not deterministic",
+            ra.deployment
+        );
         assert_eq!(ra.end_ms, rb.end_ms);
         assert_eq!(ra.iterations, rb.iterations);
     }
@@ -83,7 +92,7 @@ fn reports_are_internally_consistent() {
     let config = SystemConfig::llama70b(5);
     let wl = workload(&config);
     for mut engine in engines(5) {
-        let result = run(engine.as_mut(), &wl, RunOptions::default()).unwrap();
+        let result = serve(engine.as_mut(), &wl);
         let report = result.report();
         assert!(report.attainment_pct >= 0.0 && report.attainment_pct <= 100.0);
         assert!(

@@ -78,3 +78,8 @@ fn cluster_serving_runs() {
 fn disagg_serving_runs() {
     run_example("disagg_serving");
 }
+
+#[test]
+fn online_serving_runs() {
+    run_example("online_serving");
+}

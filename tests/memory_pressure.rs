@@ -3,7 +3,9 @@
 
 use adaserve::baselines::{SarathiEngine, VllmEngine, VllmSpecEngine};
 use adaserve::core::AdaServeEngine;
-use adaserve::serving::{run, BlockManager, RunOptions, ServingEngine, SystemConfig};
+use adaserve::serving::{
+    BlockManager, Colocated, RunOptions, RunReport, ServeSession, ServingEngine, SystemConfig,
+};
 use adaserve::workload::{Category, RequestSpec, Workload};
 
 fn pressure_workload(n: u64) -> Workload {
@@ -29,6 +31,12 @@ fn squeeze(engine: &mut dyn ServingEngine, blocks: u64) {
     engine.core_mut().blocks = BlockManager::new(blocks, 16);
 }
 
+fn serve(engine: &mut dyn ServingEngine, wl: &Workload) -> RunReport {
+    ServeSession::new(Colocated::borrowed(engine))
+        .serve(wl)
+        .unwrap_or_else(|e| panic!("{}: {e}", engine.name()))
+}
+
 #[test]
 fn engines_survive_preemption_storms() {
     // Pool of 10 blocks × 16 tokens = 160 tokens; each request needs 70+ at
@@ -42,8 +50,7 @@ fn engines_survive_preemption_storms() {
     ];
     for engine in &mut engines {
         squeeze(engine.as_mut(), 10);
-        let result = run(engine.as_mut(), &wl, RunOptions::default())
-            .unwrap_or_else(|e| panic!("{}: {e}", engine.name()));
+        let result = serve(engine.as_mut(), &wl);
         assert_eq!(result.records.len(), 8, "{} lost requests", engine.name());
         let preemptions: u32 = result.records.iter().map(|r| r.preemptions).sum();
         assert!(preemptions > 0, "{} should have preempted", engine.name());
@@ -64,7 +71,7 @@ fn preempted_requests_still_produce_correct_token_counts() {
     let wl = pressure_workload(6);
     let mut engine = VllmEngine::new(SystemConfig::llama70b(4));
     squeeze(&mut engine, 8);
-    let result = run(&mut engine, &wl, RunOptions::default()).unwrap();
+    let result = serve(&mut engine, &wl);
     for rec in &result.records {
         assert_eq!(rec.output_tokens, 30);
     }
@@ -89,13 +96,22 @@ fn single_oversized_request_fits_or_errors_cleanly() {
     };
     let mut engine = VllmEngine::new(SystemConfig::llama70b(4));
     squeeze(&mut engine, 4); // 64-token pool vs 4000-token prompt
-    let result = run(
-        &mut engine,
-        &wl,
-        RunOptions {
-            max_sim_ms: 60_000.0,
-            max_iterations: 100_000,
-        },
-    );
+    let options = RunOptions {
+        max_sim_ms: 60_000.0,
+        max_iterations: 100_000,
+    };
+    // Legacy semantics (admission control off): the run errors out.
+    let result = ServeSession::with_options(Colocated::borrowed(&mut engine), options)
+        .admission_control(false)
+        .serve(&wl);
     assert!(result.is_err(), "oversized request cannot be served");
+    // Front-door default: the request is rejected up front and the run
+    // completes cleanly (the online admission model's new capability).
+    let mut engine = VllmEngine::new(SystemConfig::llama70b(4));
+    squeeze(&mut engine, 4);
+    let report = ServeSession::with_options(Colocated::borrowed(&mut engine), options)
+        .serve(&wl)
+        .expect("rejection keeps the run alive");
+    assert!(report.records.is_empty());
+    assert_eq!(report.rejected.len(), 1);
 }

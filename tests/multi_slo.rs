@@ -2,10 +2,17 @@
 
 use adaserve::baselines::{VllmEngine, VllmSpecEngine};
 use adaserve::core::{AdaServeEngine, AdaServeOptions};
-use adaserve::serving::{run, RunOptions, SystemConfig};
-use adaserve::workload::{CategoryMix, WorkloadBuilder};
+use adaserve::serving::{Colocated, RunReport, ServeSession, ServingEngine, SystemConfig};
+use adaserve::workload::{CategoryMix, Workload, WorkloadBuilder};
 
 const DURATION_MS: f64 = 45_000.0;
+
+/// Serve one engine through the unified front door.
+fn serve(engine: impl ServingEngine + 'static, wl: &Workload) -> RunReport {
+    ServeSession::new(Colocated::new(Box::new(engine)))
+        .serve(wl)
+        .expect("run completes")
+}
 
 #[test]
 fn adaserve_beats_vllm_on_stringent_mixes() {
@@ -15,20 +22,8 @@ fn adaserve_beats_vllm_on_stringent_mixes() {
         .target_rps(4.0)
         .duration_ms(DURATION_MS)
         .build();
-    let ada = run(
-        &mut AdaServeEngine::new(SystemConfig::llama70b(9)),
-        &wl,
-        RunOptions::default(),
-    )
-    .unwrap()
-    .report();
-    let vllm = run(
-        &mut VllmEngine::new(SystemConfig::llama70b(9)),
-        &wl,
-        RunOptions::default(),
-    )
-    .unwrap()
-    .report();
+    let ada = serve(AdaServeEngine::new(SystemConfig::llama70b(9)), &wl).report();
+    let vllm = serve(VllmEngine::new(SystemConfig::llama70b(9)), &wl).report();
     assert!(
         ada.attainment_pct > vllm.attainment_pct + 10.0,
         "AdaServe {:.1}% vs vLLM {:.1}%",
@@ -54,20 +49,8 @@ fn adaserve_survives_sub_baseline_slos() {
         .target_rps(3.0)
         .duration_ms(DURATION_MS)
         .build();
-    let ada = run(
-        &mut AdaServeEngine::new(SystemConfig::llama70b(9)),
-        &wl,
-        RunOptions::default(),
-    )
-    .unwrap()
-    .report();
-    let vllm = run(
-        &mut VllmEngine::new(SystemConfig::llama70b(9)),
-        &wl,
-        RunOptions::default(),
-    )
-    .unwrap()
-    .report();
+    let ada = serve(AdaServeEngine::new(SystemConfig::llama70b(9)), &wl).report();
+    let vllm = serve(VllmEngine::new(SystemConfig::llama70b(9)), &wl).report();
     // vLLM must violate essentially every urgent request (its TPOT floor is
     // the baseline); AdaServe keeps most of them.
     let urgent = workload::Category::CodingCopilot;
@@ -96,15 +79,9 @@ fn slo_selection_phase_pays_off_for_urgent_requests() {
         .target_rps(4.0)
         .duration_ms(DURATION_MS)
         .build();
-    let full = run(
-        &mut AdaServeEngine::new(SystemConfig::llama70b(9)),
-        &wl,
-        RunOptions::default(),
-    )
-    .unwrap()
-    .report();
-    let ablated = run(
-        &mut AdaServeEngine::with_options(
+    let full = serve(AdaServeEngine::new(SystemConfig::llama70b(9)), &wl).report();
+    let ablated = serve(
+        AdaServeEngine::with_options(
             SystemConfig::llama70b(9),
             AdaServeOptions {
                 slo_selection: false,
@@ -112,9 +89,7 @@ fn slo_selection_phase_pays_off_for_urgent_requests() {
             },
         ),
         &wl,
-        RunOptions::default(),
     )
-    .unwrap()
     .report();
     let urgent = workload::Category::CodingCopilot;
     let full_v = full.category(urgent).unwrap().violation_pct;
@@ -134,22 +109,12 @@ fn adaserve_tracks_spec_baseline_acceptance() {
         .target_rps(2.0)
         .duration_ms(DURATION_MS)
         .build();
-    let ada = run(
-        &mut AdaServeEngine::new(SystemConfig::llama70b(9)),
-        &wl,
-        RunOptions::default(),
-    )
-    .unwrap();
-    let spec4 = run(
-        &mut VllmSpecEngine::new(SystemConfig::llama70b(9), 4),
-        &wl,
-        RunOptions::default(),
-    )
-    .unwrap();
+    let ada = serve(AdaServeEngine::new(SystemConfig::llama70b(9)), &wl);
+    let spec4 = serve(VllmSpecEngine::new(SystemConfig::llama70b(9), 4), &wl);
     assert!(
-        ada.mean_accepted_per_verify >= spec4.mean_accepted_per_verify * 0.9,
+        ada.mean_accepted_per_verify() >= spec4.mean_accepted_per_verify() * 0.9,
         "AdaServe accepted {:.2} vs spec(4) {:.2}",
-        ada.mean_accepted_per_verify,
-        spec4.mean_accepted_per_verify
+        ada.mean_accepted_per_verify(),
+        spec4.mean_accepted_per_verify()
     );
 }

@@ -1,4 +1,6 @@
-//! Integration: speculative decoding is lossless.
+//! Integration: speculative decoding is lossless, and the unified
+//! `ServeSession` front door is output-equivalent to the legacy per-topology
+//! entry points.
 //!
 //! The defining guarantee of speculative decoding (paper §1: "a single
 //! verification step ... to ensure lossless generation") is that the output
@@ -7,6 +9,11 @@
 //! is a pure function of `(stream, k)`, so the invariant is exactly testable:
 //! the stream AdaServe commits must equal the reference chain sampled
 //! directly from the target model.
+//!
+//! The [`front_door_equivalence`] module pins the API redesign: the
+//! deprecated `serving::run`, `Cluster::run` and `DisaggCluster::run` shims
+//! must reproduce, record for record, what an explicitly-driven
+//! `ServeSession` produces on the same seeded workloads.
 
 use adaserve::core::AdaServeEngine;
 use adaserve::serving::{ServingEngine, SystemConfig};
@@ -89,5 +96,182 @@ fn adaserve_output_equals_autoregressive_reference() {
             "request {id} observed only to {seen} of {}",
             specs[id].output_len
         );
+    }
+}
+
+mod front_door_equivalence {
+    use adaserve::baselines::{SarathiEngine, VllmEngine};
+    use adaserve::cluster::{Cluster, RouterKind, ScalingAction, ScalingEvent};
+    use adaserve::core::AdaServeEngine;
+    use adaserve::disagg::{
+        DisaggCluster, DisaggScalingEvent, Dispatcher, KvLink, Pool, PrefillPool,
+    };
+    use adaserve::serving::{
+        Colocated, ReplicaAddr, RunOptions, ServeSession, ServingEngine, SystemConfig,
+    };
+    use adaserve::workload::{Workload, WorkloadBuilder};
+
+    fn workload(seed: u64, baseline_ms: f64) -> Workload {
+        WorkloadBuilder::new(seed, baseline_ms)
+            .target_rps(3.0)
+            .duration_ms(12_000.0)
+            .build()
+    }
+
+    fn fleet(n: usize, seed: u64) -> Vec<Box<dyn ServingEngine>> {
+        (0..n)
+            .map(|i| match i % 3 {
+                0 => Box::new(AdaServeEngine::new(SystemConfig::llama70b(seed)))
+                    as Box<dyn ServingEngine>,
+                1 => Box::new(VllmEngine::new(SystemConfig::llama70b(seed))),
+                _ => Box::new(SarathiEngine::new(SystemConfig::llama70b(seed))),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn colocated_shim_matches_serve_session() {
+        let config = SystemConfig::llama70b(13);
+        let wl = workload(31, config.baseline_ms);
+
+        #[allow(deprecated)] // the legacy entry point under test
+        let legacy = adaserve::serving::run(
+            &mut AdaServeEngine::new(SystemConfig::llama70b(13)),
+            &wl,
+            RunOptions::default(),
+        )
+        .expect("legacy run");
+
+        let session = ServeSession::new(Colocated::new(Box::new(AdaServeEngine::new(
+            SystemConfig::llama70b(13),
+        ))))
+        .serve(&wl)
+        .expect("session run");
+
+        assert_eq!(legacy.records, session.records, "same completion records");
+        assert_eq!(legacy.report(), session.report(), "same SloReport");
+        assert_eq!(legacy.end_ms, session.end_ms);
+        assert_eq!(legacy.iterations, session.iterations);
+        assert_eq!(
+            legacy.mean_accepted_per_verify,
+            session.mean_accepted_per_verify()
+        );
+    }
+
+    #[test]
+    fn cluster_shim_matches_serve_session() {
+        let baseline_ms = SystemConfig::llama70b(13).baseline_ms;
+        let wl = workload(32, baseline_ms);
+        let events = vec![
+            ScalingEvent {
+                at_ms: 3_000.0,
+                replica: 1,
+                action: ScalingAction::Drain,
+            },
+            ScalingEvent {
+                at_ms: 7_000.0,
+                replica: 1,
+                action: ScalingAction::Join,
+            },
+        ];
+
+        #[allow(deprecated)] // the legacy entry point under test
+        let legacy = Cluster::new(fleet(3, 13), RouterKind::SloAware.build())
+            .with_events(events.clone())
+            .run(&wl, RunOptions::default())
+            .expect("legacy cluster run");
+
+        let mut session =
+            ServeSession::new(Cluster::new(fleet(3, 13), RouterKind::SloAware.build()));
+        for e in &events {
+            session.scale_at(e.at_ms, ReplicaAddr::serving(e.replica), e.action);
+        }
+        let report = session.serve(&wl).expect("session cluster run");
+
+        assert_eq!(legacy.records, report.records, "same merged records");
+        assert_eq!(legacy.report(), report.report(), "same SloReport");
+        assert_eq!(legacy.router, report.deployment);
+        assert_eq!(legacy.end_ms, report.end_ms);
+        assert_eq!(legacy.iterations, report.iterations);
+        let legacy_shares: Vec<u64> = legacy.per_replica.iter().map(|r| r.routed).collect();
+        let session_shares: Vec<u64> = report.units.iter().map(|u| u.routed).collect();
+        assert_eq!(legacy_shares, session_shares, "same routing decisions");
+        for (l, s) in legacy.per_replica.iter().zip(report.units.iter()) {
+            assert_eq!(l.result.records, s.result.records, "replica {}", l.replica);
+        }
+    }
+
+    #[test]
+    fn disagg_shim_matches_serve_session() {
+        let baseline_ms = SystemConfig::llama70b(13).baseline_ms;
+        let wl = workload(33, baseline_ms);
+        let events = vec![DisaggScalingEvent {
+            at_ms: 4_000.0,
+            pool: Pool::Decode,
+            replica: 1,
+            action: ScalingAction::Drain,
+        }];
+        let build = || {
+            DisaggCluster::new(
+                PrefillPool::new(vec![SystemConfig::llama70b(13)]),
+                fleet(2, 13),
+                Dispatcher::new(RouterKind::SloAware.build()),
+                KvLink::new(300.0, 0.05),
+            )
+        };
+
+        #[allow(deprecated)] // the legacy entry point under test
+        let legacy = build()
+            .with_events(events.clone())
+            .run(&wl, RunOptions::default())
+            .expect("legacy disagg run");
+
+        let mut session = ServeSession::new(build());
+        for e in &events {
+            session.scale_at(
+                e.at_ms,
+                ReplicaAddr {
+                    pool: e.pool,
+                    index: e.replica,
+                },
+                e.action,
+            );
+        }
+        let report = session.serve(&wl).expect("session disagg run");
+        let transfers = session.into_inner().transfer_stats();
+
+        assert_eq!(legacy.records, report.records, "same merged records");
+        assert_eq!(legacy.report(), report.report(), "same SloReport");
+        assert_eq!(legacy.decode_router, report.deployment);
+        assert_eq!(legacy.end_ms, report.end_ms);
+        assert_eq!(legacy.iterations, report.iterations);
+        assert_eq!(legacy.transfers, transfers, "same migration telemetry");
+        let legacy_pre: Vec<u64> = legacy.per_prefill.iter().map(|p| p.routed).collect();
+        let session_pre: Vec<u64> = report.prefill_units().map(|u| u.routed).collect();
+        assert_eq!(legacy_pre, session_pre, "same prefill dispatch");
+        let legacy_dec: Vec<u64> = legacy.per_decode.iter().map(|r| r.routed).collect();
+        let session_dec: Vec<u64> = report.serving_units().map(|u| u.routed).collect();
+        assert_eq!(legacy_dec, session_dec, "same decode handoff");
+    }
+
+    #[test]
+    fn single_replica_cluster_matches_colocated_session() {
+        // Cross-topology sanity: the trivial cluster degenerates to the
+        // colocated deployment, record for record.
+        let baseline_ms = SystemConfig::llama70b(13).baseline_ms;
+        let wl = workload(34, baseline_ms);
+        let as_cluster = ServeSession::new(Cluster::new(
+            vec![Box::new(AdaServeEngine::new(SystemConfig::llama70b(13)))],
+            RouterKind::RoundRobin.build(),
+        ))
+        .serve(&wl)
+        .expect("cluster run");
+        let as_colocated = ServeSession::new(Colocated::new(Box::new(AdaServeEngine::new(
+            SystemConfig::llama70b(13),
+        ))))
+        .serve(&wl)
+        .expect("colocated run");
+        assert_eq!(as_cluster.records, as_colocated.records);
+        assert_eq!(as_cluster.report(), as_colocated.report());
     }
 }
