@@ -9,8 +9,8 @@
 use adaserve_core::{optimal_trees, select_tokens, AdaServeEngine, ExplicitProbTree, ScsdInput};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use serving::{Colocated, ServeSession, SystemConfig};
-use simllm::{ContentClass, LmContext, ModelPair, TokenId};
-use spectree::{verify_tree, CandidateTree, SpecParams, TokenTree, VerifyMode};
+use simllm::{ContentClass, Lm, LmContext, ModelPair, TokenId};
+use spectree::{verify_tree, CandidateTree, SpecParams, SpeculateScratch, TokenTree, VerifyMode};
 use std::hint::black_box;
 use workload::WorkloadBuilder;
 
@@ -62,6 +62,83 @@ fn bench_selection(c: &mut Criterion) {
             })
         });
     }
+    group.finish();
+}
+
+fn bench_dist_cache(c: &mut Criterion) {
+    // The LM-distribution memo: a cold lookup computes the blended head,
+    // a warm lookup is a table probe plus an Arc bump. The ratio is what
+    // verification (which re-reads draft-pass contexts) gains.
+    let tokens: Vec<TokenId> = (0..16).map(|i| TokenId(40 + i)).collect();
+    let mut group = c.benchmark_group("dist_cache");
+    group.bench_function("target_cold", |b| {
+        let mut stream = 0u64;
+        let pair = ModelPair::calibrated(7);
+        b.iter(|| {
+            stream += 1; // fresh stream seed => guaranteed memo miss
+            let ctx = LmContext::new(stream, ContentClass::Chat, &tokens);
+            black_box(pair.target().next_dist_arc(&ctx))
+        })
+    });
+    group.bench_function("target_warm", |b| {
+        let pair = ModelPair::calibrated(7);
+        let ctx = LmContext::new(5, ContentClass::Chat, &tokens);
+        let _ = pair.target().next_dist_arc(&ctx); // prime
+        b.iter(|| black_box(pair.target().next_dist_arc(&ctx)))
+    });
+    group.bench_function("draft_top4_fused", |b| {
+        let pair = ModelPair::calibrated(7);
+        let mut stream = 0u64;
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        b.iter(|| {
+            stream += 1;
+            let ctx = LmContext::new(stream, ContentClass::Chat, &tokens);
+            pair.draft()
+                .top_w_extended(&ctx, &[], 4, &mut scratch, &mut out);
+            black_box(out.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_tree_ops(c: &mut Criterion) {
+    // The flat (intrusive-children) tree layout: pooled rebuilds and the
+    // dense induced-subtree remap both run per request per iteration.
+    let pair = ModelPair::calibrated(7);
+    let tokens: Vec<TokenId> = (0..24).map(|i| TokenId(60 + i)).collect();
+    let ctx = LmContext::new(11, ContentClass::Chat, &tokens);
+    let params = SpecParams::new(6, 4);
+    let cand = CandidateTree::speculate(pair.draft(), &ctx, params);
+    let order = cand.tree().speculated_by_prob_desc();
+
+    let mut group = c.benchmark_group("tree_ops");
+    group.bench_function("speculate_pooled_d6_w4", |b| {
+        let mut pooled = CandidateTree::empty();
+        let mut scratch = SpeculateScratch::new();
+        b.iter(|| {
+            pooled.speculate_with(pair.draft(), &ctx, params, &mut scratch);
+            black_box(pooled.tree().len())
+        })
+    });
+    group.bench_function("induced_subtree_dense_remap", |b| {
+        let keep = &order[..order.len() / 2];
+        let mut out = TokenTree::new(TokenId(0));
+        let mut scratch = spectree::SubtreeScratch::default();
+        b.iter(|| {
+            cand.tree()
+                .induced_subtree_into(keep, &mut out, &mut scratch)
+                .expect("connected prefix");
+            black_box(out.len())
+        })
+    });
+    group.bench_function("prob_desc_order_into", |b| {
+        let mut buf = Vec::new();
+        b.iter(|| {
+            cand.tree().speculated_by_prob_desc_into(&mut buf);
+            black_box(buf.len())
+        })
+    });
     group.finish();
 }
 
@@ -161,7 +238,8 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_speculation, bench_selection, bench_verification,
-              bench_algorithm1, bench_block_manager, bench_engine_iteration
+    targets = bench_speculation, bench_selection, bench_dist_cache,
+              bench_tree_ops, bench_verification, bench_algorithm1,
+              bench_block_manager, bench_engine_iteration
 }
 criterion_main!(benches);

@@ -1,0 +1,148 @@
+//! `perf_report` — wall-clock performance of the serving hot loop.
+//!
+//! Every other bench binary reports what the *modelled system* does (SLO
+//! attainment, goodput); this one reports what the *implementation*
+//! costs: how many simulated output tokens and engine iterations one CPU
+//! second drives, the peak decoding batch, the measured scheduling share
+//! (the paper's Fig. 15 claim) and the LM-distribution cache hit rate.
+//! It is the repo's wall-clock perf trajectory: CI emits and
+//! schema-checks `BENCH_perf.json` on every push, so a PR that slows the
+//! hot loop changes a tracked artifact instead of slipping by.
+//!
+//! Rows: a colocated AdaServe engine, and a 4-replica cluster stepped
+//! both in parallel (the default) and sequentially — the cluster pair
+//! exposes the parallel-stepping lever on multi-core hosts while staying
+//! record-for-record identical (see `tests/output_equivalence.rs`).
+//!
+//! ```sh
+//! cargo run --release -p adaserve-bench --bin perf_report -- \
+//!     [--quick] [--duration-s F] [--json-out BENCH_perf.json]
+//! ```
+
+use adaserve_bench::{PerfRow, PerfSummary};
+use adaserve_core::AdaServeEngine;
+use cluster::{Cluster, RouterKind};
+use metrics::HotLoopStats;
+use serving::{Colocated, Deployment, RunReport, ServeSession, ServingEngine, SystemConfig};
+use std::time::Instant;
+use workload::{Workload, WorkloadBuilder};
+
+fn engines(n: usize, seed: u64) -> Vec<Box<dyn ServingEngine>> {
+    (0..n)
+        .map(|_| {
+            Box::new(AdaServeEngine::new(SystemConfig::llama70b(seed))) as Box<dyn ServingEngine>
+        })
+        .collect()
+}
+
+/// Serves `wl` on `deployment`, returning the report and the wall time.
+fn timed<D: Deployment>(deployment: D, wl: &Workload) -> (RunReport, f64) {
+    let start = Instant::now();
+    let report = ServeSession::new(deployment)
+        .serve(wl)
+        .expect("perf run completes");
+    (report, start.elapsed().as_secs_f64() * 1e3)
+}
+
+fn row(label: &str, report: &RunReport, wall_ms: f64) -> PerfRow {
+    let sim_tokens: u64 = report
+        .records
+        .iter()
+        .map(|r| u64::from(r.output_tokens))
+        .sum();
+    let mut hotloop = HotLoopStats::default();
+    let mut breakdown = metrics::LatencyBreakdown::new();
+    for u in report.serving_units() {
+        hotloop.merge(&u.result.hotloop);
+        breakdown.merge(&u.result.breakdown);
+    }
+    let (scheduling_share_pct, _, _, _) = breakdown.shares_pct();
+    let wall_s = (wall_ms / 1e3).max(1e-9);
+    PerfRow {
+        label: label.to_string(),
+        wall_ms,
+        sim_ms: report.end_ms,
+        sim_tokens,
+        sim_tokens_per_sec: sim_tokens as f64 / wall_s,
+        iterations: report.iterations,
+        iterations_per_sec: report.iterations as f64 / wall_s,
+        peak_decode_batch: hotloop.peak_decode_batch,
+        scheduling_share_pct,
+        dist_cache_hit_rate_pct: hotloop.dist_cache_hit_rate_pct(),
+    }
+}
+
+fn main() {
+    adaserve_bench::check_sweep_args("perf_report");
+    let seed = adaserve_bench::seed();
+    let duration_ms = adaserve_bench::sweep_duration_ms(10_000.0, 60_000.0);
+    let mode = if adaserve_bench::is_smoke() {
+        "smoke"
+    } else {
+        "full"
+    };
+    let config = SystemConfig::llama70b(seed);
+    let baseline_ms = config.baseline_ms;
+    let rps = if mode == "smoke" { 2.0 } else { 4.0 };
+    let wl = WorkloadBuilder::new(seed, baseline_ms)
+        .target_rps(rps)
+        .duration_ms(duration_ms)
+        .build();
+
+    println!("perf_report: seed={seed} duration={duration_ms}ms rps={rps} mode={mode}");
+    let mut summary = PerfSummary::new("perf_report", mode, seed, duration_ms);
+
+    let (report, wall_ms) = timed(Colocated::new(Box::new(AdaServeEngine::new(config))), &wl);
+    summary
+        .rows
+        .push(row(&format!("colocated rps={rps}"), &report, wall_ms));
+
+    // Heavier aggregate traffic for the fleet rows so every replica works.
+    let fleet_wl = WorkloadBuilder::new(seed ^ 0xF1EE7, baseline_ms)
+        .target_rps(rps * 4.0)
+        .duration_ms(duration_ms)
+        .build();
+    let (par_report, par_wall) = timed(
+        Cluster::new(engines(4, seed), RouterKind::SloAware.build()).with_parallel_stepping(true),
+        &fleet_wl,
+    );
+    summary.rows.push(row(
+        &format!("cluster-4x parallel rps={}", rps * 4.0),
+        &par_report,
+        par_wall,
+    ));
+    let (seq_report, seq_wall) = timed(
+        Cluster::new(engines(4, seed), RouterKind::SloAware.build()).with_parallel_stepping(false),
+        &fleet_wl,
+    );
+    summary.rows.push(row(
+        &format!("cluster-4x sequential rps={}", rps * 4.0),
+        &seq_report,
+        seq_wall,
+    ));
+    assert_eq!(
+        par_report.records, seq_report.records,
+        "parallel and sequential stepping must stay record-identical"
+    );
+
+    println!(
+        "{:<32} {:>10} {:>12} {:>10} {:>8} {:>8} {:>8}",
+        "row", "wall_ms", "sim_tok/s", "iters/s", "peak_b", "sched%", "cache%"
+    );
+    for r in &summary.rows {
+        println!(
+            "{:<32} {:>10.1} {:>12.0} {:>10.0} {:>8} {:>8.3} {:>8.1}",
+            r.label,
+            r.wall_ms,
+            r.sim_tokens_per_sec,
+            r.iterations_per_sec,
+            r.peak_decode_batch,
+            r.scheduling_share_pct,
+            r.dist_cache_hit_rate_pct,
+        );
+    }
+
+    if let Some(path) = adaserve_bench::parse_json_out() {
+        summary.write(&path).expect("write perf artifact");
+    }
+}

@@ -15,7 +15,7 @@
 pub mod json;
 pub mod summary;
 
-pub use summary::{BenchRow, BenchSummary, TierSummary};
+pub use summary::{BenchRow, BenchSummary, PerfRow, PerfSummary, TierSummary};
 
 use adaserve_core::{AdaServeEngine, AdaServeOptions};
 use baselines::{

@@ -227,33 +227,260 @@ impl BenchSummary {
 
     /// Writes the artifact to `path` and logs the destination to stderr.
     pub fn write(&self, path: &Path) -> std::io::Result<()> {
-        std::fs::write(path, self.to_json_string())?;
-        eprintln!(
-            "wrote {} ({} rows, mode={}, seed={})",
-            path.display(),
+        write_artifact(
+            path,
+            self.to_json_string(),
             self.rows.len(),
-            self.mode,
-            self.seed
-        );
-        Ok(())
+            &self.mode,
+            self.seed,
+        )
     }
 }
 
-/// Validates a parsed document against the current [`SCHEMA_VERSION`]
-/// (older versions are rejected — version 1 lacked the TTFT keys).
+/// Writes a serialized artifact to `path` and logs the destination to
+/// stderr (shared by both artifact families so the emit contract cannot
+/// diverge).
+fn write_artifact(
+    path: &Path,
+    text: String,
+    rows: usize,
+    mode: &str,
+    seed: u64,
+) -> std::io::Result<()> {
+    std::fs::write(path, text)?;
+    eprintln!(
+        "wrote {} ({rows} rows, mode={mode}, seed={seed})",
+        path.display()
+    );
+    Ok(())
+}
+
+/// Requires `value` to be a finite number, recording a violation naming
+/// `what` otherwise (shared by both schema validators).
+fn need_num(errors: &mut Vec<String>, value: Option<&Json>, what: &str) -> Option<f64> {
+    match value.and_then(Json::as_num) {
+        Some(n) if n.is_finite() => Some(n),
+        _ => {
+            errors.push(format!("missing or non-numeric {what}"));
+            None
+        }
+    }
+}
+
+/// One wall-clock perf measurement (a [`PerfSummary`] row).
+///
+/// Unlike [`BenchRow`], these quantify the *implementation's* speed, not
+/// the modelled system's SLO behavior: how many simulated tokens and
+/// engine iterations one CPU second drives, how large the decoding batch
+/// got, what share of modelled time the (real, measured) scheduler took,
+/// and how well the LM-distribution cache hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfRow {
+    /// Configuration label, e.g. `"colocated rps=8"`.
+    pub label: String,
+    /// Wall-clock time of the run, ms.
+    pub wall_ms: f64,
+    /// Simulated time covered, ms.
+    pub sim_ms: f64,
+    /// Output tokens generated in simulation.
+    pub sim_tokens: u64,
+    /// Simulated output tokens per wall-clock second (the headline
+    /// hot-loop throughput).
+    pub sim_tokens_per_sec: f64,
+    /// Engine iterations executed.
+    pub iterations: u64,
+    /// Engine iterations per wall-clock second.
+    pub iterations_per_sec: f64,
+    /// Largest decoding batch observed.
+    pub peak_decode_batch: u64,
+    /// Scheduling share of the modelled latency breakdown, percent
+    /// (the Fig. 15 claim, measured on this implementation).
+    pub scheduling_share_pct: f64,
+    /// LM-distribution cache hit rate, percent.
+    pub dist_cache_hit_rate_pct: f64,
+}
+
+/// A machine-readable wall-clock perf artifact (`BENCH_perf.json`).
+///
+/// Distinguished from the SLO-sweep schema by `"kind": "perf"`;
+/// [`validate`] dispatches on that key, so both artifact families flow
+/// through the same `check_bench_json` CI gate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfSummary {
+    /// Emitting binary (e.g. `"perf_report"`).
+    pub name: String,
+    /// `"smoke"` (CI-sized) or `"full"`.
+    pub mode: String,
+    /// The experiment seed the run used.
+    pub seed: u64,
+    /// Simulated duration per row, ms.
+    pub duration_ms: f64,
+    /// Measurements.
+    pub rows: Vec<PerfRow>,
+}
+
+impl PerfSummary {
+    /// Creates an empty perf summary; `mode` must be `"smoke"` or `"full"`.
+    pub fn new(
+        name: impl Into<String>,
+        mode: impl Into<String>,
+        seed: u64,
+        duration_ms: f64,
+    ) -> Self {
+        let mode = mode.into();
+        assert!(
+            mode == "smoke" || mode == "full",
+            "mode must be smoke|full, got {mode:?}"
+        );
+        Self {
+            name: name.into(),
+            mode,
+            seed,
+            duration_ms,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Lowers the summary to a JSON value.
+    pub fn to_json(&self) -> Json {
+        let mut top = BTreeMap::new();
+        top.insert(
+            "schema_version".into(),
+            Json::Num(f64::from(SCHEMA_VERSION)),
+        );
+        top.insert("kind".into(), Json::Str("perf".into()));
+        top.insert("name".into(), Json::Str(self.name.clone()));
+        top.insert("mode".into(), Json::Str(self.mode.clone()));
+        top.insert("seed".into(), Json::Int(self.seed));
+        top.insert("duration_ms".into(), Json::Num(self.duration_ms));
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| {
+                let mut m = BTreeMap::new();
+                m.insert("label".into(), Json::Str(row.label.clone()));
+                m.insert("wall_ms".into(), Json::Num(row.wall_ms));
+                m.insert("sim_ms".into(), Json::Num(row.sim_ms));
+                m.insert("sim_tokens".into(), Json::Num(row.sim_tokens as f64));
+                m.insert(
+                    "sim_tokens_per_sec".into(),
+                    Json::Num(row.sim_tokens_per_sec),
+                );
+                m.insert("iterations".into(), Json::Num(row.iterations as f64));
+                m.insert(
+                    "iterations_per_sec".into(),
+                    Json::Num(row.iterations_per_sec),
+                );
+                m.insert(
+                    "peak_decode_batch".into(),
+                    Json::Num(row.peak_decode_batch as f64),
+                );
+                m.insert(
+                    "scheduling_share_pct".into(),
+                    Json::Num(row.scheduling_share_pct),
+                );
+                m.insert(
+                    "dist_cache_hit_rate_pct".into(),
+                    Json::Num(row.dist_cache_hit_rate_pct),
+                );
+                Json::Obj(m)
+            })
+            .collect();
+        top.insert("rows".into(), Json::Arr(rows));
+        Json::Obj(top)
+    }
+
+    /// Serializes to a compact JSON string (newline-terminated).
+    pub fn to_json_string(&self) -> String {
+        let mut s = self.to_json().to_string_compact();
+        s.push('\n');
+        s
+    }
+
+    /// Writes the artifact to `path` and logs the destination to stderr.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        write_artifact(
+            path,
+            self.to_json_string(),
+            self.rows.len(),
+            &self.mode,
+            self.seed,
+        )
+    }
+}
+
+/// Validates a parsed document, dispatching on its `kind`: documents
+/// marked `"kind": "perf"` check against the perf schema, everything
+/// else against the SLO-sweep schema of [`SCHEMA_VERSION`] (older
+/// versions are rejected — version 1 lacked the TTFT keys).
 ///
 /// Returns every violation found (not just the first), so a CI failure
 /// message names all missing keys at once.
 pub fn validate(doc: &Json) -> Result<(), Vec<String>> {
-    fn need_num(errors: &mut Vec<String>, value: Option<&Json>, what: &str) -> Option<f64> {
-        match value.and_then(Json::as_num) {
-            Some(n) if n.is_finite() => Some(n),
-            _ => {
-                errors.push(format!("missing or non-numeric {what}"));
-                None
+    if doc.get("kind").and_then(Json::as_str) == Some("perf") {
+        return validate_perf(doc);
+    }
+    validate_slo(doc)
+}
+
+/// Validates a perf artifact (see [`PerfSummary`]).
+pub fn validate_perf(doc: &Json) -> Result<(), Vec<String>> {
+    let mut errors = Vec::new();
+    match need_num(&mut errors, doc.get("schema_version"), "schema_version") {
+        Some(v) if v == f64::from(SCHEMA_VERSION) => {}
+        Some(v) => errors.push(format!("unsupported schema_version {v}")),
+        None => {}
+    }
+    if doc
+        .get("name")
+        .and_then(Json::as_str)
+        .is_none_or(str::is_empty)
+    {
+        errors.push("missing or empty name".into());
+    }
+    match doc.get("mode").and_then(Json::as_str) {
+        Some("smoke") | Some("full") => {}
+        other => errors.push(format!("mode must be \"smoke\" or \"full\", got {other:?}")),
+    }
+    need_num(&mut errors, doc.get("seed"), "seed");
+    need_num(&mut errors, doc.get("duration_ms"), "duration_ms");
+    match doc.get("rows").and_then(Json::as_arr) {
+        None => errors.push("missing rows array".into()),
+        Some([]) => errors.push("rows is empty".into()),
+        Some(rows) => {
+            for (i, row) in rows.iter().enumerate() {
+                if row
+                    .get("label")
+                    .and_then(Json::as_str)
+                    .is_none_or(str::is_empty)
+                {
+                    errors.push(format!("rows[{i}]: missing or empty label"));
+                }
+                for key in [
+                    "wall_ms",
+                    "sim_ms",
+                    "sim_tokens",
+                    "sim_tokens_per_sec",
+                    "iterations",
+                    "iterations_per_sec",
+                    "peak_decode_batch",
+                    "scheduling_share_pct",
+                    "dist_cache_hit_rate_pct",
+                ] {
+                    need_num(&mut errors, row.get(key), &format!("rows[{i}].{key}"));
+                }
             }
         }
     }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+/// Validates an SLO-sweep artifact (the historical `BENCH_*.json` shape).
+fn validate_slo(doc: &Json) -> Result<(), Vec<String>> {
     let mut errors = Vec::new();
 
     match need_num(&mut errors, doc.get("schema_version"), "schema_version") {
@@ -465,5 +692,68 @@ mod tests {
     #[should_panic(expected = "mode must be smoke|full")]
     fn bad_mode_panics_at_construction() {
         let _ = BenchSummary::new("x", "warp", 1, 1.0);
+    }
+
+    fn perf_summary() -> PerfSummary {
+        let mut summary = PerfSummary::new("perf_report", "smoke", 7, 10_000.0);
+        summary.rows.push(PerfRow {
+            label: "colocated rps=2".into(),
+            wall_ms: 65.0,
+            sim_ms: 10_250.0,
+            sim_tokens: 4_200,
+            sim_tokens_per_sec: 64_615.0,
+            iterations: 296,
+            iterations_per_sec: 4_553.0,
+            peak_decode_batch: 7,
+            scheduling_share_pct: 0.02,
+            dist_cache_hit_rate_pct: 9.5,
+        });
+        summary
+    }
+
+    #[test]
+    fn perf_summary_round_trips_and_validates() {
+        let text = perf_summary().to_json_string();
+        let doc = json::parse(&text).expect("emitted JSON parses");
+        validate(&doc).expect("perf JSON is schema-valid");
+        assert_eq!(doc.get("kind").unwrap().as_str(), Some("perf"));
+        let row = &doc.get("rows").unwrap().as_arr().unwrap()[0];
+        assert_eq!(row.get("iterations").unwrap().as_num(), Some(296.0));
+    }
+
+    #[test]
+    fn perf_validation_rejects_missing_keys() {
+        let doc = json::parse(&perf_summary().to_json_string()).unwrap();
+        let Json::Obj(mut top) = doc else { panic!() };
+        let Some(Json::Arr(rows)) = top.get_mut("rows") else {
+            panic!()
+        };
+        let Json::Obj(row) = &mut rows[0] else {
+            panic!()
+        };
+        row.remove("sim_tokens_per_sec");
+        row.remove("dist_cache_hit_rate_pct");
+        let errors = validate(&Json::Obj(top)).unwrap_err();
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("rows[0].sim_tokens_per_sec")),
+            "{errors:?}"
+        );
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("rows[0].dist_cache_hit_rate_pct")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn kind_dispatch_keeps_slo_artifacts_on_the_slo_schema() {
+        // An SLO artifact (no "kind") must not be validated as perf.
+        let mut summary = BenchSummary::new("fig_cluster_scaling", "smoke", 7, 1.0);
+        summary.push_report("point", &report());
+        let doc = json::parse(&summary.to_json_string()).unwrap();
+        validate(&doc).expect("slo artifact validates via dispatch");
     }
 }

@@ -10,7 +10,7 @@ use crate::replica::Replica;
 use crate::router::Router;
 use metrics::{ClusterReport, RequestRecord, SloReport};
 use serving::{
-    finalize_run, Deployment, DeploymentStep, LifecycleTracker, Pool, ReplicaAddr, RunError,
+    finalize_run, Deployment, DeploymentEvent, DeploymentStep, Pool, ReplicaAddr, RunError,
     RunOptions, RunResult, ServeSession, ServingEngine, UnitStats,
 };
 use workload::{RequestSpec, Workload};
@@ -119,8 +119,11 @@ pub struct Cluster {
     replicas: Vec<Replica>,
     router: Box<dyn Router>,
     events: Vec<ScalingEvent>,
-    tracker: LifecycleTracker,
-    finished_seen: Vec<usize>,
+    /// Whether [`Deployment::step_until`] batch-steps independent
+    /// replicas on parallel worker threads (on by default; output is
+    /// record-identical to sequential stepping — see
+    /// [`Cluster::with_parallel_stepping`]).
+    parallel: bool,
 }
 
 impl Cluster {
@@ -132,7 +135,6 @@ impl Cluster {
     /// Panics if `engines` is empty.
     pub fn new(engines: Vec<Box<dyn ServingEngine>>, router: Box<dyn Router>) -> Self {
         assert!(!engines.is_empty(), "a cluster needs at least one replica");
-        let n = engines.len();
         let replicas = engines
             .into_iter()
             .enumerate()
@@ -142,9 +144,23 @@ impl Cluster {
             replicas,
             router,
             events: Vec::new(),
-            tracker: LifecycleTracker::default(),
-            finished_seen: vec![0; n],
+            parallel: true,
         }
+    }
+
+    /// Enables/disables parallel replica stepping (on by default).
+    ///
+    /// Replicas interact only at submit/scale points, which the session
+    /// injects between [`Deployment::step_until`] calls — so stepping
+    /// each due replica to the horizon on its own worker thread yields
+    /// **record-for-record identical** output to sequential stepping
+    /// (pinned by `tests/output_equivalence.rs` and the cluster
+    /// proptests). Only the interleaving of surfaced lifecycle events
+    /// differs; disable for strictly sequential event ordering.
+    #[must_use]
+    pub fn with_parallel_stepping(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
     }
 
     /// Schedules elastic-scaling (drain/join) events.
@@ -269,27 +285,73 @@ impl Deployment for Cluster {
         let Some((_, id)) = self.next_stepper() else {
             return Ok(DeploymentStep::default());
         };
-        let latency_ms = self.replicas[id].step_once()?;
-        let r = &self.replicas[id];
-        if r.engine.core().iterations > options.max_iterations {
-            return Err(RunError::iteration_cap().at(Pool::Decode, id));
-        }
-        if r.clock_ms > options.max_sim_ms {
-            return Err(RunError::time_cap().at(Pool::Decode, id));
-        }
         let mut events = Vec::new();
-        let at_ms = self.replicas[id].clock_ms;
-        self.tracker.scan_core(
-            self.replicas[id].engine.core(),
-            ReplicaAddr::serving(id),
-            at_ms,
-            &mut self.finished_seen[id],
-            &mut events,
-        );
+        let latency_ms =
+            self.replicas[id].step_checked(ReplicaAddr::serving(id), options, &mut events)?;
         Ok(DeploymentStep {
             events,
             latency_ms: Some(latency_ms),
             replica: Some(ReplicaAddr::serving(id)),
+        })
+    }
+
+    /// Parallel batch stepping: replicas never interact between the
+    /// session's external events, so every replica due before
+    /// `horizon_ms` advances to the horizon on its own worker thread
+    /// (`std::thread::scope`), and results merge in replica-index order —
+    /// deterministic regardless of thread scheduling, and
+    /// record-identical to sequential stepping.
+    fn step_until(
+        &mut self,
+        horizon_ms: f64,
+        options: &RunOptions,
+    ) -> Result<DeploymentStep, RunError> {
+        let due = self
+            .replicas
+            .iter()
+            .filter(|r| r.has_work() && r.clock_ms < horizon_ms)
+            .count();
+        if !self.parallel || due <= 1 {
+            return self.step(options);
+        }
+        let worker_results: Vec<(usize, Vec<DeploymentEvent>, Result<(), RunError>)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .replicas
+                    .iter_mut()
+                    .enumerate()
+                    .filter(|(_, r)| r.has_work() && r.clock_ms < horizon_ms)
+                    .map(|(id, r)| {
+                        scope.spawn(move || {
+                            let mut events = Vec::new();
+                            let res = r.run_until(
+                                ReplicaAddr::serving(id),
+                                horizon_ms,
+                                options,
+                                &mut events,
+                            );
+                            (id, events, res)
+                        })
+                    })
+                    .collect();
+                // Spawn order is replica-index order; joining in spawn
+                // order keeps the merge deterministic.
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("replica worker panicked"))
+                    .collect()
+            });
+        let mut events = Vec::new();
+        for (_, replica_events, res) in worker_results {
+            res?;
+            events.extend(replica_events);
+        }
+        // Progress is guarded per replica inside `run_until` (stall
+        // detection and caps); the batch itself reports no latency.
+        Ok(DeploymentStep {
+            events,
+            latency_ms: None,
+            replica: None,
         })
     }
 

@@ -1,6 +1,9 @@
 //! One cluster member: a serving engine plus its routing-visible state.
 
-use serving::{Pool, RunError, ServingEngine, StallGuard};
+use serving::{
+    DeploymentEvent, LifecycleTracker, Pool, ReplicaAddr, RunError, RunOptions, ServingEngine,
+    StallGuard,
+};
 
 /// Fraction of a baseline decode step attributed to one *prefill* token in
 /// the load model (prefill processes hundreds of tokens per forward pass,
@@ -51,6 +54,14 @@ pub struct Replica {
     /// Routed-but-not-yet-queued work (in-flight KV migrations).
     pub inbound: InboundWork,
     pub(crate) guard: StallGuard,
+    /// Per-replica lifecycle announcements. Requests live on exactly one
+    /// replica (migrations transfer their state via
+    /// [`Replica::mark_admitted`]), so per-replica trackers are
+    /// equivalent to a shared one — and they let independent replicas
+    /// step on parallel worker threads.
+    tracker: LifecycleTracker,
+    /// High-water mark of announced finished records on this core.
+    finished_seen: usize,
 }
 
 impl std::fmt::Debug for Replica {
@@ -76,7 +87,73 @@ impl Replica {
             routed: 0,
             inbound: InboundWork::default(),
             guard: StallGuard::default(),
+            tracker: LifecycleTracker::default(),
+            finished_seen: 0,
         }
+    }
+
+    /// Scans this replica's core for newly due lifecycle events
+    /// (admissions, first tokens, finished records) at the replica's
+    /// current clock, appending them to `out`.
+    pub fn scan_lifecycle(&mut self, addr: ReplicaAddr, out: &mut Vec<DeploymentEvent>) {
+        let at_ms = self.clock_ms;
+        self.tracker.scan_core(
+            self.engine.core(),
+            addr,
+            at_ms,
+            &mut self.finished_seen,
+            out,
+        );
+    }
+
+    /// Records a request as already announced-admitted elsewhere (e.g. on
+    /// the prefill pool that migrated it here), so this replica's scans
+    /// do not re-announce it.
+    pub fn mark_admitted(&mut self, id: u64) {
+        self.tracker.mark_admitted(id);
+    }
+
+    /// One checked engine iteration: step, enforce the run caps, scan
+    /// lifecycle events — the single body **both** sequential stepping
+    /// ([`crate::Cluster`]'s `step`) and parallel batch stepping
+    /// ([`Replica::run_until`]) execute, so the two modes cannot diverge.
+    pub fn step_checked(
+        &mut self,
+        addr: ReplicaAddr,
+        options: &RunOptions,
+        events: &mut Vec<DeploymentEvent>,
+    ) -> Result<f64, RunError> {
+        let latency_ms = self.step_once()?;
+        if self.engine.core().iterations > options.max_iterations {
+            return Err(RunError::iteration_cap().at(addr.pool, addr.index));
+        }
+        if self.clock_ms > options.max_sim_ms {
+            return Err(RunError::time_cap().at(addr.pool, addr.index));
+        }
+        self.scan_lifecycle(addr, events);
+        Ok(latency_ms)
+    }
+
+    /// Steps this replica until its clock reaches `horizon_ms` or it runs
+    /// out of work, enforcing the run caps after every iteration and
+    /// appending lifecycle events (scanned at each iteration's end clock,
+    /// exactly as sequential stepping would) to `events`.
+    ///
+    /// This is the per-replica body of parallel batch stepping: replicas
+    /// do not interact between external events, so running each to the
+    /// horizon on its own worker thread reproduces the sequential
+    /// interleaving's per-replica state bit for bit.
+    pub fn run_until(
+        &mut self,
+        addr: ReplicaAddr,
+        horizon_ms: f64,
+        options: &RunOptions,
+        events: &mut Vec<DeploymentEvent>,
+    ) -> Result<(), RunError> {
+        while self.has_work() && self.clock_ms < horizon_ms {
+            self.step_checked(addr, options, events)?;
+        }
+        Ok(())
     }
 
     /// Executes one engine iteration at the replica's local clock, feeding

@@ -69,8 +69,19 @@ fn run_cluster(
     router: RouterKind,
     events: Vec<ScalingEvent>,
 ) -> RunReport {
+    run_cluster_stepping(seed, n_requests, n_replicas, router, events, true)
+}
+
+fn run_cluster_stepping(
+    seed: u64,
+    n_requests: u64,
+    n_replicas: usize,
+    router: RouterKind,
+    events: Vec<ScalingEvent>,
+    parallel: bool,
+) -> RunReport {
     let mut session = ServeSession::with_options(
-        Cluster::new(fleet(n_replicas, seed), router.build()),
+        Cluster::new(fleet(n_replicas, seed), router.build()).with_parallel_stepping(parallel),
         RunOptions::default(),
     );
     for e in events {
@@ -150,5 +161,23 @@ proptest! {
         let shares_a: Vec<u64> = a.units.iter().map(|u| u.routed).collect();
         let shares_b: Vec<u64> = b.units.iter().map(|u| u.routed).collect();
         prop_assert_eq!(shares_a, shares_b, "routing decisions reproduce");
+    }
+
+    #[test]
+    fn parallel_stepping_matches_sequential(
+        seed in 0u64..1_000,
+        n_requests in 1u64..20,
+        n_replicas in 2usize..5,
+        router_index in 0usize..4,
+    ) {
+        let router = RouterKind::ALL[router_index];
+        let par = run_cluster_stepping(seed, n_requests, n_replicas, router, Vec::new(), true);
+        let seq = run_cluster_stepping(seed, n_requests, n_replicas, router, Vec::new(), false);
+        prop_assert_eq!(par.records, seq.records, "records byte-identical");
+        prop_assert_eq!(par.end_ms, seq.end_ms);
+        prop_assert_eq!(par.iterations, seq.iterations);
+        let shares_p: Vec<u64> = par.units.iter().map(|u| u.routed).collect();
+        let shares_s: Vec<u64> = seq.units.iter().map(|u| u.routed).collect();
+        prop_assert_eq!(shares_p, shares_s, "same routing under parallel stepping");
     }
 }

@@ -16,10 +16,14 @@
 //! paper's Fig. 15 overhead claim on *this* implementation).
 
 use crate::scheduler::SloCustomizedScheduler;
-use crate::scsd::{select_tokens, ScsdInput};
+use crate::scsd::{select_tokens_with, ScsdInput, ScsdScratch};
 use roofline::{BudgetPolicy, ForwardPass, SeqWork, TokenBudgetProfile};
 use serving::{EngineCore, Phase, ServingEngine, StepResult, SystemConfig};
-use spectree::{verify_tree, CandidateTree, SpecParams};
+use spectree::{
+    verify_tree_with, CandidateTree, SpecParams, SpeculateScratch, SubtreeScratch, TokenTree,
+    VerifyScratch,
+};
+use std::collections::HashMap;
 use std::time::Instant;
 
 /// Tunables of the AdaServe engine (defaults follow the paper).
@@ -58,6 +62,66 @@ impl Default for AdaServeOptions {
     }
 }
 
+/// Iteration-scoped scratch state, hoisted out of [`AdaServeEngine::step`]
+/// so the hot loop reuses buffers instead of reallocating them every
+/// iteration (candidate trees, selections, requirement vectors, the
+/// request-position map of the capacity pass).
+#[derive(Debug, Default)]
+struct IterScratch {
+    /// Surviving decoding indices of the current iteration.
+    decoding: Vec<usize>,
+    /// Request-id worklist of the capacity pass.
+    ids: Vec<u64>,
+    /// Ids that kept their KV reservation.
+    surviving: Vec<u64>,
+    /// Lazily rebuilt id → running-index map (invalidated by preemption).
+    positions: HashMap<u64, usize>,
+    /// Per-request `A_cap` requirements.
+    requirements: Vec<f64>,
+    /// Selection working state (candidate orders, counters, heap).
+    scsd: ScsdScratch,
+    /// Beam-search buffers.
+    spec: SpeculateScratch,
+    /// Subtree-extraction buffers (kept-id sort, dense remap).
+    subtree: SubtreeScratch,
+    /// Verification-walk buffers (extended context, path tokens).
+    verify: VerifyScratch,
+    /// Pooled candidate trees (rebuilt in place each iteration).
+    candidates: Vec<CandidateTree>,
+    /// Pooled selected draft trees (rebuilt in place each iteration).
+    draft_trees: Vec<TokenTree>,
+    /// Iterations in which any buffer above grew its allocation.
+    grow_events: u64,
+}
+
+impl IterScratch {
+    /// Sum of tracked buffer capacities (allocation-discipline probe),
+    /// including the pooled tree arenas — so a regression that breaks
+    /// `TokenTree::reset` pooling shows up in `scratch_grow_events`.
+    fn capacity_sum(&self) -> usize {
+        self.decoding.capacity()
+            + self.ids.capacity()
+            + self.surviving.capacity()
+            + self.positions.capacity()
+            + self.requirements.capacity()
+            + self.scsd.capacity_sum()
+            + self.subtree.capacity_sum()
+            + self.verify.capacity_sum()
+            + self.candidates.capacity()
+            + self
+                .candidates
+                .iter()
+                .map(|c| c.tree().arena_capacity() + c.layers().len())
+                .sum::<usize>()
+            + self.draft_trees.capacity()
+            + self
+                .draft_trees
+                .iter()
+                .map(TokenTree::arena_capacity)
+                .sum::<usize>()
+    }
+}
+
 /// The AdaServe serving engine.
 #[derive(Debug)]
 pub struct AdaServeEngine {
@@ -65,6 +129,7 @@ pub struct AdaServeEngine {
     scheduler: SloCustomizedScheduler,
     options: AdaServeOptions,
     profile: TokenBudgetProfile,
+    scratch: IterScratch,
 }
 
 impl AdaServeEngine {
@@ -91,6 +156,7 @@ impl AdaServeEngine {
             scheduler,
             options,
             profile,
+            scratch: IterScratch::default(),
         }
     }
 
@@ -110,33 +176,64 @@ impl AdaServeEngine {
     }
 
     /// Ensures KV headroom for every decoding request (context + d + 1
-    /// tokens), preempting later-admitted requests on pressure. Returns the
-    /// surviving decoding indices (stable order).
-    fn ensure_decode_capacity(&mut self, depth: u32) -> Vec<usize> {
-        // Work by request id: preemption inside the loop reshuffles indices.
-        let ids: Vec<u64> = self
-            .core
-            .running
-            .iter()
-            .filter(|r| r.phase == Phase::Decoding)
-            .map(|r| r.spec.id)
-            .collect();
-        let mut surviving = Vec::with_capacity(ids.len());
-        for id in ids {
-            let Some(idx) = self.core.running.iter().position(|r| r.spec.id == id) else {
+    /// tokens), preempting later-admitted requests on pressure. Fills
+    /// `self.scratch.decoding` with the surviving decoding indices
+    /// (stable order).
+    ///
+    /// Works by request id because preemption inside the loop reshuffles
+    /// indices — but resolves ids through a position map that is only
+    /// rebuilt when a preemption actually changed the batch, so the
+    /// common (no-pressure) iteration is O(n) instead of the old
+    /// O(n²) `position()`-per-id scan.
+    fn ensure_decode_capacity(&mut self, depth: u32) {
+        let scratch = &mut self.scratch;
+        scratch.ids.clear();
+        scratch.ids.extend(
+            self.core
+                .running
+                .iter()
+                .filter(|r| r.phase == Phase::Decoding)
+                .map(|r| r.spec.id),
+        );
+        let rebuild = |positions: &mut HashMap<u64, usize>, core: &EngineCore| {
+            positions.clear();
+            positions.extend(core.running.iter().enumerate().map(|(i, r)| (r.spec.id, i)));
+        };
+        rebuild(&mut scratch.positions, &self.core);
+        let mut map_len = self.core.running.len();
+        scratch.surviving.clear();
+        for &id in &scratch.ids {
+            if self.core.running.len() != map_len {
+                // A preemption (victim or self) shrank the batch: the map
+                // is stale, rebuild it once before the next lookup.
+                rebuild(&mut scratch.positions, &self.core);
+                map_len = self.core.running.len();
+            }
+            let Some(&idx) = scratch.positions.get(&id) else {
                 continue; // Preempted as a victim of an earlier growth.
             };
             if self.core.grow_with_preemption(idx, u64::from(depth) + 1) {
-                surviving.push(id);
+                scratch.surviving.push(id);
             } else {
                 // Could not fit even alone: preempt self and retry later.
-                self.core.preempt(idx);
+                // The failed growth evicted every other request, shifting
+                // this one's position — re-resolve by id, never by the
+                // stale index.
+                if let Some(pos) = self.core.running.iter().position(|r| r.spec.id == id) {
+                    self.core.preempt(pos);
+                }
             }
         }
-        surviving
-            .into_iter()
-            .filter_map(|id| self.core.running.iter().position(|r| r.spec.id == id))
-            .collect()
+        if self.core.running.len() != map_len {
+            rebuild(&mut scratch.positions, &self.core);
+        }
+        scratch.decoding.clear();
+        scratch.decoding.extend(
+            scratch
+                .surviving
+                .iter()
+                .filter_map(|id| scratch.positions.get(id).copied()),
+        );
     }
 
     /// One pure-prefill pass over waiting prompts (no decoding requests).
@@ -191,12 +288,16 @@ impl ServingEngine for AdaServeEngine {
         }
         let params = self.scheduler.spec_params(n_decoding);
 
+        // Snapshot before the capacity pass so its scratch growth (id
+        // worklist, position map) counts toward the discipline probe too.
+        let cap_before = self.scratch.capacity_sum();
+
         // Capacity first so the decoding set is stable for the iteration.
-        let decoding = self.ensure_decode_capacity(params.depth);
-        if decoding.is_empty() {
+        self.ensure_decode_capacity(params.depth);
+        if self.scratch.decoding.is_empty() {
             return self.prefill_only_step(now_ms);
         }
-        let n = decoding.len();
+        let n = self.scratch.decoding.len();
 
         // ---- Step 1: speculation (draft model, GPU). ----
         let mut draft_ms = 0.0;
@@ -205,7 +306,7 @@ impl ServingEngine for AdaServeEngine {
             // eager); steps 2..d: n×w tokens with stable shapes → CUDA graph
             // (paper §5.2).
             let mut first = ForwardPass::default();
-            for &i in &decoding {
+            for &i in &self.scratch.decoding {
                 first.push(SeqWork::decode(self.core.running[i].context_len()));
             }
             draft_ms += self
@@ -216,7 +317,7 @@ impl ServingEngine for AdaServeEngine {
                 .forward_latency_ms(&first, false);
             if params.depth > 1 {
                 let mut rest = ForwardPass::default();
-                for &i in &decoding {
+                for &i in &self.scratch.decoding {
                     rest.push(SeqWork {
                         new_tokens: params.width,
                         ctx_len: self.core.running[i].context_len(),
@@ -231,45 +332,69 @@ impl ServingEngine for AdaServeEngine {
                 draft_ms += per_step * f64::from(params.depth - 1);
             }
         }
-        let candidates: Vec<CandidateTree> = decoding
-            .iter()
-            .map(|&i| {
-                let r = &self.core.running[i];
-                CandidateTree::speculate(self.core.config.pair.draft(), &r.lm_context(), params)
-            })
-            .collect();
+        {
+            // Beam search per request into the pooled candidate trees —
+            // arena, layer list and beam buffers all reused.
+            let scratch = &mut self.scratch;
+            if scratch.candidates.len() < n {
+                scratch.candidates.resize_with(n, CandidateTree::empty);
+            }
+            let running = &self.core.running;
+            let draft = self.core.config.pair.draft();
+            for (cand, &i) in scratch.candidates.iter_mut().zip(&scratch.decoding) {
+                cand.speculate_with(draft, &running[i].lm_context(), params, &mut scratch.spec);
+            }
+        }
         self.core.breakdown.speculation_ms += draft_ms;
 
         // ---- Steps 2–3: selection (CPU, wall-clock measured). ----
         let sched_timer = Instant::now();
-        let request_refs: Vec<&serving::LiveRequest> =
-            decoding.iter().map(|&i| &self.core.running[i]).collect();
-        let requirements = self
-            .scheduler
-            .requirements(&request_refs, now_ms, params.depth);
-        let candidate_trees: Vec<&spectree::TokenTree> =
-            candidates.iter().map(|c| c.tree()).collect();
-        let budget = self.scheduler.verify_budget.saturating_sub(n as u64); // roots
-        let selection = select_tokens(&ScsdInput {
-            candidates: &candidate_trees,
-            requirements: &requirements,
-            budget,
-            n_max: self.scheduler.n_max,
-            min_phase2_prob: self.options.min_phase2_prob,
-        });
-        let draft_trees: Vec<spectree::TokenTree> = selection
-            .selections
-            .iter()
-            .zip(&candidate_trees)
-            .map(|(sel, cand)| cand.induced_subtree(sel).expect("connected selection"))
-            .collect();
+        {
+            let scratch = &mut self.scratch;
+            self.scheduler.requirements_into(
+                scratch.decoding.iter().map(|&i| &self.core.running[i]),
+                now_ms,
+                params.depth,
+                &mut scratch.requirements,
+            );
+            // One small per-iteration allocation remains in the selection
+            // path: this vec of n tree references for `ScsdInput` (borrow
+            // rules keep it out of the scratch struct).
+            let candidate_trees: Vec<&TokenTree> =
+                scratch.candidates[..n].iter().map(|c| c.tree()).collect();
+            let budget = self.scheduler.verify_budget.saturating_sub(n as u64); // roots
+            select_tokens_with(
+                &ScsdInput {
+                    candidates: &candidate_trees,
+                    requirements: &scratch.requirements,
+                    budget,
+                    n_max: self.scheduler.n_max,
+                    min_phase2_prob: self.options.min_phase2_prob,
+                },
+                &mut scratch.scsd,
+            );
+            if scratch.draft_trees.len() < n {
+                scratch
+                    .draft_trees
+                    .resize_with(n, || TokenTree::new(simllm::TokenId(0)));
+            }
+            for (k, cand) in candidate_trees.iter().enumerate() {
+                cand.induced_subtree_into(
+                    &scratch.scsd.ordered[k][..scratch.scsd.taken[k]],
+                    &mut scratch.draft_trees[k],
+                    &mut scratch.subtree,
+                )
+                .expect("connected selection");
+            }
+        }
         self.core.breakdown.scheduling_ms += sched_timer.elapsed().as_secs_f64() * 1e3;
 
         // ---- Step 4: verification (target model, GPU), co-batched with
         // chunked prefill. ----
+        let draft_trees = &self.scratch.draft_trees;
         let prefill_plan = self.core.plan_prefill(self.options.prefill_chunk);
         let mut pass = ForwardPass::default();
-        for (k, &i) in decoding.iter().enumerate() {
+        for (k, &i) in self.scratch.decoding.iter().enumerate() {
             let tree_tokens = draft_trees[k].num_speculated().max(1) as u32;
             pass.push(SeqWork::verify(
                 tree_tokens,
@@ -289,17 +414,19 @@ impl ServingEngine for AdaServeEngine {
         self.core.breakdown.verification_ms += verify_ms;
 
         // Apply verification outcomes against the synthetic target model.
-        for (k, &i) in decoding.iter().enumerate() {
+        for (k, &i) in self.scratch.decoding.iter().enumerate() {
             let outcome = {
                 let r = &self.core.running[i];
-                verify_tree(
+                verify_tree_with(
                     self.core.config.pair.target(),
                     &r.lm_context(),
                     &draft_trees[k],
                     u64::from(r.generated()),
                     self.core.config.verify_mode,
+                    &mut self.scratch.verify,
                 )
             };
+            let num_speculated = draft_trees[k].num_speculated() as u64;
             let r = &mut self.core.running[i];
             let remaining = r.remaining() as usize;
             let mut advanced = 0usize;
@@ -310,13 +437,26 @@ impl ServingEngine for AdaServeEngine {
             if advanced < remaining {
                 r.push_token(outcome.bonus_token);
             }
-            self.core.speculated_total += draft_trees[k].num_speculated() as u64;
+            self.core.speculated_total += num_speculated;
             self.core.accepted_total += advanced as u64;
             let r = &mut self.core.running[i];
             r.accepted_tokens += advanced as u64;
             r.verify_steps += 1;
         }
         self.core.apply_prefill(&prefill_plan);
+
+        // Hot-loop health counters: cache effectiveness and allocation
+        // discipline, surfaced through `RunResult`/`UnitStats`.
+        if self.scratch.capacity_sum() > cap_before {
+            self.scratch.grow_events += 1;
+        }
+        let cache = self.core.config.pair.dist_cache_stats();
+        self.core.hotloop.dist_cache_hits = cache.hits;
+        self.core.hotloop.dist_cache_misses = cache.misses;
+        self.core.hotloop.scratch_grow_events =
+            self.scratch.grow_events + self.scratch.spec.grow_events();
+        self.core.hotloop.iterations += 1;
+        self.core.hotloop.peak_decode_batch = self.core.hotloop.peak_decode_batch.max(n as u64);
 
         let iter_ms = draft_ms + verify_ms;
         self.scheduler.observe_iteration(iter_ms);
@@ -430,6 +570,41 @@ mod tests {
         let b = result.units[0].result.breakdown;
         let (sched_pct, _, _, _) = b.shares_pct();
         assert!(sched_pct < 5.0, "scheduling share = {sched_pct}%");
+    }
+
+    #[test]
+    fn hot_loop_stats_are_surfaced_and_healthy() {
+        // Satellite of the Fig. 15 claim: the CPU hot loop must stay
+        // observable — the distribution cache actually hits (verification
+        // re-reads draft-pass contexts through the shared memo) and the
+        // iteration scratch stops growing once warm.
+        let config = SystemConfig::llama70b(1);
+        let wl = WorkloadBuilder::new(5, config.baseline_ms)
+            .target_rps(2.0)
+            .duration_ms(20_000.0)
+            .build();
+        let mut engine = AdaServeEngine::new(config);
+        let result = run(&mut engine, &wl, RunOptions::default());
+        let h = result.units[0].result.hotloop;
+        assert!(h.iterations > 50, "enough decode iterations to warm up");
+        assert!(
+            h.dist_cache_hits + h.dist_cache_misses > 0,
+            "cache lookups recorded"
+        );
+        assert!(
+            h.dist_cache_hit_rate_pct() > 5.0,
+            "verification should hit the draft pass's target-memo entries \
+             (hit rate = {:.1}%)",
+            h.dist_cache_hit_rate_pct()
+        );
+        assert!(h.peak_decode_batch >= 1);
+        assert!(
+            h.allocs_per_iteration() < 0.2,
+            "scratch buffers must stop growing once warm \
+             ({} grow events over {} iterations)",
+            h.scratch_grow_events,
+            h.iterations
+        );
     }
 
     #[test]

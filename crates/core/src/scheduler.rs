@@ -78,22 +78,37 @@ impl SloCustomizedScheduler {
     /// estimate at 1.0 for the guaranteed bonus token), so a requirement
     /// below 1.0 needs no speculated tokens.
     pub fn requirements(&self, requests: &[&LiveRequest], now_ms: f64, depth: u32) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.requirements_into(requests.iter().copied(), now_ms, depth, &mut out);
+        out
+    }
+
+    /// Scratch-buffer variant of [`SloCustomizedScheduler::requirements`]:
+    /// fills `out` (cleared first) from any request iterator, so the
+    /// engine's hot loop needs neither a `Vec<&LiveRequest>` nor a fresh
+    /// result allocation per iteration.
+    pub fn requirements_into<'a>(
+        &self,
+        requests: impl Iterator<Item = &'a LiveRequest>,
+        now_ms: f64,
+        depth: u32,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
         if !self.slo_selection {
-            return vec![0.0; requests.len()];
+            out.extend(requests.map(|_| 0.0));
+            return;
         }
-        requests
-            .iter()
-            .map(|r| {
-                slo_requirement(
-                    r.decode_latency_ms(now_ms),
-                    self.ema_iter_ms,
-                    r.generated(),
-                    r.spec.tpot_slo_ms,
-                    depth,
-                )
-                .capped
-            })
-            .collect()
+        out.extend(requests.map(|r| {
+            slo_requirement(
+                r.decode_latency_ms(now_ms),
+                self.ema_iter_ms,
+                r.generated(),
+                r.spec.tpot_slo_ms,
+                depth,
+            )
+            .capped
+        }));
     }
 }
 

@@ -78,83 +78,143 @@ impl PartialOrd for GlobalEntry {
     }
 }
 
+/// Reusable buffers for [`select_tokens_with`].
+///
+/// One scratch per engine turns the per-iteration selection allocations
+/// (candidate orders, per-request counters, the phase-2 heap) into buffer
+/// reuse. After a call, the scratch exposes the per-request selections as
+/// prefixes of [`ScsdScratch::ordered`] of length [`ScsdScratch::taken`]
+/// — callers that only need to *apply* a selection (e.g. via
+/// `TokenTree::induced_subtree_into`) can read them without materializing
+/// the `ScsdOutput` vectors.
+#[derive(Debug, Default)]
+pub struct ScsdScratch {
+    /// Per-request descending-probability candidate order; the selection
+    /// for request `i` is `ordered[i][..taken[i]]` (always a connected
+    /// prefix).
+    pub ordered: Vec<Vec<NodeId>>,
+    /// Selected prefix length per request.
+    pub taken: Vec<usize>,
+    /// Cumulative acceptance estimate per request (root counts 1.0).
+    pub estimated: Vec<f64>,
+    /// Whether each request's `A_cap` was reached during the SLO phase.
+    pub slo_satisfied: Vec<bool>,
+    /// Budget left after both phases.
+    pub budget_left: u64,
+    order: Vec<usize>,
+    heap: BinaryHeap<GlobalEntry>,
+}
+
+impl ScsdScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sum of internal buffer capacities (allocation-discipline probe).
+    pub fn capacity_sum(&self) -> usize {
+        self.ordered.iter().map(Vec::capacity).sum::<usize>()
+            + self.ordered.capacity()
+            + self.taken.capacity()
+            + self.estimated.capacity()
+            + self.slo_satisfied.capacity()
+            + self.order.capacity()
+            + self.heap.capacity()
+    }
+}
+
 /// Runs both selection phases.
 ///
 /// # Panics
 ///
 /// Panics if input slices disagree in length.
 pub fn select_tokens(input: &ScsdInput<'_>) -> ScsdOutput {
+    let mut scratch = ScsdScratch::default();
+    select_tokens_with(input, &mut scratch);
+    let n = input.candidates.len();
+    ScsdOutput {
+        selections: (0..n)
+            .map(|i| scratch.ordered[i][..scratch.taken[i]].to_vec())
+            .collect(),
+        estimated_accept: scratch.estimated,
+        slo_satisfied: scratch.slo_satisfied,
+        budget_left: scratch.budget_left,
+    }
+}
+
+/// Scratch-buffer variant of [`select_tokens`]: identical selection
+/// logic, but all working state lives in (and the results are read from)
+/// the caller's [`ScsdScratch`] — no per-call allocations once warm.
+pub fn select_tokens_with(input: &ScsdInput<'_>, s: &mut ScsdScratch) {
     let n = input.candidates.len();
     assert_eq!(n, input.requirements.len(), "one requirement per request");
     let mut budget = input.budget;
 
     // Per-request descending-probability candidate order (prefix = connected).
-    let ordered: Vec<Vec<NodeId>> = input
-        .candidates
-        .iter()
-        .map(|t| t.speculated_by_prob_desc())
-        .collect();
-    let mut taken: Vec<usize> = vec![0; n]; // prefix length taken per request
-    let mut estimated: Vec<f64> = vec![1.0; n]; // root/bonus counts 1.0
-    let mut slo_satisfied: Vec<bool> = vec![false; n];
+    if s.ordered.len() < n {
+        s.ordered.resize_with(n, Vec::new);
+    }
+    for (t, buf) in input.candidates.iter().zip(s.ordered.iter_mut()) {
+        t.speculated_by_prob_desc_into(buf);
+    }
+    s.taken.clear();
+    s.taken.resize(n, 0); // prefix length taken per request
+    s.estimated.clear();
+    s.estimated.resize(n, 1.0); // root/bonus counts 1.0
+    s.slo_satisfied.clear();
+    s.slo_satisfied.resize(n, false);
 
     // Phase 1: SLO-customized selection, slower requests first (larger A).
-    let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| {
+    s.order.clear();
+    s.order.extend(0..n);
+    s.order.sort_unstable_by(|&a, &b| {
         input.requirements[b]
             .total_cmp(&input.requirements[a])
             .then_with(|| a.cmp(&b))
     });
-    for &i in &order {
-        while estimated[i] < input.requirements[i]
-            && taken[i] < input.n_max
-            && taken[i] < ordered[i].len()
+    for &i in &s.order {
+        while s.estimated[i] < input.requirements[i]
+            && s.taken[i] < input.n_max
+            && s.taken[i] < s.ordered[i].len()
             && budget > 0
         {
-            let node = ordered[i][taken[i]];
-            estimated[i] += input.candidates[i].path_prob(node);
-            taken[i] += 1;
+            let node = s.ordered[i][s.taken[i]];
+            s.estimated[i] += input.candidates[i].path_prob(node);
+            s.taken[i] += 1;
             budget -= 1;
         }
-        slo_satisfied[i] = estimated[i] >= input.requirements[i];
+        s.slo_satisfied[i] = s.estimated[i] >= input.requirements[i];
     }
 
     // Phase 2: throughput-optimized global selection.
-    let mut heap: BinaryHeap<GlobalEntry> = BinaryHeap::new();
+    s.heap.clear();
     for i in 0..n {
-        if taken[i] < ordered[i].len() {
-            heap.push(GlobalEntry {
-                prob: input.candidates[i].path_prob(ordered[i][taken[i]]),
+        if s.taken[i] < s.ordered[i].len() {
+            s.heap.push(GlobalEntry {
+                prob: input.candidates[i].path_prob(s.ordered[i][s.taken[i]]),
                 req: i,
-                rank: taken[i],
+                rank: s.taken[i],
             });
         }
     }
     while budget > 0 {
-        let Some(top) = heap.pop() else { break };
+        let Some(top) = s.heap.pop() else { break };
         if top.prob < input.min_phase2_prob {
             break; // All remaining candidates are below the utility cutoff.
         }
         let i = top.req;
-        estimated[i] += top.prob;
-        taken[i] += 1;
+        s.estimated[i] += top.prob;
+        s.taken[i] += 1;
         budget -= 1;
-        if taken[i] < ordered[i].len() {
-            heap.push(GlobalEntry {
-                prob: input.candidates[i].path_prob(ordered[i][taken[i]]),
+        if s.taken[i] < s.ordered[i].len() {
+            s.heap.push(GlobalEntry {
+                prob: input.candidates[i].path_prob(s.ordered[i][s.taken[i]]),
                 req: i,
-                rank: taken[i],
+                rank: s.taken[i],
             });
         }
     }
-
-    let selections: Vec<Vec<NodeId>> = (0..n).map(|i| ordered[i][..taken[i]].to_vec()).collect();
-    ScsdOutput {
-        selections,
-        estimated_accept: estimated,
-        slo_satisfied,
-        budget_left: budget,
-    }
+    s.budget_left = budget;
 }
 
 #[cfg(test)]

@@ -16,8 +16,8 @@ pub use cluster::ScalingAction;
 use cluster::{Replica, ReplicaResult};
 use metrics::{ClusterReport, RequestRecord, SloReport};
 use serving::{
-    finalize_run, Deployment, DeploymentStep, LifecycleTracker, LiveRequest, ReplicaAddr, RunError,
-    RunOptions, RunResult, ServeSession, ServingEngine, UnitStats,
+    finalize_run, Deployment, DeploymentEvent, DeploymentStep, LifecycleTracker, LiveRequest,
+    ReplicaAddr, RunError, RunOptions, RunResult, ServeSession, ServingEngine, UnitStats,
 };
 use std::collections::VecDeque;
 use workload::{RequestSpec, Workload};
@@ -107,12 +107,89 @@ pub struct DisaggCluster {
     /// per decode replica until blocks free up.
     landing: Vec<VecDeque<LiveRequest>>,
     events: Vec<DisaggScalingEvent>,
-    tracker: LifecycleTracker,
-    /// Per-decode-core high-water marks of announced finished records.
-    finished_seen: Vec<usize>,
+    /// Lifecycle announcements of the prefill pool; at handoff a
+    /// request's state transfers to its decode replica's own tracker
+    /// ([`Replica::mark_admitted`]), so decode replicas can scan — and
+    /// step — independently of each other.
+    prefill_tracker: LifecycleTracker,
     /// Per-prefill-core high-water marks (always 0: prefill replicas
     /// produce no completion records; kept so lifecycle scans are uniform).
     prefill_finished_seen: Vec<usize>,
+    /// Whether decode replicas batch-step on parallel worker threads (on
+    /// by default; record-identical to sequential — see
+    /// [`DisaggCluster::with_parallel_stepping`]).
+    parallel: bool,
+}
+
+/// One checked decode iteration: stamp migrated requests at the
+/// iteration's start clock, step, enforce the run caps, land parked
+/// migrations freed by finished requests, scan lifecycle. This is the
+/// single body **both** the sequential [`Deployment::step`] decode branch
+/// and the parallel [`decode_run_until`] loop execute, so the two
+/// stepping modes cannot diverge.
+fn decode_step_checked(
+    replica: &mut Replica,
+    landing: &mut VecDeque<LiveRequest>,
+    id: usize,
+    options: &RunOptions,
+    events: &mut Vec<DeploymentEvent>,
+) -> Result<f64, RunError> {
+    replica
+        .engine
+        .core_mut()
+        .stamp_decode_starts(replica.clock_ms);
+    let latency_ms = replica.step_once()?;
+    if replica.engine.core().iterations > options.max_iterations {
+        return Err(RunError::iteration_cap().at(Pool::Decode, id));
+    }
+    if replica.clock_ms > options.max_sim_ms {
+        return Err(RunError::time_cap().at(Pool::Decode, id));
+    }
+    drain_landing_on(replica, landing);
+    replica.scan_lifecycle(ReplicaAddr::serving(id), events);
+    Ok(latency_ms)
+}
+
+/// The per-replica body of parallel decode stepping:
+/// [`decode_step_checked`] looped until the replica reaches `horizon_ms`
+/// or runs out of work.
+fn decode_run_until(
+    replica: &mut Replica,
+    landing: &mut VecDeque<LiveRequest>,
+    id: usize,
+    horizon_ms: f64,
+    options: &RunOptions,
+    events: &mut Vec<DeploymentEvent>,
+) -> Result<(), RunError> {
+    while replica.has_work() && replica.clock_ms < horizon_ms {
+        decode_step_checked(replica, landing, id, options, events)?;
+    }
+    Ok(())
+}
+
+/// Tries to land every migration parked for `replica`. An admitted
+/// request leaves the replica's inbound view — the engine's own queues
+/// carry it from here. Free-standing so parallel decode workers can call
+/// it on their disjoint (replica, landing-queue) pairs.
+fn drain_landing_on(replica: &mut Replica, landing: &mut VecDeque<LiveRequest>) {
+    while let Some(req) = landing.pop_front() {
+        let tokens = u64::from(req.remaining());
+        let slo = req.spec.tpot_slo_ms;
+        match replica.engine.core_mut().admit_migrated(req) {
+            Ok(()) => {
+                let inbound = &mut replica.inbound;
+                inbound.requests -= 1;
+                inbound.decode_tokens = inbound.decode_tokens.saturating_sub(tokens);
+                if let Some(k) = inbound.tpot_slos.iter().position(|&s| s == slo) {
+                    inbound.tpot_slos.swap_remove(k);
+                }
+            }
+            Err(req) => {
+                landing.push_front(req);
+                break;
+            }
+        }
+    }
 }
 
 impl DisaggCluster {
@@ -153,10 +230,26 @@ impl DisaggCluster {
             transfers: TransferQueue::new(link, kv_bytes, n_decode),
             landing: (0..n_decode).map(|_| VecDeque::new()).collect(),
             events: Vec::new(),
-            tracker: LifecycleTracker::default(),
-            finished_seen: vec![0; n_decode],
+            prefill_tracker: LifecycleTracker::default(),
             prefill_finished_seen: vec![0; n_prefill],
+            parallel: true,
         }
+    }
+
+    /// Enables/disables parallel decode-pool stepping (on by default).
+    ///
+    /// Decode replicas interact with the rest of the system only through
+    /// KV-transfer landings and the dispatcher's load reads — both of
+    /// which happen at prefill/transfer events, never between them — so
+    /// batch-stepping each decode replica to the next such event on its
+    /// own worker thread is **record-for-record identical** to sequential
+    /// stepping (pinned by `tests/output_equivalence.rs` and the disagg
+    /// proptests). Prefill replicas and the transfer fabric stay
+    /// sequential (they share routing state).
+    #[must_use]
+    pub fn with_parallel_stepping(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
     }
 
     /// Schedules elastic-scaling (drain/join) events on either pool.
@@ -202,28 +295,10 @@ impl DisaggCluster {
         cluster::accepting_or_all(self.decode.iter().map(|r| r.accepting))
     }
 
-    /// Tries to land every parked migration on decode replica `id`. An
-    /// admitted request leaves the replica's inbound view — the engine's
-    /// own queues carry it from here.
+    /// Tries to land every parked migration on decode replica `id` (see
+    /// [`drain_landing_on`]).
     fn drain_landing(&mut self, id: usize) {
-        while let Some(req) = self.landing[id].pop_front() {
-            let tokens = u64::from(req.remaining());
-            let slo = req.spec.tpot_slo_ms;
-            match self.decode[id].engine.core_mut().admit_migrated(req) {
-                Ok(()) => {
-                    let inbound = &mut self.decode[id].inbound;
-                    inbound.requests -= 1;
-                    inbound.decode_tokens = inbound.decode_tokens.saturating_sub(tokens);
-                    if let Some(k) = inbound.tpot_slos.iter().position(|&s| s == slo) {
-                        inbound.tpot_slos.swap_remove(k);
-                    }
-                }
-                Err(req) => {
-                    self.landing[id].push_front(req);
-                    break;
-                }
-            }
-        }
+        drain_landing_on(&mut self.decode[id], &mut self.landing[id]);
     }
 
     /// KV-migration telemetry accumulated so far (for inspection after a
@@ -410,7 +485,7 @@ impl Deployment for DisaggCluster {
                 // A prompt admitted and fully prefilled within one
                 // iteration never appeared in a running-batch scan:
                 // announce its admission at handoff.
-                self.tracker
+                self.prefill_tracker
                     .admit(req.spec.id, ReplicaAddr::prefill(id), now, &mut events);
                 // Route at the transfer's estimated arrival (wire time
                 // is destination-independent; ingress queueing is not
@@ -428,9 +503,14 @@ impl Deployment for DisaggCluster {
                 inbound.requests += 1;
                 inbound.decode_tokens += u64::from(req.remaining());
                 inbound.tpot_slos.push(req.spec.tpot_slo_ms);
+                // Admission state travels with the request: the decode
+                // tracker must not re-announce it, and the prefill
+                // tracker can drop it (bounded sets).
+                self.decode[to].mark_admitted(req.spec.id);
+                self.prefill_tracker.forget(req.spec.id);
                 self.transfers.enqueue(req, id, to, now);
             }
-            self.tracker.scan_core(
+            self.prefill_tracker.scan_core(
                 &self.prefill.replicas[id].core,
                 ReplicaAddr::prefill(id),
                 now,
@@ -448,31 +528,86 @@ impl Deployment for DisaggCluster {
         // stamped *before* the step, at the iteration's start clock —
         // the colocated semantics of `decode_start_ms` ("time the first
         // decode iteration started"), which engines whose own stamping
-        // assumes a local prefill pass cannot provide for them.
+        // assumes a local prefill pass cannot provide for them. The
+        // shared [`decode_step_checked`] body keeps this path identical
+        // to parallel batch stepping.
         let (_, id) = dec_stepper.expect("t_dec was finite");
-        let r = &mut self.decode[id];
-        r.engine.core_mut().stamp_decode_starts(r.clock_ms);
-        let latency_ms = r.step_once()?;
-        if r.engine.core().iterations > options.max_iterations {
-            return Err(RunError::iteration_cap().at(Pool::Decode, id));
-        }
-        if r.clock_ms > options.max_sim_ms {
-            return Err(RunError::time_cap().at(Pool::Decode, id));
-        }
-        // Finished requests freed KV: land any parked migrations.
-        self.drain_landing(id);
-        let at_ms = self.decode[id].clock_ms;
-        self.tracker.scan_core(
-            self.decode[id].engine.core(),
-            ReplicaAddr::serving(id),
-            at_ms,
-            &mut self.finished_seen[id],
+        let latency_ms = decode_step_checked(
+            &mut self.decode[id],
+            &mut self.landing[id],
+            id,
+            options,
             &mut events,
-        );
+        )?;
         Ok(DeploymentStep {
             events,
             latency_ms: Some(latency_ms),
             replica: Some(ReplicaAddr::serving(id)),
+        })
+    }
+
+    /// Parallel decode-pool batch: decode replicas interact with the rest
+    /// of the system only at KV-transfer landings and prefill routing
+    /// reads, so between now and the earliest of (external horizon, next
+    /// transfer arrival, next prefill iteration) each due decode replica
+    /// advances independently on its own worker thread; results merge in
+    /// replica-index order. Prefill/transfer events fall back to the
+    /// sequential [`Deployment::step`].
+    fn step_until(
+        &mut self,
+        horizon_ms: f64,
+        options: &RunOptions,
+    ) -> Result<DeploymentStep, RunError> {
+        let t_xfer = self.transfers.next_arrival_ms().unwrap_or(f64::INFINITY);
+        let t_pre = self.prefill_stepper().map_or(f64::INFINITY, |(t, _)| t);
+        let decode_horizon = horizon_ms.min(t_xfer).min(t_pre);
+        let due = self
+            .decode
+            .iter()
+            .filter(|r| r.has_work() && r.clock_ms < decode_horizon)
+            .count();
+        if !self.parallel || due <= 1 {
+            return self.step(options);
+        }
+        let worker_results: Vec<(usize, Vec<DeploymentEvent>, Result<(), RunError>)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .decode
+                    .iter_mut()
+                    .zip(self.landing.iter_mut())
+                    .enumerate()
+                    .filter(|(_, (r, _))| r.has_work() && r.clock_ms < decode_horizon)
+                    .map(|(id, (r, landing))| {
+                        scope.spawn(move || {
+                            let mut events = Vec::new();
+                            let res = decode_run_until(
+                                r,
+                                landing,
+                                id,
+                                decode_horizon,
+                                options,
+                                &mut events,
+                            );
+                            (id, events, res)
+                        })
+                    })
+                    .collect();
+                // Spawn order is replica-index order; joining in spawn
+                // order keeps the merge deterministic.
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("decode worker panicked"))
+                    .collect()
+            });
+        let mut events = Vec::new();
+        for (_, replica_events, res) in worker_results {
+            res?;
+            events.extend(replica_events);
+        }
+        Ok(DeploymentStep {
+            events,
+            latency_ms: None,
+            replica: None,
         })
     }
 
@@ -536,6 +671,7 @@ impl Deployment for DisaggCluster {
                     engine: "prefill".into(),
                     records: Vec::new(),
                     breakdown: r.core.breakdown,
+                    hotloop: r.core.hotloop,
                     end_ms: r.clock_ms,
                     iterations: r.iterations,
                     mean_accepted_per_verify: 0.0,

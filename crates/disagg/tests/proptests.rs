@@ -66,6 +66,26 @@ fn run_disagg(
     bandwidth_gbps: f64,
     events: Vec<DisaggScalingEvent>,
 ) -> DisaggOutcome {
+    run_disagg_stepping(
+        seed,
+        n_requests,
+        n_prefill,
+        n_decode,
+        bandwidth_gbps,
+        events,
+        true,
+    )
+}
+
+fn run_disagg_stepping(
+    seed: u64,
+    n_requests: u64,
+    n_prefill: usize,
+    n_decode: usize,
+    bandwidth_gbps: f64,
+    events: Vec<DisaggScalingEvent>,
+    parallel: bool,
+) -> DisaggOutcome {
     let prefill = PrefillPool::new(vec![SystemConfig::llama70b(seed); n_prefill]);
     let decode: Vec<Box<dyn ServingEngine>> = (0..n_decode)
         .map(|_| {
@@ -79,7 +99,8 @@ fn run_disagg(
         decode,
         Dispatcher::new(RouterKind::SloAware.build()),
         KvLink::new(bandwidth_gbps, 0.05),
-    );
+    )
+    .with_parallel_stepping(parallel);
     let mut session = ServeSession::new(cluster);
     for e in events {
         session.scale_at(
@@ -200,5 +221,29 @@ proptest! {
         let dec_a: Vec<u64> = a.per_decode.iter().map(|u| u.routed).collect();
         let dec_b: Vec<u64> = b.per_decode.iter().map(|u| u.routed).collect();
         prop_assert_eq!(dec_a, dec_b, "decode handoff reproduces");
+    }
+
+    #[test]
+    fn parallel_decode_stepping_matches_sequential(
+        base_seed in 0u64..1_000,
+        n_requests in 1u64..16,
+        n_prefill in 1usize..3,
+        n_decode in 2usize..4,
+        bandwidth in 16.0f64..300.0,
+    ) {
+        let seed = workload::env_seed(base_seed);
+        let par = run_disagg_stepping(
+            seed, n_requests, n_prefill, n_decode, bandwidth, Vec::new(), true,
+        );
+        let seq = run_disagg_stepping(
+            seed, n_requests, n_prefill, n_decode, bandwidth, Vec::new(), false,
+        );
+        prop_assert_eq!(par.records, seq.records, "records byte-identical");
+        prop_assert_eq!(par.end_ms, seq.end_ms);
+        prop_assert_eq!(par.iterations, seq.iterations);
+        prop_assert_eq!(par.transfers, seq.transfers, "same migration telemetry");
+        let dec_p: Vec<u64> = par.per_decode.iter().map(|u| u.routed).collect();
+        let dec_s: Vec<u64> = seq.per_decode.iter().map(|u| u.routed).collect();
+        prop_assert_eq!(dec_p, dec_s, "same decode handoff under parallel stepping");
     }
 }

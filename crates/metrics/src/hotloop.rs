@@ -1,0 +1,113 @@
+//! Hot-loop health counters (cache effectiveness, allocation discipline).
+//!
+//! The paper's Fig. 15 claim — scheduling overhead is negligible next to
+//! GPU time — only holds while the CPU hot loop stays fast. These
+//! counters make the two load-bearing properties *observable* per
+//! replica, so tests can assert on them instead of trusting the
+//! optimizations silently:
+//!
+//! * the LM-distribution memo actually hits (speculation and verification
+//!   share context windows), and
+//! * the iteration scratch buffers stop growing once warm (the loop is
+//!   allocation-free at steady state).
+
+/// Per-engine hot-loop statistics, surfaced through
+/// `RunResult`/`UnitStats` next to the latency breakdown.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HotLoopStats {
+    /// LM-distribution cache hits across the engine's model pair.
+    pub dist_cache_hits: u64,
+    /// LM-distribution cache misses (computed distributions).
+    pub dist_cache_misses: u64,
+    /// How often any iteration-scoped scratch buffer had to grow its
+    /// allocation. Flat after warm-up ⇔ the hot loop allocates nothing
+    /// per iteration.
+    pub scratch_grow_events: u64,
+    /// Iterations covered by `scratch_grow_events` (for the
+    /// allocations-per-iteration ratio).
+    pub iterations: u64,
+    /// Largest decoding batch (requests verified in one iteration).
+    pub peak_decode_batch: u64,
+}
+
+impl HotLoopStats {
+    /// Distribution-cache hit rate in percent (0 with no lookups).
+    pub fn dist_cache_hit_rate_pct(&self) -> f64 {
+        let lookups = self.dist_cache_hits + self.dist_cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            100.0 * self.dist_cache_hits as f64 / lookups as f64
+        }
+    }
+
+    /// Scratch-buffer growth events per iteration (0 with no iterations).
+    ///
+    /// Growth happens while buffers warm up to the workload's batch and
+    /// tree sizes; a value near zero means the steady-state loop performs
+    /// no per-iteration allocations in the scratch-managed paths.
+    pub fn allocs_per_iteration(&self) -> f64 {
+        if self.iterations == 0 {
+            0.0
+        } else {
+            self.scratch_grow_events as f64 / self.iterations as f64
+        }
+    }
+
+    /// Accumulates another engine's counters (peak batch takes the max).
+    pub fn merge(&mut self, other: &HotLoopStats) {
+        self.dist_cache_hits += other.dist_cache_hits;
+        self.dist_cache_misses += other.dist_cache_misses;
+        self.scratch_grow_events += other.scratch_grow_events;
+        self.iterations += other.iterations;
+        self.peak_decode_batch = self.peak_decode_batch.max(other.peak_decode_batch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_and_alloc_ratio() {
+        let s = HotLoopStats {
+            dist_cache_hits: 30,
+            dist_cache_misses: 10,
+            scratch_grow_events: 5,
+            iterations: 100,
+            peak_decode_batch: 7,
+        };
+        assert!((s.dist_cache_hit_rate_pct() - 75.0).abs() < 1e-12);
+        assert!((s.allocs_per_iteration() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_benign() {
+        let s = HotLoopStats::default();
+        assert_eq!(s.dist_cache_hit_rate_pct(), 0.0);
+        assert_eq!(s.allocs_per_iteration(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_counts_and_maxes_peak() {
+        let mut a = HotLoopStats {
+            dist_cache_hits: 1,
+            dist_cache_misses: 2,
+            scratch_grow_events: 3,
+            iterations: 4,
+            peak_decode_batch: 5,
+        };
+        a.merge(&HotLoopStats {
+            dist_cache_hits: 10,
+            dist_cache_misses: 20,
+            scratch_grow_events: 30,
+            iterations: 40,
+            peak_decode_batch: 3,
+        });
+        assert_eq!(a.dist_cache_hits, 11);
+        assert_eq!(a.dist_cache_misses, 22);
+        assert_eq!(a.scratch_grow_events, 33);
+        assert_eq!(a.iterations, 44);
+        assert_eq!(a.peak_decode_batch, 5);
+    }
+}

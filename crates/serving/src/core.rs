@@ -9,7 +9,7 @@
 use crate::config::SystemConfig;
 use crate::kv::BlockManager;
 use crate::request::{LiveRequest, Phase};
-use metrics::{LatencyBreakdown, RequestRecord};
+use metrics::{HotLoopStats, LatencyBreakdown, RequestRecord};
 use simllm::{sample_seeded, Lm, TokenId};
 use std::collections::VecDeque;
 use workload::RequestSpec;
@@ -29,6 +29,11 @@ pub struct EngineCore {
     finished: Vec<RequestRecord>,
     /// Accumulated latency breakdown.
     pub breakdown: LatencyBreakdown,
+    /// Hot-loop health counters (distribution-cache hit rate, scratch
+    /// allocation discipline, peak decode batch). Engines with scratch
+    /// machinery update this each iteration; simple baselines leave it
+    /// zeroed.
+    pub hotloop: HotLoopStats,
     /// Iterations executed.
     pub iterations: u64,
     /// Total speculated tokens submitted for verification (all requests).
@@ -48,6 +53,7 @@ impl EngineCore {
             running: Vec::new(),
             finished: Vec::new(),
             breakdown: LatencyBreakdown::new(),
+            hotloop: HotLoopStats::default(),
             iterations: 0,
             speculated_total: 0,
             accepted_total: 0,
@@ -174,8 +180,13 @@ impl EngineCore {
             if self.blocks.reserve(id, need) {
                 return true;
             }
-            // Preempt the most recently admitted other request.
-            let victim = (0..self.running.len()).rev().find(|&j| j != i);
+            // Preempt the most recently admitted other request. The
+            // growing request is protected by id, not by index: evicting
+            // a victim below `i` shifts the batch, and a stale index
+            // could otherwise preempt the very request being grown.
+            let victim = (0..self.running.len())
+                .rev()
+                .find(|&j| self.running[j].spec.id != id);
             let Some(j) = victim else { return false };
             self.preempt(j);
         }

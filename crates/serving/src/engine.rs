@@ -10,7 +10,7 @@
 //! scheduling, §2).
 
 use crate::core::EngineCore;
-use metrics::{LatencyBreakdown, RequestRecord};
+use metrics::{HotLoopStats, LatencyBreakdown, RequestRecord};
 use workload::Workload;
 
 /// Result of one engine iteration.
@@ -21,7 +21,11 @@ pub struct StepResult {
 }
 
 /// A serving engine: policy logic over an [`EngineCore`].
-pub trait ServingEngine {
+///
+/// `Send` is a supertrait so multi-replica drivers can step boxed engines
+/// on scoped worker threads (each replica stays single-threaded; only
+/// ownership moves across the scope).
+pub trait ServingEngine: Send {
     /// Engine name for reports (e.g. `"vLLM"`, `"AdaServe"`).
     fn name(&self) -> String;
 
@@ -284,6 +288,7 @@ pub fn finalize_run(engine: &mut dyn ServingEngine, end_ms: f64) -> RunResult {
     let core = engine.core_mut();
     let records = core.take_finished();
     let breakdown = core.breakdown;
+    let hotloop = core.hotloop;
     let iterations = core.iterations;
     let mean_accepted = {
         let verifies: u64 = records.iter().map(|r| r.verify_steps).sum();
@@ -298,6 +303,7 @@ pub fn finalize_run(engine: &mut dyn ServingEngine, end_ms: f64) -> RunResult {
         engine: name,
         records,
         breakdown,
+        hotloop,
         end_ms,
         iterations,
         mean_accepted_per_verify: mean_accepted,
@@ -313,6 +319,9 @@ pub struct RunResult {
     pub records: Vec<RequestRecord>,
     /// Latency breakdown accumulated by the engine.
     pub breakdown: LatencyBreakdown,
+    /// Hot-loop health counters (distribution-cache hit rate, scratch
+    /// allocation discipline, peak decode batch).
+    pub hotloop: HotLoopStats,
     /// Simulation end time.
     pub end_ms: f64,
     /// Iterations executed.

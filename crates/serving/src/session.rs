@@ -205,6 +205,27 @@ pub trait Deployment {
     /// drivers did).
     fn step(&mut self, options: &RunOptions) -> Result<DeploymentStep, RunError>;
 
+    /// Advances internal machinery up to (but never past) `horizon_ms` —
+    /// the next external event the session will inject (arrival or
+    /// scaling), or infinity when none remain.
+    ///
+    /// The default forwards to [`Deployment::step`] (one event at a
+    /// time). Multi-replica deployments override this to batch-step
+    /// independent replicas **in parallel** until each reaches the
+    /// horizon: between external events replicas do not interact, so the
+    /// per-replica state at the horizon — and therefore every record —
+    /// is identical to sequential stepping. Only the *interleaving* of
+    /// surfaced [`DeploymentEvent`]s (and their upper-bound `at_ms`
+    /// stamps) may differ.
+    fn step_until(
+        &mut self,
+        horizon_ms: f64,
+        options: &RunOptions,
+    ) -> Result<DeploymentStep, RunError> {
+        let _ = horizon_ms;
+        self.step(options)
+    }
+
     /// Toggles whether `replica` accepts new work (drain/join).
     ///
     /// # Panics
@@ -248,6 +269,21 @@ impl LifecycleTracker {
         if self.admitted.insert(id) {
             out.push(DeploymentEvent::Admitted { id, replica, at_ms });
         }
+    }
+
+    /// Records `id` as already announced-admitted **without emitting an
+    /// event** — used when a request migrates between trackers (e.g.
+    /// prefill → decode pool): the destination tracker must not
+    /// re-announce what the source already surfaced.
+    pub fn mark_admitted(&mut self, id: u64) {
+        self.admitted.insert(id);
+    }
+
+    /// Drops all state for `id` (the request moved to another tracker),
+    /// keeping the sets bounded.
+    pub fn forget(&mut self, id: u64) {
+        self.admitted.remove(&id);
+        self.first_token.remove(&id);
     }
 
     /// Scans one core after an iteration, emitting newly due events:
@@ -460,6 +496,12 @@ pub struct ServeSession<D: Deployment> {
     /// guards internally and error first, with the same thresholds.
     guards: HashMap<ReplicaAddr, StallGuard>,
     guard: StallGuard,
+    /// Whether the event loop may hand the deployment a batching horizon
+    /// ([`Deployment::step_until`]). Only open-loop runs ([`ServeSession::serve`])
+    /// do: a closed-loop client ([`ServeSession::serve_online`]) reacts to
+    /// lifecycle events as they happen, so its deployment must step one
+    /// event at a time to surface them timely.
+    batch_stepping: bool,
 }
 
 impl<D: Deployment> ServeSession<D> {
@@ -480,6 +522,7 @@ impl<D: Deployment> ServeSession<D> {
             rejected: Vec::new(),
             guards: HashMap::new(),
             guard: StallGuard::default(),
+            batch_stepping: false,
         }
     }
 
@@ -542,9 +585,17 @@ impl<D: Deployment> ServeSession<D> {
 
     /// Serves `workload` to completion (open loop): every arrival is
     /// queued at its timestamp, then the event loop runs dry.
+    ///
+    /// With no client reacting to events mid-run, the deployment may
+    /// batch (and parallelize) its internal stepping between arrivals
+    /// via [`Deployment::step_until`] — output is identical, only event
+    /// delivery is deferred to the batch boundaries nobody observes.
     pub fn serve(&mut self, workload: &Workload) -> Result<RunReport, RunError> {
         self.enqueue(workload);
-        self.serve_online(|_, _| {})
+        self.batch_stepping = true;
+        let result = self.serve_loop(&mut |_, _| {});
+        self.batch_stepping = false;
+        result
     }
 
     /// Runs the event loop to completion, surfacing every
@@ -553,6 +604,16 @@ impl<D: Deployment> ServeSession<D> {
     /// and interactive traffic the batch `run(&workload)` signature
     /// cannot express. Returns once no arrivals, scaling or work remain.
     pub fn serve_online<F>(&mut self, mut client: F) -> Result<RunReport, RunError>
+    where
+        F: FnMut(&DeploymentEvent, &mut SessionHandle),
+    {
+        // A closed-loop client must observe events at the deployment's
+        // native step granularity (its submissions and scaling react to
+        // them), so batch stepping stays off here.
+        self.serve_loop(&mut client)
+    }
+
+    fn serve_loop<F>(&mut self, client: &mut F) -> Result<RunReport, RunError>
     where
         F: FnMut(&DeploymentEvent, &mut SessionHandle),
     {
@@ -594,7 +655,7 @@ impl<D: Deployment> ServeSession<D> {
                             reason,
                             at_ms: self.now_ms,
                         };
-                        self.dispatch(&event, &mut client);
+                        self.dispatch(&event, client);
                         continue;
                     }
                 }
@@ -603,7 +664,17 @@ impl<D: Deployment> ServeSession<D> {
                 continue;
             }
 
-            let step = self.deployment.step(&self.options)?;
+            // Everything strictly before the next arrival/scaling event is
+            // internal to the deployment. Open-loop runs hand it the
+            // horizon so multi-replica shapes can batch (and parallelize)
+            // their independent replicas up to it; closed-loop runs step
+            // one event at a time so the client observes events timely.
+            let step = if self.batch_stepping {
+                self.deployment
+                    .step_until(t_arr.min(t_scale), &self.options)?
+            } else {
+                self.deployment.step(&self.options)?
+            };
             if let Some(latency_ms) = step.latency_ms {
                 let guard = match step.replica {
                     Some(addr) => self.guards.entry(addr).or_default(),
@@ -615,7 +686,7 @@ impl<D: Deployment> ServeSession<D> {
                 })?;
             }
             for event in &step.events {
-                self.dispatch(event, &mut client);
+                self.dispatch(event, client);
             }
         }
         self.finish()

@@ -76,6 +76,69 @@ impl SparseDist {
         Self::from_weights(vec![(token, 1.0)], 0.0, vocab_size)
     }
 
+    /// Fast path of [`SparseDist::from_weights`] for weights with
+    /// **distinct tokens and strictly positive weights** (the hot-loop
+    /// constructors: model heads, blends, residuals all produce such
+    /// weights by construction).
+    ///
+    /// Bit-identical to `from_weights` on such input: the head mass is
+    /// summed in token-sorted order exactly as `from_weights` does after
+    /// its dedup pass, and both sort keys are total orders with no equal
+    /// elements (tokens are distinct), so the unstable sorts used here
+    /// reproduce the stable sorts' output without their merge-buffer
+    /// allocations. Skips the dedup and retain passes entirely.
+    pub(crate) fn from_distinct_weights(
+        mut weights: Vec<(TokenId, f64)>,
+        tail_weight: f64,
+        vocab_size: u32,
+    ) -> Self {
+        debug_assert!(tail_weight >= 0.0 && tail_weight.is_finite());
+        weights.sort_unstable_by_key(|&(t, _)| t);
+        debug_assert!(
+            weights.windows(2).all(|w| w[0].0 != w[1].0),
+            "from_distinct_weights requires distinct tokens"
+        );
+        debug_assert!(
+            weights
+                .iter()
+                .all(|&(t, w)| w > 0.0 && w.is_finite() && t.0 < vocab_size),
+            "from_distinct_weights requires positive weights within vocab"
+        );
+        let head: f64 = weights.iter().map(|&(_, w)| w).sum();
+        let total = head + tail_weight;
+        assert!(total > 0.0, "distribution has zero total mass");
+        for w in &mut weights {
+            w.1 /= total;
+        }
+        weights.sort_unstable_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite probs")
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        Self {
+            entries: weights,
+            tail_mass: tail_weight / total,
+            vocab_size,
+        }
+    }
+
+    /// Raw constructor for callers that already hold normalized,
+    /// descending-sorted head entries and a final tail mass (the fused
+    /// draft-blend path). Invariants are debug-checked via `validate`.
+    pub(crate) fn from_parts(
+        entries: Vec<(TokenId, f64)>,
+        tail_mass: f64,
+        vocab_size: u32,
+    ) -> Self {
+        let dist = Self {
+            entries,
+            tail_mass,
+            vocab_size,
+        };
+        debug_assert_eq!(dist.validate(), Ok(()));
+        dist
+    }
+
     fn sort_entries(entries: &mut [(TokenId, f64)]) {
         entries.sort_by(|a, b| {
             b.1.partial_cmp(&a.1)
@@ -161,8 +224,13 @@ impl SparseDist {
         };
         let mut candidate = mix64((residual * (1u64 << 52) as f64) as u64 ^ 0x7A11_5EED_0BAD_F00D)
             % u64::from(self.vocab_size);
-        let head: Vec<u32> = self.entries.iter().map(|&(t, _)| t.0).collect();
-        while head.contains(&(candidate as u32)) {
+        // Probe against the head in place: the head is tiny, and this runs
+        // on every tail sample — no temporary token Vec.
+        while self
+            .entries
+            .iter()
+            .any(|&(t, _)| u64::from(t.0) == candidate)
+        {
             candidate = (candidate + 1) % u64::from(self.vocab_size);
         }
         TokenId(candidate as u32)
@@ -186,7 +254,15 @@ impl SparseDist {
             }
         }
         let tail = (1.0 - alpha) * self.tail_mass + alpha * other.tail_mass;
-        SparseDist::from_weights(weights, tail, self.vocab_size)
+        if alpha == 0.0 || alpha == 1.0 {
+            // Degenerate mixtures produce zero weights that must be
+            // dropped; only the general constructor handles that.
+            return SparseDist::from_weights(weights, tail, self.vocab_size);
+        }
+        // With 0 < alpha < 1 the union head has distinct tokens (self's
+        // head, plus other-only tokens) and strictly positive weights:
+        // take the sort-light constructor.
+        SparseDist::from_distinct_weights(weights, tail, self.vocab_size)
     }
 
     /// Probability of `token` counting only the explicit head (0 if in tail).
@@ -264,7 +340,13 @@ impl SparseDist {
         if total <= 1e-12 {
             return None;
         }
-        Some(SparseDist::from_weights(weights, tail, self.vocab_size))
+        // Residual weights are distinct (drawn from self's head) and kept
+        // only when strictly positive.
+        Some(SparseDist::from_distinct_weights(
+            weights,
+            tail,
+            self.vocab_size,
+        ))
     }
 
     /// Total-variation overlap `Σ min(self, other)` over the union head

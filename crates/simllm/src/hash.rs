@@ -42,8 +42,20 @@ pub fn seed_stream(seed: u64, index: u64) -> u64 {
 /// Hashes a slice of 32-bit values together with a seed.
 #[inline]
 pub fn hash_tokens(seed: u64, tokens: &[u32]) -> u64 {
+    hash_token_iter(seed, tokens.iter().copied())
+}
+
+/// Streaming variant of [`hash_tokens`]: folds an iterator of 32-bit
+/// values without materializing them into a slice first.
+///
+/// Produces bit-identical hashes to [`hash_tokens`] over the same value
+/// sequence — hot paths (`LmContext::hash` runs once per simulated model
+/// forward) use this to hash token windows in place instead of collecting
+/// them into a temporary `Vec`.
+#[inline]
+pub fn hash_token_iter(seed: u64, tokens: impl Iterator<Item = u32>) -> u64 {
     let mut h = mix64(seed ^ 0xA076_1D64_78BD_642F);
-    for &t in tokens {
+    for t in tokens {
         h = mix64(h ^ u64::from(t).wrapping_mul(0xE703_7ED1_A0B4_28DB));
     }
     h

@@ -51,6 +51,7 @@ pub mod dist;
 pub mod draft;
 pub mod hash;
 pub mod lm;
+pub mod memo;
 pub mod sampler;
 pub mod target;
 pub mod vocab;
@@ -60,6 +61,7 @@ pub use dist::SparseDist;
 pub use draft::DraftLm;
 pub use hash::{mix64, seed_stream};
 pub use lm::{ContentClass, Lm, LmContext};
+pub use memo::{DistMemo, MemoStats};
 pub use sampler::{sample_seeded, Sampler, SamplingMode};
 pub use target::{TargetLm, TargetLmConfig};
 pub use vocab::{TokenId, Vocab, BOS_TOKEN, EOS_TOKEN};
@@ -107,6 +109,18 @@ impl ModelPair {
     /// Shared vocabulary size.
     pub fn vocab_size(&self) -> u32 {
         self.target.vocab_size()
+    }
+
+    /// Aggregated hit/miss counters of every distribution memo in the
+    /// pair: the (shared) target cache, the blended-draft cache and the
+    /// draft's noise cache. Engines surface the resulting hit rate in
+    /// their per-replica stats.
+    pub fn dist_cache_stats(&self) -> MemoStats {
+        // The draft's inner target shares the target's memo (one Arc), so
+        // counting `self.target` once covers both consumers.
+        let mut stats = self.target.cache_stats();
+        stats.merge(self.draft.cache_stats());
+        stats
     }
 }
 

@@ -102,16 +102,18 @@ impl<'a> LmContext<'a> {
         &self.tokens[n.saturating_sub(Self::MARKOV_ORDER)..]
     }
 
-    /// A context identical to this one but extended with `suffix` tokens.
+    /// Deterministic 64-bit digest of everything the distribution
+    /// conditions on: stream seed, content class and the trailing
+    /// [`LmContext::MARKOV_ORDER`]-token window.
     ///
-    /// Used by beam search to evaluate hypothetical continuations without
-    /// copying the full prefix: `suffix` is appended to `tokens` logically by
-    /// the caller providing a scratch buffer.
+    /// Runs once per simulated model forward, so it hashes the window in
+    /// place ([`crate::hash::hash_token_iter`]) — no temporary `Vec`. The
+    /// produced values are pinned by a unit test: calibrated token streams
+    /// are pure functions of these hashes, so they must never shift.
     pub fn hash(&self) -> u64 {
-        let window: Vec<u32> = self.window().iter().map(|t| t.0).collect();
-        crate::hash::hash_tokens(
+        crate::hash::hash_token_iter(
             crate::hash::combine(self.stream_seed, self.class.id() ^ 0xC0DE_0001_5A17),
-            &window,
+            self.window().iter().map(|t| t.0),
         )
     }
 }
@@ -126,6 +128,17 @@ pub trait Lm {
 
     /// Next-token distribution for `ctx`.
     fn next_dist(&self, ctx: &LmContext<'_>) -> SparseDist;
+
+    /// Shared-ownership variant of [`Lm::next_dist`].
+    ///
+    /// Memoizing implementations ([`crate::TargetLm`], [`crate::DraftLm`])
+    /// override this to hand out an `Arc` clone of the cached distribution —
+    /// a cache hit then costs a refcount bump instead of copying the head
+    /// entries. The default wraps [`Lm::next_dist`] so plain models need no
+    /// changes.
+    fn next_dist_arc(&self, ctx: &LmContext<'_>) -> std::sync::Arc<SparseDist> {
+        std::sync::Arc::new(self.next_dist(ctx))
+    }
 
     /// Convenience: distribution for a context extended by `extra` tokens.
     ///
@@ -142,6 +155,44 @@ pub trait Lm {
         scratch.extend_from_slice(extra);
         let ext = LmContext::new(ctx.stream_seed, ctx.class, scratch);
         self.next_dist(&ext)
+    }
+
+    /// Shared-ownership variant of [`Lm::next_dist_extended`] (see
+    /// [`Lm::next_dist_arc`]); the hot speculation/verification loops use
+    /// this so memo hits stay allocation-free.
+    fn next_dist_extended_arc(
+        &self,
+        ctx: &LmContext<'_>,
+        extra: &[TokenId],
+        scratch: &mut Vec<TokenId>,
+    ) -> std::sync::Arc<SparseDist> {
+        scratch.clear();
+        scratch.extend_from_slice(ctx.window());
+        scratch.extend_from_slice(extra);
+        let ext = LmContext::new(ctx.stream_seed, ctx.class, scratch);
+        self.next_dist_arc(&ext)
+    }
+
+    /// Fills `out` with the top-`w` `(token, probability)` entries of the
+    /// extended context's distribution — **identical values and order**
+    /// to `self.next_dist_extended(..).top_k(w)`.
+    ///
+    /// Beam-search speculation consumes nothing but the top-`w` head of
+    /// each draft distribution, so mixture models
+    /// ([`crate::DraftLm`]) override this with a fused partial selection
+    /// that never materializes (or sorts) the full blended head. The
+    /// default delegates to the full distribution.
+    fn top_w_extended(
+        &self,
+        ctx: &LmContext<'_>,
+        extra: &[TokenId],
+        w: usize,
+        scratch: &mut Vec<TokenId>,
+        out: &mut Vec<(TokenId, f64)>,
+    ) {
+        let dist = self.next_dist_extended_arc(ctx, extra, scratch);
+        out.clear();
+        out.extend_from_slice(dist.top_k(w));
     }
 }
 
@@ -162,6 +213,51 @@ mod tests {
         let tokens = vec![TokenId(3)];
         let ctx = LmContext::new(1, ContentClass::Chat, &tokens);
         assert_eq!(ctx.window(), &tokens[..]);
+    }
+
+    #[test]
+    fn hash_matches_collected_window_reference() {
+        // The in-place window hash must equal hashing the collected window
+        // through the slice API — same mixing, no temporary Vec.
+        let tokens: Vec<TokenId> = (0..10).map(|i| TokenId(i * 17 + 3)).collect();
+        for n in 0..=tokens.len() {
+            for class in ContentClass::ALL {
+                let ctx = LmContext::new(99, class, &tokens[..n]);
+                let window: Vec<u32> = ctx.window().iter().map(|t| t.0).collect();
+                let reference = crate::hash::hash_tokens(
+                    crate::hash::combine(99, class.id() ^ 0xC0DE_0001_5A17),
+                    &window,
+                );
+                assert_eq!(ctx.hash(), reference, "n = {n}, class = {class:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn hash_values_are_pinned() {
+        // Calibrated token streams are pure functions of these hashes;
+        // if any of them shifts, every calibrated experiment shifts with
+        // it. Values recorded from the original Vec-collecting hash.
+        let toks: Vec<TokenId> = [3u32, 100, 7, 9, 11, 13, 15]
+            .iter()
+            .map(|&t| TokenId(t))
+            .collect();
+        let cases: [(u64, ContentClass, usize, u64); 6] = [
+            (0x0, ContentClass::Code, 0, 0x86af9e4d4f8ec6a5),
+            (0x7, ContentClass::Chat, 1, 0xb7649d27b0d8945d),
+            (0x7, ContentClass::Chat, 6, 0x7cd9600560436186),
+            (0x7, ContentClass::Chat, 7, 0x8ec9dd1fba3da3ad),
+            (0x2a, ContentClass::News, 7, 0x36f107a869ccd9e8),
+            (0xdeadbeef, ContentClass::Code, 3, 0xcc091b4e338bcb59),
+        ];
+        for (seed, class, n, expected) in cases {
+            let ctx = LmContext::new(seed, class, &toks[..n]);
+            assert_eq!(
+                ctx.hash(),
+                expected,
+                "hash shifted for ({seed:#x}, {class:?}, {n})"
+            );
+        }
     }
 
     #[test]

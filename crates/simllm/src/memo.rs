@@ -1,0 +1,206 @@
+//! Memoization of next-token distributions.
+//!
+//! Contexts are Markov-order-[`crate::LmContext::MARKOV_ORDER`], so the
+//! same trailing window recurs constantly inside one serving run: the
+//! draft pass evaluates the target model on every candidate-tree node,
+//! verification re-evaluates the accepted path, and successive iterations
+//! re-expand overlapping windows. A [`DistMemo`] caches each model's
+//! distribution keyed by the context hash, turning those repeats into a
+//! refcount bump.
+//!
+//! The memo lives behind an `Arc`, so cloning a model **shares** its cache
+//! — in particular [`crate::DraftLm::from_target`] clones the target, and
+//! the verification pass then hits the distributions the draft pass
+//! already computed. Interior mutability uses a `Mutex` (uncontended in
+//! practice: one engine steps on one thread at a time) so models stay
+//! `Send + Sync` for parallel replica stepping.
+//!
+//! The table is **direct-mapped**: keys are already full-avalanche mixed
+//! hashes, so `key & mask` picks the slot and a conflicting insert simply
+//! overwrites. That keeps lookups and inserts O(1) with no hashing, no
+//! rehash pauses and bounded memory — a conflict only costs a recompute,
+//! never correctness, because memoization is exact: a hit returns the
+//! same bit-identical [`SparseDist`] the miss path would compute.
+
+use crate::dist::SparseDist;
+use std::sync::{Arc, Mutex};
+
+/// Default slot count (a power of two) of the direct-mapped table.
+///
+/// A distribution's head holds a few dozen entries (~½ KiB); 8 Ki slots
+/// keep the slot array itself cache-resident (≈200 KiB) while covering
+/// far more contexts than a serving iteration touches — hits come
+/// overwhelmingly from the current iteration's draft/verify overlap, so
+/// a larger, cache-colder table measures slower, not faster.
+pub const DEFAULT_MEMO_CAPACITY: usize = 1 << 13;
+
+/// Hit/miss counters of one (or several merged) [`DistMemo`]s.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute the distribution.
+    pub misses: u64,
+}
+
+impl MemoStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in percent (0 when no lookups happened).
+    pub fn hit_rate_pct(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            100.0 * self.hits as f64 / self.lookups() as f64
+        }
+    }
+
+    /// Accumulates another memo's counters.
+    pub fn merge(&mut self, other: MemoStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+}
+
+#[derive(Debug)]
+struct MemoInner {
+    /// Direct-mapped slots: `slots[key & mask]` holds the entry (if any)
+    /// whose full key is stored alongside for exactness.
+    slots: Vec<Option<(u64, Arc<SparseDist>)>>,
+    stats: MemoStats,
+}
+
+/// A shared, direct-mapped distribution cache (see the module docs).
+#[derive(Debug)]
+pub struct DistMemo {
+    inner: Mutex<MemoInner>,
+    mask: u64,
+}
+
+impl Default for DistMemo {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_MEMO_CAPACITY)
+    }
+}
+
+impl DistMemo {
+    /// Creates a memo with `capacity` slots (rounded up to a power of two).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.next_power_of_two().max(1);
+        Self {
+            inner: Mutex::new(MemoInner {
+                slots: vec![None; cap],
+                stats: MemoStats::default(),
+            }),
+            mask: cap as u64 - 1,
+        }
+    }
+
+    /// A fresh memo wrapped for sharing across model clones.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Returns the cached distribution for `key`, computing and inserting
+    /// it via `compute` on a miss (or slot conflict).
+    ///
+    /// `compute` runs outside the lock (it may itself consult other
+    /// memos); a racing duplicate computation is harmless because
+    /// distributions are pure functions of the key.
+    pub fn get_or_compute(
+        &self,
+        key: u64,
+        compute: impl FnOnce() -> SparseDist,
+    ) -> Arc<SparseDist> {
+        let slot = (key & self.mask) as usize;
+        {
+            let mut inner = self.inner.lock().expect("memo lock");
+            if let Some((k, dist)) = &inner.slots[slot] {
+                if *k == key {
+                    let dist = Arc::clone(dist);
+                    inner.stats.hits += 1;
+                    return dist;
+                }
+            }
+            inner.stats.misses += 1;
+        }
+        let dist = Arc::new(compute());
+        let mut inner = self.inner.lock().expect("memo lock");
+        inner.slots[slot] = Some((key, Arc::clone(&dist)));
+        dist
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> MemoStats {
+        self.inner.lock().expect("memo lock").stats
+    }
+
+    /// Occupied slots right now.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("memo lock")
+            .slots
+            .iter()
+            .filter(|s| s.is_some())
+            .count()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::TokenId;
+
+    fn dist(t: u32) -> SparseDist {
+        SparseDist::delta(TokenId(t), 100)
+    }
+
+    #[test]
+    fn hit_returns_identical_distribution() {
+        let memo = DistMemo::default();
+        let a = memo.get_or_compute(7, || dist(3));
+        let b = memo.get_or_compute(7, || panic!("must not recompute"));
+        assert_eq!(*a, *b);
+        assert_eq!(memo.stats(), MemoStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn distinct_keys_compute_independently() {
+        let memo = DistMemo::default();
+        let a = memo.get_or_compute(1, || dist(1));
+        let b = memo.get_or_compute(2, || dist(2));
+        assert_ne!(*a, *b);
+        assert_eq!(memo.stats().misses, 2);
+    }
+
+    #[test]
+    fn slot_conflicts_overwrite_and_recompute_exactly() {
+        // Capacity 2: keys 1 and 3 map to the same slot (1 & 1 == 3 & 1).
+        let memo = DistMemo::with_capacity(2);
+        memo.get_or_compute(1, || dist(1));
+        let b = memo.get_or_compute(3, || dist(3));
+        assert_eq!(*b, dist(3), "conflict evicts, never corrupts");
+        // Key 1 was evicted: recomputation yields the exact same value.
+        let again = memo.get_or_compute(1, || dist(1));
+        assert_eq!(*again, dist(1));
+        assert_eq!(memo.len(), 1);
+    }
+
+    #[test]
+    fn stats_hit_rate() {
+        let mut s = MemoStats { hits: 3, misses: 1 };
+        assert!((s.hit_rate_pct() - 75.0).abs() < 1e-12);
+        s.merge(MemoStats { hits: 1, misses: 3 });
+        assert!((s.hit_rate_pct() - 50.0).abs() < 1e-12);
+        assert_eq!(MemoStats::default().hit_rate_pct(), 0.0);
+    }
+}

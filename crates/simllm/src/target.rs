@@ -3,7 +3,9 @@
 use crate::dist::SparseDist;
 use crate::hash::{mix64, seed_stream, unit_f64};
 use crate::lm::{Lm, LmContext};
+use crate::memo::{DistMemo, MemoStats};
 use crate::vocab::{Vocab, NUM_SPECIAL_TOKENS};
+use std::sync::Arc;
 
 /// Configuration of a [`TargetLm`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -49,6 +51,12 @@ impl TargetLmConfig {
 #[derive(Debug, Clone)]
 pub struct TargetLm {
     config: TargetLmConfig,
+    /// Distribution memo, **shared across clones** (an `Arc`): the draft
+    /// model derived via [`crate::DraftLm::from_target`] clones this
+    /// model, so the verification pass hits distributions the draft pass
+    /// already computed. Memoization is exact (pure function of the
+    /// context hash), so cached and recomputed runs are bit-identical.
+    memo: Arc<DistMemo>,
 }
 
 impl TargetLm {
@@ -59,12 +67,20 @@ impl TargetLm {
             (0.0..=1.0).contains(&config.head_mass),
             "head mass must be a probability"
         );
-        Self { config }
+        Self {
+            config,
+            memo: DistMemo::shared(),
+        }
     }
 
     /// The model configuration.
     pub fn config(&self) -> &TargetLmConfig {
         &self.config
+    }
+
+    /// Hit/miss counters of the distribution memo (shared across clones).
+    pub fn cache_stats(&self) -> MemoStats {
+        self.memo.stats()
     }
 
     /// Derives the head candidate tokens for a context hash.
@@ -84,18 +100,60 @@ impl TargetLm {
         }
         tokens
     }
-}
 
-impl Lm for TargetLm {
-    fn vocab_size(&self) -> u32 {
-        self.config.vocab.size()
+    /// Head probabilities for context hash `h`, **sorted by token id**,
+    /// plus the final tail mass.
+    ///
+    /// This is the shared core of [`TargetLm::next_dist`] and the fused
+    /// draft blend ([`crate::DraftLm`] mixes these probabilities straight
+    /// into its mixture without building an intermediate [`SparseDist`]).
+    /// The token-sorted summation order matches
+    /// `SparseDist::from_weights`, keeping every downstream value
+    /// bit-identical to the unfused construction.
+    pub(crate) fn head_probs_token_sorted(
+        &self,
+        h: u64,
+        class: crate::ContentClass,
+    ) -> (Vec<(crate::TokenId, f64)>, f64) {
+        let mut out = Vec::new();
+        let tail_mass = self.head_probs_token_sorted_into(h, class, &mut out);
+        (out, tail_mass)
     }
 
-    fn next_dist(&self, ctx: &LmContext<'_>) -> SparseDist {
-        let h = mix64(ctx.hash() ^ self.config.seed);
+    /// Scratch-buffer variant of [`TargetLm::head_probs_token_sorted`]:
+    /// fills `out` (cleared first) and returns the tail mass.
+    pub(crate) fn head_probs_token_sorted_into(
+        &self,
+        h: u64,
+        class: crate::ContentClass,
+        out: &mut Vec<(crate::TokenId, f64)>,
+    ) -> f64 {
+        let tail_weight = self.raw_head_weights(h, class, out);
+        // Tokens are distinct; sum in token-sorted order exactly as
+        // `from_weights` would after its dedup pass.
+        out.sort_unstable_by_key(|&(t, _)| t);
+        let head: f64 = out.iter().map(|&(_, w)| w).sum();
+        let total = head + tail_weight;
+        for w in out.iter_mut() {
+            w.1 /= total;
+        }
+        tail_weight / total
+    }
+
+    /// Generates the raw (unnormalized) jittered head weights for context
+    /// hash `h` into `out` (cleared first), in head order — strictly
+    /// descending for every supported decay/jitter configuration.
+    /// Returns the raw tail weight.
+    fn raw_head_weights(
+        &self,
+        h: u64,
+        class: crate::ContentClass,
+        out: &mut Vec<(crate::TokenId, f64)>,
+    ) -> f64 {
         let tokens = self.head_tokens(h);
-        let decay = ctx.class.head_decay();
-        let mut weights = Vec::with_capacity(tokens.len());
+        let decay = class.head_decay();
+        out.clear();
+        out.reserve(tokens.len());
         for (i, &t) in tokens.iter().enumerate() {
             let base = decay.powi(i as i32);
             let jitter = if self.config.weight_jitter > 0.0 {
@@ -105,12 +163,78 @@ impl Lm for TargetLm {
             } else {
                 1.0
             };
-            weights.push((crate::TokenId(t), base * jitter));
+            out.push((crate::TokenId(t), base * jitter));
         }
         // Scale the head to hold exactly `head_mass` of the total.
-        let head_sum: f64 = weights.iter().map(|&(_, w)| w).sum();
-        let tail_weight = head_sum * (1.0 - self.config.head_mass) / self.config.head_mass;
-        SparseDist::from_weights(weights, tail_weight, self.config.vocab.size())
+        let head_sum: f64 = out.iter().map(|&(_, w)| w).sum();
+        head_sum * (1.0 - self.config.head_mass) / self.config.head_mass
+    }
+
+    /// The memo key for `ctx` (context hash mixed with the model seed).
+    pub(crate) fn dist_key(&self, ctx: &LmContext<'_>) -> u64 {
+        mix64(ctx.hash() ^ self.config.seed)
+    }
+
+    /// Computes the distribution for context hash `h` and head decay of
+    /// `class` (the miss path of the memo).
+    ///
+    /// Fast path: geometric decay dominates the jitter for every
+    /// supported configuration, so the generated weights are already
+    /// strictly descending — the final probabilities then equal the
+    /// generation order and only the *sum* needs token order (computed
+    /// through a packed index sort). When the descending check ever
+    /// fails, the code falls back to the general sort, producing the
+    /// exact same distribution either way.
+    fn compute_dist(&self, h: u64, class: crate::ContentClass) -> SparseDist {
+        let mut weights = Vec::new();
+        let tail_weight = self.raw_head_weights(h, class, &mut weights);
+        // Exact token-ascending sum without reordering the entries:
+        // sort packed (token << 32 | index) keys — tokens are distinct,
+        // so this is pure token order.
+        let mut order: Vec<u64> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &(t, _))| (u64::from(t.0) << 32) | i as u64)
+            .collect();
+        order.sort_unstable();
+        let head: f64 = order
+            .iter()
+            .map(|&k| weights[(k & 0xFFFF_FFFF) as usize].1)
+            .sum();
+        let total = head + tail_weight;
+        for w in &mut weights {
+            w.1 /= total;
+        }
+        let descending = weights.windows(2).all(|p| p[0].1 > p[1].1);
+        if !descending {
+            // `from_weights` orders by (prob desc, token asc); distinct
+            // tokens make the unstable sort deterministic.
+            weights.sort_unstable_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .expect("finite probs")
+                    .then_with(|| a.0.cmp(&b.0))
+            });
+        }
+        SparseDist::from_parts(weights, tail_weight / total, self.config.vocab.size())
+    }
+}
+
+impl Lm for TargetLm {
+    fn vocab_size(&self) -> u32 {
+        self.config.vocab.size()
+    }
+
+    fn next_dist(&self, ctx: &LmContext<'_>) -> SparseDist {
+        (*self.next_dist_arc(ctx)).clone()
+    }
+
+    fn next_dist_arc(&self, ctx: &LmContext<'_>) -> Arc<SparseDist> {
+        // The context hash folds in the stream seed, content class and
+        // token window — everything `compute_dist` conditions on — so it
+        // is a sound memo key once mixed with the model seed.
+        let h = self.dist_key(ctx);
+        self.memo
+            .get_or_compute(h, || self.compute_dist(h, ctx.class))
     }
 }
 

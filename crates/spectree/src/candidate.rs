@@ -10,10 +10,19 @@
 //! Candidate-tree layout mirrors the paper: the first layer holds the top-`w`
 //! children of the root, and every subsequent layer holds the global top-`w`
 //! among all expansions of the previous layer's beam (classic beam search on
-//! approximated path probabilities).
+//! approximated path probabilities). Because each layer's nodes are inserted
+//! consecutively, layers are stored as dense id *ranges* rather than
+//! per-layer `Vec`s.
+//!
+//! The construction itself is allocation-free at steady state: all transient
+//! buffers live in a caller-owned [`SpeculateScratch`], draft distributions
+//! arrive as shared [`simllm::Lm::next_dist_extended_arc`] handles, and the
+//! per-step top-`w` cut uses a partial selection instead of sorting every
+//! expansion.
 
 use crate::tree::{NodeId, TokenTree};
 use simllm::{Lm, LmContext, TokenId};
+use std::ops::Range;
 
 /// Speculation parameters: tree depth and beam width.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,71 +46,155 @@ impl SpecParams {
     }
 }
 
+/// Reusable buffers for [`CandidateTree::speculate_with`].
+///
+/// One scratch per engine turns beam search's per-step allocations
+/// (expansion list, path buffer, extended-context buffer) into buffer
+/// reuse; [`SpeculateScratch::grow_events`] counts how often any buffer
+/// actually had to grow, which drops to zero once the engine warms up.
+#[derive(Debug, Default)]
+pub struct SpeculateScratch {
+    /// Candidate (parent, token, path_prob) expansions of one beam step.
+    expansions: Vec<(NodeId, TokenId, f64)>,
+    /// Path-token buffer for [`TokenTree::path_tokens_into`].
+    path: Vec<TokenId>,
+    /// Extended-context buffer for `top_w_extended`.
+    ext: Vec<TokenId>,
+    /// Top-`w` head entries of one draft distribution.
+    topw: Vec<(TokenId, f64)>,
+    /// Cumulative buffer-growth events (see [`SpeculateScratch::grow_events`]).
+    grow_events: u64,
+}
+
+impl SpeculateScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// How often any internal buffer had to grow its allocation. A warmed
+    /// engine should see this stay flat across iterations — the signal
+    /// the hot loop is allocation-free at steady state.
+    pub fn grow_events(&self) -> u64 {
+        self.grow_events
+    }
+
+    fn note_capacity(&mut self, before: usize) {
+        if self.capacity_sum() > before {
+            self.grow_events += 1;
+        }
+    }
+
+    fn capacity_sum(&self) -> usize {
+        self.expansions.capacity()
+            + self.path.capacity()
+            + self.ext.capacity()
+            + self.topw.capacity()
+    }
+}
+
 /// A candidate token tree produced by the speculation phase.
 #[derive(Debug, Clone)]
 pub struct CandidateTree {
     tree: TokenTree,
-    /// Beam (node ids) per layer, layer 0 = children of root.
-    layers: Vec<Vec<NodeId>>,
+    /// Beam layers as node-id ranges (layer nodes are inserted
+    /// consecutively); layer 0 = children of the root.
+    layers: Vec<Range<u32>>,
     /// Draft-model tokens decoded while building this tree (cost accounting).
     draft_tokens_processed: u32,
 }
 
 impl CandidateTree {
+    /// An empty (root-only) candidate tree, for pooling with
+    /// [`CandidateTree::speculate_with`].
+    pub fn empty() -> Self {
+        Self {
+            tree: TokenTree::new(TokenId(0)),
+            layers: Vec::new(),
+            draft_tokens_processed: 0,
+        }
+    }
+
     /// Runs `params.depth` beam-search steps of the draft model `lm`.
     ///
     /// `ctx` must end at the request's last generated token, which becomes
     /// the candidate tree's root.
     pub fn speculate(lm: &dyn Lm, ctx: &LmContext<'_>, params: SpecParams) -> Self {
-        let root_token = *ctx.tokens.last().expect("context must not be empty");
-        let mut tree = TokenTree::new(root_token);
-        let mut layers: Vec<Vec<NodeId>> = Vec::with_capacity(params.depth as usize);
-        let mut draft_tokens_processed = 0u32;
-        let mut scratch = Vec::new();
+        let mut out = Self::empty();
+        let mut scratch = SpeculateScratch::new();
+        out.speculate_with(lm, ctx, params, &mut scratch);
+        out
+    }
 
-        // Beam of nodes expanded at the current step (starts at the root).
-        let mut beam = vec![tree.root()];
+    /// Pooled variant of [`CandidateTree::speculate`]: rebuilds `self` in
+    /// place, reusing the tree arena, the layer list and the caller's
+    /// [`SpeculateScratch`] — zero allocations once all buffers are warm.
+    pub fn speculate_with(
+        &mut self,
+        lm: &dyn Lm,
+        ctx: &LmContext<'_>,
+        params: SpecParams,
+        scratch: &mut SpeculateScratch,
+    ) {
+        let root_token = *ctx.tokens.last().expect("context must not be empty");
+        self.tree.reset(root_token);
+        self.layers.clear();
+        self.draft_tokens_processed = 0;
+        let cap_before = scratch.capacity_sum();
+
+        // Beam of nodes expanded at the current step: the previous layer's
+        // id range (the root alone before the first step).
+        let mut beam: Range<u32> = 0..1;
         for _step in 0..params.depth {
             // Expand every beam node; gather (parent, token, path_prob).
-            let mut expansions: Vec<(NodeId, TokenId, f64)> = Vec::new();
-            for &node in &beam {
-                let path = tree.path_tokens(node);
-                let dist = lm.next_dist_extended(ctx, &path, &mut scratch);
-                draft_tokens_processed += 1;
-                let parent_prob = tree.path_prob(node);
-                for &(token, p) in dist.top_k(params.width as usize) {
-                    expansions.push((node, token, parent_prob * p));
+            scratch.expansions.clear();
+            for node in beam.clone().map(NodeId) {
+                self.tree.path_tokens_into(node, &mut scratch.path);
+                lm.top_w_extended(
+                    ctx,
+                    &scratch.path,
+                    params.width as usize,
+                    &mut scratch.ext,
+                    &mut scratch.topw,
+                );
+                self.draft_tokens_processed += 1;
+                let parent_prob = self.tree.path_prob(node);
+                for &(token, p) in &scratch.topw {
+                    scratch.expansions.push((node, token, parent_prob * p));
                 }
             }
-            // Keep the global top-w expansions (stable on ties).
-            expansions.sort_by(|a, b| {
+            // Keep the global top-w expansions (stable on ties). The
+            // comparator is a total order over distinct (parent, token)
+            // pairs, so partial selection + unstable sort of the survivors
+            // reproduces the full stable sort's prefix exactly.
+            let w = params.width as usize;
+            let cmp = |a: &(NodeId, TokenId, f64), b: &(NodeId, TokenId, f64)| {
                 b.2.partial_cmp(&a.2)
                     .expect("finite probs")
                     .then_with(|| (a.0, a.1).cmp(&(b.0, b.1)))
-            });
-            expansions.truncate(params.width as usize);
-            if expansions.is_empty() {
+            };
+            if scratch.expansions.len() > w {
+                scratch.expansions.select_nth_unstable_by(w - 1, cmp);
+                scratch.expansions.truncate(w);
+            }
+            scratch.expansions.sort_unstable_by(cmp);
+            if scratch.expansions.is_empty() {
                 break;
             }
-            let mut layer = Vec::with_capacity(expansions.len());
-            for (parent, token, prob) in expansions {
+            let layer_start = self.tree.len() as u32;
+            for &(parent, token, prob) in &scratch.expansions {
                 // Path probs strictly decrease because edge probs are < 1;
                 // guard against degenerate prob-1 edges with a tiny epsilon.
-                let prob = prob.min(tree.path_prob(parent) * (1.0 - 1e-12));
-                let id = tree
+                let prob = prob.min(self.tree.path_prob(parent) * (1.0 - 1e-12));
+                self.tree
                     .add_child(parent, token, prob)
                     .expect("beam expansion preserves tree invariants");
-                layer.push(id);
             }
+            let layer = layer_start..self.tree.len() as u32;
             beam = layer.clone();
-            layers.push(layer);
+            self.layers.push(layer);
         }
-
-        Self {
-            tree,
-            layers,
-            draft_tokens_processed,
-        }
+        scratch.note_capacity(cap_before);
     }
 
     /// The underlying token tree (root + all candidate nodes).
@@ -114,9 +207,14 @@ impl CandidateTree {
         self.tree
     }
 
-    /// Beam node ids per layer.
-    pub fn layers(&self) -> &[Vec<NodeId>] {
+    /// Beam node-id ranges per layer (layer nodes are dense).
+    pub fn layers(&self) -> &[Range<u32>] {
         &self.layers
+    }
+
+    /// The node ids of layer `k` (0 = children of the root).
+    pub fn layer_nodes(&self, k: usize) -> impl Iterator<Item = NodeId> + '_ {
+        self.layers[k].clone().map(NodeId)
     }
 
     /// Achieved depth (may be below the requested depth if beams emptied).
@@ -161,7 +259,7 @@ mod tests {
     #[test]
     fn first_layer_children_of_root() {
         let cand = speculate(2, 3);
-        for &id in &cand.layers()[0] {
+        for id in cand.layer_nodes(0) {
             assert_eq!(cand.tree().parent(id), Some(cand.tree().root()));
         }
     }
@@ -169,12 +267,10 @@ mod tests {
     #[test]
     fn layer_probs_are_monotone_decreasing_across_depth() {
         let cand = speculate(4, 2);
-        let best_per_layer: Vec<f64> = cand
-            .layers()
-            .iter()
-            .map(|l| {
-                l.iter()
-                    .map(|&id| cand.tree().path_prob(id))
+        let best_per_layer: Vec<f64> = (0..cand.layers().len())
+            .map(|k| {
+                cand.layer_nodes(k)
+                    .map(|id| cand.tree().path_prob(id))
                     .fold(f64::MIN, f64::max)
             })
             .collect();
@@ -204,5 +300,41 @@ mod tests {
         let ids_a: Vec<_> = a.tree().node_ids().map(|i| a.tree().token(i)).collect();
         let ids_b: Vec<_> = b.tree().node_ids().map(|i| b.tree().token(i)).collect();
         assert_eq!(ids_a, ids_b);
+    }
+
+    #[test]
+    fn pooled_speculation_matches_fresh_and_reuses_buffers() {
+        let pair = ModelPair::calibrated(5);
+        let tokens = ctx_tokens();
+        let ctx = LmContext::new(9, ContentClass::Chat, &tokens);
+        let params = SpecParams::new(4, 3);
+        let fresh = CandidateTree::speculate(pair.draft(), &ctx, params);
+
+        let mut pooled = CandidateTree::empty();
+        let mut scratch = SpeculateScratch::new();
+        // Warm the pool on a different context first, then rebuild.
+        let warm_tokens = vec![TokenId(1), TokenId(2)];
+        let warm_ctx = LmContext::new(3, ContentClass::News, &warm_tokens);
+        pooled.speculate_with(pair.draft(), &warm_ctx, params, &mut scratch);
+        let grown = scratch.grow_events();
+        pooled.speculate_with(pair.draft(), &ctx, params, &mut scratch);
+
+        let fresh_nodes: Vec<_> = fresh
+            .tree()
+            .node_ids()
+            .map(|i| (fresh.tree().token(i), fresh.tree().path_prob(i)))
+            .collect();
+        let pooled_nodes: Vec<_> = pooled
+            .tree()
+            .node_ids()
+            .map(|i| (pooled.tree().token(i), pooled.tree().path_prob(i)))
+            .collect();
+        assert_eq!(fresh_nodes, pooled_nodes, "pooled rebuild is identical");
+        assert_eq!(fresh.layers(), pooled.layers());
+        assert_eq!(
+            scratch.grow_events(),
+            grown,
+            "no buffer growth once the scratch is warm"
+        );
     }
 }

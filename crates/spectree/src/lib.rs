@@ -27,7 +27,10 @@ pub mod mask;
 pub mod tree;
 pub mod verify;
 
-pub use candidate::{CandidateTree, SpecParams};
+pub use candidate::{CandidateTree, SpecParams, SpeculateScratch};
 pub use mask::TreeMask;
-pub use tree::{NodeId, TokenTree, TreeError};
-pub use verify::{verify_tree, verify_tree_rejection, RejectionOutcome, VerifyMode, VerifyOutcome};
+pub use tree::{NodeId, SubtreeScratch, TokenTree, TreeError};
+pub use verify::{
+    verify_tree, verify_tree_rejection, verify_tree_with, RejectionOutcome, VerifyMode,
+    VerifyOutcome, VerifyScratch,
+};

@@ -76,15 +76,16 @@ pub fn verify_tree_rejection(
     position_offset: u64,
 ) -> RejectionOutcome {
     let mut scratch = Vec::new();
+    let mut path = Vec::new();
     let mut accepted_tokens: Vec<TokenId> = Vec::new();
     let mut current = tree.root();
     let mut trials = 0u32;
     loop {
-        let path = tree.path_tokens(current);
-        let mut p = target.next_dist_extended(ctx, &path, &mut scratch);
-        let q = draft.next_dist_extended(ctx, &path, &mut scratch);
+        tree.path_tokens_into(current, &mut path);
+        let mut p = (*target.next_dist_extended_arc(ctx, &path, &mut scratch)).clone();
+        let q = draft.next_dist_extended_arc(ctx, &path, &mut scratch);
         let mut accepted_child = None;
-        for (rank, &child) in tree.children(current).iter().enumerate() {
+        for (rank, child) in tree.children(current).enumerate() {
             let token = tree.token(child);
             let accept_prob = if q.prob(token) > 0.0 {
                 (p.prob(token) / q.prob(token)).min(1.0)
@@ -151,6 +152,21 @@ impl VerifyOutcome {
     }
 }
 
+/// Reusable buffers for [`verify_tree_with`] (the extended-context and
+/// path-token scratch the tree walk fills once per accepted node).
+#[derive(Debug, Default)]
+pub struct VerifyScratch {
+    ext: Vec<TokenId>,
+    path: Vec<TokenId>,
+}
+
+impl VerifyScratch {
+    /// Sum of buffer capacities (allocation-discipline probe).
+    pub fn capacity_sum(&self) -> usize {
+        self.ext.capacity() + self.path.capacity()
+    }
+}
+
 /// Verifies `tree` with the `target` model.
 ///
 /// `ctx` is the request context ending at the tree's root token;
@@ -163,18 +179,38 @@ pub fn verify_tree(
     position_offset: u64,
     mode: VerifyMode,
 ) -> VerifyOutcome {
+    verify_tree_with(
+        target,
+        ctx,
+        tree,
+        position_offset,
+        mode,
+        &mut VerifyScratch::default(),
+    )
+}
+
+/// Scratch-buffer variant of [`verify_tree`]: the walk's transient
+/// buffers come from `scratch`, leaving only the outcome's own (small)
+/// accepted-path vectors as per-call allocations.
+pub fn verify_tree_with(
+    target: &dyn Lm,
+    ctx: &LmContext<'_>,
+    tree: &TokenTree,
+    position_offset: u64,
+    mode: VerifyMode,
+    scratch: &mut VerifyScratch,
+) -> VerifyOutcome {
     debug_assert_eq!(
         ctx.tokens.last().copied(),
         Some(tree.token(tree.root())),
         "context must end at the tree root token"
     );
-    let mut scratch = Vec::new();
     let mut accepted_nodes = Vec::new();
     let mut accepted_tokens = Vec::new();
     let mut current = tree.root();
     loop {
-        let path = tree.path_tokens(current);
-        let dist = target.next_dist_extended(ctx, &path, &mut scratch);
+        tree.path_tokens_into(current, &mut scratch.path);
+        let dist = target.next_dist_extended_arc(ctx, &scratch.path, &mut scratch.ext);
         let target_token = match mode {
             VerifyMode::Greedy => dist.top1(),
             VerifyMode::Stochastic => sample_seeded(
@@ -185,8 +221,6 @@ pub fn verify_tree(
         };
         let next = tree
             .children(current)
-            .iter()
-            .copied()
             .find(|&c| tree.token(c) == target_token);
         match next {
             Some(child) => {
@@ -281,9 +315,12 @@ mod tests {
             let p = pair.target().next_dist_extended(&ctx, &[], &mut scratch);
             let q = pair.draft().next_dist_extended(&ctx, &[], &mut scratch);
             // Acceptance of the drafted top-1 token x* is min(1, p/q) at x*.
-            let x = cand
-                .tree()
-                .token(cand.tree().children(cand.tree().root())[0]);
+            let x = cand.tree().token(
+                cand.tree()
+                    .children(cand.tree().root())
+                    .next()
+                    .expect("root has a child"),
+            );
             overlap_sum += (p.prob(x) / q.prob(x)).min(1.0) / trials as f64;
             let out = verify_tree_rejection(pair.target(), pair.draft(), &ctx, cand.tree(), s);
             if out.num_accepted() >= 1 {
@@ -312,8 +349,6 @@ mod tests {
             let child = cand
                 .tree()
                 .children(cur)
-                .iter()
-                .copied()
                 .find(|&c| cand.tree().token(c) == t)
                 .expect("accepted token labels a child edge");
             cur = child;

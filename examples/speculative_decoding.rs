@@ -17,7 +17,8 @@ fn print_tree(vocab: &Vocab, tree: &TokenTree, selected: Option<&[NodeId]>) {
     // Depth-first so indentation reflects ancestry.
     let mut stack = vec![tree.root()];
     while let Some(id) = stack.pop() {
-        for &c in tree.children(id).iter().rev() {
+        let children: Vec<NodeId> = tree.children(id).collect();
+        for &c in children.iter().rev() {
             stack.push(c);
         }
         let depth = tree.depth(id) as usize;

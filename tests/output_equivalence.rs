@@ -99,6 +99,91 @@ fn adaserve_output_equals_autoregressive_reference() {
     }
 }
 
+/// Parallel replica stepping must be a pure wall-clock optimization:
+/// replicas only interact at the session's submit/scale points, so
+/// batch-stepping them on worker threads (the default) must reproduce
+/// sequential stepping's output byte for byte — records, per-replica
+/// routing shares, iteration counts, end clocks.
+mod parallel_stepping_equivalence {
+    use adaserve::cluster::{Cluster, RouterKind};
+    use adaserve::core::AdaServeEngine;
+    use adaserve::disagg::{DisaggCluster, Dispatcher, KvLink, PrefillPool};
+    use adaserve::serving::{RunReport, ServeSession, ServingEngine, SystemConfig};
+    use adaserve::workload::WorkloadBuilder;
+
+    fn engines(n: usize, seed: u64) -> Vec<Box<dyn ServingEngine>> {
+        (0..n)
+            .map(|_| {
+                Box::new(AdaServeEngine::new(SystemConfig::llama70b(seed)))
+                    as Box<dyn ServingEngine>
+            })
+            .collect()
+    }
+
+    fn assert_identical(parallel: RunReport, sequential: RunReport) {
+        assert_eq!(
+            parallel.records, sequential.records,
+            "merged records must be byte-identical"
+        );
+        assert_eq!(parallel.end_ms, sequential.end_ms);
+        assert_eq!(parallel.iterations, sequential.iterations);
+        let par_shares: Vec<u64> = parallel.units.iter().map(|u| u.routed).collect();
+        let seq_shares: Vec<u64> = sequential.units.iter().map(|u| u.routed).collect();
+        assert_eq!(par_shares, seq_shares, "same routing decisions");
+        for (p, s) in parallel.units.iter().zip(sequential.units.iter()) {
+            assert_eq!(
+                p.result.records, s.result.records,
+                "unit {} record stream",
+                p.replica
+            );
+        }
+    }
+
+    #[test]
+    fn cluster_parallel_stepping_matches_sequential() {
+        let baseline_ms = SystemConfig::llama70b(7).baseline_ms;
+        // ADASERVE_SEED-style seeding: the builder seed pins the workload.
+        let wl = WorkloadBuilder::new(adaserve::workload::env_seed(41), baseline_ms)
+            .target_rps(4.0)
+            .duration_ms(10_000.0)
+            .build();
+        let parallel = ServeSession::new(
+            Cluster::new(engines(3, 7), RouterKind::SloAware.build()).with_parallel_stepping(true),
+        )
+        .serve(&wl)
+        .expect("parallel run");
+        let sequential = ServeSession::new(
+            Cluster::new(engines(3, 7), RouterKind::SloAware.build()).with_parallel_stepping(false),
+        )
+        .serve(&wl)
+        .expect("sequential run");
+        assert_identical(parallel, sequential);
+    }
+
+    #[test]
+    fn disagg_parallel_stepping_matches_sequential() {
+        let baseline_ms = SystemConfig::llama70b(7).baseline_ms;
+        let wl = WorkloadBuilder::new(adaserve::workload::env_seed(43), baseline_ms)
+            .target_rps(4.0)
+            .duration_ms(10_000.0)
+            .build();
+        let build = |parallel: bool| {
+            DisaggCluster::new(
+                PrefillPool::new(vec![SystemConfig::llama70b(7)]),
+                engines(2, 7),
+                Dispatcher::new(RouterKind::SloAware.build()),
+                KvLink::new(300.0, 0.05),
+            )
+            .with_parallel_stepping(parallel)
+        };
+        let parallel = ServeSession::new(build(true)).serve(&wl).expect("parallel");
+        let sequential = ServeSession::new(build(false))
+            .serve(&wl)
+            .expect("sequential");
+        assert_identical(parallel, sequential);
+    }
+}
+
 mod front_door_equivalence {
     use adaserve::baselines::{SarathiEngine, VllmEngine};
     use adaserve::cluster::{Cluster, RouterKind, ScalingAction, ScalingEvent};
