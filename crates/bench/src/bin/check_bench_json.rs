@@ -4,15 +4,62 @@
 //! before uploading; a missing required key fails the job with every
 //! violation listed.
 //!
+//! Beyond the per-kind schemas, fleet artifacts (`"kind": "fleet"`, from
+//! `fig_fleet_scaling`) carry one semantic gate: the 4-replica row
+//! measured under a sharded executor must not be slower than its
+//! sequential pair. [`SPEEDUP_FLOOR`] documents the tolerated noise.
+//!
 //! ```sh
-//! cargo run -p adaserve-bench --bin check_bench_json -- BENCH_smoke.json [...]
+//! cargo run -p adaserve-bench --bin check_bench_json -- BENCH_foo.json [...]
 //! ```
 //!
-//! Exit status: 0 if every file is schema-valid, 1 otherwise, 2 on usage
-//! errors.
+//! Exit status: 0 if every file is schema-valid (and gates hold), 1
+//! otherwise, 2 on usage errors.
 
-use adaserve_bench::json;
+use adaserve_bench::json::{self, Json};
 use adaserve_bench::summary::validate;
+
+/// Minimum accepted 4-replica sharded speedup.
+///
+/// On a multi-core host the sharded executor genuinely wins at 4
+/// replicas; on a single-core CI runner the two executors are within
+/// timer noise of each other (batching only amortizes per-step
+/// scheduling scans there). Repeated best-of-5 sweeps on one core put
+/// the 4-replica pair within ±5% run to run, while the regression this
+/// gate exists to catch — the executor falling back to per-step thread
+/// spawning — measured ~0.92. A 0.95 floor separates the two without
+/// flaking on jitter.
+const SPEEDUP_FLOOR: f64 = 0.95;
+
+/// Applies the fleet-artifact gate: every 4-replica row measured under a
+/// sharded executor must report `speedup >= SPEEDUP_FLOOR`. Returns the
+/// violations found (empty when the artifact is not a fleet artifact or
+/// carries no sharded 4-replica row, e.g. under `ADASERVE_EXEC=sequential`).
+fn fleet_gate(doc: &Json) -> Vec<String> {
+    if doc.get("kind").and_then(Json::as_str) != Some("fleet") {
+        return Vec::new();
+    }
+    let Some(rows) = doc.get("rows").and_then(Json::as_arr) else {
+        return Vec::new();
+    };
+    let mut errors = Vec::new();
+    for row in rows {
+        let replicas = row.get("replicas").and_then(Json::as_num);
+        let exec = row.get("exec").and_then(Json::as_str).unwrap_or("");
+        let speedup = row.get("speedup").and_then(Json::as_num);
+        if replicas == Some(4.0) && exec.starts_with("sharded") {
+            match speedup {
+                Some(s) if s >= SPEEDUP_FLOOR => {}
+                Some(s) => errors.push(format!(
+                    "4-replica {exec} row is slower than sequential: speedup {s:.3} < \
+                     {SPEEDUP_FLOOR} — the executor lost its tracked win"
+                )),
+                None => errors.push("4-replica sharded row lacks a speedup".into()),
+            }
+        }
+    }
+    errors
+}
 
 fn main() {
     let paths: Vec<String> = std::env::args().skip(1).collect();
@@ -41,13 +88,21 @@ fn main() {
         };
         match validate(&doc) {
             Ok(()) => {
-                let rows = doc
-                    .get("rows")
-                    .and_then(json::Json::as_arr)
-                    .map_or(0, <[json::Json]>::len);
-                let name = doc.get("name").and_then(json::Json::as_str).unwrap_or("?");
-                let mode = doc.get("mode").and_then(json::Json::as_str).unwrap_or("?");
-                println!("{path}: OK ({name}, mode={mode}, {rows} rows)");
+                let gate_errors = fleet_gate(&doc);
+                if gate_errors.is_empty() {
+                    let rows = doc
+                        .get("rows")
+                        .and_then(Json::as_arr)
+                        .map_or(0, <[Json]>::len);
+                    let name = doc.get("name").and_then(Json::as_str).unwrap_or("?");
+                    let mode = doc.get("mode").and_then(Json::as_str).unwrap_or("?");
+                    println!("{path}: OK ({name}, mode={mode}, {rows} rows)");
+                } else {
+                    for e in &gate_errors {
+                        eprintln!("{path}: {e}");
+                    }
+                    failed = true;
+                }
             }
             Err(errors) => {
                 for e in &errors {

@@ -75,7 +75,8 @@ fn engines(n: usize, seed: u64) -> Vec<Box<dyn ServingEngine>> {
 fn run_one(deployment: Deployment, workload: &Workload, seed: u64) -> SloReport {
     match deployment {
         Deployment::Colocated => {
-            let cluster = Cluster::new(engines(TOTAL_REPLICAS, seed), RouterKind::SloAware.build());
+            let cluster = Cluster::new(engines(TOTAL_REPLICAS, seed), RouterKind::SloAware.build())
+                .with_exec_mode(adaserve_bench::exec_mode());
             let report = ServeSession::new(cluster)
                 .serve(workload)
                 .unwrap_or_else(|e| panic!("colocated run failed: {e}"));
@@ -93,7 +94,8 @@ fn run_one(deployment: Deployment, workload: &Workload, seed: u64) -> SloReport 
                 decode,
                 Dispatcher::new(RouterKind::SloAware.build()),
                 KvLink::new(link_gbps, 0.05),
-            );
+            )
+            .with_exec_mode(adaserve_bench::exec_mode());
             let report = ServeSession::new(disagg)
                 .serve(workload)
                 .unwrap_or_else(|e| panic!("disagg {deployment:?} failed: {e}"));

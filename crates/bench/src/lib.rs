@@ -15,7 +15,9 @@
 pub mod json;
 pub mod summary;
 
-pub use summary::{BenchRow, BenchSummary, PerfRow, PerfSummary, TierSummary};
+pub use summary::{
+    BenchRow, BenchSummary, FleetRow, FleetSummary, PerfRow, PerfSummary, TierSummary,
+};
 
 use adaserve_core::{AdaServeEngine, AdaServeOptions};
 use baselines::{
@@ -300,6 +302,18 @@ pub fn seed() -> u64 {
 /// Whether `ADASERVE_SMOKE` is set (CI-sized runs).
 pub fn is_smoke() -> bool {
     std::env::var_os("ADASERVE_SMOKE").is_some()
+}
+
+/// The run's [`serving::ExecMode`]: `ADASERVE_EXEC` if set, else the default
+/// (sharded, auto-sized worker pool).
+///
+/// The same single-env-var convention as [`seed`]: CI or a bisecting
+/// developer can force every bench binary onto one executor
+/// (`ADASERVE_EXEC=sequential`, `sharded`, or `sharded:4`) without
+/// touching flags. A malformed value panics — a typo in a CI matrix
+/// must fail the job, not silently fall back to the default executor.
+pub fn exec_mode() -> serving::ExecMode {
+    serving::ExecMode::from_env("ADASERVE_EXEC").unwrap_or_default()
 }
 
 /// Rejects anything but the shared sweep flags (`--quick`,

@@ -409,18 +409,192 @@ impl PerfSummary {
     }
 }
 
+/// One fleet-scaling measurement (a [`FleetSummary`] row): the same
+/// deployment at one replica count under one [`serving::ExecMode`].
+///
+/// Sequential and sharded rows at the same replica count form a pair;
+/// `speedup` is the sequential row's wall-clock divided by this row's
+/// (1.0 on sequential rows by construction).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetRow {
+    /// Replicas in the fleet at this sweep point.
+    pub replicas: usize,
+    /// Executor mode label (`"sequential"`, `"sharded"`, `"sharded:N"`).
+    pub mode: String,
+    /// Worker threads the mode resolved to on the measuring host.
+    pub workers: usize,
+    /// Wall-clock time of the measured run, ms (best of k trials).
+    pub wall_ms: f64,
+    /// Simulated time covered, ms.
+    pub sim_ms: f64,
+    /// Completed requests.
+    pub requests: usize,
+    /// Engine iterations executed across the fleet.
+    pub iterations: u64,
+    /// Engine iterations per wall-clock second.
+    pub iterations_per_sec: f64,
+    /// Sequential wall-clock at this replica count ÷ this row's
+    /// wall-clock.
+    pub speedup: f64,
+}
+
+/// A machine-readable fleet-scaling artifact (`BENCH_fleet_scaling.json`):
+/// wall-clock of sequential vs sharded stepping as the fleet grows.
+///
+/// Distinguished by `"kind": "fleet"`; [`validate`] dispatches on that
+/// key so the artifact flows through the same `check_bench_json` CI gate
+/// as the SLO and perf families.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSummary {
+    /// Emitting binary (e.g. `"fig_fleet_scaling"`).
+    pub name: String,
+    /// `"smoke"` (CI-sized) or `"full"`.
+    pub mode: String,
+    /// The experiment seed the run used.
+    pub seed: u64,
+    /// Measurements.
+    pub rows: Vec<FleetRow>,
+}
+
+impl FleetSummary {
+    /// Creates an empty fleet summary; `mode` must be `"smoke"` or
+    /// `"full"`.
+    pub fn new(name: impl Into<String>, mode: impl Into<String>, seed: u64) -> Self {
+        let mode = mode.into();
+        assert!(
+            mode == "smoke" || mode == "full",
+            "mode must be smoke|full, got {mode:?}"
+        );
+        Self {
+            name: name.into(),
+            mode,
+            seed,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Lowers the summary to a JSON value.
+    pub fn to_json(&self) -> Json {
+        let mut top = BTreeMap::new();
+        top.insert(
+            "schema_version".into(),
+            Json::Num(f64::from(SCHEMA_VERSION)),
+        );
+        top.insert("kind".into(), Json::Str("fleet".into()));
+        top.insert("name".into(), Json::Str(self.name.clone()));
+        top.insert("mode".into(), Json::Str(self.mode.clone()));
+        top.insert("seed".into(), Json::Int(self.seed));
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| {
+                let mut m = BTreeMap::new();
+                m.insert("replicas".into(), Json::Num(row.replicas as f64));
+                m.insert("exec".into(), Json::Str(row.mode.clone()));
+                m.insert("workers".into(), Json::Num(row.workers as f64));
+                m.insert("wall_ms".into(), Json::Num(row.wall_ms));
+                m.insert("sim_ms".into(), Json::Num(row.sim_ms));
+                m.insert("requests".into(), Json::Num(row.requests as f64));
+                m.insert("iterations".into(), Json::Num(row.iterations as f64));
+                m.insert(
+                    "iterations_per_sec".into(),
+                    Json::Num(row.iterations_per_sec),
+                );
+                m.insert("speedup".into(), Json::Num(row.speedup));
+                Json::Obj(m)
+            })
+            .collect();
+        top.insert("rows".into(), Json::Arr(rows));
+        Json::Obj(top)
+    }
+
+    /// Serializes to a compact JSON string (newline-terminated).
+    pub fn to_json_string(&self) -> String {
+        let mut s = self.to_json().to_string_compact();
+        s.push('\n');
+        s
+    }
+
+    /// Writes the artifact to `path` and logs the destination to stderr.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        write_artifact(
+            path,
+            self.to_json_string(),
+            self.rows.len(),
+            &self.mode,
+            self.seed,
+        )
+    }
+}
+
 /// Validates a parsed document, dispatching on its `kind`: documents
-/// marked `"kind": "perf"` check against the perf schema, everything
-/// else against the SLO-sweep schema of [`SCHEMA_VERSION`] (older
-/// versions are rejected — version 1 lacked the TTFT keys).
+/// marked `"kind": "perf"` check against the perf schema, `"kind":
+/// "fleet"` against the fleet-scaling schema, everything else against
+/// the SLO-sweep schema of [`SCHEMA_VERSION`] (older versions are
+/// rejected — version 1 lacked the TTFT keys).
 ///
 /// Returns every violation found (not just the first), so a CI failure
 /// message names all missing keys at once.
 pub fn validate(doc: &Json) -> Result<(), Vec<String>> {
-    if doc.get("kind").and_then(Json::as_str) == Some("perf") {
-        return validate_perf(doc);
+    match doc.get("kind").and_then(Json::as_str) {
+        Some("perf") => validate_perf(doc),
+        Some("fleet") => validate_fleet(doc),
+        _ => validate_slo(doc),
     }
-    validate_slo(doc)
+}
+
+/// Validates a fleet-scaling artifact (see [`FleetSummary`]).
+pub fn validate_fleet(doc: &Json) -> Result<(), Vec<String>> {
+    let mut errors = Vec::new();
+    match need_num(&mut errors, doc.get("schema_version"), "schema_version") {
+        Some(v) if v == f64::from(SCHEMA_VERSION) => {}
+        Some(v) => errors.push(format!("unsupported schema_version {v}")),
+        None => {}
+    }
+    if doc
+        .get("name")
+        .and_then(Json::as_str)
+        .is_none_or(str::is_empty)
+    {
+        errors.push("missing or empty name".into());
+    }
+    match doc.get("mode").and_then(Json::as_str) {
+        Some("smoke") | Some("full") => {}
+        other => errors.push(format!("mode must be \"smoke\" or \"full\", got {other:?}")),
+    }
+    need_num(&mut errors, doc.get("seed"), "seed");
+    match doc.get("rows").and_then(Json::as_arr) {
+        None => errors.push("missing rows array".into()),
+        Some([]) => errors.push("rows is empty".into()),
+        Some(rows) => {
+            for (i, row) in rows.iter().enumerate() {
+                if row
+                    .get("exec")
+                    .and_then(Json::as_str)
+                    .is_none_or(str::is_empty)
+                {
+                    errors.push(format!("rows[{i}]: missing or empty exec"));
+                }
+                for key in [
+                    "replicas",
+                    "workers",
+                    "wall_ms",
+                    "sim_ms",
+                    "requests",
+                    "iterations",
+                    "iterations_per_sec",
+                    "speedup",
+                ] {
+                    need_num(&mut errors, row.get(key), &format!("rows[{i}].{key}"));
+                }
+            }
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
 }
 
 /// Validates a perf artifact (see [`PerfSummary`]).
@@ -744,6 +918,64 @@ mod tests {
             errors
                 .iter()
                 .any(|e| e.contains("rows[0].dist_cache_hit_rate_pct")),
+            "{errors:?}"
+        );
+    }
+
+    fn fleet_summary() -> FleetSummary {
+        let mut summary = FleetSummary::new("fig_fleet_scaling", "smoke", 7);
+        for (mode, workers, wall, speedup) in [
+            ("sequential", 1usize, 290.0, 1.0),
+            ("sharded", 4, 261.0, 1.11),
+        ] {
+            summary.rows.push(FleetRow {
+                replicas: 4,
+                mode: mode.into(),
+                workers,
+                wall_ms: wall,
+                sim_ms: 10_000.0,
+                requests: 80,
+                iterations: 3_000,
+                iterations_per_sec: 3_000.0 / wall * 1e3,
+                speedup,
+            });
+        }
+        summary
+    }
+
+    #[test]
+    fn fleet_summary_round_trips_and_validates() {
+        let text = fleet_summary().to_json_string();
+        let doc = json::parse(&text).expect("emitted JSON parses");
+        validate(&doc).expect("fleet JSON is schema-valid");
+        assert_eq!(doc.get("kind").unwrap().as_str(), Some("fleet"));
+        let rows = doc.get("rows").unwrap().as_arr().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].get("exec").unwrap().as_str(), Some("sharded"));
+        assert_eq!(rows[1].get("speedup").unwrap().as_num(), Some(1.11));
+    }
+
+    #[test]
+    fn fleet_validation_rejects_missing_keys() {
+        let doc = json::parse(&fleet_summary().to_json_string()).unwrap();
+        let Json::Obj(mut top) = doc else { panic!() };
+        let Some(Json::Arr(rows)) = top.get_mut("rows") else {
+            panic!()
+        };
+        let Json::Obj(row) = &mut rows[0] else {
+            panic!()
+        };
+        row.remove("speedup");
+        row.remove("exec");
+        let errors = validate(&Json::Obj(top)).unwrap_err();
+        assert!(
+            errors.iter().any(|e| e.contains("rows[0].speedup")),
+            "{errors:?}"
+        );
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("rows[0]: missing or empty exec")),
             "{errors:?}"
         );
     }

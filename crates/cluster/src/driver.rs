@@ -10,9 +10,10 @@ use crate::replica::Replica;
 use crate::router::Router;
 use metrics::{ClusterReport, RequestRecord, SloReport};
 use serving::{
-    finalize_run, Deployment, DeploymentEvent, DeploymentStep, Pool, ReplicaAddr, RunError,
-    RunOptions, RunResult, ServeSession, ServingEngine, UnitStats,
+    Deployment, DeploymentEvent, DeploymentStep, ExecMode, Pool, ReplicaAddr, RunError, RunOptions,
+    RunResult, ServeSession, ServingEngine, ShardedExecutor, UnitStats,
 };
+use std::sync::Mutex;
 use workload::{RequestSpec, Workload};
 
 pub use serving::ScalingAction;
@@ -119,11 +120,14 @@ pub struct Cluster {
     replicas: Vec<Replica>,
     router: Box<dyn Router>,
     events: Vec<ScalingEvent>,
-    /// Whether [`Deployment::step_until`] batch-steps independent
-    /// replicas on parallel worker threads (on by default; output is
-    /// record-identical to sequential stepping — see
-    /// [`Cluster::with_parallel_stepping`]).
-    parallel: bool,
+    /// Driver-level [`ExecMode`] override; when unset,
+    /// [`RunOptions::exec`] (i.e. the session's mode) applies. Output is
+    /// record-identical across modes — see [`serving::exec`].
+    exec_override: Option<ExecMode>,
+    /// The persistent worker pool behind [`ExecMode::Sharded`], created
+    /// lazily on the first multi-worker batch and reused for every batch
+    /// of every `serve()` call on this cluster.
+    pool: Option<ShardedExecutor>,
 }
 
 impl Cluster {
@@ -144,23 +148,48 @@ impl Cluster {
             replicas,
             router,
             events: Vec::new(),
-            parallel: true,
+            exec_override: None,
+            pool: None,
         }
     }
 
-    /// Enables/disables parallel replica stepping (on by default).
-    ///
-    /// Replicas interact only at submit/scale points, which the session
-    /// injects between [`Deployment::step_until`] calls — so stepping
-    /// each due replica to the horizon on its own worker thread yields
-    /// **record-for-record identical** output to sequential stepping
-    /// (pinned by `tests/output_equivalence.rs` and the cluster
-    /// proptests). Only the interleaving of surfaced lifecycle events
-    /// differs; disable for strictly sequential event ordering.
+    /// Pins how this cluster executes batched replica stepping,
+    /// overriding the session-level [`RunOptions::exec`] (see
+    /// [`serving::exec::ExecMode`]). Output is record-identical across
+    /// modes (pinned by `tests/output_equivalence.rs` and the cluster
+    /// proptests); only the interleaving of surfaced lifecycle events
+    /// differs.
     #[must_use]
-    pub fn with_parallel_stepping(mut self, parallel: bool) -> Self {
-        self.parallel = parallel;
+    pub fn with_exec_mode(mut self, exec: ExecMode) -> Self {
+        self.exec_override = Some(exec);
         self
+    }
+
+    /// Enables/disables parallel replica stepping.
+    ///
+    /// Deprecated: this maps to [`Cluster::with_exec_mode`] with
+    /// [`ExecMode::Sharded`] / [`ExecMode::Sequential`]. Note that the
+    /// thread-per-step design this flag used to toggle *lost* to
+    /// sequential stepping at small fleets (4 replicas: 290 ms vs 268 ms
+    /// wall in the historical `BENCH_perf.json`) — the persistent sharded
+    /// executor behind `ExecMode` is what makes batched stepping win; see
+    /// the refreshed artifact and `BENCH_fleet_scaling.json` for the
+    /// measured crossover.
+    #[deprecated(note = "use `with_exec_mode(ExecMode::…)` instead")]
+    #[must_use]
+    pub fn with_parallel_stepping(self, parallel: bool) -> Self {
+        self.with_exec_mode(if parallel {
+            ExecMode::Sharded { workers: None }
+        } else {
+            ExecMode::Sequential
+        })
+    }
+
+    /// Worker threads held by the persistent stepping pool (0 until a
+    /// multi-worker sharded batch has run). Exposed so tests can assert
+    /// the pool is reused across `serve()` calls rather than leaked.
+    pub fn worker_pool_size(&self) -> usize {
+        self.pool.as_ref().map_or(0, ShardedExecutor::workers)
     }
 
     /// Schedules elastic-scaling (drain/join) events.
@@ -241,6 +270,16 @@ impl Cluster {
     }
 }
 
+/// One replica's share of a sharded stepping batch: exclusive access to
+/// the replica plus a private event buffer and result slot, merged in
+/// replica-index order once the batch completes.
+struct StepTask<'a> {
+    id: usize,
+    replica: &'a mut Replica,
+    events: Vec<DeploymentEvent>,
+    result: Result<(), RunError>,
+}
+
 impl Deployment for Cluster {
     /// The routing policy's name (the label legacy cluster results carried).
     fn name(&self) -> String {
@@ -295,56 +334,71 @@ impl Deployment for Cluster {
         })
     }
 
-    /// Parallel batch stepping: replicas never interact between the
+    /// Sharded batch stepping: replicas never interact between the
     /// session's external events, so every replica due before
-    /// `horizon_ms` advances to the horizon on its own worker thread
-    /// (`std::thread::scope`), and results merge in replica-index order —
-    /// deterministic regardless of thread scheduling, and
+    /// `horizon_ms` advances to the horizon independently — distributed
+    /// over the persistent [`ShardedExecutor`] (or inline on the caller
+    /// when one worker suffices) — and results merge in replica-index
+    /// order: deterministic regardless of thread scheduling, and
     /// record-identical to sequential stepping.
     fn step_until(
         &mut self,
         horizon_ms: f64,
         options: &RunOptions,
     ) -> Result<DeploymentStep, RunError> {
+        let mode = self.exec_override.unwrap_or(options.exec);
         let due = self
             .replicas
             .iter()
             .filter(|r| r.has_work() && r.clock_ms < horizon_ms)
             .count();
-        if !self.parallel || due <= 1 {
+        if mode == ExecMode::Sequential || due <= 1 {
             return self.step(options);
         }
-        let worker_results: Vec<(usize, Vec<DeploymentEvent>, Result<(), RunError>)> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .replicas
-                    .iter_mut()
-                    .enumerate()
-                    .filter(|(_, r)| r.has_work() && r.clock_ms < horizon_ms)
-                    .map(|(id, r)| {
-                        scope.spawn(move || {
-                            let mut events = Vec::new();
-                            let res = r.run_until(
-                                ReplicaAddr::serving(id),
-                                horizon_ms,
-                                options,
-                                &mut events,
-                            );
-                            (id, events, res)
-                        })
-                    })
-                    .collect();
-                // Spawn order is replica-index order; joining in spawn
-                // order keeps the merge deterministic.
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("replica worker panicked"))
-                    .collect()
-            });
+        let mut tasks: Vec<Mutex<StepTask<'_>>> = self
+            .replicas
+            .iter_mut()
+            .enumerate()
+            .filter(|(_, r)| r.has_work() && r.clock_ms < horizon_ms)
+            .map(|(id, replica)| {
+                Mutex::new(StepTask {
+                    id,
+                    replica,
+                    events: Vec::new(),
+                    result: Ok(()),
+                })
+            })
+            .collect();
+        let run_one = |i: usize| {
+            // Uncontended: shard claiming hands each index to exactly one
+            // worker; the mutex only makes that exclusivity checkable.
+            let mut task = tasks[i].lock().expect("step task");
+            let task = &mut *task;
+            task.result = task.replica.run_until(
+                ReplicaAddr::serving(task.id),
+                horizon_ms,
+                options,
+                &mut task.events,
+            );
+        };
+        let workers = mode.effective_workers();
+        if workers <= 1 {
+            for i in 0..tasks.len() {
+                run_one(i);
+            }
+        } else {
+            if self.pool.as_ref().is_some_and(|p| p.workers() != workers) {
+                self.pool = None;
+            }
+            self.pool
+                .get_or_insert_with(|| ShardedExecutor::new(workers))
+                .run(tasks.len(), run_one);
+        }
         let mut events = Vec::new();
-        for (_, replica_events, res) in worker_results {
-            res?;
-            events.extend(replica_events);
+        for task in tasks.drain(..) {
+            let task = task.into_inner().expect("step task");
+            task.result?;
+            events.extend(task.events);
         }
         // Progress is guarded per replica inside `run_until` (stall
         // detection and caps); the batch itself reports no latency.
@@ -384,7 +438,7 @@ impl Deployment for Cluster {
             .map(|r| UnitStats {
                 replica: ReplicaAddr::serving(r.id),
                 routed: r.routed,
-                result: finalize_run(r.engine.as_mut(), r.clock_ms),
+                result: r.finalize(),
                 prefilled_requests: 0,
                 prefill_tokens: 0,
             })
@@ -732,6 +786,7 @@ mod tests {
             RunOptions {
                 max_sim_ms: f64::MAX,
                 max_iterations: 1,
+                ..RunOptions::default()
             },
         )
         .unwrap_err();

@@ -1,8 +1,8 @@
 //! One cluster member: a serving engine plus its routing-visible state.
 
 use serving::{
-    DeploymentEvent, LifecycleTracker, Pool, ReplicaAddr, RunError, RunOptions, ServingEngine,
-    StallGuard,
+    finalize_run, DeploymentEvent, LifecycleTracker, Pool, ReplicaAddr, RunError, RunOptions,
+    RunResult, ServingEngine, StallGuard,
 };
 
 /// Fraction of a baseline decode step attributed to one *prefill* token in
@@ -111,6 +111,16 @@ impl Replica {
     /// do not re-announce it.
     pub fn mark_admitted(&mut self, id: u64) {
         self.tracker.mark_admitted(id);
+    }
+
+    /// Finalizes this replica's engine run (draining its completion
+    /// records into the returned [`RunResult`]) and rewinds the
+    /// lifecycle high-water mark to match the now-empty record buffer,
+    /// so the deployment can serve another workload without the
+    /// tracker indexing past records a previous run already drained.
+    pub fn finalize(&mut self) -> RunResult {
+        self.finished_seen = 0;
+        finalize_run(self.engine.as_mut(), self.clock_ms)
     }
 
     /// One checked engine iteration: step, enforce the run caps, scan

@@ -12,7 +12,9 @@ use adaserve_core::AdaServeEngine;
 use baselines::{SarathiEngine, VllmEngine};
 use cluster::{Cluster, RouterKind, ScalingAction, ScalingEvent};
 use proptest::prelude::*;
-use serving::{ReplicaAddr, RunOptions, RunReport, ServeSession, ServingEngine, SystemConfig};
+use serving::{
+    ExecMode, ReplicaAddr, RunOptions, RunReport, ServeSession, ServingEngine, SystemConfig,
+};
 use workload::{Category, RequestSpec, Workload};
 
 /// A deterministic mixed fleet: engine type and GPU profile vary by index.
@@ -69,7 +71,14 @@ fn run_cluster(
     router: RouterKind,
     events: Vec<ScalingEvent>,
 ) -> RunReport {
-    run_cluster_stepping(seed, n_requests, n_replicas, router, events, true)
+    run_cluster_stepping(
+        seed,
+        n_requests,
+        n_replicas,
+        router,
+        events,
+        ExecMode::default(),
+    )
 }
 
 fn run_cluster_stepping(
@@ -78,10 +87,10 @@ fn run_cluster_stepping(
     n_replicas: usize,
     router: RouterKind,
     events: Vec<ScalingEvent>,
-    parallel: bool,
+    mode: ExecMode,
 ) -> RunReport {
     let mut session = ServeSession::with_options(
-        Cluster::new(fleet(n_replicas, seed), router.build()).with_parallel_stepping(parallel),
+        Cluster::new(fleet(n_replicas, seed), router.build()).with_exec_mode(mode),
         RunOptions::default(),
     );
     for e in events {
@@ -163,21 +172,52 @@ proptest! {
         prop_assert_eq!(shares_a, shares_b, "routing decisions reproduce");
     }
 
+    /// Sharded stepping (any worker count, including auto, inline and
+    /// more workers than replicas) is output-identical to sequential
+    /// stepping at awkward fleet shapes — 1, 3 and 7 replicas — and
+    /// across mid-run drain/join scaling events.
     #[test]
-    fn parallel_stepping_matches_sequential(
+    fn sharded_stepping_matches_sequential(
         seed in 0u64..1_000,
         n_requests in 1u64..20,
-        n_replicas in 2usize..5,
+        shape_index in 0usize..3,
+        workers_index in 0usize..4,
         router_index in 0usize..4,
+        with_scaling in any::<bool>(),
+        drain_at in 1.0f64..400.0,
     ) {
+        let n_replicas = [1usize, 3, 7][shape_index];
+        // Some(16) exceeds every fleet shape: empty shards must steal.
+        let workers = [None, Some(1), Some(2), Some(16)][workers_index];
         let router = RouterKind::ALL[router_index];
-        let par = run_cluster_stepping(seed, n_requests, n_replicas, router, Vec::new(), true);
-        let seq = run_cluster_stepping(seed, n_requests, n_replicas, router, Vec::new(), false);
+        let events = if with_scaling {
+            vec![
+                ScalingEvent {
+                    at_ms: drain_at,
+                    replica: n_replicas - 1,
+                    action: ScalingAction::Drain,
+                },
+                ScalingEvent {
+                    at_ms: drain_at * 2.0,
+                    replica: n_replicas - 1,
+                    action: ScalingAction::Join,
+                },
+            ]
+        } else {
+            Vec::new()
+        };
+        let par = run_cluster_stepping(
+            seed, n_requests, n_replicas, router, events.clone(),
+            ExecMode::Sharded { workers },
+        );
+        let seq = run_cluster_stepping(
+            seed, n_requests, n_replicas, router, events, ExecMode::Sequential,
+        );
         prop_assert_eq!(par.records, seq.records, "records byte-identical");
         prop_assert_eq!(par.end_ms, seq.end_ms);
         prop_assert_eq!(par.iterations, seq.iterations);
         let shares_p: Vec<u64> = par.units.iter().map(|u| u.routed).collect();
         let shares_s: Vec<u64> = seq.units.iter().map(|u| u.routed).collect();
-        prop_assert_eq!(shares_p, shares_s, "same routing under parallel stepping");
+        prop_assert_eq!(shares_p, shares_s, "same routing under sharded stepping");
     }
 }

@@ -16,10 +16,12 @@ pub use cluster::ScalingAction;
 use cluster::{Replica, ReplicaResult};
 use metrics::{ClusterReport, RequestRecord, SloReport};
 use serving::{
-    finalize_run, Deployment, DeploymentEvent, DeploymentStep, LifecycleTracker, LiveRequest,
-    ReplicaAddr, RunError, RunOptions, RunResult, ServeSession, ServingEngine, UnitStats,
+    Deployment, DeploymentEvent, DeploymentStep, ExecMode, LifecycleTracker, LiveRequest,
+    ReplicaAddr, RunError, RunOptions, RunResult, ServeSession, ServingEngine, ShardedExecutor,
+    UnitStats,
 };
 use std::collections::VecDeque;
+use std::sync::Mutex;
 use workload::{RequestSpec, Workload};
 
 pub use serving::Pool;
@@ -115,10 +117,14 @@ pub struct DisaggCluster {
     /// Per-prefill-core high-water marks (always 0: prefill replicas
     /// produce no completion records; kept so lifecycle scans are uniform).
     prefill_finished_seen: Vec<usize>,
-    /// Whether decode replicas batch-step on parallel worker threads (on
-    /// by default; record-identical to sequential — see
-    /// [`DisaggCluster::with_parallel_stepping`]).
-    parallel: bool,
+    /// Driver-level [`ExecMode`] override for decode-pool stepping; when
+    /// unset, [`RunOptions::exec`] (the session's mode) applies. Output
+    /// is record-identical across modes — see [`serving::exec`].
+    exec_override: Option<ExecMode>,
+    /// The persistent worker pool behind [`ExecMode::Sharded`], created
+    /// lazily on the first multi-worker decode batch and reused for every
+    /// batch of every `serve()` call on this cluster.
+    pool: Option<ShardedExecutor>,
 }
 
 /// One checked decode iteration: stamp migrated requests at the
@@ -232,24 +238,54 @@ impl DisaggCluster {
             events: Vec::new(),
             prefill_tracker: LifecycleTracker::default(),
             prefill_finished_seen: vec![0; n_prefill],
-            parallel: true,
+            exec_override: None,
+            pool: None,
         }
     }
 
-    /// Enables/disables parallel decode-pool stepping (on by default).
+    /// Pins how the decode pool executes batched replica stepping,
+    /// overriding the session-level [`RunOptions::exec`] (see
+    /// [`serving::exec::ExecMode`]).
     ///
     /// Decode replicas interact with the rest of the system only through
     /// KV-transfer landings and the dispatcher's load reads — both of
     /// which happen at prefill/transfer events, never between them — so
-    /// batch-stepping each decode replica to the next such event on its
-    /// own worker thread is **record-for-record identical** to sequential
-    /// stepping (pinned by `tests/output_equivalence.rs` and the disagg
-    /// proptests). Prefill replicas and the transfer fabric stay
-    /// sequential (they share routing state).
+    /// batch-stepping each decode replica to the next such event is
+    /// **record-for-record identical** to sequential stepping (pinned by
+    /// `tests/output_equivalence.rs` and the disagg proptests). Prefill
+    /// replicas and the transfer fabric stay sequential (they share
+    /// routing state).
     #[must_use]
-    pub fn with_parallel_stepping(mut self, parallel: bool) -> Self {
-        self.parallel = parallel;
+    pub fn with_exec_mode(mut self, exec: ExecMode) -> Self {
+        self.exec_override = Some(exec);
         self
+    }
+
+    /// Enables/disables parallel decode-pool stepping.
+    ///
+    /// Deprecated: this maps to [`DisaggCluster::with_exec_mode`] with
+    /// [`ExecMode::Sharded`] / [`ExecMode::Sequential`]. Note that the
+    /// thread-per-step design this flag used to toggle *lost* to
+    /// sequential stepping at small fleets (see the historical
+    /// `BENCH_perf.json` 4-replica rows) — the persistent sharded
+    /// executor behind `ExecMode` is what makes batched stepping win; see
+    /// `BENCH_fleet_scaling.json` for the measured crossover.
+    #[deprecated(note = "use `with_exec_mode(ExecMode::…)` instead")]
+    #[must_use]
+    pub fn with_parallel_stepping(self, parallel: bool) -> Self {
+        self.with_exec_mode(if parallel {
+            ExecMode::Sharded { workers: None }
+        } else {
+            ExecMode::Sequential
+        })
+    }
+
+    /// Worker threads held by the persistent decode-stepping pool (0
+    /// until a multi-worker sharded batch has run). Exposed so tests can
+    /// assert the pool is reused across `serve()` calls rather than
+    /// leaked.
+    pub fn worker_pool_size(&self) -> usize {
+        self.pool.as_ref().map_or(0, ShardedExecutor::workers)
     }
 
     /// Schedules elastic-scaling (drain/join) events on either pool.
@@ -385,6 +421,18 @@ impl DisaggCluster {
             .min_by(|a, b| a.clock_ms.total_cmp(&b.clock_ms).then(a.id.cmp(&b.id)))
             .map(|r| (r.clock_ms, r.id))
     }
+}
+
+/// One decode replica's share of a sharded stepping batch: exclusive
+/// access to the replica and its landing queue plus a private event
+/// buffer and result slot, merged in replica-index order once the batch
+/// completes.
+struct DecodeTask<'a> {
+    id: usize,
+    replica: &'a mut Replica,
+    landing: &'a mut VecDeque<LiveRequest>,
+    events: Vec<DeploymentEvent>,
+    result: Result<(), RunError>,
 }
 
 impl Deployment for DisaggCluster {
@@ -546,18 +594,21 @@ impl Deployment for DisaggCluster {
         })
     }
 
-    /// Parallel decode-pool batch: decode replicas interact with the rest
+    /// Sharded decode-pool batch: decode replicas interact with the rest
     /// of the system only at KV-transfer landings and prefill routing
     /// reads, so between now and the earliest of (external horizon, next
     /// transfer arrival, next prefill iteration) each due decode replica
-    /// advances independently on its own worker thread; results merge in
-    /// replica-index order. Prefill/transfer events fall back to the
-    /// sequential [`Deployment::step`].
+    /// advances independently — distributed over the persistent
+    /// [`ShardedExecutor`] (or inline on the caller when one worker
+    /// suffices) — and results merge in replica-index order.
+    /// Prefill/transfer events fall back to the sequential
+    /// [`Deployment::step`].
     fn step_until(
         &mut self,
         horizon_ms: f64,
         options: &RunOptions,
     ) -> Result<DeploymentStep, RunError> {
+        let mode = self.exec_override.unwrap_or(options.exec);
         let t_xfer = self.transfers.next_arrival_ms().unwrap_or(f64::INFINITY);
         let t_pre = self.prefill_stepper().map_or(f64::INFINITY, |(t, _)| t);
         let decode_horizon = horizon_ms.min(t_xfer).min(t_pre);
@@ -566,43 +617,57 @@ impl Deployment for DisaggCluster {
             .iter()
             .filter(|r| r.has_work() && r.clock_ms < decode_horizon)
             .count();
-        if !self.parallel || due <= 1 {
+        if mode == ExecMode::Sequential || due <= 1 {
             return self.step(options);
         }
-        let worker_results: Vec<(usize, Vec<DeploymentEvent>, Result<(), RunError>)> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .decode
-                    .iter_mut()
-                    .zip(self.landing.iter_mut())
-                    .enumerate()
-                    .filter(|(_, (r, _))| r.has_work() && r.clock_ms < decode_horizon)
-                    .map(|(id, (r, landing))| {
-                        scope.spawn(move || {
-                            let mut events = Vec::new();
-                            let res = decode_run_until(
-                                r,
-                                landing,
-                                id,
-                                decode_horizon,
-                                options,
-                                &mut events,
-                            );
-                            (id, events, res)
-                        })
-                    })
-                    .collect();
-                // Spawn order is replica-index order; joining in spawn
-                // order keeps the merge deterministic.
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("decode worker panicked"))
-                    .collect()
-            });
+        let mut tasks: Vec<Mutex<DecodeTask<'_>>> = self
+            .decode
+            .iter_mut()
+            .zip(self.landing.iter_mut())
+            .enumerate()
+            .filter(|(_, (r, _))| r.has_work() && r.clock_ms < decode_horizon)
+            .map(|(id, (replica, landing))| {
+                Mutex::new(DecodeTask {
+                    id,
+                    replica,
+                    landing,
+                    events: Vec::new(),
+                    result: Ok(()),
+                })
+            })
+            .collect();
+        let run_one = |i: usize| {
+            // Uncontended: shard claiming hands each index to exactly one
+            // worker; the mutex only makes that exclusivity checkable.
+            let mut task = tasks[i].lock().expect("decode task");
+            let task = &mut *task;
+            task.result = decode_run_until(
+                task.replica,
+                task.landing,
+                task.id,
+                decode_horizon,
+                options,
+                &mut task.events,
+            );
+        };
+        let workers = mode.effective_workers();
+        if workers <= 1 {
+            for i in 0..tasks.len() {
+                run_one(i);
+            }
+        } else {
+            if self.pool.as_ref().is_some_and(|p| p.workers() != workers) {
+                self.pool = None;
+            }
+            self.pool
+                .get_or_insert_with(|| ShardedExecutor::new(workers))
+                .run(tasks.len(), run_one);
+        }
         let mut events = Vec::new();
-        for (_, replica_events, res) in worker_results {
-            res?;
-            events.extend(replica_events);
+        for task in tasks.drain(..) {
+            let task = task.into_inner().expect("decode task");
+            task.result?;
+            events.extend(task.events);
         }
         Ok(DeploymentStep {
             events,
@@ -683,7 +748,7 @@ impl Deployment for DisaggCluster {
         units.extend(self.decode.iter_mut().map(|r| UnitStats {
             replica: ReplicaAddr::serving(r.id),
             routed: r.routed,
-            result: finalize_run(r.engine.as_mut(), r.clock_ms),
+            result: r.finalize(),
             prefilled_requests: 0,
             prefill_tokens: 0,
         }));
@@ -1007,6 +1072,7 @@ mod tests {
             RunOptions {
                 max_sim_ms: f64::MAX,
                 max_iterations: 1,
+                ..RunOptions::default()
             },
         )
         .unwrap_err();

@@ -15,7 +15,7 @@ use disagg::{
     DisaggCluster, DisaggScalingEvent, Dispatcher, KvLink, Pool, PrefillPool, ScalingAction,
 };
 use proptest::prelude::*;
-use serving::{ReplicaAddr, ServeSession, ServingEngine, SystemConfig, UnitStats};
+use serving::{ExecMode, ReplicaAddr, ServeSession, ServingEngine, SystemConfig, UnitStats};
 use workload::{Category, RequestSpec, Workload};
 
 /// Small synthetic workload derived from a seed (each case is a full
@@ -73,7 +73,7 @@ fn run_disagg(
         n_decode,
         bandwidth_gbps,
         events,
-        true,
+        ExecMode::default(),
     )
 }
 
@@ -84,7 +84,7 @@ fn run_disagg_stepping(
     n_decode: usize,
     bandwidth_gbps: f64,
     events: Vec<DisaggScalingEvent>,
-    parallel: bool,
+    mode: ExecMode,
 ) -> DisaggOutcome {
     let prefill = PrefillPool::new(vec![SystemConfig::llama70b(seed); n_prefill]);
     let decode: Vec<Box<dyn ServingEngine>> = (0..n_decode)
@@ -100,7 +100,7 @@ fn run_disagg_stepping(
         Dispatcher::new(RouterKind::SloAware.build()),
         KvLink::new(bandwidth_gbps, 0.05),
     )
-    .with_parallel_stepping(parallel);
+    .with_exec_mode(mode);
     let mut session = ServeSession::new(cluster);
     for e in events {
         session.scale_at(
@@ -223,20 +223,48 @@ proptest! {
         prop_assert_eq!(dec_a, dec_b, "decode handoff reproduces");
     }
 
+    /// Sharded decode stepping (any worker count, including more workers
+    /// than decode replicas) is output-identical to sequential stepping,
+    /// with and without a mid-run drain/join on the decode pool.
     #[test]
-    fn parallel_decode_stepping_matches_sequential(
+    fn sharded_decode_stepping_matches_sequential(
         base_seed in 0u64..1_000,
         n_requests in 1u64..16,
         n_prefill in 1usize..3,
-        n_decode in 2usize..4,
+        shape_index in 0usize..3,
+        workers_index in 0usize..4,
         bandwidth in 16.0f64..300.0,
+        with_scaling in any::<bool>(),
+        drain_at in 1.0f64..300.0,
     ) {
         let seed = workload::env_seed(base_seed);
+        let n_decode = [1usize, 2, 3][shape_index];
+        // Some(16) exceeds every decode-pool shape: empty shards steal.
+        let workers = [None, Some(1), Some(2), Some(16)][workers_index];
+        let events = if with_scaling {
+            vec![
+                DisaggScalingEvent {
+                    at_ms: drain_at,
+                    pool: Pool::Decode,
+                    replica: n_decode - 1,
+                    action: ScalingAction::Drain,
+                },
+                DisaggScalingEvent {
+                    at_ms: drain_at * 2.0,
+                    pool: Pool::Decode,
+                    replica: n_decode - 1,
+                    action: ScalingAction::Join,
+                },
+            ]
+        } else {
+            Vec::new()
+        };
         let par = run_disagg_stepping(
-            seed, n_requests, n_prefill, n_decode, bandwidth, Vec::new(), true,
+            seed, n_requests, n_prefill, n_decode, bandwidth, events.clone(),
+            ExecMode::Sharded { workers },
         );
         let seq = run_disagg_stepping(
-            seed, n_requests, n_prefill, n_decode, bandwidth, Vec::new(), false,
+            seed, n_requests, n_prefill, n_decode, bandwidth, events, ExecMode::Sequential,
         );
         prop_assert_eq!(par.records, seq.records, "records byte-identical");
         prop_assert_eq!(par.end_ms, seq.end_ms);
@@ -244,6 +272,6 @@ proptest! {
         prop_assert_eq!(par.transfers, seq.transfers, "same migration telemetry");
         let dec_p: Vec<u64> = par.per_decode.iter().map(|u| u.routed).collect();
         let dec_s: Vec<u64> = seq.per_decode.iter().map(|u| u.routed).collect();
-        prop_assert_eq!(dec_p, dec_s, "same decode handoff under parallel stepping");
+        prop_assert_eq!(dec_p, dec_s, "same decode handoff under sharded stepping");
     }
 }

@@ -49,6 +49,11 @@ pub struct RunOptions {
     pub max_sim_ms: f64,
     /// Hard cap on iterations.
     pub max_iterations: u64,
+    /// How multi-replica deployments execute batched replica stepping
+    /// (see [`crate::exec::ExecMode`]); deployments may override it with
+    /// their own `with_exec_mode` builder. Output is record-identical
+    /// across modes.
+    pub exec: crate::exec::ExecMode,
 }
 
 impl Default for RunOptions {
@@ -56,6 +61,7 @@ impl Default for RunOptions {
         Self {
             max_sim_ms: 4.0 * 3600.0 * 1e3,
             max_iterations: 20_000_000,
+            exec: crate::exec::ExecMode::default(),
         }
     }
 }
@@ -526,6 +532,7 @@ mod tests {
             RunOptions {
                 max_sim_ms: f64::MAX,
                 max_iterations: 2,
+                ..RunOptions::default()
             },
         )
         .unwrap_err();

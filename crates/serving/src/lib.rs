@@ -36,6 +36,7 @@ pub mod colocated;
 pub mod config;
 pub mod core;
 pub mod engine;
+pub mod exec;
 pub mod kv;
 pub mod request;
 pub mod session;
@@ -50,6 +51,7 @@ pub use engine::{
     finalize_run, ErrorSite, Pool, RunError, RunErrorKind, RunOptions, RunResult, ServingEngine,
     StallGuard, StepResult,
 };
+pub use exec::{ExecMode, ShardedExecutor};
 pub use kv::BlockManager;
 pub use request::{LiveRequest, Phase};
 pub use session::{

@@ -536,6 +536,17 @@ impl<D: Deployment> ServeSession<D> {
         self
     }
 
+    /// Selects how the deployment executes batched replica stepping (see
+    /// [`crate::exec::ExecMode`]); defaults to auto-sharded. Output is
+    /// record-identical across modes. A deployment-level `with_exec_mode`
+    /// override (on `Cluster`/`DisaggCluster`) takes precedence over this
+    /// session-level setting.
+    #[must_use]
+    pub fn with_exec_mode(mut self, exec: crate::exec::ExecMode) -> Self {
+        self.options.exec = exec;
+        self
+    }
+
     /// Read-only access to the deployment.
     pub fn deployment(&self) -> &D {
         &self.deployment

@@ -15,7 +15,9 @@ use adaserve::cluster::{Cluster, RouterKind};
 use adaserve::core::AdaServeEngine;
 use adaserve::metrics::Table;
 use adaserve::roofline::Testbed;
-use adaserve::serving::{ReplicaAddr, ScalingAction, ServeSession, ServingEngine, SystemConfig};
+use adaserve::serving::{
+    ExecMode, ReplicaAddr, ScalingAction, ServeSession, ServingEngine, SystemConfig,
+};
 use adaserve::workload::{env_seed, smoke_scale, WorkloadBuilder};
 
 /// Two AdaServe replicas (A100 + H100 profiles) and two baseline replicas.
@@ -54,7 +56,10 @@ fn main() {
     for kind in RouterKind::ALL {
         // Replica 3 scales down for the middle third of the run: the
         // drain/join timeline lives on the session, not the cluster.
-        let mut session = ServeSession::new(Cluster::new(fleet(seed), kind.build()));
+        // Replicas step on the persistent sharded executor (the default);
+        // any ExecMode yields byte-identical records.
+        let mut session = ServeSession::new(Cluster::new(fleet(seed), kind.build()))
+            .with_exec_mode(ExecMode::Sharded { workers: None });
         session.scale_at(
             duration_ms / 3.0,
             ReplicaAddr::serving(3),

@@ -99,6 +99,7 @@ fn single_oversized_request_fits_or_errors_cleanly() {
     let options = RunOptions {
         max_sim_ms: 60_000.0,
         max_iterations: 100_000,
+        ..RunOptions::default()
     };
     // Legacy semantics (admission control off): the run errors out.
     let result = ServeSession::with_options(Colocated::borrowed(&mut engine), options)

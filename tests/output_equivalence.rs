@@ -99,17 +99,32 @@ fn adaserve_output_equals_autoregressive_reference() {
     }
 }
 
-/// Parallel replica stepping must be a pure wall-clock optimization:
+/// Sharded replica stepping must be a pure wall-clock optimization:
 /// replicas only interact at the session's submit/scale points, so
-/// batch-stepping them on worker threads (the default) must reproduce
-/// sequential stepping's output byte for byte — records, per-replica
-/// routing shares, iteration counts, end clocks.
+/// batch-stepping them — inline or on the persistent sharded executor,
+/// with any worker count — must reproduce sequential stepping's output
+/// byte for byte: records, per-replica routing shares, iteration counts,
+/// end clocks. Every [`ExecMode`] is swept here, including worker counts
+/// above the replica count and a mid-run drain/join scaling timeline.
 mod parallel_stepping_equivalence {
-    use adaserve::cluster::{Cluster, RouterKind};
+    use adaserve::cluster::{Cluster, RouterKind, ScalingAction};
     use adaserve::core::AdaServeEngine;
     use adaserve::disagg::{DisaggCluster, Dispatcher, KvLink, PrefillPool};
-    use adaserve::serving::{RunReport, ServeSession, ServingEngine, SystemConfig};
+    use adaserve::serving::{
+        ExecMode, ReplicaAddr, RunReport, ServeSession, ServingEngine, SystemConfig,
+    };
     use adaserve::workload::WorkloadBuilder;
+
+    /// Every mode shape worth pinning: strictly sequential, auto-sharded
+    /// (the default), inline single-worker, a real multi-worker pool, and
+    /// more workers than replicas (empty shards must steal, not break).
+    const MODES: [ExecMode; 5] = [
+        ExecMode::Sequential,
+        ExecMode::Sharded { workers: None },
+        ExecMode::Sharded { workers: Some(1) },
+        ExecMode::Sharded { workers: Some(2) },
+        ExecMode::Sharded { workers: Some(16) },
+    ];
 
     fn engines(n: usize, seed: u64) -> Vec<Box<dyn ServingEngine>> {
         (0..n)
@@ -120,67 +135,125 @@ mod parallel_stepping_equivalence {
             .collect()
     }
 
-    fn assert_identical(parallel: RunReport, sequential: RunReport) {
+    fn assert_identical(got: RunReport, reference: &RunReport, mode: ExecMode) {
+        let label = mode.label();
         assert_eq!(
-            parallel.records, sequential.records,
-            "merged records must be byte-identical"
+            got.records, reference.records,
+            "{label}: merged records must be byte-identical"
         );
-        assert_eq!(parallel.end_ms, sequential.end_ms);
-        assert_eq!(parallel.iterations, sequential.iterations);
-        let par_shares: Vec<u64> = parallel.units.iter().map(|u| u.routed).collect();
-        let seq_shares: Vec<u64> = sequential.units.iter().map(|u| u.routed).collect();
-        assert_eq!(par_shares, seq_shares, "same routing decisions");
-        for (p, s) in parallel.units.iter().zip(sequential.units.iter()) {
+        assert_eq!(got.end_ms, reference.end_ms, "{label}: end clock");
+        assert_eq!(got.iterations, reference.iterations, "{label}: iterations");
+        let got_shares: Vec<u64> = got.units.iter().map(|u| u.routed).collect();
+        let ref_shares: Vec<u64> = reference.units.iter().map(|u| u.routed).collect();
+        assert_eq!(got_shares, ref_shares, "{label}: same routing decisions");
+        for (g, r) in got.units.iter().zip(reference.units.iter()) {
             assert_eq!(
-                p.result.records, s.result.records,
-                "unit {} record stream",
-                p.replica
+                g.result.records, r.result.records,
+                "{label}: unit {} record stream",
+                g.replica
             );
         }
     }
 
     #[test]
-    fn cluster_parallel_stepping_matches_sequential() {
+    fn cluster_stepping_matches_sequential_for_every_exec_mode() {
         let baseline_ms = SystemConfig::llama70b(7).baseline_ms;
         // ADASERVE_SEED-style seeding: the builder seed pins the workload.
         let wl = WorkloadBuilder::new(adaserve::workload::env_seed(41), baseline_ms)
             .target_rps(4.0)
             .duration_ms(10_000.0)
             .build();
-        let parallel = ServeSession::new(
-            Cluster::new(engines(3, 7), RouterKind::SloAware.build()).with_parallel_stepping(true),
-        )
-        .serve(&wl)
-        .expect("parallel run");
-        let sequential = ServeSession::new(
-            Cluster::new(engines(3, 7), RouterKind::SloAware.build()).with_parallel_stepping(false),
-        )
-        .serve(&wl)
-        .expect("sequential run");
-        assert_identical(parallel, sequential);
+        let run = |mode: ExecMode| {
+            ServeSession::new(
+                Cluster::new(engines(3, 7), RouterKind::SloAware.build()).with_exec_mode(mode),
+            )
+            .serve(&wl)
+            .unwrap_or_else(|e| panic!("{} run: {e}", mode.label()))
+        };
+        let reference = run(ExecMode::Sequential);
+        for mode in MODES {
+            assert_identical(run(mode), &reference, mode);
+        }
+    }
+
+    /// Mid-run drain/join events are synchronization points the executor
+    /// must respect: the batch horizon stops at each scaling timestamp,
+    /// so routing (and therefore output) stays identical across modes
+    /// even while the fleet shrinks and regrows.
+    #[test]
+    fn cluster_stepping_matches_sequential_across_mid_run_scaling() {
+        let baseline_ms = SystemConfig::llama70b(7).baseline_ms;
+        let wl = WorkloadBuilder::new(adaserve::workload::env_seed(47), baseline_ms)
+            .target_rps(4.0)
+            .duration_ms(10_000.0)
+            .build();
+        let run = |mode: ExecMode| {
+            let mut session = ServeSession::new(
+                Cluster::new(engines(3, 7), RouterKind::SloAware.build()).with_exec_mode(mode),
+            );
+            session.scale_at(2_500.0, ReplicaAddr::serving(1), ScalingAction::Drain);
+            session.scale_at(6_000.0, ReplicaAddr::serving(1), ScalingAction::Join);
+            session.scale_at(7_500.0, ReplicaAddr::serving(2), ScalingAction::Drain);
+            session
+                .serve(&wl)
+                .unwrap_or_else(|e| panic!("{} scaled run: {e}", mode.label()))
+        };
+        let reference = run(ExecMode::Sequential);
+        for mode in MODES {
+            assert_identical(run(mode), &reference, mode);
+        }
     }
 
     #[test]
-    fn disagg_parallel_stepping_matches_sequential() {
+    fn disagg_stepping_matches_sequential_for_every_exec_mode() {
         let baseline_ms = SystemConfig::llama70b(7).baseline_ms;
         let wl = WorkloadBuilder::new(adaserve::workload::env_seed(43), baseline_ms)
             .target_rps(4.0)
             .duration_ms(10_000.0)
             .build();
-        let build = |parallel: bool| {
-            DisaggCluster::new(
+        let run = |mode: ExecMode| {
+            let disagg = DisaggCluster::new(
                 PrefillPool::new(vec![SystemConfig::llama70b(7)]),
                 engines(2, 7),
                 Dispatcher::new(RouterKind::SloAware.build()),
                 KvLink::new(300.0, 0.05),
             )
-            .with_parallel_stepping(parallel)
+            .with_exec_mode(mode);
+            ServeSession::new(disagg)
+                .serve(&wl)
+                .unwrap_or_else(|e| panic!("{} run: {e}", mode.label()))
         };
-        let parallel = ServeSession::new(build(true)).serve(&wl).expect("parallel");
-        let sequential = ServeSession::new(build(false))
+        let reference = run(ExecMode::Sequential);
+        for mode in MODES {
+            assert_identical(run(mode), &reference, mode);
+        }
+    }
+
+    /// The session-level mode (`ServeSession::with_exec_mode`, what
+    /// `RunOptions.exec` carries) is equivalent to the driver-level
+    /// override, and the deprecated boolean builder still maps onto the
+    /// same two modes.
+    #[test]
+    fn session_level_exec_mode_and_deprecated_builder_agree() {
+        let baseline_ms = SystemConfig::llama70b(7).baseline_ms;
+        let wl = WorkloadBuilder::new(adaserve::workload::env_seed(53), baseline_ms)
+            .target_rps(4.0)
+            .duration_ms(6_000.0)
+            .build();
+        let cluster = || Cluster::new(engines(3, 7), RouterKind::SloAware.build());
+        let via_session = ServeSession::new(cluster())
+            .with_exec_mode(ExecMode::Sequential)
             .serve(&wl)
-            .expect("sequential");
-        assert_identical(parallel, sequential);
+            .expect("session-level sequential");
+        let via_driver = ServeSession::new(cluster().with_exec_mode(ExecMode::Sequential))
+            .serve(&wl)
+            .expect("driver-level sequential");
+        #[allow(deprecated)] // the legacy builder under test
+        let via_legacy = ServeSession::new(cluster().with_parallel_stepping(false))
+            .serve(&wl)
+            .expect("legacy sequential");
+        assert_identical(via_session, &via_driver, ExecMode::Sequential);
+        assert_identical(via_legacy, &via_driver, ExecMode::Sequential);
     }
 }
 
