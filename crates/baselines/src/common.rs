@@ -113,6 +113,7 @@ mod tests {
                 tpot_slo_ms: 50.0,
                 ttft_slo_ms: 1_000.0,
                 stream_seed: id,
+                prefix: None,
             });
         }
         core.admit_fifo();

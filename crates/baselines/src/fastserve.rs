@@ -99,6 +99,7 @@ mod tests {
             tpot_slo_ms: 150.0,
             ttft_slo_ms: 1_000.0,
             stream_seed: 0,
+            prefix: None,
         });
         for id in 1..5u64 {
             requests.push(RequestSpec {
@@ -110,6 +111,7 @@ mod tests {
                 tpot_slo_ms: 50.0,
                 ttft_slo_ms: 1_000.0,
                 stream_seed: id,
+                prefix: None,
             });
         }
         Workload {

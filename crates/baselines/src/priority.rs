@@ -135,6 +135,7 @@ mod tests {
                 tpot_slo_ms: tight_slo,
                 ttft_slo_ms: 1_000.0,
                 stream_seed: id,
+                prefix: None,
             });
             requests.push(RequestSpec {
                 id: 1000 + id,
@@ -145,6 +146,7 @@ mod tests {
                 tpot_slo_ms: 150.0,
                 ttft_slo_ms: 1_000.0,
                 stream_seed: 1000 + id,
+                prefix: None,
             });
         }
         requests.sort_by(|a, b| a.arrival_ms.partial_cmp(&b.arrival_ms).unwrap());

@@ -156,6 +156,7 @@ mod tests {
                 tpot_slo_ms: 50.0,
                 ttft_slo_ms: 1_000.0,
                 stream_seed: id,
+                prefix: None,
             })
             .collect();
         requests.push(RequestSpec {
@@ -167,6 +168,7 @@ mod tests {
             tpot_slo_ms: 150.0,
             ttft_slo_ms: 1_000.0,
             stream_seed: 99,
+            prefix: None,
         });
         requests.sort_by(|a, b| a.arrival_ms.partial_cmp(&b.arrival_ms).unwrap());
         Workload {

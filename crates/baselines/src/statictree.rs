@@ -193,6 +193,7 @@ mod tests {
                 tpot_slo_ms: 30.0,
                 ttft_slo_ms: 1_000.0,
                 stream_seed: id ^ 0x91,
+                prefix: None,
             })
             .collect();
         Workload {

@@ -194,6 +194,7 @@ mod tests {
                 tpot_slo_ms: 50.0,
                 ttft_slo_ms: 1_000.0,
                 stream_seed: id ^ 0x22,
+                prefix: None,
             })
             .collect();
         Workload {

@@ -130,6 +130,7 @@ mod tests {
                 tpot_slo_ms: if id % 2 == 0 { 30.0 } else { 50.0 },
                 ttft_slo_ms: 1_000.0,
                 stream_seed: id,
+                prefix: None,
             });
         }
         Workload {

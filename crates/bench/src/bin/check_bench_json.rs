@@ -4,10 +4,17 @@
 //! before uploading; a missing required key fails the job with every
 //! violation listed.
 //!
-//! Beyond the per-kind schemas, fleet artifacts (`"kind": "fleet"`, from
-//! `fig_fleet_scaling`) carry one semantic gate: the 4-replica row
-//! measured under a sharded executor must not be slower than its
-//! sequential pair. [`SPEEDUP_FLOOR`] documents the tolerated noise.
+//! Beyond the per-kind schemas, two artifact kinds carry semantic gates:
+//!
+//! * fleet artifacts (`"kind": "fleet"`, from `fig_fleet_scaling`) — the
+//!   4-replica row measured under a sharded executor must not be slower
+//!   than its sequential pair ([`SPEEDUP_FLOOR`] documents the tolerated
+//!   noise);
+//! * prefix artifacts (`"kind": "prefix"`, from `fig_prefix_cache`) —
+//!   every cache-on row over shared-prefix traffic must report a hit rate
+//!   of at least [`HIT_RATE_FLOOR_PCT`], and no cache-on row may have a
+//!   worse p50 TTFT than its cache-off twin beyond
+//!   [`TTFT_NOISE_FACTOR`].
 //!
 //! ```sh
 //! cargo run -p adaserve-bench --bin check_bench_json -- BENCH_foo.json [...]
@@ -61,6 +68,72 @@ fn fleet_gate(doc: &Json) -> Vec<String> {
     errors
 }
 
+/// Minimum accepted prefix-cache hit rate (percent) on a cache-on row
+/// whose workload shares a prefix.
+///
+/// The sweep's lowest shared-prompt share is 30%, so a healthy cache sees
+/// hit rates well above this on every row; the gate exists to catch the
+/// cache silently never matching (hash drift, pin leak evicting
+/// everything), which reads as ~0%, not as a modest dip.
+const HIT_RATE_FLOOR_PCT: f64 = 10.0;
+
+/// Tolerated p50 TTFT ratio (on / off) before a cache-on row counts as a
+/// regression. Skipped prefill only removes work, so the cache must not
+/// make the median first token slower; 1.05 absorbs scheduling noise at
+/// smoke durations.
+const TTFT_NOISE_FACTOR: f64 = 1.05;
+
+/// Applies the prefix-artifact gate (see module docs). Rows pair up by
+/// `label`; a cache-on row missing its off twin is only checked for the
+/// hit-rate floor.
+fn prefix_gate(doc: &Json) -> Vec<String> {
+    if doc.get("kind").and_then(Json::as_str) != Some("prefix") {
+        return Vec::new();
+    }
+    let Some(rows) = doc.get("rows").and_then(Json::as_arr) else {
+        return Vec::new();
+    };
+    let off_p50 = |label: &str| {
+        rows.iter()
+            .find(|r| {
+                r.get("label").and_then(Json::as_str) == Some(label)
+                    && r.get("cache").and_then(Json::as_str) == Some("off")
+            })
+            .and_then(|r| r.get("p50_ttft_ms").and_then(Json::as_num))
+    };
+    let mut errors = Vec::new();
+    for row in rows {
+        if row.get("cache").and_then(Json::as_str) != Some("on") {
+            continue;
+        }
+        let label = row.get("label").and_then(Json::as_str).unwrap_or("?");
+        let share = row.get("prefix_share_pct").and_then(Json::as_num);
+        let hit = row.get("prefix_hit_rate_pct").and_then(Json::as_num);
+        if share.is_some_and(|s| s > 0.0) {
+            match hit {
+                Some(h) if h >= HIT_RATE_FLOOR_PCT => {}
+                Some(h) => errors.push(format!(
+                    "{label}: cache-on row over shared traffic hit only {h:.1}% < \
+                     {HIT_RATE_FLOOR_PCT}% — the prefix cache stopped matching"
+                )),
+                None => errors.push(format!("{label}: cache-on row lacks a hit rate")),
+            }
+        }
+        if let (Some(on), Some(off)) = (
+            row.get("p50_ttft_ms").and_then(Json::as_num),
+            off_p50(label),
+        ) {
+            if on > off * TTFT_NOISE_FACTOR {
+                errors.push(format!(
+                    "{label}: cache-on p50 TTFT {on:.1} ms regressed past cache-off \
+                     {off:.1} ms × {TTFT_NOISE_FACTOR} — reuse made latency worse"
+                ));
+            }
+        }
+    }
+    errors
+}
+
 fn main() {
     let paths: Vec<String> = std::env::args().skip(1).collect();
     if paths.is_empty() {
@@ -88,7 +161,8 @@ fn main() {
         };
         match validate(&doc) {
             Ok(()) => {
-                let gate_errors = fleet_gate(&doc);
+                let mut gate_errors = fleet_gate(&doc);
+                gate_errors.extend(prefix_gate(&doc));
                 if gate_errors.is_empty() {
                     let rows = doc
                         .get("rows")

@@ -16,7 +16,8 @@ pub mod json;
 pub mod summary;
 
 pub use summary::{
-    BenchRow, BenchSummary, FleetRow, FleetSummary, PerfRow, PerfSummary, TierSummary,
+    BenchRow, BenchSummary, FleetRow, FleetSummary, PerfRow, PerfSummary, PrefixRow, PrefixSummary,
+    TierSummary,
 };
 
 use adaserve_core::{AdaServeEngine, AdaServeOptions};

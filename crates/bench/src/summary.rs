@@ -527,9 +527,218 @@ impl FleetSummary {
     }
 }
 
+/// One prefix-cache measurement (a [`PrefixSummary`] row): one workload
+/// point (prefix share × RPS) served with the cross-request prefix cache
+/// on or off. Rows come in on/off pairs sharing a base label, so the
+/// `check_bench_json` gate can compare TTFT across each pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrefixRow {
+    /// Configuration label (identical for a row's on/off twin except the
+    /// cache field), e.g. `"share=90% rps=3.0"`.
+    pub label: String,
+    /// `"on"` or `"off"`.
+    pub cache: String,
+    /// Fraction of requests carrying the shared prefix, percent (100 for
+    /// multi-turn session workloads).
+    pub prefix_share_pct: f64,
+    /// Offered load at this sweep point, requests/s.
+    pub rps: f64,
+    /// Completed requests.
+    pub requests: usize,
+    /// Prefix-cache hit rate at admission, percent (0 on `off` rows).
+    pub prefix_hit_rate_pct: f64,
+    /// Prompt tokens whose prefill was skipped via cache reuse.
+    pub prefill_tokens_saved: u64,
+    /// Mean TTFT, ms.
+    pub mean_ttft_ms: f64,
+    /// Median TTFT, ms.
+    pub p50_ttft_ms: f64,
+    /// p99 TTFT, ms.
+    pub p99_ttft_ms: f64,
+    /// Overall (TPOT) SLO attainment, percent.
+    pub slo_attainment_pct: f64,
+    /// TTFT SLO attainment, percent.
+    pub ttft_attainment_pct: f64,
+}
+
+/// A machine-readable prefix-cache artifact (`BENCH_prefix.json`):
+/// TTFT/attainment with the cross-request prefix cache on vs off across
+/// a prefix-share × RPS sweep.
+///
+/// Distinguished by `"kind": "prefix"`; [`validate`] dispatches on that
+/// key so the artifact flows through the same `check_bench_json` CI gate
+/// as the other families.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrefixSummary {
+    /// Emitting binary (e.g. `"fig_prefix_cache"`).
+    pub name: String,
+    /// `"smoke"` (CI-sized) or `"full"`.
+    pub mode: String,
+    /// The experiment seed the run used.
+    pub seed: u64,
+    /// Simulated duration per sweep point, ms.
+    pub duration_ms: f64,
+    /// Measurements, in on/off pairs.
+    pub rows: Vec<PrefixRow>,
+}
+
+impl PrefixSummary {
+    /// Creates an empty prefix summary; `mode` must be `"smoke"` or
+    /// `"full"`.
+    pub fn new(
+        name: impl Into<String>,
+        mode: impl Into<String>,
+        seed: u64,
+        duration_ms: f64,
+    ) -> Self {
+        let mode = mode.into();
+        assert!(
+            mode == "smoke" || mode == "full",
+            "mode must be smoke|full, got {mode:?}"
+        );
+        Self {
+            name: name.into(),
+            mode,
+            seed,
+            duration_ms,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Lowers the summary to a JSON value.
+    pub fn to_json(&self) -> Json {
+        let mut top = BTreeMap::new();
+        top.insert(
+            "schema_version".into(),
+            Json::Num(f64::from(SCHEMA_VERSION)),
+        );
+        top.insert("kind".into(), Json::Str("prefix".into()));
+        top.insert("name".into(), Json::Str(self.name.clone()));
+        top.insert("mode".into(), Json::Str(self.mode.clone()));
+        top.insert("seed".into(), Json::Int(self.seed));
+        top.insert("duration_ms".into(), Json::Num(self.duration_ms));
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| {
+                let mut m = BTreeMap::new();
+                m.insert("label".into(), Json::Str(row.label.clone()));
+                m.insert("cache".into(), Json::Str(row.cache.clone()));
+                m.insert("prefix_share_pct".into(), Json::Num(row.prefix_share_pct));
+                m.insert("rps".into(), Json::Num(row.rps));
+                m.insert("requests".into(), Json::Num(row.requests as f64));
+                m.insert(
+                    "prefix_hit_rate_pct".into(),
+                    Json::Num(row.prefix_hit_rate_pct),
+                );
+                m.insert(
+                    "prefill_tokens_saved".into(),
+                    Json::Num(row.prefill_tokens_saved as f64),
+                );
+                m.insert("mean_ttft_ms".into(), Json::Num(row.mean_ttft_ms));
+                m.insert("p50_ttft_ms".into(), Json::Num(row.p50_ttft_ms));
+                m.insert("p99_ttft_ms".into(), Json::Num(row.p99_ttft_ms));
+                m.insert(
+                    "slo_attainment_pct".into(),
+                    Json::Num(row.slo_attainment_pct),
+                );
+                m.insert(
+                    "ttft_attainment_pct".into(),
+                    Json::Num(row.ttft_attainment_pct),
+                );
+                Json::Obj(m)
+            })
+            .collect();
+        top.insert("rows".into(), Json::Arr(rows));
+        Json::Obj(top)
+    }
+
+    /// Serializes to a compact JSON string (newline-terminated).
+    pub fn to_json_string(&self) -> String {
+        let mut s = self.to_json().to_string_compact();
+        s.push('\n');
+        s
+    }
+
+    /// Writes the artifact to `path` and logs the destination to stderr.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        write_artifact(
+            path,
+            self.to_json_string(),
+            self.rows.len(),
+            &self.mode,
+            self.seed,
+        )
+    }
+}
+
+/// Validates a prefix-cache artifact (see [`PrefixSummary`]).
+pub fn validate_prefix(doc: &Json) -> Result<(), Vec<String>> {
+    let mut errors = Vec::new();
+    match need_num(&mut errors, doc.get("schema_version"), "schema_version") {
+        Some(v) if v == f64::from(SCHEMA_VERSION) => {}
+        Some(v) => errors.push(format!("unsupported schema_version {v}")),
+        None => {}
+    }
+    if doc
+        .get("name")
+        .and_then(Json::as_str)
+        .is_none_or(str::is_empty)
+    {
+        errors.push("missing or empty name".into());
+    }
+    match doc.get("mode").and_then(Json::as_str) {
+        Some("smoke") | Some("full") => {}
+        other => errors.push(format!("mode must be \"smoke\" or \"full\", got {other:?}")),
+    }
+    need_num(&mut errors, doc.get("seed"), "seed");
+    need_num(&mut errors, doc.get("duration_ms"), "duration_ms");
+    match doc.get("rows").and_then(Json::as_arr) {
+        None => errors.push("missing rows array".into()),
+        Some([]) => errors.push("rows is empty".into()),
+        Some(rows) => {
+            for (i, row) in rows.iter().enumerate() {
+                if row
+                    .get("label")
+                    .and_then(Json::as_str)
+                    .is_none_or(str::is_empty)
+                {
+                    errors.push(format!("rows[{i}]: missing or empty label"));
+                }
+                match row.get("cache").and_then(Json::as_str) {
+                    Some("on") | Some("off") => {}
+                    other => errors.push(format!(
+                        "rows[{i}]: cache must be \"on\" or \"off\", got {other:?}"
+                    )),
+                }
+                for key in [
+                    "prefix_share_pct",
+                    "rps",
+                    "requests",
+                    "prefix_hit_rate_pct",
+                    "prefill_tokens_saved",
+                    "mean_ttft_ms",
+                    "p50_ttft_ms",
+                    "p99_ttft_ms",
+                    "slo_attainment_pct",
+                    "ttft_attainment_pct",
+                ] {
+                    need_num(&mut errors, row.get(key), &format!("rows[{i}].{key}"));
+                }
+            }
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
 /// Validates a parsed document, dispatching on its `kind`: documents
 /// marked `"kind": "perf"` check against the perf schema, `"kind":
-/// "fleet"` against the fleet-scaling schema, everything else against
+/// "fleet"` against the fleet-scaling schema, `"kind": "prefix"` against
+/// the prefix-cache schema, everything else against
 /// the SLO-sweep schema of [`SCHEMA_VERSION`] (older versions are
 /// rejected — version 1 lacked the TTFT keys).
 ///
@@ -539,6 +748,7 @@ pub fn validate(doc: &Json) -> Result<(), Vec<String>> {
     match doc.get("kind").and_then(Json::as_str) {
         Some("perf") => validate_perf(doc),
         Some("fleet") => validate_fleet(doc),
+        Some("prefix") => validate_prefix(doc),
         _ => validate_slo(doc),
     }
 }
@@ -976,6 +1186,71 @@ mod tests {
             errors
                 .iter()
                 .any(|e| e.contains("rows[0]: missing or empty exec")),
+            "{errors:?}"
+        );
+    }
+
+    fn prefix_summary() -> PrefixSummary {
+        let mut summary = PrefixSummary::new("fig_prefix_cache", "smoke", 7, 10_000.0);
+        for (cache, hit, saved, p50) in [("off", 0.0, 0u64, 210.0), ("on", 72.5, 40_960, 140.0)] {
+            summary.rows.push(PrefixRow {
+                label: "share=90% rps=3.0".into(),
+                cache: cache.into(),
+                prefix_share_pct: 90.0,
+                rps: 3.0,
+                requests: 30,
+                prefix_hit_rate_pct: hit,
+                prefill_tokens_saved: saved,
+                mean_ttft_ms: p50 + 20.0,
+                p50_ttft_ms: p50,
+                p99_ttft_ms: p50 * 3.0,
+                slo_attainment_pct: 100.0,
+                ttft_attainment_pct: 100.0,
+            });
+        }
+        summary
+    }
+
+    #[test]
+    fn prefix_summary_round_trips_and_validates() {
+        let text = prefix_summary().to_json_string();
+        let doc = json::parse(&text).expect("emitted JSON parses");
+        validate(&doc).expect("prefix JSON is schema-valid");
+        assert_eq!(doc.get("kind").unwrap().as_str(), Some("prefix"));
+        let rows = doc.get("rows").unwrap().as_arr().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].get("cache").unwrap().as_str(), Some("on"));
+        assert_eq!(
+            rows[1].get("prefix_hit_rate_pct").unwrap().as_num(),
+            Some(72.5)
+        );
+        assert_eq!(
+            rows[1].get("prefill_tokens_saved").unwrap().as_num(),
+            Some(40_960.0)
+        );
+    }
+
+    #[test]
+    fn prefix_validation_rejects_missing_and_bad_keys() {
+        let doc = json::parse(&prefix_summary().to_json_string()).unwrap();
+        let Json::Obj(mut top) = doc else { panic!() };
+        let Some(Json::Arr(rows)) = top.get_mut("rows") else {
+            panic!()
+        };
+        let Json::Obj(row) = &mut rows[0] else {
+            panic!()
+        };
+        row.remove("p50_ttft_ms");
+        row.insert("cache".into(), Json::Str("maybe".into()));
+        let errors = validate(&Json::Obj(top)).unwrap_err();
+        assert!(
+            errors.iter().any(|e| e.contains("rows[0].p50_ttft_ms")),
+            "{errors:?}"
+        );
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("cache must be \"on\" or \"off\"")),
             "{errors:?}"
         );
     }

@@ -167,14 +167,31 @@ impl Cluster {
 
     /// Enables/disables parallel replica stepping.
     ///
-    /// Deprecated: this maps to [`Cluster::with_exec_mode`] with
-    /// [`ExecMode::Sharded`] / [`ExecMode::Sequential`]. Note that the
-    /// thread-per-step design this flag used to toggle *lost* to
-    /// sequential stepping at small fleets (4 replicas: 290 ms vs 268 ms
-    /// wall in the historical `BENCH_perf.json`) — the persistent sharded
-    /// executor behind `ExecMode` is what makes batched stepping win; see
-    /// the refreshed artifact and `BENCH_fleet_scaling.json` for the
-    /// measured crossover.
+    /// # Deprecated
+    ///
+    /// This maps to [`Cluster::with_exec_mode`] with
+    /// [`ExecMode::Sharded`] / [`ExecMode::Sequential`]:
+    ///
+    /// ```
+    /// use cluster::Cluster;
+    /// use serving::ExecMode;
+    ///
+    /// // before: cluster.with_parallel_stepping(parallel)
+    /// fn migrated(cluster: Cluster, parallel: bool) -> Cluster {
+    ///     cluster.with_exec_mode(if parallel {
+    ///         ExecMode::Sharded { workers: None }
+    ///     } else {
+    ///         ExecMode::Sequential
+    ///     })
+    /// }
+    /// ```
+    ///
+    /// Note that the thread-per-step design this flag used to toggle
+    /// *lost* to sequential stepping at small fleets (4 replicas: 290 ms
+    /// vs 268 ms wall in the historical `BENCH_perf.json`) — the
+    /// persistent sharded executor behind `ExecMode` is what makes
+    /// batched stepping win; see the refreshed artifact and
+    /// `BENCH_fleet_scaling.json` for the measured crossover.
     #[deprecated(note = "use `with_exec_mode(ExecMode::…)` instead")]
     #[must_use]
     pub fn with_parallel_stepping(self, parallel: bool) -> Self {
@@ -224,12 +241,34 @@ impl Cluster {
 
     /// Serves `workload` to completion across the fleet.
     ///
-    /// Deprecated: this is now a thin shim over the unified front door —
-    /// a [`ServeSession`] driving this cluster as a [`Deployment`] —
-    /// which additionally supports mid-run submission and scaling. Output
-    /// is equivalent (see `tests/output_equivalence.rs`). Scheduled
-    /// [`Cluster::with_events`] scaling is forwarded to the session's
-    /// scaling timeline.
+    /// # Deprecated
+    ///
+    /// This is now a thin shim over the unified front door — a
+    /// [`ServeSession`] driving this cluster as a [`Deployment`] — which
+    /// additionally supports mid-run submission and scaling. Output is
+    /// equivalent (see `tests/output_equivalence.rs`). Migrate by
+    /// wrapping the same cluster; scheduled [`Cluster::with_events`]
+    /// scaling becomes `scale_at` calls on the session's timeline:
+    ///
+    /// ```
+    /// use cluster::{Cluster, ScalingEvent};
+    /// use serving::{ReplicaAddr, RunError, RunOptions, RunReport, ServeSession};
+    /// use workload::Workload;
+    ///
+    /// // before: cluster.with_events(events).run(workload, options)?
+    /// fn migrated(
+    ///     cluster: Cluster,
+    ///     events: Vec<ScalingEvent>,
+    ///     workload: &Workload,
+    ///     options: RunOptions,
+    /// ) -> Result<RunReport, RunError> {
+    ///     let mut session = ServeSession::with_options(cluster, options);
+    ///     for e in events {
+    ///         session.scale_at(e.at_ms, ReplicaAddr::serving(e.replica), e.action);
+    ///     }
+    ///     session.serve(workload)
+    /// }
+    /// ```
     #[deprecated(note = "drive a `serving::ServeSession` over this `Cluster` instead")]
     pub fn run(
         mut self,
@@ -296,6 +335,25 @@ impl Deployment for Cluster {
             .map(|r| r.engine.core().kv_capacity_tokens())
             .min()
             .expect("a cluster has at least one replica")
+    }
+
+    /// The longest cached prefix across *all* replicas: routing (e.g. the
+    /// `prefix-affinity` policy) can steer the request to whichever
+    /// replica holds it.
+    fn cached_prefix_tokens(&self, spec: &RequestSpec) -> u32 {
+        if self
+            .replicas
+            .iter()
+            .all(|r| r.engine.core().prefix.is_none())
+        {
+            return 0;
+        }
+        let prompt = spec.prompt_tokens();
+        self.replicas
+            .iter()
+            .map(|r| r.cached_prefix_tokens(spec, &prompt))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Routes the arrival at its arrival instant against each replica's
@@ -541,6 +599,7 @@ mod tests {
                 tpot_slo_ms: 50.0,
                 ttft_slo_ms: 1_000.0,
                 stream_seed: id ^ 0x5151,
+                prefix: None,
             })
             .collect();
         Workload {
@@ -766,6 +825,7 @@ mod tests {
                             tpot_slo_ms: 50.0,
                             ttft_slo_ms: 1_000.0,
                             stream_seed: 0xAB,
+                            prefix: None,
                         });
                     }
                 }

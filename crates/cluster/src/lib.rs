@@ -8,11 +8,14 @@
 //! * [`replica`] — a [`Replica`] wraps any [`serving::ServingEngine`]
 //!   (AdaServe, any baseline, any GPU profile) with a local clock and the
 //!   load views routers consume;
-//! * [`router`] — the [`Router`] trait and four policies: [`RoundRobin`],
+//! * [`router`] — the [`Router`] trait and five policies: [`RoundRobin`],
 //!   [`LeastOutstanding`], [`JoinShortestQueue`] (by hardware-normalized
-//!   modelled load) and [`SloAware`], the cluster analogue of the paper's
+//!   modelled load), [`SloAware`], the cluster analogue of the paper's
 //!   §4.3 two-phase budget split (tight-TPOT requests to the least-loaded
-//!   replica, throughput-tier requests packed);
+//!   replica, throughput-tier requests packed), and [`PrefixAffinity`],
+//!   which sends a request to the replica holding its longest cached
+//!   prompt prefix (see [`serving::PrefixCache`]) unless that replica is
+//!   saturated;
 //! * [`driver`] — the [`Cluster`]: a fleet of replicas behind one router,
 //!   implementing [`serving::Deployment`] so a [`serving::ServeSession`]
 //!   drives it (arrival routing, per-replica iterations interleaved under
@@ -41,5 +44,6 @@ pub use driver::{
 };
 pub use replica::{InboundWork, Replica};
 pub use router::{
-    two_phase_pick, JoinShortestQueue, LeastOutstanding, RoundRobin, Router, RouterKind, SloAware,
+    two_phase_pick, JoinShortestQueue, LeastOutstanding, PrefixAffinity, RoundRobin, Router,
+    RouterKind, SloAware,
 };

@@ -243,6 +243,22 @@ impl Replica {
         (self.clock_ms - now_ms).max(0.0) + self.modelled_load_ms()
     }
 
+    /// The longest block-aligned prefix of `spec`'s prompt resident in
+    /// this replica's engine-level [`serving::PrefixCache`], in tokens
+    /// (0 without a cache). `prompt` is the pre-derived prompt stream —
+    /// derive it once per arrival, probe every replica.
+    pub fn cached_prefix_tokens(
+        &self,
+        spec: &workload::RequestSpec,
+        prompt: &[simllm::TokenId],
+    ) -> u32 {
+        self.engine
+            .core()
+            .prefix
+            .as_ref()
+            .map_or(0, |c| c.peek(prompt, spec.prompt_len.saturating_sub(1)))
+    }
+
     /// Outstanding requests whose TPOT SLO is at most `tight_ms`
     /// (queued, running and inbound).
     pub fn tight_outstanding(&self, tight_ms: f64) -> usize {

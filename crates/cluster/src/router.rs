@@ -232,6 +232,77 @@ impl Router for SloAware {
     }
 }
 
+/// Routes to the eligible replica holding the *longest cached prefix* of
+/// the request's prompt (its engine's cross-request
+/// [`serving::PrefixCache`]), so shared-system-prompt and multi-turn
+/// traffic lands where its KV is already warm and prefill shrinks to the
+/// uncached suffix.
+///
+/// Ties — and the cache-cold case where no replica holds any prefix —
+/// break on the smallest modelled drain estimate, then the lowest index
+/// (i.e. it degrades to [`JoinShortestQueue`]). Warmth only wins while
+/// the replica is not saturated: a warm replica whose drain estimate
+/// exceeds `max_warm_drain_ms` is treated as cold, so affinity never
+/// starves load balance.
+#[derive(Debug, Clone, Copy)]
+pub struct PrefixAffinity {
+    /// Drain estimate (ms) above which a warm replica no longer attracts
+    /// traffic on cache affinity alone.
+    pub max_warm_drain_ms: f64,
+}
+
+impl PrefixAffinity {
+    /// Policy with an explicit saturation ceiling.
+    pub fn new(max_warm_drain_ms: f64) -> Self {
+        assert!(max_warm_drain_ms > 0.0);
+        Self { max_warm_drain_ms }
+    }
+}
+
+impl Default for PrefixAffinity {
+    /// Matches [`SloAware`]'s 2 s pack ceiling: beyond that backlog, KV
+    /// reuse no longer pays for the queueing delay.
+    fn default() -> Self {
+        Self {
+            max_warm_drain_ms: 2_000.0,
+        }
+    }
+}
+
+impl Router for PrefixAffinity {
+    fn name(&self) -> String {
+        "prefix-affinity".into()
+    }
+
+    fn route(
+        &mut self,
+        spec: &RequestSpec,
+        now_ms: f64,
+        replicas: &[Replica],
+        eligible: &[usize],
+    ) -> usize {
+        let prompt = spec.prompt_tokens();
+        let best_warm = eligible
+            .iter()
+            .filter(|&&i| replicas[i].drain_estimate_ms(now_ms) <= self.max_warm_drain_ms)
+            .map(|&i| (i, replicas[i].cached_prefix_tokens(spec, &prompt)))
+            .filter(|&(_, cached)| cached > 0)
+            .max_by(|a, b| {
+                a.1.cmp(&b.1)
+                    .then_with(|| {
+                        replicas[b.0]
+                            .drain_estimate_ms(now_ms)
+                            .total_cmp(&replicas[a.0].drain_estimate_ms(now_ms))
+                    })
+                    .then(b.0.cmp(&a.0))
+            });
+        if let Some((i, _)) = best_warm {
+            return i;
+        }
+        JoinShortestQueue.route(spec, now_ms, replicas, eligible)
+    }
+}
+
 /// The built-in routing policies, as a parse/build-friendly enum for CLIs
 /// and sweep harnesses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -244,15 +315,18 @@ pub enum RouterKind {
     JoinShortestQueue,
     /// [`SloAware`] with default thresholds.
     SloAware,
+    /// [`PrefixAffinity`] with the default saturation ceiling.
+    PrefixAffinity,
 }
 
 impl RouterKind {
     /// Every built-in policy, in sweep order.
-    pub const ALL: [RouterKind; 4] = [
+    pub const ALL: [RouterKind; 5] = [
         RouterKind::RoundRobin,
         RouterKind::LeastOutstanding,
         RouterKind::JoinShortestQueue,
         RouterKind::SloAware,
+        RouterKind::PrefixAffinity,
     ];
 
     /// Stable CLI name.
@@ -262,6 +336,7 @@ impl RouterKind {
             RouterKind::LeastOutstanding => "least-outstanding",
             RouterKind::JoinShortestQueue => "jsq-load",
             RouterKind::SloAware => "slo-aware",
+            RouterKind::PrefixAffinity => "prefix-affinity",
         }
     }
 
@@ -277,6 +352,7 @@ impl RouterKind {
             RouterKind::LeastOutstanding => Box::new(LeastOutstanding),
             RouterKind::JoinShortestQueue => Box::new(JoinShortestQueue),
             RouterKind::SloAware => Box::new(SloAware::default()),
+            RouterKind::PrefixAffinity => Box::new(PrefixAffinity::default()),
         }
     }
 }
@@ -320,6 +396,7 @@ mod tests {
             tpot_slo_ms: slo,
             ttft_slo_ms: 1_000.0,
             stream_seed: id,
+            prefix: None,
         }
     }
 
@@ -416,6 +493,43 @@ mod tests {
         assert_eq!(two_phase_pick(&[0, 1, 2], true, 1_000.0, load, tight), 2);
         // Everything over the ceiling: fall back to least loaded.
         assert_eq!(two_phase_pick(&[0, 1, 2], false, 10.0, load, tight), 2);
+    }
+
+    #[test]
+    fn prefix_affinity_prefers_the_warm_replica() {
+        let mut cfg = SystemConfig::llama70b(1);
+        cfg = cfg.with_prefix_cache(65_536);
+        let warm_core = EngineCore::new(cfg);
+        let mut replicas = vec![replica(0, 0), replica(1, 0)];
+        replicas[1].engine = Box::new(Stub { core: warm_core });
+
+        // Warm replica 1's cache with a request sharing the probe's prefix.
+        let mut probe = spec(42, 150.0);
+        probe.prefix = Some(workload::PrefixSpec { seed: 9, len: 16 });
+        probe.prompt_len = 48;
+        replicas[1]
+            .engine
+            .core_mut()
+            .prefix
+            .as_mut()
+            .unwrap()
+            .insert(&probe.prompt_tokens()[..32]);
+
+        let mut pa = PrefixAffinity::default();
+        assert_eq!(
+            pa.route(&probe, 0.0, &replicas, &[0, 1]),
+            1,
+            "warm cache attracts the request"
+        );
+        // A disjoint request degrades to JSQ (lowest index on tie).
+        assert_eq!(pa.route(&spec(7, 150.0), 0.0, &replicas, &[0, 1]), 0);
+        // A saturated warm replica is treated as cold.
+        replicas[1].clock_ms = 10_000.0;
+        assert_eq!(
+            pa.route(&probe, 0.0, &replicas, &[0, 1]),
+            0,
+            "affinity never beats a saturated backlog"
+        );
     }
 
     #[test]

@@ -55,6 +55,7 @@ fn workload(seed: u64, n_requests: u64) -> Workload {
                 },
                 ttft_slo_ms: category.ttft_slo().resolve(25.0),
                 stream_seed: h,
+                prefix: None,
             }
         })
         .collect();

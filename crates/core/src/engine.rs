@@ -493,6 +493,7 @@ mod tests {
                 tpot_slo_ms: slo,
                 ttft_slo_ms: 1_000.0,
                 stream_seed: id ^ 0xF00D,
+                prefix: None,
             })
             .collect();
         Workload {

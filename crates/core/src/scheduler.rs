@@ -136,6 +136,7 @@ mod tests {
             tpot_slo_ms: slo,
             ttft_slo_ms: 1_000.0,
             stream_seed: 5,
+            prefix: None,
         });
         r.decode_start_ms = Some(0.0);
         for i in 0..generated {

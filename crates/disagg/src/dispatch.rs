@@ -66,8 +66,16 @@ impl Dispatcher {
         self.decode_router.name()
     }
 
-    /// Chooses the prefill replica for an arrival: the TTFT-tier instance
-    /// of [`cluster::two_phase_pick`] — tight first-token deadlines to the
+    /// Chooses the prefill replica for an arrival.
+    ///
+    /// A replica already holding a cached prefix of the prompt (its
+    /// engine-level [`serving::PrefixCache`]) wins outright — longest
+    /// prefix first, ties on least backlog, then lowest index — as long
+    /// as its backlog stays under the packing ceiling: reusing warm KV
+    /// shrinks the prefill to the uncached suffix, which beats any
+    /// load-balance gain at moderate load. Cache-cold (or saturated-warm)
+    /// arrivals fall back to the TTFT-tier instance of
+    /// [`cluster::two_phase_pick`] — tight first-token deadlines to the
     /// least-backlogged replica, batch prompts packed under the ceiling
     /// away from tight work.
     ///
@@ -80,6 +88,26 @@ impl Dispatcher {
         replicas: &[PrefillReplica],
         eligible: &[usize],
     ) -> usize {
+        if replicas.iter().any(|r| r.core.prefix.is_some()) {
+            let prompt = spec.prompt_tokens();
+            let warm = eligible
+                .iter()
+                .filter(|&&i| replicas[i].drain_estimate_ms(now_ms) <= self.pack_ceiling_ms)
+                .map(|&i| (i, replicas[i].cached_prefix_tokens(spec, &prompt)))
+                .filter(|&(_, cached)| cached > 0)
+                .max_by(|a, b| {
+                    a.1.cmp(&b.1)
+                        .then_with(|| {
+                            replicas[b.0]
+                                .drain_estimate_ms(now_ms)
+                                .total_cmp(&replicas[a.0].drain_estimate_ms(now_ms))
+                        })
+                        .then(b.0.cmp(&a.0))
+                });
+            if let Some((i, _)) = warm {
+                return i;
+            }
+        }
         cluster::two_phase_pick(
             eligible,
             spec.ttft_slo_ms <= self.tight_ttft_ms,
@@ -145,6 +173,7 @@ mod tests {
             tpot_slo_ms: 50.0,
             ttft_slo_ms,
             stream_seed: id,
+            prefix: None,
         }
     }
 
@@ -176,6 +205,29 @@ mod tests {
         // Replica 0 is busier but under the ceiling → batch tier packs there.
         assert_eq!(
             d.route_prefill(&spec(9, 8_000.0), 0.0, &replicas, &[0, 1]),
+            0
+        );
+    }
+
+    #[test]
+    fn warm_prefill_replica_wins_dispatch() {
+        let mut replicas = prefill_pool(&[1, 0]);
+        replicas[1] = PrefillReplica::new(1, SystemConfig::llama70b(1).with_prefix_cache(65_536));
+        let mut probe = spec(9, 8_000.0);
+        probe.prefix = Some(workload::PrefixSpec { seed: 5, len: 32 });
+        let prompt = probe.prompt_tokens();
+        replicas[1]
+            .core
+            .prefix
+            .as_mut()
+            .unwrap()
+            .insert(&prompt[..32]);
+        let mut d = Dispatcher::new(RouterKind::SloAware.build());
+        // Batch tier would pack onto busier replica 0; warm KV on 1 wins.
+        assert_eq!(d.route_prefill(&probe, 0.0, &replicas, &[0, 1]), 1);
+        // A disjoint prompt still packs onto the busy replica.
+        assert_eq!(
+            d.route_prefill(&spec(10, 8_000.0), 0.0, &replicas, &[0, 1]),
             0
         );
     }

@@ -263,10 +263,27 @@ impl DisaggCluster {
 
     /// Enables/disables parallel decode-pool stepping.
     ///
-    /// Deprecated: this maps to [`DisaggCluster::with_exec_mode`] with
-    /// [`ExecMode::Sharded`] / [`ExecMode::Sequential`]. Note that the
-    /// thread-per-step design this flag used to toggle *lost* to
-    /// sequential stepping at small fleets (see the historical
+    /// # Deprecated
+    ///
+    /// This maps to [`DisaggCluster::with_exec_mode`] with
+    /// [`ExecMode::Sharded`] / [`ExecMode::Sequential`]:
+    ///
+    /// ```
+    /// use disagg::DisaggCluster;
+    /// use serving::ExecMode;
+    ///
+    /// // before: cluster.with_parallel_stepping(parallel)
+    /// fn migrated(cluster: DisaggCluster, parallel: bool) -> DisaggCluster {
+    ///     cluster.with_exec_mode(if parallel {
+    ///         ExecMode::Sharded { workers: None }
+    ///     } else {
+    ///         ExecMode::Sequential
+    ///     })
+    /// }
+    /// ```
+    ///
+    /// Note that the thread-per-step design this flag used to toggle
+    /// *lost* to sequential stepping at small fleets (see the historical
     /// `BENCH_perf.json` 4-replica rows) — the persistent sharded
     /// executor behind `ExecMode` is what makes batched stepping win; see
     /// `BENCH_fleet_scaling.json` for the measured crossover.
@@ -345,12 +362,36 @@ impl DisaggCluster {
 
     /// Serves `workload` to completion across both pools.
     ///
-    /// Deprecated: this is now a thin shim over the unified front door —
-    /// a [`ServeSession`] driving this cluster as a [`Deployment`] —
-    /// which additionally supports mid-run submission and scaling. Output
-    /// is equivalent (see `tests/output_equivalence.rs`). Scheduled
-    /// [`DisaggCluster::with_events`] scaling is forwarded to the
-    /// session's scaling timeline.
+    /// # Deprecated
+    ///
+    /// This is now a thin shim over the unified front door — a
+    /// [`ServeSession`] driving this cluster as a [`Deployment`] — which
+    /// additionally supports mid-run submission and scaling. Output is
+    /// equivalent (see `tests/output_equivalence.rs`). Migrate by
+    /// wrapping the same cluster; scheduled
+    /// [`DisaggCluster::with_events`] scaling becomes `scale_at` calls on
+    /// the session's timeline (addressing either pool):
+    ///
+    /// ```
+    /// use disagg::{DisaggCluster, DisaggScalingEvent};
+    /// use serving::{ReplicaAddr, RunError, RunOptions, RunReport, ServeSession};
+    /// use workload::Workload;
+    ///
+    /// // before: cluster.with_events(events).run(workload, options)?
+    /// fn migrated(
+    ///     cluster: DisaggCluster,
+    ///     events: Vec<DisaggScalingEvent>,
+    ///     workload: &Workload,
+    ///     options: RunOptions,
+    /// ) -> Result<RunReport, RunError> {
+    ///     let mut session = ServeSession::with_options(cluster, options);
+    ///     for e in events {
+    ///         let addr = ReplicaAddr { pool: e.pool, index: e.replica };
+    ///         session.scale_at(e.at_ms, addr, e.action);
+    ///     }
+    ///     session.serve(workload)
+    /// }
+    /// ```
     #[deprecated(note = "drive a `serving::ServeSession` over this `DisaggCluster` instead")]
     pub fn run(
         mut self,
@@ -458,6 +499,26 @@ impl Deployment for DisaggCluster {
             )
             .min()
             .expect("both pools are non-empty")
+    }
+
+    /// The longest cached prefix across the *prefill* pool (where prompts
+    /// are processed, and where the dispatcher can steer the request).
+    fn cached_prefix_tokens(&self, spec: &RequestSpec) -> u32 {
+        if self
+            .prefill
+            .replicas
+            .iter()
+            .all(|r| r.core.prefix.is_none())
+        {
+            return 0;
+        }
+        let prompt = spec.prompt_tokens();
+        self.prefill
+            .replicas
+            .iter()
+            .map(|r| r.cached_prefix_tokens(spec, &prompt))
+            .max()
+            .unwrap_or(0)
     }
 
     fn submit(&mut self, spec: RequestSpec, now_ms: f64) {
@@ -777,6 +838,7 @@ mod tests {
                     tpot_slo_ms: 50.0,
                     ttft_slo_ms: category.ttft_slo().resolve(25.0),
                     stream_seed: id ^ 0xD15A,
+                    prefix: None,
                 }
             })
             .collect();
@@ -951,6 +1013,7 @@ mod tests {
                 tpot_slo_ms: 50.0,
                 ttft_slo_ms: 1_200.0,
                 stream_seed: id,
+                prefix: None,
             })
             .collect();
         let wl = Workload {
@@ -986,6 +1049,7 @@ mod tests {
                 tpot_slo_ms: 150.0,
                 ttft_slo_ms: 8_000.0,
                 stream_seed: 1,
+                prefix: None,
             }],
             description: "oversized".into(),
         };
@@ -1024,6 +1088,7 @@ mod tests {
                 tpot_slo_ms: 150.0,
                 ttft_slo_ms: 8_000.0,
                 stream_seed: 1,
+                prefix: None,
             }],
             description: "oversized".into(),
         };

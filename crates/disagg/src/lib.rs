@@ -16,7 +16,9 @@
 //!   transfers per decode-side ingress link while decode iterations
 //!   continue underneath (transfers overlap compute);
 //! * [`dispatch`] — the SLO-aware [`Dispatcher`]: TTFT-tier routing and
-//!   admission on the prefill side, then handoff to the decode-side
+//!   admission on the prefill side (preferring a replica that already
+//!   holds a cached prefix of the prompt — see [`serving::PrefixCache`] —
+//!   when one is warm and unsaturated), then handoff to the decode-side
 //!   router (any [`cluster::Router`]) carrying the request's *remaining*
 //!   TPOT budget;
 //! * [`driver`] — the [`DisaggCluster`]: both pools under one global

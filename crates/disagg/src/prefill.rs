@@ -83,6 +83,21 @@ impl PrefillReplica {
             .sum()
     }
 
+    /// The longest block-aligned prefix of `spec`'s prompt resident in
+    /// this replica's engine-level prefix cache, in tokens (0 without a
+    /// cache). `prompt` is the pre-derived prompt stream — the dispatcher
+    /// derives it once per arrival and probes every replica.
+    pub fn cached_prefix_tokens(
+        &self,
+        spec: &workload::RequestSpec,
+        prompt: &[simllm::TokenId],
+    ) -> u32 {
+        self.core
+            .prefix
+            .as_ref()
+            .map_or(0, |c| c.peek(prompt, spec.prompt_len.saturating_sub(1)))
+    }
+
     /// Outstanding requests whose TTFT SLO is at most `tight_ttft_ms`.
     pub fn tight_outstanding(&self, tight_ttft_ms: f64) -> usize {
         self.core
@@ -235,6 +250,7 @@ mod tests {
             tpot_slo_ms: 50.0,
             ttft_slo_ms,
             stream_seed: id ^ 0xD15A,
+            prefix: None,
         }
     }
 

@@ -28,6 +28,12 @@ pub struct HotLoopStats {
     pub iterations: u64,
     /// Largest decoding batch (requests verified in one iteration).
     pub peak_decode_batch: u64,
+    /// Cross-request prefix-cache lookups performed at admission.
+    pub prefix_lookups: u64,
+    /// Lookups that matched at least one KV block of cached prefix.
+    pub prefix_hits: u64,
+    /// Prompt tokens whose prefill was skipped thanks to prefix reuse.
+    pub prefill_tokens_saved: u64,
 }
 
 impl HotLoopStats {
@@ -54,6 +60,15 @@ impl HotLoopStats {
         }
     }
 
+    /// Prefix-cache hit rate in percent (0 with no lookups).
+    pub fn prefix_hit_rate_pct(&self) -> f64 {
+        if self.prefix_lookups == 0 {
+            0.0
+        } else {
+            100.0 * self.prefix_hits as f64 / self.prefix_lookups as f64
+        }
+    }
+
     /// Accumulates another engine's counters (peak batch takes the max).
     pub fn merge(&mut self, other: &HotLoopStats) {
         self.dist_cache_hits += other.dist_cache_hits;
@@ -61,6 +76,9 @@ impl HotLoopStats {
         self.scratch_grow_events += other.scratch_grow_events;
         self.iterations += other.iterations;
         self.peak_decode_batch = self.peak_decode_batch.max(other.peak_decode_batch);
+        self.prefix_lookups += other.prefix_lookups;
+        self.prefix_hits += other.prefix_hits;
+        self.prefill_tokens_saved += other.prefill_tokens_saved;
     }
 }
 
@@ -76,9 +94,13 @@ mod tests {
             scratch_grow_events: 5,
             iterations: 100,
             peak_decode_batch: 7,
+            prefix_lookups: 8,
+            prefix_hits: 6,
+            prefill_tokens_saved: 512,
         };
         assert!((s.dist_cache_hit_rate_pct() - 75.0).abs() < 1e-12);
         assert!((s.allocs_per_iteration() - 0.05).abs() < 1e-12);
+        assert!((s.prefix_hit_rate_pct() - 75.0).abs() < 1e-12);
     }
 
     #[test]
@@ -86,6 +108,7 @@ mod tests {
         let s = HotLoopStats::default();
         assert_eq!(s.dist_cache_hit_rate_pct(), 0.0);
         assert_eq!(s.allocs_per_iteration(), 0.0);
+        assert_eq!(s.prefix_hit_rate_pct(), 0.0);
     }
 
     #[test]
@@ -96,6 +119,9 @@ mod tests {
             scratch_grow_events: 3,
             iterations: 4,
             peak_decode_batch: 5,
+            prefix_lookups: 6,
+            prefix_hits: 2,
+            prefill_tokens_saved: 100,
         };
         a.merge(&HotLoopStats {
             dist_cache_hits: 10,
@@ -103,11 +129,17 @@ mod tests {
             scratch_grow_events: 30,
             iterations: 40,
             peak_decode_batch: 3,
+            prefix_lookups: 4,
+            prefix_hits: 3,
+            prefill_tokens_saved: 50,
         });
         assert_eq!(a.dist_cache_hits, 11);
         assert_eq!(a.dist_cache_misses, 22);
         assert_eq!(a.scratch_grow_events, 33);
         assert_eq!(a.iterations, 44);
         assert_eq!(a.peak_decode_batch, 5);
+        assert_eq!(a.prefix_lookups, 10);
+        assert_eq!(a.prefix_hits, 5);
+        assert_eq!(a.prefill_tokens_saved, 150);
     }
 }

@@ -1,5 +1,6 @@
 //! Aggregated SLO reports (attainment, goodput, per-category detail).
 
+use crate::hotloop::HotLoopStats;
 use crate::record::RequestRecord;
 use crate::stats::{mean, percentile};
 use workload::Category;
@@ -53,6 +54,12 @@ pub struct SloReport {
     pub p99_tpot_ms: f64,
     /// Per-category breakdown, in Table 2 order (empty categories omitted).
     pub per_category: Vec<CategoryReport>,
+    /// Cross-request prefix-cache hit rate in percent (0 when the cache
+    /// is disabled or no admissions happened); populated via
+    /// [`SloReport::with_prefix_stats`], not derivable from records.
+    pub prefix_hit_rate_pct: f64,
+    /// Prompt tokens whose prefill was skipped via prefix-cache reuse.
+    pub prefill_tokens_saved: u64,
 }
 
 impl SloReport {
@@ -74,6 +81,8 @@ impl SloReport {
                 p50_tpot_ms: 0.0,
                 p99_tpot_ms: 0.0,
                 per_category: Vec::new(),
+                prefix_hit_rate_pct: 0.0,
+                prefill_tokens_saved: 0,
             };
         }
         let start = records
@@ -136,7 +145,19 @@ impl SloReport {
             p50_tpot_ms: percentile(&all_tpots, 50.0),
             p99_tpot_ms: percentile(&all_tpots, 99.0),
             per_category,
+            prefix_hit_rate_pct: 0.0,
+            prefill_tokens_saved: 0,
         }
+    }
+
+    /// Attaches prefix-cache effectiveness from the run's merged hot-loop
+    /// counters (records don't carry cache state, so the engine supplies
+    /// it separately).
+    #[must_use]
+    pub fn with_prefix_stats(mut self, hotloop: &HotLoopStats) -> Self {
+        self.prefix_hit_rate_pct = hotloop.prefix_hit_rate_pct();
+        self.prefill_tokens_saved = hotloop.prefill_tokens_saved;
+        self
     }
 
     /// Violation rate in percent (complement of attainment).

@@ -45,6 +45,13 @@ impl SeqWork {
 
     /// Work of prefilling a prompt chunk of `chunk` tokens starting at
     /// position `already_prefilled`.
+    ///
+    /// Only the chunk itself is priced — tokens before
+    /// `already_prefilled` contribute attention context but no new
+    /// compute. This is what makes cross-request KV reuse free at this
+    /// layer: a request admitted with a prefix-cache hit
+    /// (`serving::PrefixCache`) starts prefill at the cached length, so
+    /// the cached portion is never charged.
     pub fn prefill(chunk: u32, already_prefilled: u32) -> Self {
         Self {
             new_tokens: chunk,

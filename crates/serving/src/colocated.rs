@@ -100,6 +100,10 @@ impl Deployment for Colocated<'_> {
         self.engine().core().kv_capacity_tokens()
     }
 
+    fn cached_prefix_tokens(&self, spec: &RequestSpec) -> u32 {
+        self.engine().core().cached_prefix_tokens(spec)
+    }
+
     fn submit(&mut self, spec: RequestSpec, now_ms: f64) {
         self.engine_mut().core_mut().on_arrival(spec);
         self.clock_ms = self.clock_ms.max(now_ms);

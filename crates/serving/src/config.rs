@@ -19,6 +19,10 @@ pub struct SystemConfig {
     pub verify_mode: VerifyMode,
     /// Near-zero-load decode latency (ms), the SLO reference point.
     pub baseline_ms: f64,
+    /// Token budget of the cross-request prefix cache ([`crate::prefix`]);
+    /// `None` (the default) disables prefix caching entirely, reproducing
+    /// the uncached request stream bit for bit.
+    pub prefix_cache_tokens: Option<u64>,
 }
 
 impl SystemConfig {
@@ -32,7 +36,19 @@ impl SystemConfig {
             kv_block_tokens: 16,
             verify_mode: VerifyMode::Stochastic,
             baseline_ms,
+            prefix_cache_tokens: None,
         }
+    }
+
+    /// Enables the cross-request prefix cache with a `tokens` LRU budget
+    /// (see [`crate::prefix::PrefixCache`]). Caching only changes when
+    /// prefill work is *charged*, never which tokens are generated, so
+    /// enabling it on disjoint-prefix traffic leaves records identical.
+    #[must_use]
+    pub fn with_prefix_cache(mut self, tokens: u64) -> Self {
+        assert!(tokens > 0, "a prefix cache needs a non-zero budget");
+        self.prefix_cache_tokens = Some(tokens);
+        self
     }
 
     /// The paper's Llama-3.1-70B / 4×A100 deployment.

@@ -8,6 +8,7 @@
 
 use crate::config::SystemConfig;
 use crate::kv::BlockManager;
+use crate::prefix::PrefixCache;
 use crate::request::{LiveRequest, Phase};
 use metrics::{HotLoopStats, LatencyBreakdown, RequestRecord};
 use simllm::{sample_seeded, Lm, TokenId};
@@ -40,15 +41,25 @@ pub struct EngineCore {
     pub speculated_total: u64,
     /// Total speculated tokens accepted.
     pub accepted_total: u64,
+    /// Cross-request prefix cache ([`crate::prefix`]); present when
+    /// [`SystemConfig::prefix_cache_tokens`] is set. Admission consults it
+    /// (a hit pre-marks the cached prefix as prefilled and reserves
+    /// blocks only for the uncached suffix), prefill completion feeds it,
+    /// and finish/preempt/migrate release its pins.
+    pub prefix: Option<PrefixCache>,
 }
 
 impl EngineCore {
     /// Creates a core for `config` with a full KV pool.
     pub fn new(config: SystemConfig) -> Self {
         let blocks = config.block_manager();
+        let prefix = config
+            .prefix_cache_tokens
+            .map(|budget| PrefixCache::new(budget, config.kv_block_tokens));
         Self {
             config,
             blocks,
+            prefix,
             waiting: VecDeque::new(),
             running: Vec::new(),
             finished: Vec::new(),
@@ -86,10 +97,24 @@ impl EngineCore {
         self.blocks.total_blocks() * u64::from(self.blocks.block_tokens())
     }
 
+    /// The longest block-aligned prefix of `spec`'s prompt resident in
+    /// this engine's prefix cache, in tokens (0 without a cache).
+    /// Read-only: no statistics, pinning, or LRU side effects — safe for
+    /// admission-control and routing probes.
+    pub fn cached_prefix_tokens(&self, spec: &RequestSpec) -> u32 {
+        self.prefix.as_ref().map_or(0, |c| {
+            c.peek(&spec.prompt_tokens(), spec.prompt_len.saturating_sub(1))
+        })
+    }
+
     /// Admits waiting requests FIFO while the batch cap and KV pool allow.
     ///
-    /// A request is admitted when its full current context (prompt plus any
-    /// previously generated tokens) fits in free blocks. Returns the number
+    /// A request is admitted when its *uncached* context (prompt plus any
+    /// previously generated tokens, minus whatever prefix the
+    /// [`crate::prefix::PrefixCache`] already holds) fits in free blocks —
+    /// so under a warm cache a request can be admitted even when its full
+    /// prompt would not fit. A hit pre-marks the cached prefix as
+    /// prefilled and pins it against eviction. Returns the number
     /// admitted.
     pub fn admit_fifo(&mut self) -> usize {
         let mut admitted = 0;
@@ -97,11 +122,25 @@ impl EngineCore {
             let Some(front) = self.waiting.front() else {
                 break;
             };
-            let need = u64::from(front.context_len()) + 1;
+            let reuse = self.prefix.as_ref().map_or(0, |c| {
+                c.peek(front.tokens(), front.context_len().saturating_sub(1))
+            });
+            let need = u64::from(front.context_len()) + 1 - u64::from(reuse);
             if !self.blocks.can_hold(front.spec.id, need) {
                 break;
             }
             let mut req = self.waiting.pop_front().expect("front exists");
+            if let Some(cache) = self.prefix.as_mut() {
+                let max_reuse = req.context_len().saturating_sub(1);
+                let reused = cache.lookup_pin(req.spec.id, req.tokens(), max_reuse);
+                debug_assert_eq!(reused, reuse, "peek and lookup agree");
+                self.hotloop.prefix_lookups += 1;
+                if reused > 0 {
+                    req.reuse_prefix(reused);
+                    self.hotloop.prefix_hits += 1;
+                    self.hotloop.prefill_tokens_saved += u64::from(reused);
+                }
+            }
             let ok = self.blocks.reserve(req.spec.id, need);
             debug_assert!(ok, "can_hold implies reserve succeeds");
             req.phase = Phase::Prefilling;
@@ -135,9 +174,19 @@ impl EngineCore {
     }
 
     /// Applies a prefill plan, advancing per-request progress.
+    ///
+    /// A request completing its first prefill here has its prompt
+    /// inserted into the prefix cache (when one is configured), making
+    /// the prefix reusable by every later request that shares it.
     pub fn apply_prefill(&mut self, plan: &[(usize, u32)]) {
         for &(i, chunk) in plan {
             self.running[i].advance_prefill(chunk);
+            let r = &self.running[i];
+            if r.phase == Phase::Decoding && r.generated() == 0 {
+                if let Some(cache) = self.prefix.as_mut() {
+                    cache.insert(&r.tokens()[..r.spec.prompt_len as usize]);
+                }
+            }
         }
     }
 
@@ -175,7 +224,9 @@ impl EngineCore {
     /// growth (the request itself is then preempted by the caller's policy).
     pub fn grow_with_preemption(&mut self, i: usize, extra: u64) -> bool {
         let id = self.running[i].spec.id;
-        let need = u64::from(self.running[i].context_len()) + extra;
+        // A prefix-cache hit shrinks the private reservation: the cached
+        // prefix's blocks stay owned (and pinned) by the cache.
+        let need = self.running[i].kv_need(extra);
         loop {
             if self.blocks.reserve(id, need) {
                 return true;
@@ -196,6 +247,9 @@ impl EngineCore {
     pub fn preempt(&mut self, j: usize) {
         let mut req = self.running.remove(j);
         self.blocks.release(req.spec.id);
+        if let Some(cache) = self.prefix.as_mut() {
+            cache.release(req.spec.id);
+        }
         req.drop_kv_for_preemption();
         self.waiting.push_front(req);
     }
@@ -207,6 +261,9 @@ impl EngineCore {
         req.phase = Phase::Finished;
         req.completion_ms = Some(now_ms);
         self.blocks.release(req.spec.id);
+        if let Some(cache) = self.prefix.as_mut() {
+            cache.release(req.spec.id);
+        }
         self.finished.push(req.into_record());
     }
 
@@ -249,8 +306,15 @@ impl EngineCore {
         let mut i = 0;
         while i < self.running.len() {
             if self.running[i].phase == Phase::Decoding && self.running[i].generated() == 0 {
-                let req = self.running.remove(i);
+                let mut req = self.running.remove(i);
                 self.blocks.release(req.spec.id);
+                // Migration ships the full context KV: the decode side
+                // owns every token, so the prefill side's cache pins and
+                // the request's shared-prefix discount both end here.
+                if let Some(cache) = self.prefix.as_mut() {
+                    cache.release(req.spec.id);
+                }
+                req.clear_kv_reused();
                 out.push(req);
             } else {
                 i += 1;
@@ -318,6 +382,7 @@ mod tests {
             tpot_slo_ms: 50.0,
             ttft_slo_ms: 1_000.0,
             stream_seed: id ^ 0xABC,
+            prefix: None,
         }
     }
 
@@ -466,6 +531,101 @@ mod tests {
         assert_eq!(rejected.spec.id, 7);
         assert_eq!(rejected.prefill_remaining(), 0, "progress survives");
         assert_eq!(sink.running.len(), 1);
+    }
+
+    fn shared_spec(id: u64, prompt: u32, output: u32) -> RequestSpec {
+        let mut s = spec(id, prompt, output);
+        s.stream_seed = id ^ 0xDEF;
+        s.prefix = Some(workload::PrefixSpec { seed: 42, len: 64 });
+        s
+    }
+
+    fn cached_core() -> EngineCore {
+        let mut config = SystemConfig::llama70b(1);
+        config.max_batch = 4;
+        config = config.with_prefix_cache(4_096);
+        let mut core = EngineCore::new(config);
+        core.blocks = BlockManager::new(32, 16);
+        core
+    }
+
+    #[test]
+    fn admission_reuses_a_cached_shared_prefix() {
+        let mut core = cached_core();
+        core.on_arrival(shared_spec(0, 96, 4));
+        core.admit_fifo();
+        assert_eq!(core.running[0].kv_reused(), 0, "cold cache");
+        core.apply_prefill(&core.plan_prefill(u32::MAX));
+        assert_eq!(core.running[0].phase, Phase::Decoding);
+
+        core.on_arrival(shared_spec(1, 96, 4));
+        core.admit_fifo();
+        let r = &core.running[1];
+        assert_eq!(r.kv_reused(), 64, "the shared prefix is reused");
+        assert_eq!(r.prefill_remaining(), 32, "only the suffix prefills");
+        assert_eq!(core.hotloop.prefix_hits, 1);
+        assert_eq!(core.hotloop.prefill_tokens_saved, 64);
+        assert!(core.blocks.validate().is_ok());
+    }
+
+    #[test]
+    fn prefix_aware_admission_admits_what_would_not_fit() {
+        let mut core = cached_core();
+        // 8 blocks × 16 tokens = 128 tokens of KV.
+        core.blocks = BlockManager::new(8, 16);
+        core.on_arrival(shared_spec(0, 96, 2));
+        core.admit_fifo();
+        core.apply_prefill(&core.plan_prefill(u32::MAX));
+        core.running[0].decode_start_ms = Some(1.0);
+        for _ in 0..2 {
+            let t = core.next_token(0);
+            core.running[0].push_token(t);
+        }
+        core.collect_finished(10.0);
+        assert!(core.running.is_empty(), "warm-up request finished");
+
+        // A 140-token prompt needs 141 tokens of KV uncached — more
+        // than the whole 128-token pool. Its 64-token cached prefix
+        // shrinks the reservation to 77 tokens, which fits.
+        core.on_arrival(shared_spec(2, 140, 2));
+        let admitted = core.admit_fifo();
+        assert_eq!(admitted, 1, "141 - 64 = 77 tokens fit");
+        assert_eq!(core.running[0].kv_reused(), 64);
+        assert!(core.blocks.validate().is_ok());
+    }
+
+    #[test]
+    fn preemption_releases_pins_and_forgets_reuse() {
+        let mut core = cached_core();
+        core.on_arrival(shared_spec(0, 96, 4));
+        core.admit_fifo();
+        core.apply_prefill(&core.plan_prefill(u32::MAX));
+        core.on_arrival(shared_spec(1, 96, 4));
+        core.admit_fifo();
+        assert_eq!(core.running[1].kv_reused(), 64);
+        let pinned_before = core.prefix.as_ref().unwrap().pinned_node_count();
+        assert!(pinned_before > 0);
+        core.preempt(1);
+        assert_eq!(core.waiting[0].kv_reused(), 0, "reuse forgotten");
+        // Re-admission looks the prefix up again and re-pins it.
+        core.admit_fifo();
+        assert_eq!(core.running[1].kv_reused(), 64, "re-hit on re-admission");
+        assert_eq!(core.hotloop.prefix_hits, 2);
+    }
+
+    #[test]
+    fn disjoint_prompts_never_hit() {
+        let mut core = cached_core();
+        for id in 0..3 {
+            core.on_arrival(spec(id, 64, 2));
+        }
+        core.admit_fifo();
+        core.apply_prefill(&core.plan_prefill(u32::MAX));
+        assert_eq!(core.hotloop.prefix_hits, 0);
+        assert_eq!(core.hotloop.prefix_lookups, 3);
+        for i in 0..3 {
+            assert_eq!(core.running[i].kv_reused(), 0);
+        }
     }
 
     #[test]

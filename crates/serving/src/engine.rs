@@ -338,9 +338,10 @@ pub struct RunResult {
 }
 
 impl RunResult {
-    /// Builds the paper-style SLO report for this run.
+    /// Builds the paper-style SLO report for this run, including
+    /// prefix-cache effectiveness from the hot-loop counters.
     pub fn report(&self) -> metrics::SloReport {
-        metrics::SloReport::from_records(&self.records)
+        metrics::SloReport::from_records(&self.records).with_prefix_stats(&self.hotloop)
     }
 }
 
@@ -350,11 +351,30 @@ impl RunResult {
 /// engine is idle the clock jumps to the next arrival. Returns an error only
 /// if a hard cap is hit (misbehaving engine).
 ///
-/// Deprecated: this is now a thin shim over the unified front door — a
+/// # Deprecated
+///
+/// This is now a thin shim over the unified front door — a
 /// [`crate::ServeSession`] driving a [`crate::Colocated`] deployment —
 /// which additionally supports mid-run submission, scaling and per-request
 /// lifecycle events. Output is byte-identical to the pre-shim driver (see
-/// `tests/output_equivalence.rs`).
+/// `tests/output_equivalence.rs`). Migrate by wrapping the same engine:
+///
+/// ```
+/// use serving::{Colocated, RunError, RunOptions, RunReport, ServeSession, ServingEngine};
+/// use workload::Workload;
+///
+/// // before: serving::run(engine, workload, options)?
+/// fn migrated(
+///     engine: &mut dyn ServingEngine,
+///     workload: &Workload,
+///     options: RunOptions,
+/// ) -> Result<RunReport, RunError> {
+///     ServeSession::with_options(Colocated::borrowed(engine), options).serve(workload)
+/// }
+/// ```
+///
+/// [`RunReport::into_colocated_result`](crate::RunReport::into_colocated_result)
+/// recovers the old [`RunResult`] shape where callers still need it.
 #[deprecated(note = "drive a `ServeSession` over a `Colocated` deployment instead")]
 pub fn run(
     engine: &mut dyn ServingEngine,
@@ -478,6 +498,7 @@ mod tests {
                 tpot_slo_ms: 50.0,
                 ttft_slo_ms: 1_000.0,
                 stream_seed: id ^ 0x1234,
+                prefix: None,
             })
             .collect();
         Workload {

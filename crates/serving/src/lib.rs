@@ -9,6 +9,11 @@
 //!   per-phase timestamps);
 //! * [`kv`] — a PagedAttention-style block manager with preemption support
 //!   (vLLM \[22\]'s memory model, which the paper's baselines rely on);
+//! * [`prefix`] — a cross-request radix [`prefix::PrefixCache`] modeling
+//!   automatic prefix caching: shared prompt prefixes (system prompts,
+//!   multi-turn sessions) skip their portion of prefill and shrink KV
+//!   reservations, opt-in via
+//!   [`config::SystemConfig::with_prefix_cache`];
 //! * [`config`] — a deployed system: latency testbed + synthetic model pair;
 //! * [`engine`] — the [`engine::ServingEngine`] trait, run caps and the
 //!   context-carrying [`engine::RunError`];
@@ -32,12 +37,15 @@
 //! synthetic language models — the scheduling logic under study runs for
 //! real.
 
+#![warn(missing_docs)]
+
 pub mod colocated;
 pub mod config;
 pub mod core;
 pub mod engine;
 pub mod exec;
 pub mod kv;
+pub mod prefix;
 pub mod request;
 pub mod session;
 pub mod swap;
@@ -53,6 +61,7 @@ pub use engine::{
 };
 pub use exec::{ExecMode, ShardedExecutor};
 pub use kv::BlockManager;
+pub use prefix::{PrefixCache, PrefixStats};
 pub use request::{LiveRequest, Phase};
 pub use session::{
     Deployment, DeploymentEvent, DeploymentStep, LifecycleTracker, RejectReason, ReplicaAddr,

@@ -1,0 +1,624 @@
+//! Cross-request radix prefix cache with modeled KV reuse.
+//!
+//! Production prompt traffic is dominated by shared prefixes — system
+//! prompts, multi-turn chat histories, RAG templates — yet a per-context
+//! memo (the hot loop's `DistMemo`) cannot exploit them: it has no
+//! *structural* sharing across requests. [`PrefixCache`] is that
+//! structure: a radix tree over prompt token streams whose nodes carry
+//! compressed edges, ref-counted pins and an LRU clock, bounded by a
+//! configurable token budget.
+//!
+//! Node identity is the **incremental `LmContext` hash** of the token
+//! path from the root ([`simllm::hash::hash_token_iter`] folded edge by
+//! edge), so two requests whose prompts agree token-for-token meet at the
+//! same node regardless of how edges happen to be split at the time.
+//!
+//! # Modeled KV reuse
+//!
+//! A lookup hit means the KV entries for the matched prefix are already
+//! resident, so the owning [`crate::EngineCore`] (a) starts the request
+//! with that many tokens pre-marked as prefilled — the roofline prefill
+//! pass then only charges the uncached suffix — and (b) reserves KV
+//! blocks only for the *uncached* portion, since the cached blocks are
+//! shared with the cache (the cache's own budget models the HBM set
+//! aside for it). Reuse is **block-granular**: matches quantize down to a
+//! multiple of the deployment's KV block size, and anything below one
+//! block is not a hit — which also makes accidental one-token stream
+//! collisions irrelevant, keeping cache-on runs record-identical to
+//! cache-off on disjoint-prefix traffic.
+//!
+//! Crucially, caching changes only when prefill work is *charged*, never
+//! which tokens get generated: the synthetic LM's next-token function is
+//! a pure function of the token stream, not of timing.
+//!
+//! # Example: a shared system prompt hits
+//!
+//! ```
+//! use serving::prefix::PrefixCache;
+//! use workload::{Category, PrefixSpec, RequestSpec};
+//!
+//! // Two chat requests sharing a 32-token system prompt.
+//! let spec = |id, seed| RequestSpec {
+//!     id,
+//!     category: Category::Chatbot,
+//!     arrival_ms: 0.0,
+//!     prompt_len: 48,
+//!     output_len: 4,
+//!     tpot_slo_ms: 50.0,
+//!     ttft_slo_ms: 1_000.0,
+//!     stream_seed: seed,
+//!     prefix: Some(PrefixSpec { seed: 7, len: 32 }),
+//! };
+//! let (a, b) = (spec(0, 1), spec(1, 2));
+//!
+//! let mut cache = PrefixCache::new(4_096, 16);
+//! assert_eq!(cache.lookup_pin(a.id, &a.prompt_tokens(), 47), 0, "cold");
+//! cache.insert(&a.prompt_tokens());
+//! let hit = cache.lookup_pin(b.id, &b.prompt_tokens(), 47);
+//! assert_eq!(hit, 32, "the shared system prompt is reused");
+//! assert_eq!(cache.stats().prefill_tokens_saved, 32);
+//! cache.release(a.id);
+//! cache.release(b.id);
+//! ```
+
+use simllm::hash::hash_token_iter;
+use simllm::TokenId;
+use std::collections::{BTreeMap, HashMap};
+
+/// Root of every path hash (an arbitrary fixed seed; the tree is shared
+/// across requests, so node hashes must not depend on any stream seed).
+const PATH_HASH_SEED: u64 = 0x5EED_CACE;
+
+/// Counters of a [`PrefixCache`]'s effectiveness and churn.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefixStats {
+    /// Lookups performed (one per admission attempt).
+    pub lookups: u64,
+    /// Lookups that matched at least one KV block.
+    pub hits: u64,
+    /// Prompt tokens whose prefill was skipped, summed over hits.
+    pub prefill_tokens_saved: u64,
+    /// Tokens added to the tree by insertions.
+    pub inserted_tokens: u64,
+    /// Tokens removed by LRU eviction.
+    pub evicted_tokens: u64,
+}
+
+impl PrefixStats {
+    /// Hit rate over lookups, in percent (0 when nothing was looked up).
+    pub fn hit_rate_pct(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            100.0 * self.hits as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// One radix node: a compressed edge from its parent plus bookkeeping.
+#[derive(Debug, Clone)]
+struct Node {
+    /// Token run on the edge from `parent` to this node (empty at root).
+    edge: Vec<TokenId>,
+    /// Arena index of the parent (the root is its own parent).
+    parent: usize,
+    /// Children keyed by the first token of their edge.
+    children: BTreeMap<u32, usize>,
+    /// Requests currently relying on this node's KV residency.
+    pins: u32,
+    /// Logical LRU timestamp of the last touch.
+    last_use: u64,
+    /// Incremental hash of the full token path root → end of this edge.
+    path_hash: u64,
+}
+
+impl Node {
+    fn first_token(&self) -> u32 {
+        self.edge.first().expect("non-root nodes have an edge").0
+    }
+}
+
+/// A cross-request radix tree of cached prompt prefixes.
+///
+/// Deterministic by construction: the LRU clock is a logical counter,
+/// eviction scans the arena in index order, and hash maps are only ever
+/// accessed by key — so two runs that perform the same operations hold
+/// bit-identical trees.
+#[derive(Debug, Clone)]
+pub struct PrefixCache {
+    /// Node arena; index 0 is the root (empty edge, never evicted).
+    nodes: Vec<Node>,
+    /// Freed arena slots available for reuse.
+    free: Vec<usize>,
+    /// Token budget: eviction trims unpinned leaves beyond this.
+    budget_tokens: u64,
+    /// Tokens currently resident (sum of all edge lengths).
+    resident: u64,
+    /// KV block size: matches quantize down to a multiple of this, and
+    /// shorter matches do not count as hits.
+    block_tokens: u32,
+    /// Logical LRU clock, bumped once per lookup/insert.
+    clock: u64,
+    /// Pinned paths by request id (released on finish/preempt/migrate).
+    pinned: HashMap<u64, Vec<usize>>,
+    stats: PrefixStats,
+}
+
+impl PrefixCache {
+    /// Creates a cache holding at most `budget_tokens` tokens, reusing
+    /// KV at `block_tokens` granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is zero.
+    pub fn new(budget_tokens: u64, block_tokens: u32) -> Self {
+        assert!(budget_tokens > 0, "a cache needs a non-zero budget");
+        assert!(block_tokens > 0, "a KV block holds at least one token");
+        Self {
+            nodes: vec![Node {
+                edge: Vec::new(),
+                parent: 0,
+                children: BTreeMap::new(),
+                pins: 0,
+                last_use: 0,
+                path_hash: PATH_HASH_SEED,
+            }],
+            free: Vec::new(),
+            budget_tokens,
+            resident: 0,
+            block_tokens,
+            clock: 0,
+            pinned: HashMap::new(),
+            stats: PrefixStats::default(),
+        }
+    }
+
+    /// Effectiveness/churn counters so far.
+    pub fn stats(&self) -> PrefixStats {
+        self.stats
+    }
+
+    /// Tokens currently resident in the tree.
+    pub fn resident_tokens(&self) -> u64 {
+        self.resident
+    }
+
+    /// The configured token budget.
+    pub fn budget_tokens(&self) -> u64 {
+        self.budget_tokens
+    }
+
+    /// Live (non-freed) nodes, excluding the root.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len() - 1 - self.free.len()
+    }
+
+    /// Nodes currently pinned by at least one request.
+    pub fn pinned_node_count(&self) -> usize {
+        let mut seen: Vec<usize> = self.pinned.values().flatten().copied().collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+
+    /// Longest reusable prefix of `tokens`, walking matching edges.
+    /// Returns `(matched_tokens, path_node_indices)`; the last path node
+    /// may be only partially matched.
+    fn walk(&self, tokens: &[TokenId]) -> (u32, Vec<usize>) {
+        let mut node = 0usize;
+        let mut matched = 0usize;
+        let mut path = Vec::new();
+        while matched < tokens.len() {
+            let Some(&child) = self.nodes[node].children.get(&tokens[matched].0) else {
+                break;
+            };
+            let edge = &self.nodes[child].edge;
+            let common = edge
+                .iter()
+                .zip(&tokens[matched..])
+                .take_while(|(a, b)| a == b)
+                .count();
+            matched += common;
+            path.push(child);
+            if common < edge.len() {
+                break;
+            }
+            node = child;
+        }
+        (matched as u32, path)
+    }
+
+    /// Quantizes a raw match down to reusable length: a whole number of
+    /// KV blocks, at most `max_reuse` (callers pass `context_len - 1` so
+    /// at least one token of genuine prefill always remains).
+    fn reusable(&self, matched: u32, max_reuse: u32) -> u32 {
+        let quantized = matched - matched % self.block_tokens;
+        quantized.min(max_reuse)
+    }
+
+    /// Read-only variant of [`PrefixCache::lookup_pin`]: the reusable
+    /// prefix length `tokens` would hit right now, without pinning,
+    /// touching LRU state or counting stats. Routers and front-door
+    /// admission use this to prefer/size against warm replicas.
+    pub fn peek(&self, tokens: &[TokenId], max_reuse: u32) -> u32 {
+        let (matched, _) = self.walk(tokens);
+        self.reusable(matched, max_reuse)
+    }
+
+    /// Looks up the longest cached prefix of `tokens` and pins the
+    /// matched path for request `id`, returning the reusable length in
+    /// tokens (0 = miss). Pinned nodes cannot be evicted until
+    /// [`PrefixCache::release`] is called for `id`.
+    pub fn lookup_pin(&mut self, id: u64, tokens: &[TokenId], max_reuse: u32) -> u32 {
+        self.release(id);
+        self.clock += 1;
+        self.stats.lookups += 1;
+        let (matched, path) = self.walk(tokens);
+        for &n in &path {
+            self.nodes[n].last_use = self.clock;
+        }
+        let reusable = self.reusable(matched, max_reuse);
+        if reusable == 0 {
+            return 0;
+        }
+        for &n in &path {
+            self.nodes[n].pins += 1;
+        }
+        self.pinned.insert(id, path);
+        self.stats.hits += 1;
+        self.stats.prefill_tokens_saved += u64::from(reusable);
+        reusable
+    }
+
+    /// Releases request `id`'s pins (idempotent; unknown ids are no-ops).
+    pub fn release(&mut self, id: u64) {
+        if let Some(path) = self.pinned.remove(&id) {
+            for n in path {
+                debug_assert!(self.nodes[n].pins > 0, "pin underflow");
+                self.nodes[n].pins = self.nodes[n].pins.saturating_sub(1);
+            }
+        }
+    }
+
+    /// Inserts `tokens` as a cached path, splitting edges on partial
+    /// matches, then evicts least-recently-used unpinned leaves until the
+    /// tree fits the budget again (pinned paths are never evicted, even
+    /// if that leaves the tree over budget).
+    pub fn insert(&mut self, tokens: &[TokenId]) {
+        self.clock += 1;
+        let mut node = 0usize;
+        let mut consumed = 0usize;
+        loop {
+            self.nodes[node].last_use = self.clock;
+            if consumed == tokens.len() {
+                break;
+            }
+            match self.nodes[node].children.get(&tokens[consumed].0).copied() {
+                None => {
+                    // New leaf for the whole remaining run.
+                    let rest = tokens[consumed..].to_vec();
+                    self.resident += rest.len() as u64;
+                    self.stats.inserted_tokens += rest.len() as u64;
+                    let leaf = self.alloc(Node {
+                        path_hash: hash_token_iter(
+                            self.nodes[node].path_hash,
+                            rest.iter().map(|t| t.0),
+                        ),
+                        edge: rest,
+                        parent: node,
+                        children: BTreeMap::new(),
+                        pins: 0,
+                        last_use: self.clock,
+                    });
+                    self.nodes[node].children.insert(tokens[consumed].0, leaf);
+                    self.nodes[leaf].last_use = self.clock;
+                    break;
+                }
+                Some(child) => {
+                    let common = self.nodes[child]
+                        .edge
+                        .iter()
+                        .zip(&tokens[consumed..])
+                        .take_while(|(a, b)| a == b)
+                        .count();
+                    if common == self.nodes[child].edge.len() {
+                        // Full edge match: descend.
+                        consumed += common;
+                        node = child;
+                    } else {
+                        // Partial match: split the edge at the divergence.
+                        let mid = self.split(node, child, common);
+                        consumed += common;
+                        node = mid;
+                    }
+                }
+            }
+        }
+        self.evict_to_budget();
+    }
+
+    /// Splits `child`'s edge after `at` tokens, interposing a new node
+    /// between `parent` and `child`. Returns the new intermediate node.
+    /// Token accounting is conserved (the split only re-buckets an edge),
+    /// and `child` keeps its pins — as a descendant of the intermediate
+    /// node it continues to protect the whole path.
+    fn split(&mut self, parent: usize, child: usize, at: usize) -> usize {
+        debug_assert!(at > 0 && at < self.nodes[child].edge.len());
+        let head: Vec<TokenId> = self.nodes[child].edge[..at].to_vec();
+        let tail: Vec<TokenId> = self.nodes[child].edge[at..].to_vec();
+        let first = head[0].0;
+        let mid = self.alloc(Node {
+            path_hash: hash_token_iter(self.nodes[parent].path_hash, head.iter().map(|t| t.0)),
+            edge: head,
+            parent,
+            children: BTreeMap::new(),
+            pins: 0,
+            last_use: self.nodes[child].last_use,
+        });
+        self.nodes[mid].children.insert(tail[0].0, child);
+        self.nodes[child].edge = tail;
+        self.nodes[child].parent = mid;
+        self.nodes[parent].children.insert(first, mid);
+        mid
+    }
+
+    /// Evicts least-recently-used unpinned leaves until the resident
+    /// token count fits the budget, merging pass-through nodes the
+    /// evictions leave behind. Stops early when only pinned paths remain.
+    fn evict_to_budget(&mut self) {
+        while self.resident > self.budget_tokens {
+            let Some(victim) = self.lru_unpinned_leaf() else {
+                break;
+            };
+            self.remove_leaf(victim);
+        }
+    }
+
+    /// The unpinned leaf with the oldest `last_use` (ties: lowest arena
+    /// index), scanning the arena directly so the choice is deterministic.
+    fn lru_unpinned_leaf(&self) -> Option<usize> {
+        let mut best: Option<(u64, usize)> = None;
+        for (i, n) in self.nodes.iter().enumerate().skip(1) {
+            if self.free.contains(&i) || n.pins > 0 || !n.children.is_empty() {
+                continue;
+            }
+            let key = (n.last_use, i);
+            if best.is_none_or(|b| key < b) {
+                best = Some(key);
+            }
+        }
+        best.map(|(_, i)| i)
+    }
+
+    /// Removes leaf `i`, merging its parent with a now-single sibling
+    /// when that keeps the tree a proper radix tree (no unpinned
+    /// pass-through nodes with exactly one child).
+    fn remove_leaf(&mut self, i: usize) {
+        debug_assert!(self.nodes[i].children.is_empty() && self.nodes[i].pins == 0);
+        let parent = self.nodes[i].parent;
+        let first = self.nodes[i].first_token();
+        let removed = self.nodes[i].edge.len() as u64;
+        self.nodes[parent].children.remove(&first);
+        self.resident -= removed;
+        self.stats.evicted_tokens += removed;
+        self.free_node(i);
+        self.maybe_merge(parent);
+    }
+
+    /// Merges `node` with its only child when both are unpinned and
+    /// `node` is not the root — the inverse of [`PrefixCache::split`],
+    /// keeping edges maximally compressed after deletions. The child's
+    /// subtree is unaffected (its `path_hash` covers the same tokens).
+    fn maybe_merge(&mut self, node: usize) {
+        if node == 0 || self.nodes[node].pins > 0 || self.nodes[node].children.len() != 1 {
+            return;
+        }
+        let child = *self.nodes[node]
+            .children
+            .values()
+            .next()
+            .expect("one child");
+        if self.nodes[child].pins > 0 {
+            return;
+        }
+        let tail = std::mem::take(&mut self.nodes[child].edge);
+        let children = std::mem::take(&mut self.nodes[child].children);
+        let path_hash = self.nodes[child].path_hash;
+        let last_use = self.nodes[node].last_use.max(self.nodes[child].last_use);
+        for &grandchild in children.values() {
+            self.nodes[grandchild].parent = node;
+        }
+        let merged = &mut self.nodes[node];
+        merged.edge.extend(tail);
+        merged.children = children;
+        merged.path_hash = path_hash;
+        merged.last_use = last_use;
+        self.free_node(child);
+    }
+
+    fn alloc(&mut self, node: Node) -> usize {
+        if let Some(i) = self.free.pop() {
+            self.nodes[i] = node;
+            i
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        }
+    }
+
+    fn free_node(&mut self, i: usize) {
+        self.nodes[i] = Node {
+            edge: Vec::new(),
+            parent: i,
+            children: BTreeMap::new(),
+            pins: 0,
+            last_use: 0,
+            path_hash: 0,
+        };
+        self.free.push(i);
+    }
+
+    /// Recomputes the resident token count from the arena — `O(nodes)`,
+    /// for tests asserting token accounting is conserved.
+    pub fn audit_resident_tokens(&self) -> u64 {
+        self.nodes
+            .iter()
+            .enumerate()
+            .skip(1)
+            .filter(|(i, _)| !self.free.contains(i))
+            .map(|(_, n)| n.edge.len() as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(ids: &[u32]) -> Vec<TokenId> {
+        ids.iter().map(|&t| TokenId(t)).collect()
+    }
+
+    /// A run of `n` tokens from a tiny deterministic stream.
+    fn stream(seed: u32, n: usize) -> Vec<TokenId> {
+        (0..n as u32).map(|i| TokenId(seed * 10_000 + i)).collect()
+    }
+
+    #[test]
+    fn cold_lookup_misses_and_insert_hits() {
+        let mut c = PrefixCache::new(1_000, 4);
+        let p = stream(1, 12);
+        assert_eq!(c.lookup_pin(0, &p, 11), 0);
+        c.insert(&p);
+        assert_eq!(c.resident_tokens(), 12);
+        // A second request with the same 12-token prompt matches all 12
+        // (already block-aligned), then caps at max_reuse = 11 so one
+        // token of genuine prefill remains.
+        assert_eq!(c.lookup_pin(1, &p, 11), 11);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().prefill_tokens_saved, 11);
+    }
+
+    #[test]
+    fn sub_block_matches_are_not_hits() {
+        let mut c = PrefixCache::new(1_000, 16);
+        c.insert(&toks(&[1, 2, 3]));
+        // Only 3 tokens match — less than one 16-token block.
+        assert_eq!(c.lookup_pin(0, &toks(&[1, 2, 3, 4]), 3), 0);
+        assert_eq!(c.stats().hits, 0);
+        assert_eq!(c.pinned_node_count(), 0, "misses pin nothing");
+    }
+
+    #[test]
+    fn partial_match_splits_the_edge() {
+        let mut c = PrefixCache::new(1_000, 2);
+        c.insert(&toks(&[1, 2, 3, 4, 5, 6]));
+        assert_eq!(c.node_count(), 1, "one compressed edge");
+        // Diverge after 4 tokens: the edge must split into head + 2 tails.
+        c.insert(&toks(&[1, 2, 3, 4, 9, 9]));
+        assert_eq!(c.node_count(), 3, "head + two tails");
+        assert_eq!(c.resident_tokens(), 8, "6 original + 2 new");
+        assert_eq!(c.audit_resident_tokens(), 8, "accounting conserved");
+        // Both full paths stay findable.
+        assert_eq!(c.peek(&toks(&[1, 2, 3, 4, 5, 6]), 6), 6);
+        assert_eq!(c.peek(&toks(&[1, 2, 3, 4, 9, 9]), 6), 6);
+        assert_eq!(c.peek(&toks(&[1, 2, 3, 4]), 4), 4, "the shared head");
+    }
+
+    #[test]
+    fn split_preserves_descendant_path_hashes() {
+        let mut c = PrefixCache::new(1_000, 2);
+        c.insert(&toks(&[1, 2, 3, 4]));
+        let before = {
+            let (_, path) = c.walk(&toks(&[1, 2, 3, 4]));
+            c.nodes[*path.last().unwrap()].path_hash
+        };
+        c.insert(&toks(&[1, 2, 9]));
+        let after = {
+            let (_, path) = c.walk(&toks(&[1, 2, 3, 4]));
+            c.nodes[*path.last().unwrap()].path_hash
+        };
+        assert_eq!(before, after, "node identity survives edge splits");
+    }
+
+    #[test]
+    fn eviction_respects_budget_and_lru_order() {
+        let mut c = PrefixCache::new(8, 2);
+        c.insert(&stream(1, 4));
+        c.insert(&stream(2, 4));
+        assert_eq!(c.resident_tokens(), 8);
+        // Touch stream 1 so stream 2 is the LRU victim.
+        assert!(c.lookup_pin(0, &stream(1, 4), 3) > 0);
+        c.release(0);
+        c.insert(&stream(3, 4));
+        assert_eq!(c.resident_tokens(), 8, "budget enforced");
+        assert!(c.peek(&stream(1, 4), 3) > 0, "recently used survives");
+        assert_eq!(c.peek(&stream(2, 4), 3), 0, "LRU entry evicted");
+        assert_eq!(c.stats().evicted_tokens, 4);
+    }
+
+    #[test]
+    fn pinned_paths_are_never_evicted() {
+        let mut c = PrefixCache::new(4, 2);
+        c.insert(&stream(1, 4));
+        // Matched 4 tokens quantize to a full 2-block run, then the
+        // max_reuse cap trims to 3 (one genuine prefill token remains).
+        assert_eq!(c.lookup_pin(7, &stream(1, 4), 3), 3);
+        // Inserting over budget cannot evict the pinned path.
+        c.insert(&stream(2, 6));
+        assert!(c.peek(&stream(1, 4), 3) > 0, "pinned path survives");
+        assert!(
+            c.resident_tokens() >= 4,
+            "over budget rather than evicting pins"
+        );
+        // Releasing the pin makes it evictable again.
+        c.release(7);
+        c.insert(&stream(3, 4));
+        assert!(c.resident_tokens() <= 4 + 6);
+    }
+
+    #[test]
+    fn release_is_idempotent_and_unpins() {
+        let mut c = PrefixCache::new(100, 2);
+        c.insert(&stream(1, 4));
+        c.lookup_pin(1, &stream(1, 4), 3);
+        assert!(c.pinned_node_count() > 0);
+        c.release(1);
+        assert_eq!(c.pinned_node_count(), 0);
+        c.release(1); // no-op
+        c.release(99); // unknown id: no-op
+    }
+
+    #[test]
+    fn eviction_merges_passthrough_nodes() {
+        let mut c = PrefixCache::new(1_000, 2);
+        c.insert(&toks(&[1, 2, 3, 4, 5, 6]));
+        c.insert(&toks(&[1, 2, 3, 4, 9, 9]));
+        assert_eq!(c.node_count(), 3, "split into head + two tails");
+        // Evict the [9, 9] tail by shrinking the budget via direct LRU
+        // pressure: touch the [5, 6] path, then force eviction.
+        c.lookup_pin(0, &toks(&[1, 2, 3, 4, 5, 6]), 6);
+        c.release(0);
+        c.budget_tokens = 6;
+        c.evict_to_budget();
+        assert_eq!(c.node_count(), 1, "head and surviving tail re-merged");
+        assert_eq!(c.peek(&toks(&[1, 2, 3, 4, 5, 6]), 6), 6);
+        assert_eq!(c.audit_resident_tokens(), c.resident_tokens());
+    }
+
+    #[test]
+    fn lookup_is_deterministic_across_clones() {
+        let mut a = PrefixCache::new(64, 4);
+        for s in 0..6 {
+            a.insert(&stream(s, 12));
+        }
+        let mut b = a.clone();
+        for s in 0..6 {
+            assert_eq!(
+                a.lookup_pin(u64::from(s), &stream(s, 12), 11),
+                b.lookup_pin(u64::from(s), &stream(s, 12), 11)
+            );
+        }
+        assert_eq!(a.stats(), b.stats());
+    }
+}

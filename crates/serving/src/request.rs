@@ -27,6 +27,10 @@ pub struct LiveRequest {
     generated: u32,
     /// Tokens prefilled into KV so far (≤ context length).
     prefilled: u32,
+    /// Prompt tokens whose KV was reused from the cross-request prefix
+    /// cache ([`crate::prefix`]): counted as already prefilled, and their
+    /// blocks are shared with the cache rather than reserved privately.
+    kv_reused: u32,
     /// Current phase.
     pub phase: Phase,
     /// When the first decode iteration started (set once).
@@ -50,6 +54,7 @@ impl LiveRequest {
             tokens,
             generated: 0,
             prefilled: 0,
+            kv_reused: 0,
             phase: Phase::Waiting,
             decode_start_ms: None,
             completion_ms: None,
@@ -88,6 +93,34 @@ impl LiveRequest {
     /// Tokens prefilled so far.
     pub fn prefilled(&self) -> u32 {
         self.prefilled
+    }
+
+    /// Prompt tokens reused from the prefix cache (0 without a hit).
+    pub fn kv_reused(&self) -> u32 {
+        self.kv_reused
+    }
+
+    /// Marks the first `n` context tokens as served by the prefix cache:
+    /// they count as already prefilled (the roofline pass only charges
+    /// the uncached suffix) and [`LiveRequest::kv_need`] stops reserving
+    /// blocks for them. Called once at admission, on a fresh reservation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if prefill already progressed or `n` covers the whole
+    /// context (at least one token must remain to genuinely prefill).
+    pub fn reuse_prefix(&mut self, n: u32) {
+        assert_eq!(self.prefilled, 0, "reuse applies before prefill starts");
+        assert!(n < self.context_len(), "a token of real prefill remains");
+        self.prefilled = n;
+        self.kv_reused = n;
+    }
+
+    /// KV tokens this request must privately reserve to grow its context
+    /// by `extra` tokens: the full context plus `extra`, minus the cached
+    /// prefix shared with the prefix cache.
+    pub fn kv_need(&self, extra: u64) -> u64 {
+        u64::from(self.context_len()) + extra - u64::from(self.kv_reused)
     }
 
     /// Tokens of context still needing prefill before decode can proceed.
@@ -132,11 +165,20 @@ impl LiveRequest {
 
     /// Drops KV state for preemption-by-recomputation (vLLM style): the
     /// request keeps its generated tokens but must re-prefill its whole
-    /// context when re-admitted.
+    /// context when re-admitted. Any prefix-cache reuse is forgotten too
+    /// (re-admission performs a fresh lookup).
     pub fn drop_kv_for_preemption(&mut self) {
         self.prefilled = 0;
+        self.kv_reused = 0;
         self.phase = Phase::Waiting;
         self.preemptions += 1;
+    }
+
+    /// Forgets prefix-cache reuse without losing prefill progress — the
+    /// migration handoff: the decode side receives the *full* context KV,
+    /// so it reserves for (and owns) every token.
+    pub fn clear_kv_reused(&mut self) {
+        self.kv_reused = 0;
     }
 
     /// Decode-time latency so far (the paper's `l_i`): time since the first
@@ -196,6 +238,7 @@ mod tests {
             tpot_slo_ms: 50.0,
             ttft_slo_ms: 1_000.0,
             stream_seed: 7,
+            prefix: None,
         }
     }
 
@@ -264,6 +307,28 @@ mod tests {
         let rec = r.into_record();
         assert_eq!(rec.output_tokens, 4);
         assert!((rec.avg_tpot_ms() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prefix_reuse_skips_prefill_and_shrinks_kv_need() {
+        let mut r = LiveRequest::new(spec());
+        assert_eq!(r.kv_need(1), 9, "full context + 1 without reuse");
+        r.reuse_prefix(6);
+        assert_eq!(r.kv_reused(), 6);
+        assert_eq!(r.prefill_remaining(), 2, "only the suffix prefills");
+        assert_eq!(r.kv_need(1), 3, "cached blocks are shared, not owned");
+        // Preemption forgets the reuse along with the rest of the KV.
+        r.advance_prefill(2);
+        r.drop_kv_for_preemption();
+        assert_eq!(r.kv_reused(), 0);
+        assert_eq!(r.prefill_remaining(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "a token of real prefill remains")]
+    fn reuse_cannot_cover_the_whole_context() {
+        let mut r = LiveRequest::new(spec());
+        r.reuse_prefix(8);
     }
 
     #[test]

@@ -191,6 +191,17 @@ pub trait Deployment {
     /// uses it for admission control ([`DeploymentEvent::Rejected`]).
     fn kv_capacity_tokens(&self) -> u64;
 
+    /// The longest prefix of `spec`'s prompt already resident in any
+    /// replica's cross-request prefix cache, in tokens. The session
+    /// subtracts it from the prompt before the capacity check, so a
+    /// request whose *uncached suffix* fits is admitted even when its
+    /// full prompt would not. Deployments without a prefix cache keep
+    /// the default of 0.
+    fn cached_prefix_tokens(&self, spec: &RequestSpec) -> u32 {
+        let _ = spec;
+        0
+    }
+
     /// Accepts a request at `now_ms` (routing it to a replica's waiting
     /// queue). The session has already applied admission control.
     fn submit(&mut self, spec: RequestSpec, now_ms: f64);
@@ -378,9 +389,19 @@ pub struct RunReport {
 }
 
 impl RunReport {
-    /// The paper-style SLO report over the merged records.
+    /// The paper-style SLO report over the merged records, including
+    /// prefix-cache effectiveness merged across every unit.
     pub fn report(&self) -> SloReport {
-        SloReport::from_records(&self.records)
+        SloReport::from_records(&self.records).with_prefix_stats(&self.merged_hotloop())
+    }
+
+    /// Hot-loop counters merged across every unit (serving and prefill).
+    pub fn merged_hotloop(&self) -> metrics::HotLoopStats {
+        let mut merged = metrics::HotLoopStats::default();
+        for u in &self.units {
+            merged.merge(&u.result.hotloop);
+        }
+        merged
     }
 
     /// Per-serving-replica + merged reports.
@@ -655,7 +676,8 @@ impl<D: Deployment> ServeSession<D> {
                 let spec = self.pending.pop_front().expect("t_arr was finite");
                 if self.admission_control {
                     let capacity = self.deployment.kv_capacity_tokens();
-                    if u64::from(spec.prompt_len) + 1 > capacity {
+                    let cached = self.deployment.cached_prefix_tokens(&spec);
+                    if u64::from(spec.prompt_len.saturating_sub(cached)) + 1 > capacity {
                         let reason = RejectReason::PromptExceedsKv {
                             prompt_tokens: spec.prompt_len,
                             capacity_tokens: capacity,

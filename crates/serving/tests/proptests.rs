@@ -1,7 +1,9 @@
-//! Property tests for the paged KV block manager.
+//! Property tests for the paged KV block manager and the cross-request
+//! prefix cache.
 
 use proptest::prelude::*;
-use serving::BlockManager;
+use serving::{BlockManager, PrefixCache};
+use simllm::TokenId;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -74,5 +76,80 @@ proptest! {
         if blocks > 0 {
             prop_assert!((blocks - 1) * u64::from(block) < tokens);
         }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum CacheOp {
+    Insert { stream: u64, len: usize },
+    LookupPin { id: u64, stream: u64, len: usize },
+    Release { id: u64 },
+}
+
+/// Tiny alphabet ⇒ heavy prefix sharing ⇒ edge splits, merges and LRU
+/// eviction all get exercised.
+fn cache_tokens(stream: u64, len: usize) -> Vec<TokenId> {
+    (0..len)
+        .map(|i| TokenId((((stream >> (i % 8)) & 1) as u32) + 2))
+        .collect()
+}
+
+fn arb_cache_ops() -> impl Strategy<Value = Vec<CacheOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..8, 1usize..40).prop_map(|(stream, len)| CacheOp::Insert { stream, len }),
+            (0u64..6, 0u64..8, 1usize..40).prop_map(|(id, stream, len)| CacheOp::LookupPin {
+                id,
+                stream,
+                len
+            }),
+            (0u64..6).prop_map(|id| CacheOp::Release { id }),
+        ],
+        0..60,
+    )
+}
+
+proptest! {
+    #[test]
+    fn prefix_cache_accounting_and_pins_hold(
+        ops in arb_cache_ops(),
+        budget in 1u64..64,
+        block in 1u32..8,
+    ) {
+        let mut c = PrefixCache::new(budget, block);
+        // Shadow model: what each live pin is entitled to keep reusing.
+        let mut pinned: std::collections::HashMap<u64, (Vec<TokenId>, u32, u32)> =
+            Default::default();
+        for op in ops {
+            match op {
+                CacheOp::Insert { stream, len } => c.insert(&cache_tokens(stream, len)),
+                CacheOp::LookupPin { id, stream, len } => {
+                    let tokens = cache_tokens(stream, len);
+                    let max_reuse = (tokens.len() as u32).saturating_sub(1);
+                    let reused = c.lookup_pin(id, &tokens, max_reuse);
+                    prop_assert!(reused <= max_reuse);
+                    pinned.insert(id, (tokens, max_reuse, reused));
+                }
+                CacheOp::Release { id } => {
+                    c.release(id);
+                    pinned.remove(&id);
+                }
+            }
+            // Token accounting is conserved across splits/merges/evictions.
+            prop_assert_eq!(c.audit_resident_tokens(), c.resident_tokens());
+            // The budget holds unless pins force residency over it.
+            prop_assert!(c.resident_tokens() <= budget || c.pinned_node_count() > 0);
+            // A pinned prefix is never evicted out from under its request.
+            for (tokens, max_reuse, reused) in pinned.values() {
+                prop_assert!(c.peek(tokens, *max_reuse) >= *reused);
+            }
+        }
+        // Releasing every pin makes the whole cache evictable again.
+        for id in 0..6u64 {
+            c.release(id);
+        }
+        prop_assert_eq!(c.pinned_node_count(), 0);
+        c.insert(&cache_tokens(9, 1));
+        prop_assert!(c.resident_tokens() <= budget);
     }
 }

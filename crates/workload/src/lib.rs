@@ -25,10 +25,10 @@ pub mod trace;
 pub use category::{Category, SloSpec};
 pub use dataset::LengthSampler;
 pub use mix::CategoryMix;
-pub use spec::RequestSpec;
+pub use spec::{PrefixSpec, RequestSpec};
 pub use trace::{ArrivalTrace, TraceKind};
 
-use simllm::hash::{combine, seed_stream};
+use simllm::hash::{combine, seed_stream, unit_f64};
 
 /// Resolves the experiment seed: `ADASERVE_SEED` if set, else `default`.
 ///
@@ -116,6 +116,8 @@ pub struct WorkloadBuilder {
     duration_ms: Option<f64>,
     cat1_slo_scale: f64,
     ttft_slo_scale: f64,
+    shared_prefix: Option<(u32, f64)>,
+    multi_turn: Option<(usize, u32)>,
 }
 
 impl WorkloadBuilder {
@@ -130,7 +132,43 @@ impl WorkloadBuilder {
             duration_ms: None,
             cat1_slo_scale: category::CAT1_BASELINE_SCALE,
             ttft_slo_scale: 1.0,
+            shared_prefix: None,
+            multi_turn: None,
         }
+    }
+
+    /// Prepends a shared system prompt of `len` tokens to a `share`
+    /// fraction of requests (sampled per request from the builder seed).
+    ///
+    /// Sharing requests carry a [`PrefixSpec`] with one common seed, so
+    /// their first `len` prompt tokens are byte-identical — the traffic
+    /// shape a cross-request prefix cache exists for. The remaining
+    /// requests (and the sharing requests' suffixes) keep fully private
+    /// token streams. Mutually exclusive with
+    /// [`WorkloadBuilder::multi_turn`].
+    pub fn shared_system_prompt(mut self, len: u32, share: f64) -> Self {
+        assert!(len > 0, "a system prompt has at least one token");
+        assert!((0.0..=1.0).contains(&share), "share is a fraction");
+        self.shared_prefix = Some((len, share));
+        self
+    }
+
+    /// Folds the request stream into `sessions` multi-turn conversations
+    /// whose contexts grow monotonically, capped at `max_context` tokens.
+    ///
+    /// Requests are assigned to sessions round-robin by id. Every turn of
+    /// a session draws its prompt from the *session's* token stream and
+    /// extends the previous turn's prompt (new prompt length = previous
+    /// length + this turn's sampled prompt, clamped to `max_context`), so
+    /// turn *k*'s prompt is literally a prefix of turn *k + 1*'s — the
+    /// multi-turn chat shape. Each turn's [`PrefixSpec`] records the
+    /// previous turn's length as the shared portion. Mutually exclusive
+    /// with [`WorkloadBuilder::shared_system_prompt`].
+    pub fn multi_turn(mut self, sessions: usize, max_context: u32) -> Self {
+        assert!(sessions > 0, "at least one session");
+        assert!(max_context > 0, "a context cap of at least one token");
+        self.multi_turn = Some((sessions, max_context));
+        self
     }
 
     /// Sets the category mix.
@@ -181,6 +219,10 @@ impl WorkloadBuilder {
 
     /// Materializes the workload.
     pub fn build(&self) -> Workload {
+        assert!(
+            self.shared_prefix.is_none() || self.multi_turn.is_none(),
+            "shared_system_prompt and multi_turn are mutually exclusive"
+        );
         // Rescale first, then truncate: the duration then selects how much
         // of the (already target-rate) trace is served, so request counts
         // scale with duration × RPS as in the paper's methodology.
@@ -193,6 +235,10 @@ impl WorkloadBuilder {
         }
         let sampler = LengthSampler::new(seed_stream(self.seed, 2));
         let mut requests = Vec::with_capacity(arrivals.len());
+        // Per-session context length so far (multi-turn generator state).
+        let mut session_ctx: Vec<u32> = self
+            .multi_turn
+            .map_or(Vec::new(), |(sessions, _)| vec![0; sessions]);
         for (i, arrival) in arrivals.arrivals().iter().enumerate() {
             let rid = i as u64;
             let arrival_ms = arrival.time_ms;
@@ -208,6 +254,32 @@ impl WorkloadBuilder {
                 _ => slo.resolve(self.baseline_ms),
             };
             let ttft_slo_ms = category.ttft_slo().resolve(self.baseline_ms) * self.ttft_slo_scale;
+            let mut stream_seed = combine(seed_stream(self.seed, 4), rid);
+            let mut prompt_len = prompt_len;
+            let mut prefix = None;
+            if let Some((sessions, max_context)) = self.multi_turn {
+                let sid = rid % sessions as u64;
+                // One content stream per session: every turn's prompt is
+                // drawn from it, so later turns literally extend earlier
+                // ones (the prefix records the already-seen portion).
+                let session_seed = combine(seed_stream(self.seed, 7), sid);
+                let prev = session_ctx[sid as usize];
+                stream_seed = session_seed;
+                prompt_len = prev.saturating_add(prompt_len).min(max_context).max(1);
+                prefix = Some(PrefixSpec {
+                    seed: session_seed,
+                    len: prev,
+                });
+                session_ctx[sid as usize] = prompt_len;
+            } else if let Some((len, share)) = self.shared_prefix {
+                if unit_f64(combine(seed_stream(self.seed, 5), rid)) < share {
+                    prompt_len = prompt_len.saturating_add(len);
+                    prefix = Some(PrefixSpec {
+                        seed: seed_stream(self.seed, 6),
+                        len,
+                    });
+                }
+            }
             requests.push(RequestSpec {
                 id: rid,
                 category,
@@ -216,7 +288,8 @@ impl WorkloadBuilder {
                 output_len,
                 tpot_slo_ms,
                 ttft_slo_ms,
-                stream_seed: combine(seed_stream(self.seed, 4), rid),
+                stream_seed,
+                prefix,
             });
         }
         Workload {
@@ -310,6 +383,73 @@ mod tests {
             .duration_ms(60_000.0)
             .build();
         assert_eq!(a.requests, b.requests);
+    }
+
+    #[test]
+    fn shared_system_prompt_marks_a_share_of_requests() {
+        let w = WorkloadBuilder::new(7, 25.0)
+            .target_rps(10.0)
+            .duration_ms(120_000.0)
+            .shared_system_prompt(64, 0.7)
+            .build();
+        let shared: Vec<&RequestSpec> = w.requests.iter().filter(|r| r.prefix.is_some()).collect();
+        let frac = shared.len() as f64 / w.requests.len() as f64;
+        assert!((frac - 0.7).abs() < 0.1, "share = {frac}");
+        // Every sharing request agrees on the first 64 prompt tokens.
+        let head = shared[0].prompt_tokens()[..64].to_vec();
+        for r in &shared {
+            assert_eq!(r.shared_prefix_len(), 64);
+            assert_eq!(r.prompt_tokens()[..64], head[..]);
+        }
+        // Non-sharing requests do not accidentally carry the prefix.
+        let private = w.requests.iter().find(|r| r.prefix.is_none()).unwrap();
+        assert_ne!(private.prompt_tokens()[..8], head[..8]);
+    }
+
+    #[test]
+    fn multi_turn_sessions_grow_monotonic_shared_prefixes() {
+        let w = WorkloadBuilder::new(7, 25.0)
+            .target_rps(4.0)
+            .duration_ms(60_000.0)
+            .multi_turn(4, 100_000)
+            .build();
+        assert!(w.requests.len() >= 16, "enough turns to exercise sessions");
+        let mut last: std::collections::HashMap<u64, (u32, Vec<simllm::TokenId>)> =
+            std::collections::HashMap::new();
+        for r in &w.requests {
+            let sid = r.id % 4;
+            let tokens = r.prompt_tokens();
+            if let Some((prev_len, prev_tokens)) = last.get(&sid) {
+                assert!(
+                    r.prompt_len > *prev_len,
+                    "session {sid} context grows every turn"
+                );
+                assert_eq!(
+                    r.shared_prefix_len(),
+                    *prev_len,
+                    "prefix records the already-seen portion"
+                );
+                assert_eq!(
+                    &tokens[..*prev_len as usize],
+                    &prev_tokens[..],
+                    "turn k's prompt is a prefix of turn k+1's"
+                );
+            } else {
+                assert_eq!(r.shared_prefix_len(), 0, "first turn shares nothing");
+            }
+            last.insert(sid, (r.prompt_len, tokens));
+        }
+    }
+
+    #[test]
+    fn multi_turn_context_clamps_at_cap() {
+        let w = WorkloadBuilder::new(7, 25.0)
+            .target_rps(8.0)
+            .duration_ms(120_000.0)
+            .multi_turn(1, 500)
+            .build();
+        assert!(w.requests.iter().all(|r| r.prompt_len <= 500));
+        assert_eq!(w.requests.last().unwrap().prompt_len, 500, "cap reached");
     }
 
     #[test]

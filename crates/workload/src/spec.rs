@@ -2,6 +2,24 @@
 
 use crate::category::Category;
 
+/// A shared token prefix carried by a request.
+///
+/// Requests whose `prefix` fields agree on `seed` share the first
+/// `min(len, prompt_len)` prompt tokens *byte for byte* — the prefix
+/// portion of [`RequestSpec::prompt_tokens`] is derived from `seed`
+/// instead of the request's private `stream_seed`. This is how the
+/// workload generators model shared system prompts (many requests, one
+/// prefix seed) and multi-turn sessions (one seed per session, `len`
+/// growing turn over turn), giving a cross-request prefix cache real
+/// structure to hit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrefixSpec {
+    /// Seed of the shared prefix's content stream.
+    pub seed: u64,
+    /// Length of the shared prefix in tokens (clamped to `prompt_len`).
+    pub len: u32,
+}
+
 /// Everything known about a request before it is served.
 ///
 /// All fields are fixed at workload-generation time, so every engine serves
@@ -25,18 +43,43 @@ pub struct RequestSpec {
     pub ttft_slo_ms: f64,
     /// Seed of the request's content stream (drives the synthetic LM).
     pub stream_seed: u64,
+    /// Shared-prefix membership, if any. `None` (the default everywhere
+    /// a generator does not opt in) derives every prompt token from
+    /// `stream_seed`, reproducing the historical token stream exactly.
+    pub prefix: Option<PrefixSpec>,
+}
+
+/// Derives prompt token `i` of the stream seeded by `seed`.
+fn prompt_token(seed: u64, i: u64) -> simllm::TokenId {
+    let h = simllm::hash::seed_stream(seed ^ 0x9907_7F00, i);
+    // Skip the reserved special ids.
+    simllm::TokenId((h % 120_000) as u32 + 2)
 }
 
 impl RequestSpec {
     /// The prompt token sequence (derived deterministically from the seed).
+    ///
+    /// Token `i` comes from the shared prefix stream while
+    /// `i < prefix.len`, and from the request's own `stream_seed` (at the
+    /// same index `i`) past it, so two requests sharing a [`PrefixSpec`]
+    /// agree exactly on the prefix and diverge immediately after.
     pub fn prompt_tokens(&self) -> Vec<simllm::TokenId> {
         let mut tokens = Vec::with_capacity(self.prompt_len as usize);
+        let shared = self.shared_prefix_len();
         for i in 0..u64::from(self.prompt_len) {
-            let h = simllm::hash::seed_stream(self.stream_seed ^ 0x9907_7F00, i);
-            // Skip the reserved special ids.
-            tokens.push(simllm::TokenId((h % 120_000) as u32 + 2));
+            let seed = match self.prefix {
+                Some(p) if i < u64::from(shared) => p.seed,
+                _ => self.stream_seed,
+            };
+            tokens.push(prompt_token(seed, i));
         }
         tokens
+    }
+
+    /// Shared-prefix length in tokens (0 without a [`PrefixSpec`]),
+    /// clamped to the prompt length.
+    pub fn shared_prefix_len(&self) -> u32 {
+        self.prefix.map_or(0, |p| p.len.min(self.prompt_len))
     }
 
     /// Total tokens (prompt + output) this request will occupy in KV cache.
@@ -59,6 +102,7 @@ mod tests {
             tpot_slo_ms: 50.0,
             ttft_slo_ms: 1_200.0,
             stream_seed: 99,
+            prefix: None,
         }
     }
 
@@ -70,6 +114,40 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a.len(), 16);
         assert!(a.iter().all(|t| t.0 >= 2));
+    }
+
+    #[test]
+    fn shared_prefix_agrees_across_requests_and_diverges_after() {
+        let p = PrefixSpec { seed: 7, len: 10 };
+        let mut a = spec();
+        let mut b = spec();
+        a.stream_seed = 1;
+        b.stream_seed = 2;
+        a.prefix = Some(p);
+        b.prefix = Some(p);
+        let ta = a.prompt_tokens();
+        let tb = b.prompt_tokens();
+        assert_eq!(ta[..10], tb[..10], "prefix tokens are shared");
+        assert_ne!(ta[10..], tb[10..], "suffixes come from private streams");
+    }
+
+    #[test]
+    fn zero_length_prefix_matches_no_prefix() {
+        let mut a = spec();
+        a.prefix = Some(PrefixSpec { seed: 7, len: 0 });
+        assert_eq!(a.prompt_tokens(), spec().prompt_tokens());
+        assert_eq!(a.shared_prefix_len(), 0);
+    }
+
+    #[test]
+    fn prefix_len_is_clamped_to_prompt_len() {
+        let mut a = spec();
+        a.prefix = Some(PrefixSpec { seed: 7, len: 999 });
+        assert_eq!(a.shared_prefix_len(), 16);
+        let mut b = spec();
+        b.stream_seed = 12345;
+        b.prefix = a.prefix;
+        assert_eq!(a.prompt_tokens(), b.prompt_tokens(), "fully shared prompt");
     }
 
     #[test]

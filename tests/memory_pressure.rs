@@ -19,6 +19,7 @@ fn pressure_workload(n: u64) -> Workload {
             tpot_slo_ms: 50.0,
             ttft_slo_ms: 1_000.0,
             stream_seed: id ^ 0x77,
+            prefix: None,
         })
         .collect();
     Workload {
@@ -91,6 +92,7 @@ fn single_oversized_request_fits_or_errors_cleanly() {
             tpot_slo_ms: 150.0,
             ttft_slo_ms: 1_000.0,
             stream_seed: 1,
+            prefix: None,
         }],
         description: "oversized".into(),
     };

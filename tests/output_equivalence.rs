@@ -51,6 +51,7 @@ fn adaserve_output_equals_autoregressive_reference() {
             tpot_slo_ms: 50.0,
             ttft_slo_ms: 1_000.0,
             stream_seed: 0xBEEF ^ id,
+            prefix: None,
         })
         .collect();
     let references: Vec<Vec<TokenId>> = specs
@@ -431,5 +432,81 @@ mod front_door_equivalence {
         .expect("colocated run");
         assert_eq!(as_cluster.records, as_colocated.records);
         assert_eq!(as_cluster.report(), as_colocated.report());
+    }
+}
+
+mod prefix_cache_equivalence {
+    use adaserve::core::AdaServeEngine;
+    use adaserve::metrics::RequestRecord;
+    use adaserve::serving::{Colocated, RunReport, ServeSession, SystemConfig};
+    use adaserve::workload::{Workload, WorkloadBuilder};
+
+    fn serve(config: SystemConfig, wl: &Workload) -> RunReport {
+        ServeSession::new(Colocated::new(Box::new(AdaServeEngine::new(config))))
+            .serve(wl)
+            .expect("run completes")
+    }
+
+    fn by_id(mut records: Vec<RequestRecord>) -> Vec<RequestRecord> {
+        records.sort_by_key(|r| r.id);
+        records
+    }
+
+    #[test]
+    fn cache_is_invisible_on_disjoint_traffic() {
+        // Requests with unrelated prompts must serve record-identically
+        // with the prefix cache on or off: sub-block accidental matches
+        // are not hits, so the cache can never perturb latencies.
+        let baseline_ms = SystemConfig::llama70b(5).baseline_ms;
+        let wl = WorkloadBuilder::new(11, baseline_ms)
+            .target_rps(3.0)
+            .duration_ms(10_000.0)
+            .build();
+        let off = serve(SystemConfig::llama70b(5), &wl);
+        let on = serve(SystemConfig::llama70b(5).with_prefix_cache(1 << 20), &wl);
+        assert_eq!(off.records, on.records, "record-identical serving");
+        let hl = on.merged_hotloop();
+        assert_eq!(hl.prefix_hits, 0, "disjoint prompts never hit");
+        assert!(hl.prefix_lookups > 0, "the cache was actually consulted");
+    }
+
+    #[test]
+    fn shared_prompts_hit_without_changing_outputs() {
+        // A shared system prompt makes the cache hit; generated outputs
+        // are a pure function of the token stream, so per-request output
+        // counts are unchanged — only timing improves.
+        let baseline_ms = SystemConfig::llama70b(5).baseline_ms;
+        let wl = WorkloadBuilder::new(12, baseline_ms)
+            .target_rps(4.0)
+            .duration_ms(10_000.0)
+            .shared_system_prompt(512, 0.9)
+            .build();
+        let off = serve(SystemConfig::llama70b(5), &wl);
+        let on = serve(SystemConfig::llama70b(5).with_prefix_cache(1 << 20), &wl);
+
+        let hl = on.merged_hotloop();
+        assert!(hl.prefix_hits > 0, "shared prompts hit the cache");
+        assert!(hl.prefill_tokens_saved > 0);
+        assert!(
+            on.report().prefix_hit_rate_pct > 0.0,
+            "surfaced on the report"
+        );
+
+        let off_outputs: Vec<(u64, u32)> = by_id(off.records.clone())
+            .iter()
+            .map(|r| (r.id, r.output_tokens))
+            .collect();
+        let on_outputs: Vec<(u64, u32)> = by_id(on.records.clone())
+            .iter()
+            .map(|r| (r.id, r.output_tokens))
+            .collect();
+        assert_eq!(off_outputs, on_outputs, "outputs unchanged by caching");
+
+        assert!(
+            on.report().mean_ttft_ms <= off.report().mean_ttft_ms,
+            "skipped prefill cannot worsen mean TTFT (on {} vs off {})",
+            on.report().mean_ttft_ms,
+            off.report().mean_ttft_ms
+        );
     }
 }
