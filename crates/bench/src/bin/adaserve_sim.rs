@@ -11,7 +11,8 @@
 //! adaserve_sim --list-engines
 //! ```
 
-use adaserve_bench::{is_smoke, run_one, seed, BenchSummary, EngineKind, ModelSetup};
+use adaserve_bench::{is_smoke, seed, serve_one_traced, BenchSummary, EngineKind, ModelSetup};
+use metrics::telemetry::{perfetto, Tracer};
 use metrics::Table;
 use workload::{CategoryMix, TraceKind, WorkloadBuilder};
 
@@ -27,14 +28,16 @@ struct Args {
     seed: u64,
     csv: bool,
     json_out: Option<std::path::PathBuf>,
+    trace_out: Option<std::path::PathBuf>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: adaserve_sim [--engine NAME] [--model llama70b|qwen32b] [--rps F]\n\
          \t[--urgent F] [--slo-scale F] [--duration-s F] [--trace real|synthetic|poisson]\n\
-         \t[--seed N] [--csv] [--json-out PATH] [--list-engines]\n\
+         \t[--seed N] [--csv] [--json-out PATH] [--trace-out PATH] [--list-engines]\n\
          seed defaults to ADASERVE_SEED when set;\n\
+         --trace-out writes a Chrome-trace/Perfetto JSON of the run;\n\
          engines: adaserve, vllm, sarathi, vllm-spec:<k>, priority, fastserve, vtc,\n\
          \tadaserve-static, adaserve-noslo"
     );
@@ -53,6 +56,7 @@ fn parse_args() -> Args {
         seed: seed(),
         csv: false,
         json_out: None,
+        trace_out: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -94,6 +98,7 @@ fn parse_args() -> Args {
             "--seed" => args.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--csv" => args.csv = true,
             "--json-out" => args.json_out = Some(std::path::PathBuf::from(value(&mut i))),
+            "--trace-out" => args.trace_out = Some(std::path::PathBuf::from(value(&mut i))),
             "--list-engines" => {
                 println!(
                     "adaserve vllm sarathi vllm-spec:<k> priority fastserve vtc \
@@ -160,7 +165,13 @@ fn main() {
     eprintln!("model:    {}", args.model.name());
     eprintln!("workload: {}", workload.description);
 
-    let result = run_one(kind, args.model, args.seed, &workload);
+    let tracer = if args.trace_out.is_some() {
+        Tracer::on()
+    } else {
+        Tracer::off()
+    };
+    let engine = kind.build(args.model.config(args.seed));
+    let result = serve_one_traced(engine, &workload, tracer.clone());
     let report = result.report();
 
     let mut table = Table::new(vec!["metric", "value"]);
@@ -209,6 +220,11 @@ fn main() {
         println!("{}", table.render());
     }
 
+    if let Some(path) = args.trace_out {
+        let events = tracer.snapshot();
+        perfetto::export_to_file(&path, &events).expect("write perfetto trace");
+        eprintln!("wrote {} ({} trace events)", path.display(), events.len());
+    }
     if let Some(path) = args.json_out {
         let mut summary = BenchSummary::new(
             "adaserve_sim",

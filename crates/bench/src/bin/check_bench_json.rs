@@ -14,7 +14,14 @@
 //!   every cache-on row over shared-prefix traffic must report a hit rate
 //!   of at least [`HIT_RATE_FLOOR_PCT`], and no cache-on row may have a
 //!   worse p50 TTFT than its cache-off twin beyond
-//!   [`TTFT_NOISE_FACTOR`].
+//!   [`TTFT_NOISE_FACTOR`];
+//! * attribution artifacts (`"kind": "attribution"`, from
+//!   `fig_slo_attribution`) — every row with requests must report phase
+//!   shares summing to ~100%;
+//! * perf artifacts (`"kind": "perf"`, from `perf_report`) — a disabled
+//!   tracer must stay free: the `tracer=off` row's wall-clock may not
+//!   exceed the base colocated row's by more than
+//!   [`TRACER_OVERHEAD_FACTOR`].
 //!
 //! ```sh
 //! cargo run -p adaserve-bench --bin check_bench_json -- BENCH_foo.json [...]
@@ -134,6 +141,90 @@ fn prefix_gate(doc: &Json) -> Vec<String> {
     errors
 }
 
+/// Tolerated share-sum deviation from 100% on an attribution row
+/// (percentage points). Each request's shares sum to exactly 100 and the
+/// pooled mean preserves that; anything past rounding noise means the
+/// decomposition dropped or double-counted a phase.
+const SHARE_SUM_TOLERANCE_PCT: f64 = 0.5;
+
+/// Applies the attribution-artifact gate: every row with requests must
+/// report phase shares summing to ~100%. Returns the violations found
+/// (empty when the artifact is not an attribution artifact).
+fn attribution_gate(doc: &Json) -> Vec<String> {
+    if doc.get("kind").and_then(Json::as_str) != Some("attribution") {
+        return Vec::new();
+    }
+    let Some(rows) = doc.get("rows").and_then(Json::as_arr) else {
+        return Vec::new();
+    };
+    let mut errors = Vec::new();
+    for row in rows {
+        let label = row.get("label").and_then(Json::as_str).unwrap_or("?");
+        let tier = row.get("tier").and_then(Json::as_str).unwrap_or("?");
+        if row.get("requests").and_then(Json::as_num) == Some(0.0) {
+            continue;
+        }
+        let sum: f64 = [
+            "queueing_pct",
+            "prefill_pct",
+            "transfer_pct",
+            "decode_pct",
+            "preemption_pct",
+        ]
+        .iter()
+        .filter_map(|k| row.get(k).and_then(Json::as_num))
+        .sum();
+        if (sum - 100.0).abs() > SHARE_SUM_TOLERANCE_PCT {
+            errors.push(format!(
+                "{label} tier={tier}: phase shares sum to {sum:.2}% (expected 100 ± \
+                 {SHARE_SUM_TOLERANCE_PCT}) — the attribution dropped or double-counted a phase"
+            ));
+        }
+    }
+    errors
+}
+
+/// Tolerated wall-clock ratio of the explicit `tracer=off` perf row over
+/// its base colocated row. Both run the identical hot loop — a disabled
+/// tracer is one branch per iteration — so the pair must land within
+/// timer noise; a real regression (the tracer doing work while disabled)
+/// reads far past 2%.
+const TRACER_OVERHEAD_FACTOR: f64 = 1.02;
+
+/// Applies the perf-artifact tracer gate: the row labelled `tracer=off`
+/// may not be slower than the base colocated row beyond
+/// [`TRACER_OVERHEAD_FACTOR`]. Returns the violations found (empty when
+/// the artifact is not a perf artifact or lacks the row pair).
+fn tracer_gate(doc: &Json) -> Vec<String> {
+    if doc.get("kind").and_then(Json::as_str) != Some("perf") {
+        return Vec::new();
+    }
+    let Some(rows) = doc.get("rows").and_then(Json::as_arr) else {
+        return Vec::new();
+    };
+    let wall = |pred: &dyn Fn(&str) -> bool| {
+        rows.iter()
+            .find(|r| {
+                r.get("label")
+                    .and_then(Json::as_str)
+                    .is_some_and(|l| l.starts_with("colocated") && pred(l))
+            })
+            .and_then(|r| r.get("wall_ms").and_then(Json::as_num))
+    };
+    let base = wall(&|l| !l.contains("tracer="));
+    let off = wall(&|l| l.contains("tracer=off"));
+    let mut errors = Vec::new();
+    if let (Some(base), Some(off)) = (base, off) {
+        if off > base * TRACER_OVERHEAD_FACTOR {
+            errors.push(format!(
+                "tracer=off row wall-clock {off:.1} ms exceeds base colocated \
+                 {base:.1} ms × {TRACER_OVERHEAD_FACTOR} — the disabled tracer is not free"
+            ));
+        }
+    }
+    errors
+}
+
 fn main() {
     let paths: Vec<String> = std::env::args().skip(1).collect();
     if paths.is_empty() {
@@ -163,6 +254,8 @@ fn main() {
             Ok(()) => {
                 let mut gate_errors = fleet_gate(&doc);
                 gate_errors.extend(prefix_gate(&doc));
+                gate_errors.extend(attribution_gate(&doc));
+                gate_errors.extend(tracer_gate(&doc));
                 if gate_errors.is_empty() {
                     let rows = doc
                         .get("rows")

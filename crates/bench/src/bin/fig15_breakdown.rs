@@ -18,6 +18,7 @@ fn main() {
         "Speculation (GPU) %",
         "Verification (GPU) %",
         "Prefill (GPU) %",
+        "KV transfer %",
         "Scheduling total (ms)",
     ]);
     for setup in ModelSetup::ALL {
@@ -29,13 +30,14 @@ fn main() {
             .build();
         let result = run_one(EngineKind::AdaServe, setup, seed(), &workload);
         let b = result.breakdown;
-        let (sched, spec, verify, prefill) = b.shares_pct();
+        let (sched, spec, verify, prefill, kv_transfer) = b.shares_pct();
         table.row(vec![
             setup.name().to_string(),
             format!("{sched:.2}"),
             format!("{spec:.1}"),
             format!("{verify:.1}"),
             format!("{prefill:.1}"),
+            format!("{kv_transfer:.1}"),
             format!("{:.1}", b.scheduling_ms),
         ]);
     }

@@ -9,11 +9,13 @@
 //! schema-checks `BENCH_perf.json` on every push, so a PR that slows the
 //! hot loop changes a tracked artifact instead of slipping by.
 //!
-//! Rows: a colocated AdaServe engine, and a 4-replica cluster stepped
-//! under the resolved [`serving::ExecMode`] (`ADASERVE_EXEC`-overridable,
-//! sharded by default) and sequentially — the cluster pair is the
-//! executor's tracked win and stays record-for-record identical (see
-//! `tests/output_equivalence.rs`).
+//! Rows: a colocated AdaServe engine (plus an explicit `tracer=off` twin
+//! the CI tracer gate compares against it, and an informational
+//! `tracer=on` row pricing live event recording), and a 4-replica
+//! cluster stepped under the resolved [`serving::ExecMode`]
+//! (`ADASERVE_EXEC`-overridable, sharded by default) and sequentially —
+//! the cluster pair is the executor's tracked win and stays
+//! record-for-record identical (see `tests/output_equivalence.rs`).
 //!
 //! Methodology: every configuration gets one unmeasured warmup run, then
 //! the cluster pair is timed in interleaved rounds keeping each side's
@@ -29,6 +31,7 @@
 use adaserve_bench::{PerfRow, PerfSummary};
 use adaserve_core::AdaServeEngine;
 use cluster::{Cluster, RouterKind};
+use metrics::telemetry::Tracer;
 use metrics::HotLoopStats;
 use serving::{
     Colocated, Deployment, ExecMode, RunReport, ServeSession, ServingEngine, SystemConfig,
@@ -47,22 +50,33 @@ fn engines(n: usize, seed: u64) -> Vec<Box<dyn ServingEngine>> {
         .collect()
 }
 
-/// Serves `wl` on `deployment`, returning the report and the wall time.
-fn timed<D: Deployment>(deployment: D, wl: &Workload) -> (RunReport, f64) {
+/// Serves `wl` through a pre-built session, returning the report and the
+/// wall time.
+fn timed_session<D: Deployment>(mut session: ServeSession<D>, wl: &Workload) -> (RunReport, f64) {
     let start = Instant::now();
-    let report = ServeSession::new(deployment)
-        .serve(wl)
-        .expect("perf run completes");
+    let report = session.serve(wl).expect("perf run completes");
     (report, start.elapsed().as_secs_f64() * 1e3)
 }
 
-/// One warmup run then best-of-[`TRIALS`] for a single configuration.
-fn timed_best<D: Deployment, F: Fn() -> D>(build: F, wl: &Workload) -> (RunReport, f64) {
-    let _ = timed(build(), wl);
+/// Serves `wl` on `deployment`, returning the report and the wall time.
+fn timed<D: Deployment>(deployment: D, wl: &Workload) -> (RunReport, f64) {
+    timed_session(ServeSession::new(deployment), wl)
+}
+
+/// One warmup run then best-of-[`TRIALS`] for a single configuration;
+/// `session` wraps each freshly-built deployment (e.g. to install a
+/// tracer).
+fn timed_best<D, F, S>(build: F, wl: &Workload, session: S) -> (RunReport, f64)
+where
+    D: Deployment,
+    F: Fn() -> D,
+    S: Fn(D) -> ServeSession<D>,
+{
+    let _ = timed_session(session(build()), wl);
     let mut best = f64::INFINITY;
     let mut kept = None;
     for _ in 0..TRIALS {
-        let (report, wall) = timed(build(), wl);
+        let (report, wall) = timed_session(session(build()), wl);
         best = best.min(wall);
         kept = Some(report);
     }
@@ -81,7 +95,7 @@ fn row(label: &str, report: &RunReport, wall_ms: f64) -> PerfRow {
         hotloop.merge(&u.result.hotloop);
         breakdown.merge(&u.result.breakdown);
     }
-    let (scheduling_share_pct, _, _, _) = breakdown.shares_pct();
+    let (scheduling_share_pct, _, _, _, _) = breakdown.shares_pct();
     let wall_s = (wall_ms / 1e3).max(1e-9);
     PerfRow {
         label: label.to_string(),
@@ -121,13 +135,64 @@ fn main() {
     );
     let mut summary = PerfSummary::new("perf_report", mode, seed, duration_ms);
 
-    let (report, wall_ms) = timed_best(
-        || Colocated::new(Box::new(AdaServeEngine::new(config.clone()))),
+    // The base colocated row and its explicit tracer=off twin are timed
+    // in interleaved rounds (like the cluster pair below): the
+    // check_bench_json tracer gate compares the two wall-clocks, so
+    // drift and cold-start bias must hit both sides equally. A disabled
+    // tracer is one branch per iteration, so the twin must land within
+    // timer noise of the base row.
+    let colocated = || Colocated::new(Box::new(AdaServeEngine::new(config.clone())));
+    let _ = timed(colocated(), &wl);
+    let _ = timed_session(
+        ServeSession::new(colocated()).with_tracer(Tracer::off()),
         &wl,
     );
-    summary
-        .rows
-        .push(row(&format!("colocated rps={rps}"), &report, wall_ms));
+    let (mut base_best, mut off_best) = (f64::INFINITY, f64::INFINITY);
+    let (mut base_report, mut off_report) = (None, None);
+    for _ in 0..TRIALS {
+        let (report, wall) = timed(colocated(), &wl);
+        base_best = base_best.min(wall);
+        base_report = Some(report);
+        let (report, wall) = timed_session(
+            ServeSession::new(colocated()).with_tracer(Tracer::off()),
+            &wl,
+        );
+        off_best = off_best.min(wall);
+        off_report = Some(report);
+    }
+    let (base_report, off_report) = (
+        base_report.expect("trials ran"),
+        off_report.expect("trials ran"),
+    );
+    summary.rows.push(row(
+        &format!("colocated rps={rps}"),
+        &base_report,
+        base_best,
+    ));
+    summary.rows.push(row(
+        &format!("colocated tracer=off rps={rps}"),
+        &off_report,
+        off_best,
+    ));
+    assert_eq!(
+        base_report.records, off_report.records,
+        "a disabled tracer must not change the served records"
+    );
+
+    // Informational: the same run with the ring tracer live (ungated —
+    // recording genuinely costs something; the artifact tracks how much).
+    let (on_report, on_best) = timed_best(colocated, &wl, |d| {
+        ServeSession::new(d).with_tracer(Tracer::on())
+    });
+    summary.rows.push(row(
+        &format!("colocated tracer=on rps={rps}"),
+        &on_report,
+        on_best,
+    ));
+    assert_eq!(
+        base_report.records, on_report.records,
+        "a live tracer must not change the served records"
+    );
 
     // Heavier aggregate traffic for the fleet rows so every replica works.
     let fleet_wl = WorkloadBuilder::new(seed ^ 0xF1EE7, baseline_ms)

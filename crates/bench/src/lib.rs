@@ -16,8 +16,8 @@ pub mod json;
 pub mod summary;
 
 pub use summary::{
-    BenchRow, BenchSummary, FleetRow, FleetSummary, PerfRow, PerfSummary, PrefixRow, PrefixSummary,
-    TierSummary,
+    AttributionRow, AttributionSummary, BenchRow, BenchSummary, FleetRow, FleetSummary, PerfRow,
+    PerfSummary, PrefixRow, PrefixSummary, TierSummary,
 };
 
 use adaserve_core::{AdaServeEngine, AdaServeOptions};
@@ -196,8 +196,21 @@ pub fn run_one(kind: EngineKind, setup: ModelSetup, seed: u64, workload: &Worklo
 /// report back into the single-engine [`RunResult`] the figure binaries
 /// tabulate.
 pub fn serve_one(engine: Box<dyn ServingEngine>, workload: &Workload) -> RunResult {
+    serve_one_traced(engine, workload, metrics::telemetry::Tracer::off())
+}
+
+/// [`serve_one`] with a trace sink installed on the session — the
+/// `--trace-out` path of the CLI binaries. A disabled tracer reproduces
+/// [`serve_one`] exactly (records are tracer-invariant; see
+/// `tests/output_equivalence.rs`).
+pub fn serve_one_traced(
+    engine: Box<dyn ServingEngine>,
+    workload: &Workload,
+    tracer: metrics::telemetry::Tracer,
+) -> RunResult {
     let name = engine.name();
     let report = ServeSession::with_options(Colocated::new(engine), RunOptions::default())
+        .with_tracer(tracer)
         .serve(workload)
         .unwrap_or_else(|e| panic!("{name} failed: {e}"));
     expect_no_rejections(&name, &report);
@@ -318,7 +331,8 @@ pub fn exec_mode() -> serving::ExecMode {
 }
 
 /// Rejects anything but the shared sweep flags (`--quick`,
-/// `--duration-s F`, `--json-out PATH`), before any simulation runs.
+/// `--duration-s F`, `--json-out PATH`, `--trace-out PATH`), before any
+/// simulation runs.
 ///
 /// `binary` names the caller in the usage line. Exits with status 2 on an
 /// unknown flag.
@@ -328,10 +342,14 @@ pub fn check_sweep_args(binary: &str) {
     while i < argv.len() {
         match argv[i].as_str() {
             "--quick" => {}
-            "--duration-s" | "--json-out" => i += 1, // value consumed by its parser
+            // value consumed by its parser
+            "--duration-s" | "--json-out" | "--trace-out" => i += 1,
             other => {
                 eprintln!("unknown flag {other}");
-                eprintln!("usage: {binary} [--quick] [--duration-s F] [--json-out PATH]");
+                eprintln!(
+                    "usage: {binary} [--quick] [--duration-s F] [--json-out PATH] \
+                     [--trace-out PATH]"
+                );
                 std::process::exit(2);
             }
         }
@@ -364,6 +382,23 @@ pub fn parse_json_out() -> Option<std::path::PathBuf> {
             Some(path) => std::path::PathBuf::from(path),
             None => {
                 eprintln!("--json-out requires a path");
+                std::process::exit(2);
+            }
+        })
+}
+
+/// Parses the shared `--trace-out PATH` flag: where to write the run's
+/// Perfetto/Chrome-trace JSON (see `metrics::telemetry::perfetto`), if
+/// anywhere. Binaries that honour it turn the tracer on only when the
+/// flag is present, so the default bench path stays trace-free.
+pub fn parse_trace_out() -> Option<std::path::PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--trace-out")
+        .map(|i| match args.get(i + 1) {
+            Some(path) => std::path::PathBuf::from(path),
+            None => {
+                eprintln!("--trace-out requires a path");
                 std::process::exit(2);
             }
         })

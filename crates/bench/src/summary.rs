@@ -672,6 +672,230 @@ impl PrefixSummary {
     }
 }
 
+/// One SLO-attribution measurement (an [`AttributionSummary`] row): one
+/// SLO tier at one sweep point, with the violating requests' overshoot
+/// decomposed into phase shares (see
+/// `metrics::telemetry::SloAttribution`). Shares sum to ~100 for any row
+/// with requests; `dominant` names the largest phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributionRow {
+    /// Sweep-point label shared by the point's tier rows, e.g.
+    /// `"rps=3.0"`.
+    pub label: String,
+    /// Offered load at this sweep point, requests/s.
+    pub rps: f64,
+    /// SLO tier label (`coding`, `chatbot`, `summarize`, or `all`).
+    pub tier: String,
+    /// Finished requests in the tier.
+    pub requests: usize,
+    /// Requests that violated their TTFT or TPOT SLO.
+    pub violations: usize,
+    /// Queueing share of the pooled latency, percent.
+    pub queueing_pct: f64,
+    /// Prefill share, percent.
+    pub prefill_pct: f64,
+    /// KV-transfer share, percent.
+    pub transfer_pct: f64,
+    /// Decode share, percent.
+    pub decode_pct: f64,
+    /// Preemption share, percent.
+    pub preemption_pct: f64,
+    /// Phase with the largest share.
+    pub dominant: String,
+    /// True when the tier had zero violations and the shares pool all
+    /// requests instead of just violators.
+    pub fallback_all_requests: bool,
+}
+
+impl AttributionRow {
+    /// Builds a row from one tier's pooled attribution at a sweep point.
+    pub fn from_tier(
+        label: impl Into<String>,
+        rps: f64,
+        tier: &metrics::telemetry::TierAttribution,
+    ) -> Self {
+        Self {
+            label: label.into(),
+            rps,
+            tier: tier.tier.clone(),
+            requests: tier.requests,
+            violations: tier.violations,
+            queueing_pct: tier.queueing_pct,
+            prefill_pct: tier.prefill_pct,
+            transfer_pct: tier.transfer_pct,
+            decode_pct: tier.decode_pct,
+            preemption_pct: tier.preemption_pct,
+            dominant: tier.dominant.clone(),
+            fallback_all_requests: tier.fallback_all_requests,
+        }
+    }
+}
+
+/// A machine-readable SLO-attribution artifact
+/// (`BENCH_attribution.json`): per-tier phase decomposition of SLO
+/// overshoot across an RPS sweep.
+///
+/// Distinguished by `"kind": "attribution"`; [`validate`] dispatches on
+/// that key so the artifact flows through the same `check_bench_json` CI
+/// gate as the other families (which additionally checks that each row's
+/// shares sum to ~100).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributionSummary {
+    /// Emitting binary (e.g. `"fig_slo_attribution"`).
+    pub name: String,
+    /// `"smoke"` (CI-sized) or `"full"`.
+    pub mode: String,
+    /// The experiment seed the run used.
+    pub seed: u64,
+    /// Simulated duration per sweep point, ms.
+    pub duration_ms: f64,
+    /// Measurements, grouped by sweep point then tier.
+    pub rows: Vec<AttributionRow>,
+}
+
+impl AttributionSummary {
+    /// Creates an empty attribution summary; `mode` must be `"smoke"` or
+    /// `"full"`.
+    pub fn new(
+        name: impl Into<String>,
+        mode: impl Into<String>,
+        seed: u64,
+        duration_ms: f64,
+    ) -> Self {
+        let mode = mode.into();
+        assert!(
+            mode == "smoke" || mode == "full",
+            "mode must be smoke|full, got {mode:?}"
+        );
+        Self {
+            name: name.into(),
+            mode,
+            seed,
+            duration_ms,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Lowers the summary to a JSON value.
+    pub fn to_json(&self) -> Json {
+        let mut top = BTreeMap::new();
+        top.insert(
+            "schema_version".into(),
+            Json::Num(f64::from(SCHEMA_VERSION)),
+        );
+        top.insert("kind".into(), Json::Str("attribution".into()));
+        top.insert("name".into(), Json::Str(self.name.clone()));
+        top.insert("mode".into(), Json::Str(self.mode.clone()));
+        top.insert("seed".into(), Json::Int(self.seed));
+        top.insert("duration_ms".into(), Json::Num(self.duration_ms));
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| {
+                let mut m = BTreeMap::new();
+                m.insert("label".into(), Json::Str(row.label.clone()));
+                m.insert("rps".into(), Json::Num(row.rps));
+                m.insert("tier".into(), Json::Str(row.tier.clone()));
+                m.insert("requests".into(), Json::Num(row.requests as f64));
+                m.insert("violations".into(), Json::Num(row.violations as f64));
+                m.insert("queueing_pct".into(), Json::Num(row.queueing_pct));
+                m.insert("prefill_pct".into(), Json::Num(row.prefill_pct));
+                m.insert("transfer_pct".into(), Json::Num(row.transfer_pct));
+                m.insert("decode_pct".into(), Json::Num(row.decode_pct));
+                m.insert("preemption_pct".into(), Json::Num(row.preemption_pct));
+                m.insert("dominant".into(), Json::Str(row.dominant.clone()));
+                m.insert(
+                    "fallback_all_requests".into(),
+                    Json::Bool(row.fallback_all_requests),
+                );
+                Json::Obj(m)
+            })
+            .collect();
+        top.insert("rows".into(), Json::Arr(rows));
+        Json::Obj(top)
+    }
+
+    /// Serializes to a compact JSON string (newline-terminated).
+    pub fn to_json_string(&self) -> String {
+        let mut s = self.to_json().to_string_compact();
+        s.push('\n');
+        s
+    }
+
+    /// Writes the artifact to `path` and logs the destination to stderr.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        write_artifact(
+            path,
+            self.to_json_string(),
+            self.rows.len(),
+            &self.mode,
+            self.seed,
+        )
+    }
+}
+
+/// Validates an SLO-attribution artifact (see [`AttributionSummary`]).
+pub fn validate_attribution(doc: &Json) -> Result<(), Vec<String>> {
+    let mut errors = Vec::new();
+    match need_num(&mut errors, doc.get("schema_version"), "schema_version") {
+        Some(v) if v == f64::from(SCHEMA_VERSION) => {}
+        Some(v) => errors.push(format!("unsupported schema_version {v}")),
+        None => {}
+    }
+    if doc
+        .get("name")
+        .and_then(Json::as_str)
+        .is_none_or(str::is_empty)
+    {
+        errors.push("missing or empty name".into());
+    }
+    match doc.get("mode").and_then(Json::as_str) {
+        Some("smoke") | Some("full") => {}
+        other => errors.push(format!("mode must be \"smoke\" or \"full\", got {other:?}")),
+    }
+    need_num(&mut errors, doc.get("seed"), "seed");
+    need_num(&mut errors, doc.get("duration_ms"), "duration_ms");
+    match doc.get("rows").and_then(Json::as_arr) {
+        None => errors.push("missing rows array".into()),
+        Some([]) => errors.push("rows is empty".into()),
+        Some(rows) => {
+            for (i, row) in rows.iter().enumerate() {
+                for key in ["label", "tier", "dominant"] {
+                    if row
+                        .get(key)
+                        .and_then(Json::as_str)
+                        .is_none_or(str::is_empty)
+                    {
+                        errors.push(format!("rows[{i}]: missing or empty {key}"));
+                    }
+                }
+                if !matches!(row.get("fallback_all_requests"), Some(Json::Bool(_))) {
+                    errors.push(format!(
+                        "rows[{i}]: missing or non-bool fallback_all_requests"
+                    ));
+                }
+                for key in [
+                    "rps",
+                    "requests",
+                    "violations",
+                    "queueing_pct",
+                    "prefill_pct",
+                    "transfer_pct",
+                    "decode_pct",
+                    "preemption_pct",
+                ] {
+                    need_num(&mut errors, row.get(key), &format!("rows[{i}].{key}"));
+                }
+            }
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
 /// Validates a prefix-cache artifact (see [`PrefixSummary`]).
 pub fn validate_prefix(doc: &Json) -> Result<(), Vec<String>> {
     let mut errors = Vec::new();
@@ -738,7 +962,8 @@ pub fn validate_prefix(doc: &Json) -> Result<(), Vec<String>> {
 /// Validates a parsed document, dispatching on its `kind`: documents
 /// marked `"kind": "perf"` check against the perf schema, `"kind":
 /// "fleet"` against the fleet-scaling schema, `"kind": "prefix"` against
-/// the prefix-cache schema, everything else against
+/// the prefix-cache schema, `"kind": "attribution"` against the
+/// SLO-attribution schema, everything else against
 /// the SLO-sweep schema of [`SCHEMA_VERSION`] (older versions are
 /// rejected — version 1 lacked the TTFT keys).
 ///
@@ -749,6 +974,7 @@ pub fn validate(doc: &Json) -> Result<(), Vec<String>> {
         Some("perf") => validate_perf(doc),
         Some("fleet") => validate_fleet(doc),
         Some("prefix") => validate_prefix(doc),
+        Some("attribution") => validate_attribution(doc),
         _ => validate_slo(doc),
     }
 }
@@ -1251,6 +1477,91 @@ mod tests {
             errors
                 .iter()
                 .any(|e| e.contains("cache must be \"on\" or \"off\"")),
+            "{errors:?}"
+        );
+    }
+
+    fn attribution_summary() -> AttributionSummary {
+        let mut summary = AttributionSummary::new("fig_slo_attribution", "smoke", 7, 10_000.0);
+        for (tier, violations, queueing, prefill) in
+            [("chatbot", 0usize, 12.0, 55.0), ("coding", 3, 61.0, 14.0)]
+        {
+            summary.rows.push(AttributionRow {
+                label: "rps=3.0".into(),
+                rps: 3.0,
+                tier: tier.into(),
+                requests: 30,
+                violations,
+                queueing_pct: queueing,
+                prefill_pct: prefill,
+                transfer_pct: 0.0,
+                decode_pct: 100.0 - queueing - prefill,
+                preemption_pct: 0.0,
+                dominant: if queueing > 50.0 {
+                    "queueing"
+                } else {
+                    "prefill"
+                }
+                .into(),
+                fallback_all_requests: violations == 0,
+            });
+        }
+        summary
+    }
+
+    #[test]
+    fn attribution_summary_round_trips_and_validates() {
+        let text = attribution_summary().to_json_string();
+        let doc = json::parse(&text).expect("emitted JSON parses");
+        validate(&doc).expect("attribution JSON is schema-valid");
+        assert_eq!(doc.get("kind").unwrap().as_str(), Some("attribution"));
+        let rows = doc.get("rows").unwrap().as_arr().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].get("dominant").unwrap().as_str(), Some("queueing"));
+        assert_eq!(
+            rows[0].get("fallback_all_requests"),
+            Some(&Json::Bool(true))
+        );
+        assert_eq!(rows[1].get("violations").unwrap().as_num(), Some(3.0));
+    }
+
+    #[test]
+    fn attribution_row_lowers_from_tier_attribution() {
+        let tier = metrics::telemetry::SloAttribution::from_events(&[]).overall();
+        let row = AttributionRow::from_tier("rps=1.0", 1.0, &tier);
+        assert_eq!(row.tier, "all");
+        assert_eq!(row.requests, 0);
+        assert!(row.fallback_all_requests);
+    }
+
+    #[test]
+    fn attribution_validation_rejects_missing_and_bad_keys() {
+        let doc = json::parse(&attribution_summary().to_json_string()).unwrap();
+        let Json::Obj(mut top) = doc else { panic!() };
+        let Some(Json::Arr(rows)) = top.get_mut("rows") else {
+            panic!()
+        };
+        let Json::Obj(row) = &mut rows[0] else {
+            panic!()
+        };
+        row.remove("queueing_pct");
+        row.remove("dominant");
+        row.insert("fallback_all_requests".into(), Json::Str("yes".into()));
+        let errors = validate(&Json::Obj(top)).unwrap_err();
+        assert!(
+            errors.iter().any(|e| e.contains("rows[0].queueing_pct")),
+            "{errors:?}"
+        );
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("rows[0]: missing or empty dominant")),
+            "{errors:?}"
+        );
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("non-bool fallback_all_requests")),
             "{errors:?}"
         );
     }

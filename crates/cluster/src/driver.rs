@@ -8,10 +8,11 @@
 
 use crate::replica::Replica;
 use crate::router::Router;
-use metrics::{ClusterReport, RequestRecord, SloReport};
+use metrics::telemetry::{EventKind, GaugeSample, Tracer};
+use metrics::{ClusterReport, HotLoopStats, RequestRecord, SloReport};
 use serving::{
-    Deployment, DeploymentEvent, DeploymentStep, ExecMode, Pool, ReplicaAddr, RunError, RunOptions,
-    RunResult, ServeSession, ServingEngine, ShardedExecutor, UnitStats,
+    core_gauges, Deployment, DeploymentEvent, DeploymentStep, ExecMode, Pool, ReplicaAddr,
+    RunError, RunOptions, RunResult, ServeSession, ServingEngine, ShardedExecutor, UnitStats,
 };
 use std::sync::Mutex;
 use workload::{RequestSpec, Workload};
@@ -128,6 +129,9 @@ pub struct Cluster {
     /// lazily on the first multi-worker batch and reused for every batch
     /// of every `serve()` call on this cluster.
     pool: Option<ShardedExecutor>,
+    /// Fleet-shared trace sink for routing decisions; each replica holds
+    /// a clone of the same log for its iteration events.
+    tracer: Tracer,
 }
 
 impl Cluster {
@@ -150,6 +154,7 @@ impl Cluster {
             events: Vec::new(),
             exec_override: None,
             pool: None,
+            tracer: Tracer::off(),
         }
     }
 
@@ -368,6 +373,17 @@ impl Deployment for Cluster {
             debug_assert!(false, "router returned ineligible replica {choice}");
             choice = eligible[0];
         }
+        if self.tracer.enabled() {
+            self.tracer.record(
+                now_ms,
+                EventKind::RouteDecision {
+                    id: spec.id,
+                    router: self.router.name(),
+                    replica: serving::trace_replica(ReplicaAddr::serving(choice)),
+                    modeled_load_ms: self.replicas[choice].drain_estimate_ms(now_ms),
+                },
+            );
+        }
         let r = &mut self.replicas[choice];
         r.engine.core_mut().on_arrival(spec);
         r.clock_ms = r.clock_ms.max(now_ms);
@@ -483,6 +499,31 @@ impl Deployment for Cluster {
             .iter()
             .map(|r| r.engine.core().iterations)
             .sum()
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        for r in &mut self.replicas {
+            r.set_tracer(tracer.clone());
+        }
+        self.tracer = tracer;
+    }
+
+    /// Fleet gauges: queue depth and in-flight sum across replicas, KV
+    /// occupancy reports the worst (fullest) replica, and the cache hit
+    /// rate pools the per-replica lookup/hit counters.
+    fn gauges(&self) -> GaugeSample {
+        let mut sample = GaugeSample::default();
+        let mut hot = HotLoopStats::default();
+        for r in &self.replicas {
+            let core = r.engine.core();
+            let g = core_gauges(core);
+            sample.queue_depth += g.queue_depth;
+            sample.in_flight += g.in_flight;
+            sample.kv_occupancy_pct = sample.kv_occupancy_pct.max(g.kv_occupancy_pct);
+            hot.merge(&core.hotloop);
+        }
+        sample.cache_hit_rate_pct = hot.prefix_hit_rate_pct();
+        sample
     }
 
     fn clock_ms(&self) -> f64 {

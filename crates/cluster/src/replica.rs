@@ -1,8 +1,9 @@
 //! One cluster member: a serving engine plus its routing-visible state.
 
+use metrics::telemetry::Tracer;
 use serving::{
-    finalize_run, DeploymentEvent, LifecycleTracker, Pool, ReplicaAddr, RunError, RunOptions,
-    RunResult, ServingEngine, StallGuard,
+    finalize_run, trace_replica, DeploymentEvent, LifecycleTracker, Pool, ProbeState, ReplicaAddr,
+    RunError, RunOptions, RunResult, ServingEngine, StallGuard, StepProbe,
 };
 
 /// Fraction of a baseline decode step attributed to one *prefill* token in
@@ -62,6 +63,11 @@ pub struct Replica {
     tracker: LifecycleTracker,
     /// High-water mark of announced finished records on this core.
     finished_seen: usize,
+    /// Trace sink (shared fleet-wide); off by default.
+    pub(crate) tracer: Tracer,
+    /// Lifecycle memory for the iteration probe (populated only while
+    /// tracing).
+    probe_state: ProbeState,
 }
 
 impl std::fmt::Debug for Replica {
@@ -89,7 +95,14 @@ impl Replica {
             guard: StallGuard::default(),
             tracker: LifecycleTracker::default(),
             finished_seen: 0,
+            tracer: Tracer::off(),
+            probe_state: ProbeState::default(),
         }
+    }
+
+    /// Installs the fleet-shared trace sink (clones share one log).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Scans this replica's core for newly due lifecycle events
@@ -174,12 +187,23 @@ impl Replica {
     /// clock (the disaggregated decode pool) step replicas through this one
     /// method so stall detection and clock bookkeeping cannot diverge.
     pub fn step_once(&mut self) -> Result<f64, RunError> {
+        let probe = StepProbe::begin(&self.tracer, self.engine.core());
         let step = self.engine.step(self.clock_ms);
         self.engine.core_mut().iterations += 1;
         self.guard
             .observe(step.latency_ms)
             .map_err(|e| e.at(Pool::Decode, self.id))?;
         self.clock_ms += step.latency_ms.max(1e-6);
+        if let Some(probe) = probe {
+            probe.finish(
+                &self.tracer,
+                self.engine.core(),
+                trace_replica(ReplicaAddr::serving(self.id)),
+                self.clock_ms,
+                step.latency_ms,
+                &mut self.probe_state,
+            );
+        }
         Ok(step.latency_ms)
     }
 

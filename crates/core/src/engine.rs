@@ -569,7 +569,7 @@ mod tests {
         let wl = tiny_workload(8, Category::Chatbot, 50.0);
         let result = run(&mut engine, &wl, RunOptions::default());
         let b = result.units[0].result.breakdown;
-        let (sched_pct, _, _, _) = b.shares_pct();
+        let (sched_pct, _, _, _, _) = b.shares_pct();
         assert!(sched_pct < 5.0, "scheduling share = {sched_pct}%");
     }
 

@@ -21,6 +21,7 @@
 
 use crate::prefill::PrefillReplica;
 use cluster::{Replica, Router};
+use metrics::telemetry::{EventKind, TraceReplica, Tracer};
 use serving::LiveRequest;
 use workload::RequestSpec;
 
@@ -48,6 +49,7 @@ pub struct Dispatcher {
     /// TPOT SLO (a hopeless request is still routed, just as tight).
     pub min_tpot_fraction: f64,
     decode_router: Box<dyn Router>,
+    tracer: Tracer,
 }
 
 impl Dispatcher {
@@ -58,7 +60,14 @@ impl Dispatcher {
             pack_ceiling_ms: DEFAULT_PACK_CEILING_MS,
             min_tpot_fraction: DEFAULT_MIN_TPOT_FRACTION,
             decode_router,
+            tracer: Tracer::off(),
         }
+    }
+
+    /// Installs the fleet-shared trace sink: decode-side handoff
+    /// decisions are recorded as [`EventKind::RouteDecision`] events.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Name of the wrapped decode-side routing policy.
@@ -147,12 +156,24 @@ impl Dispatcher {
         let choice = self
             .decode_router
             .route(&handoff, now_ms, replicas, eligible);
-        if eligible.contains(&choice) {
+        let choice = if eligible.contains(&choice) {
             choice
         } else {
             debug_assert!(false, "decode router returned ineligible replica {choice}");
             eligible[0]
+        };
+        if self.tracer.enabled() {
+            self.tracer.record(
+                now_ms,
+                EventKind::RouteDecision {
+                    id: req.spec.id,
+                    router: self.decode_router.name(),
+                    replica: TraceReplica::decode(choice),
+                    modeled_load_ms: replicas[choice].drain_estimate_ms(now_ms),
+                },
+            );
         }
+        choice
     }
 }
 

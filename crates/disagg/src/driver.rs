@@ -14,13 +14,14 @@ use crate::migrate::{KvLink, TransferQueue, TransferStats};
 use crate::prefill::{PrefillPool, PrefillReplica};
 pub use cluster::ScalingAction;
 use cluster::{Replica, ReplicaResult};
-use metrics::{ClusterReport, RequestRecord, SloReport};
+use metrics::telemetry::{EventKind, GaugeSample, TraceReplica, Tracer};
+use metrics::{ClusterReport, HotLoopStats, RequestRecord, SloReport};
 use serving::{
-    Deployment, DeploymentEvent, DeploymentStep, ExecMode, LifecycleTracker, LiveRequest,
-    ReplicaAddr, RunError, RunOptions, RunResult, ServeSession, ServingEngine, ShardedExecutor,
-    UnitStats,
+    core_gauges, Deployment, DeploymentEvent, DeploymentStep, ExecMode, LifecycleTracker,
+    LiveRequest, ReplicaAddr, RunError, RunOptions, RunResult, ServeSession, ServingEngine,
+    ShardedExecutor, UnitStats,
 };
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 use std::sync::Mutex;
 use workload::{RequestSpec, Workload};
 
@@ -125,6 +126,13 @@ pub struct DisaggCluster {
     /// lazily on the first multi-worker decode batch and reused for every
     /// batch of every `serve()` call on this cluster.
     pool: Option<ShardedExecutor>,
+    /// Fleet-shared trace sink for prefill-side events (dispatch, chunks,
+    /// KV transfers); decode replicas and the dispatcher hold clones of
+    /// the same log.
+    tracer: Tracer,
+    /// Requests whose prefill has started (first entry into a prefill
+    /// running batch); populated only while tracing, drained at handoff.
+    prefill_started: HashSet<u64>,
 }
 
 /// One checked decode iteration: stamp migrated requests at the
@@ -240,6 +248,8 @@ impl DisaggCluster {
             prefill_finished_seen: vec![0; n_prefill],
             exec_override: None,
             pool: None,
+            tracer: Tracer::off(),
+            prefill_started: HashSet::new(),
         }
     }
 
@@ -532,6 +542,17 @@ impl Deployment for DisaggCluster {
             debug_assert!(false, "dispatcher returned ineligible prefill {choice}");
             eligible[0]
         };
+        if self.tracer.enabled() {
+            self.tracer.record(
+                now_ms,
+                EventKind::RouteDecision {
+                    id: spec.id,
+                    router: "prefill-tier".to_string(),
+                    replica: TraceReplica::prefill(choice),
+                    modeled_load_ms: self.prefill.replicas[choice].drain_estimate_ms(now_ms),
+                },
+            );
+        }
         let r = &mut self.prefill.replicas[choice];
         r.core.on_arrival(spec);
         r.clock_ms = r.clock_ms.max(now_ms);
@@ -565,6 +586,11 @@ impl Deployment for DisaggCluster {
             for transfer in self.transfers.pop_arrivals(t_xfer) {
                 let id = transfer.to_decode;
                 let r = &mut self.decode[id];
+                // Wire time lands on the destination's latency breakdown
+                // (breakdowns are run telemetry, not per-request records,
+                // so record output stays identical with tracing off).
+                r.engine.core_mut().breakdown.kv_transfer_ms +=
+                    (transfer.arrive_ms - transfer.start_ms).max(0.0);
                 r.clock_ms = r.clock_ms.max(transfer.arrive_ms);
                 r.routed += 1;
                 self.landing[id].push_back(transfer.request);
@@ -581,8 +607,37 @@ impl Deployment for DisaggCluster {
             // Prefill iteration; completed prompts start migrating.
             let (_, id) = pre_stepper.expect("t_pre was finite");
             let before = self.prefill.replicas[id].clock_ms;
+            let tokens_before = self.prefill.replicas[id].prefill_tokens;
             let done = self.prefill.replicas[id].step()?;
             let now = self.prefill.replicas[id].clock_ms;
+            if self.tracer.enabled() {
+                let r = &self.prefill.replicas[id];
+                let replica = TraceReplica::prefill(id);
+                for req in r
+                    .core
+                    .running
+                    .iter()
+                    .map(|q| q.spec.id)
+                    .chain(done.iter().map(|q| q.spec.id))
+                {
+                    if self.prefill_started.insert(req) {
+                        self.tracer
+                            .record(now, EventKind::PrefillStart { id: req, replica });
+                    }
+                }
+                let tokens = r.prefill_tokens - tokens_before;
+                if tokens > 0 {
+                    self.tracer.record(
+                        now,
+                        EventKind::PrefillChunk {
+                            replica,
+                            requests: r.core.running.len() + done.len(),
+                            tokens,
+                            latency_ms: now - before,
+                        },
+                    );
+                }
+            }
             if self.prefill.replicas[id].iterations > options.max_iterations {
                 return Err(RunError::iteration_cap().at(Pool::Prefill, id));
             }
@@ -617,7 +672,26 @@ impl Deployment for DisaggCluster {
                 // tracker can drop it (bounded sets).
                 self.decode[to].mark_admitted(req.spec.id);
                 self.prefill_tracker.forget(req.spec.id);
-                self.transfers.enqueue(req, id, to, now);
+                let req_id = req.spec.id;
+                let bytes = u64::from(req.context_len()) * self.transfers.kv_bytes_per_token();
+                let arrive_ms = self.transfers.enqueue(req, id, to, now);
+                if self.tracer.enabled() {
+                    self.prefill_started.remove(&req_id);
+                    // The ingress link serializes per destination, so the
+                    // transfer may start occupying the wire after `now`.
+                    let start_ms = arrive_ms - self.transfers.wire_ms_for_bytes(bytes);
+                    self.tracer.record(
+                        now,
+                        EventKind::KvTransfer {
+                            id: req_id,
+                            from_prefill: id,
+                            to_decode: to,
+                            bytes,
+                            start_ms,
+                            arrive_ms,
+                        },
+                    );
+                }
             }
             self.prefill_tracker.scan_core(
                 &self.prefill.replicas[id].core,
@@ -759,6 +833,37 @@ impl Deployment for DisaggCluster {
             .map(|r| r.iterations)
             .chain(self.decode.iter().map(|r| r.engine.core().iterations))
             .sum()
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        for r in &mut self.decode {
+            r.set_tracer(tracer.clone());
+        }
+        self.dispatcher.set_tracer(tracer.clone());
+        self.tracer = tracer;
+    }
+
+    /// Both pools' gauges: queue depth and in-flight sum across every
+    /// replica (prefill and decode), KV occupancy reports the fullest
+    /// replica, and the cache hit rate pools the per-core counters.
+    fn gauges(&self) -> GaugeSample {
+        let mut sample = GaugeSample::default();
+        let mut hot = HotLoopStats::default();
+        let cores = self
+            .prefill
+            .replicas
+            .iter()
+            .map(|r| &r.core)
+            .chain(self.decode.iter().map(|r| r.engine.core()));
+        for core in cores {
+            let g = core_gauges(core);
+            sample.queue_depth += g.queue_depth;
+            sample.in_flight += g.in_flight;
+            sample.kv_occupancy_pct = sample.kv_occupancy_pct.max(g.kv_occupancy_pct);
+            hot.merge(&core.hotloop);
+        }
+        sample.cache_hit_rate_pct = hot.prefix_hit_rate_pct();
+        sample
     }
 
     fn clock_ms(&self) -> f64 {

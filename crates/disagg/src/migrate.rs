@@ -124,6 +124,12 @@ impl TransferQueue {
         }
     }
 
+    /// Bytes of target-model KV per context token (what one migrated
+    /// token costs on the wire).
+    pub fn kv_bytes_per_token(&self) -> u64 {
+        self.kv_bytes_per_token
+    }
+
     /// The wire time of migrating a `context_len`-token KV cache,
     /// ignoring ingress-link queueing.
     ///
@@ -133,6 +139,12 @@ impl TransferQueue {
     pub fn wire_ms(&self, context_len: u32) -> f64 {
         self.link
             .transfer_ms(u64::from(context_len) * self.kv_bytes_per_token)
+    }
+
+    /// The wire time of moving `bytes` over the link, ignoring
+    /// ingress-link queueing.
+    pub fn wire_ms_for_bytes(&self, bytes: u64) -> f64 {
+        self.link.transfer_ms(bytes)
     }
 
     /// Starts migrating `request` to `to_decode` at time `now_ms`.

@@ -5,7 +5,8 @@
 //! negligible (0.31–0.41%). In this reproduction the GPU phases are charged
 //! by the roofline model while the scheduler is *real* Rust code measured
 //! with a wall-clock timer — making this figure a genuine measurement of the
-//! reimplemented algorithm's overhead.
+//! reimplemented algorithm's overhead. Disaggregated deployments add a
+//! fifth component: KV-page migration time over the interconnect.
 
 /// Accumulated time per pipeline component, in milliseconds.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -18,6 +19,9 @@ pub struct LatencyBreakdown {
     pub verification_ms: f64,
     /// Modelled GPU time in prefill passes.
     pub prefill_ms: f64,
+    /// Modelled interconnect time migrating KV pages from prefill to
+    /// decode replicas (zero outside disaggregated deployments).
+    pub kv_transfer_ms: f64,
 }
 
 impl LatencyBreakdown {
@@ -28,20 +32,26 @@ impl LatencyBreakdown {
 
     /// Total accounted time.
     pub fn total_ms(&self) -> f64 {
-        self.scheduling_ms + self.speculation_ms + self.verification_ms + self.prefill_ms
+        self.scheduling_ms
+            + self.speculation_ms
+            + self.verification_ms
+            + self.prefill_ms
+            + self.kv_transfer_ms
     }
 
-    /// Percentage shares `(scheduling, speculation, verification, prefill)`.
-    pub fn shares_pct(&self) -> (f64, f64, f64, f64) {
+    /// Percentage shares
+    /// `(scheduling, speculation, verification, prefill, kv_transfer)`.
+    pub fn shares_pct(&self) -> (f64, f64, f64, f64, f64) {
         let t = self.total_ms();
         if t <= 0.0 {
-            return (0.0, 0.0, 0.0, 0.0);
+            return (0.0, 0.0, 0.0, 0.0, 0.0);
         }
         (
             100.0 * self.scheduling_ms / t,
             100.0 * self.speculation_ms / t,
             100.0 * self.verification_ms / t,
             100.0 * self.prefill_ms / t,
+            100.0 * self.kv_transfer_ms / t,
         )
     }
 
@@ -51,6 +61,7 @@ impl LatencyBreakdown {
         self.speculation_ms += other.speculation_ms;
         self.verification_ms += other.verification_ms;
         self.prefill_ms += other.prefill_ms;
+        self.kv_transfer_ms += other.kv_transfer_ms;
     }
 }
 
@@ -63,17 +74,22 @@ mod tests {
         let b = LatencyBreakdown {
             scheduling_ms: 1.0,
             speculation_ms: 20.0,
-            verification_ms: 70.0,
+            verification_ms: 60.0,
             prefill_ms: 9.0,
+            kv_transfer_ms: 10.0,
         };
-        let (s, sp, v, p) = b.shares_pct();
-        assert!((s + sp + v + p - 100.0).abs() < 1e-9);
+        let (s, sp, v, p, k) = b.shares_pct();
+        assert!((s + sp + v + p + k - 100.0).abs() < 1e-9);
         assert!((s - 1.0).abs() < 1e-9);
+        assert!((k - 10.0).abs() < 1e-9);
     }
 
     #[test]
     fn empty_breakdown_has_zero_shares() {
-        assert_eq!(LatencyBreakdown::new().shares_pct(), (0.0, 0.0, 0.0, 0.0));
+        assert_eq!(
+            LatencyBreakdown::new().shares_pct(),
+            (0.0, 0.0, 0.0, 0.0, 0.0)
+        );
     }
 
     #[test]
@@ -84,9 +100,11 @@ mod tests {
             speculation_ms: 2.0,
             verification_ms: 3.0,
             prefill_ms: 4.0,
+            kv_transfer_ms: 5.0,
         };
         a.merge(&b);
         a.merge(&b);
-        assert!((a.total_ms() - 20.0).abs() < 1e-9);
+        assert!((a.total_ms() - 30.0).abs() < 1e-9);
+        assert!((a.kv_transfer_ms - 10.0).abs() < 1e-9);
     }
 }

@@ -119,6 +119,63 @@ mod tests {
     }
 
     #[test]
+    fn prefix_counters_merge_across_heterogeneous_replicas() {
+        use crate::hotloop::HotLoopStats;
+        // Replica 0 runs with the prefix cache on, replica 1 with it off
+        // (all-zero prefix counters), replica 2 on but cold (lookups, no
+        // hits). The fleet-wide hit rate must be lookup-weighted, not an
+        // average of per-replica rates.
+        let cache_on = HotLoopStats {
+            prefix_lookups: 10,
+            prefix_hits: 8,
+            prefill_tokens_saved: 4_096,
+            ..HotLoopStats::default()
+        };
+        let cache_off = HotLoopStats::default();
+        let cache_cold = HotLoopStats {
+            prefix_lookups: 10,
+            prefix_hits: 0,
+            prefill_tokens_saved: 0,
+            ..HotLoopStats::default()
+        };
+        let mut fleet = HotLoopStats::default();
+        for replica in [&cache_on, &cache_off, &cache_cold] {
+            fleet.merge(replica);
+        }
+        assert_eq!(fleet.prefix_lookups, 20);
+        assert_eq!(fleet.prefix_hits, 8);
+        assert_eq!(fleet.prefill_tokens_saved, 4_096);
+        assert!((fleet.prefix_hit_rate_pct() - 40.0).abs() < 1e-9);
+        // A cache-off replica must not dilute the counters it never
+        // incremented, only the rate denominator stays untouched.
+        let mut on_plus_off = cache_on;
+        on_plus_off.merge(&cache_off);
+        assert!((on_plus_off.prefix_hit_rate_pct() - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merged_report_carries_fleet_prefix_stats() {
+        use crate::hotloop::HotLoopStats;
+        let report = ClusterReport::from_streams(vec![
+            ("replica-0".into(), vec![rec(0, 10.0)]),
+            ("replica-1".into(), vec![rec(1, 20.0)]),
+        ]);
+        let mut fleet = HotLoopStats {
+            prefix_lookups: 4,
+            prefix_hits: 1,
+            prefill_tokens_saved: 512,
+            ..HotLoopStats::default()
+        };
+        fleet.merge(&HotLoopStats::default()); // cache-off replica
+        let merged = report.merged.clone().with_prefix_stats(&fleet);
+        assert!((merged.prefix_hit_rate_pct - 25.0).abs() < 1e-9);
+        assert_eq!(merged.prefill_tokens_saved, 512);
+        // The base report is untouched apart from the attached stats.
+        assert_eq!(merged.requests, report.merged.requests);
+        assert_eq!(report.merged.prefix_hit_rate_pct, 0.0);
+    }
+
+    #[test]
     fn merged_report_surfaces_ttft_percentiles() {
         let report = ClusterReport::from_streams(vec![
             ("replica-0".into(), vec![rec(0, 10.0), rec(1, 20.0)]),

@@ -25,12 +25,15 @@ pub struct TimelineBucket {
 }
 
 impl TimelineBucket {
-    /// Bucket-local SLO attainment in percent (100 if empty).
-    pub fn attainment_pct(&self) -> f64 {
+    /// Bucket-local SLO attainment in percent, or `None` for an empty
+    /// bucket. Empty buckets used to read as 100%, silently inflating
+    /// plotted attainment over idle stretches; forcing callers to handle
+    /// `None` keeps them out of averages.
+    pub fn attainment_pct(&self) -> Option<f64> {
         if self.completed == 0 {
-            100.0
+            None
         } else {
-            100.0 * self.attained as f64 / self.completed as f64
+            Some(100.0 * self.attained as f64 / self.completed as f64)
         }
     }
 }
@@ -98,8 +101,9 @@ impl Timeline {
     pub fn worst_bucket(&self) -> Option<&TimelineBucket> {
         self.buckets
             .iter()
-            .filter(|b| b.completed > 0)
-            .min_by(|a, b| a.attainment_pct().total_cmp(&b.attainment_pct()))
+            .filter_map(|b| b.attainment_pct().map(|pct| (b, pct)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(b, _)| b)
     }
 
     /// Renders a compact ASCII strip of per-bucket attainment
@@ -108,12 +112,10 @@ impl Timeline {
         let levels = [' ', '.', ':', '-', '=', '+', '*', '#'];
         self.buckets
             .iter()
-            .map(|b| {
-                if b.completed == 0 {
-                    ' '
-                } else {
-                    let idx =
-                        (b.attainment_pct() / 100.0 * (levels.len() - 1) as f64).round() as usize;
+            .map(|b| match b.attainment_pct() {
+                None => ' ',
+                Some(pct) => {
+                    let idx = (pct / 100.0 * (levels.len() - 1) as f64).round() as usize;
                     levels[idx.min(levels.len() - 1)]
                 }
             })
@@ -161,7 +163,7 @@ mod tests {
         assert_eq!(t.buckets()[0].completed, 1);
         assert_eq!(t.buckets()[1].completed, 2);
         assert_eq!(t.buckets()[1].attained, 1);
-        assert!((t.buckets()[1].attainment_pct() - 50.0).abs() < 1e-9);
+        assert!((t.buckets()[1].attainment_pct().unwrap() - 50.0).abs() < 1e-9);
     }
 
     #[test]
@@ -174,7 +176,18 @@ mod tests {
         let t = Timeline::new(&records, 1000.0);
         let worst = t.worst_bucket().expect("has buckets");
         assert_eq!(worst.start_ms, 1000.0);
-        assert_eq!(worst.attainment_pct(), 0.0);
+        assert_eq!(worst.attainment_pct(), Some(0.0));
+    }
+
+    #[test]
+    fn empty_bucket_has_no_attainment() {
+        // Completions in buckets 0 and 2 leave bucket 1 empty; it must
+        // report None rather than a fake 100%.
+        let records = vec![rec(500.0, 10.0, 50.0), rec(2500.0, 10.0, 50.0)];
+        let t = Timeline::new(&records, 1000.0);
+        assert_eq!(t.buckets()[1].completed, 0);
+        assert_eq!(t.buckets()[1].attainment_pct(), None);
+        assert_eq!(t.buckets()[0].attainment_pct(), Some(100.0));
     }
 
     #[test]

@@ -2,7 +2,9 @@
 //! lifecycle, behind the unified [`Deployment`] front door.
 
 use crate::engine::{finalize_run, Pool, RunError, RunOptions, ServingEngine, StallGuard};
+use crate::probe::{core_gauges, trace_replica, ProbeState, StepProbe};
 use crate::session::{Deployment, DeploymentStep, LifecycleTracker, ReplicaAddr, UnitStats};
+use metrics::telemetry::{GaugeSample, Tracer};
 use workload::RequestSpec;
 
 /// How the deployment holds its engine: owned for front-door callers,
@@ -35,6 +37,8 @@ pub struct Colocated<'a> {
     guard: StallGuard,
     tracker: LifecycleTracker,
     finished_seen: usize,
+    tracer: Tracer,
+    probe_state: ProbeState,
 }
 
 impl<'a> Colocated<'a> {
@@ -58,6 +62,8 @@ impl<'a> Colocated<'a> {
             guard: StallGuard::default(),
             tracker: LifecycleTracker::default(),
             finished_seen: 0,
+            tracer: Tracer::off(),
+            probe_state: ProbeState::default(),
         }
     }
 
@@ -116,6 +122,7 @@ impl Deployment for Colocated<'_> {
 
     fn step(&mut self, options: &RunOptions) -> Result<DeploymentStep, RunError> {
         let now_ms = self.clock_ms;
+        let probe = StepProbe::begin(&self.tracer, self.engine().core());
         let step = self.engine_mut().step(now_ms);
         self.engine_mut().core_mut().iterations += 1;
         self.guard
@@ -134,6 +141,16 @@ impl Deployment for Colocated<'_> {
             EngineSlot::Owned(e) => e.core(),
             EngineSlot::Borrowed(e) => e.core(),
         };
+        if let Some(probe) = probe {
+            probe.finish(
+                &self.tracer,
+                core,
+                trace_replica(ReplicaAddr::serving(0)),
+                at_ms,
+                step.latency_ms,
+                &mut self.probe_state,
+            );
+        }
         self.tracker.scan_core(
             core,
             ReplicaAddr::serving(0),
@@ -160,6 +177,14 @@ impl Deployment for Colocated<'_> {
 
     fn iterations(&self) -> u64 {
         self.engine().core().iterations
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    fn gauges(&self) -> GaugeSample {
+        core_gauges(self.engine().core())
     }
 
     fn clock_ms(&self) -> f64 {

@@ -46,6 +46,7 @@ pub mod engine;
 pub mod exec;
 pub mod kv;
 pub mod prefix;
+pub mod probe;
 pub mod request;
 pub mod session;
 pub mod swap;
@@ -62,6 +63,7 @@ pub use engine::{
 pub use exec::{ExecMode, ShardedExecutor};
 pub use kv::BlockManager;
 pub use prefix::{PrefixCache, PrefixStats};
+pub use probe::{core_gauges, trace_replica, ProbeState, StepProbe};
 pub use request::{LiveRequest, Phase};
 pub use session::{
     Deployment, DeploymentEvent, DeploymentStep, LifecycleTracker, RejectReason, ReplicaAddr,

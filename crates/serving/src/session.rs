@@ -27,6 +27,7 @@
 
 use crate::core::EngineCore;
 use crate::engine::{Pool, RunError, RunOptions, RunResult, StallGuard};
+use metrics::telemetry::{EventKind, GaugeSample, Tracer};
 use metrics::{merge_by_completion, ClusterReport, RequestRecord, SloReport};
 use std::collections::{HashMap, HashSet, VecDeque};
 use workload::{RequestSpec, Workload};
@@ -254,6 +255,20 @@ pub trait Deployment {
     /// undeliverable work remains (e.g. a KV migration that can never
     /// land).
     fn drain(&mut self) -> Result<Vec<UnitStats>, RunError>;
+
+    /// Installs a tracing handle. Deployments that support tracing clone
+    /// it into their replicas so every layer appends to one shared event
+    /// log; the default ignores it (tracing stays off).
+    fn set_tracer(&mut self, tracer: Tracer) {
+        let _ = tracer;
+    }
+
+    /// A point-in-time counters snapshot (queue depth, in-flight, KV
+    /// occupancy, cache hit rate) for the session's gauge tick. The
+    /// default reports zeros.
+    fn gauges(&self) -> GaugeSample {
+        GaugeSample::default()
+    }
 }
 
 /// Tracks which lifecycle milestones have been announced per request, so
@@ -523,6 +538,18 @@ pub struct ServeSession<D: Deployment> {
     /// lifecycle events as they happen, so its deployment must step one
     /// event at a time to surface them timely.
     batch_stepping: bool,
+    /// End-to-end tracing handle (off by default). The session records
+    /// the front-door events (enqueue, admission, rejection, finish,
+    /// gauge ticks); the deployment and its replicas share the same
+    /// handle for routing/iteration/transfer events.
+    tracer: Tracer,
+    /// Gauge sampling period in simulation milliseconds.
+    gauge_tick_ms: f64,
+    /// Next due gauge sample.
+    next_gauge_ms: f64,
+    /// Prefix-cache hit lengths computed at arrival, keyed by request id,
+    /// so the traced admission event can carry them.
+    cached_at_arrival: HashMap<u64, u32>,
 }
 
 impl<D: Deployment> ServeSession<D> {
@@ -544,7 +571,39 @@ impl<D: Deployment> ServeSession<D> {
             guards: HashMap::new(),
             guard: StallGuard::default(),
             batch_stepping: false,
+            tracer: Tracer::off(),
+            gauge_tick_ms: 1_000.0,
+            next_gauge_ms: 0.0,
+            cached_at_arrival: HashMap::new(),
         }
+    }
+
+    /// Enables end-to-end tracing: the handle is cloned into the
+    /// deployment (and from there its replicas), so one shared ring
+    /// buffer receives the whole run's events. Pass
+    /// [`Tracer::on`]/[`Tracer::ring`] to enable; the default
+    /// [`Tracer::off`] keeps every call site at one branch. Tracing
+    /// never affects scheduling decisions, so records stay bit-identical
+    /// to an untraced run.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.deployment.set_tracer(tracer.clone());
+        self.tracer = tracer;
+        self
+    }
+
+    /// Sets the gauge sampling period in simulation milliseconds
+    /// (default 1000 ms; only sampled while tracing is enabled).
+    #[must_use]
+    pub fn with_gauge_tick_ms(mut self, tick_ms: f64) -> Self {
+        self.gauge_tick_ms = tick_ms.max(1e-3);
+        self
+    }
+
+    /// The session's tracing handle (disabled unless
+    /// [`ServeSession::with_tracer`] was called).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Enables/disables front-door admission control (rejecting prompts
@@ -659,6 +718,15 @@ impl<D: Deployment> ServeSession<D> {
             }
             self.now_ms = self.now_ms.max(t);
 
+            if self.tracer.enabled() {
+                while self.next_gauge_ms <= self.now_ms {
+                    let sample = self.deployment.gauges();
+                    self.tracer
+                        .record(self.next_gauge_ms, EventKind::Gauge(sample));
+                    self.next_gauge_ms += self.gauge_tick_ms;
+                }
+            }
+
             // Equal-timestamp order: scaling first (arrivals at the same
             // instant see the new topology), then arrivals, then the
             // deployment's internal machinery.
@@ -674,6 +742,21 @@ impl<D: Deployment> ServeSession<D> {
 
             if t_arr <= t {
                 let spec = self.pending.pop_front().expect("t_arr was finite");
+                if self.tracer.enabled() {
+                    self.tracer.record(
+                        self.now_ms,
+                        EventKind::Enqueue {
+                            id: spec.id,
+                            prompt_tokens: spec.prompt_len,
+                            output_tokens: spec.output_len,
+                        },
+                    );
+                    // The admission event carries the prefix-cache hit
+                    // length; compute it now (cache state at arrival),
+                    // independent of whether admission control also does.
+                    let cached = self.deployment.cached_prefix_tokens(&spec);
+                    self.cached_at_arrival.insert(spec.id, cached);
+                }
                 if self.admission_control {
                     let capacity = self.deployment.kv_capacity_tokens();
                     let cached = self.deployment.cached_prefix_tokens(&spec);
@@ -730,6 +813,9 @@ impl<D: Deployment> ServeSession<D> {
     where
         F: FnMut(&DeploymentEvent, &mut SessionHandle),
     {
+        if self.tracer.enabled() {
+            self.trace_event(event);
+        }
         let mut handle = SessionHandle {
             now_ms: self.now_ms,
             submissions: Vec::new(),
@@ -749,6 +835,51 @@ impl<D: Deployment> ServeSession<D> {
             } else {
                 self.scale_at(plan.at_ms, plan.replica, plan.action);
             }
+        }
+    }
+
+    /// Translates one deployment lifecycle event into its trace
+    /// counterpart (only called while tracing).
+    fn trace_event(&mut self, event: &DeploymentEvent) {
+        match event {
+            DeploymentEvent::Admitted { id, replica, at_ms } => {
+                let cached = self.cached_at_arrival.remove(id).unwrap_or(0);
+                self.tracer.record(
+                    *at_ms,
+                    EventKind::Admitted {
+                        id: *id,
+                        replica: crate::probe::trace_replica(*replica),
+                        cached_prefix_tokens: cached,
+                    },
+                );
+            }
+            DeploymentEvent::Rejected { id, reason, at_ms } => {
+                self.cached_at_arrival.remove(id);
+                self.tracer.record(
+                    *at_ms,
+                    EventKind::Rejected {
+                        id: *id,
+                        reason: reason.to_string(),
+                    },
+                );
+            }
+            DeploymentEvent::Finished { record } => {
+                self.tracer.record(
+                    record.completion_ms,
+                    EventKind::Finished {
+                        id: record.id,
+                        tier: record.category.label().to_string(),
+                        arrival_ms: record.arrival_ms,
+                        decode_start_ms: record.decode_start_ms,
+                        completion_ms: record.completion_ms,
+                        output_tokens: record.output_tokens,
+                        preemptions: record.preemptions,
+                        ttft_slo_ms: record.ttft_slo_ms,
+                        tpot_slo_ms: record.tpot_slo_ms,
+                    },
+                );
+            }
+            DeploymentEvent::FirstToken { .. } => {}
         }
     }
 

@@ -1,0 +1,454 @@
+//! SLO attribution: *why* did a request miss its budget?
+//!
+//! [`SloAttribution::from_events`] replays a trace and decomposes every
+//! finished request's end-to-end latency into five phases:
+//!
+//! * **queueing** — arrival until the request first entered a running
+//!   batch ([`EventKind::PrefillStart`]): session queue plus replica
+//!   waiting queue;
+//! * **prefill** — from prefill start until the first decode step, minus
+//!   any KV transfer time;
+//! * **transfer** — time the request's KV pages spent on the wire
+//!   (disaggregated deployments only);
+//! * **decode** — first decode step to final token, minus preemption;
+//! * **preemption** — time spent evicted between [`EventKind::Preempted`]
+//!   and [`EventKind::Resumed`].
+//!
+//! Per SLO tier the violating requests' phases are pooled, weighted by
+//! each request's overshoot, and the largest share is named the dominant
+//! cause. A tier with zero violations falls back to pooling *all* its
+//! requests (flagged via [`TierAttribution::fallback_all_requests`]) so
+//! low-load sweep points still report where latency lives.
+
+use std::collections::BTreeMap;
+
+use crate::event::{EventKind, TraceEvent};
+
+/// Phase names, in the order [`RequestPhases::shares_pct`] reports them.
+pub const PHASES: [&str; 5] = ["queueing", "prefill", "transfer", "decode", "preemption"];
+
+/// One request's reconstructed phase decomposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestPhases {
+    /// Workload request id.
+    pub id: u64,
+    /// SLO tier label (workload category).
+    pub tier: String,
+    /// Arrival time (ms).
+    pub arrival_ms: f64,
+    /// Final token time (ms).
+    pub completion_ms: f64,
+    /// Time queued before first entering a running batch (ms).
+    pub queueing_ms: f64,
+    /// Prefill compute time (ms).
+    pub prefill_ms: f64,
+    /// KV transfer wire time (ms).
+    pub transfer_ms: f64,
+    /// Decode time excluding preemption (ms).
+    pub decode_ms: f64,
+    /// Time spent evicted (ms).
+    pub preemption_ms: f64,
+    /// How far past its SLO budget the request landed (ms); 0 when it
+    /// met both its TTFT and TPOT SLOs.
+    pub overshoot_ms: f64,
+    /// Whether the request violated its TTFT or TPOT SLO.
+    pub violated: bool,
+}
+
+impl RequestPhases {
+    /// Sum of the five phases (ms).
+    pub fn total_ms(&self) -> f64 {
+        self.queueing_ms + self.prefill_ms + self.transfer_ms + self.decode_ms + self.preemption_ms
+    }
+
+    /// Phase shares in percent, [`PHASES`] order; sums to 100 for any
+    /// request with nonzero total.
+    pub fn shares_pct(&self) -> [f64; 5] {
+        let total = self.total_ms();
+        if total <= 0.0 {
+            return [0.0; 5];
+        }
+        [
+            100.0 * self.queueing_ms / total,
+            100.0 * self.prefill_ms / total,
+            100.0 * self.transfer_ms / total,
+            100.0 * self.decode_ms / total,
+            100.0 * self.preemption_ms / total,
+        ]
+    }
+}
+
+/// Aggregated attribution for one SLO tier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TierAttribution {
+    /// Tier label.
+    pub tier: String,
+    /// Finished requests in the tier.
+    pub requests: usize,
+    /// Requests that violated their TTFT or TPOT SLO.
+    pub violations: usize,
+    /// Pooled queueing share in percent.
+    pub queueing_pct: f64,
+    /// Pooled prefill share in percent.
+    pub prefill_pct: f64,
+    /// Pooled transfer share in percent.
+    pub transfer_pct: f64,
+    /// Pooled decode share in percent.
+    pub decode_pct: f64,
+    /// Pooled preemption share in percent.
+    pub preemption_pct: f64,
+    /// Phase with the largest share.
+    pub dominant: String,
+    /// True when the tier had zero violations and the shares pool all
+    /// requests instead of just violators.
+    pub fallback_all_requests: bool,
+}
+
+impl TierAttribution {
+    /// Shares in [`PHASES`] order.
+    pub fn shares_pct(&self) -> [f64; 5] {
+        [
+            self.queueing_pct,
+            self.prefill_pct,
+            self.transfer_pct,
+            self.decode_pct,
+            self.preemption_pct,
+        ]
+    }
+
+    fn pool(tier: &str, members: &[&RequestPhases]) -> Self {
+        let violators: Vec<&&RequestPhases> = members.iter().filter(|p| p.violated).collect();
+        let fallback = violators.is_empty();
+        // Pool shares weighted by overshoot (violator mode) or uniformly
+        // (fallback); each request's shares sum to 100, so the weighted
+        // mean does too.
+        let mut pooled = [0.0; 5];
+        let mut weight_sum = 0.0;
+        for p in members {
+            let in_pool = fallback || p.violated;
+            if !in_pool || p.total_ms() <= 0.0 {
+                continue;
+            }
+            let w = if fallback {
+                1.0
+            } else {
+                p.overshoot_ms.max(1e-9)
+            };
+            for (acc, share) in pooled.iter_mut().zip(p.shares_pct()) {
+                *acc += w * share;
+            }
+            weight_sum += w;
+        }
+        if weight_sum > 0.0 {
+            for acc in &mut pooled {
+                *acc /= weight_sum;
+            }
+        }
+        let dominant = PHASES
+            .iter()
+            .zip(pooled)
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(name, _)| (*name).to_string())
+            .unwrap_or_default();
+        Self {
+            tier: tier.to_string(),
+            requests: members.len(),
+            violations: violators.len(),
+            queueing_pct: pooled[0],
+            prefill_pct: pooled[1],
+            transfer_pct: pooled[2],
+            decode_pct: pooled[3],
+            preemption_pct: pooled[4],
+            dominant,
+            fallback_all_requests: fallback,
+        }
+    }
+}
+
+/// The full attribution report over one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloAttribution {
+    /// Every finished request's decomposition, in finish order.
+    pub per_request: Vec<RequestPhases>,
+    /// Per-tier aggregation, sorted by tier label.
+    pub per_tier: Vec<TierAttribution>,
+}
+
+impl SloAttribution {
+    /// Replays `events` and builds the report. Events may arrive in any
+    /// interleaving as long as each request's own events are in causal
+    /// order (the tracer records them that way).
+    pub fn from_events(events: &[TraceEvent]) -> Self {
+        #[derive(Default)]
+        struct Pending {
+            arrival_ms: Option<f64>,
+            prefill_start_ms: Option<f64>,
+            transfer_ms: f64,
+            preempted_at: Option<f64>,
+            preemption_ms: f64,
+        }
+        let mut pending: BTreeMap<u64, Pending> = BTreeMap::new();
+        let mut per_request = Vec::new();
+
+        for event in events {
+            match &event.kind {
+                EventKind::Enqueue { id, .. } => {
+                    pending.entry(*id).or_default().arrival_ms = Some(event.at_ms);
+                }
+                EventKind::PrefillStart { id, .. } => {
+                    let p = pending.entry(*id).or_default();
+                    if p.prefill_start_ms.is_none() {
+                        p.prefill_start_ms = Some(event.at_ms);
+                    }
+                }
+                EventKind::KvTransfer {
+                    id,
+                    start_ms,
+                    arrive_ms,
+                    ..
+                } => {
+                    pending.entry(*id).or_default().transfer_ms += (arrive_ms - start_ms).max(0.0);
+                }
+                EventKind::Preempted { id, .. } => {
+                    pending.entry(*id).or_default().preempted_at = Some(event.at_ms);
+                }
+                EventKind::Resumed { id, .. } => {
+                    let p = pending.entry(*id).or_default();
+                    if let Some(at) = p.preempted_at.take() {
+                        p.preemption_ms += (event.at_ms - at).max(0.0);
+                    }
+                }
+                EventKind::Finished {
+                    id,
+                    tier,
+                    arrival_ms,
+                    decode_start_ms,
+                    completion_ms,
+                    output_tokens,
+                    ttft_slo_ms,
+                    tpot_slo_ms,
+                    ..
+                } => {
+                    let mut p = pending.remove(id).unwrap_or_default();
+                    // A request still marked preempted at finish spent the
+                    // remainder of its life evicted.
+                    if let Some(at) = p.preempted_at.take() {
+                        p.preemption_ms += (completion_ms - at).max(0.0);
+                    }
+                    let arrival = p.arrival_ms.unwrap_or(*arrival_ms);
+                    let prefill_start = p.prefill_start_ms.unwrap_or(arrival);
+                    let queueing = (prefill_start - arrival).max(0.0);
+                    let decode_span = (completion_ms - decode_start_ms).max(0.0);
+                    let preemption = p.preemption_ms.min(decode_span);
+                    let prefill = (decode_start_ms - prefill_start - p.transfer_ms).max(0.0);
+                    let ttft = decode_start_ms - arrival;
+                    let tpot = if *output_tokens == 0 {
+                        0.0
+                    } else {
+                        decode_span / f64::from(*output_tokens)
+                    };
+                    let overshoot = (ttft - ttft_slo_ms).max(0.0)
+                        + ((tpot - tpot_slo_ms).max(0.0) * f64::from(*output_tokens));
+                    per_request.push(RequestPhases {
+                        id: *id,
+                        tier: tier.clone(),
+                        arrival_ms: arrival,
+                        completion_ms: *completion_ms,
+                        queueing_ms: queueing,
+                        prefill_ms: prefill,
+                        transfer_ms: p.transfer_ms,
+                        decode_ms: decode_span - preemption,
+                        preemption_ms: preemption,
+                        overshoot_ms: overshoot,
+                        violated: overshoot > 0.0,
+                    });
+                }
+                _ => {}
+            }
+        }
+
+        let mut by_tier: BTreeMap<&str, Vec<&RequestPhases>> = BTreeMap::new();
+        for p in &per_request {
+            by_tier.entry(p.tier.as_str()).or_default().push(p);
+        }
+        let per_tier = by_tier
+            .iter()
+            .map(|(tier, members)| TierAttribution::pool(tier, members))
+            .collect();
+        Self {
+            per_request,
+            per_tier,
+        }
+    }
+
+    /// Pools every tier into one aggregate row (tier label `"all"`).
+    pub fn overall(&self) -> TierAttribution {
+        let members: Vec<&RequestPhases> = self.per_request.iter().collect();
+        TierAttribution::pool("all", &members)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceReplica;
+
+    fn ev(at_ms: f64, kind: EventKind) -> TraceEvent {
+        TraceEvent { at_ms, kind }
+    }
+
+    fn finished(id: u64, tier: &str, decode_start: f64, completion: f64, tokens: u32) -> EventKind {
+        EventKind::Finished {
+            id,
+            tier: tier.to_string(),
+            arrival_ms: 0.0,
+            decode_start_ms: decode_start,
+            completion_ms: completion,
+            output_tokens: tokens,
+            preemptions: 0,
+            ttft_slo_ms: 100.0,
+            tpot_slo_ms: 50.0,
+        }
+    }
+
+    #[test]
+    fn phases_partition_the_latency() {
+        // Arrive 0, prefill start 40 (queueing 40), decode start 100 with
+        // a 10 ms transfer inside (prefill 50), finish 300 with a 30 ms
+        // preemption window (decode 170).
+        let events = vec![
+            ev(
+                0.0,
+                EventKind::Enqueue {
+                    id: 1,
+                    prompt_tokens: 64,
+                    output_tokens: 4,
+                },
+            ),
+            ev(
+                40.0,
+                EventKind::PrefillStart {
+                    id: 1,
+                    replica: TraceReplica::decode(0),
+                },
+            ),
+            ev(
+                60.0,
+                EventKind::KvTransfer {
+                    id: 1,
+                    from_prefill: 0,
+                    to_decode: 0,
+                    bytes: 1024,
+                    start_ms: 60.0,
+                    arrive_ms: 70.0,
+                },
+            ),
+            ev(
+                150.0,
+                EventKind::Preempted {
+                    id: 1,
+                    replica: TraceReplica::decode(0),
+                },
+            ),
+            ev(
+                180.0,
+                EventKind::Resumed {
+                    id: 1,
+                    replica: TraceReplica::decode(0),
+                },
+            ),
+            ev(300.0, finished(1, "chatbot", 100.0, 300.0, 4)),
+        ];
+        let attr = SloAttribution::from_events(&events);
+        assert_eq!(attr.per_request.len(), 1);
+        let p = &attr.per_request[0];
+        assert!((p.queueing_ms - 40.0).abs() < 1e-9);
+        assert!((p.prefill_ms - 50.0).abs() < 1e-9);
+        assert!((p.transfer_ms - 10.0).abs() < 1e-9);
+        assert!((p.preemption_ms - 30.0).abs() < 1e-9);
+        assert!((p.decode_ms - 170.0).abs() < 1e-9);
+        assert!((p.total_ms() - 300.0).abs() < 1e-9);
+        let shares: f64 = p.shares_pct().iter().sum();
+        assert!((shares - 100.0).abs() < 1e-9);
+        // TPOT 50 ms/token exactly meets the SLO; TTFT 100 meets 100.
+        assert!(!p.violated);
+    }
+
+    #[test]
+    fn violation_and_dominant_cause() {
+        // Queueing-dominated violator: 400 ms queued, 50 prefill, decode
+        // at the SLO rate.
+        let events = vec![
+            ev(
+                0.0,
+                EventKind::Enqueue {
+                    id: 7,
+                    prompt_tokens: 64,
+                    output_tokens: 4,
+                },
+            ),
+            ev(
+                400.0,
+                EventKind::PrefillStart {
+                    id: 7,
+                    replica: TraceReplica::decode(0),
+                },
+            ),
+            ev(650.0, finished(7, "chatbot", 450.0, 650.0, 4)),
+        ];
+        let attr = SloAttribution::from_events(&events);
+        let p = &attr.per_request[0];
+        assert!(p.violated, "TTFT 450 ms against a 100 ms SLO");
+        assert!((p.overshoot_ms - 350.0).abs() < 1e-9);
+        assert_eq!(attr.per_tier.len(), 1);
+        let tier = &attr.per_tier[0];
+        assert_eq!(tier.tier, "chatbot");
+        assert_eq!(tier.violations, 1);
+        assert!(!tier.fallback_all_requests);
+        assert_eq!(tier.dominant, "queueing");
+        let sum: f64 = tier.shares_pct().iter().sum();
+        assert!((sum - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tier_without_violations_falls_back_to_all_requests() {
+        let events = vec![
+            ev(
+                10.0,
+                EventKind::PrefillStart {
+                    id: 1,
+                    replica: TraceReplica::decode(0),
+                },
+            ),
+            ev(90.0, finished(1, "copilot", 60.0, 90.0, 4)),
+        ];
+        let attr = SloAttribution::from_events(&events);
+        let tier = &attr.per_tier[0];
+        assert_eq!(tier.violations, 0);
+        assert!(tier.fallback_all_requests);
+        assert_eq!(tier.dominant, "prefill");
+        let sum: f64 = tier.shares_pct().iter().sum();
+        assert!((sum - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn overall_pools_across_tiers() {
+        let events = vec![
+            ev(50.0, finished(1, "chatbot", 10.0, 50.0, 1)),
+            ev(60.0, finished(2, "copilot", 20.0, 60.0, 1)),
+        ];
+        let attr = SloAttribution::from_events(&events);
+        assert_eq!(attr.per_tier.len(), 2);
+        let all = attr.overall();
+        assert_eq!(all.tier, "all");
+        assert_eq!(all.requests, 2);
+    }
+
+    #[test]
+    fn empty_trace_is_empty_report() {
+        let attr = SloAttribution::from_events(&[]);
+        assert!(attr.per_request.is_empty());
+        assert!(attr.per_tier.is_empty());
+        assert_eq!(attr.overall().requests, 0);
+    }
+}

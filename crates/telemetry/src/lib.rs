@@ -1,0 +1,37 @@
+//! End-to-end tracing for the serving stack.
+//!
+//! The simulator's reports (`metrics::SloReport`, timelines) say *that* a
+//! request missed its SLO; this crate records *why*. A [`Tracer`] is a
+//! cheap cloneable handle threaded through the session, deployments,
+//! routers and dispatchers. When enabled it appends [`TraceEvent`]s —
+//! enqueue, admission, routing, prefill chunks, KV transfers, per-iteration
+//! speculation outcomes, preemptions, finishes and periodic gauge samples —
+//! to a bounded ring buffer stamped with the simulation clock. When
+//! disabled (the default) every call site reduces to one branch, so the
+//! hot loop pays nothing.
+//!
+//! Three consumers sit on top of the raw log:
+//!
+//! * [`perfetto::export`] — Chrome-trace / Perfetto JSON with one track
+//!   per replica and one per request;
+//! * [`SloAttribution`] — decomposes each violating request's latency into
+//!   queueing / prefill / transfer / decode / preemption shares and names
+//!   the dominant cause per SLO tier;
+//! * [`GaugeSample`] — point-in-time queue depth / in-flight / KV
+//!   occupancy / cache hit rate, sampled on a configurable tick for
+//!   future autoscaler use.
+//!
+//! This crate sits *below* `metrics` (which re-exports it) and has no
+//! dependencies, so any layer of the stack can record events without
+//! widening the dependency graph.
+
+#![warn(missing_docs)]
+
+pub mod attribution;
+pub mod event;
+pub mod perfetto;
+pub mod tracer;
+
+pub use attribution::{RequestPhases, SloAttribution, TierAttribution};
+pub use event::{EventKind, GaugeSample, TraceEvent, TracePool, TraceReplica};
+pub use tracer::Tracer;

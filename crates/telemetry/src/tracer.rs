@@ -1,0 +1,176 @@
+//! The [`Tracer`] handle and its ring-buffered event log.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use crate::event::{EventKind, TraceEvent};
+
+/// Default ring capacity when callers don't specify one: enough for every
+/// event of a multi-minute sweep point without unbounded growth.
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 20;
+
+#[derive(Debug, Default)]
+struct TraceLog {
+    ring: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceLog {
+    fn push(&mut self, event: TraceEvent) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(event);
+    }
+}
+
+/// Cheap cloneable tracing handle.
+///
+/// The handle is either *off* (the default — [`Tracer::record`] is a
+/// single branch, so leaving call sites in the hot loop costs ~nothing,
+/// enforced by the `perf_report` tracer gate) or backed by a shared
+/// bounded ring buffer. Clones share the same buffer, which is how one
+/// logical trace spans the session, its deployment and every replica —
+/// including replicas stepping on sharded-executor worker threads, hence
+/// the mutex.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    log: Option<Arc<Mutex<TraceLog>>>,
+}
+
+impl Tracer {
+    /// A disabled tracer: records nothing, costs one branch per call.
+    pub fn off() -> Self {
+        Self { log: None }
+    }
+
+    /// An enabled tracer over a bounded ring of `capacity` events. When
+    /// the ring fills, the oldest events are dropped (counted by
+    /// [`Tracer::dropped`]) so a long run degrades to a suffix trace
+    /// instead of unbounded memory.
+    pub fn ring(capacity: usize) -> Self {
+        Self {
+            log: Some(Arc::new(Mutex::new(TraceLog {
+                ring: VecDeque::new(),
+                capacity: capacity.max(1),
+                dropped: 0,
+            }))),
+        }
+    }
+
+    /// An enabled tracer with [`DEFAULT_RING_CAPACITY`].
+    pub fn on() -> Self {
+        Self::ring(DEFAULT_RING_CAPACITY)
+    }
+
+    /// Whether events are being recorded. Call sites that build payloads
+    /// with allocations (strings, vectors) should check this first so the
+    /// disabled path allocates nothing.
+    pub fn enabled(&self) -> bool {
+        self.log.is_some()
+    }
+
+    /// Appends one event stamped `at_ms`. No-op when disabled.
+    pub fn record(&self, at_ms: f64, kind: EventKind) {
+        if let Some(log) = &self.log {
+            log.lock()
+                .expect("trace log lock poisoned")
+                .push(TraceEvent { at_ms, kind });
+        }
+    }
+
+    /// Copies out the buffered events in record order.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        match &self.log {
+            Some(log) => log
+                .lock()
+                .expect("trace log lock poisoned")
+                .ring
+                .iter()
+                .cloned()
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        match &self.log {
+            Some(log) => log.lock().expect("trace log lock poisoned").dropped,
+            None => 0,
+        }
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        match &self.log {
+            Some(log) => log.lock().expect("trace log lock poisoned").ring.len(),
+            None => 0,
+        }
+    }
+
+    /// Whether no events are buffered (always true when disabled).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enqueue(id: u64) -> EventKind {
+        EventKind::Enqueue {
+            id,
+            prompt_tokens: 8,
+            output_tokens: 4,
+        }
+    }
+
+    #[test]
+    fn off_tracer_records_nothing() {
+        let t = Tracer::off();
+        assert!(!t.enabled());
+        t.record(1.0, enqueue(1));
+        assert!(t.snapshot().is_empty());
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn default_is_off() {
+        assert!(!Tracer::default().enabled());
+    }
+
+    #[test]
+    fn clones_share_one_log() {
+        let t = Tracer::ring(16);
+        let clone = t.clone();
+        t.record(1.0, enqueue(1));
+        clone.record(2.0, enqueue(2));
+        let events = t.snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].at_ms, 1.0);
+        assert_eq!(events[1].at_ms, 2.0);
+    }
+
+    #[test]
+    fn ring_drops_oldest_beyond_capacity() {
+        let t = Tracer::ring(2);
+        for id in 0..5 {
+            t.record(id as f64, enqueue(id));
+        }
+        let events = t.snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].at_ms, 3.0);
+        assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn tracer_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Tracer>();
+    }
+}

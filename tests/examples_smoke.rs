@@ -83,3 +83,39 @@ fn disagg_serving_runs() {
 fn online_serving_runs() {
     run_example("online_serving");
 }
+
+/// `--trace-out` must leave a loadable Chrome-trace JSON behind.
+#[test]
+fn online_serving_writes_perfetto_trace() {
+    let bin = example_bin("online_serving");
+    assert!(
+        bin.is_file(),
+        "example binary missing at {} — was `cargo test` run without building examples?",
+        bin.display()
+    );
+    let dir = std::env::temp_dir().join(format!("adaserve_trace_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create trace dir");
+    let trace = dir.join("online_serving_trace.json");
+    let output = Command::new(&bin)
+        .env("ADASERVE_SMOKE", "1")
+        .args(["--trace-out", trace.to_str().expect("utf-8 path")])
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {}: {e}", bin.display()));
+    assert!(
+        output.status.success(),
+        "online_serving --trace-out exited with {}\n--- stderr ---\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stderr),
+    );
+    let body = std::fs::read_to_string(&trace).expect("trace file written");
+    assert!(
+        body.starts_with("{\"traceEvents\":["),
+        "trace file is not Chrome-trace JSON: {}",
+        &body[..body.len().min(80)]
+    );
+    assert!(
+        body.contains("\"name\":\"replicas\"") && body.contains("\"name\":\"requests\""),
+        "trace lacks the replica/request process tracks"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

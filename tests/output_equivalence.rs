@@ -435,6 +435,105 @@ mod front_door_equivalence {
     }
 }
 
+/// Tracing is observation, not behaviour: serving with the ring tracer
+/// live (or explicitly disabled) must reproduce the untraced run record
+/// for record, across every deployment topology. This pins the
+/// acceptance criterion of the telemetry layer — `Tracer::record` calls
+/// sit inside the serving hot loop and must never perturb scheduling,
+/// routing, or token streams.
+mod tracing_equivalence {
+    use adaserve::cluster::{Cluster, RouterKind};
+    use adaserve::core::AdaServeEngine;
+    use adaserve::disagg::{DisaggCluster, Dispatcher, KvLink, PrefillPool};
+    use adaserve::metrics::telemetry::Tracer;
+    use adaserve::serving::{
+        Colocated, Deployment, RunReport, ServeSession, ServingEngine, SystemConfig,
+    };
+    use adaserve::workload::{Workload, WorkloadBuilder};
+
+    fn workload(seed: u64) -> Workload {
+        let baseline_ms = SystemConfig::llama70b(9).baseline_ms;
+        WorkloadBuilder::new(seed, baseline_ms)
+            .target_rps(4.0)
+            .duration_ms(10_000.0)
+            .build()
+    }
+
+    fn engines(n: usize) -> Vec<Box<dyn ServingEngine>> {
+        (0..n)
+            .map(|_| {
+                Box::new(AdaServeEngine::new(SystemConfig::llama70b(9))) as Box<dyn ServingEngine>
+            })
+            .collect()
+    }
+
+    fn assert_tracing_invisible<D: Deployment, F: Fn() -> D>(build: F, wl: &Workload) {
+        let untraced = ServeSession::new(build()).serve(wl).expect("untraced run");
+        let off = ServeSession::new(build())
+            .with_tracer(Tracer::off())
+            .serve(wl)
+            .expect("tracer=off run");
+        let on_tracer = Tracer::on();
+        let on = ServeSession::new(build())
+            .with_tracer(on_tracer.clone())
+            .serve(wl)
+            .expect("tracer=on run");
+
+        check(&untraced, &off, "tracer=off");
+        check(&untraced, &on, "tracer=on");
+        assert!(
+            !on_tracer.snapshot().is_empty(),
+            "the live tracer actually recorded events"
+        );
+    }
+
+    fn check(reference: &RunReport, got: &RunReport, label: &str) {
+        assert_eq!(
+            reference.records, got.records,
+            "{label}: records must be bit-identical to the untraced run"
+        );
+        assert_eq!(reference.end_ms, got.end_ms, "{label}: end clock");
+        assert_eq!(reference.iterations, got.iterations, "{label}: iterations");
+        let ref_shares: Vec<u64> = reference.units.iter().map(|u| u.routed).collect();
+        let got_shares: Vec<u64> = got.units.iter().map(|u| u.routed).collect();
+        assert_eq!(ref_shares, got_shares, "{label}: routing decisions");
+    }
+
+    #[test]
+    fn colocated_records_identical_with_tracing_on_and_off() {
+        let wl = workload(61);
+        assert_tracing_invisible(
+            || Colocated::new(Box::new(AdaServeEngine::new(SystemConfig::llama70b(9)))),
+            &wl,
+        );
+    }
+
+    #[test]
+    fn cluster_records_identical_with_tracing_on_and_off() {
+        let wl = workload(62);
+        assert_tracing_invisible(
+            || Cluster::new(engines(3), RouterKind::SloAware.build()),
+            &wl,
+        );
+    }
+
+    #[test]
+    fn disagg_records_identical_with_tracing_on_and_off() {
+        let wl = workload(63);
+        assert_tracing_invisible(
+            || {
+                DisaggCluster::new(
+                    PrefillPool::new(vec![SystemConfig::llama70b(9)]),
+                    engines(2),
+                    Dispatcher::new(RouterKind::SloAware.build()),
+                    KvLink::new(300.0, 0.05),
+                )
+            },
+            &wl,
+        );
+    }
+}
+
 mod prefix_cache_equivalence {
     use adaserve::core::AdaServeEngine;
     use adaserve::metrics::RequestRecord;
