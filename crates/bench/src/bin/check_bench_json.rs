@@ -21,7 +21,13 @@
 //! * perf artifacts (`"kind": "perf"`, from `perf_report`) — a disabled
 //!   tracer must stay free: the `tracer=off` row's wall-clock may not
 //!   exceed the base colocated row's by more than
-//!   [`TRACER_OVERHEAD_FACTOR`].
+//!   [`TRACER_OVERHEAD_FACTOR`];
+//! * autoscale artifacts (`"kind": "autoscale"`, from `fig_autoscale`) —
+//!   every autoscaled row must have actually scaled (≥ 1 join, peak past
+//!   the floor), priced under [`REPLICA_HOURS_CEILING_FACTOR`] of the
+//!   static-max reference, with burst attainment within
+//!   [`BURST_DROP_TOLERANCE_PTS`] of steady state; and the weighted-fair
+//!   row's per-tenant attainment spread may not exceed the FIFO row's.
 //!
 //! ```sh
 //! cargo run -p adaserve-bench --bin check_bench_json -- BENCH_foo.json [...]
@@ -225,6 +231,95 @@ fn tracer_gate(doc: &Json) -> Vec<String> {
     errors
 }
 
+/// Ceiling on an autoscaled row's `replica_hours` as a fraction of the
+/// static-max reference row's. Elasticity is the subsystem's tracked
+/// win: the controller drains down to one replica through both quiet
+/// thirds of the run, which measures 0.67–0.83× static across smoke and
+/// full sweeps; 0.95 fails any controller that stopped draining while
+/// staying clear of rounding noise on short smoke runs.
+const REPLICA_HOURS_CEILING_FACTOR: f64 = 0.95;
+
+/// Tolerated joint-attainment drop (percentage points) from an
+/// autoscaled row's steady window to its flash-crowd window. The burst
+/// peak deliberately overloads even the full fleet — the static
+/// reference itself drops ~45 pts in full sweeps and the autoscaled
+/// rows 19–38 — so this bounds collapse, not degradation: a controller
+/// that reacts late but does react stays under it, while a burst-window
+/// wipeout (attainment near zero against a healthy steady state) fails.
+/// A controller that never reacts at all is caught by the join/peak
+/// check instead, since it depresses both windows alike.
+const BURST_DROP_TOLERANCE_PTS: f64 = 50.0;
+
+/// Applies the autoscale-artifact gates (see module docs). The row
+/// labelled `static-max` is the provisioning reference; every other row
+/// is an autoscaled run. Returns the violations found (empty when the
+/// artifact is not an autoscale artifact).
+fn autoscale_gate(doc: &Json) -> Vec<String> {
+    if doc.get("kind").and_then(Json::as_str) != Some("autoscale") {
+        return Vec::new();
+    }
+    let Some(rows) = doc.get("rows").and_then(Json::as_arr) else {
+        return Vec::new();
+    };
+    let num = |row: &Json, key: &str| row.get(key).and_then(Json::as_num);
+    let static_hours = rows
+        .iter()
+        .find(|r| r.get("label").and_then(Json::as_str) == Some("static-max"))
+        .and_then(|r| num(r, "replica_hours"));
+    let mut errors = Vec::new();
+    let mut fair_spread = None;
+    let mut fifo_spread = None;
+    for row in rows {
+        let label = row.get("label").and_then(Json::as_str).unwrap_or("?");
+        if label == "static-max" {
+            continue;
+        }
+        if num(row, "joins").is_none_or(|j| j < 1.0)
+            || num(row, "peak_replicas").is_none_or(|p| p < 2.0)
+        {
+            errors.push(format!(
+                "{label}: the controller never scaled (no join or peak stuck at the floor) — \
+                 the closed loop is dead"
+            ));
+        }
+        if let (Some(hours), Some(static_hours)) = (num(row, "replica_hours"), static_hours) {
+            if hours > static_hours * REPLICA_HOURS_CEILING_FACTOR {
+                errors.push(format!(
+                    "{label}: replica-hours {hours:.4} exceed static-max {static_hours:.4} × \
+                     {REPLICA_HOURS_CEILING_FACTOR} — autoscaling stopped saving capacity"
+                ));
+            }
+        }
+        if let (Some(steady), Some(burst)) = (
+            num(row, "steady_attainment_pct"),
+            num(row, "burst_attainment_pct"),
+        ) {
+            if burst < steady - BURST_DROP_TOLERANCE_PTS {
+                errors.push(format!(
+                    "{label}: burst attainment {burst:.1}% collapsed more than \
+                     {BURST_DROP_TOLERANCE_PTS} pts under steady state {steady:.1}% — the \
+                     controller is not riding the flash crowd"
+                ));
+            }
+        }
+        let spread = num(row, "tenant_spread_pct");
+        match row.get("policy").and_then(Json::as_str) {
+            Some("fair") => fair_spread = spread,
+            Some("fifo") => fifo_spread = spread,
+            _ => {}
+        }
+    }
+    if let (Some(fair), Some(fifo)) = (fair_spread, fifo_spread) {
+        if fair > fifo {
+            errors.push(format!(
+                "weighted-fair tenant spread {fair:.1} pts exceeds FIFO's {fifo:.1} — the \
+                 front door stopped protecting the weighted tenant"
+            ));
+        }
+    }
+    errors
+}
+
 fn main() {
     let paths: Vec<String> = std::env::args().skip(1).collect();
     if paths.is_empty() {
@@ -256,6 +351,7 @@ fn main() {
                 gate_errors.extend(prefix_gate(&doc));
                 gate_errors.extend(attribution_gate(&doc));
                 gate_errors.extend(tracer_gate(&doc));
+                gate_errors.extend(autoscale_gate(&doc));
                 if gate_errors.is_empty() {
                     let rows = doc
                         .get("rows")

@@ -16,8 +16,8 @@ pub mod json;
 pub mod summary;
 
 pub use summary::{
-    AttributionRow, AttributionSummary, BenchRow, BenchSummary, FleetRow, FleetSummary, PerfRow,
-    PerfSummary, PrefixRow, PrefixSummary, TierSummary,
+    AttributionRow, AttributionSummary, AutoscaleRow, AutoscaleSummary, BenchRow, BenchSummary,
+    FleetRow, FleetSummary, PerfRow, PerfSummary, PrefixRow, PrefixSummary, TierSummary,
 };
 
 use adaserve_core::{AdaServeEngine, AdaServeOptions};

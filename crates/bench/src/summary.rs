@@ -834,6 +834,232 @@ impl AttributionSummary {
     }
 }
 
+/// One autoscaling measurement (an [`AutoscaleSummary`] row): one
+/// provisioning/admission policy serving the same flash-crowd scenario.
+///
+/// Rows come in triples — a statically max-provisioned reference plus
+/// autoscaled runs under FIFO and weighted-fair admission — so the
+/// `check_bench_json` gate can hold burst resilience, elasticity cost
+/// and tenant fairness against each other.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AutoscaleRow {
+    /// Configuration label (`"static-max"`, `"autoscale-fifo"`,
+    /// `"autoscale-fair"`).
+    pub label: String,
+    /// Admission policy at the front door (`"fifo"` or `"fair"`).
+    pub policy: String,
+    /// Fleet size the deployment was built with.
+    pub replicas_max: usize,
+    /// Completed requests.
+    pub requests: usize,
+    /// Requests refused at the front door (tenant quota).
+    pub rejected: usize,
+    /// Overall (TPOT) SLO attainment, percent.
+    pub slo_attainment_pct: f64,
+    /// TTFT SLO attainment, percent.
+    pub ttft_attainment_pct: f64,
+    /// Joint (TPOT ∧ TTFT) attainment of requests arriving *outside* the
+    /// flash-crowd window, percent.
+    pub steady_attainment_pct: f64,
+    /// Joint attainment of requests arriving *inside* the flash-crowd
+    /// window, percent.
+    pub burst_attainment_pct: f64,
+    /// Active-replica time integrated over the run, in replica-hours
+    /// (the elasticity cost; `replicas_max × duration` when static).
+    pub replica_hours: f64,
+    /// Most replicas simultaneously active.
+    pub peak_replicas: usize,
+    /// Join actions the controller issued.
+    pub joins: usize,
+    /// Drain actions the controller issued.
+    pub drains: usize,
+    /// Best minus worst per-tenant joint attainment, percentage points.
+    pub tenant_spread_pct: f64,
+    /// Worst per-tenant joint attainment, percent.
+    pub worst_tenant_pct: f64,
+}
+
+/// A machine-readable autoscaling artifact (`BENCH_autoscale.json`):
+/// attainment, replica-hours and tenant fairness through a flash crowd
+/// under static vs autoscaled provisioning and FIFO vs weighted-fair
+/// admission.
+///
+/// Distinguished by `"kind": "autoscale"`; [`validate`] dispatches on
+/// that key so the artifact flows through the same `check_bench_json` CI
+/// gate as the other families.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AutoscaleSummary {
+    /// Emitting binary (e.g. `"fig_autoscale"`).
+    pub name: String,
+    /// `"smoke"` (CI-sized) or `"full"`.
+    pub mode: String,
+    /// The experiment seed the run used.
+    pub seed: u64,
+    /// Simulated duration per row, ms.
+    pub duration_ms: f64,
+    /// Measurements, one per policy.
+    pub rows: Vec<AutoscaleRow>,
+}
+
+impl AutoscaleSummary {
+    /// Creates an empty autoscale summary; `mode` must be `"smoke"` or
+    /// `"full"`.
+    pub fn new(
+        name: impl Into<String>,
+        mode: impl Into<String>,
+        seed: u64,
+        duration_ms: f64,
+    ) -> Self {
+        let mode = mode.into();
+        assert!(
+            mode == "smoke" || mode == "full",
+            "mode must be smoke|full, got {mode:?}"
+        );
+        Self {
+            name: name.into(),
+            mode,
+            seed,
+            duration_ms,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Lowers the summary to a JSON value.
+    pub fn to_json(&self) -> Json {
+        let mut top = BTreeMap::new();
+        top.insert(
+            "schema_version".into(),
+            Json::Num(f64::from(SCHEMA_VERSION)),
+        );
+        top.insert("kind".into(), Json::Str("autoscale".into()));
+        top.insert("name".into(), Json::Str(self.name.clone()));
+        top.insert("mode".into(), Json::Str(self.mode.clone()));
+        top.insert("seed".into(), Json::Int(self.seed));
+        top.insert("duration_ms".into(), Json::Num(self.duration_ms));
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| {
+                let mut m = BTreeMap::new();
+                m.insert("label".into(), Json::Str(row.label.clone()));
+                m.insert("policy".into(), Json::Str(row.policy.clone()));
+                m.insert("replicas_max".into(), Json::Num(row.replicas_max as f64));
+                m.insert("requests".into(), Json::Num(row.requests as f64));
+                m.insert("rejected".into(), Json::Num(row.rejected as f64));
+                m.insert(
+                    "slo_attainment_pct".into(),
+                    Json::Num(row.slo_attainment_pct),
+                );
+                m.insert(
+                    "ttft_attainment_pct".into(),
+                    Json::Num(row.ttft_attainment_pct),
+                );
+                m.insert(
+                    "steady_attainment_pct".into(),
+                    Json::Num(row.steady_attainment_pct),
+                );
+                m.insert(
+                    "burst_attainment_pct".into(),
+                    Json::Num(row.burst_attainment_pct),
+                );
+                m.insert("replica_hours".into(), Json::Num(row.replica_hours));
+                m.insert("peak_replicas".into(), Json::Num(row.peak_replicas as f64));
+                m.insert("joins".into(), Json::Num(row.joins as f64));
+                m.insert("drains".into(), Json::Num(row.drains as f64));
+                m.insert("tenant_spread_pct".into(), Json::Num(row.tenant_spread_pct));
+                m.insert("worst_tenant_pct".into(), Json::Num(row.worst_tenant_pct));
+                Json::Obj(m)
+            })
+            .collect();
+        top.insert("rows".into(), Json::Arr(rows));
+        Json::Obj(top)
+    }
+
+    /// Serializes to a compact JSON string (newline-terminated).
+    pub fn to_json_string(&self) -> String {
+        let mut s = self.to_json().to_string_compact();
+        s.push('\n');
+        s
+    }
+
+    /// Writes the artifact to `path` and logs the destination to stderr.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        write_artifact(
+            path,
+            self.to_json_string(),
+            self.rows.len(),
+            &self.mode,
+            self.seed,
+        )
+    }
+}
+
+/// Validates an autoscaling artifact (see [`AutoscaleSummary`]).
+pub fn validate_autoscale(doc: &Json) -> Result<(), Vec<String>> {
+    let mut errors = Vec::new();
+    match need_num(&mut errors, doc.get("schema_version"), "schema_version") {
+        Some(v) if v == f64::from(SCHEMA_VERSION) => {}
+        Some(v) => errors.push(format!("unsupported schema_version {v}")),
+        None => {}
+    }
+    if doc
+        .get("name")
+        .and_then(Json::as_str)
+        .is_none_or(str::is_empty)
+    {
+        errors.push("missing or empty name".into());
+    }
+    match doc.get("mode").and_then(Json::as_str) {
+        Some("smoke") | Some("full") => {}
+        other => errors.push(format!("mode must be \"smoke\" or \"full\", got {other:?}")),
+    }
+    need_num(&mut errors, doc.get("seed"), "seed");
+    need_num(&mut errors, doc.get("duration_ms"), "duration_ms");
+    match doc.get("rows").and_then(Json::as_arr) {
+        None => errors.push("missing rows array".into()),
+        Some([]) => errors.push("rows is empty".into()),
+        Some(rows) => {
+            for (i, row) in rows.iter().enumerate() {
+                if row
+                    .get("label")
+                    .and_then(Json::as_str)
+                    .is_none_or(str::is_empty)
+                {
+                    errors.push(format!("rows[{i}]: missing or empty label"));
+                }
+                match row.get("policy").and_then(Json::as_str) {
+                    Some("fifo") | Some("fair") => {}
+                    other => errors.push(format!(
+                        "rows[{i}]: policy must be \"fifo\" or \"fair\", got {other:?}"
+                    )),
+                }
+                for key in [
+                    "replicas_max",
+                    "requests",
+                    "rejected",
+                    "slo_attainment_pct",
+                    "ttft_attainment_pct",
+                    "steady_attainment_pct",
+                    "burst_attainment_pct",
+                    "replica_hours",
+                    "peak_replicas",
+                    "joins",
+                    "drains",
+                    "tenant_spread_pct",
+                    "worst_tenant_pct",
+                ] {
+                    need_num(&mut errors, row.get(key), &format!("rows[{i}].{key}"));
+                }
+            }
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
 /// Validates an SLO-attribution artifact (see [`AttributionSummary`]).
 pub fn validate_attribution(doc: &Json) -> Result<(), Vec<String>> {
     let mut errors = Vec::new();
@@ -963,7 +1189,8 @@ pub fn validate_prefix(doc: &Json) -> Result<(), Vec<String>> {
 /// marked `"kind": "perf"` check against the perf schema, `"kind":
 /// "fleet"` against the fleet-scaling schema, `"kind": "prefix"` against
 /// the prefix-cache schema, `"kind": "attribution"` against the
-/// SLO-attribution schema, everything else against
+/// SLO-attribution schema, `"kind": "autoscale"` against the autoscaling
+/// schema, everything else against
 /// the SLO-sweep schema of [`SCHEMA_VERSION`] (older versions are
 /// rejected — version 1 lacked the TTFT keys).
 ///
@@ -975,6 +1202,7 @@ pub fn validate(doc: &Json) -> Result<(), Vec<String>> {
         Some("fleet") => validate_fleet(doc),
         Some("prefix") => validate_prefix(doc),
         Some("attribution") => validate_attribution(doc),
+        Some("autoscale") => validate_autoscale(doc),
         _ => validate_slo(doc),
     }
 }
@@ -1562,6 +1790,79 @@ mod tests {
             errors
                 .iter()
                 .any(|e| e.contains("non-bool fallback_all_requests")),
+            "{errors:?}"
+        );
+    }
+
+    fn autoscale_summary() -> AutoscaleSummary {
+        let mut summary = AutoscaleSummary::new("fig_autoscale", "smoke", 7, 30_000.0);
+        for (label, policy, hours, peak, joins, drains, spread) in [
+            ("static-max", "fifo", 0.033, 4usize, 0usize, 0usize, 11.0),
+            ("autoscale-fifo", "fifo", 0.014, 3, 2, 4, 14.0),
+            ("autoscale-fair", "fair", 0.015, 3, 2, 4, 6.0),
+        ] {
+            summary.rows.push(AutoscaleRow {
+                label: label.into(),
+                policy: policy.into(),
+                replicas_max: 4,
+                requests: 120,
+                rejected: 0,
+                slo_attainment_pct: 96.0,
+                ttft_attainment_pct: 94.0,
+                steady_attainment_pct: 98.0,
+                burst_attainment_pct: 89.0,
+                replica_hours: hours,
+                peak_replicas: peak,
+                joins,
+                drains,
+                tenant_spread_pct: spread,
+                worst_tenant_pct: 100.0 - spread,
+            });
+        }
+        summary
+    }
+
+    #[test]
+    fn autoscale_summary_round_trips_and_validates() {
+        let text = autoscale_summary().to_json_string();
+        let doc = json::parse(&text).expect("emitted JSON parses");
+        validate(&doc).expect("autoscale JSON is schema-valid");
+        assert_eq!(doc.get("kind").unwrap().as_str(), Some("autoscale"));
+        let rows = doc.get("rows").unwrap().as_arr().unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2].get("policy").unwrap().as_str(), Some("fair"));
+        assert_eq!(rows[1].get("joins").unwrap().as_num(), Some(2.0));
+        assert_eq!(rows[0].get("replica_hours").unwrap().as_num(), Some(0.033));
+    }
+
+    #[test]
+    fn autoscale_validation_rejects_missing_and_bad_keys() {
+        let doc = json::parse(&autoscale_summary().to_json_string()).unwrap();
+        let Json::Obj(mut top) = doc else { panic!() };
+        let Some(Json::Arr(rows)) = top.get_mut("rows") else {
+            panic!()
+        };
+        let Json::Obj(row) = &mut rows[0] else {
+            panic!()
+        };
+        row.remove("replica_hours");
+        row.remove("burst_attainment_pct");
+        row.insert("policy".into(), Json::Str("lifo".into()));
+        let errors = validate(&Json::Obj(top)).unwrap_err();
+        assert!(
+            errors.iter().any(|e| e.contains("rows[0].replica_hours")),
+            "{errors:?}"
+        );
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("rows[0].burst_attainment_pct")),
+            "{errors:?}"
+        );
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("policy must be \"fifo\" or \"fair\"")),
             "{errors:?}"
         );
     }

@@ -1,0 +1,163 @@
+//! Per-tenant fairness reporting: attainment spread across tenants.
+//!
+//! Multi-tenant serving is fair when every tenant's SLO attainment sits
+//! close to the fleet-wide number — a large *spread* (best minus worst
+//! tenant) means one tenant's burst starved another, even if the pooled
+//! attainment looks healthy. The scenario engine tags each request with
+//! its tenant; this module slices a run's records along that tag.
+
+use crate::record::RequestRecord;
+
+/// One tenant's slice of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSlice {
+    /// Tenant index (position in the scenario's tenant list).
+    pub tenant: usize,
+    /// Completed requests attributed to the tenant.
+    pub requests: usize,
+    /// Completed requests that met **both** their TPOT and TTFT SLOs.
+    pub attained: usize,
+    /// Requests refused at the front door (quota or capacity).
+    pub rejected: usize,
+}
+
+impl TenantSlice {
+    /// Joint (TPOT ∧ TTFT) SLO attainment over completed requests, in
+    /// percent; 100 when the tenant completed nothing.
+    pub fn attainment_pct(&self) -> f64 {
+        if self.requests == 0 {
+            100.0
+        } else {
+            self.attained as f64 / self.requests as f64 * 100.0
+        }
+    }
+}
+
+/// Attainment sliced per tenant, with the spread the fairness gates hold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FairnessReport {
+    /// Per-tenant slices, in tenant order (every tenant appears, even
+    /// with zero requests).
+    pub tenants: Vec<TenantSlice>,
+}
+
+impl FairnessReport {
+    /// Slices `records` by tenant. `tenant_of` maps a request id to its
+    /// tenant index (ids unknown to the scenario should map into
+    /// `0..n_tenants` deterministically); `rejected_ids` lists the
+    /// front-door refusals so conservation per tenant stays visible.
+    pub fn from_records(
+        records: &[RequestRecord],
+        n_tenants: usize,
+        rejected_ids: &[u64],
+        mut tenant_of: impl FnMut(u64) -> usize,
+    ) -> Self {
+        assert!(n_tenants > 0, "at least one tenant");
+        let mut tenants: Vec<TenantSlice> = (0..n_tenants)
+            .map(|tenant| TenantSlice {
+                tenant,
+                requests: 0,
+                attained: 0,
+                rejected: 0,
+            })
+            .collect();
+        for r in records {
+            let t = tenant_of(r.id).min(n_tenants - 1);
+            tenants[t].requests += 1;
+            if r.attained() && r.ttft_attained() {
+                tenants[t].attained += 1;
+            }
+        }
+        for &id in rejected_ids {
+            let t = tenant_of(id).min(n_tenants - 1);
+            tenants[t].rejected += 1;
+        }
+        Self { tenants }
+    }
+
+    /// Best minus worst per-tenant attainment, in percentage points,
+    /// over tenants that completed at least one request. Zero for a
+    /// single-tenant (or empty) run.
+    pub fn spread_pct(&self) -> f64 {
+        let active: Vec<f64> = self
+            .tenants
+            .iter()
+            .filter(|t| t.requests > 0)
+            .map(TenantSlice::attainment_pct)
+            .collect();
+        match (
+            active.iter().cloned().reduce(f64::min),
+            active.iter().cloned().reduce(f64::max),
+        ) {
+            (Some(lo), Some(hi)) => hi - lo,
+            _ => 0.0,
+        }
+    }
+
+    /// The lowest per-tenant attainment, in percent (100 when no tenant
+    /// completed anything) — the number a per-tenant SLO contract holds.
+    pub fn worst_attainment_pct(&self) -> f64 {
+        self.tenants
+            .iter()
+            .filter(|t| t.requests > 0)
+            .map(TenantSlice::attainment_pct)
+            .reduce(f64::min)
+            .unwrap_or(100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::Category;
+
+    fn record(id: u64, tpot_ms: f64, slo_ms: f64) -> RequestRecord {
+        RequestRecord {
+            id,
+            category: Category::Chatbot,
+            tpot_slo_ms: slo_ms,
+            ttft_slo_ms: 1e9,
+            arrival_ms: 0.0,
+            decode_start_ms: 1.0,
+            completion_ms: 1.0 + tpot_ms * 10.0,
+            output_tokens: 10,
+            accepted_tokens: 0,
+            verify_steps: 10,
+            preemptions: 0,
+        }
+    }
+
+    #[test]
+    fn slices_and_spread() {
+        // Tenant 0: 2/2 attained; tenant 1: 1/2 attained.
+        let records = vec![
+            record(0, 10.0, 50.0),
+            record(2, 10.0, 50.0),
+            record(1, 10.0, 50.0),
+            record(3, 90.0, 50.0),
+        ];
+        let fr = FairnessReport::from_records(&records, 2, &[5], |id| (id % 2) as usize);
+        assert_eq!(fr.tenants[0].requests, 2);
+        assert_eq!(fr.tenants[0].attained, 2);
+        assert_eq!(fr.tenants[1].attained, 1);
+        assert_eq!(fr.tenants[1].rejected, 1);
+        assert!((fr.spread_pct() - 50.0).abs() < 1e-9);
+        assert!((fr.worst_attainment_pct() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_single_tenant_have_zero_spread() {
+        let fr = FairnessReport::from_records(&[], 3, &[], |_| 0);
+        assert_eq!(fr.tenants.len(), 3);
+        assert_eq!(fr.spread_pct(), 0.0);
+        assert_eq!(fr.worst_attainment_pct(), 100.0);
+        let one = FairnessReport::from_records(&[record(0, 1.0, 50.0)], 1, &[], |_| 0);
+        assert_eq!(one.spread_pct(), 0.0);
+    }
+
+    #[test]
+    fn out_of_range_tenants_clamp() {
+        let fr = FairnessReport::from_records(&[record(9, 1.0, 50.0)], 2, &[], |_| 7);
+        assert_eq!(fr.tenants[1].requests, 1);
+    }
+}

@@ -1,0 +1,345 @@
+//! Arrival processes beyond fixed-rate Poisson: diurnal cycles,
+//! Markov-modulated bursts and flash crowds.
+//!
+//! Every process is a seeded generator producing a
+//! [`workload::ArrivalTrace`]; non-homogeneous processes use thinning
+//! (generate a homogeneous candidate stream at the peak rate, accept
+//! each candidate with probability `rate(t) / max_rate`), the same
+//! technique the staggered-peak trace in `workload::trace` uses. Two
+//! hash streams per candidate — one for the exponential gap, one for the
+//! accept draw — keep every process deterministic in its seed.
+
+use simllm::hash::{combine, seed_stream, unit_f64};
+use workload::trace::Arrival;
+use workload::ArrivalTrace;
+
+/// One state of a Markov-modulated Poisson process: a rate held for an
+/// exponentially distributed dwell time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MmppState {
+    /// Arrival rate while the process sits in this state.
+    pub rps: f64,
+    /// Mean dwell time before jumping to another state, in milliseconds.
+    pub mean_dwell_ms: f64,
+}
+
+/// A seeded arrival process over a fixed horizon.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalProcess {
+    /// Homogeneous Poisson arrivals at a fixed rate.
+    Poisson {
+        /// Average request rate.
+        rps: f64,
+    },
+    /// A sinusoidal day/night cycle:
+    /// `rate(t) = rps · (1 + amplitude · sin(2πt / period_ms))`.
+    Diurnal {
+        /// Mean request rate over a full period.
+        rps: f64,
+        /// Cycle length in milliseconds (a simulated "day").
+        period_ms: f64,
+        /// Peak-to-mean rate swing, in `[0, 1]`.
+        amplitude: f64,
+    },
+    /// A Markov-modulated Poisson process: the rate jumps between
+    /// states, dwelling in each for an exponential time — the classic
+    /// bursty-traffic model.
+    Mmpp {
+        /// The states; the process starts in the first and jumps
+        /// uniformly at random between them.
+        states: Vec<MmppState>,
+    },
+    /// Steady load with a sudden multiplicative burst that decays
+    /// exponentially — a product launch, a reposted link:
+    /// `rate(t) = rps · (1 + (magnitude − 1) · exp(−(t − at_ms)/decay_ms))`
+    /// for `t ≥ at_ms`.
+    FlashCrowd {
+        /// Steady-state request rate before (and long after) the burst.
+        rps: f64,
+        /// When the crowd arrives, in milliseconds.
+        at_ms: f64,
+        /// Peak rate as a multiple of the steady rate (10.0 = a 10×
+        /// burst).
+        magnitude: f64,
+        /// Exponential decay constant of the burst, in milliseconds.
+        decay_ms: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Generates the process's arrivals over `[0, duration_ms]`,
+    /// deterministically in `seed`.
+    pub fn generate(&self, seed: u64, duration_ms: f64) -> ArrivalTrace {
+        assert!(duration_ms > 0.0, "a positive horizon");
+        match self {
+            ArrivalProcess::Poisson { rps } => {
+                assert!(*rps > 0.0, "a positive rate");
+                ArrivalTrace::poisson(seed, *rps, duration_ms)
+            }
+            ArrivalProcess::Diurnal {
+                rps,
+                period_ms,
+                amplitude,
+            } => {
+                assert!(*rps > 0.0 && *period_ms > 0.0, "positive rate and period");
+                assert!(
+                    (0.0..=1.0).contains(amplitude),
+                    "amplitude is a fraction of the mean rate"
+                );
+                let max_rate = rps * (1.0 + amplitude);
+                thinned(seed, duration_ms, max_rate, |t_ms| {
+                    rps * (1.0 + amplitude * (2.0 * std::f64::consts::PI * t_ms / period_ms).sin())
+                })
+            }
+            ArrivalProcess::Mmpp { states } => mmpp(seed, duration_ms, states),
+            ArrivalProcess::FlashCrowd {
+                rps,
+                at_ms,
+                magnitude,
+                decay_ms,
+            } => {
+                assert!(*rps > 0.0 && *decay_ms > 0.0, "positive rate and decay");
+                assert!(*magnitude >= 1.0, "the crowd multiplies the rate");
+                let max_rate = rps * magnitude;
+                thinned(seed, duration_ms, max_rate, |t_ms| {
+                    if t_ms < *at_ms {
+                        *rps
+                    } else {
+                        rps * (1.0 + (magnitude - 1.0) * (-(t_ms - at_ms) / decay_ms).exp())
+                    }
+                })
+            }
+        }
+    }
+
+    /// The process's peak instantaneous rate — what a static "provision
+    /// for the worst case" fleet must be sized against.
+    pub fn peak_rps(&self) -> f64 {
+        match self {
+            ArrivalProcess::Poisson { rps } => *rps,
+            ArrivalProcess::Diurnal { rps, amplitude, .. } => rps * (1.0 + amplitude),
+            ArrivalProcess::Mmpp { states } => states.iter().map(|s| s.rps).fold(0.0f64, f64::max),
+            ArrivalProcess::FlashCrowd { rps, magnitude, .. } => rps * magnitude,
+        }
+    }
+}
+
+/// Non-homogeneous Poisson arrivals by thinning: candidates at
+/// `max_rate`, each accepted with probability `rate(t) / max_rate`.
+fn thinned(
+    seed: u64,
+    duration_ms: f64,
+    max_rate: f64,
+    rate_at: impl Fn(f64) -> f64,
+) -> ArrivalTrace {
+    let mut arrivals = Vec::new();
+    let mut t = 0.0f64;
+    let mut i = 0u64;
+    loop {
+        let u = unit_f64(seed_stream(seed, 2 * i)).max(1e-12);
+        t += -u.ln() / max_rate * 1e3;
+        if t > duration_ms {
+            break;
+        }
+        if unit_f64(seed_stream(seed, 2 * i + 1)) < rate_at(t) / max_rate {
+            arrivals.push(Arrival {
+                time_ms: t,
+                category: None,
+            });
+        }
+        i += 1;
+    }
+    ArrivalTrace::from_arrivals(arrivals)
+}
+
+/// Markov-modulated Poisson: exponential dwells per state, homogeneous
+/// arrivals within each dwell, uniform jumps between states.
+fn mmpp(seed: u64, duration_ms: f64, states: &[MmppState]) -> ArrivalTrace {
+    assert!(!states.is_empty(), "at least one MMPP state");
+    assert!(
+        states.iter().all(|s| s.rps > 0.0 && s.mean_dwell_ms > 0.0),
+        "positive rates and dwell times"
+    );
+    let mut arrivals = Vec::new();
+    let mut state = 0usize;
+    let mut t0 = 0.0f64;
+    let mut segment = 0u64;
+    while t0 < duration_ms {
+        let s = states[state];
+        let h = seed_stream(seed, segment);
+        let dwell = -unit_f64(seed_stream(h, 0)).max(1e-12).ln() * s.mean_dwell_ms;
+        let t1 = (t0 + dwell).min(duration_ms);
+        // Homogeneous arrivals within [t0, t1) via exponential gaps.
+        let aseed = combine(h, 1);
+        let mut t = t0;
+        let mut i = 0u64;
+        loop {
+            let u = unit_f64(seed_stream(aseed, i)).max(1e-12);
+            t += -u.ln() / s.rps * 1e3;
+            if t >= t1 {
+                break;
+            }
+            arrivals.push(Arrival {
+                time_ms: t,
+                category: None,
+            });
+            i += 1;
+        }
+        // Jump uniformly among the states (self-jumps allowed: they just
+        // extend the dwell, which only re-shapes the dwell distribution).
+        state = (seed_stream(h, 2) % states.len() as u64) as usize;
+        t0 = t1;
+        segment += 1;
+    }
+    ArrivalTrace::from_arrivals(arrivals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn processes() -> Vec<ArrivalProcess> {
+        vec![
+            ArrivalProcess::Poisson { rps: 4.0 },
+            ArrivalProcess::Diurnal {
+                rps: 4.0,
+                period_ms: 60_000.0,
+                amplitude: 0.8,
+            },
+            ArrivalProcess::Mmpp {
+                states: vec![
+                    MmppState {
+                        rps: 2.0,
+                        mean_dwell_ms: 20_000.0,
+                    },
+                    MmppState {
+                        rps: 12.0,
+                        mean_dwell_ms: 5_000.0,
+                    },
+                ],
+            },
+            ArrivalProcess::FlashCrowd {
+                rps: 3.0,
+                at_ms: 30_000.0,
+                magnitude: 10.0,
+                decay_ms: 10_000.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_process_is_deterministic_in_its_seed() {
+        for p in processes() {
+            let a = p.generate(42, 120_000.0);
+            let b = p.generate(42, 120_000.0);
+            assert_eq!(a, b, "{p:?} must be seed-deterministic");
+            let c = p.generate(43, 120_000.0);
+            assert_ne!(a, c, "{p:?} must vary with the seed");
+        }
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_within_horizon() {
+        for p in processes() {
+            let t = p.generate(7, 90_000.0);
+            assert!(!t.is_empty(), "{p:?} produced no arrivals");
+            for w in t.arrivals().windows(2) {
+                assert!(w[0].time_ms <= w[1].time_ms);
+            }
+            assert!(t.arrivals().last().unwrap().time_ms <= 90_000.0);
+        }
+    }
+
+    #[test]
+    fn poisson_and_diurnal_hit_their_mean_rate() {
+        let p = ArrivalProcess::Poisson { rps: 5.0 }.generate(1, 300_000.0);
+        assert!((p.mean_rps() - 5.0).abs() < 0.5, "rps = {}", p.mean_rps());
+        // Over whole periods the sinusoid integrates out to the mean.
+        let d = ArrivalProcess::Diurnal {
+            rps: 5.0,
+            period_ms: 30_000.0,
+            amplitude: 0.9,
+        }
+        .generate(2, 300_000.0);
+        assert!((d.mean_rps() - 5.0).abs() < 0.6, "rps = {}", d.mean_rps());
+    }
+
+    #[test]
+    fn diurnal_peaks_and_troughs_follow_the_sinusoid() {
+        let d = ArrivalProcess::Diurnal {
+            rps: 6.0,
+            period_ms: 120_000.0,
+            amplitude: 1.0,
+        }
+        .generate(3, 120_000.0);
+        let rows = d.bucket_counts(30_000.0);
+        // Quarter-period buckets: [rising-peak, falling, trough, rising].
+        assert!(
+            rows[0].1 > 2 * rows[2].1,
+            "peak bucket {} vs trough bucket {}",
+            rows[0].1,
+            rows[2].1
+        );
+    }
+
+    #[test]
+    fn flash_crowd_bursts_then_decays() {
+        let f = ArrivalProcess::FlashCrowd {
+            rps: 2.0,
+            at_ms: 60_000.0,
+            magnitude: 10.0,
+            decay_ms: 8_000.0,
+        }
+        .generate(4, 180_000.0);
+        let rows = f.bucket_counts(20_000.0);
+        let before = rows[1].1; // steady state
+        let burst = rows[3].1; // [60 s, 80 s): the crowd
+        let after = rows[7].1; // long after: decayed back
+        assert!(
+            burst as f64 > 4.0 * before as f64,
+            "burst {burst} vs steady {before}"
+        );
+        assert!(
+            (after as f64) < 2.0 * before as f64 + 8.0,
+            "decayed {after} vs steady {before}"
+        );
+    }
+
+    #[test]
+    fn mmpp_visits_both_rates() {
+        let m = ArrivalProcess::Mmpp {
+            states: vec![
+                MmppState {
+                    rps: 1.0,
+                    mean_dwell_ms: 15_000.0,
+                },
+                MmppState {
+                    rps: 20.0,
+                    mean_dwell_ms: 15_000.0,
+                },
+            ],
+        }
+        .generate(5, 600_000.0);
+        let counts: Vec<usize> = m.bucket_counts(10_000.0).iter().map(|r| r.1).collect();
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        // Some buckets sit in the slow state, some in the fast one.
+        assert!(max >= 100, "fast-state bucket observed: {max}");
+        assert!(min <= 30, "slow-state bucket observed: {min}");
+    }
+
+    #[test]
+    fn peak_rps_matches_the_definition() {
+        assert_eq!(ArrivalProcess::Poisson { rps: 3.0 }.peak_rps(), 3.0);
+        assert_eq!(
+            ArrivalProcess::FlashCrowd {
+                rps: 3.0,
+                at_ms: 0.0,
+                magnitude: 10.0,
+                decay_ms: 1.0
+            }
+            .peak_rps(),
+            30.0
+        );
+    }
+}

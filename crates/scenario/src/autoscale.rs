@@ -1,0 +1,354 @@
+//! A closed-loop autoscaler: gauge ticks in, drain/join actions out.
+//!
+//! The controller consumes the session's event stream inside a
+//! [`serving::ServeSession::serve_online`] client (enable
+//! `with_gauge_events` so [`DeploymentEvent::GaugeTick`] samples flow):
+//! a PI loop on queue pressure and SLO attainment with hysteresis
+//! thresholds and a cooldown, issuing [`ScalingAction::Join`] /
+//! [`ScalingAction::Drain`] plans against a fleet built at
+//! `max_replicas` (the inactive tail is drained at t = 0 via
+//! [`AutoScaler::initial_plans`]). Replica-time is integrated across
+//! every observed event, so the report can price elasticity in
+//! replica-hours against static peak provisioning.
+//!
+//! Everything the controller sees is simulation-clock state, so
+//! autoscaled runs are deterministic in the workload seed.
+
+use serving::{DeploymentEvent, ReplicaAddr, ScalePlan, ScalingAction};
+
+/// Tuning knobs for the [`AutoScaler`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AutoScalerConfig {
+    /// Replicas that always stay active.
+    pub min_replicas: usize,
+    /// Fleet size the deployment was built with (the scale-out ceiling).
+    pub max_replicas: usize,
+    /// Outstanding (queued + in-flight) requests per active replica the
+    /// controller steers toward.
+    pub target_queue_per_replica: f64,
+    /// Joint SLO attainment (percent) the controller steers toward.
+    pub target_attainment_pct: f64,
+    /// Proportional gain on queue-pressure error.
+    pub kp: f64,
+    /// Integral gain on attainment error (per gauge tick).
+    pub ki: f64,
+    /// Control signal above which a replica joins.
+    pub up_threshold: f64,
+    /// Control signal below which a replica drains.
+    pub down_threshold: f64,
+    /// Minimum time between scaling actions, in milliseconds.
+    pub cooldown_ms: f64,
+    /// Smoothing factor of the attainment EWMA, in `(0, 1]`.
+    pub ewma_alpha: f64,
+}
+
+impl Default for AutoScalerConfig {
+    fn default() -> Self {
+        Self {
+            min_replicas: 1,
+            max_replicas: 4,
+            target_queue_per_replica: 2.0,
+            target_attainment_pct: 90.0,
+            kp: 0.5,
+            ki: 0.02,
+            up_threshold: 1.0,
+            down_threshold: -0.75,
+            cooldown_ms: 2_000.0,
+            ewma_alpha: 0.05,
+        }
+    }
+}
+
+/// The hysteresis controller. Feed it every event a `serve_online`
+/// client observes; apply whatever [`ScalePlan`] it returns through the
+/// session handle.
+#[derive(Debug)]
+pub struct AutoScaler {
+    cfg: AutoScalerConfig,
+    /// Whether serving replica `i` is currently active (joined).
+    active: Vec<bool>,
+    attainment_ewma_pct: f64,
+    integral: f64,
+    last_scale_ms: f64,
+    last_event_ms: f64,
+    replica_ms: f64,
+    peak_active: usize,
+    joins: u32,
+    drains: u32,
+}
+
+impl AutoScaler {
+    /// A controller starting with `min_replicas` active out of
+    /// `max_replicas` built.
+    pub fn new(cfg: AutoScalerConfig) -> Self {
+        assert!(cfg.min_replicas >= 1, "at least one active replica");
+        assert!(
+            cfg.max_replicas >= cfg.min_replicas,
+            "max_replicas bounds min_replicas"
+        );
+        assert!(cfg.up_threshold > cfg.down_threshold, "hysteresis band");
+        assert!(
+            cfg.ewma_alpha > 0.0 && cfg.ewma_alpha <= 1.0,
+            "EWMA factor in (0, 1]"
+        );
+        let active: Vec<bool> = (0..cfg.max_replicas)
+            .map(|i| i < cfg.min_replicas)
+            .collect();
+        Self {
+            active,
+            attainment_ewma_pct: 100.0,
+            integral: 0.0,
+            last_scale_ms: f64::NEG_INFINITY,
+            last_event_ms: 0.0,
+            replica_ms: 0.0,
+            peak_active: cfg.min_replicas,
+            joins: 0,
+            drains: 0,
+            cfg,
+        }
+    }
+
+    /// Drain plans (at t = 0) for the inactive tail of the fleet —
+    /// schedule these on the session before serving so a deployment
+    /// built at `max_replicas` starts with only `min_replicas` active.
+    pub fn initial_plans(&self) -> Vec<ScalePlan> {
+        (self.cfg.min_replicas..self.cfg.max_replicas)
+            .map(|i| ScalePlan {
+                at_ms: 0.0,
+                replica: ReplicaAddr::serving(i),
+                action: ScalingAction::Drain,
+            })
+            .collect()
+    }
+
+    /// Currently active replicas.
+    pub fn active_count(&self) -> usize {
+        self.active.iter().filter(|a| **a).count()
+    }
+
+    /// The most replicas ever simultaneously active.
+    pub fn peak_active(&self) -> usize {
+        self.peak_active
+    }
+
+    /// Joins and drains issued so far.
+    pub fn actions(&self) -> (u32, u32) {
+        (self.joins, self.drains)
+    }
+
+    /// The smoothed joint-attainment estimate, in percent.
+    pub fn attainment_ewma_pct(&self) -> f64 {
+        self.attainment_ewma_pct
+    }
+
+    /// Observes one session event; returns a scaling plan to apply, if
+    /// the controller decides to act on this event.
+    pub fn observe(&mut self, event: &DeploymentEvent) -> Option<ScalePlan> {
+        let now_ms = match event {
+            DeploymentEvent::Admitted { at_ms, .. }
+            | DeploymentEvent::FirstToken { at_ms, .. }
+            | DeploymentEvent::Rejected { at_ms, .. }
+            | DeploymentEvent::GaugeTick { at_ms, .. } => *at_ms,
+            DeploymentEvent::Finished { record } => record.completion_ms,
+        };
+        self.accrue(now_ms);
+        match event {
+            DeploymentEvent::Finished { record } => {
+                let x = if record.attained() && record.ttft_attained() {
+                    100.0
+                } else {
+                    0.0
+                };
+                self.attainment_ewma_pct += self.cfg.ewma_alpha * (x - self.attainment_ewma_pct);
+                None
+            }
+            DeploymentEvent::GaugeTick { at_ms, sample } => {
+                let active = self.active_count() as f64;
+                // Pressure is *outstanding work*: continuous batching
+                // admits requests straight into the running batch, so the
+                // waiting queue alone stays near zero even under heavy
+                // overload.
+                let outstanding = (sample.queue_depth + sample.in_flight) as f64;
+                let queue_per_replica = outstanding / active.max(1.0);
+                let err_q = queue_per_replica - self.cfg.target_queue_per_replica;
+                let err_a = self.cfg.target_attainment_pct - self.attainment_ewma_pct;
+                // Integral on attainment error, clamped so a long healthy
+                // (or long broken) stretch cannot wind the controller up.
+                self.integral = (self.integral + self.cfg.ki * err_a).clamp(-2.0, 2.0);
+                let signal = self.cfg.kp * err_q + self.integral;
+                if *at_ms - self.last_scale_ms < self.cfg.cooldown_ms {
+                    return None;
+                }
+                if signal > self.cfg.up_threshold {
+                    self.scale(*at_ms, ScalingAction::Join)
+                } else if signal < self.cfg.down_threshold {
+                    self.scale(*at_ms, ScalingAction::Drain)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Finalizes replica-time through `end_ms` and returns the total in
+    /// replica-hours (the elasticity cost metric: a static fleet costs
+    /// `max_replicas × duration`).
+    pub fn replica_hours(&mut self, end_ms: f64) -> f64 {
+        self.accrue(end_ms);
+        self.replica_ms / 3_600_000.0
+    }
+
+    /// Integrates active-replica time up to `now_ms`.
+    fn accrue(&mut self, now_ms: f64) {
+        let dt = (now_ms - self.last_event_ms).max(0.0);
+        self.replica_ms += dt * self.active_count() as f64;
+        self.last_event_ms = self.last_event_ms.max(now_ms);
+    }
+
+    /// Joins the lowest inactive replica / drains the highest active one
+    /// beyond the floor.
+    fn scale(&mut self, now_ms: f64, action: ScalingAction) -> Option<ScalePlan> {
+        let index = match action {
+            ScalingAction::Join => self.active.iter().position(|a| !*a)?,
+            ScalingAction::Drain => {
+                if self.active_count() <= self.cfg.min_replicas {
+                    return None;
+                }
+                self.active.iter().rposition(|a| *a)?
+            }
+        };
+        self.active[index] = !matches!(action, ScalingAction::Drain);
+        self.last_scale_ms = now_ms;
+        match action {
+            ScalingAction::Join => {
+                self.joins += 1;
+                self.integral = self.integral.min(0.0);
+            }
+            ScalingAction::Drain => {
+                self.drains += 1;
+                self.integral = self.integral.max(0.0);
+            }
+        }
+        self.peak_active = self.peak_active.max(self.active_count());
+        Some(ScalePlan {
+            at_ms: now_ms,
+            replica: ReplicaAddr::serving(index),
+            action,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metrics::telemetry::GaugeSample;
+
+    fn tick(at_ms: f64, queue_depth: usize) -> DeploymentEvent {
+        DeploymentEvent::GaugeTick {
+            at_ms,
+            sample: GaugeSample {
+                queue_depth,
+                in_flight: 0,
+                kv_occupancy_pct: 0.0,
+                cache_hit_rate_pct: 0.0,
+            },
+        }
+    }
+
+    #[test]
+    fn queue_pressure_joins_up_to_max() {
+        let mut s = AutoScaler::new(AutoScalerConfig {
+            min_replicas: 1,
+            max_replicas: 3,
+            cooldown_ms: 1_000.0,
+            ..AutoScalerConfig::default()
+        });
+        assert_eq!(s.initial_plans().len(), 2);
+        let p = s.observe(&tick(0.0, 50)).expect("joins under pressure");
+        assert_eq!(p.action, ScalingAction::Join);
+        assert_eq!(p.replica, ReplicaAddr::serving(1));
+        // Cooldown holds the next action back…
+        assert!(s.observe(&tick(500.0, 50)).is_none());
+        // …then the second join lands, and the fleet caps at max.
+        let p = s.observe(&tick(1_500.0, 50)).expect("second join");
+        assert_eq!(p.replica, ReplicaAddr::serving(2));
+        assert!(s.observe(&tick(3_000.0, 50)).is_none(), "fleet at max");
+        assert_eq!(s.active_count(), 3);
+        assert_eq!(s.peak_active(), 3);
+    }
+
+    #[test]
+    fn idle_fleet_drains_back_to_min() {
+        let mut s = AutoScaler::new(AutoScalerConfig {
+            min_replicas: 1,
+            max_replicas: 3,
+            cooldown_ms: 1_000.0,
+            ..AutoScalerConfig::default()
+        });
+        s.observe(&tick(0.0, 50));
+        s.observe(&tick(1_500.0, 50));
+        assert_eq!(s.active_count(), 3);
+        // Queue collapses: the controller drains, highest replica first,
+        // and never below the floor.
+        let mut drains = Vec::new();
+        for k in 0..20 {
+            if let Some(p) = s.observe(&tick(3_000.0 + 1_100.0 * k as f64, 0)) {
+                assert_eq!(p.action, ScalingAction::Drain);
+                drains.push(p.replica.index);
+            }
+        }
+        assert_eq!(drains, vec![2, 1]);
+        assert_eq!(s.active_count(), 1);
+    }
+
+    #[test]
+    fn replica_hours_integrate_active_time() {
+        let mut s = AutoScaler::new(AutoScalerConfig {
+            min_replicas: 1,
+            max_replicas: 2,
+            cooldown_ms: 0.0,
+            ..AutoScalerConfig::default()
+        });
+        // One replica for the first hour, two for the second.
+        s.observe(&tick(3_600_000.0, 50)); // accrues 1 rep-hr, then joins
+        let hours = s.replica_hours(7_200_000.0);
+        assert!((hours - 3.0).abs() < 1e-9, "hours = {hours}");
+    }
+
+    #[test]
+    fn missed_slos_wind_up_the_integral_term() {
+        let mut s = AutoScaler::new(AutoScalerConfig {
+            min_replicas: 1,
+            max_replicas: 2,
+            kp: 0.0, // isolate the integral path
+            ki: 0.5,
+            cooldown_ms: 0.0,
+            ..AutoScalerConfig::default()
+        });
+        // Attainment EWMA collapses to 0 after repeated misses…
+        for t in 0..60 {
+            s.observe(&DeploymentEvent::Finished {
+                record: metrics::RequestRecord {
+                    id: t,
+                    category: workload::Category::Chatbot,
+                    tpot_slo_ms: 1.0,
+                    ttft_slo_ms: 1.0,
+                    arrival_ms: 0.0,
+                    decode_start_ms: 100.0,
+                    completion_ms: 1_000.0,
+                    output_tokens: 4,
+                    accepted_tokens: 0,
+                    verify_steps: 4,
+                    preemptions: 0,
+                },
+            });
+        }
+        assert!(s.attainment_ewma_pct() < 10.0);
+        // …so even a zero-queue tick scales out.
+        let p = s
+            .observe(&tick(10.0, 0))
+            .expect("attainment pressure joins");
+        assert_eq!(p.action, ScalingAction::Join);
+    }
+}

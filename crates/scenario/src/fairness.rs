@@ -1,0 +1,277 @@
+//! Weighted-fair front-door admission across tenants.
+//!
+//! [`FairFrontDoor`] wraps any [`Deployment`] and meters submissions
+//! through a bounded in-flight window. While the window is full,
+//! arrivals queue per tenant; when a slot frees, the tenant with the
+//! **least weight-normalized service** so far goes first — the virtual
+//! service counter idea from `baselines::vtc`, moved to the front door.
+//! A tenant holding its full quota of queued requests has further
+//! submissions refused ([`RejectReason::TenantOverQuota`]), surfaced
+//! through the session as ordinary `Rejected` lifecycle events, so
+//! per-tenant conservation (offered = finished + rejected) holds
+//! end-to-end.
+//!
+//! Service is charged at forward time as `(prompt + output) / weight`:
+//! a tenant with twice the weight buys twice the fair share. Because an
+//! under-served tenant's held requests jump ahead of a bursting
+//! tenant's backlog, a paying tenant's burst cannot starve the others —
+//! the "priority preemption" the scenario contracts promise.
+
+use crate::tenant::TenantSpec;
+use metrics::telemetry::{GaugeSample, Tracer};
+use serving::{
+    Deployment, DeploymentEvent, DeploymentStep, RejectReason, ReplicaAddr, RunError, RunOptions,
+    UnitStats,
+};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use workload::RequestSpec;
+
+/// One tenant's front-door accounting.
+#[derive(Debug, Clone)]
+pub struct TenantCounters {
+    /// Tenant display name.
+    pub name: String,
+    /// Requests submitted for the tenant.
+    pub offered: u64,
+    /// Requests forwarded to the inner deployment.
+    pub forwarded: u64,
+    /// Requests refused over quota.
+    pub rejected: u64,
+    /// Weight-normalized service charged so far.
+    pub service: f64,
+}
+
+#[derive(Debug)]
+struct TenantState {
+    spec: TenantSpec,
+    held: VecDeque<RequestSpec>,
+    counters: TenantCounters,
+}
+
+/// A weighted-fair admission wrapper around any deployment.
+///
+/// Opt-in: wrap the deployment before building the session. The wrapper
+/// never reorders requests *within* a tenant (FIFO per tenant) and
+/// forwards eagerly while the in-flight window has room, so a
+/// single-tenant run below the window size behaves exactly like the
+/// unwrapped deployment.
+#[derive(Debug)]
+pub struct FairFrontDoor<D> {
+    inner: D,
+    tenants: Vec<TenantState>,
+    tenant_of: Arc<Vec<usize>>,
+    max_inflight: usize,
+    inflight: usize,
+    now_ms: f64,
+    pending: VecDeque<DeploymentEvent>,
+}
+
+impl<D: Deployment> FairFrontDoor<D> {
+    /// Wraps `inner`, admitting at most `max_inflight` forwarded-but-
+    /// unfinished requests at a time. `tenant_of` maps request ids
+    /// (indices) to tenant indices; out-of-range ids hash onto a tenant.
+    pub fn new(
+        inner: D,
+        tenants: &[TenantSpec],
+        tenant_of: Arc<Vec<usize>>,
+        max_inflight: usize,
+    ) -> Self {
+        assert!(!tenants.is_empty(), "at least one tenant");
+        assert!(max_inflight > 0, "a window of at least one request");
+        Self {
+            inner,
+            tenants: tenants
+                .iter()
+                .map(|spec| TenantState {
+                    counters: TenantCounters {
+                        name: spec.name.clone(),
+                        offered: 0,
+                        forwarded: 0,
+                        rejected: 0,
+                        service: 0.0,
+                    },
+                    spec: spec.clone(),
+                    held: VecDeque::new(),
+                })
+                .collect(),
+            tenant_of,
+            max_inflight,
+            inflight: 0,
+            now_ms: 0.0,
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// The tenant index for a request id.
+    fn tenant_index(&self, id: u64) -> usize {
+        self.tenant_of
+            .get(id as usize)
+            .copied()
+            .unwrap_or_else(|| (id % self.tenants.len() as u64) as usize)
+            .min(self.tenants.len() - 1)
+    }
+
+    /// Forwards `spec` into the inner deployment, charging its tenant.
+    fn forward(&mut self, tenant: usize, spec: RequestSpec, now_ms: f64) {
+        let cost = f64::from(spec.prompt_len) + f64::from(spec.output_len);
+        let t = &mut self.tenants[tenant];
+        t.counters.forwarded += 1;
+        t.counters.service += cost / t.spec.weight;
+        self.inflight += 1;
+        self.inner.submit(spec, now_ms);
+    }
+
+    /// Fills freed window slots from the held queues: least
+    /// weight-normalized service first (ties to the lower tenant index).
+    fn refill(&mut self, now_ms: f64) {
+        while self.inflight < self.max_inflight {
+            let Some(tenant) = self
+                .tenants
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| !t.held.is_empty())
+                .min_by(|(_, a), (_, b)| {
+                    a.counters
+                        .service
+                        .partial_cmp(&b.counters.service)
+                        .expect("finite service counters")
+                })
+                .map(|(i, _)| i)
+            else {
+                break;
+            };
+            let spec = self.tenants[tenant].held.pop_front().expect("non-empty");
+            self.forward(tenant, spec, now_ms);
+        }
+    }
+
+    /// Per-tenant accounting so far, in tenant order.
+    pub fn counters(&self) -> Vec<TenantCounters> {
+        self.tenants.iter().map(|t| t.counters.clone()).collect()
+    }
+
+    /// Requests currently held at the front door, across tenants.
+    pub fn held_len(&self) -> usize {
+        self.tenants.iter().map(|t| t.held.len()).sum()
+    }
+
+    /// Recovers the wrapped deployment.
+    pub fn into_inner(self) -> D {
+        self.inner
+    }
+}
+
+impl<D: Deployment> Deployment for FairFrontDoor<D> {
+    fn name(&self) -> String {
+        format!("fair({})", self.inner.name())
+    }
+
+    fn max_baseline_ms(&self) -> f64 {
+        self.inner.max_baseline_ms()
+    }
+
+    fn kv_capacity_tokens(&self) -> u64 {
+        self.inner.kv_capacity_tokens()
+    }
+
+    fn cached_prefix_tokens(&self, spec: &RequestSpec) -> u32 {
+        self.inner.cached_prefix_tokens(spec)
+    }
+
+    fn submit(&mut self, spec: RequestSpec, now_ms: f64) {
+        self.now_ms = self.now_ms.max(now_ms);
+        let tenant = self.tenant_index(spec.id);
+        self.tenants[tenant].counters.offered += 1;
+        if self.inflight < self.max_inflight {
+            // Invariant: the window has room only when nothing is held
+            // (refill drains held queues before the window frees up).
+            debug_assert_eq!(self.held_len(), 0);
+            self.forward(tenant, spec, now_ms);
+        } else if self.tenants[tenant].held.len() < self.tenants[tenant].spec.quota {
+            self.tenants[tenant].held.push_back(spec);
+        } else {
+            let t = &mut self.tenants[tenant];
+            t.counters.rejected += 1;
+            self.pending.push_back(DeploymentEvent::Rejected {
+                id: spec.id,
+                reason: RejectReason::TenantOverQuota {
+                    tenant,
+                    quota: t.spec.quota,
+                },
+                at_ms: now_ms,
+            });
+        }
+    }
+
+    fn next_event_ms(&self) -> Option<f64> {
+        let pending = self.pending.front().map(|e| match e {
+            DeploymentEvent::Rejected { at_ms, .. } => *at_ms,
+            _ => self.now_ms,
+        });
+        match (pending, self.inner.next_event_ms()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn step(&mut self, options: &RunOptions) -> Result<DeploymentStep, RunError> {
+        // Surface queued front-door refusals first: they carry no
+        // latency, so they bypass the session's progress guard.
+        if !self.pending.is_empty() {
+            return Ok(DeploymentStep {
+                events: self.pending.drain(..).collect(),
+                latency_ms: None,
+                replica: None,
+            });
+        }
+        let step = self.inner.step(options)?;
+        let finished = step
+            .events
+            .iter()
+            .filter(|e| matches!(e, DeploymentEvent::Finished { .. }))
+            .count();
+        if finished > 0 {
+            self.inflight = self.inflight.saturating_sub(finished);
+            let now_ms = self.inner.clock_ms().max(self.now_ms);
+            self.refill(now_ms);
+        }
+        Ok(step)
+    }
+
+    // `step_until` deliberately keeps the default one-step-at-a-time
+    // behavior: the window must refill at finish granularity, and the
+    // per-step path is identical under every `ExecMode`.
+
+    fn set_accepting(&mut self, replica: ReplicaAddr, accepting: bool, now_ms: f64) {
+        self.inner.set_accepting(replica, accepting, now_ms);
+    }
+
+    fn iterations(&self) -> u64 {
+        self.inner.iterations()
+    }
+
+    fn clock_ms(&self) -> f64 {
+        self.inner.clock_ms()
+    }
+
+    fn drain(&mut self) -> Result<Vec<UnitStats>, RunError> {
+        assert_eq!(
+            self.held_len(),
+            0,
+            "fair front door drained with requests still held — the inner \
+             deployment went idle without finishing its window"
+        );
+        self.inner.drain()
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.inner.set_tracer(tracer);
+    }
+
+    fn gauges(&self) -> GaugeSample {
+        let mut g = self.inner.gauges();
+        g.queue_depth += self.held_len();
+        g
+    }
+}

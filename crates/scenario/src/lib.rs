@@ -1,0 +1,359 @@
+//! Scenario engine: trace-driven arrivals, multi-tenant contracts and a
+//! closed-loop autoscaler.
+//!
+//! The sweeps reproduce the paper's evaluation under fixed-rate Poisson
+//! load; production traffic is nothing like that. This crate turns the
+//! repo into a scenario simulator:
+//!
+//! * [`ArrivalProcess`] — diurnal cycles, Markov-modulated bursts and
+//!   flash crowds, all seeded generators over the same
+//!   [`workload::ArrivalTrace`] machinery the paper traces use;
+//! * [`Scenario`] — a builder over millions of lightweight user ids with
+//!   session affinity (a returning user's next turn extends their
+//!   previous context, so the PR 7 prefix cache sees realistic reuse)
+//!   and per-tenant [`TenantSpec`] contracts (traffic share, SLO-tier
+//!   mix, fair-share weight, admission quota);
+//! * [`FairFrontDoor`] — weighted-fair admission in front of any
+//!   [`serving::Deployment`]: per-tenant service-token accounting (the
+//!   `baselines::vtc` idea at the front door) with quota-based refusal,
+//!   so one tenant's burst cannot starve the others;
+//! * [`AutoScaler`] — a closed-loop hysteresis controller consuming
+//!   [`serving::DeploymentEvent::GaugeTick`] samples and lifecycle
+//!   events, issuing drain/join [`serving::ScalingAction`]s at runtime
+//!   and accounting replica-hours.
+//!
+//! Everything is deterministic in the scenario seed (thread it from
+//! `ADASERVE_SEED` via [`workload::env_seed`]) and exec-mode invariant;
+//! fairness and autoscaling are strictly opt-in wrappers.
+
+pub mod arrival;
+pub mod autoscale;
+pub mod fairness;
+pub mod tenant;
+
+pub use arrival::{ArrivalProcess, MmppState};
+pub use autoscale::{AutoScaler, AutoScalerConfig};
+pub use fairness::{FairFrontDoor, TenantCounters};
+pub use tenant::TenantSpec;
+
+use metrics::FairnessReport;
+use serving::RunReport;
+use simllm::hash::{combine, seed_stream, unit_f64};
+use std::collections::HashMap;
+use std::sync::Arc;
+use workload::{LengthSampler, PrefixSpec, RequestSpec, Workload};
+
+/// Builder for a multi-tenant, user-affine workload driven by an
+/// [`ArrivalProcess`].
+///
+/// `baseline_ms` resolves baseline-relative SLOs exactly as
+/// [`workload::WorkloadBuilder`] does, so scenario requests carry the
+/// same per-category SLO tiers as every existing sweep.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    seed: u64,
+    baseline_ms: f64,
+    process: ArrivalProcess,
+    duration_ms: f64,
+    users: u64,
+    max_context: u32,
+    tenants: Vec<TenantSpec>,
+}
+
+impl Scenario {
+    /// A single-tenant Poisson scenario at 4 rps for one simulated
+    /// minute over one million users — override everything via the
+    /// builder methods.
+    pub fn new(seed: u64, baseline_ms: f64) -> Self {
+        assert!(baseline_ms > 0.0, "a positive baseline latency");
+        Self {
+            seed,
+            baseline_ms,
+            process: ArrivalProcess::Poisson { rps: 4.0 },
+            duration_ms: 60_000.0,
+            users: 1_000_000,
+            max_context: 8_192,
+            tenants: vec![TenantSpec::new("default")],
+        }
+    }
+
+    /// Sets the arrival process.
+    #[must_use]
+    pub fn process(mut self, process: ArrivalProcess) -> Self {
+        self.process = process;
+        self
+    }
+
+    /// Sets the scenario horizon in milliseconds.
+    #[must_use]
+    pub fn duration_ms(mut self, ms: f64) -> Self {
+        assert!(ms > 0.0);
+        self.duration_ms = ms;
+        self
+    }
+
+    /// Sets the user-population size. Users are lightweight ids — state
+    /// is kept only for users actually seen, so millions are cheap.
+    /// Smaller populations return more often and stress session
+    /// affinity; larger ones behave like one-shot traffic.
+    #[must_use]
+    pub fn users(mut self, users: u64) -> Self {
+        assert!(users > 0, "at least one user");
+        self.users = users;
+        self
+    }
+
+    /// Caps a returning user's grown context, in tokens.
+    #[must_use]
+    pub fn max_context(mut self, tokens: u32) -> Self {
+        assert!(tokens > 0);
+        self.max_context = tokens;
+        self
+    }
+
+    /// Replaces the tenant list.
+    #[must_use]
+    pub fn tenants(mut self, tenants: Vec<TenantSpec>) -> Self {
+        assert!(!tenants.is_empty(), "at least one tenant");
+        self.tenants = tenants;
+        self
+    }
+
+    /// Materializes the scenario into a workload plus its tenant/user
+    /// side tables. Deterministic in the seed: same seed, same
+    /// everything.
+    pub fn build(&self) -> ScenarioWorkload {
+        let trace = self
+            .process
+            .generate(seed_stream(self.seed, 1), self.duration_ms);
+        let sampler = LengthSampler::new(seed_stream(self.seed, 2));
+        let total_share: f64 = self.tenants.iter().map(|t| t.share).sum();
+        let mut requests = Vec::with_capacity(trace.len());
+        let mut tenant_of = Vec::with_capacity(trace.len());
+        // Context grown so far per *seen* user — the only per-user state,
+        // so a million-user population costs memory only for returners.
+        let mut ctx: HashMap<u64, u32> = HashMap::new();
+        for (i, arrival) in trace.arrivals().iter().enumerate() {
+            let rid = i as u64;
+            // Tenant: cumulative-share draw, deterministic per request.
+            let draw = unit_f64(combine(seed_stream(self.seed, 8), rid)) * total_share;
+            let mut acc = 0.0;
+            let mut tenant = self.tenants.len() - 1;
+            for (ti, t) in self.tenants.iter().enumerate() {
+                acc += t.share;
+                if draw < acc {
+                    tenant = ti;
+                    break;
+                }
+            }
+            let category = arrival.category.unwrap_or_else(|| {
+                self.tenants[tenant]
+                    .mix
+                    .sample(combine(seed_stream(self.seed, 3), rid))
+            });
+            let (sampled_prompt, output_len) = sampler.sample(category, rid);
+            // User: uniform over the population, keyed within the tenant.
+            let user = combine(seed_stream(self.seed, 5), rid) % self.users;
+            let ukey = combine(combine(seed_stream(self.seed, 6), tenant as u64), user);
+            let user_seed = combine(seed_stream(self.seed, 7), ukey);
+            // Session affinity: a returning user's turn extends their
+            // previous context (same per-user token stream), so turn k's
+            // prompt is literally a prefix of turn k+1's.
+            let prev = ctx.get(&ukey).copied().unwrap_or(0);
+            let prompt_len = prev
+                .saturating_add(sampled_prompt)
+                .min(self.max_context)
+                .max(1);
+            let prefix = (prev > 0).then_some(PrefixSpec {
+                seed: user_seed,
+                len: prev,
+            });
+            ctx.insert(ukey, prompt_len);
+            requests.push(RequestSpec {
+                id: rid,
+                category,
+                arrival_ms: arrival.time_ms,
+                prompt_len,
+                output_len,
+                tpot_slo_ms: category.slo().resolve(self.baseline_ms),
+                ttft_slo_ms: category.ttft_slo().resolve(self.baseline_ms),
+                stream_seed: user_seed,
+                prefix,
+            });
+            tenant_of.push(tenant);
+        }
+        let description = format!(
+            "{:?}, {} tenants, {} unique users over {} requests, mean {:.2} rps",
+            self.process,
+            self.tenants.len(),
+            ctx.len(),
+            trace.len(),
+            trace.mean_rps()
+        );
+        ScenarioWorkload {
+            workload: Workload {
+                requests,
+                description,
+            },
+            tenants: self.tenants.clone(),
+            tenant_of: Arc::new(tenant_of),
+            unique_users: ctx.len(),
+        }
+    }
+}
+
+/// A materialized scenario: the workload plus its tenant side table.
+///
+/// Request ids are `0..n` in arrival order, so the tenant table is a
+/// plain vector indexed by id — shared (via `Arc`) with the
+/// [`FairFrontDoor`] so front door and report agree on attribution.
+#[derive(Debug, Clone)]
+pub struct ScenarioWorkload {
+    /// The time-ordered requests, consumable by any deployment.
+    pub workload: Workload,
+    /// The tenant contracts the scenario was built with.
+    pub tenants: Vec<TenantSpec>,
+    tenant_of: Arc<Vec<usize>>,
+    unique_users: usize,
+}
+
+impl ScenarioWorkload {
+    /// The tenant index a request id belongs to. Ids outside the
+    /// scenario (e.g. injected by a closed-loop client) hash onto a
+    /// tenant deterministically.
+    pub fn tenant_of(&self, id: u64) -> usize {
+        self.tenant_of
+            .get(id as usize)
+            .copied()
+            .unwrap_or_else(|| (id % self.tenants.len() as u64) as usize)
+    }
+
+    /// The shared id → tenant table (for wiring a [`FairFrontDoor`]).
+    pub fn tenant_table(&self) -> Arc<Vec<usize>> {
+        Arc::clone(&self.tenant_of)
+    }
+
+    /// Distinct users that actually sent traffic.
+    pub fn unique_users(&self) -> usize {
+        self.unique_users
+    }
+
+    /// Requests attributed to each tenant, in tenant order.
+    pub fn offered_per_tenant(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.tenants.len()];
+        for &t in self.tenant_of.iter() {
+            counts[t] += 1;
+        }
+        counts
+    }
+
+    /// Slices a finished run's records and rejections by tenant.
+    pub fn fairness_report(&self, report: &RunReport) -> FairnessReport {
+        let rejected: Vec<u64> = report.rejected.iter().map(|(id, _)| *id).collect();
+        FairnessReport::from_records(&report.records, self.tenants.len(), &rejected, |id| {
+            self.tenant_of(id)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_tenant_scenario(seed: u64) -> Scenario {
+        Scenario::new(seed, 25.0)
+            .process(ArrivalProcess::FlashCrowd {
+                rps: 3.0,
+                at_ms: 20_000.0,
+                magnitude: 8.0,
+                decay_ms: 5_000.0,
+            })
+            .duration_ms(60_000.0)
+            .users(50)
+            .tenants(vec![
+                TenantSpec::new("pro").share(1.0).weight(4.0).quota(64),
+                TenantSpec::new("free").share(3.0).weight(1.0).quota(64),
+            ])
+    }
+
+    #[test]
+    fn same_seed_same_scenario_trace() {
+        let a = two_tenant_scenario(11).build();
+        let b = two_tenant_scenario(11).build();
+        assert_eq!(a.workload.requests, b.workload.requests);
+        assert_eq!(a.tenant_table(), b.tenant_table());
+        let c = two_tenant_scenario(12).build();
+        assert_ne!(a.workload.requests, c.workload.requests);
+    }
+
+    #[test]
+    fn shares_split_traffic_proportionally() {
+        let sw = two_tenant_scenario(7).build();
+        let counts = sw.offered_per_tenant();
+        let total = counts.iter().sum::<usize>() as f64;
+        let free_frac = counts[1] as f64 / total;
+        assert!(
+            (free_frac - 0.75).abs() < 0.07,
+            "free share = {free_frac} over {total} requests"
+        );
+    }
+
+    #[test]
+    fn returning_users_extend_their_context() {
+        let sw = Scenario::new(5, 25.0)
+            .process(ArrivalProcess::Poisson { rps: 10.0 })
+            .duration_ms(30_000.0)
+            .users(10)
+            .max_context(1_000_000)
+            .build();
+        // With 10 users and hundreds of requests, most turns return.
+        let returning = sw
+            .workload
+            .requests
+            .iter()
+            .filter(|r| r.prefix.is_some())
+            .count();
+        assert!(
+            returning * 2 > sw.workload.requests.len(),
+            "returning turns: {returning}/{}",
+            sw.workload.requests.len()
+        );
+        // Each returning turn's prefix records previously seen context
+        // drawn from the same per-user stream.
+        for r in &sw.workload.requests {
+            if let Some(p) = &r.prefix {
+                assert_eq!(p.seed, r.stream_seed);
+                assert!(p.len < r.prompt_len);
+            }
+        }
+        assert!(sw.unique_users() <= 10);
+    }
+
+    #[test]
+    fn huge_user_populations_stay_lightweight() {
+        let sw = Scenario::new(5, 25.0)
+            .process(ArrivalProcess::Poisson { rps: 8.0 })
+            .duration_ms(30_000.0)
+            .users(3_000_000)
+            .build();
+        // Millions of ids, but state only for users actually seen.
+        assert!(sw.unique_users() <= sw.workload.requests.len());
+        assert!(sw.workload.requests.len() < 1_000);
+    }
+
+    #[test]
+    fn slo_tiers_match_the_workload_builder_defaults() {
+        let sw = two_tenant_scenario(3).build();
+        for r in &sw.workload.requests {
+            assert_eq!(r.tpot_slo_ms, r.category.slo().resolve(25.0));
+            assert_eq!(r.ttft_slo_ms, r.category.ttft_slo().resolve(25.0));
+        }
+    }
+
+    #[test]
+    fn out_of_range_ids_map_to_a_tenant() {
+        let sw = two_tenant_scenario(3).build();
+        let id = sw.workload.requests.len() as u64 + 17;
+        assert!(sw.tenant_of(id) < 2);
+    }
+}

@@ -1,0 +1,73 @@
+//! Tenant contracts: traffic share, SLO-tier mix, fair-share weight and
+//! admission quota.
+
+use workload::CategoryMix;
+
+/// One tenant's serving contract.
+///
+/// A scenario splits its arrival stream across tenants by `share`, each
+/// tenant sampling request categories from its own `mix`. The fairness
+/// front door ([`crate::FairFrontDoor`]) consumes `weight` (service-token
+/// accounting: a tenant is charged `tokens / weight`, so a 2× weight buys
+/// 2× the fair share) and `quota` (max requests it may hold queued at the
+/// front door before further submissions are refused).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    /// Display name, used in reports.
+    pub name: String,
+    /// Relative share of the scenario's arrivals routed to this tenant
+    /// (normalized across tenants at build time).
+    pub share: f64,
+    /// Fair-share weight: service tokens are charged at `1 / weight`.
+    pub weight: f64,
+    /// Max requests the tenant may hold queued at the front door;
+    /// submissions beyond it are refused (`RejectReason::TenantOverQuota`).
+    pub quota: usize,
+    /// The tenant's SLO-tier mix (which request categories it sends).
+    pub mix: CategoryMix,
+}
+
+impl TenantSpec {
+    /// A tenant with equal share, unit weight, an effectively unbounded
+    /// quota and the paper's default category mix.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            share: 1.0,
+            weight: 1.0,
+            quota: usize::MAX,
+            mix: CategoryMix::paper_default(),
+        }
+    }
+
+    /// Sets the tenant's relative arrival share.
+    #[must_use]
+    pub fn share(mut self, share: f64) -> Self {
+        assert!(share > 0.0, "a tenant receives some traffic");
+        self.share = share;
+        self
+    }
+
+    /// Sets the tenant's fair-share weight.
+    #[must_use]
+    pub fn weight(mut self, weight: f64) -> Self {
+        assert!(weight > 0.0, "a positive fair-share weight");
+        self.weight = weight;
+        self
+    }
+
+    /// Sets the tenant's front-door admission quota.
+    #[must_use]
+    pub fn quota(mut self, quota: usize) -> Self {
+        assert!(quota > 0, "a quota admits at least one request");
+        self.quota = quota;
+        self
+    }
+
+    /// Sets the tenant's category mix.
+    #[must_use]
+    pub fn mix(mut self, mix: CategoryMix) -> Self {
+        self.mix = mix;
+        self
+    }
+}

@@ -1,0 +1,216 @@
+//! End-to-end properties of the scenario engine:
+//!
+//! * **Per-tenant conservation** — weighted-fair admission never loses a
+//!   request: per tenant, offered = finished + rejected, across quota
+//!   refusals and mid-run drain/join events.
+//! * **Determinism** — an autoscaled closed-loop run is a pure function
+//!   of its seed: records, rejections and replica-hours all reproduce.
+//! * **Exec-mode invariance** — a scenario-driven run is
+//!   record-identical under sequential and sharded execution.
+
+use adaserve_core::AdaServeEngine;
+use cluster::{Cluster, RouterKind};
+use proptest::prelude::*;
+use scenario::{
+    ArrivalProcess, AutoScaler, AutoScalerConfig, FairFrontDoor, Scenario, ScenarioWorkload,
+    TenantSpec,
+};
+use serving::{
+    ExecMode, ReplicaAddr, RunReport, ScalingAction, ServeSession, ServingEngine, SystemConfig,
+};
+
+fn engines(n: usize, seed: u64) -> Vec<Box<dyn ServingEngine>> {
+    (0..n)
+        .map(|_| {
+            Box::new(AdaServeEngine::new(SystemConfig::llama70b(seed))) as Box<dyn ServingEngine>
+        })
+        .collect()
+}
+
+fn bursty_scenario(seed: u64, quota: usize) -> ScenarioWorkload {
+    Scenario::new(seed, SystemConfig::llama70b(seed).baseline_ms)
+        .process(ArrivalProcess::FlashCrowd {
+            rps: 4.0,
+            at_ms: 4_000.0,
+            magnitude: 6.0,
+            decay_ms: 3_000.0,
+        })
+        .duration_ms(12_000.0)
+        .users(40)
+        .tenants(vec![
+            TenantSpec::new("pro").share(1.0).weight(3.0).quota(quota),
+            TenantSpec::new("free").share(2.0).weight(1.0).quota(quota),
+        ])
+        .build()
+}
+
+/// Serves `sw` through a fair front door over a 2-replica cluster, with
+/// one replica drained and rejoined mid-run.
+fn fair_run(sw: &ScenarioWorkload, seed: u64, max_inflight: usize) -> RunReport {
+    let cluster = Cluster::new(engines(2, seed), RouterKind::LeastOutstanding.build());
+    let fair = FairFrontDoor::new(cluster, &sw.tenants, sw.tenant_table(), max_inflight);
+    let mut session = ServeSession::new(fair);
+    session.scale_at(3_000.0, ReplicaAddr::serving(1), ScalingAction::Drain);
+    session.scale_at(9_000.0, ReplicaAddr::serving(1), ScalingAction::Join);
+    session.serve(&sw.workload).expect("fair run completes")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn fair_admission_conserves_requests_per_tenant(
+        seed in 0u64..1_000,
+        quota in 2usize..12,
+        max_inflight in 2usize..10,
+    ) {
+        let sw = bursty_scenario(seed, quota);
+        let report = fair_run(&sw, seed, max_inflight);
+        let offered = sw.offered_per_tenant();
+        let mut finished = vec![0usize; sw.tenants.len()];
+        for r in &report.records {
+            finished[sw.tenant_of(r.id)] += 1;
+        }
+        let mut rejected = vec![0usize; sw.tenants.len()];
+        for (id, _) in &report.rejected {
+            rejected[sw.tenant_of(*id)] += 1;
+        }
+        for t in 0..sw.tenants.len() {
+            prop_assert_eq!(
+                offered[t],
+                finished[t] + rejected[t],
+                "tenant {} lost requests: offered {} vs finished {} + rejected {}",
+                t, offered[t], finished[t], rejected[t]
+            );
+        }
+        // No request id appears in both outcomes.
+        for (id, _) in &report.rejected {
+            prop_assert!(report.records.iter().all(|r| r.id != *id));
+        }
+    }
+
+    #[test]
+    fn autoscaled_runs_are_deterministic(seed in 0u64..500) {
+        let (a_records, a_rejected, a_hours) = autoscaled_run(seed);
+        let (b_records, b_rejected, b_hours) = autoscaled_run(seed);
+        prop_assert_eq!(a_records, b_records);
+        prop_assert_eq!(a_rejected, b_rejected);
+        prop_assert_eq!(a_hours.to_bits(), b_hours.to_bits());
+    }
+}
+
+/// One closed-loop autoscaled run: flash-crowd scenario, fleet built at
+/// 3 replicas with 1 active, controller reacting to gauge ticks.
+fn autoscaled_run(seed: u64) -> (Vec<metrics::RequestRecord>, Vec<u64>, f64) {
+    let sw = bursty_scenario(seed, usize::MAX);
+    let cluster = Cluster::new(engines(3, seed), RouterKind::LeastOutstanding.build());
+    let mut session = ServeSession::new(cluster)
+        .with_gauge_events()
+        .with_gauge_tick_ms(500.0);
+    let mut scaler = AutoScaler::new(AutoScalerConfig {
+        min_replicas: 1,
+        max_replicas: 3,
+        cooldown_ms: 1_000.0,
+        ..AutoScalerConfig::default()
+    });
+    for plan in scaler.initial_plans() {
+        session.scale_at(plan.at_ms, plan.replica, plan.action);
+    }
+    session.enqueue(&sw.workload);
+    let report = session
+        .serve_online(|event, handle| {
+            if let Some(plan) = scaler.observe(event) {
+                handle.scale_at(plan.at_ms, plan.replica, plan.action);
+            }
+        })
+        .expect("autoscaled run completes");
+    let hours = scaler.replica_hours(report.end_ms);
+    (
+        report.records,
+        report.rejected.iter().map(|(id, _)| *id).collect(),
+        hours,
+    )
+}
+
+#[test]
+fn scenario_runs_are_record_identical_across_exec_modes() {
+    let seed = 20_250_117;
+    let sw = bursty_scenario(seed, usize::MAX);
+    let run = |mode: ExecMode| {
+        let cluster = Cluster::new(engines(3, seed), RouterKind::SloAware.build());
+        ServeSession::new(cluster)
+            .with_exec_mode(mode)
+            .serve(&sw.workload)
+            .expect("scenario run completes")
+            .records
+    };
+    let sequential = run(ExecMode::Sequential);
+    let sharded = run(ExecMode::Sharded { workers: Some(3) });
+    assert_eq!(sequential, sharded);
+}
+
+#[test]
+fn quota_refusals_surface_as_tenant_rejections() {
+    let sw = bursty_scenario(9, 2);
+    let report = fair_run(&sw, 9, 2);
+    assert!(
+        !report.rejected.is_empty(),
+        "a 6x burst against quota 2 must refuse something"
+    );
+    for (_, reason) in &report.rejected {
+        assert!(matches!(
+            reason,
+            serving::RejectReason::TenantOverQuota { .. }
+        ));
+    }
+    // The fairness report slices refusals per tenant.
+    let fr = sw.fairness_report(&report);
+    let total_rejected: usize = fr.tenants.iter().map(|t| t.rejected).sum();
+    assert_eq!(total_rejected, report.rejected.len());
+}
+
+#[test]
+fn weighted_tenant_is_served_ahead_under_contention() {
+    // Equal offered load, 4x weight difference, a tight window: the
+    // heavy tenant must accumulate at least its fair share of service.
+    let sw = Scenario::new(3, 25.0)
+        .process(ArrivalProcess::Poisson { rps: 8.0 })
+        .duration_ms(10_000.0)
+        .users(30)
+        .tenants(vec![
+            TenantSpec::new("pro").share(1.0).weight(4.0),
+            TenantSpec::new("free").share(1.0).weight(1.0),
+        ])
+        .build();
+    let cluster = Cluster::new(engines(1, 3), RouterKind::RoundRobin.build());
+    let fair = FairFrontDoor::new(cluster, &sw.tenants, sw.tenant_table(), 3);
+    let mut session = ServeSession::new(fair);
+    let report = session
+        .serve(&sw.workload)
+        .expect("contended run completes");
+    assert_eq!(
+        report.records.len() + report.rejected.len(),
+        sw.workload.requests.len()
+    );
+    // Everything is eventually served (the front door is
+    // work-conserving), so the weight shows up in *queueing delay*: the
+    // 4x-weight tenant's held requests jump the refill order, so its
+    // mean TTFT beats the free tier's under persistent overload.
+    let mean_ttft = |tenant: usize| {
+        let ttfts: Vec<f64> = report
+            .records
+            .iter()
+            .filter(|r| sw.tenant_of(r.id) == tenant)
+            .map(|r| r.ttft_ms())
+            .collect();
+        assert!(!ttfts.is_empty(), "tenant {tenant} completed something");
+        ttfts.iter().sum::<f64>() / ttfts.len() as f64
+    };
+    let (pro, free) = (mean_ttft(0), mean_ttft(1));
+    assert!(
+        pro < free,
+        "4x-weight tenant should queue less: pro {pro:.0} ms vs free {free:.0} ms"
+    );
+    let counters = session.into_inner().counters();
+    assert!(counters.iter().all(|c| c.offered > 0));
+}

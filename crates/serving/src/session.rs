@@ -97,6 +97,15 @@ pub enum RejectReason {
         /// The deployment's smallest per-replica KV capacity, in tokens.
         capacity_tokens: u64,
     },
+    /// The request's tenant is already holding its full admission quota
+    /// of queued requests, so a weighted-fair front door refused it
+    /// rather than let one tenant monopolize the waiting queue.
+    TenantOverQuota {
+        /// Tenant index (position in the scenario's tenant list).
+        tenant: usize,
+        /// The tenant's admission quota (max held requests).
+        quota: usize,
+    },
 }
 
 impl std::fmt::Display for RejectReason {
@@ -109,6 +118,11 @@ impl std::fmt::Display for RejectReason {
                 f,
                 "prompt of {prompt_tokens} tokens exceeds the deployment's \
                  {capacity_tokens}-token KV capacity"
+            ),
+            RejectReason::TenantOverQuota { tenant, quota } => write!(
+                f,
+                "tenant {tenant} already holds its admission quota of \
+                 {quota} queued requests"
             ),
         }
     }
@@ -152,6 +166,16 @@ pub enum DeploymentEvent {
         reason: RejectReason,
         /// Session clock at refusal.
         at_ms: f64,
+    },
+    /// A periodic counters snapshot ([`Deployment::gauges`]), dispatched
+    /// only when the session was built with
+    /// [`ServeSession::with_gauge_events`] — the observation channel a
+    /// closed-loop autoscaler consumes.
+    GaugeTick {
+        /// The tick's nominal sample time.
+        at_ms: f64,
+        /// The deployment-wide counters snapshot.
+        sample: GaugeSample,
     },
 }
 
@@ -547,6 +571,10 @@ pub struct ServeSession<D: Deployment> {
     gauge_tick_ms: f64,
     /// Next due gauge sample.
     next_gauge_ms: f64,
+    /// Whether gauge samples are also dispatched to the client as
+    /// [`DeploymentEvent::GaugeTick`]s (off by default; enables
+    /// closed-loop controllers without requiring tracing).
+    gauge_events: bool,
     /// Prefix-cache hit lengths computed at arrival, keyed by request id,
     /// so the traced admission event can carry them.
     cached_at_arrival: HashMap<u64, u32>,
@@ -574,6 +602,7 @@ impl<D: Deployment> ServeSession<D> {
             tracer: Tracer::off(),
             gauge_tick_ms: 1_000.0,
             next_gauge_ms: 0.0,
+            gauge_events: false,
             cached_at_arrival: HashMap::new(),
         }
     }
@@ -593,10 +622,23 @@ impl<D: Deployment> ServeSession<D> {
     }
 
     /// Sets the gauge sampling period in simulation milliseconds
-    /// (default 1000 ms; only sampled while tracing is enabled).
+    /// (default 1000 ms; sampled while tracing or
+    /// [`ServeSession::with_gauge_events`] is enabled).
     #[must_use]
     pub fn with_gauge_tick_ms(mut self, tick_ms: f64) -> Self {
         self.gauge_tick_ms = tick_ms.max(1e-3);
+        self
+    }
+
+    /// Surfaces every gauge sample to the client as a
+    /// [`DeploymentEvent::GaugeTick`] (off by default). This is the
+    /// signal feed for closed-loop controllers — e.g. an autoscaler
+    /// reacting to queue depth and KV occupancy — and works with or
+    /// without tracing. Sampling never affects scheduling, so records
+    /// stay identical to a run without gauge events.
+    #[must_use]
+    pub fn with_gauge_events(mut self) -> Self {
+        self.gauge_events = true;
         self
     }
 
@@ -718,12 +760,19 @@ impl<D: Deployment> ServeSession<D> {
             }
             self.now_ms = self.now_ms.max(t);
 
-            if self.tracer.enabled() {
+            if self.tracer.enabled() || self.gauge_events {
                 while self.next_gauge_ms <= self.now_ms {
                     let sample = self.deployment.gauges();
-                    self.tracer
-                        .record(self.next_gauge_ms, EventKind::Gauge(sample));
+                    if self.tracer.enabled() {
+                        self.tracer
+                            .record(self.next_gauge_ms, EventKind::Gauge(sample));
+                    }
+                    let at_ms = self.next_gauge_ms;
                     self.next_gauge_ms += self.gauge_tick_ms;
+                    if self.gauge_events {
+                        let event = DeploymentEvent::GaugeTick { at_ms, sample };
+                        self.dispatch(&event, client);
+                    }
                 }
             }
 
@@ -765,7 +814,6 @@ impl<D: Deployment> ServeSession<D> {
                             prompt_tokens: spec.prompt_len,
                             capacity_tokens: capacity,
                         };
-                        self.rejected.push((spec.id, reason));
                         let event = DeploymentEvent::Rejected {
                             id: spec.id,
                             reason,
@@ -813,6 +861,13 @@ impl<D: Deployment> ServeSession<D> {
     where
         F: FnMut(&DeploymentEvent, &mut SessionHandle),
     {
+        // Rejections are accounted here — whether issued by the session's
+        // own admission check or surfaced from a front-door deployment
+        // wrapper's step (e.g. a tenant-quota refusal) — so RunReport
+        // conservation (records + rejected = offered) holds for both.
+        if let DeploymentEvent::Rejected { id, reason, .. } = event {
+            self.rejected.push((*id, *reason));
+        }
         if self.tracer.enabled() {
             self.trace_event(event);
         }
@@ -879,7 +934,10 @@ impl<D: Deployment> ServeSession<D> {
                     },
                 );
             }
-            DeploymentEvent::FirstToken { .. } => {}
+            // Gauge ticks are recorded to the tracer at sampling time in
+            // the serve loop, not here, so a traced run never
+            // double-records them.
+            DeploymentEvent::FirstToken { .. } | DeploymentEvent::GaugeTick { .. } => {}
         }
     }
 

@@ -60,7 +60,12 @@
 //! * [`simllm`] — the synthetic target/draft model pair;
 //! * [`roofline`] — the hardware cost model and profiler;
 //! * [`workload`] — multi-SLO request categories, datasets and traces;
-//! * [`metrics`] — SLO attainment, goodput and latency reporting.
+//! * [`scenario`] — production-shaped scenarios: diurnal/MMPP/flash-crowd
+//!   arrival processes over millions of session-affine users,
+//!   multi-tenant contracts with weighted-fair front-door admission, and
+//!   a closed-loop autoscaler (see `docs/SCENARIOS.md`);
+//! * [`metrics`] — SLO attainment, goodput, latency and per-tenant
+//!   fairness reporting.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour,
 //! `examples/online_serving.rs` for the online/closed-loop API, and
@@ -72,6 +77,7 @@ pub use cluster;
 pub use disagg;
 pub use metrics;
 pub use roofline;
+pub use scenario;
 pub use serving;
 pub use simllm;
 pub use spectree;

@@ -84,6 +84,11 @@ fn online_serving_runs() {
     run_example("online_serving");
 }
 
+#[test]
+fn autoscale_serving_runs() {
+    run_example("autoscale_serving");
+}
+
 /// `--trace-out` must leave a loadable Chrome-trace JSON behind.
 #[test]
 fn online_serving_writes_perfetto_trace() {
