@@ -27,7 +27,13 @@
 //!   the floor), priced under [`REPLICA_HOURS_CEILING_FACTOR`] of the
 //!   static-max reference, with burst attainment within
 //!   [`BURST_DROP_TOLERANCE_PTS`] of steady state; and the weighted-fair
-//!   row's per-tenant attainment spread may not exceed the FIFO row's.
+//!   row's per-tenant attainment spread may not exceed the FIFO row's;
+//! * chaos artifacts (`"kind": "chaos"`, from `fig_chaos`) — every row
+//!   must conserve requests (offered = finished + rejected), the no-fault
+//!   row must be untouched by the chaos machinery (0 faults, retries and
+//!   rejections), and under the same seeded fault schedule the
+//!   with-recovery row's offered-basis attainment must be strictly above
+//!   the no-recovery row's — recovery has to earn its keep.
 //!
 //! ```sh
 //! cargo run -p adaserve-bench --bin check_bench_json -- BENCH_foo.json [...]
@@ -320,6 +326,64 @@ fn autoscale_gate(doc: &Json) -> Vec<String> {
     errors
 }
 
+/// Applies the chaos-artifact gates (see module docs): per-row request
+/// conservation, a clean no-fault row, and recovery strictly beating
+/// no-recovery on offered-basis attainment under the identical seeded
+/// fault schedule. Returns the violations found (empty when the artifact
+/// is not a chaos artifact).
+fn chaos_gate(doc: &Json) -> Vec<String> {
+    if doc.get("kind").and_then(Json::as_str) != Some("chaos") {
+        return Vec::new();
+    }
+    let Some(rows) = doc.get("rows").and_then(Json::as_arr) else {
+        return Vec::new();
+    };
+    let num = |row: &Json, key: &str| row.get(key).and_then(Json::as_num);
+    let mut errors = Vec::new();
+    let mut no_recovery = None;
+    let mut with_recovery = None;
+    for row in rows {
+        let label = row.get("label").and_then(Json::as_str).unwrap_or("?");
+        if let (Some(offered), Some(finished), Some(rejected)) = (
+            num(row, "offered"),
+            num(row, "finished"),
+            num(row, "rejected"),
+        ) {
+            if offered != finished + rejected {
+                errors.push(format!(
+                    "{label}: offered {offered} != finished {finished} + rejected {rejected} — \
+                     the session lost or duplicated a request"
+                ));
+            }
+        }
+        match row.get("recovery").and_then(Json::as_str) {
+            Some("n/a") => {
+                for key in ["faults", "retries", "rejected"] {
+                    if num(row, key).is_some_and(|v| v != 0.0) {
+                        errors.push(format!(
+                            "{label}: fault-free row reports nonzero {key} — the chaos \
+                             machinery leaked into a clean run"
+                        ));
+                    }
+                }
+            }
+            Some("none") => no_recovery = num(row, "offered_attainment_pct"),
+            Some("retry") => with_recovery = num(row, "offered_attainment_pct"),
+            _ => {}
+        }
+    }
+    if let (Some(without), Some(with)) = (no_recovery, with_recovery) {
+        if with <= without {
+            errors.push(format!(
+                "with-recovery offered attainment {with:.1}% does not beat no-recovery \
+                 {without:.1}% under the same fault schedule — retry/backoff stopped paying for \
+                 itself"
+            ));
+        }
+    }
+    errors
+}
+
 fn main() {
     let paths: Vec<String> = std::env::args().skip(1).collect();
     if paths.is_empty() {
@@ -352,6 +416,7 @@ fn main() {
                 gate_errors.extend(attribution_gate(&doc));
                 gate_errors.extend(tracer_gate(&doc));
                 gate_errors.extend(autoscale_gate(&doc));
+                gate_errors.extend(chaos_gate(&doc));
                 if gate_errors.is_empty() {
                     let rows = doc
                         .get("rows")

@@ -108,6 +108,7 @@ fn row(label: &str, report: &RunReport, wall_ms: f64) -> PerfRow {
         peak_decode_batch: hotloop.peak_decode_batch,
         scheduling_share_pct,
         dist_cache_hit_rate_pct: hotloop.dist_cache_hit_rate_pct(),
+        trace_dropped: report.trace_dropped,
     }
 }
 

@@ -17,7 +17,8 @@ pub mod summary;
 
 pub use summary::{
     AttributionRow, AttributionSummary, AutoscaleRow, AutoscaleSummary, BenchRow, BenchSummary,
-    FleetRow, FleetSummary, PerfRow, PerfSummary, PrefixRow, PrefixSummary, TierSummary,
+    ChaosRow, ChaosSummary, FleetRow, FleetSummary, PerfRow, PerfSummary, PrefixRow, PrefixSummary,
+    TierSummary,
 };
 
 use adaserve_core::{AdaServeEngine, AdaServeOptions};

@@ -298,6 +298,10 @@ pub struct PerfRow {
     pub scheduling_share_pct: f64,
     /// LM-distribution cache hit rate, percent.
     pub dist_cache_hit_rate_pct: f64,
+    /// Trace events the ring buffer dropped (0 unless the row ran with a
+    /// live bounded tracer that overflowed; surfaced so a silently
+    /// truncated trace is visible in the perf trajectory).
+    pub trace_dropped: u64,
 }
 
 /// A machine-readable wall-clock perf artifact (`BENCH_perf.json`).
@@ -383,6 +387,7 @@ impl PerfSummary {
                     "dist_cache_hit_rate_pct".into(),
                     Json::Num(row.dist_cache_hit_rate_pct),
                 );
+                m.insert("trace_dropped".into(), Json::Num(row.trace_dropped as f64));
                 Json::Obj(m)
             })
             .collect();
@@ -994,6 +999,205 @@ impl AutoscaleSummary {
     }
 }
 
+/// One chaos measurement (a [`ChaosSummary`] row): the same seeded
+/// crash-during-flash-crowd scenario under one recovery configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosRow {
+    /// Configuration label (`"no-fault"`, `"fault-no-recovery"`,
+    /// `"fault-with-recovery"`).
+    pub label: String,
+    /// Recovery policy in force (`"n/a"` on the fault-free row,
+    /// `"none"` or `"retry"` on the faulted rows).
+    pub recovery: String,
+    /// Faults the plan scheduled for this row.
+    pub faults: usize,
+    /// Requests the workload offered.
+    pub offered: usize,
+    /// Requests that finished.
+    pub finished: usize,
+    /// Requests terminally rejected (retry budget exhausted, degraded
+    /// shed, or front-door refusal).
+    pub rejected: usize,
+    /// Retries the session scheduled.
+    pub retries: u64,
+    /// Joint (TPOT ∧ TTFT) attainment among *finished* requests,
+    /// percent.
+    pub slo_attainment_pct: f64,
+    /// Joint attainment on the **offered** basis — rejected requests
+    /// count as misses — percent. This is the number recovery moves:
+    /// retrying a lost request can still meet its SLOs, rejecting it
+    /// never can.
+    pub offered_attainment_pct: f64,
+    /// Mean TTFT among finished requests, ms (retried requests charge
+    /// their whole recovery, backoff included).
+    pub mean_ttft_ms: f64,
+}
+
+/// A machine-readable chaos artifact (`BENCH_chaos.json`): request
+/// conservation and offered-basis SLO attainment through a seeded
+/// crash-during-flash-crowd scenario, served fault-free, faulted without
+/// recovery, and faulted with retry/backoff recovery.
+///
+/// Distinguished by `"kind": "chaos"`; [`validate`] dispatches on that
+/// key so the artifact flows through the same `check_bench_json` CI gate
+/// as the other families.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosSummary {
+    /// Emitting binary (e.g. `"fig_chaos"`).
+    pub name: String,
+    /// `"smoke"` (CI-sized) or `"full"`.
+    pub mode: String,
+    /// The experiment seed the run used.
+    pub seed: u64,
+    /// Simulated duration per row, ms.
+    pub duration_ms: f64,
+    /// Measurements, one per recovery configuration.
+    pub rows: Vec<ChaosRow>,
+}
+
+impl ChaosSummary {
+    /// Creates an empty chaos summary; `mode` must be `"smoke"` or
+    /// `"full"`.
+    pub fn new(
+        name: impl Into<String>,
+        mode: impl Into<String>,
+        seed: u64,
+        duration_ms: f64,
+    ) -> Self {
+        let mode = mode.into();
+        assert!(
+            mode == "smoke" || mode == "full",
+            "mode must be smoke|full, got {mode:?}"
+        );
+        Self {
+            name: name.into(),
+            mode,
+            seed,
+            duration_ms,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Lowers the summary to a JSON value.
+    pub fn to_json(&self) -> Json {
+        let mut top = BTreeMap::new();
+        top.insert(
+            "schema_version".into(),
+            Json::Num(f64::from(SCHEMA_VERSION)),
+        );
+        top.insert("kind".into(), Json::Str("chaos".into()));
+        top.insert("name".into(), Json::Str(self.name.clone()));
+        top.insert("mode".into(), Json::Str(self.mode.clone()));
+        top.insert("seed".into(), Json::Int(self.seed));
+        top.insert("duration_ms".into(), Json::Num(self.duration_ms));
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| {
+                let mut m = BTreeMap::new();
+                m.insert("label".into(), Json::Str(row.label.clone()));
+                m.insert("recovery".into(), Json::Str(row.recovery.clone()));
+                m.insert("faults".into(), Json::Num(row.faults as f64));
+                m.insert("offered".into(), Json::Num(row.offered as f64));
+                m.insert("finished".into(), Json::Num(row.finished as f64));
+                m.insert("rejected".into(), Json::Num(row.rejected as f64));
+                m.insert("retries".into(), Json::Num(row.retries as f64));
+                m.insert(
+                    "slo_attainment_pct".into(),
+                    Json::Num(row.slo_attainment_pct),
+                );
+                m.insert(
+                    "offered_attainment_pct".into(),
+                    Json::Num(row.offered_attainment_pct),
+                );
+                m.insert("mean_ttft_ms".into(), Json::Num(row.mean_ttft_ms));
+                Json::Obj(m)
+            })
+            .collect();
+        top.insert("rows".into(), Json::Arr(rows));
+        Json::Obj(top)
+    }
+
+    /// Serializes to a compact JSON string (newline-terminated).
+    pub fn to_json_string(&self) -> String {
+        let mut s = self.to_json().to_string_compact();
+        s.push('\n');
+        s
+    }
+
+    /// Writes the artifact to `path` and logs the destination to stderr.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        write_artifact(
+            path,
+            self.to_json_string(),
+            self.rows.len(),
+            &self.mode,
+            self.seed,
+        )
+    }
+}
+
+/// Validates a chaos artifact (see [`ChaosSummary`]).
+pub fn validate_chaos(doc: &Json) -> Result<(), Vec<String>> {
+    let mut errors = Vec::new();
+    match need_num(&mut errors, doc.get("schema_version"), "schema_version") {
+        Some(v) if v == f64::from(SCHEMA_VERSION) => {}
+        Some(v) => errors.push(format!("unsupported schema_version {v}")),
+        None => {}
+    }
+    if doc
+        .get("name")
+        .and_then(Json::as_str)
+        .is_none_or(str::is_empty)
+    {
+        errors.push("missing or empty name".into());
+    }
+    match doc.get("mode").and_then(Json::as_str) {
+        Some("smoke") | Some("full") => {}
+        other => errors.push(format!("mode must be \"smoke\" or \"full\", got {other:?}")),
+    }
+    need_num(&mut errors, doc.get("seed"), "seed");
+    need_num(&mut errors, doc.get("duration_ms"), "duration_ms");
+    match doc.get("rows").and_then(Json::as_arr) {
+        None => errors.push("missing rows array".into()),
+        Some([]) => errors.push("rows is empty".into()),
+        Some(rows) => {
+            for (i, row) in rows.iter().enumerate() {
+                if row
+                    .get("label")
+                    .and_then(Json::as_str)
+                    .is_none_or(str::is_empty)
+                {
+                    errors.push(format!("rows[{i}]: missing or empty label"));
+                }
+                match row.get("recovery").and_then(Json::as_str) {
+                    Some("n/a") | Some("none") | Some("retry") => {}
+                    other => errors.push(format!(
+                        "rows[{i}]: recovery must be \"n/a\", \"none\" or \"retry\", got {other:?}"
+                    )),
+                }
+                for key in [
+                    "faults",
+                    "offered",
+                    "finished",
+                    "rejected",
+                    "retries",
+                    "slo_attainment_pct",
+                    "offered_attainment_pct",
+                    "mean_ttft_ms",
+                ] {
+                    need_num(&mut errors, row.get(key), &format!("rows[{i}].{key}"));
+                }
+            }
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
 /// Validates an autoscaling artifact (see [`AutoscaleSummary`]).
 pub fn validate_autoscale(doc: &Json) -> Result<(), Vec<String>> {
     let mut errors = Vec::new();
@@ -1203,6 +1407,7 @@ pub fn validate(doc: &Json) -> Result<(), Vec<String>> {
         Some("prefix") => validate_prefix(doc),
         Some("attribution") => validate_attribution(doc),
         Some("autoscale") => validate_autoscale(doc),
+        Some("chaos") => validate_chaos(doc),
         _ => validate_slo(doc),
     }
 }
@@ -1304,6 +1509,7 @@ pub fn validate_perf(doc: &Json) -> Result<(), Vec<String>> {
                     "peak_decode_batch",
                     "scheduling_share_pct",
                     "dist_cache_hit_rate_pct",
+                    "trace_dropped",
                 ] {
                     need_num(&mut errors, row.get(key), &format!("rows[{i}].{key}"));
                 }
@@ -1545,6 +1751,7 @@ mod tests {
             peak_decode_batch: 7,
             scheduling_share_pct: 0.02,
             dist_cache_hit_rate_pct: 9.5,
+            trace_dropped: 0,
         });
         summary
     }
@@ -1863,6 +2070,75 @@ mod tests {
             errors
                 .iter()
                 .any(|e| e.contains("policy must be \"fifo\" or \"fair\"")),
+            "{errors:?}"
+        );
+    }
+
+    fn chaos_summary() -> ChaosSummary {
+        let mut summary = ChaosSummary::new("fig_chaos", "smoke", 7, 20_000.0);
+        for (label, recovery, faults, finished, rejected, retries, offered_att) in [
+            ("no-fault", "n/a", 0usize, 90usize, 0usize, 0u64, 95.0),
+            ("fault-no-recovery", "none", 2, 82, 8, 0, 74.0),
+            ("fault-with-recovery", "retry", 2, 90, 0, 9, 88.0),
+        ] {
+            summary.rows.push(ChaosRow {
+                label: label.into(),
+                recovery: recovery.into(),
+                faults,
+                offered: 90,
+                finished,
+                rejected,
+                retries,
+                slo_attainment_pct: 95.0,
+                offered_attainment_pct: offered_att,
+                mean_ttft_ms: 310.0,
+            });
+        }
+        summary
+    }
+
+    #[test]
+    fn chaos_summary_round_trips_and_validates() {
+        let text = chaos_summary().to_json_string();
+        let doc = json::parse(&text).expect("emitted JSON parses");
+        validate(&doc).expect("chaos JSON is schema-valid");
+        assert_eq!(doc.get("kind").unwrap().as_str(), Some("chaos"));
+        let rows = doc.get("rows").unwrap().as_arr().unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2].get("recovery").unwrap().as_str(), Some("retry"));
+        assert_eq!(rows[1].get("rejected").unwrap().as_num(), Some(8.0));
+        assert_eq!(
+            rows[2].get("offered_attainment_pct").unwrap().as_num(),
+            Some(88.0)
+        );
+    }
+
+    #[test]
+    fn chaos_validation_rejects_missing_and_bad_keys() {
+        let doc = json::parse(&chaos_summary().to_json_string()).unwrap();
+        let Json::Obj(mut top) = doc else { panic!() };
+        let Some(Json::Arr(rows)) = top.get_mut("rows") else {
+            panic!()
+        };
+        let Json::Obj(row) = &mut rows[0] else {
+            panic!()
+        };
+        row.remove("offered");
+        row.remove("offered_attainment_pct");
+        row.insert("recovery".into(), Json::Str("prayer".into()));
+        let errors = validate(&Json::Obj(top)).unwrap_err();
+        assert!(
+            errors.iter().any(|e| e.contains("rows[0].offered")),
+            "{errors:?}"
+        );
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("rows[0].offered_attainment_pct")),
+            "{errors:?}"
+        );
+        assert!(
+            errors.iter().any(|e| e.contains("recovery must be")),
             "{errors:?}"
         );
     }

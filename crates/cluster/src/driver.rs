@@ -11,8 +11,9 @@ use crate::router::Router;
 use metrics::telemetry::{EventKind, GaugeSample, Tracer};
 use metrics::{ClusterReport, HotLoopStats, RequestRecord, SloReport};
 use serving::{
-    core_gauges, Deployment, DeploymentEvent, DeploymentStep, ExecMode, Pool, ReplicaAddr,
-    RunError, RunOptions, RunResult, ServeSession, ServingEngine, ShardedExecutor, UnitStats,
+    core_gauges, Deployment, DeploymentEvent, DeploymentStep, ExecMode, FaultKind, Pool,
+    ReplicaAddr, RunError, RunOptions, RunResult, ServeSession, ServingEngine, ShardedExecutor,
+    UnitStats,
 };
 use std::sync::Mutex;
 use workload::{RequestSpec, Workload};
@@ -305,10 +306,12 @@ impl Cluster {
     }
 
     /// The earliest replica ready to iterate (lowest clock, then id).
+    /// Down replicas are frozen: they hold no work and step again only
+    /// once the session clears their crash.
     fn next_stepper(&self) -> Option<(f64, usize)> {
         self.replicas
             .iter()
-            .filter(|r| r.has_work())
+            .filter(|r| r.has_work() && !r.down)
             .min_by(|a, b| a.clock_ms.total_cmp(&b.clock_ms).then(a.id.cmp(&b.id)))
             .map(|r| (r.clock_ms, r.id))
     }
@@ -367,7 +370,7 @@ impl Deployment for Cluster {
     /// information a real router has when an engine's batch is already on
     /// the GPU.
     fn submit(&mut self, spec: RequestSpec, now_ms: f64) {
-        let eligible = accepting_or_all(self.replicas.iter().map(|r| r.accepting));
+        let eligible = accepting_or_all(self.replicas.iter().map(|r| r.accepting && !r.down));
         let mut choice = self.router.route(&spec, now_ms, &self.replicas, &eligible);
         if !eligible.contains(&choice) {
             debug_assert!(false, "router returned ineligible replica {choice}");
@@ -424,7 +427,7 @@ impl Deployment for Cluster {
         let due = self
             .replicas
             .iter()
-            .filter(|r| r.has_work() && r.clock_ms < horizon_ms)
+            .filter(|r| r.has_work() && !r.down && r.clock_ms < horizon_ms)
             .count();
         if mode == ExecMode::Sequential || due <= 1 {
             return self.step(options);
@@ -433,7 +436,7 @@ impl Deployment for Cluster {
             .replicas
             .iter_mut()
             .enumerate()
-            .filter(|(_, r)| r.has_work() && r.clock_ms < horizon_ms)
+            .filter(|(_, r)| r.has_work() && !r.down && r.clock_ms < horizon_ms)
             .map(|(id, replica)| {
                 Mutex::new(StepTask {
                     id,
@@ -492,6 +495,54 @@ impl Deployment for Cluster {
         let r = &mut self.replicas[replica.index];
         r.accepting = accepting;
         r.clock_ms = r.clock_ms.max(now_ms);
+    }
+
+    fn inject_fault(&mut self, fault: &FaultKind, now_ms: f64) -> Vec<RequestSpec> {
+        // A serving replica the plan names but the fleet lacks is a no-op:
+        // seeded plans are sized to the fleet, hand-built ones may not be.
+        let target = |addr: &ReplicaAddr| {
+            (addr.pool == Pool::Decode && addr.index < self.replicas.len()).then_some(addr.index)
+        };
+        match fault {
+            FaultKind::ReplicaCrash { replica, .. } => target(replica)
+                .map(|i| self.replicas[i].crash(now_ms))
+                .unwrap_or_default(),
+            FaultKind::SlowReplica {
+                replica, factor, ..
+            } => {
+                if let Some(i) = target(replica) {
+                    self.replicas[i].latency_factor = *factor;
+                }
+                Vec::new()
+            }
+            // No KV interconnect in a colocated-replica fleet.
+            FaultKind::LinkDegrade { .. } | FaultKind::LinkOutage { .. } => Vec::new(),
+        }
+    }
+
+    fn clear_fault(&mut self, fault: &FaultKind, now_ms: f64) {
+        let target = |addr: &ReplicaAddr| {
+            (addr.pool == Pool::Decode && addr.index < self.replicas.len()).then_some(addr.index)
+        };
+        match fault {
+            FaultKind::ReplicaCrash { replica, .. } => {
+                if let Some(i) = target(replica) {
+                    self.replicas[i].recover(now_ms);
+                }
+            }
+            FaultKind::SlowReplica { replica, .. } => {
+                if let Some(i) = target(replica) {
+                    self.replicas[i].latency_factor = 1.0;
+                }
+            }
+            FaultKind::LinkDegrade { .. } | FaultKind::LinkOutage { .. } => {}
+        }
+    }
+
+    fn set_degraded(&mut self, degraded: bool) {
+        for r in &mut self.replicas {
+            r.engine.core_mut().degraded = degraded;
+        }
     }
 
     fn iterations(&self) -> u64 {

@@ -50,6 +50,14 @@ pub struct Replica {
     /// drain/join scaling events; a draining replica still serves its
     /// queued work to completion.
     pub accepting: bool,
+    /// Whether the replica is crashed (fault injection). A down replica
+    /// holds no requests — the crash evicted them — and is excluded from
+    /// stepping and routing until [`Replica::recover`].
+    pub down: bool,
+    /// Iteration-latency multiplier for an injected transient slowdown
+    /// (1.0 when healthy — an exact IEEE identity, so fault-free runs
+    /// stay bit-identical).
+    pub latency_factor: f64,
     /// Requests routed to this replica so far.
     pub routed: u64,
     /// Routed-but-not-yet-queued work (in-flight KV migrations).
@@ -90,6 +98,8 @@ impl Replica {
             engine,
             clock_ms: 0.0,
             accepting: true,
+            down: false,
+            latency_factor: 1.0,
             routed: 0,
             inbound: InboundWork::default(),
             guard: StallGuard::default(),
@@ -124,6 +134,13 @@ impl Replica {
     /// do not re-announce it.
     pub fn mark_admitted(&mut self, id: u64) {
         self.tracker.mark_admitted(id);
+    }
+
+    /// Drops all lifecycle memory of `id` (the request was lost to a
+    /// fault before reaching this replica's queues): if the session
+    /// re-dispatches it, it announces itself afresh wherever it lands.
+    pub fn forget(&mut self, id: u64) {
+        self.tracker.forget(id);
     }
 
     /// Finalizes this replica's engine run (draining its completion
@@ -189,22 +206,46 @@ impl Replica {
     pub fn step_once(&mut self) -> Result<f64, RunError> {
         let probe = StepProbe::begin(&self.tracer, self.engine.core());
         let step = self.engine.step(self.clock_ms);
+        // An injected slowdown stretches the modelled iteration latency.
+        let latency_ms = step.latency_ms * self.latency_factor;
         self.engine.core_mut().iterations += 1;
         self.guard
-            .observe(step.latency_ms)
+            .observe(latency_ms)
             .map_err(|e| e.at(Pool::Decode, self.id))?;
-        self.clock_ms += step.latency_ms.max(1e-6);
+        self.clock_ms += latency_ms.max(1e-6);
         if let Some(probe) = probe {
             probe.finish(
                 &self.tracer,
                 self.engine.core(),
                 trace_replica(ReplicaAddr::serving(self.id)),
                 self.clock_ms,
-                step.latency_ms,
+                latency_ms,
                 &mut self.probe_state,
             );
         }
-        Ok(step.latency_ms)
+        Ok(latency_ms)
+    }
+
+    /// Crash semantics for fault injection: every request this replica
+    /// holds loses its KV and is returned to the caller (the front door
+    /// decides retry vs. reject), the replica's lifecycle memory of them
+    /// is dropped (a retried request re-announces itself), and the
+    /// replica is marked down until [`Replica::recover`].
+    pub fn crash(&mut self, now_ms: f64) -> Vec<workload::RequestSpec> {
+        self.down = true;
+        self.clock_ms = self.clock_ms.max(now_ms);
+        let lost = self.engine.core_mut().evict_all_for_crash();
+        for spec in &lost {
+            self.tracker.forget(spec.id);
+        }
+        lost
+    }
+
+    /// The crashed replica rejoins service at `now_ms` with a cold KV
+    /// pool and prefix cache.
+    pub fn recover(&mut self, now_ms: f64) {
+        self.down = false;
+        self.clock_ms = self.clock_ms.max(now_ms);
     }
 
     /// Requests waiting for admission on this replica.

@@ -286,7 +286,14 @@ impl ServingEngine for AdaServeEngine {
         if n_decoding == 0 {
             return self.prefill_only_step(now_ms);
         }
-        let params = self.scheduler.spec_params(n_decoding);
+        let mut params = self.scheduler.spec_params(n_decoding);
+        if self.core.degraded {
+            // Graceful degradation under recovery pressure: shed the
+            // speculation tree down to plain decoding (depth 1 emits the
+            // one committed token per iteration, no drafts) so compute
+            // goes to catching up retried requests, not to gambles.
+            params = SpecParams::new(1, 1);
+        }
 
         // Snapshot before the capacity pass so its scratch growth (id
         // worklist, position map) counts toward the discipline probe too.

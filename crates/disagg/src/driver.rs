@@ -10,16 +10,16 @@
 //! merge into one fleet-wide stream via [`metrics::merge_by_completion`].
 
 use crate::dispatch::Dispatcher;
-use crate::migrate::{KvLink, TransferQueue, TransferStats};
+use crate::migrate::{KvLink, KvTransfer, TransferQueue, TransferStats};
 use crate::prefill::{PrefillPool, PrefillReplica};
 pub use cluster::ScalingAction;
-use cluster::{Replica, ReplicaResult};
+use cluster::{InboundWork, Replica, ReplicaResult};
 use metrics::telemetry::{EventKind, GaugeSample, TraceReplica, Tracer};
 use metrics::{ClusterReport, HotLoopStats, RequestRecord, SloReport};
 use serving::{
-    core_gauges, Deployment, DeploymentEvent, DeploymentStep, ExecMode, LifecycleTracker,
-    LiveRequest, ReplicaAddr, RunError, RunOptions, RunResult, ServeSession, ServingEngine,
-    ShardedExecutor, UnitStats,
+    core_gauges, Deployment, DeploymentEvent, DeploymentStep, ExecMode, FaultKind,
+    LifecycleTracker, LiveRequest, ReplicaAddr, RunError, RunOptions, RunResult, ServeSession,
+    ServingEngine, ShardedExecutor, UnitStats,
 };
 use std::collections::{HashSet, VecDeque};
 use std::sync::Mutex;
@@ -133,6 +133,10 @@ pub struct DisaggCluster {
     /// Requests whose prefill has started (first entry into a prefill
     /// running batch); populated only while tracing, drained at handoff.
     prefill_started: HashSet<u64>,
+    /// Whether the KV interconnect is dark (injected link outage). While
+    /// set, no transfer departs: the prefill pool freezes as backpressure
+    /// — its output has nowhere to go — and resumes when the link heals.
+    link_down: bool,
 }
 
 /// One checked decode iteration: stamp migrated requests at the
@@ -250,6 +254,7 @@ impl DisaggCluster {
             pool: None,
             tracer: Tracer::off(),
             prefill_started: HashSet::new(),
+            link_down: false,
         }
     }
 
@@ -355,7 +360,7 @@ impl DisaggCluster {
     /// Indices of decode replicas accepting migrations; the whole pool
     /// when everything is draining (degrade, don't drop).
     fn decode_eligible(&self) -> Vec<usize> {
-        cluster::accepting_or_all(self.decode.iter().map(|r| r.accepting))
+        cluster::accepting_or_all(self.decode.iter().map(|r| r.accepting && !r.down))
     }
 
     /// Tries to land every parked migration on decode replica `id` (see
@@ -454,23 +459,47 @@ impl DisaggCluster {
         })
     }
 
-    /// The earliest prefill replica ready to iterate.
+    /// The earliest prefill replica ready to iterate. Down replicas are
+    /// frozen, and a dark KV link freezes the whole pool (its output has
+    /// nowhere to go) until the session clears the outage.
     fn prefill_stepper(&self) -> Option<(f64, usize)> {
+        if self.link_down {
+            return None;
+        }
         self.prefill
             .replicas
             .iter()
-            .filter(|r| r.has_work())
+            .filter(|r| r.has_work() && !r.down)
             .min_by(|a, b| a.clock_ms.total_cmp(&b.clock_ms).then(a.id.cmp(&b.id)))
             .map(|r| (r.clock_ms, r.id))
     }
 
-    /// The earliest decode replica ready to iterate.
+    /// The earliest decode replica ready to iterate (down replicas are
+    /// frozen until the session clears their crash).
     fn decode_stepper(&self) -> Option<(f64, usize)> {
         self.decode
             .iter()
-            .filter(|r| r.has_work())
+            .filter(|r| r.has_work() && !r.down)
             .min_by(|a, b| a.clock_ms.total_cmp(&b.clock_ms).then(a.id.cmp(&b.id)))
             .map(|r| (r.clock_ms, r.id))
+    }
+
+    /// Rolls one aborted transfer out of its destination's inbound load
+    /// view and lifecycle memory, returning the lost request's spec.
+    fn roll_back_aborted(&mut self, transfer: KvTransfer) -> RequestSpec {
+        let to = transfer.to_decode;
+        let inbound = &mut self.decode[to].inbound;
+        inbound.requests = inbound.requests.saturating_sub(1);
+        inbound.decode_tokens = inbound
+            .decode_tokens
+            .saturating_sub(u64::from(transfer.request.remaining()));
+        let slo = transfer.request.spec.tpot_slo_ms;
+        if let Some(k) = inbound.tpot_slos.iter().position(|&s| s == slo) {
+            inbound.tpot_slos.swap_remove(k);
+        }
+        self.decode[to].forget(transfer.request.spec.id);
+        self.prefill_started.remove(&transfer.request.spec.id);
+        transfer.request.spec
     }
 }
 
@@ -750,7 +779,7 @@ impl Deployment for DisaggCluster {
         let due = self
             .decode
             .iter()
-            .filter(|r| r.has_work() && r.clock_ms < decode_horizon)
+            .filter(|r| r.has_work() && !r.down && r.clock_ms < decode_horizon)
             .count();
         if mode == ExecMode::Sequential || due <= 1 {
             return self.step(options);
@@ -760,7 +789,7 @@ impl Deployment for DisaggCluster {
             .iter_mut()
             .zip(self.landing.iter_mut())
             .enumerate()
-            .filter(|(_, (r, _))| r.has_work() && r.clock_ms < decode_horizon)
+            .filter(|(_, (r, _))| r.has_work() && !r.down && r.clock_ms < decode_horizon)
             .map(|(id, (replica, landing))| {
                 Mutex::new(DecodeTask {
                     id,
@@ -823,6 +852,104 @@ impl Deployment for DisaggCluster {
                 r.accepting = accepting;
                 r.clock_ms = r.clock_ms.max(now_ms);
             }
+        }
+    }
+
+    fn inject_fault(&mut self, fault: &FaultKind, now_ms: f64) -> Vec<RequestSpec> {
+        match fault {
+            FaultKind::ReplicaCrash { replica, .. } => match replica.pool {
+                Pool::Decode if replica.index < self.decode.len() => {
+                    let i = replica.index;
+                    let mut lost = self.decode[i].crash(now_ms);
+                    // Migrations parked on its landing queue lose their KV
+                    // with the rest of device memory…
+                    for req in std::mem::take(&mut self.landing[i]) {
+                        self.decode[i].forget(req.spec.id);
+                        lost.push(req.spec);
+                    }
+                    // …and transfers streaming toward it abort mid-wire.
+                    for transfer in self.transfers.abort_to(i) {
+                        lost.push(self.roll_back_aborted(transfer));
+                    }
+                    // Every inbound unit was parked or in flight: none left.
+                    self.decode[i].inbound = InboundWork::default();
+                    lost
+                }
+                Pool::Prefill if replica.index < self.prefill.replicas.len() => {
+                    let lost = self.prefill.replicas[replica.index].crash(now_ms);
+                    for spec in &lost {
+                        self.prefill_tracker.forget(spec.id);
+                        self.prefill_started.remove(&spec.id);
+                    }
+                    lost
+                }
+                _ => Vec::new(),
+            },
+            FaultKind::SlowReplica {
+                replica, factor, ..
+            } => {
+                match replica.pool {
+                    Pool::Decode if replica.index < self.decode.len() => {
+                        self.decode[replica.index].latency_factor = *factor;
+                    }
+                    Pool::Prefill if replica.index < self.prefill.replicas.len() => {
+                        self.prefill.replicas[replica.index].latency_factor = *factor;
+                    }
+                    _ => {}
+                }
+                Vec::new()
+            }
+            FaultKind::LinkDegrade { factor, .. } => {
+                self.transfers.set_wire_factor(*factor);
+                Vec::new()
+            }
+            FaultKind::LinkOutage { .. } => {
+                self.link_down = true;
+                self.transfers
+                    .abort_all()
+                    .into_iter()
+                    .map(|t| self.roll_back_aborted(t))
+                    .collect()
+            }
+        }
+    }
+
+    fn clear_fault(&mut self, fault: &FaultKind, now_ms: f64) {
+        match fault {
+            FaultKind::ReplicaCrash { replica, .. } => match replica.pool {
+                Pool::Decode if replica.index < self.decode.len() => {
+                    self.decode[replica.index].recover(now_ms);
+                }
+                Pool::Prefill if replica.index < self.prefill.replicas.len() => {
+                    self.prefill.replicas[replica.index].recover(now_ms);
+                }
+                _ => {}
+            },
+            FaultKind::SlowReplica { replica, .. } => match replica.pool {
+                Pool::Decode if replica.index < self.decode.len() => {
+                    self.decode[replica.index].latency_factor = 1.0;
+                }
+                Pool::Prefill if replica.index < self.prefill.replicas.len() => {
+                    self.prefill.replicas[replica.index].latency_factor = 1.0;
+                }
+                _ => {}
+            },
+            FaultKind::LinkDegrade { .. } => self.transfers.set_wire_factor(1.0),
+            FaultKind::LinkOutage { .. } => {
+                self.link_down = false;
+                // The outage backpressured the prefill pool: the stall is
+                // wall-clock time its replicas lived through.
+                for r in &mut self.prefill.replicas {
+                    r.clock_ms = r.clock_ms.max(now_ms);
+                }
+            }
+        }
+    }
+
+    fn set_degraded(&mut self, degraded: bool) {
+        // Speculation happens on the decode pool only.
+        for r in &mut self.decode {
+            r.engine.core_mut().degraded = degraded;
         }
     }
 

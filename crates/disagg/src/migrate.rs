@@ -80,6 +80,9 @@ pub struct TransferStats {
     pub bytes: u64,
     /// Total link-busy milliseconds (setup + wire time, all links).
     pub busy_ms: f64,
+    /// Transfers aborted mid-migration by an injected link outage or a
+    /// destination crash (their requests returned to the front door).
+    pub aborted: u64,
 }
 
 impl TransferStats {
@@ -102,6 +105,10 @@ pub struct TransferQueue {
     /// Per-decode-replica ingress link availability.
     link_free_ms: Vec<f64>,
     in_flight: Vec<KvTransfer>,
+    /// Wire-time multiplier for an injected link degradation (1.0 when
+    /// healthy — an exact IEEE identity, so fault-free runs stay
+    /// bit-identical).
+    wire_factor: f64,
     /// Telemetry over every enqueued transfer.
     pub stats: TransferStats,
 }
@@ -120,8 +127,23 @@ impl TransferQueue {
             kv_bytes_per_token,
             link_free_ms: vec![0.0; n_decode],
             in_flight: Vec::new(),
+            wire_factor: 1.0,
             stats: TransferStats::default(),
         }
+    }
+
+    /// Sets the wire-time multiplier (injected link degradation; 1.0
+    /// restores the healthy link). Applies to transfers priced or
+    /// enqueued from now on; transfers already in flight keep their
+    /// arrival times.
+    pub fn set_wire_factor(&mut self, factor: f64) {
+        assert!(factor > 0.0, "wire factor must be positive");
+        self.wire_factor = factor;
+    }
+
+    /// The degraded (or healthy) time to move `bytes` over the link.
+    fn effective_transfer_ms(&self, bytes: u64) -> f64 {
+        self.link.transfer_ms(bytes) * self.wire_factor
     }
 
     /// Bytes of target-model KV per context token (what one migrated
@@ -137,14 +159,13 @@ impl TransferQueue {
     /// choosing a destination (queueing depends on the destination, so it
     /// cannot be foreseen at routing time).
     pub fn wire_ms(&self, context_len: u32) -> f64 {
-        self.link
-            .transfer_ms(u64::from(context_len) * self.kv_bytes_per_token)
+        self.effective_transfer_ms(u64::from(context_len) * self.kv_bytes_per_token)
     }
 
     /// The wire time of moving `bytes` over the link, ignoring
     /// ingress-link queueing.
     pub fn wire_ms_for_bytes(&self, bytes: u64) -> f64 {
-        self.link.transfer_ms(bytes)
+        self.effective_transfer_ms(bytes)
     }
 
     /// Starts migrating `request` to `to_decode` at time `now_ms`.
@@ -160,7 +181,7 @@ impl TransferQueue {
     ) -> f64 {
         let bytes = u64::from(request.context_len()) * self.kv_bytes_per_token;
         let start_ms = now_ms.max(self.link_free_ms[to_decode]);
-        let wire_ms = self.link.transfer_ms(bytes);
+        let wire_ms = self.effective_transfer_ms(bytes);
         let arrive_ms = start_ms + wire_ms;
         self.link_free_ms[to_decode] = arrive_ms;
         self.stats.transfers += 1;
@@ -208,6 +229,39 @@ impl TransferQueue {
     /// Transfers currently in flight.
     pub fn in_flight_len(&self) -> usize {
         self.in_flight.len()
+    }
+
+    /// Aborts every in-flight transfer (the link went dark): the KV
+    /// streaming over the wire is lost, the requests return to the
+    /// caller in id order (deterministic), and every ingress link is
+    /// freed — after the outage the wire starts clean.
+    pub fn abort_all(&mut self) -> Vec<KvTransfer> {
+        self.stats.aborted += self.in_flight.len() as u64;
+        for free in &mut self.link_free_ms {
+            *free = 0.0;
+        }
+        let mut aborted = std::mem::take(&mut self.in_flight);
+        aborted.sort_by_key(|t| t.request.spec.id);
+        aborted
+    }
+
+    /// Aborts the in-flight transfers bound for decode replica `to` (its
+    /// crash loses the KV landing on it), returning them in id order and
+    /// freeing that ingress link.
+    pub fn abort_to(&mut self, to: usize) -> Vec<KvTransfer> {
+        let mut aborted = Vec::new();
+        let mut i = 0;
+        while i < self.in_flight.len() {
+            if self.in_flight[i].to_decode == to {
+                aborted.push(self.in_flight.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        self.stats.aborted += aborted.len() as u64;
+        self.link_free_ms[to] = 0.0;
+        aborted.sort_by_key(|t| t.request.spec.id);
+        aborted
     }
 }
 
@@ -278,6 +332,49 @@ mod tests {
         let est = q.wire_ms(1000);
         let arrive = q.enqueue(request(0, 1000), 0, 0, 5.0);
         assert!((arrive - (5.0 + est)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degraded_link_stretches_wire_time() {
+        let mut q = TransferQueue::new(KvLink::new(10.0, 0.0), 327_680, 1);
+        let healthy = q.wire_ms(1000);
+        q.set_wire_factor(4.0);
+        assert!((q.wire_ms(1000) - 4.0 * healthy).abs() < 1e-9);
+        let arrive = q.enqueue(request(0, 1000), 0, 0, 0.0);
+        assert!(
+            (arrive - 4.0 * healthy).abs() < 1e-9,
+            "enqueue degraded too"
+        );
+        q.set_wire_factor(1.0);
+        assert!((q.wire_ms(1000) - healthy).abs() < 1e-12, "heals exactly");
+    }
+
+    #[test]
+    fn outage_aborts_in_flight_and_frees_links() {
+        let mut q = TransferQueue::new(KvLink::new(10.0, 0.0), 327_680, 2);
+        q.enqueue(request(1, 1000), 0, 0, 0.0);
+        q.enqueue(request(0, 1000), 0, 1, 0.0);
+        let aborted = q.abort_all();
+        assert_eq!(aborted.len(), 2);
+        assert_eq!(aborted[0].request.spec.id, 0, "id order");
+        assert_eq!(q.in_flight_len(), 0);
+        assert_eq!(q.stats.aborted, 2);
+        assert!(q.next_arrival_ms().is_none());
+        // The wire starts clean after the outage.
+        let arrive = q.enqueue(request(2, 1000), 0, 0, 100.0);
+        assert!((arrive - (100.0 + q.wire_ms(1000))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn destination_crash_aborts_only_its_transfers() {
+        let mut q = TransferQueue::new(KvLink::new(10.0, 0.0), 327_680, 2);
+        q.enqueue(request(0, 1000), 0, 0, 0.0);
+        q.enqueue(request(1, 1000), 0, 1, 0.0);
+        let aborted = q.abort_to(1);
+        assert_eq!(aborted.len(), 1);
+        assert_eq!(aborted[0].request.spec.id, 1);
+        assert_eq!(q.in_flight_len(), 1, "replica 0's transfer survives");
+        assert_eq!(q.stats.aborted, 1);
     }
 
     #[test]

@@ -27,6 +27,14 @@ pub struct PrefillReplica {
     pub clock_ms: f64,
     /// Whether the dispatcher may place new arrivals here (drain/join).
     pub accepting: bool,
+    /// Whether the replica is crashed (fault injection). A down replica
+    /// holds no requests — the crash evicted them — and is excluded from
+    /// stepping and dispatch until the session clears the fault.
+    pub down: bool,
+    /// Iteration-latency multiplier for an injected transient slowdown
+    /// (1.0 when healthy — an exact IEEE identity, so fault-free runs
+    /// stay bit-identical).
+    pub latency_factor: f64,
     /// Arrivals routed to this replica so far.
     pub routed: u64,
     /// Requests whose prefill completed here (handed to migration).
@@ -58,6 +66,8 @@ impl PrefillReplica {
             core: EngineCore::new(config),
             clock_ms: 0.0,
             accepting: true,
+            down: false,
+            latency_factor: 1.0,
             routed: 0,
             prefilled_requests: 0,
             prefill_tokens: 0,
@@ -182,6 +192,8 @@ impl PrefillReplica {
             ms
         };
 
+        // An injected slowdown stretches the modelled iteration latency.
+        let latency_ms = latency_ms * self.latency_factor;
         self.guard
             .observe(latency_ms)
             .map_err(|e| e.at(Pool::Prefill, self.id))?;
@@ -191,6 +203,23 @@ impl PrefillReplica {
         let done = self.core.take_prefilled();
         self.prefilled_requests += done.len() as u64;
         Ok(done)
+    }
+
+    /// Crash semantics for fault injection: every request this replica
+    /// holds (waiting and mid-prefill) loses its KV and is returned to
+    /// the caller; the replica takes no work until
+    /// [`PrefillReplica::recover`].
+    pub fn crash(&mut self, now_ms: f64) -> Vec<workload::RequestSpec> {
+        self.down = true;
+        self.clock_ms = self.clock_ms.max(now_ms);
+        self.core.evict_all_for_crash()
+    }
+
+    /// The crashed replica rejoins dispatch at `now_ms` with a cold KV
+    /// pool and prefix cache.
+    pub fn recover(&mut self, now_ms: f64) {
+        self.down = false;
+        self.clock_ms = self.clock_ms.max(now_ms);
     }
 }
 
@@ -230,8 +259,9 @@ impl PrefillPool {
 
     /// Indices of replicas currently accepting arrivals; falls back to all
     /// replicas when the whole pool is draining (degrade, don't drop).
+    /// Down (crashed) replicas are never eligible targets.
     pub fn eligible(&self) -> Vec<usize> {
-        cluster::accepting_or_all(self.replicas.iter().map(|r| r.accepting))
+        cluster::accepting_or_all(self.replicas.iter().map(|r| r.accepting && !r.down))
     }
 }
 

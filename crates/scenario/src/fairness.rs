@@ -20,8 +20,8 @@
 use crate::tenant::TenantSpec;
 use metrics::telemetry::{GaugeSample, Tracer};
 use serving::{
-    Deployment, DeploymentEvent, DeploymentStep, RejectReason, ReplicaAddr, RunError, RunOptions,
-    UnitStats,
+    Deployment, DeploymentEvent, DeploymentStep, FaultKind, RejectReason, ReplicaAddr, RunError,
+    RunOptions, UnitStats,
 };
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -245,6 +245,28 @@ impl<D: Deployment> Deployment for FairFrontDoor<D> {
 
     fn set_accepting(&mut self, replica: ReplicaAddr, accepting: bool, now_ms: f64) {
         self.inner.set_accepting(replica, accepting, now_ms);
+    }
+
+    fn inject_fault(&mut self, fault: &FaultKind, now_ms: f64) -> Vec<RequestSpec> {
+        self.now_ms = self.now_ms.max(now_ms);
+        let lost = self.inner.inject_fault(fault, now_ms);
+        if !lost.is_empty() {
+            // Each lost request had been forwarded through the window;
+            // free its slot, or the sliding window leaks and held
+            // requests deadlock behind phantom in-flight entries.
+            self.inflight = self.inflight.saturating_sub(lost.len());
+            self.refill(now_ms);
+        }
+        lost
+    }
+
+    fn clear_fault(&mut self, fault: &FaultKind, now_ms: f64) {
+        self.now_ms = self.now_ms.max(now_ms);
+        self.inner.clear_fault(fault, now_ms);
+    }
+
+    fn set_degraded(&mut self, degraded: bool) {
+        self.inner.set_degraded(degraded);
     }
 
     fn iterations(&self) -> u64 {

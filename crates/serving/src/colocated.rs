@@ -2,6 +2,7 @@
 //! lifecycle, behind the unified [`Deployment`] front door.
 
 use crate::engine::{finalize_run, Pool, RunError, RunOptions, ServingEngine, StallGuard};
+use crate::fault::FaultKind;
 use crate::probe::{core_gauges, trace_replica, ProbeState, StepProbe};
 use crate::session::{Deployment, DeploymentStep, LifecycleTracker, ReplicaAddr, UnitStats};
 use metrics::telemetry::{GaugeSample, Tracer};
@@ -33,6 +34,8 @@ pub struct Colocated<'a> {
     engine: EngineSlot<'a>,
     clock_ms: f64,
     accepting: bool,
+    down: bool,
+    latency_factor: f64,
     routed: u64,
     guard: StallGuard,
     tracker: LifecycleTracker,
@@ -58,6 +61,8 @@ impl<'a> Colocated<'a> {
             engine,
             clock_ms: 0.0,
             accepting: true,
+            down: false,
+            latency_factor: 1.0,
             routed: 0,
             guard: StallGuard::default(),
             tracker: LifecycleTracker::default(),
@@ -117,6 +122,12 @@ impl Deployment for Colocated<'_> {
     }
 
     fn next_event_ms(&self) -> Option<f64> {
+        // A crashed replica is frozen: it holds no work (the crash
+        // evicted everything) and steps again only after the session
+        // clears the fault.
+        if self.down {
+            return None;
+        }
         self.engine().core().has_work().then_some(self.clock_ms)
     }
 
@@ -124,11 +135,15 @@ impl Deployment for Colocated<'_> {
         let now_ms = self.clock_ms;
         let probe = StepProbe::begin(&self.tracer, self.engine().core());
         let step = self.engine_mut().step(now_ms);
+        // An injected slowdown multiplies the modelled iteration latency
+        // (factor 1.0 — the healthy case — is an exact IEEE identity, so
+        // fault-free runs stay bit-identical).
+        let latency_ms = step.latency_ms * self.latency_factor;
         self.engine_mut().core_mut().iterations += 1;
         self.guard
-            .observe(step.latency_ms)
+            .observe(latency_ms)
             .map_err(|e| e.at(Pool::Decode, 0))?;
-        self.clock_ms += step.latency_ms.max(1e-6);
+        self.clock_ms += latency_ms.max(1e-6);
         if self.engine().core().iterations > options.max_iterations {
             return Err(RunError::iteration_cap().at(Pool::Decode, 0));
         }
@@ -147,7 +162,7 @@ impl Deployment for Colocated<'_> {
                 core,
                 trace_replica(ReplicaAddr::serving(0)),
                 at_ms,
-                step.latency_ms,
+                latency_ms,
                 &mut self.probe_state,
             );
         }
@@ -160,9 +175,59 @@ impl Deployment for Colocated<'_> {
         );
         Ok(DeploymentStep {
             events,
-            latency_ms: Some(step.latency_ms),
+            latency_ms: Some(latency_ms),
             replica: Some(ReplicaAddr::serving(0)),
         })
+    }
+
+    fn inject_fault(&mut self, fault: &FaultKind, now_ms: f64) -> Vec<RequestSpec> {
+        self.clock_ms = self.clock_ms.max(now_ms);
+        match fault {
+            FaultKind::ReplicaCrash { replica, .. } => {
+                if *replica != ReplicaAddr::serving(0) {
+                    return Vec::new();
+                }
+                self.down = true;
+                let lost = self.engine_mut().core_mut().evict_all_for_crash();
+                // The lost requests will re-announce their lifecycle if
+                // the session re-dispatches them.
+                for spec in &lost {
+                    self.tracker.forget(spec.id);
+                }
+                lost
+            }
+            FaultKind::SlowReplica {
+                replica, factor, ..
+            } => {
+                if *replica == ReplicaAddr::serving(0) {
+                    self.latency_factor = *factor;
+                }
+                Vec::new()
+            }
+            // No KV interconnect to fault on a colocated engine.
+            FaultKind::LinkDegrade { .. } | FaultKind::LinkOutage { .. } => Vec::new(),
+        }
+    }
+
+    fn clear_fault(&mut self, fault: &FaultKind, now_ms: f64) {
+        self.clock_ms = self.clock_ms.max(now_ms);
+        match fault {
+            FaultKind::ReplicaCrash { replica, .. } => {
+                if *replica == ReplicaAddr::serving(0) {
+                    self.down = false;
+                }
+            }
+            FaultKind::SlowReplica { replica, .. } => {
+                if *replica == ReplicaAddr::serving(0) {
+                    self.latency_factor = 1.0;
+                }
+            }
+            FaultKind::LinkDegrade { .. } | FaultKind::LinkOutage { .. } => {}
+        }
+    }
+
+    fn set_degraded(&mut self, degraded: bool) {
+        self.engine_mut().core_mut().degraded = degraded;
     }
 
     fn set_accepting(&mut self, replica: ReplicaAddr, accepting: bool, now_ms: f64) {

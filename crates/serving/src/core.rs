@@ -47,6 +47,11 @@ pub struct EngineCore {
     /// blocks only for the uncached suffix), prefill completion feeds it,
     /// and finish/preempt/migrate release its pins.
     pub prefix: Option<PrefixCache>,
+    /// Graceful-degradation flag, set by the session under sustained
+    /// recovery pressure ([`crate::Deployment::set_degraded`]). Engines
+    /// that speculate clamp their speculation depth while it is set,
+    /// trading peak throughput for predictable recovery latency.
+    pub degraded: bool,
 }
 
 impl EngineCore {
@@ -68,6 +73,7 @@ impl EngineCore {
             iterations: 0,
             speculated_total: 0,
             accepted_total: 0,
+            degraded: false,
         }
     }
 
@@ -356,6 +362,29 @@ impl EngineCore {
         Ok(())
     }
 
+    /// Crash semantics for fault injection: every request this core holds
+    /// — running *and* waiting — loses its KV and leaves. Returns the lost
+    /// requests' specs so the front door can decide their fate
+    /// ([`crate::RecoveryPolicy`]); a retried request regenerates the
+    /// identical output because [`EngineCore::next_token`] is a pure
+    /// function of the request stream.
+    ///
+    /// Device memory is wiped wholesale: the KV pool returns to full and
+    /// the prefix cache (entries *and* pins) is rebuilt cold.
+    pub fn evict_all_for_crash(&mut self) -> Vec<RequestSpec> {
+        let mut lost = Vec::with_capacity(self.running.len() + self.waiting.len());
+        for req in self.running.drain(..) {
+            self.blocks.release(req.spec.id);
+            lost.push(req.spec);
+        }
+        lost.extend(self.waiting.drain(..).map(|req| req.spec));
+        self.prefix = self
+            .config
+            .prefix_cache_tokens
+            .map(|budget| PrefixCache::new(budget, self.config.kv_block_tokens));
+        lost
+    }
+
     /// Marks the start of decoding for any request that just finished
     /// prefill and has no decode timestamp yet.
     pub fn stamp_decode_starts(&mut self, now_ms: f64) {
@@ -626,6 +655,29 @@ mod tests {
         for i in 0..3 {
             assert_eq!(core.running[i].kv_reused(), 0);
         }
+    }
+
+    #[test]
+    fn crash_eviction_loses_everything_and_resets_memory() {
+        let mut core = cached_core();
+        for id in 0..6 {
+            core.on_arrival(shared_spec(id, 96, 4));
+        }
+        core.admit_fifo();
+        core.apply_prefill(&core.plan_prefill(u32::MAX));
+        assert_eq!(core.running.len(), 4);
+        assert_eq!(core.waiting.len(), 2);
+        let lost = core.evict_all_for_crash();
+        let ids: Vec<u64> = lost.iter().map(|s| s.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5], "running first, then waiting");
+        assert!(core.running.is_empty() && core.waiting.is_empty());
+        assert_eq!(core.blocks.free_blocks(), core.blocks.total_blocks());
+        let cache = core.prefix.as_ref().expect("cache still configured");
+        assert_eq!(cache.pinned_node_count(), 0, "crash wiped the pins");
+        // The rebuilt cache is cold: the shared prefix misses again.
+        core.on_arrival(shared_spec(7, 96, 4));
+        core.admit_fifo();
+        assert_eq!(core.running[0].kv_reused(), 0, "cold after crash");
     }
 
     #[test]

@@ -1,0 +1,313 @@
+//! Seeded fault injection and the session's recovery policy.
+//!
+//! A [`FaultPlan`] is pure data: a deterministic schedule of
+//! [`FaultKind`]s on the session timeline, alongside the scaling
+//! timeline (`scale_at`). The session applies each fault to its
+//! deployment at the planned instant and automatically schedules the
+//! matching recovery at `at_ms + duration`, so an injected fault can
+//! never wedge the event loop — hardware always comes back, only
+//! requests can be lost.
+//!
+//! What a fault *means* is deployment-specific (see
+//! [`crate::Deployment::inject_fault`]): a replica crash loses every
+//! request the replica held (their KV is gone), a slow replica
+//! multiplies its iteration latency for a window, and link faults
+//! degrade or abort in-flight KV migrations in disaggregated
+//! deployments. Lost requests return to the front door, where the
+//! session's [`RecoveryPolicy`] decides their fate: re-dispatch with
+//! exponential backoff while the per-request retry budget lasts,
+//! terminal rejection once it is exhausted. Sustained recovery pressure
+//! triggers graceful degradation — shed speculation depth first, then
+//! refuse the loosest SLO tier at admission — instead of collapse.
+
+use crate::session::ReplicaAddr;
+
+/// One injectable fault. All variants carry their own duration; the
+/// session schedules the recovery automatically.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// The replica crashes: every request it holds (running *and*
+    /// queued) loses its KV and returns to the front door; the replica
+    /// takes no work until it recovers `down_ms` later.
+    ReplicaCrash {
+        /// The crashed replica.
+        replica: ReplicaAddr,
+        /// How long the replica stays down, in milliseconds.
+        down_ms: f64,
+    },
+    /// Transient slowdown: the replica's iteration latency is multiplied
+    /// by `factor` for the window (stragglers stress the sharded
+    /// executor's work stealing); no requests are lost.
+    SlowReplica {
+        /// The slowed replica.
+        replica: ReplicaAddr,
+        /// Latency multiplier (> 1 slows the replica down).
+        factor: f64,
+        /// How long the slowdown lasts, in milliseconds.
+        duration_ms: f64,
+    },
+    /// The disaggregated KV interconnect degrades: transfers enqueued
+    /// during the window take `factor`× their modelled wire time.
+    /// No-op on deployments without a KV link.
+    LinkDegrade {
+        /// Wire-time multiplier (> 1 slows transfers down).
+        factor: f64,
+        /// How long the degradation lasts, in milliseconds.
+        duration_ms: f64,
+    },
+    /// The disaggregated KV interconnect goes dark: every in-flight
+    /// transfer aborts mid-migration (those requests lose their KV and
+    /// return to the front door) and no new transfer departs until the
+    /// link heals — prefill output backs up behind the outage. No-op on
+    /// deployments without a KV link.
+    LinkOutage {
+        /// How long the outage lasts, in milliseconds.
+        duration_ms: f64,
+    },
+}
+
+impl FaultKind {
+    /// How long the fault lasts before the session clears it.
+    pub fn duration_ms(&self) -> f64 {
+        match self {
+            FaultKind::ReplicaCrash { down_ms, .. } => *down_ms,
+            FaultKind::SlowReplica { duration_ms, .. }
+            | FaultKind::LinkDegrade { duration_ms, .. }
+            | FaultKind::LinkOutage { duration_ms } => *duration_ms,
+        }
+    }
+
+    /// The replica the fault targets, when it targets one (link faults
+    /// hit the shared interconnect instead).
+    pub fn replica(&self) -> Option<ReplicaAddr> {
+        match self {
+            FaultKind::ReplicaCrash { replica, .. } | FaultKind::SlowReplica { replica, .. } => {
+                Some(*replica)
+            }
+            FaultKind::LinkDegrade { .. } | FaultKind::LinkOutage { .. } => None,
+        }
+    }
+
+    /// Short label of what the fault targets (`decode-1`, `kv-link`).
+    pub fn target_label(&self) -> String {
+        match self.replica() {
+            Some(addr) => addr.to_string(),
+            None => "kv-link".to_string(),
+        }
+    }
+
+    /// Human-readable description for traces and logs.
+    pub fn describe(&self) -> String {
+        match self {
+            FaultKind::ReplicaCrash { down_ms, .. } => format!("crash for {down_ms:.0}ms"),
+            FaultKind::SlowReplica {
+                factor,
+                duration_ms,
+                ..
+            } => format!("slow x{factor:.1} for {duration_ms:.0}ms"),
+            FaultKind::LinkDegrade {
+                factor,
+                duration_ms,
+            } => format!("link degraded x{factor:.1} for {duration_ms:.0}ms"),
+            FaultKind::LinkOutage { duration_ms } => format!("link outage for {duration_ms:.0}ms"),
+        }
+    }
+}
+
+/// One scheduled fault: the injection instant plus the fault itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// Simulation time at which the fault is injected.
+    pub at_ms: f64,
+    /// The fault.
+    pub kind: FaultKind,
+}
+
+/// A deterministic chaos schedule — pure data, built explicitly or
+/// derived from a seed, handed to
+/// [`crate::ServeSession::with_fault_plan`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing; serving is bit-identical to a
+    /// session without a plan).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `kind` at `at_ms` (builder style).
+    #[must_use]
+    pub fn at(mut self, at_ms: f64, kind: FaultKind) -> Self {
+        self.events.push(FaultEvent { at_ms, kind });
+        self
+    }
+
+    /// The scheduled faults, in insertion order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// A seeded chaos schedule over `replicas` decode replicas inside
+    /// the window `[start_ms, start_ms + window_ms)`: one replica crash,
+    /// one transient slowdown on a different replica, and — when
+    /// `with_link` is set — one link degradation. Deterministic in
+    /// `seed` (the same hash stream that seeds workloads), so a chaos
+    /// run reproduces exactly under `ADASERVE_SEED`.
+    pub fn seeded(
+        seed: u64,
+        start_ms: f64,
+        window_ms: f64,
+        replicas: usize,
+        with_link: bool,
+    ) -> Self {
+        assert!(replicas >= 1, "a fault plan needs a replica to target");
+        assert!(window_ms > 0.0, "fault window must be positive");
+        let h = |i: u64| simllm::hash::seed_stream(seed ^ 0xC4A0_5F17, i);
+        let frac = |x: u64| (x % 10_000) as f64 / 10_000.0;
+        let crash_target = (h(0) as usize) % replicas;
+        let crash_at = start_ms + frac(h(1)) * window_ms * 0.5;
+        let crash_down = window_ms * (0.15 + frac(h(2)) * 0.2);
+        let slow_target = if replicas > 1 {
+            (crash_target + 1 + (h(3) as usize) % (replicas - 1)) % replicas
+        } else {
+            crash_target
+        };
+        let slow_at = start_ms + frac(h(4)) * window_ms * 0.5;
+        let slow_for = window_ms * (0.2 + frac(h(5)) * 0.3);
+        let mut plan = Self::new()
+            .at(
+                crash_at,
+                FaultKind::ReplicaCrash {
+                    replica: ReplicaAddr::serving(crash_target),
+                    down_ms: crash_down,
+                },
+            )
+            .at(
+                slow_at,
+                FaultKind::SlowReplica {
+                    replica: ReplicaAddr::serving(slow_target),
+                    factor: 2.0 + frac(h(6)) * 2.0,
+                    duration_ms: slow_for,
+                },
+            );
+        if with_link {
+            plan = plan.at(
+                start_ms + frac(h(7)) * window_ms * 0.6,
+                FaultKind::LinkOutage {
+                    duration_ms: window_ms * (0.1 + frac(h(8)) * 0.15),
+                },
+            );
+        }
+        plan
+    }
+}
+
+/// How the session handles requests lost to faults, and when sustained
+/// recovery pressure triggers graceful degradation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Retries each request may consume before it is terminally
+    /// rejected ([`crate::RejectReason::RetryBudgetExhausted`]).
+    pub retry_budget: u32,
+    /// Backoff before the first retry, in milliseconds.
+    pub backoff_base_ms: f64,
+    /// Multiplier applied to the backoff on every further retry.
+    pub backoff_mult: f64,
+    /// Recovering-request count at which the deployment sheds
+    /// speculation depth ([`crate::Deployment::set_degraded`]).
+    pub shed_speculation_pressure: usize,
+    /// Recovering-request count at which new arrivals of the loosest
+    /// SLO tier are refused at admission
+    /// ([`crate::RejectReason::DegradedShed`]).
+    pub shed_tier_pressure: usize,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self {
+            retry_budget: 3,
+            backoff_base_ms: 50.0,
+            backoff_mult: 2.0,
+            shed_speculation_pressure: 4,
+            shed_tier_pressure: 8,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// A policy that never retries: every lost request is terminally
+    /// rejected on the spot. This is the "fault without recovery"
+    /// baseline the chaos benchmark compares against.
+    pub fn no_retry() -> Self {
+        Self {
+            retry_budget: 0,
+            ..Self::default()
+        }
+    }
+
+    /// Exponential backoff before retry number `attempt` (1-based).
+    pub fn backoff_ms(&self, attempt: u32) -> f64 {
+        self.backoff_base_ms * self.backoff_mult.powi(attempt.saturating_sub(1) as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_in_window() {
+        let a = FaultPlan::seeded(42, 1_000.0, 4_000.0, 3, true);
+        let b = FaultPlan::seeded(42, 1_000.0, 4_000.0, 3, true);
+        assert_eq!(a, b, "same seed, same plan");
+        assert_eq!(a.events().len(), 3);
+        for e in a.events() {
+            assert!(e.at_ms >= 1_000.0 && e.at_ms < 5_000.0);
+            assert!(e.kind.duration_ms() > 0.0);
+        }
+        let c = FaultPlan::seeded(43, 1_000.0, 4_000.0, 3, true);
+        assert_ne!(a, c, "different seed perturbs the schedule");
+    }
+
+    #[test]
+    fn seeded_slow_target_differs_from_crash_target() {
+        for seed in 0..32 {
+            let plan = FaultPlan::seeded(seed, 0.0, 1_000.0, 4, false);
+            let targets: Vec<_> = plan
+                .events()
+                .iter()
+                .filter_map(|e| e.kind.replica())
+                .collect();
+            assert_eq!(targets.len(), 2);
+            assert_ne!(targets[0], targets[1], "seed {seed}: distinct targets");
+        }
+    }
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let p = RecoveryPolicy::default();
+        assert!((p.backoff_ms(1) - 50.0).abs() < 1e-9);
+        assert!((p.backoff_ms(2) - 100.0).abs() < 1e-9);
+        assert!((p.backoff_ms(3) - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn describe_and_target_are_stable() {
+        let crash = FaultKind::ReplicaCrash {
+            replica: ReplicaAddr::serving(1),
+            down_ms: 400.0,
+        };
+        assert_eq!(crash.describe(), "crash for 400ms");
+        assert_eq!(crash.target_label(), "decode-1");
+        let outage = FaultKind::LinkOutage { duration_ms: 200.0 };
+        assert_eq!(outage.target_label(), "kv-link");
+    }
+}

@@ -44,6 +44,7 @@ pub mod config;
 pub mod core;
 pub mod engine;
 pub mod exec;
+pub mod fault;
 pub mod kv;
 pub mod prefix;
 pub mod probe;
@@ -61,6 +62,7 @@ pub use engine::{
     StallGuard, StepResult,
 };
 pub use exec::{ExecMode, ShardedExecutor};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, RecoveryPolicy};
 pub use kv::BlockManager;
 pub use prefix::{PrefixCache, PrefixStats};
 pub use probe::{core_gauges, trace_replica, ProbeState, StepProbe};

@@ -27,10 +27,11 @@
 
 use crate::core::EngineCore;
 use crate::engine::{Pool, RunError, RunOptions, RunResult, StallGuard};
+use crate::fault::{FaultKind, FaultPlan, RecoveryPolicy};
 use metrics::telemetry::{EventKind, GaugeSample, Tracer};
 use metrics::{merge_by_completion, ClusterReport, RequestRecord, SloReport};
 use std::collections::{HashMap, HashSet, VecDeque};
-use workload::{RequestSpec, Workload};
+use workload::{Category, RequestSpec, Workload};
 
 /// What an elastic-scaling action does to its replica.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,6 +107,21 @@ pub enum RejectReason {
         /// The tenant's admission quota (max held requests).
         quota: usize,
     },
+    /// The request was lost to replica/link faults and exhausted its
+    /// [`crate::RecoveryPolicy`] retry budget — the terminal outcome of
+    /// an unrecoverable request, so conservation (offered = finished +
+    /// rejected) holds under any fault schedule.
+    RetryBudgetExhausted {
+        /// Retries consumed before giving up.
+        retries: u32,
+    },
+    /// Graceful degradation under sustained recovery pressure shed this
+    /// request's (loosest) SLO tier at admission instead of letting the
+    /// backlog collapse every tier.
+    DegradedShed {
+        /// Requests awaiting recovery when the shed decision was made.
+        pressure: usize,
+    },
 }
 
 impl std::fmt::Display for RejectReason {
@@ -123,6 +139,16 @@ impl std::fmt::Display for RejectReason {
                 f,
                 "tenant {tenant} already holds its admission quota of \
                  {quota} queued requests"
+            ),
+            RejectReason::RetryBudgetExhausted { retries } => write!(
+                f,
+                "lost to faults and exhausted its retry budget after \
+                 {retries} retries"
+            ),
+            RejectReason::DegradedShed { pressure } => write!(
+                f,
+                "shed at admission: {pressure} requests recovering from \
+                 faults, loosest SLO tier refused"
             ),
         }
     }
@@ -293,6 +319,31 @@ pub trait Deployment {
     fn gauges(&self) -> GaugeSample {
         GaugeSample::default()
     }
+
+    /// Applies an injected fault at `now_ms`, returning the specs of
+    /// every request the fault lost (a crashed replica's running *and*
+    /// waiting set, transfers aborted by a link outage). The session
+    /// re-dispatches or terminally rejects them under its
+    /// [`RecoveryPolicy`]. The default no-ops (deployments without
+    /// fault machinery lose nothing).
+    fn inject_fault(&mut self, fault: &FaultKind, now_ms: f64) -> Vec<RequestSpec> {
+        let _ = (fault, now_ms);
+        Vec::new()
+    }
+
+    /// Clears a previously injected fault at `now_ms` — the crashed
+    /// replica rejoins, the slowdown ends, the link heals. The default
+    /// no-ops.
+    fn clear_fault(&mut self, fault: &FaultKind, now_ms: f64) {
+        let _ = (fault, now_ms);
+    }
+
+    /// Toggles graceful degradation: while set, engines shed
+    /// speculation depth to spend compute on committed tokens instead
+    /// of drafts. The default ignores it.
+    fn set_degraded(&mut self, degraded: bool) {
+        let _ = degraded;
+    }
 }
 
 /// Tracks which lifecycle milestones have been announced per request, so
@@ -425,6 +476,13 @@ pub struct RunReport {
     pub end_ms: f64,
     /// Iterations executed across the deployment.
     pub iterations: u64,
+    /// Trace events the session tracer's ring evicted for capacity
+    /// (0 when tracing is off or the ring never filled). Non-zero means
+    /// the trace is a suffix, not the whole run.
+    pub trace_dropped: u64,
+    /// Retries the session's [`RecoveryPolicy`] scheduled for requests
+    /// lost to injected faults (0 on fault-free runs).
+    pub retries_scheduled: u64,
 }
 
 impl RunReport {
@@ -578,6 +636,48 @@ pub struct ServeSession<D: Deployment> {
     /// Prefix-cache hit lengths computed at arrival, keyed by request id,
     /// so the traced admission event can carry them.
     cached_at_arrival: HashMap<u64, u32>,
+    /// The fault timeline: injections and their scheduled recoveries,
+    /// sorted by time (like `scaling`). Empty unless
+    /// [`ServeSession::with_fault_plan`] was called, so fault-free runs
+    /// take the exact legacy path.
+    faults: VecDeque<FaultAction>,
+    /// What happens to requests lost to faults.
+    recovery: RecoveryPolicy,
+    /// Retry state per request that was ever lost to a fault, keyed by
+    /// id. Entries persist after the request's terminal outcome so
+    /// [`ServeSession::finish`] can restore original arrival times on
+    /// retried records (TTFT is measured from the *first* arrival).
+    retrying: HashMap<u64, RetryState>,
+    /// Requests currently recovering (lost and not yet finished or
+    /// rejected) — the pressure signal for graceful degradation.
+    active_retries: HashSet<u64>,
+    /// Retries scheduled so far (surfaced on [`RunReport`]).
+    retries_scheduled: u64,
+    /// Whether the deployment is currently in degraded (shed
+    /// speculation) mode.
+    degraded: bool,
+}
+
+/// One entry of the session's fault timeline.
+#[derive(Debug, Clone)]
+struct FaultAction {
+    at_ms: f64,
+    op: FaultOp,
+}
+
+#[derive(Debug, Clone)]
+enum FaultOp {
+    Inject(FaultKind),
+    Clear(FaultKind),
+}
+
+/// Retry accounting for one request that was lost to a fault.
+#[derive(Debug, Clone, Copy)]
+struct RetryState {
+    /// The request's original (first) arrival time.
+    first_arrival_ms: f64,
+    /// Retries scheduled so far.
+    attempts: u32,
 }
 
 impl<D: Deployment> ServeSession<D> {
@@ -604,7 +704,45 @@ impl<D: Deployment> ServeSession<D> {
             next_gauge_ms: 0.0,
             gauge_events: false,
             cached_at_arrival: HashMap::new(),
+            faults: VecDeque::new(),
+            recovery: RecoveryPolicy::default(),
+            retrying: HashMap::new(),
+            active_retries: HashSet::new(),
+            retries_scheduled: 0,
+            degraded: false,
         }
+    }
+
+    /// Installs a chaos schedule: each fault is injected at its planned
+    /// instant and automatically cleared `duration_ms` later, so the
+    /// event loop can never wedge on a down replica. An empty plan
+    /// changes nothing — serving stays bit-identical to a session
+    /// without one.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        for event in plan.events() {
+            self.push_fault(event.at_ms, FaultOp::Inject(event.kind.clone()));
+            self.push_fault(
+                event.at_ms + event.kind.duration_ms(),
+                FaultOp::Clear(event.kind.clone()),
+            );
+        }
+        self
+    }
+
+    /// Sets how requests lost to faults are retried and when sustained
+    /// pressure triggers graceful degradation (defaults to
+    /// [`RecoveryPolicy::default`]; [`RecoveryPolicy::no_retry`] is the
+    /// recovery-less baseline).
+    #[must_use]
+    pub fn with_recovery_policy(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = policy;
+        self
+    }
+
+    fn push_fault(&mut self, at_ms: f64, op: FaultOp) {
+        let idx = self.faults.partition_point(|f| f.at_ms <= at_ms);
+        self.faults.insert(idx, FaultAction { at_ms, op });
     }
 
     /// Enables end-to-end tracing: the handle is cloned into the
@@ -753,10 +891,11 @@ impl<D: Deployment> ServeSession<D> {
         loop {
             let t_arr = self.pending.front().map_or(f64::INFINITY, |s| s.arrival_ms);
             let t_scale = self.scaling.front().map_or(f64::INFINITY, |p| p.at_ms);
+            let t_fault = self.faults.front().map_or(f64::INFINITY, |f| f.at_ms);
             let t_dep = self.deployment.next_event_ms().unwrap_or(f64::INFINITY);
-            let t = t_scale.min(t_arr).min(t_dep);
+            let t = t_scale.min(t_fault).min(t_arr).min(t_dep);
             if t.is_infinite() {
-                break; // No arrivals, no scaling, no work anywhere.
+                break; // No arrivals, no scaling, no faults, no work anywhere.
             }
             self.now_ms = self.now_ms.max(t);
 
@@ -777,8 +916,8 @@ impl<D: Deployment> ServeSession<D> {
             }
 
             // Equal-timestamp order: scaling first (arrivals at the same
-            // instant see the new topology), then arrivals, then the
-            // deployment's internal machinery.
+            // instant see the new topology), then faults, then arrivals,
+            // then the deployment's internal machinery.
             if t_scale <= t {
                 let plan = self.scaling.pop_front().expect("t_scale was finite");
                 self.deployment.set_accepting(
@@ -786,6 +925,12 @@ impl<D: Deployment> ServeSession<D> {
                     matches!(plan.action, ScalingAction::Join),
                     plan.at_ms,
                 );
+                continue;
+            }
+
+            if t_fault <= t {
+                let action = self.faults.pop_front().expect("t_fault was finite");
+                self.apply_fault_action(action, client);
                 continue;
             }
 
@@ -805,6 +950,23 @@ impl<D: Deployment> ServeSession<D> {
                     // independent of whether admission control also does.
                     let cached = self.deployment.cached_prefix_tokens(&spec);
                     self.cached_at_arrival.insert(spec.id, cached);
+                }
+                // Graceful degradation, stage two: under sustained
+                // recovery pressure the loosest SLO tier is refused at
+                // admission so the tighter tiers keep their attainment.
+                if self.active_retries.len() >= self.recovery.shed_tier_pressure
+                    && spec.category == Category::Summarization
+                {
+                    let reason = RejectReason::DegradedShed {
+                        pressure: self.active_retries.len(),
+                    };
+                    let event = DeploymentEvent::Rejected {
+                        id: spec.id,
+                        reason,
+                        at_ms: self.now_ms,
+                    };
+                    self.dispatch(&event, client);
+                    continue;
                 }
                 if self.admission_control {
                     let capacity = self.deployment.kv_capacity_tokens();
@@ -834,8 +996,11 @@ impl<D: Deployment> ServeSession<D> {
             // their independent replicas up to it; closed-loop runs step
             // one event at a time so the client observes events timely.
             let step = if self.batch_stepping {
+                // The batching horizon must stop at the next fault too:
+                // a crash at t must observe exactly the pre-t state,
+                // whatever the exec mode.
                 self.deployment
-                    .step_until(t_arr.min(t_scale), &self.options)?
+                    .step_until(t_arr.min(t_scale).min(t_fault), &self.options)?
             } else {
                 self.deployment.step(&self.options)?
             };
@@ -856,6 +1021,114 @@ impl<D: Deployment> ServeSession<D> {
         self.finish()
     }
 
+    /// Applies one fault-timeline entry: inject (collect the lost
+    /// requests and route them through recovery) or clear (the
+    /// deployment heals itself).
+    fn apply_fault_action<F>(&mut self, action: FaultAction, client: &mut F)
+    where
+        F: FnMut(&DeploymentEvent, &mut SessionHandle),
+    {
+        match action.op {
+            FaultOp::Inject(kind) => {
+                let lost = self.deployment.inject_fault(&kind, self.now_ms);
+                if self.tracer.enabled() {
+                    let event = match kind.replica() {
+                        Some(addr) if matches!(kind, FaultKind::ReplicaCrash { .. }) => {
+                            EventKind::ReplicaDown {
+                                replica: crate::probe::trace_replica(addr),
+                                fault: kind.describe(),
+                                lost_requests: lost.len(),
+                            }
+                        }
+                        _ => EventKind::FaultInjected {
+                            target: kind.target_label(),
+                            fault: kind.describe(),
+                            lost_requests: lost.len(),
+                        },
+                    };
+                    self.tracer.record(self.now_ms, event);
+                }
+                for spec in lost {
+                    self.handle_lost(spec, client);
+                }
+                self.update_degradation();
+            }
+            FaultOp::Clear(kind) => {
+                self.deployment.clear_fault(&kind, self.now_ms);
+                if self.tracer.enabled() {
+                    let event = match kind.replica() {
+                        Some(addr) if matches!(kind, FaultKind::ReplicaCrash { .. }) => {
+                            EventKind::ReplicaRecovered {
+                                replica: crate::probe::trace_replica(addr),
+                            }
+                        }
+                        _ => EventKind::FaultCleared {
+                            target: kind.target_label(),
+                        },
+                    };
+                    self.tracer.record(self.now_ms, event);
+                }
+            }
+        }
+    }
+
+    /// Routes one request lost to a fault through the recovery policy:
+    /// re-dispatch with exponential backoff while the retry budget
+    /// lasts, terminal rejection once it is exhausted. Requests are
+    /// retried with their original spec — `next_token` is a pure
+    /// function of the stream, so a re-served request regenerates the
+    /// identical output (and the prefix cache makes its re-prefill
+    /// cheap).
+    fn handle_lost<F>(&mut self, mut spec: RequestSpec, client: &mut F)
+    where
+        F: FnMut(&DeploymentEvent, &mut SessionHandle),
+    {
+        let budget = self.recovery.retry_budget;
+        let state = self.retrying.entry(spec.id).or_insert(RetryState {
+            first_arrival_ms: spec.arrival_ms,
+            attempts: 0,
+        });
+        if state.attempts >= budget {
+            let retries = state.attempts;
+            let event = DeploymentEvent::Rejected {
+                id: spec.id,
+                reason: RejectReason::RetryBudgetExhausted { retries },
+                at_ms: self.now_ms,
+            };
+            self.dispatch(&event, client);
+            return;
+        }
+        state.attempts += 1;
+        let attempt = state.attempts;
+        let resubmit_at_ms = self.now_ms + self.recovery.backoff_ms(attempt);
+        spec.arrival_ms = resubmit_at_ms;
+        self.retries_scheduled += 1;
+        self.active_retries.insert(spec.id);
+        if self.tracer.enabled() {
+            self.tracer.record(
+                self.now_ms,
+                EventKind::RetryScheduled {
+                    id: spec.id,
+                    attempt,
+                    resubmit_at_ms,
+                },
+            );
+        }
+        self.submit(spec);
+    }
+
+    /// Recomputes the graceful-degradation state from recovery pressure
+    /// and informs the deployment on transitions (stage one: shed
+    /// speculation depth).
+    fn update_degradation(&mut self) {
+        let pressure = self.active_retries.len();
+        let degraded = pressure > 0 && pressure >= self.recovery.shed_speculation_pressure;
+        if degraded != self.degraded {
+            self.degraded = degraded;
+            self.deployment.set_degraded(degraded);
+        }
+    }
+
     /// Surfaces one event to the client and absorbs its follow-ups.
     fn dispatch<F>(&mut self, event: &DeploymentEvent, client: &mut F)
     where
@@ -867,6 +1140,14 @@ impl<D: Deployment> ServeSession<D> {
         // conservation (records + rejected = offered) holds for both.
         if let DeploymentEvent::Rejected { id, reason, .. } = event {
             self.rejected.push((*id, *reason));
+            if self.active_retries.remove(id) {
+                self.update_degradation();
+            }
+        }
+        if let DeploymentEvent::Finished { record } = event {
+            if self.active_retries.remove(&record.id) {
+                self.update_degradation();
+            }
         }
         if self.tracer.enabled() {
             self.trace_event(event);
@@ -954,11 +1235,22 @@ impl<D: Deployment> ServeSession<D> {
             .collect();
         // A single engine's stream is already in its native completion
         // order; only multi-replica runs need the k-way merge.
-        let records = if streams.len() == 1 {
+        let mut records = if streams.len() == 1 {
             streams.pop().expect("one stream")
         } else {
             merge_by_completion(streams)
         };
+        // A retried request was re-submitted with a backoff-shifted
+        // arrival; its record must charge the whole recovery (backoff,
+        // re-queueing, re-prefill) against the original arrival so TTFT
+        // and attainment stay honest.
+        if !self.retrying.is_empty() {
+            for record in &mut records {
+                if let Some(state) = self.retrying.get(&record.id) {
+                    record.arrival_ms = state.first_arrival_ms;
+                }
+            }
+        }
         Ok(RunReport {
             deployment,
             records,
@@ -966,6 +1258,8 @@ impl<D: Deployment> ServeSession<D> {
             rejected: std::mem::take(&mut self.rejected),
             end_ms,
             iterations,
+            trace_dropped: self.tracer.dropped(),
+            retries_scheduled: self.retries_scheduled,
         })
     }
 }

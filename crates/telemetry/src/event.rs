@@ -216,6 +216,47 @@ pub enum EventKind {
     },
     /// Periodic counters snapshot (session gauge tick).
     Gauge(GaugeSample),
+    /// A replica crashed (fault injection): its in-flight KV is lost and
+    /// the requests it held return to the front door.
+    ReplicaDown {
+        /// The crashed replica.
+        replica: TraceReplica,
+        /// Human-readable fault description (e.g. `crash for 400ms`).
+        fault: String,
+        /// Requests whose KV/queue slot was lost on this replica.
+        lost_requests: usize,
+    },
+    /// A previously crashed replica rejoined service.
+    ReplicaRecovered {
+        /// The recovered replica.
+        replica: TraceReplica,
+    },
+    /// A non-crash fault began (slow replica, link degradation/outage).
+    FaultInjected {
+        /// What is faulted (`decode/1`, `kv-link`, ...).
+        target: String,
+        /// Human-readable fault description.
+        fault: String,
+        /// Requests lost to the fault at injection time (link outages
+        /// abort in-flight transfers).
+        lost_requests: usize,
+    },
+    /// A previously injected non-crash fault cleared.
+    FaultCleared {
+        /// What recovered (`decode/1`, `kv-link`, ...).
+        target: String,
+    },
+    /// A request lost to a fault was scheduled for re-dispatch by the
+    /// session's recovery policy.
+    RetryScheduled {
+        /// Workload request id.
+        id: u64,
+        /// Retry attempt number (1 = first retry).
+        attempt: u32,
+        /// When the request re-enters the front door (ms); the gap to
+        /// `at_ms` is the exponential backoff.
+        resubmit_at_ms: f64,
+    },
 }
 
 /// One timestamped trace event.

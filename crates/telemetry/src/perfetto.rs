@@ -155,7 +155,9 @@ pub fn export(events: &[TraceEvent]) -> String {
             | EventKind::Admitted { replica, .. }
             | EventKind::RouteDecision { replica, .. }
             | EventKind::Preempted { replica, .. }
-            | EventKind::Resumed { replica, .. } => *replica,
+            | EventKind::Resumed { replica, .. }
+            | EventKind::ReplicaDown { replica, .. }
+            | EventKind::ReplicaRecovered { replica, .. } => *replica,
             _ => continue,
         };
         let next = replicas.len() as u64 + 1;
@@ -321,6 +323,71 @@ pub fn export(events: &[TraceEvent]) -> String {
                     &format!("\"output_tokens\":{output_tokens}"),
                 ));
             }
+            EventKind::ReplicaDown {
+                replica,
+                fault,
+                lost_requests,
+            } => {
+                let tid = replicas[replica];
+                rows.push(instant(
+                    REPLICA_PID,
+                    tid,
+                    "replica_down",
+                    at,
+                    &format!(
+                        "\"fault\":\"{}\",\"lost_requests\":{lost_requests}",
+                        escape(fault)
+                    ),
+                ));
+            }
+            EventKind::ReplicaRecovered { replica } => {
+                let tid = replicas[replica];
+                rows.push(instant(REPLICA_PID, tid, "replica_recovered", at, ""));
+            }
+            EventKind::FaultInjected {
+                target,
+                fault,
+                lost_requests,
+            } => {
+                rows.push(instant(
+                    REPLICA_PID,
+                    0,
+                    "fault_injected",
+                    at,
+                    &format!(
+                        "\"target\":\"{}\",\"fault\":\"{}\",\"lost_requests\":{lost_requests}",
+                        escape(target),
+                        escape(fault)
+                    ),
+                ));
+            }
+            EventKind::FaultCleared { target } => {
+                rows.push(instant(
+                    REPLICA_PID,
+                    0,
+                    "fault_cleared",
+                    at,
+                    &format!("\"target\":\"{}\"", escape(target)),
+                ));
+            }
+            EventKind::RetryScheduled {
+                id,
+                attempt,
+                resubmit_at_ms,
+            } => {
+                requests.entry(*id).or_default().seen = true;
+                rows.push(instant(
+                    REQUEST_PID,
+                    id + 1,
+                    "retry_scheduled",
+                    at,
+                    &format!(
+                        "\"attempt\":{attempt},\"resubmit_at_ms\":{},\"backoff_ms\":{}",
+                        num(*resubmit_at_ms),
+                        num(resubmit_at_ms - at)
+                    ),
+                ));
+            }
             EventKind::Gauge(sample) => {
                 rows.push(counter(
                     REPLICA_PID,
@@ -446,6 +513,61 @@ mod tests {
             );
         }
         assert!(json.contains("\"name\":\"req 4\""));
+    }
+
+    #[test]
+    fn fault_events_render_as_instant_markers_with_args() {
+        let events = vec![
+            iteration(25.0, TraceReplica::decode(1)),
+            TraceEvent {
+                at_ms: 30.0,
+                kind: EventKind::ReplicaDown {
+                    replica: TraceReplica::decode(1),
+                    fault: "crash for 400ms".into(),
+                    lost_requests: 3,
+                },
+            },
+            TraceEvent {
+                at_ms: 35.0,
+                kind: EventKind::RetryScheduled {
+                    id: 9,
+                    attempt: 1,
+                    resubmit_at_ms: 85.0,
+                },
+            },
+            TraceEvent {
+                at_ms: 40.0,
+                kind: EventKind::FaultInjected {
+                    target: "kv-link".into(),
+                    fault: "outage for 200ms".into(),
+                    lost_requests: 1,
+                },
+            },
+            TraceEvent {
+                at_ms: 240.0,
+                kind: EventKind::FaultCleared {
+                    target: "kv-link".into(),
+                },
+            },
+            TraceEvent {
+                at_ms: 430.0,
+                kind: EventKind::ReplicaRecovered {
+                    replica: TraceReplica::decode(1),
+                },
+            },
+        ];
+        let json = export(&events);
+        assert!(json.contains("\"name\":\"replica_down\""));
+        assert!(json.contains("\"fault\":\"crash for 400ms\""));
+        assert!(json.contains("\"lost_requests\":3"));
+        assert!(json.contains("\"name\":\"replica_recovered\""));
+        assert!(json.contains("\"name\":\"fault_injected\""));
+        assert!(json.contains("\"target\":\"kv-link\""));
+        assert!(json.contains("\"name\":\"fault_cleared\""));
+        assert!(json.contains("\"name\":\"retry_scheduled\""));
+        assert!(json.contains("\"attempt\":1"));
+        assert!(json.contains("\"backoff_ms\":50"));
+        assert!(json.contains("\"name\":\"req 9\""), "retry pins the track");
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! Chaos-ready serving: a seeded replica crash mid flash crowd, survived
+//! by retry/backoff recovery and graceful degradation.
+//!
+//! A 3-replica fleet rides a flash crowd while a deterministic
+//! `FaultPlan` — derived from the same seed that builds the workload —
+//! crashes one replica and slows another right as the crowd peaks. The
+//! same trace is served three ways: fault-free, faulted with no recovery
+//! (every request the crash loses is terminally rejected), and faulted
+//! under the default `RecoveryPolicy` (lost requests return to the front
+//! door with exponential backoff and re-dispatch SLO-aware). The
+//! printout scores each run on *offered-basis* attainment — rejections
+//! count as misses — which is the number recovery exists to move.
+//!
+//! ```sh
+//! cargo run --release --example chaos_serving
+//! ```
+
+use adaserve::cluster::{Cluster, RouterKind};
+use adaserve::core::AdaServeEngine;
+use adaserve::metrics::Table;
+use adaserve::scenario::{ArrivalProcess, Scenario, TenantSpec};
+use adaserve::serving::{
+    FaultPlan, RecoveryPolicy, RunReport, ServeSession, ServingEngine, SystemConfig,
+};
+use adaserve::workload::{env_seed, smoke_scale, CategoryMix};
+
+/// Fleet size; the seeded plan crashes one of these replicas.
+const REPLICAS: usize = 3;
+
+fn fleet(seed: u64) -> Cluster {
+    let engines: Vec<Box<dyn ServingEngine>> = (0..REPLICAS)
+        .map(|_| {
+            Box::new(AdaServeEngine::new(SystemConfig::llama70b(seed))) as Box<dyn ServingEngine>
+        })
+        .collect();
+    Cluster::new(engines, RouterKind::SloAware.build())
+}
+
+/// Scores one run: offered volume, terminal rejections, retries, and
+/// joint SLO attainment with rejections counted as misses.
+fn score(table: &mut Table, label: &str, recovery: &str, report: &RunReport) {
+    let finished = report.records.len();
+    let offered = finished + report.rejected.len();
+    let ok = report
+        .records
+        .iter()
+        .filter(|r| r.attained() && r.ttft_attained())
+        .count();
+    let offered_pct = if offered == 0 {
+        100.0
+    } else {
+        ok as f64 / offered as f64 * 100.0
+    };
+    table.row(vec![
+        label.into(),
+        recovery.into(),
+        offered.to_string(),
+        finished.to_string(),
+        report.rejected.len().to_string(),
+        report.retries_scheduled.to_string(),
+        format!("{offered_pct:.1}"),
+    ]);
+}
+
+fn main() {
+    let seed = env_seed(17);
+    // ADASERVE_SMOKE=1 (set by the CI smoke tests) shrinks the trace.
+    let (rps, duration_ms) = smoke_scale(3.0, 30_000.0);
+    let burst_at = duration_ms / 3.0;
+
+    let sw = Scenario::new(seed, SystemConfig::llama70b(seed).baseline_ms)
+        .process(ArrivalProcess::FlashCrowd {
+            rps,
+            at_ms: burst_at,
+            magnitude: 4.0,
+            decay_ms: duration_ms / 6.0,
+        })
+        .duration_ms(duration_ms)
+        .users(100)
+        .max_context(1_536)
+        .tenants(vec![
+            TenantSpec::new("anchor")
+                .share(2.0)
+                .weight(2.0)
+                .mix(CategoryMix::new(0.6, 0.4, 0.0)),
+            TenantSpec::new("longtail")
+                .share(1.0)
+                .weight(1.0)
+                .mix(CategoryMix::new(0.0, 0.4, 0.6)),
+        ])
+        .build();
+
+    // The chaos schedule is pure data, deterministic in the seed, and
+    // aimed at the crowd: the window opens at burst onset.
+    let plan = FaultPlan::seeded(seed, burst_at, duration_ms / 3.0, REPLICAS, false);
+    println!(
+        "Scenario: {} — 4x flash crowd at {:.1}s on {REPLICAS} replicas",
+        sw.workload.description,
+        burst_at / 1e3,
+    );
+    for e in plan.events() {
+        println!(
+            "  fault @ {:>7.1} ms  {:<9} {}",
+            e.at_ms,
+            e.kind.target_label(),
+            e.kind.describe()
+        );
+    }
+    println!();
+
+    let mut table = Table::new(vec![
+        "Run",
+        "Recovery",
+        "Offered",
+        "Finished",
+        "Rejected",
+        "Retries",
+        "Offered SLO %",
+    ]);
+
+    // Fault-free baseline: what the fleet does when nothing breaks.
+    let baseline = ServeSession::new(fleet(seed))
+        .serve(&sw.workload)
+        .expect("fault-free run");
+    score(&mut table, "no-fault", "n/a", &baseline);
+
+    // Same faults, no safety net: the crash's in-flight requests are
+    // terminally rejected the moment their replica dies.
+    let unrecovered = ServeSession::new(fleet(seed))
+        .with_fault_plan(plan.clone())
+        .with_recovery_policy(RecoveryPolicy::no_retry())
+        .serve(&sw.workload)
+        .expect("no-recovery run");
+    score(&mut table, "fault-no-recovery", "none", &unrecovered);
+
+    // Same faults under retry/backoff: lost requests re-enter the front
+    // door after exponential backoff and re-dispatch SLO-aware; under
+    // sustained pressure the session sheds speculation depth, then the
+    // loosest SLO tier, instead of collapsing.
+    let recovered = ServeSession::new(fleet(seed))
+        .with_fault_plan(plan)
+        .with_recovery_policy(RecoveryPolicy::default())
+        .serve(&sw.workload)
+        .expect("with-recovery run");
+    score(&mut table, "fault-with-recovery", "retry", &recovered);
+
+    println!("{}", table.render());
+    println!(
+        "Without recovery the crash converts in-flight work into terminal\n\
+         rejections — misses no later iteration can win back. With retry and\n\
+         backoff the same schedule re-serves every lost request, trading a\n\
+         little extra latency for the offered-basis attainment the rejections\n\
+         had forfeited."
+    );
+}

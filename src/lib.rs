@@ -84,6 +84,6 @@ pub use spectree;
 pub use workload;
 
 pub use serving::{
-    Colocated, Deployment, DeploymentEvent, Pool, RejectReason, ReplicaAddr, RunReport,
-    ScalingAction, ServeSession, SessionHandle, UnitStats,
+    Colocated, Deployment, DeploymentEvent, FaultEvent, FaultKind, FaultPlan, Pool, RecoveryPolicy,
+    RejectReason, ReplicaAddr, RunReport, ScalingAction, ServeSession, SessionHandle, UnitStats,
 };

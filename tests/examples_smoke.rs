@@ -89,6 +89,11 @@ fn autoscale_serving_runs() {
     run_example("autoscale_serving");
 }
 
+#[test]
+fn chaos_serving_runs() {
+    run_example("chaos_serving");
+}
+
 /// `--trace-out` must leave a loadable Chrome-trace JSON behind.
 #[test]
 fn online_serving_writes_perfetto_trace() {

@@ -534,6 +534,98 @@ mod tracing_equivalence {
     }
 }
 
+/// The chaos layer is pay-for-what-you-use: a session built with an
+/// *empty* [`FaultPlan`] and the default [`RecoveryPolicy`] must take the
+/// exact legacy code path — records, end clock, iteration counts and
+/// routing decisions bit-identical to a session that never heard of
+/// faults. This pins the fault-injection subsystem's acceptance
+/// criterion: fault-free runs are record-identical to the pre-chaos
+/// output.
+mod fault_free_equivalence {
+    use adaserve::cluster::{Cluster, RouterKind};
+    use adaserve::core::AdaServeEngine;
+    use adaserve::disagg::{DisaggCluster, Dispatcher, KvLink, PrefillPool};
+    use adaserve::serving::{
+        Colocated, Deployment, FaultPlan, RecoveryPolicy, RunReport, ServeSession, ServingEngine,
+        SystemConfig,
+    };
+    use adaserve::workload::{Workload, WorkloadBuilder};
+
+    fn workload(seed: u64) -> Workload {
+        let baseline_ms = SystemConfig::llama70b(9).baseline_ms;
+        WorkloadBuilder::new(seed, baseline_ms)
+            .target_rps(4.0)
+            .duration_ms(10_000.0)
+            .build()
+    }
+
+    fn engines(n: usize) -> Vec<Box<dyn ServingEngine>> {
+        (0..n)
+            .map(|_| {
+                Box::new(AdaServeEngine::new(SystemConfig::llama70b(9))) as Box<dyn ServingEngine>
+            })
+            .collect()
+    }
+
+    fn assert_chaos_machinery_invisible<D: Deployment, F: Fn() -> D>(build: F, wl: &Workload) {
+        let plain = ServeSession::new(build()).serve(wl).expect("plain run");
+        let armed = ServeSession::new(build())
+            .with_fault_plan(FaultPlan::new())
+            .with_recovery_policy(RecoveryPolicy::default())
+            .serve(wl)
+            .expect("armed-but-empty run");
+        check(&plain, &armed);
+        assert_eq!(armed.retries_scheduled, 0, "nothing was ever lost");
+        assert!(armed.rejected.is_empty(), "nothing was ever shed");
+    }
+
+    fn check(reference: &RunReport, got: &RunReport) {
+        assert_eq!(
+            reference.records, got.records,
+            "records must be bit-identical to the session without a fault plan"
+        );
+        assert_eq!(reference.end_ms, got.end_ms, "end clock");
+        assert_eq!(reference.iterations, got.iterations, "iterations");
+        let ref_shares: Vec<u64> = reference.units.iter().map(|u| u.routed).collect();
+        let got_shares: Vec<u64> = got.units.iter().map(|u| u.routed).collect();
+        assert_eq!(ref_shares, got_shares, "routing decisions");
+    }
+
+    #[test]
+    fn colocated_records_identical_with_empty_fault_plan() {
+        let wl = workload(71);
+        assert_chaos_machinery_invisible(
+            || Colocated::new(Box::new(AdaServeEngine::new(SystemConfig::llama70b(9)))),
+            &wl,
+        );
+    }
+
+    #[test]
+    fn cluster_records_identical_with_empty_fault_plan() {
+        let wl = workload(72);
+        assert_chaos_machinery_invisible(
+            || Cluster::new(engines(3), RouterKind::SloAware.build()),
+            &wl,
+        );
+    }
+
+    #[test]
+    fn disagg_records_identical_with_empty_fault_plan() {
+        let wl = workload(73);
+        assert_chaos_machinery_invisible(
+            || {
+                DisaggCluster::new(
+                    PrefillPool::new(vec![SystemConfig::llama70b(9)]),
+                    engines(2),
+                    Dispatcher::new(RouterKind::SloAware.build()),
+                    KvLink::new(300.0, 0.05),
+                )
+            },
+            &wl,
+        );
+    }
+}
+
 mod prefix_cache_equivalence {
     use adaserve::core::AdaServeEngine;
     use adaserve::metrics::RequestRecord;
